@@ -1,0 +1,134 @@
+// Package psrahgadmm is a Go implementation of PSRA-HGADMM — the
+// communication-efficient distributed consensus ADMM of Qiu, Lei & Wang
+// (ICPP 2023) — together with every substrate it needs and the baselines
+// it is evaluated against.
+//
+// The library trains L1-regularized logistic regression (and, through the
+// solver package, other smooth-plus-prox objectives) across a cluster of
+// workers using the global consensus ADMM recursion, with the paper's
+// three stacked ideas:
+//
+//   - a decentralized rewrite of the z-update so consensus is a single
+//     Allreduce of w_i = y_i + ρ·x_i per iteration;
+//   - PSR-Allreduce, a parameter-server-flavoured Ring-Allreduce variant
+//     whose sparse-data worst case is N× better than the ring's;
+//   - the Worker-Leader-Group generator (WLG) hierarchy: intra-node BSP
+//     reduction to an elected Leader, and dynamic arrival-ordered Leader
+//     groups that keep fast nodes from idling behind stragglers.
+//
+// Two execution paths share the algorithm code:
+//
+//   - Train runs the deterministic experiment engine: real numerics and
+//     real collective schedules under a simulated cluster clock
+//     (bit-reproducible; used for all paper-figure experiments).
+//   - The wlg runtime (see RunWorker/RunGG in internal/wlg, exercised by
+//     cmd/psra-worker and the tcpcluster example) runs the same
+//     algorithm as a genuine message-passing program over in-process
+//     channels or a TCP mesh.
+//
+// Quickstart:
+//
+//	train, test, _ := psrahgadmm.Generate(psrahgadmm.News20Like(0.001, 42))
+//	cfg := psrahgadmm.Config{
+//		Algorithm: psrahgadmm.PSRAHGADMM,
+//		Topo:      psrahgadmm.Topology{Nodes: 4, WorkersPerNode: 2},
+//		Rho:       1, Lambda: 1, MaxIter: 50,
+//	}
+//	res, err := psrahgadmm.Train(cfg, train, psrahgadmm.RunOptions{Test: test})
+package psrahgadmm
+
+import (
+	"psrahgadmm/internal/core"
+	"psrahgadmm/internal/dataset"
+	"psrahgadmm/internal/simnet"
+)
+
+// Core configuration and result types.
+type (
+	// Config parameterizes a training run; see internal/core for field
+	// documentation.
+	Config = core.Config
+	// RunOptions carries optional evaluation inputs (test set, reference
+	// optimum, progress callback).
+	RunOptions = core.RunOptions
+	// Result is a completed run: per-iteration history, final iterate,
+	// virtual-time and byte totals.
+	Result = core.Result
+	// IterStat is one iteration's record.
+	IterStat = core.IterStat
+	// Algorithm names a consensus-ADMM variant.
+	Algorithm = core.Algorithm
+	// ConsensusMode selects PSRA-HGADMM's aggregation breadth.
+	ConsensusMode = core.ConsensusMode
+	// Topology is the virtual cluster layout (nodes × workers/node).
+	Topology = simnet.Topology
+	// CostModel is the α/β virtual-time model.
+	CostModel = simnet.CostModel
+	// Stragglers injects deterministic slow nodes.
+	Stragglers = simnet.Stragglers
+	// Jitter injects deterministic per-worker compute variance.
+	Jitter = simnet.Jitter
+	// Dataset is a labeled sparse design matrix.
+	Dataset = dataset.Dataset
+	// SynthConfig parameterizes the synthetic dataset generator.
+	SynthConfig = dataset.SynthConfig
+)
+
+// The implemented algorithms.
+const (
+	// PSRAHGADMM is the paper's contribution: hierarchical grouping
+	// consensus ADMM with PSR-Allreduce.
+	PSRAHGADMM = core.PSRAHGADMM
+	// PSRAADMM is the flat variant: one cluster-wide PSR-Allreduce.
+	PSRAADMM = core.PSRAADMM
+	// GRADMM is the static-grouping Ring-Allreduce predecessor (paper
+	// ref. [9]).
+	GRADMM = core.GRADMM
+	// ADMMLib is the hierarchical Ring-Allreduce + SSP baseline.
+	ADMMLib = core.ADMMLib
+	// ADADMM is the asynchronous master-worker baseline.
+	ADADMM = core.ADADMM
+	// GCADMM is classic synchronous master-worker consensus ADMM.
+	GCADMM = core.GCADMM
+)
+
+// PSRA-HGADMM consensus modes (see Config.Consensus).
+const (
+	ConsensusGlobal = core.ConsensusGlobal
+	ConsensusGroup  = core.ConsensusGroup
+)
+
+// Train runs L1-regularized logistic regression with the configured
+// algorithm over the virtual cluster and returns the per-iteration
+// history. Runs are deterministic: equal inputs give bit-identical
+// histories.
+func Train(cfg Config, train *Dataset, opts RunOptions) (*Result, error) {
+	return core.Run(cfg, train, opts)
+}
+
+// Algorithms lists every implemented variant in presentation order.
+func Algorithms() []Algorithm { return core.Algorithms() }
+
+// ReferenceOptimum computes a tight approximation of the global optimum
+// f* (the denominator of the paper's relative-error metric, eq. 18).
+func ReferenceOptimum(train *Dataset, rho, lambda float64, iters int) (float64, []float64, error) {
+	return core.ReferenceOptimum(train, rho, lambda, iters)
+}
+
+// Generate builds a synthetic dataset (train and test splits)
+// deterministically from cfg.Seed.
+func Generate(cfg SynthConfig) (train, test *Dataset, err error) {
+	return dataset.Generate(cfg)
+}
+
+// Dataset presets mirroring the paper's Table 1 corpora shapes at a given
+// scale in (0, 1].
+var (
+	News20Like  = dataset.News20Like
+	WebspamLike = dataset.WebspamLike
+	URLLike     = dataset.URLLike
+)
+
+// Tianhe2Like returns the virtual cluster cost model shaped after the
+// paper's platform.
+func Tianhe2Like() CostModel { return simnet.Tianhe2Like() }

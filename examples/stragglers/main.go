@@ -1,0 +1,64 @@
+// Stragglers: the Figure 7 effect in miniature. The same PSRA-HGADMM
+// training runs twice under injected slow nodes — once with the dynamic
+// grouping strategy (small arrival-ordered Leader groups, group-local
+// consensus: fast groups never wait), once ungrouped (one global group,
+// every iteration gated by the slowest node) — and the virtual timelines
+// are compared.
+//
+//	go run ./examples/stragglers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	psra "psrahgadmm"
+)
+
+func main() {
+	train, _, err := psra.Generate(psra.News20Like(0.001, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(threshold int) *psra.Result {
+		cfg := psra.Config{
+			Algorithm:      psra.PSRAHGADMM,
+			Consensus:      psra.ConsensusGroup,
+			Topo:           psra.Topology{Nodes: 16, WorkersPerNode: 2},
+			Rho:            1,
+			Lambda:         1,
+			MaxIter:        40,
+			GroupThreshold: threshold,
+			// Each iteration every node has a 5% chance of stalling for a
+			// fixed 5ms (virtual) — the §5.5 injection.
+			Stragglers: psra.Stragglers{Seed: 99, Prob: 0.05, Delay: 5e-3},
+		}
+		res, err := psra.Train(cfg, train, psra.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	grouped := run(4)    // groups of 4 nodes
+	ungrouped := run(16) // one global group
+
+	fmt.Println("PSRA-HGADMM, 16 nodes × 2 workers, 40 iterations, 5% × 5ms stragglers")
+	fmt.Printf("%-18s %-14s %-14s %-14s\n", "strategy", "compute", "comm (wait+tx)", "system time")
+	for _, row := range []struct {
+		name string
+		r    *psra.Result
+	}{{"dynamic grouping", grouped}, {"ungrouped", ungrouped}} {
+		fmt.Printf("%-18s %-14s %-14s %-14s\n", row.name,
+			fmt.Sprintf("%.2fms", row.r.TotalCalTime*1e3),
+			fmt.Sprintf("%.2fms", row.r.TotalCommTime*1e3),
+			fmt.Sprintf("%.2fms", row.r.SystemTime*1e3))
+	}
+	saving := 100 * (ungrouped.SystemTime - grouped.SystemTime) / ungrouped.SystemTime
+	fmt.Printf("\ndynamic grouping saves %.1f%% system time: slow nodes only stall their own group,\n", saving)
+	fmt.Println("while the ungrouped run re-synchronizes the whole cluster behind every straggler.")
+	fmt.Printf("final objectives: grouped %.4f, ungrouped %.4f (group-local consensus trades\n",
+		grouped.FinalObjective(), ungrouped.FinalObjective())
+	fmt.Println("some per-iteration consensus breadth for straggler isolation; see DESIGN.md).")
+}

@@ -1,0 +1,3 @@
+module psrahgadmm
+
+go 1.22

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+
+	"psrahgadmm/internal/core"
+	"psrahgadmm/internal/metrics"
+)
+
+// fig5Algorithms are the three lines of each Figure 5 panel.
+func fig5Algorithms() []core.Algorithm {
+	return []core.Algorithm{core.PSRAHGADMM, core.ADMMLib, core.ADADMM}
+}
+
+// Fig5 reproduces Figure 5: relative objective error (eq. 18) versus
+// iteration for PSRA-HGADMM, ADMMLib, and AD-ADMM on each dataset, on a
+// fixed 8-node cluster with 4/8/16 workers per node (32/64/128 workers).
+// GQ is half the nodes, Min_barrier half the workers, Max_delay 5 — the
+// paper's §5.3 settings.
+func Fig5(opts Options) error {
+	opts.fill()
+	nodes := 8
+	wpns := []int{4, 8, 16}
+	if opts.Quick {
+		nodes = 4
+		wpns = []int{2, 4}
+	}
+
+	for _, dcfg := range BenchDatasets(opts.Seed, opts.Quick) {
+		l, err := load(dcfg)
+		if err != nil {
+			return err
+		}
+		fstar, err := l.referenceOptimum(opts.Rho, opts.Lambda)
+		if err != nil {
+			return err
+		}
+		for _, wpn := range wpns {
+			workers := nodes * wpn
+			title := fmt.Sprintf("Figure 5 — %s, %d workers (%d nodes × %d): relative error vs iteration (f* = %s)",
+				dcfg.Name, workers, nodes, wpn, metrics.FormatFloat(fstar))
+			tbl := metrics.NewTable(title, "iter", "psra-hgadmm", "admmlib", "ad-admm")
+
+			series := make(map[core.Algorithm][]float64)
+			for _, alg := range fig5Algorithms() {
+				cfg := runCfg(alg, nodes, wpn, opts)
+				res, err := core.Run(cfg, l.train, core.RunOptions{FStar: fstar, HaveFStar: true})
+				if err != nil {
+					return fmt.Errorf("fig5 %s/%s/%d: %w", dcfg.Name, alg, workers, err)
+				}
+				vals := make([]float64, len(res.History))
+				for i, h := range res.History {
+					vals[i] = h.RelError
+				}
+				series[alg] = vals
+			}
+			step := opts.MaxIter / 10
+			if step < 1 {
+				step = 1
+			}
+			for it := 0; it < opts.MaxIter; it += step {
+				tbl.AddRow(it+1,
+					series[core.PSRAHGADMM][it],
+					series[core.ADMMLib][it],
+					series[core.ADADMM][it])
+			}
+			last := opts.MaxIter - 1
+			if (opts.MaxIter-1)%step != 0 {
+				tbl.AddRow(last+1,
+					series[core.PSRAHGADMM][last],
+					series[core.ADMMLib][last],
+					series[core.ADADMM][last])
+			}
+			if err := emit(opts, tbl); err != nil {
+				return err
+			}
+
+			final := func(a core.Algorithm) float64 { return series[a][last] }
+			fmt.Fprintf(opts.Out,
+				"final relative error: psra-hgadmm=%s admmlib=%s ad-admm=%s\n",
+				metrics.FormatFloat(final(core.PSRAHGADMM)),
+				metrics.FormatFloat(final(core.ADMMLib)),
+				metrics.FormatFloat(final(core.ADADMM)))
+			for _, alg := range fig5Algorithms() {
+				fmt.Fprintf(opts.Out, "%-12s %s\n", alg, metrics.Sparkline(series[alg]))
+			}
+			fmt.Fprintln(opts.Out)
+		}
+	}
+	return nil
+}

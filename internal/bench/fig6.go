@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+
+	"psrahgadmm/internal/core"
+	"psrahgadmm/internal/metrics"
+)
+
+// fig6Sizes returns the Figure 6/7 cluster sweep: 4–32 nodes at 4 workers
+// per node (16–128 workers), the paper's §5.4 settings.
+func fig6Sizes(quick bool) (nodesList []int, wpn int) {
+	if quick {
+		return []int{2, 4}, 2
+	}
+	return []int{4, 8, 16, 32}, 4
+}
+
+// Fig6 reproduces Figure 6: per-algorithm system time split into
+// calculation and communication time, plus final test accuracy, as the
+// cluster grows. It also prints the §5.4 headline ratios: the system-time
+// reduction of PSRA-HGADMM vs ADMMLib at the largest cluster and the
+// overall communication-volume reduction (the paper's "32% less
+// communication" claim).
+func Fig6(opts Options) error {
+	opts.fill()
+	nodesList, wpn := fig6Sizes(opts.Quick)
+	algs := fig5Algorithms()
+
+	type cell struct {
+		cal, comm, sys float64
+		acc            float64
+		bytes          int64
+	}
+	for _, dcfg := range BenchDatasets(opts.Seed, opts.Quick) {
+		l, err := load(dcfg)
+		if err != nil {
+			return err
+		}
+		results := map[core.Algorithm]map[int]cell{}
+		for _, alg := range algs {
+			results[alg] = map[int]cell{}
+			for _, nodes := range nodesList {
+				cfg := runCfg(alg, nodes, wpn, opts)
+				cfg.EvalEvery = cfg.MaxIter // accuracy only needed at the end
+				res, err := core.Run(cfg, l.train, core.RunOptions{Test: l.test})
+				if err != nil {
+					return fmt.Errorf("fig6 %s/%s/%d: %w", dcfg.Name, alg, nodes, err)
+				}
+				results[alg][nodes] = cell{
+					cal:   res.TotalCalTime,
+					comm:  res.TotalCommTime,
+					sys:   res.SystemTime,
+					acc:   res.FinalAccuracy(),
+					bytes: res.TotalBytes,
+				}
+			}
+		}
+
+		tbl := metrics.NewTable(
+			fmt.Sprintf("Figure 6 — %s: system time (virtual) and accuracy vs cluster size (%d workers/node, %d iters)",
+				dcfg.Name, wpn, opts.MaxIter),
+			"nodes", "workers", "algorithm", "cal_time", "comm_time", "system_time", "accuracy", "comm_bytes")
+		for _, nodes := range nodesList {
+			for _, alg := range algs {
+				c := results[alg][nodes]
+				tbl.AddRow(nodes, nodes*wpn, string(alg),
+					metrics.Seconds(c.cal), metrics.Seconds(c.comm), metrics.Seconds(c.sys),
+					c.acc, metrics.Bytes(c.bytes))
+			}
+		}
+		if err := emit(opts, tbl); err != nil {
+			return err
+		}
+
+		// §5.4 headlines.
+		maxNodes := nodesList[len(nodesList)-1]
+		minNodes := nodesList[0]
+		p := results[core.PSRAHGADMM]
+		a := results[core.ADMMLib]
+		fmt.Fprintf(opts.Out,
+			"headline[%s]: system time PSRA-HGADMM vs ADMMLib at %d nodes: %.1f%% lower (%s vs %s)\n",
+			dcfg.Name, maxNodes,
+			metrics.Reduction(a[maxNodes].sys, p[maxNodes].sys),
+			metrics.Seconds(p[maxNodes].sys), metrics.Seconds(a[maxNodes].sys))
+		var pBytes, aBytes int64
+		for _, nodes := range nodesList {
+			pBytes += p[nodes].bytes
+			aBytes += a[nodes].bytes
+		}
+		fmt.Fprintf(opts.Out,
+			"headline[%s]: communication volume PSRA-HGADMM vs ADMMLib across the sweep: %.1f%% lower (%s vs %s)\n",
+			dcfg.Name,
+			metrics.Reduction(float64(aBytes), float64(pBytes)),
+			metrics.Bytes(pBytes), metrics.Bytes(aBytes))
+		fmt.Fprintf(opts.Out,
+			"headline[%s]: accuracy change %d→%d nodes: psra-hgadmm %+.2f%%, admmlib %+.2f%%, ad-admm %+.2f%%\n\n",
+			dcfg.Name, minNodes, maxNodes,
+			100*(p[maxNodes].acc-p[minNodes].acc),
+			100*(a[maxNodes].acc-a[minNodes].acc),
+			100*(results[core.ADADMM][maxNodes].acc-results[core.ADADMM][minNodes].acc))
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package collective implements the group communication algorithms the
+// paper studies, written against transport.Endpoint so they run unchanged
+// over the in-process and TCP fabrics:
+//
+//   - RingAllreduce (dense & sparse): the classic two-phase ring of
+//     Gibiansky/Baidu, the model used by ADMMLib.
+//   - PSRAllreduce (dense & sparse): the paper's contribution (§4.2) — the
+//     parameter-server-inspired variant in which block j is *owned* by
+//     group member j; Scatter-Reduce sends every block directly to its
+//     owner in one step, Allgather broadcasts each owned block back.
+//   - Reduce / Broadcast: the intra-node fan-in/fan-out the WLG hierarchy
+//     uses between workers and their Leader.
+//   - StarAllreduce: gather-to-master + broadcast, the communication
+//     pattern of the AD-ADMM baseline's master-worker architecture.
+//   - Barrier: BSP synchronization.
+//
+// Every operation returns a Trace of the messages this rank *sent*
+// (payload bytes and logical step), which the simnet cost model folds into
+// cluster time. Payload bytes follow the paper's accounting: 12 bytes per
+// sparse element (index+value), 8 per dense element.
+package collective
+
+import (
+	"fmt"
+
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/wire"
+)
+
+// Group is an ordered set of world ranks executing a collective together.
+// Position in Ranks defines the member index used by block ownership and
+// ring neighbourship. All members must call the collective with an equal
+// Group (same order).
+type Group struct {
+	Ranks []int
+}
+
+// NewGroup builds a group over the given world ranks.
+func NewGroup(ranks ...int) Group {
+	return Group{Ranks: ranks}
+}
+
+// WorldGroup returns the group of all ranks 0..n-1.
+func WorldGroup(n int) Group {
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return Group{Ranks: ranks}
+}
+
+// Size returns the number of members.
+func (g Group) Size() int { return len(g.Ranks) }
+
+// IndexOf returns the member index of world rank r, or -1.
+func (g Group) IndexOf(r int) int {
+	for i, gr := range g.Ranks {
+		if gr == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether world rank r is a member.
+func (g Group) Contains(r int) bool { return g.IndexOf(r) >= 0 }
+
+// Event records one message sent by the local rank during a collective.
+// Events with equal Step are logically concurrent across the cluster;
+// the cost model serializes same-source sends within a step through the
+// sender's NIC.
+type Event struct {
+	Step     int
+	From, To int
+	Bytes    int
+}
+
+// Trace is the local rank's send log for one collective invocation.
+type Trace struct {
+	// Steps is the number of logical steps the collective occupies,
+	// identical on every member regardless of how many events the local
+	// rank contributed.
+	Steps  int
+	Events []Event
+}
+
+func (t *Trace) add(step, from, to, bytes int) {
+	t.Events = append(t.Events, Event{Step: step, From: from, To: to, Bytes: bytes})
+}
+
+// TotalBytes sums the payload bytes of all local events.
+func (t *Trace) TotalBytes() int {
+	n := 0
+	for _, e := range t.Events {
+		n += e.Bytes
+	}
+	return n
+}
+
+// Merge appends other's events shifted after t's steps, producing the trace
+// of two collectives executed back to back.
+func (t *Trace) Merge(other Trace) {
+	for _, e := range other.Events {
+		e.Step += t.Steps
+		t.Events = append(t.Events, e)
+	}
+	t.Steps += other.Steps
+}
+
+func (g Group) validate(ep transport.Endpoint) (int, error) {
+	if g.Size() == 0 {
+		return 0, fmt.Errorf("collective: empty group")
+	}
+	me := g.IndexOf(ep.Rank())
+	if me < 0 {
+		return 0, fmt.Errorf("collective: rank %d not in group %v", ep.Rank(), g.Ranks)
+	}
+	seen := make(map[int]bool, g.Size())
+	for _, r := range g.Ranks {
+		if r < 0 || r >= ep.Size() {
+			return 0, fmt.Errorf("collective: group rank %d out of world [0,%d)", r, ep.Size())
+		}
+		if seen[r] {
+			return 0, fmt.Errorf("collective: duplicate rank %d in group", r)
+		}
+		seen[r] = true
+	}
+	return me, nil
+}
+
+// sendAsync performs the send on a separate goroutine so a rank can post
+// its send and immediately turn around to receive, avoiding distributed
+// deadlock on fabrics with bounded buffering (TCP).
+func sendAsync(ep transport.Endpoint, to int, m wire.Message) chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- ep.Send(to, m) }()
+	return ch
+}
+
+// Barrier blocks until every member of g has entered it. Implemented as a
+// star: members signal g.Ranks[0], which releases everyone. tag must be
+// unique to this synchronization point.
+func Barrier(ep transport.Endpoint, g Group, tag int32) (Trace, error) {
+	me, err := g.validate(ep)
+	if err != nil {
+		return Trace{}, err
+	}
+	tr := Trace{Steps: 2}
+	if g.Size() == 1 {
+		return tr, nil
+	}
+	root := g.Ranks[0]
+	if me == 0 {
+		for i := 1; i < g.Size(); i++ {
+			if _, err := ep.Recv(transport.AnySource, tag); err != nil {
+				return tr, err
+			}
+		}
+		for i := 1; i < g.Size(); i++ {
+			m := wire.Control(tag + 1)
+			if err := ep.Send(g.Ranks[i], m); err != nil {
+				return tr, err
+			}
+			tr.add(1, ep.Rank(), g.Ranks[i], wire.PayloadBytes(m))
+		}
+		return tr, nil
+	}
+	m := wire.Control(tag)
+	if err := ep.Send(root, m); err != nil {
+		return tr, err
+	}
+	tr.add(0, ep.Rank(), root, wire.PayloadBytes(m))
+	if _, err := ep.Recv(root, tag+1); err != nil {
+		return tr, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,107 @@
+package collective
+
+import (
+	"fmt"
+
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/wire"
+)
+
+// Recursive halving-doubling allreduce — the classic MPI large-message
+// algorithm (Rabenseifner): log₂N reduce-scatter steps that halve the
+// exchanged range while doubling the partner distance, then log₂N
+// allgather steps in reverse. Included as a third comparator alongside
+// Ring and PSR in the cost-model study: it matches Ring's bandwidth term
+// with logarithmic latency, but inherits the same sparse-data imbalance
+// sensitivity (each step ships whatever nonzeros fall in the circulating
+// half). The group size must be a power of two.
+
+// RHDAllreduceSparse sums the members' sparse vectors with recursive
+// halving-doubling. tagBase reserves tags [tagBase, tagBase+2).
+func RHDAllreduceSparse(ep transport.Endpoint, g Group, tagBase int32, v *sparse.Vector) (*sparse.Vector, Trace, error) {
+	me, err := g.validate(ep)
+	if err != nil {
+		return nil, Trace{}, err
+	}
+	p := g.Size()
+	if p&(p-1) != 0 {
+		return nil, Trace{}, fmt.Errorf("collective: RHD requires power-of-two group, got %d", p)
+	}
+	steps := 0
+	for 1<<steps < p {
+		steps++
+	}
+	tr := Trace{Steps: 2 * steps}
+	if p == 1 {
+		return v.Clone(), tr, nil
+	}
+
+	// cur is this member's working range, re-based to local coordinates;
+	// base is its absolute offset in the full vector.
+	cur := v.Clone()
+	base := 0
+
+	// Reduce-scatter: halve the range each step. Both partners compute
+	// half := curDim/2 on identical curDim (same exchange history), so the
+	// kept/sent pieces complement even for odd sizes.
+	for s := 0; s < steps; s++ {
+		partner := me ^ (1 << s)
+		half := cur.Dim / 2
+		var out, keep *sparse.Vector
+		if me&(1<<s) == 0 {
+			keep = cur.Slice(0, half)
+			out = cur.Slice(half, cur.Dim)
+		} else {
+			out = cur.Slice(0, half)
+			keep = cur.Slice(half, cur.Dim)
+		}
+		msg := wire.SparseMsg(tagBase, out)
+		bytes := wire.PayloadBytes(msg)
+		errc := sendAsync(ep, g.Ranks[partner], msg)
+		in, err := ep.Recv(g.Ranks[partner], tagBase)
+		if err != nil {
+			return nil, tr, err
+		}
+		if err := <-errc; err != nil {
+			return nil, tr, err
+		}
+		tr.add(s, ep.Rank(), g.Ranks[partner], bytes)
+		if in.Sparse.Dim != keep.Dim {
+			return nil, tr, fmt.Errorf("collective: RHD reduce dim %d, want %d", in.Sparse.Dim, keep.Dim)
+		}
+		cur = sparse.Merge(keep, in.Sparse)
+		if me&(1<<s) != 0 {
+			base += half
+		}
+	}
+
+	// Allgather: reverse pattern, doubling the range. Partner widths may
+	// differ by one element on odd splits; Concat handles both orders.
+	for s := steps - 1; s >= 0; s-- {
+		partner := me ^ (1 << s)
+		msg := wire.SparseMsg(tagBase+1, cur)
+		bytes := wire.PayloadBytes(msg)
+		errc := sendAsync(ep, g.Ranks[partner], msg)
+		in, err := ep.Recv(g.Ranks[partner], tagBase+1)
+		if err != nil {
+			return nil, tr, err
+		}
+		if err := <-errc; err != nil {
+			return nil, tr, err
+		}
+		tr.add(2*steps-1-s, ep.Rank(), g.Ranks[partner], bytes)
+		newDim := cur.Dim + in.Sparse.Dim
+		if me&(1<<s) == 0 {
+			// My range precedes the partner's.
+			cur = sparse.Concat(newDim, []int{0, cur.Dim}, []*sparse.Vector{cur, in.Sparse})
+		} else {
+			base -= in.Sparse.Dim
+			cur = sparse.Concat(newDim, []int{0, in.Sparse.Dim}, []*sparse.Vector{in.Sparse, cur})
+		}
+	}
+	if base != 0 || cur.Dim != v.Dim {
+		return nil, tr, fmt.Errorf("collective: RHD range bug base=%d dim=%d want dim %d", base, cur.Dim, v.Dim)
+	}
+	return cur, tr, nil
+}

@@ -1,0 +1,90 @@
+package collective
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/vec"
+)
+
+func TestRHDAllreduceCorrectness(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		for _, dim := range []int{1, 7, 64, 301} {
+			t.Run(fmt.Sprintf("n=%d/dim=%d", n, dim), func(t *testing.T) {
+				r := rand.New(rand.NewSource(int64(n*77 + dim)))
+				vs, want := sparseInputs(r, n, dim, 0.3)
+				g := WorldGroup(n)
+				var mu sync.Mutex
+				results := make([]*sparse.Vector, n)
+				runRanks(t, n, func(ep transport.Endpoint) error {
+					out, tr, err := RHDAllreduceSparse(ep, g, 40, vs[ep.Rank()])
+					if err != nil {
+						return err
+					}
+					if n > 1 {
+						wantSteps := 0
+						for 1<<wantSteps < n {
+							wantSteps++
+						}
+						if tr.Steps != 2*wantSteps {
+							return fmt.Errorf("steps = %d, want %d", tr.Steps, 2*wantSteps)
+						}
+					}
+					mu.Lock()
+					results[ep.Rank()] = out
+					mu.Unlock()
+					return nil
+				})
+				for rk, got := range results {
+					if err := got.Check(); err != nil {
+						t.Fatalf("rank %d invariant: %v", rk, err)
+					}
+					if !vec.WithinTol(got.ToDense(), want, 1e-9) {
+						t.Fatalf("rank %d RHD result wrong", rk)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestRHDRejectsNonPowerOfTwo(t *testing.T) {
+	runRanks(t, 3, func(ep transport.Endpoint) error {
+		v := sparse.NewVector(8, 0)
+		_, _, err := RHDAllreduceSparse(ep, WorldGroup(3), 1, v)
+		if err == nil {
+			return fmt.Errorf("rank %d: 3-member RHD accepted", ep.Rank())
+		}
+		return nil
+	})
+}
+
+func TestRHDLogarithmicMessageCount(t *testing.T) {
+	// Each member sends exactly 2·log₂N messages — the latency advantage
+	// over the ring's 2(N−1).
+	r := rand.New(rand.NewSource(80))
+	n := 8
+	vs, _ := sparseInputs(r, n, 200, 0.2)
+	g := WorldGroup(n)
+	var mu sync.Mutex
+	counts := make([]int, n)
+	runRanks(t, n, func(ep transport.Endpoint) error {
+		_, tr, err := RHDAllreduceSparse(ep, g, 1, vs[ep.Rank()])
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		counts[ep.Rank()] = len(tr.Events)
+		mu.Unlock()
+		return nil
+	})
+	for rk, c := range counts {
+		if c != 6 { // 2·log₂8
+			t.Fatalf("rank %d sent %d messages, want 6", rk, c)
+		}
+	}
+}

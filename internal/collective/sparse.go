@@ -1,0 +1,265 @@
+package collective
+
+import (
+	"fmt"
+
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/vec"
+	"psrahgadmm/internal/wire"
+)
+
+// RingAllreduceSparse sums the members' sparse vectors (all of dimension
+// v.Dim) with the ring schedule, transmitting only nonzeros. The returned
+// vector is the global sum. Unlike the dense variant, per-step message
+// sizes depend on where the nonzeros sit — which is exactly the sensitivity
+// the paper analyzes in eqs. (11)–(13): a block that accumulates all the
+// nonzeros grows linearly as it travels the ring.
+func RingAllreduceSparse(ep transport.Endpoint, g Group, tagBase int32, v *sparse.Vector) (*sparse.Vector, Trace, error) {
+	me, err := g.validate(ep)
+	if err != nil {
+		return nil, Trace{}, err
+	}
+	p := g.Size()
+	tr := Trace{Steps: 2 * (p - 1)}
+	if p == 1 {
+		return v.Clone(), tr, nil
+	}
+	chunks := vec.Split(v.Dim, p)
+	next := g.Ranks[(me+1)%p]
+	prev := g.Ranks[(me-1+p)%p]
+
+	// blocks[j] is this member's current (partially reduced) copy of block j.
+	blocks := make([]*sparse.Vector, p)
+	for j, c := range chunks {
+		blocks[j] = v.Slice(c.Lo, c.Hi)
+	}
+
+	for s := 0; s < p-1; s++ {
+		sendIdx := (me - s + p*p) % p
+		recvIdx := (me - s - 1 + p*p) % p
+		msg := wire.SparseMsg(tagBase, blocks[sendIdx])
+		bytes := wire.PayloadBytes(msg)
+		errc := sendAsync(ep, next, msg)
+		in, err := ep.Recv(prev, tagBase)
+		if err != nil {
+			return nil, tr, err
+		}
+		if err := <-errc; err != nil {
+			return nil, tr, err
+		}
+		tr.add(s, ep.Rank(), next, bytes)
+		if in.Sparse.Dim != blocks[recvIdx].Dim {
+			return nil, tr, fmt.Errorf("collective: ring sparse block dim %d, want %d", in.Sparse.Dim, blocks[recvIdx].Dim)
+		}
+		blocks[recvIdx] = sparse.Merge(blocks[recvIdx], in.Sparse)
+	}
+
+	for s := 0; s < p-1; s++ {
+		sendIdx := (me + 1 - s + p*p) % p
+		recvIdx := (me - s + p*p) % p
+		msg := wire.SparseMsg(tagBase+1, blocks[sendIdx])
+		bytes := wire.PayloadBytes(msg)
+		errc := sendAsync(ep, next, msg)
+		in, err := ep.Recv(prev, tagBase+1)
+		if err != nil {
+			return nil, tr, err
+		}
+		if err := <-errc; err != nil {
+			return nil, tr, err
+		}
+		tr.add(p-1+s, ep.Rank(), next, bytes)
+		if in.Sparse.Dim != blocks[recvIdx].Dim {
+			return nil, tr, fmt.Errorf("collective: ring sparse gather dim %d, want %d", in.Sparse.Dim, blocks[recvIdx].Dim)
+		}
+		blocks[recvIdx] = in.Sparse
+	}
+
+	offsets := make([]int, p)
+	for j, c := range chunks {
+		offsets[j] = c.Lo
+	}
+	return sparse.Concat(v.Dim, offsets, blocks), tr, nil
+}
+
+// PSRAllreduceSparse sums the members' sparse vectors with the paper's
+// PSR-Allreduce schedule: block j goes straight to owner j (one
+// Scatter-Reduce step), then each owner sends its finished block to every
+// other member (one Allgather step). Sparse cost is bounded by c·θ in the
+// scatter step and c·θ·(N−1) in the gather step (paper eqs. 14–15),
+// independent of where the nonzeros concentrate — the robustness property
+// PSRA-HGADMM is built on.
+func PSRAllreduceSparse(ep transport.Endpoint, g Group, tagBase int32, v *sparse.Vector) (*sparse.Vector, Trace, error) {
+	me, err := g.validate(ep)
+	if err != nil {
+		return nil, Trace{}, err
+	}
+	p := g.Size()
+	tr := Trace{Steps: 2}
+	if p == 1 {
+		return v.Clone(), tr, nil
+	}
+	chunks := vec.Split(v.Dim, p)
+	mine := chunks[me]
+
+	// Scatter-Reduce: send block j to its owner, accumulate arrivals into
+	// my own block.
+	errcs := make([]chan error, 0, p-1)
+	for j := 0; j < p; j++ {
+		if j == me {
+			continue
+		}
+		blk := v.Slice(chunks[j].Lo, chunks[j].Hi)
+		msg := wire.SparseMsg(tagBase, blk)
+		tr.add(0, ep.Rank(), g.Ranks[j], wire.PayloadBytes(msg))
+		errcs = append(errcs, sendAsync(ep, g.Ranks[j], msg))
+	}
+	// Collect contributions first, then reduce in member order so float
+	// association is independent of arrival order (bit-reproducibility).
+	arrivals := make([]*sparse.Vector, p)
+	for j := 0; j < p-1; j++ {
+		in, err := ep.Recv(transport.AnySource, tagBase)
+		if err != nil {
+			return nil, tr, err
+		}
+		if in.Sparse.Dim != mine.Hi-mine.Lo {
+			return nil, tr, fmt.Errorf("collective: psr sparse scatter dim %d, want %d", in.Sparse.Dim, mine.Hi-mine.Lo)
+		}
+		src := g.IndexOf(int(in.From))
+		if src < 0 || src == me || arrivals[src] != nil {
+			return nil, tr, fmt.Errorf("collective: psr sparse scatter unexpected sender %d", in.From)
+		}
+		arrivals[src] = in.Sparse
+	}
+	arrivals[me] = v.Slice(mine.Lo, mine.Hi)
+	acc := sparse.NewAccumulator(mine.Hi - mine.Lo)
+	for _, a := range arrivals {
+		if a != nil {
+			acc.Add(a)
+		}
+	}
+	for _, c := range errcs {
+		if err := <-c; err != nil {
+			return nil, tr, err
+		}
+	}
+	myBlock := acc.Sum()
+
+	// Allgather: broadcast my finished block, collect the rest.
+	errcs = errcs[:0]
+	msg := wire.SparseMsg(tagBase+1, myBlock)
+	bytes := wire.PayloadBytes(msg)
+	for j := 0; j < p; j++ {
+		if j == me {
+			continue
+		}
+		tr.add(1, ep.Rank(), g.Ranks[j], bytes)
+		errcs = append(errcs, sendAsync(ep, g.Ranks[j], msg))
+	}
+	blocks := make([]*sparse.Vector, p)
+	blocks[me] = myBlock
+	for j := 0; j < p-1; j++ {
+		in, err := ep.Recv(transport.AnySource, tagBase+1)
+		if err != nil {
+			return nil, tr, err
+		}
+		src := g.IndexOf(int(in.From))
+		if src < 0 || src == me {
+			return nil, tr, fmt.Errorf("collective: psr sparse gather from unexpected rank %d", in.From)
+		}
+		if in.Sparse.Dim != chunks[src].Hi-chunks[src].Lo {
+			return nil, tr, fmt.Errorf("collective: psr sparse gather dim %d, want %d", in.Sparse.Dim, chunks[src].Hi-chunks[src].Lo)
+		}
+		blocks[src] = in.Sparse
+	}
+	for _, c := range errcs {
+		if err := <-c; err != nil {
+			return nil, tr, err
+		}
+	}
+	offsets := make([]int, p)
+	for j, c := range chunks {
+		offsets[j] = c.Lo
+	}
+	return sparse.Concat(v.Dim, offsets, blocks), tr, nil
+}
+
+// ReduceSparse sums every member's vector at the root member and returns
+// the sum there; non-root members receive nil.
+func ReduceSparse(ep transport.Endpoint, g Group, tagBase int32, rootIdx int, v *sparse.Vector) (*sparse.Vector, Trace, error) {
+	me, err := g.validate(ep)
+	if err != nil {
+		return nil, Trace{}, err
+	}
+	if rootIdx < 0 || rootIdx >= g.Size() {
+		return nil, Trace{}, fmt.Errorf("collective: root index %d out of group", rootIdx)
+	}
+	tr := Trace{Steps: 1}
+	if me != rootIdx {
+		msg := wire.SparseMsg(tagBase, v)
+		if err := ep.Send(g.Ranks[rootIdx], msg); err != nil {
+			return nil, tr, err
+		}
+		tr.add(0, ep.Rank(), g.Ranks[rootIdx], wire.PayloadBytes(msg))
+		return nil, tr, nil
+	}
+	arrivals := make([]*sparse.Vector, g.Size())
+	for j := 0; j < g.Size()-1; j++ {
+		in, err := ep.Recv(transport.AnySource, tagBase)
+		if err != nil {
+			return nil, tr, err
+		}
+		if in.Sparse.Dim != v.Dim {
+			return nil, tr, fmt.Errorf("collective: sparse reduce dim %d, want %d", in.Sparse.Dim, v.Dim)
+		}
+		src := g.IndexOf(int(in.From))
+		if src < 0 || src == me || arrivals[src] != nil {
+			return nil, tr, fmt.Errorf("collective: sparse reduce unexpected sender %d", in.From)
+		}
+		arrivals[src] = in.Sparse
+	}
+	arrivals[me] = v
+	acc := sparse.NewAccumulator(v.Dim)
+	for _, a := range arrivals {
+		if a != nil {
+			acc.Add(a)
+		}
+	}
+	return acc.Sum(), tr, nil
+}
+
+// BroadcastSparse sends the root's vector to every member and returns each
+// member's copy (the root gets its own vector back unchanged).
+func BroadcastSparse(ep transport.Endpoint, g Group, tagBase int32, rootIdx int, v *sparse.Vector) (*sparse.Vector, Trace, error) {
+	me, err := g.validate(ep)
+	if err != nil {
+		return nil, Trace{}, err
+	}
+	if rootIdx < 0 || rootIdx >= g.Size() {
+		return nil, Trace{}, fmt.Errorf("collective: root index %d out of group", rootIdx)
+	}
+	tr := Trace{Steps: 1}
+	if me == rootIdx {
+		msg := wire.SparseMsg(tagBase, v)
+		bytes := wire.PayloadBytes(msg)
+		errcs := make([]chan error, 0, g.Size()-1)
+		for j := 0; j < g.Size(); j++ {
+			if j == rootIdx {
+				continue
+			}
+			tr.add(0, ep.Rank(), g.Ranks[j], bytes)
+			errcs = append(errcs, sendAsync(ep, g.Ranks[j], msg))
+		}
+		for _, c := range errcs {
+			if err := <-c; err != nil {
+				return nil, tr, err
+			}
+		}
+		return v, tr, nil
+	}
+	in, err := ep.Recv(g.Ranks[rootIdx], tagBase)
+	if err != nil {
+		return nil, tr, err
+	}
+	return in.Sparse, tr, nil
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/vec"
+	"psrahgadmm/internal/wire"
+)
+
+// commKind selects which allreduce schedule a leader group runs.
+type commKind int
+
+const (
+	commPSRSparse commKind = iota
+	commRingSparse
+)
+
+// groupAllreduce runs the *actual* collective implementation among the
+// given world ranks over the engine's scratch fabric — one goroutine per
+// member — and returns the aggregated vector plus the merged trace. The
+// engine's virtual clock is driven by real message sizes, not an analytic
+// formula; this is what keeps the Figure 6/7 communication times honest
+// about sparsity.
+func groupAllreduce(fab *transport.ChanFabric, ranks []int, kind commKind, tagBase int32, inputs []*sparse.Vector) (*sparse.Vector, collective.Trace, error) {
+	if len(ranks) != len(inputs) {
+		panic("core: groupAllreduce ranks/inputs mismatch")
+	}
+	g := collective.NewGroup(ranks...)
+	results := make([]*sparse.Vector, len(ranks))
+	traces := make([]collective.Trace, len(ranks))
+	errs := make([]error, len(ranks))
+	var wg sync.WaitGroup
+	for i := range ranks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep := fab.Endpoint(ranks[i])
+			switch kind {
+			case commPSRSparse:
+				results[i], traces[i], errs[i] = collective.PSRAllreduceSparse(ep, g, tagBase, inputs[i])
+			case commRingSparse:
+				results[i], traces[i], errs[i] = collective.RingAllreduceSparse(ep, g, tagBase, inputs[i])
+			default:
+				errs[i] = fmt.Errorf("core: unknown comm kind %d", kind)
+			}
+		}(i)
+	}
+	wg.Wait()
+	merged := collective.Trace{}
+	for i := range ranks {
+		if errs[i] != nil {
+			return nil, merged, fmt.Errorf("core: group allreduce rank %d: %w", ranks[i], errs[i])
+		}
+		if traces[i].Steps > merged.Steps {
+			merged.Steps = traces[i].Steps
+		}
+		merged.Events = append(merged.Events, traces[i].Events...)
+	}
+	// All members hold the identical aggregate; return member 0's.
+	return results[0], merged, nil
+}
+
+// groupAllreduceDense runs the real dense Ring-Allreduce among the given
+// world ranks — ADMMLib's exchange: the full parameter vector circulates
+// regardless of sparsity. Inputs are summed in place into per-member
+// copies; member 0's result and the merged trace are returned.
+func groupAllreduceDense(fab *transport.ChanFabric, ranks []int, tagBase int32, inputs [][]float64) ([]float64, collective.Trace, error) {
+	if len(ranks) != len(inputs) {
+		panic("core: groupAllreduceDense ranks/inputs mismatch")
+	}
+	g := collective.NewGroup(ranks...)
+	bufs := make([][]float64, len(ranks))
+	traces := make([]collective.Trace, len(ranks))
+	errs := make([]error, len(ranks))
+	var wg sync.WaitGroup
+	for i := range ranks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bufs[i] = append([]float64(nil), inputs[i]...)
+			traces[i], errs[i] = collective.RingAllreduceDense(fab.Endpoint(ranks[i]), g, tagBase, bufs[i])
+		}(i)
+	}
+	wg.Wait()
+	merged := collective.Trace{}
+	for i := range ranks {
+		if errs[i] != nil {
+			return nil, merged, fmt.Errorf("core: dense group allreduce rank %d: %w", ranks[i], errs[i])
+		}
+		if traces[i].Steps > merged.Steps {
+			merged.Steps = traces[i].Steps
+		}
+		merged.Events = append(merged.Events, traces[i].Events...)
+	}
+	return bufs[0], merged, nil
+}
+
+// scaleTraceBytes multiplies every event's byte count by num/den —
+// used to model ADMMLib's single-precision exchange (4 bytes per element
+// instead of 8) without forking the collectives.
+func scaleTraceBytes(tr collective.Trace, num, den int) collective.Trace {
+	out := collective.Trace{Steps: tr.Steps, Events: make([]collective.Event, len(tr.Events))}
+	for i, e := range tr.Events {
+		e.Bytes = e.Bytes * num / den
+		out.Events[i] = e
+	}
+	return out
+}
+
+// quantScale rescales a sparse-exchange trace's bytes for the configured
+// quantization (12 bytes per element → 4 + bits/8). No-op when bits is 0.
+func quantScale(tr collective.Trace, bits int) collective.Trace {
+	if bits == 0 {
+		return tr
+	}
+	return scaleTraceBytes(tr, quantEntryBytes(bits), 12)
+}
+
+// traceBytes sums payload bytes across a merged trace.
+func traceBytes(tr collective.Trace) int64 {
+	var n int64
+	for _, e := range tr.Events {
+		n += int64(e.Bytes)
+	}
+	return n
+}
+
+// traceAlias lets sibling files name collective.Trace in struct literals
+// without re-importing.
+type traceAlias = collective.Trace
+
+// denseFanTrace models a one-step dense fan over the node bus: reduce=true
+// is the workers→leader fan-in, reduce=false the leader→workers fan-out.
+// Every message has the same fixed size (dense vectors).
+func denseFanTrace(workers []int, leader int, msgBytes int, reduce bool) collective.Trace {
+	tr := collective.Trace{Steps: 1}
+	for _, r := range workers {
+		if r == leader {
+			continue
+		}
+		e := collective.Event{Step: 0, From: r, To: leader, Bytes: msgBytes}
+		if !reduce {
+			e.From, e.To = leader, r
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	return tr
+}
+
+// intraReduceTrace models the intra-node fan-in of workers' w vectors to
+// their Leader: one step, wpn−1 messages over the bus. Message sizes use
+// the senders' actual sparse sizes.
+func intraReduceTrace(workers []int, leader int, nnzs []int) collective.Trace {
+	tr := collective.Trace{Steps: 1}
+	for i, r := range workers {
+		if r == leader {
+			continue
+		}
+		tr.Events = append(tr.Events, collective.Event{
+			Step: 0, From: r, To: leader,
+			Bytes: 8 + wire.SparseEntryBytes*nnzs[i],
+		})
+	}
+	return tr
+}
+
+// intraBcastTrace models the Leader broadcasting the aggregate back: one
+// step, wpn−1 bus messages of the aggregate's size.
+func intraBcastTrace(workers []int, leader, aggNNZ int) collective.Trace {
+	tr := collective.Trace{Steps: 1}
+	for _, r := range workers {
+		if r == leader {
+			continue
+		}
+		tr.Events = append(tr.Events, collective.Event{
+			Step: 0, From: leader, To: r,
+			Bytes: 8 + wire.SparseEntryBytes*aggNNZ,
+		})
+	}
+	return tr
+}
+
+// ggRequestBytes is the payload of a Leader→GG grouping request plus the
+// reply (a handful of int64s). The GG round trip is charged at inter-node
+// cost.
+const ggRequestBytes = 4 + 8*2
+
+// zFromW applies the L1 z-update (eq. 10, N·ρ scaling) directly on a
+// sparse W: only entries with |W_j| > λ survive, which is why the
+// downstream distribution ships z rather than W — same math, a fraction of
+// the bytes.
+func zFromW(w *sparse.Vector, lambda, rho float64, n int) *sparse.Vector {
+	inv := 1 / (rho * float64(n))
+	out := sparse.NewVector(w.Dim, 0)
+	for k, idx := range w.Index {
+		if v := vec.SoftThreshold(w.Value[k], lambda) * inv; v != 0 {
+			out.Index = append(out.Index, idx)
+			out.Value = append(out.Value, v)
+		}
+	}
+	return out
+}
+
+// sparseW compresses a worker's dense w into the sparse vector the
+// collectives ship. Exact zeros — features never touched by data, duals,
+// or consensus — are what make the exchange sparse in early iterations and
+// on small shards.
+func sparseW(w []float64) *sparse.Vector { return sparse.FromDense(w) }
+
+// sumSparse adds vs in index order (deterministic association).
+func sumSparse(dim int, vs []*sparse.Vector) *sparse.Vector {
+	acc := sparse.NewAccumulator(dim)
+	for _, v := range vs {
+		acc.Add(v)
+	}
+	return acc.Sum()
+}
+
+// starGatherTrace models AD-ADMM's master-side exchange for one round:
+// step 0, each fresh worker ships its primal and dual vectors (2·d dense
+// doubles) to the master; step 1, the master returns the new z (d dense
+// doubles) to each fresh worker. The master's NIC serializes both sides —
+// the scaling bottleneck the paper attributes to AD-ADMM.
+func starGatherTrace(master int, fresh []int, dim int) collective.Trace {
+	up := 4 + wire.DenseEntryBytes*dim*2
+	down := 4 + wire.DenseEntryBytes*dim
+	tr := collective.Trace{Steps: 2}
+	for _, r := range fresh {
+		if r == master {
+			continue
+		}
+		tr.Events = append(tr.Events,
+			collective.Event{Step: 0, From: r, To: master, Bytes: up},
+			collective.Event{Step: 1, From: master, To: r, Bytes: down},
+		)
+	}
+	return tr
+}
+
+// quantizeF32 rounds every element to float32 precision in place,
+// modeling ADMMLib's single-precision parameter exchange (the accuracy
+// cost §2 of the paper attributes to reduced-precision schemes).
+func quantizeF32(x []float64) {
+	for i, v := range x {
+		x[i] = float64(float32(v))
+	}
+}
+
+// quantizeSparseF32 rounds a sparse vector's values to float32 precision.
+func quantizeSparseF32(v *sparse.Vector) {
+	for i, val := range v.Value {
+		v.Value[i] = float64(float32(val))
+	}
+	// float32 rounding cannot produce new zeros from nonzeros except for
+	// subnormal underflow; drop those to preserve the no-stored-zeros
+	// invariant.
+	kept := 0
+	for i := range v.Value {
+		if v.Value[i] != 0 {
+			v.Index[kept] = v.Index[i]
+			v.Value[kept] = v.Value[i]
+			kept++
+		}
+	}
+	v.Index = v.Index[:kept]
+	v.Value = v.Value[:kept]
+}

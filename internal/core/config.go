@@ -1,0 +1,258 @@
+// Package core implements the paper's algorithm family on top of the
+// substrate packages:
+//
+//   - PSRAHGADMM — the contribution: hierarchical grouping consensus ADMM
+//     with PSR-Allreduce among dynamically formed Leader groups (BSP).
+//   - PSRAADMM — the flat variant: PSR-Allreduce across all workers, no
+//     hierarchy (the §4.2 algorithm before the WLG framework is added).
+//   - ADMMLib — baseline: hierarchical Ring-Allreduce with SSP (stale
+//     synchronous parallel, Min_barrier/Max_delay) and single-precision
+//     parameter exchange, after Xie & Lei's ADMMLIB.
+//   - ADADMM — baseline: asynchronous master–worker consensus ADMM with
+//     partial barrier and bounded delay, after Zhang & Kwok.
+//   - GRADMM — baseline after Huang, Wang & Lei's GR-ADMM (the paper's
+//     ref. [9]): the same BSP hierarchy as PSRA-HGADMM but sparse
+//     Ring-Allreduce among all Leaders and no dynamic grouping —
+//     isolating the PSR-vs-Ring schedule at identical synchronization
+//     semantics.
+//   - GCADMM — classic fully synchronous master–worker global consensus
+//     ADMM, the textbook reference point.
+//
+// The engine executes real numerics (TRON subproblem solves, exact sparse
+// aggregation through the collective implementations) under a deterministic
+// virtual clock from package simnet. Given equal (Config, data), two runs
+// produce bit-identical histories.
+package core
+
+import (
+	"fmt"
+
+	"psrahgadmm/internal/simnet"
+	"psrahgadmm/internal/solver"
+)
+
+// ConsensusMode selects PSRA-HGADMM's aggregation breadth per iteration.
+type ConsensusMode string
+
+// The implemented consensus modes.
+const (
+	ConsensusGlobal ConsensusMode = "global"
+	ConsensusGroup  ConsensusMode = "group"
+)
+
+// Algorithm names one of the implemented consensus-ADMM variants.
+type Algorithm string
+
+// The implemented algorithms.
+const (
+	PSRAHGADMM Algorithm = "psra-hgadmm"
+	PSRAADMM   Algorithm = "psra-admm"
+	GRADMM     Algorithm = "gr-admm"
+	ADMMLib    Algorithm = "admmlib"
+	ADADMM     Algorithm = "ad-admm"
+	GCADMM     Algorithm = "gc-admm"
+)
+
+// Algorithms lists every implemented variant in presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{PSRAHGADMM, PSRAADMM, GRADMM, ADMMLib, ADADMM, GCADMM}
+}
+
+// Valid reports whether a is a known algorithm.
+func (a Algorithm) Valid() bool {
+	switch a {
+	case PSRAHGADMM, PSRAADMM, GRADMM, ADMMLib, ADADMM, GCADMM:
+		return true
+	}
+	return false
+}
+
+// Config parameterizes one training run.
+type Config struct {
+	Algorithm Algorithm
+	// Topo lays out the virtual cluster. The worker count is Topo.Size().
+	Topo simnet.Topology
+	// Rho is the ADMM penalty parameter.
+	Rho float64
+	// Lambda is the L1 regularization weight (paper: λ = 1).
+	Lambda float64
+	// MaxIter is the outer iteration count (paper: 100).
+	MaxIter int
+	// GroupThreshold is the WLG GQ batching threshold in nodes
+	// (PSRA-HGADMM only). 0 or out of range means all nodes — exact
+	// global consensus, the paper's "ungrouped" baseline.
+	GroupThreshold int
+	// Consensus selects how far PSRA-HGADMM's group aggregates propagate
+	// each iteration. The paper's Algorithms 1–3 are ambiguous here, so
+	// both readings are implemented (see DESIGN.md):
+	//
+	//   - ConsensusGlobal (default): group partials re-enter the GG queue
+	//     and merge in a staged tree until W is exact global consensus —
+	//     the reading Figure 5's convergence requires.
+	//   - ConsensusGroup: one grouping round per iteration; each group
+	//     computes z from its own members only (scaled by the group's
+	//     worker count). Fast groups never wait for slow nodes — the
+	//     reading Figure 7's straggler isolation requires — at the cost
+	//     of consensus breadth per iteration.
+	Consensus ConsensusMode
+	// MinBarrier is the SSP partial-barrier size in workers (ADMMLib,
+	// AD-ADMM). 0 defaults to half the workers, the paper's setting.
+	MinBarrier int
+	// MaxDelay is the SSP staleness bound in rounds. 0 defaults to 5, the
+	// paper's setting.
+	MaxDelay int
+	// Tron configures the subproblem solver.
+	Tron solver.TronOptions
+	// Cost is the virtual-time model. Zero value defaults to
+	// simnet.Tianhe2Like().
+	Cost simnet.CostModel
+	// Stragglers optionally injects slow nodes (Figure 7).
+	Stragglers simnet.Stragglers
+	// Jitter optionally injects mild per-worker compute variance (real
+	// clusters always have some; it is what makes SSP staleness real).
+	Jitter simnet.Jitter
+	// EvalEvery computes objective/accuracy every k iterations (default 1).
+	EvalEvery int
+	// Tol enables residual-based early stopping: the run ends once both
+	// the primal residual ‖r‖ = sqrt(Σ‖xᵢ−z‖²) and the dual residual
+	// ‖s‖ = ρ√N‖z−z_prev‖ fall below Tol. 0 disables (fixed MaxIter, the
+	// paper's protocol).
+	Tol float64
+	// AdaptiveRho enables residual-balancing penalty adaptation (the
+	// AADMM idea the paper cites): ρ×=RhoTau when ‖r‖ > RhoMu·‖s‖,
+	// ρ/=RhoTau in the opposite regime. The residual norms are globally
+	// agreed scalars, so the extra communication is negligible.
+	AdaptiveRho bool
+	// RhoMu and RhoTau are the balancing parameters (defaults 10 and 2).
+	RhoMu, RhoTau float64
+	// QuantBits, when 8 or 16, quantizes every communicated w
+	// contribution to that many value bits with a per-vector max-abs
+	// scale (the Q-GADMM-style lossy option). 0 keeps full float64
+	// precision. Applies to the PSRA algorithms' sparse exchange.
+	QuantBits int
+}
+
+func (c *Config) fill() {
+	if c.MinBarrier <= 0 || c.MinBarrier > c.Topo.Size() {
+		c.MinBarrier = (c.Topo.Size() + 1) / 2
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 5
+	}
+	if c.Cost == (simnet.CostModel{}) {
+		c.Cost = simnet.Tianhe2Like()
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 1
+	}
+	if c.GroupThreshold < 1 || c.GroupThreshold > c.Topo.Nodes {
+		c.GroupThreshold = c.Topo.Nodes
+	}
+	if c.Consensus == "" {
+		c.Consensus = ConsensusGlobal
+	}
+	if c.RhoMu <= 0 {
+		c.RhoMu = 10
+	}
+	if c.RhoTau <= 1 {
+		c.RhoTau = 2
+	}
+}
+
+// Validate checks the configuration before a run.
+func (c Config) Validate() error {
+	if !c.Algorithm.Valid() {
+		return fmt.Errorf("core: unknown algorithm %q", c.Algorithm)
+	}
+	if err := c.Topo.Validate(); err != nil {
+		return err
+	}
+	if c.Rho <= 0 {
+		return fmt.Errorf("core: Rho must be positive, got %v", c.Rho)
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("core: Lambda must be non-negative, got %v", c.Lambda)
+	}
+	if c.MaxIter <= 0 {
+		return fmt.Errorf("core: MaxIter must be positive, got %d", c.MaxIter)
+	}
+	if c.Consensus != "" && c.Consensus != ConsensusGlobal && c.Consensus != ConsensusGroup {
+		return fmt.Errorf("core: unknown consensus mode %q", c.Consensus)
+	}
+	if c.QuantBits != 0 && c.QuantBits != 8 && c.QuantBits != 16 {
+		return fmt.Errorf("core: QuantBits must be 0, 8 or 16, got %d", c.QuantBits)
+	}
+	if c.Tol < 0 {
+		return fmt.Errorf("core: Tol must be non-negative")
+	}
+	return nil
+}
+
+// IterStat records one iteration of a run. Times are virtual seconds from
+// the simnet cost model; bytes are actual payload bytes the collectives
+// sent.
+type IterStat struct {
+	Iter int
+	// Objective is the global L1-logistic objective (paper eq. 17)
+	// evaluated at the mean consensus iterate. NaN when skipped by
+	// EvalEvery.
+	Objective float64
+	// RelError is |f − f*| / f* against the reference optimum when one
+	// was supplied (paper eq. 18); NaN otherwise.
+	RelError float64
+	// Accuracy is test-set accuracy at the mean consensus iterate; NaN
+	// when no test set was supplied or evaluation was skipped.
+	Accuracy float64
+	// CalTime is the mean per-worker compute time of this iteration.
+	CalTime float64
+	// CommTime is the iteration's elapsed virtual time beyond CalTime:
+	// transfer plus synchronization wait.
+	CommTime float64
+	// Bytes is the total communication payload of the iteration.
+	Bytes int64
+	// PrimalRes and DualRes are the consensus residual norms (always
+	// computed; they drive Tol stopping and AdaptiveRho).
+	PrimalRes, DualRes float64
+	// Rho is the penalty in effect during this iteration (changes only
+	// under AdaptiveRho).
+	Rho float64
+}
+
+// Result is a completed run.
+type Result struct {
+	Config  Config
+	History []IterStat
+	// Z is the final mean consensus iterate.
+	Z []float64
+	// TotalCalTime/TotalCommTime/SystemTime aggregate the virtual clock:
+	// SystemTime = TotalCalTime + TotalCommTime = the paper's "system
+	// time".
+	TotalCalTime  float64
+	TotalCommTime float64
+	SystemTime    float64
+	// TotalBytes is the cumulative communication volume.
+	TotalBytes int64
+	// Stopped reports whether residual-based early stopping fired before
+	// MaxIter (History is then shorter than Config.MaxIter).
+	Stopped bool
+}
+
+// FinalObjective returns the last evaluated objective value.
+func (r *Result) FinalObjective() float64 {
+	for i := len(r.History) - 1; i >= 0; i-- {
+		if !isNaN(r.History[i].Objective) {
+			return r.History[i].Objective
+		}
+	}
+	return nan()
+}
+
+// FinalAccuracy returns the last evaluated test accuracy.
+func (r *Result) FinalAccuracy() float64 {
+	for i := len(r.History) - 1; i >= 0; i-- {
+		if !isNaN(r.History[i].Accuracy) {
+			return r.History[i].Accuracy
+		}
+	}
+	return nan()
+}

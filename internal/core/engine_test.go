@@ -1,0 +1,327 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"psrahgadmm/internal/dataset"
+	"psrahgadmm/internal/simnet"
+	"psrahgadmm/internal/vec"
+)
+
+// testData builds a small, learnable synthetic problem shared by the
+// engine tests.
+func testData(t testing.TB, rows int) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	train, test, err := dataset.Generate(dataset.SynthConfig{
+		Name: "eng", Dim: 200, TrainRows: rows, TestRows: 60, RowNNZ: 10,
+		ZipfS: 1.3, SignalNNZ: 30, NoiseFlip: 0.02, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func baseConfig(alg Algorithm, nodes, wpn int) Config {
+	return Config{
+		Algorithm: alg,
+		Topo:      simnet.Topology{Nodes: nodes, WorkersPerNode: wpn},
+		Rho:       1.0,
+		Lambda:    0.5,
+		MaxIter:   30,
+	}
+}
+
+func TestAllAlgorithmsReduceObjective(t *testing.T) {
+	train, test := testData(t, 160)
+	for _, alg := range Algorithms() {
+		t.Run(string(alg), func(t *testing.T) {
+			cfg := baseConfig(alg, 4, 2)
+			res, err := Run(cfg, train, RunOptions{Test: test})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.History) != cfg.MaxIter {
+				t.Fatalf("history length %d", len(res.History))
+			}
+			first := res.History[0].Objective
+			last := res.FinalObjective()
+			if isNaN(first) || isNaN(last) {
+				t.Fatal("objective not evaluated")
+			}
+			if last >= first {
+				t.Fatalf("objective did not decrease: %v → %v", first, last)
+			}
+			acc := res.FinalAccuracy()
+			if isNaN(acc) || acc < 0.6 {
+				t.Fatalf("final accuracy %v too low", acc)
+			}
+			if res.SystemTime <= 0 || res.TotalBytes <= 0 {
+				t.Fatalf("timing/bytes not accounted: %+v", res.SystemTime)
+			}
+		})
+	}
+}
+
+func TestExactAlgorithmsAgree(t *testing.T) {
+	// GC-ADMM, flat PSRA-ADMM, and PSRA-HGADMM with a single global group
+	// compute the same exact consensus recursion; their objectives must
+	// agree to float tolerance at every iteration.
+	train, _ := testData(t, 120)
+	run := func(alg Algorithm, threshold int) []IterStat {
+		cfg := baseConfig(alg, 4, 2)
+		cfg.MaxIter = 12
+		cfg.GroupThreshold = threshold
+		res, err := Run(cfg, train, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.History
+	}
+	gc := run(GCADMM, 0)
+	flat := run(PSRAADMM, 0)
+	hier := run(PSRAHGADMM, 4) // all nodes in one group
+	gr := run(GRADMM, 0)
+	for i := range gc {
+		if d := math.Abs(gc[i].Objective - flat[i].Objective); d > 1e-8*(1+math.Abs(gc[i].Objective)) {
+			t.Fatalf("iter %d: GC %v vs flat PSRA %v", i, gc[i].Objective, flat[i].Objective)
+		}
+		if d := math.Abs(gc[i].Objective - hier[i].Objective); d > 1e-6*(1+math.Abs(gc[i].Objective)) {
+			t.Fatalf("iter %d: GC %v vs hierarchical %v", i, gc[i].Objective, hier[i].Objective)
+		}
+		if d := math.Abs(gc[i].Objective - gr[i].Objective); d > 1e-6*(1+math.Abs(gc[i].Objective)) {
+			t.Fatalf("iter %d: GC %v vs GR-ADMM %v", i, gc[i].Objective, gr[i].Objective)
+		}
+	}
+}
+
+func TestDeterministicHistories(t *testing.T) {
+	train, test := testData(t, 120)
+	for _, alg := range []Algorithm{PSRAHGADMM, ADMMLib, ADADMM} {
+		t.Run(string(alg), func(t *testing.T) {
+			cfg := baseConfig(alg, 4, 2)
+			cfg.MaxIter = 10
+			cfg.GroupThreshold = 2
+			cfg.Stragglers = simnet.Default(5)
+			a, err := Run(cfg, train, RunOptions{Test: test})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg, train, RunOptions{Test: test})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a.History {
+				if !iterStatEqual(a.History[i], b.History[i]) {
+					t.Fatalf("iter %d differs:\n%+v\n%+v", i, a.History[i], b.History[i])
+				}
+			}
+			if !vec.Equal(a.Z, b.Z) {
+				t.Fatal("final iterates differ")
+			}
+		})
+	}
+}
+
+func TestConvergesToReferenceOptimum(t *testing.T) {
+	train, _ := testData(t, 120)
+	fstar, zstar, err := ReferenceOptimum(train, 1.0, 0.5, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fstar <= 0 || len(zstar) != train.Dim() {
+		t.Fatalf("reference optimum: f*=%v", fstar)
+	}
+	cfg := baseConfig(PSRAHGADMM, 4, 2)
+	cfg.MaxIter = 80
+	res, err := Run(cfg, train, RunOptions{FStar: fstar, HaveFStar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relFirst := res.History[0].RelError
+	relLast := res.History[len(res.History)-1].RelError
+	if isNaN(relFirst) || isNaN(relLast) {
+		t.Fatal("relative error not reported")
+	}
+	if relLast > 0.05 {
+		t.Fatalf("did not approach optimum: rel err %v", relLast)
+	}
+	if relLast >= relFirst {
+		t.Fatalf("relative error did not shrink: %v → %v", relFirst, relLast)
+	}
+}
+
+func TestGroupingPreservesConsensusChangesClock(t *testing.T) {
+	// The staged aggregation tree must keep consensus exact — grouped and
+	// ungrouped runs follow the same optimization trajectory (up to float
+	// association) — while changing the virtual timeline and adding GG
+	// traffic.
+	train, _ := testData(t, 160)
+	run := func(threshold int) *Result {
+		cfg := baseConfig(PSRAHGADMM, 4, 2)
+		cfg.MaxIter = 10
+		cfg.GroupThreshold = threshold
+		cfg.Jitter = simnet.Jitter{Seed: 3, Amp: 0.5}
+		res, err := Run(cfg, train, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	grouped := run(2)
+	full := run(4)
+	for i := range grouped.History {
+		g, f := grouped.History[i].Objective, full.History[i].Objective
+		if math.Abs(g-f) > 1e-6*(1+math.Abs(f)) {
+			t.Fatalf("iter %d: grouped objective %v deviates from ungrouped %v", i, g, f)
+		}
+	}
+	if grouped.TotalCommTime == full.TotalCommTime {
+		t.Fatal("grouping did not change the virtual timeline")
+	}
+	if grouped.TotalBytes <= full.TotalBytes {
+		// The tree adds GG round trips and inter-level broadcasts.
+		t.Fatalf("grouped bytes %d not above ungrouped %d", grouped.TotalBytes, full.TotalBytes)
+	}
+}
+
+func TestStragglersSlowUngroupedMoreThanGrouped(t *testing.T) {
+	// The Figure 7 mechanism: with slow nodes injected, the ungrouped run
+	// (every iteration waits for the slowest node) must spend more
+	// wait+transfer time than the grouped run at the same cluster size.
+	train, _ := testData(t, 240)
+	mk := func(threshold int) float64 {
+		cfg := baseConfig(PSRAHGADMM, 8, 1)
+		cfg.MaxIter = 15
+		cfg.GroupThreshold = threshold
+		cfg.Stragglers = simnet.Default(11)
+		cfg.EvalEvery = cfg.MaxIter
+		res, err := Run(cfg, train, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalCommTime
+	}
+	grouped := mk(4)   // half the nodes per group
+	ungrouped := mk(8) // one global group
+	if grouped >= ungrouped {
+		t.Fatalf("grouped comm %v not below ungrouped %v under stragglers", grouped, ungrouped)
+	}
+}
+
+func TestSSPStalenessBounded(t *testing.T) {
+	// With MaxDelay=1 every participant must be fresh at least every
+	// other round, so the objective still decreases.
+	train, _ := testData(t, 160)
+	cfg := baseConfig(ADMMLib, 4, 2)
+	cfg.MaxDelay = 1
+	cfg.MaxIter = 20
+	cfg.Stragglers = simnet.Default(3)
+	res, err := Run(cfg, train, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalObjective() >= res.History[0].Objective {
+		t.Fatal("SSP with tight delay bound failed to make progress")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	train, _ := testData(t, 60)
+	bad := []Config{
+		{Algorithm: "nope", Topo: simnet.Topology{Nodes: 1, WorkersPerNode: 1}, Rho: 1, MaxIter: 1},
+		{Algorithm: GCADMM, Topo: simnet.Topology{Nodes: 0, WorkersPerNode: 1}, Rho: 1, MaxIter: 1},
+		{Algorithm: GCADMM, Topo: simnet.Topology{Nodes: 1, WorkersPerNode: 1}, Rho: 0, MaxIter: 1},
+		{Algorithm: GCADMM, Topo: simnet.Topology{Nodes: 1, WorkersPerNode: 1}, Rho: 1, Lambda: -1, MaxIter: 1},
+		{Algorithm: GCADMM, Topo: simnet.Topology{Nodes: 1, WorkersPerNode: 1}, Rho: 1, MaxIter: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg, train, RunOptions{}); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	// More workers than rows must be rejected.
+	cfg := baseConfig(GCADMM, 100, 1)
+	if _, err := Run(cfg, train, RunOptions{}); err == nil {
+		t.Fatal("overSharded config accepted")
+	}
+}
+
+func TestEvalEverySkipsEvaluations(t *testing.T) {
+	train, _ := testData(t, 80)
+	cfg := baseConfig(GCADMM, 2, 1)
+	cfg.MaxIter = 10
+	cfg.EvalEvery = 5
+	res, err := Run(cfg, train, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaluated := 0
+	for _, h := range res.History {
+		if !isNaN(h.Objective) {
+			evaluated++
+		}
+	}
+	if evaluated != 3 { // iters 0, 5, 9 (last always evaluated)
+		t.Fatalf("evaluated %d times, want 3", evaluated)
+	}
+}
+
+func TestOnIterationCallback(t *testing.T) {
+	train, _ := testData(t, 80)
+	cfg := baseConfig(GCADMM, 2, 1)
+	cfg.MaxIter = 5
+	var seen []int
+	_, err := Run(cfg, train, RunOptions{OnIteration: func(s IterStat) {
+		seen = append(seen, s.Iter)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 || seen[0] != 0 || seen[4] != 4 {
+		t.Fatalf("callback iterations %v", seen)
+	}
+}
+
+// iterStatEqual compares two IterStats bitwise, treating NaN == NaN (NaN
+// marks "not evaluated", which must also reproduce).
+func iterStatEqual(a, b IterStat) bool {
+	feq := func(x, y float64) bool {
+		return math.Float64bits(x) == math.Float64bits(y)
+	}
+	return a.Iter == b.Iter && a.Bytes == b.Bytes &&
+		feq(a.Objective, b.Objective) && feq(a.RelError, b.RelError) &&
+		feq(a.Accuracy, b.Accuracy) && feq(a.CalTime, b.CalTime) &&
+		feq(a.CommTime, b.CommTime)
+}
+
+func TestSparseExchangeBeatsDenseBaselines(t *testing.T) {
+	// On a high-dimensional sparse problem, PSRA-HGADMM's sparse exchange
+	// must move fewer bytes than ADMMLib's dense fp32 ring, which in turn
+	// moves fewer than AD-ADMM's full-precision (x,y) star — the §5.4
+	// communication-cost ordering.
+	train, _, err := dataset.Generate(dataset.SynthConfig{
+		Name: "hd", Dim: 8000, TrainRows: 240, TestRows: 8, RowNNZ: 10,
+		ZipfS: 1.3, SignalNNZ: 80, NoiseFlip: 0.02, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(alg Algorithm) int64 {
+		cfg := baseConfig(alg, 4, 2)
+		cfg.MaxIter = 5
+		cfg.EvalEvery = 5
+		res, err := Run(cfg, train, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalBytes
+	}
+	psra := run(PSRAHGADMM)
+	admmlib := run(ADMMLib)
+	adadmm := run(ADADMM)
+	if !(psra < admmlib && admmlib < adadmm) {
+		t.Fatalf("byte ordering violated: psra=%d admmlib=%d adadmm=%d", psra, admmlib, adadmm)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"psrahgadmm/internal/solver"
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/vec"
+)
+
+func TestResidualsShrink(t *testing.T) {
+	train, _ := testData(t, 120)
+	cfg := baseConfig(PSRAHGADMM, 4, 2)
+	cfg.MaxIter = 40
+	res, err := Run(cfg, train, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.History[1] // iteration 0's dual residual is vs z_prev = 0
+	last := res.History[len(res.History)-1]
+	if !(last.PrimalRes < first.PrimalRes) {
+		t.Fatalf("primal residual did not shrink: %v → %v", first.PrimalRes, last.PrimalRes)
+	}
+	if !(last.DualRes < first.DualRes) {
+		t.Fatalf("dual residual did not shrink: %v → %v", first.DualRes, last.DualRes)
+	}
+	if last.Rho != cfg.Rho {
+		t.Fatalf("rho changed without AdaptiveRho: %v", last.Rho)
+	}
+}
+
+func TestEarlyStoppingOnTol(t *testing.T) {
+	train, _ := testData(t, 120)
+	cfg := baseConfig(PSRAHGADMM, 4, 2)
+	cfg.MaxIter = 200
+	cfg.Tol = 1e-2
+	cfg.EvalEvery = 1000 // evaluation must not be required for stopping
+	res, err := Run(cfg, train, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("Tol stopping never fired")
+	}
+	if len(res.History) >= cfg.MaxIter {
+		t.Fatalf("ran all %d iterations despite Tol", len(res.History))
+	}
+	last := res.History[len(res.History)-1]
+	if last.PrimalRes > cfg.Tol || last.DualRes > cfg.Tol {
+		t.Fatalf("stopped with residuals above Tol: %v %v", last.PrimalRes, last.DualRes)
+	}
+}
+
+func TestAdaptiveRhoAdjustsAndConverges(t *testing.T) {
+	train, _ := testData(t, 120)
+	// Deliberately bad initial penalty: adaptation must correct it.
+	mk := func(adaptive bool) *Result {
+		cfg := baseConfig(PSRAHGADMM, 4, 2)
+		cfg.Rho = 0.01
+		cfg.MaxIter = 40
+		cfg.AdaptiveRho = adaptive
+		res, err := Run(cfg, train, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	adaptive := mk(true)
+	fixed := mk(false)
+
+	changed := false
+	for _, h := range adaptive.History {
+		if h.Rho != 0.01 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("AdaptiveRho never adjusted the penalty")
+	}
+	// With a badly small initial ρ the adaptive run should end closer to
+	// consensus (smaller primal residual).
+	aLast := adaptive.History[len(adaptive.History)-1]
+	fLast := fixed.History[len(fixed.History)-1]
+	if aLast.PrimalRes >= fLast.PrimalRes {
+		t.Fatalf("adaptive primal residual %v not below fixed %v", aLast.PrimalRes, fLast.PrimalRes)
+	}
+}
+
+func TestAdaptRhoRule(t *testing.T) {
+	if got := adaptRho(1, 100, 1, 10, 2); got != 2 {
+		t.Fatalf("primal-dominant: %v", got)
+	}
+	if got := adaptRho(1, 1, 100, 10, 2); got != 0.5 {
+		t.Fatalf("dual-dominant: %v", got)
+	}
+	if got := adaptRho(1, 5, 4, 10, 2); got != 1 {
+		t.Fatalf("balanced: %v", got)
+	}
+}
+
+func TestQuantizedCommunication(t *testing.T) {
+	train, test := testData(t, 160)
+	run := func(bits int) *Result {
+		cfg := baseConfig(PSRAHGADMM, 4, 2)
+		cfg.MaxIter = 25
+		cfg.QuantBits = bits
+		res, err := Run(cfg, train, RunOptions{Test: test})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	full := run(0)
+	q16 := run(16)
+	q8 := run(8)
+
+	// Bytes must shrink monotonically with precision.
+	if !(q8.TotalBytes < q16.TotalBytes && q16.TotalBytes < full.TotalBytes) {
+		t.Fatalf("byte ordering: q8=%d q16=%d full=%d", q8.TotalBytes, q16.TotalBytes, full.TotalBytes)
+	}
+	// 16-bit quantization should barely hurt the objective; 8-bit may
+	// hurt more but must still optimize.
+	if q16.FinalObjective() > full.FinalObjective()*1.1 {
+		t.Fatalf("16-bit objective %v far above full %v", q16.FinalObjective(), full.FinalObjective())
+	}
+	if q8.FinalObjective() >= q8.History[0].Objective {
+		t.Fatal("8-bit quantization prevented optimization")
+	}
+}
+
+func TestQuantizeSparseBits(t *testing.T) {
+	v := sparse.FromDense([]float64{1, 0, -0.5, 0.001, 0})
+	quantizeSparseBits(v, 8)
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+	d := v.ToDense()
+	if math.Abs(d[0]-1) > 1.0/127+1e-12 {
+		t.Fatalf("max element moved: %v", d[0])
+	}
+	if math.Abs(d[2]+0.5) > 1.0/127+1e-12 {
+		t.Fatalf("mid element error: %v", d[2])
+	}
+	// Tiny element rounds to zero and must be dropped.
+	if d[3] != 0 {
+		t.Fatalf("tiny element survived: %v", d[3])
+	}
+	// Empty and zero vectors are no-ops.
+	empty := sparse.NewVector(3, 0)
+	quantizeSparseBits(empty, 8)
+	if empty.NNZ() != 0 {
+		t.Fatal("empty vector changed")
+	}
+}
+
+func TestQuantEntryBytes(t *testing.T) {
+	if quantEntryBytes(0) != 12 || quantEntryBytes(8) != 5 || quantEntryBytes(16) != 6 {
+		t.Fatal("quantEntryBytes wrong")
+	}
+}
+
+func TestQuantBitsValidation(t *testing.T) {
+	train, _ := testData(t, 60)
+	cfg := baseConfig(PSRAHGADMM, 2, 1)
+	cfg.QuantBits = 7
+	if _, err := Run(cfg, train, RunOptions{}); err == nil {
+		t.Fatal("QuantBits=7 accepted")
+	}
+}
+
+func TestReferenceOptimumAgreesWithFISTA(t *testing.T) {
+	// Two unrelated solvers — consensus ADMM (TRON inner solves) and
+	// FISTA (accelerated proximal gradient) — must agree on the global
+	// optimum of the L1-logistic problem.
+	train, _ := testData(t, 120)
+	lambda := 0.5
+	fADMM, _, err := ReferenceOptimum(train, 1.0, lambda, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, train.Dim())
+	fres := solver.FISTA(train.X, train.Labels, lambda, x, solver.FISTAOptions{MaxIter: 4000, Tol: 1e-12})
+	var loss float64
+	for r := 0; r < train.Rows(); r++ {
+		loss += solver.LogLoss(train.Labels[r] * train.X.RowDot(r, x))
+	}
+	fFISTA := loss + lambda*vec.Nrm1(x)
+	if math.Abs(fADMM-fFISTA) > 5e-3*(1+math.Abs(fFISTA)) {
+		t.Fatalf("solvers disagree on f*: ADMM %v vs FISTA %v (FISTA converged=%v after %d iters)",
+			fADMM, fFISTA, fres.Converged, fres.Iters)
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/wire"
+)
+
+// PSRA-HGADMM's grouped aggregation, modeled as the paper's Algorithms
+// 1–3 with the GG's "next grouping cycle" taken literally: a Leader that
+// finishes a group synchronization re-enters the GG queue carrying the
+// group's partial aggregate, so arrival-ordered groups of GroupThreshold
+// Leaders form a *staged aggregation tree* that terminates in one exact
+// global W. Consensus is exact every iteration (the property Figure 5's
+// convergence requires); what grouping changes is the clock: early
+// arrivals aggregate while stragglers are still computing, so the
+// synchronization wait that a flat all-node collective serializes behind
+// the slowest node is largely overlapped (the Figure 7 effect). The
+// flip side — visible at small node counts, and called out in the paper's
+// §5.5 and conclusion — is the extra GG round trips and tree levels.
+
+// aggEntry is one queue occupant: a Leader (or group representative)
+// carrying a partial aggregate that becomes available at `ready`.
+type aggEntry struct {
+	seq   int // creation order, deterministic tie-break
+	rep   int // world rank of the representative Leader
+	value *sparse.Vector
+	ready float64
+	// children are the entries merged into this one (nil for leaves);
+	// child 0's rep is this entry's rep.
+	children []*aggEntry
+	// leafNode is the physical node for leaf entries, -1 otherwise.
+	leafNode int
+}
+
+// entryHeap orders by (ready, seq).
+type entryHeap []*aggEntry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].seq < h[j].seq
+}
+func (h entryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)        { *h = append(*h, x.(*aggEntry)) }
+func (h *entryHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h entryHeap) peekReady() float64 { return h[0].ready }
+
+// runPSRAHGADMM executes one PSRA-HGADMM iteration under the DES clock,
+// dispatching on the configured consensus mode.
+func runPSRAHGADMM(cfg Config, ws []*worker, fab *transport.ChanFabric, iter int) (iterTiming, error) {
+	if cfg.Consensus == ConsensusGroup {
+		return runPSRAHGADMMGroup(cfg, ws, fab, iter)
+	}
+	return runPSRAHGADMMGlobal(cfg, ws, fab, iter)
+}
+
+// runPSRAHGADMMGlobal is the staged-aggregation-tree reading (exact global
+// consensus every iteration).
+func runPSRAHGADMMGlobal(cfg Config, ws []*worker, fab *transport.ChanFabric, iter int) (iterTiming, error) {
+	topo := cfg.Topo
+	wpn := topo.WorkersPerNode
+	dim := len(ws[0].zDense)
+	calTimes := parallelXUpdates(cfg, ws, iter)
+
+	var timing iterTiming
+	starts := make([]float64, len(ws))
+	for i, w := range ws {
+		starts[i] = w.clock
+		w.clock += calTimes[i]
+		timing.cal += calTimes[i]
+	}
+	timing.cal /= float64(len(ws))
+
+	// Leaves: intra-node reduce of w_i to each Leader over the bus.
+	seq := 0
+	pending := make(entryHeap, 0, topo.Nodes)
+	for n := 0; n < topo.Nodes; n++ {
+		ranks := topo.WorkersOf(n)
+		vs := make([]*sparse.Vector, wpn)
+		nnzs := make([]int, wpn)
+		ready := 0.0
+		for i, r := range ranks {
+			vs[i] = ws[r].wSparse(cfg.Rho)
+			if cfg.QuantBits != 0 {
+				quantizeSparseBits(vs[i], cfg.QuantBits)
+			}
+			nnzs[i] = vs[i].NNZ()
+			ready = maxf(ready, ws[r].clock)
+		}
+		tr := quantScale(intraReduceTrace(ranks, ranks[0], nnzs), cfg.QuantBits)
+		timing.bytes += traceBytes(tr)
+		pending = append(pending, &aggEntry{
+			seq:      seq,
+			rep:      ranks[0],
+			value:    sumSparse(dim, vs),
+			ready:    ready + cfg.Cost.TraceTime(topo, tr),
+			leafNode: n,
+		})
+		seq++
+	}
+	heap.Init(&pending)
+
+	// Grouping threshold: a group of one cannot aggregate, so the
+	// effective tree fan-in is at least 2 (unless there is only one node).
+	threshold := cfg.GroupThreshold
+	if threshold < 2 {
+		threshold = 2
+	}
+	ggRTT := 2 * (cfg.Cost.InterAlpha + float64(ggRequestBytes)*cfg.Cost.InterBeta)
+
+	merge := func(group []*aggEntry) (*aggEntry, error) {
+		start := 0.0
+		leaders := make([]int, len(group))
+		inputs := make([]*sparse.Vector, len(group))
+		for i, e := range group {
+			start = maxf(start, e.ready)
+			leaders[i] = e.rep
+			inputs[i] = e.value
+		}
+		start += ggRTT
+		timing.bytes += int64(len(group) * ggRequestBytes * 2)
+		agg, tr, err := groupAllreduce(fab, leaders, commPSRSparse, int32(64+iter%2*8), inputs)
+		if err != nil {
+			return nil, err
+		}
+		tr = quantScale(tr, cfg.QuantBits)
+		timing.bytes += traceBytes(tr)
+		e := &aggEntry{
+			seq:      seq,
+			rep:      group[0].rep,
+			value:    agg,
+			ready:    start + cfg.Cost.TraceTime(topo, tr),
+			children: group,
+			leafNode: -1,
+		}
+		seq++
+		return e, nil
+	}
+
+	// Event-driven GG: arrivals (by virtual ready time) enter the queue;
+	// a full queue forms a group; when nothing more can arrive, the
+	// remainder is flushed. The loop conserves entries, terminating with
+	// the single global aggregate.
+	var queue []*aggEntry
+	var root *aggEntry
+	for {
+		if pending.Len() == 0 {
+			if len(queue) == 1 {
+				root = queue[0]
+				break
+			}
+			g, err := merge(queue)
+			if err != nil {
+				return timing, err
+			}
+			queue = nil
+			heap.Push(&pending, g)
+			continue
+		}
+		e := heap.Pop(&pending).(*aggEntry)
+		queue = append(queue, e)
+		if len(queue) == threshold {
+			g, err := merge(queue)
+			if err != nil {
+				return timing, err
+			}
+			queue = nil
+			heap.Push(&pending, g)
+		}
+	}
+
+	// Down-pass: the root group's members already hold W (PSR-Allreduce
+	// leaves every member with the result) and apply the z-update
+	// themselves; what travels down the tree is the *thresholded* z —
+	// identical at every worker and far sparser than W. Each
+	// representative re-broadcasts down its subtree, and node Leaders
+	// broadcast to their workers over the bus.
+	zSparse := zFromW(root.value, cfg.Lambda, cfg.Rho, topo.Size())
+	zDense := zSparse.ToDense()
+	wBytes := 8 + wire.SparseEntryBytes*zSparse.NNZ()
+	var deliver func(e *aggEntry, t float64)
+	deliver = func(e *aggEntry, t float64) {
+		if e.leafNode >= 0 {
+			ranks := topo.WorkersOf(e.leafNode)
+			bc := intraBcastTrace(ranks, ranks[0], zSparse.NNZ())
+			timing.bytes += traceBytes(bc)
+			end := t + cfg.Cost.TraceTime(topo, bc)
+			for _, r := range ranks {
+				ws[r].applyZ(cfg, zDense, zSparse)
+				timing.comm += end - starts[r] - calTimes[r]
+				ws[r].clock = end
+			}
+			return
+		}
+		// Child 0's rep is e.rep and already holds W; the others receive
+		// it in one step over the interconnect.
+		tr := collective.Trace{Steps: 1}
+		for _, c := range e.children[1:] {
+			tr.Events = append(tr.Events, collective.Event{
+				Step: 0, From: e.rep, To: c.rep, Bytes: wBytes,
+			})
+		}
+		timing.bytes += traceBytes(tr)
+		tNext := t + cfg.Cost.TraceTime(topo, tr)
+		deliver(e.children[0], t)
+		for _, c := range e.children[1:] {
+			deliver(c, tNext)
+		}
+	}
+	if root.leafNode >= 0 {
+		// Single-node cluster: no tree was built.
+		deliver(root, root.ready)
+	} else {
+		// Every member of the final group holds W at root.ready.
+		for _, c := range root.children {
+			deliver(c, root.ready)
+		}
+	}
+	timing.comm /= float64(len(ws))
+	return timing, nil
+}
+
+// runPSRAHGADMMGroup is the group-local-consensus reading of Algorithms
+// 1–3: one grouping round per iteration, each group computing z from its
+// own members' W only (scaled by the group's worker count). Fast groups
+// proceed without ever waiting for slow nodes — the straggler isolation
+// Figure 7 measures — trading per-iteration consensus breadth; rotating
+// arrival-ordered membership mixes information across iterations.
+func runPSRAHGADMMGroup(cfg Config, ws []*worker, fab *transport.ChanFabric, iter int) (iterTiming, error) {
+	topo := cfg.Topo
+	wpn := topo.WorkersPerNode
+	dim := len(ws[0].zDense)
+	calTimes := parallelXUpdates(cfg, ws, iter)
+
+	var timing iterTiming
+	starts := make([]float64, len(ws))
+	for i, w := range ws {
+		starts[i] = w.clock
+		w.clock += calTimes[i]
+		timing.cal += calTimes[i]
+	}
+	timing.cal /= float64(len(ws))
+
+	// Intra-node reduce to Leaders.
+	type nodeAgg struct {
+		node    int
+		leader  int
+		sum     *sparse.Vector
+		ready   float64
+		workers []int
+	}
+	nodes := make([]*nodeAgg, topo.Nodes)
+	for n := 0; n < topo.Nodes; n++ {
+		ranks := topo.WorkersOf(n)
+		vs := make([]*sparse.Vector, wpn)
+		nnzs := make([]int, wpn)
+		ready := 0.0
+		for i, r := range ranks {
+			vs[i] = ws[r].wSparse(cfg.Rho)
+			if cfg.QuantBits != 0 {
+				quantizeSparseBits(vs[i], cfg.QuantBits)
+			}
+			nnzs[i] = vs[i].NNZ()
+			ready = maxf(ready, ws[r].clock)
+		}
+		tr := quantScale(intraReduceTrace(ranks, ranks[0], nnzs), cfg.QuantBits)
+		timing.bytes += traceBytes(tr)
+		nodes[n] = &nodeAgg{
+			node: n, leader: ranks[0], sum: sumSparse(dim, vs),
+			ready:   ready + cfg.Cost.TraceTime(topo, tr),
+			workers: ranks,
+		}
+	}
+
+	// GG batching in virtual-arrival order.
+	ggRTT := 2 * (cfg.Cost.InterAlpha + float64(ggRequestBytes)*cfg.Cost.InterBeta)
+	order := make([]*nodeAgg, len(nodes))
+	copy(order, nodes)
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].ready != order[b].ready {
+			return order[a].ready < order[b].ready
+		}
+		return order[a].node < order[b].node
+	})
+
+	threshold := cfg.GroupThreshold
+	for lo := 0; lo < len(order); lo += threshold {
+		hi := lo + threshold
+		if hi > len(order) {
+			hi = len(order)
+		}
+		group := order[lo:hi]
+		start := 0.0
+		leaders := make([]int, len(group))
+		inputs := make([]*sparse.Vector, len(group))
+		for i, na := range group {
+			start = maxf(start, na.ready)
+			leaders[i] = na.leader
+			inputs[i] = na.sum
+		}
+		start += ggRTT
+		timing.bytes += int64(len(group) * ggRequestBytes * 2)
+
+		var agg *sparse.Vector
+		var tr collective.Trace
+		var err error
+		if len(group) == 1 {
+			agg, tr = group[0].sum, collective.Trace{}
+		} else {
+			agg, tr, err = groupAllreduce(fab, leaders, commPSRSparse, int32(64+iter%2*8), inputs)
+			if err != nil {
+				return timing, err
+			}
+			tr = quantScale(tr, cfg.QuantBits)
+		}
+		commT := cfg.Cost.TraceTime(topo, tr)
+		timing.bytes += traceBytes(tr)
+
+		contributors := len(group) * wpn
+		zSparse := zFromW(agg, cfg.Lambda, cfg.Rho, contributors)
+		zDense := zSparse.ToDense()
+		for _, na := range group {
+			bc := intraBcastTrace(na.workers, na.leader, zSparse.NNZ())
+			timing.bytes += traceBytes(bc)
+			end := start + commT + cfg.Cost.TraceTime(topo, bc)
+			for _, r := range na.workers {
+				ws[r].applyZ(cfg, zDense, zSparse)
+				timing.comm += end - starts[r] - calTimes[r]
+				ws[r].clock = end
+			}
+		}
+	}
+	timing.comm /= float64(len(ws))
+	return timing, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/vec"
+)
+
+// Standard consensus-ADMM diagnostics and the classic extensions built on
+// them (Boyd et al. §3.3–3.4): primal/dual residual norms, residual-based
+// early stopping, and residual-balancing adaptive penalty (the idea behind
+// the AADMM line of work the paper cites as related).
+
+// residuals computes the consensus residual norms at the end of an
+// iteration:
+//
+//	‖r‖ = sqrt(Σᵢ ‖xᵢ − z‖²)      (primal: disagreement with consensus)
+//	‖s‖ = ρ·√N·‖z − z_prev‖        (dual: consensus movement)
+//
+// Off-active coordinates satisfy xᵢⱼ = zⱼ exactly (see worker), so the
+// primal sum only runs over each worker's active set — but z may have
+// support outside a worker's active set, where xᵢⱼ = zⱼ(previous); those
+// coordinates contribute (z_prev − z)ⱼ² per worker, amortized into the
+// dual-style correction below. For the penalty controller the active-set
+// approximation is standard and sufficient.
+func residuals(ws []*worker, z, zPrev []float64, rho float64) (primal, dual float64) {
+	var rsq float64
+	for _, w := range ws {
+		for i, c := range w.active {
+			d := w.xA[i] - z[c]
+			rsq += d * d
+		}
+	}
+	primal = math.Sqrt(rsq)
+	dual = rho * math.Sqrt(float64(len(ws))) * math.Sqrt(vec.DistSq(z, zPrev))
+	return primal, dual
+}
+
+// adaptRho applies residual balancing: when the primal residual dominates
+// the dual by more than mu, the penalty is too weak (consensus drifting) —
+// multiply by tau; in the opposite regime divide. Returns the new ρ.
+func adaptRho(rho, primal, dual, mu, tau float64) float64 {
+	switch {
+	case primal > mu*dual:
+		return rho * tau
+	case dual > mu*primal:
+		return rho / tau
+	default:
+		return rho
+	}
+}
+
+// setRho propagates a penalty change into every worker's subproblem.
+// In the unscaled dual form the y iterates need no rescaling; only the
+// objective's quadratic coupling changes.
+func setRho(ws []*worker, rho float64) {
+	for _, w := range ws {
+		w.obj.Rho = rho
+	}
+}
+
+// quantizeSparseBits rounds a sparse vector's values to b-bit fixed point
+// with a per-vector scale (max-abs), in place — the Q-GADMM-style lossy
+// communication option. b must be 8 or 16; exact zeros after rounding are
+// dropped to preserve the no-stored-zeros invariant.
+func quantizeSparseBits(v *sparse.Vector, bits int) {
+	if v.NNZ() == 0 {
+		return
+	}
+	var scale float64
+	for _, val := range v.Value {
+		if a := math.Abs(val); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		return
+	}
+	levels := float64(int(1)<<(bits-1) - 1)
+	kept := 0
+	for i := range v.Value {
+		q := math.Round(v.Value[i] / scale * levels)
+		val := q / levels * scale
+		if val != 0 {
+			v.Index[kept] = v.Index[i]
+			v.Value[kept] = val
+			kept++
+		}
+	}
+	v.Index = v.Index[:kept]
+	v.Value = v.Value[:kept]
+}
+
+// quantEntryBytes returns the wire size of one sparse element under the
+// configured quantization: 4-byte index plus bits/8 value bytes (12 bytes
+// unquantized).
+func quantEntryBytes(bits int) int {
+	if bits == 8 || bits == 16 {
+		return 4 + bits/8
+	}
+	return 12
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"sort"
+
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/wire"
+)
+
+// The SSP (stale synchronous parallel) baselines. Both follow the same
+// skeleton: per round, a partial barrier admits the Min_barrier fastest
+// participants; laggards' *previous* contributions are reused (stale
+// values), but no participant may fall more than Max_delay rounds behind —
+// when it would, the round waits for it. The differences are granularity,
+// topology, and representation:
+//
+//   - ADMMLib: staleness at node granularity (workers within a node are
+//     BSP over the bus), aggregation by dense Ring-Allreduce among all
+//     Leaders in single precision — the full parameter vector circulates
+//     regardless of sparsity, which is why its communication volume is
+//     flat in cluster size and why PSRA's sparse exchange undercuts it.
+//   - AD-ADMM: staleness at worker granularity, aggregation at a master
+//     whose links serialize all traffic, full-precision (x_i, y_i) up and
+//     z down.
+
+// pendingCompute is an in-flight x-update batch (one node for ADMMLib, one
+// worker for AD-ADMM) whose result becomes visible at finish.
+type pendingCompute struct {
+	finish float64
+	starts []float64 // per-member clock at compute start
+	cals   []float64 // per-member compute time
+}
+
+// sspClock tracks a participant's barrier bookkeeping.
+type sspClock struct {
+	pending   *pendingCompute
+	staleness int
+}
+
+// sspCutoff returns the partial-barrier time over participants: the K-th
+// smallest pending finish, extended to cover every participant that has
+// exhausted maxDelay.
+func sspCutoff(clocks []sspClock, k, maxDelay int) float64 {
+	finishes := make([]float64, 0, len(clocks))
+	for i := range clocks {
+		if clocks[i].pending != nil {
+			finishes = append(finishes, clocks[i].pending.finish)
+		}
+	}
+	sort.Float64s(finishes)
+	if len(finishes) == 0 {
+		return 0
+	}
+	if k > len(finishes) {
+		k = len(finishes)
+	}
+	cutoff := finishes[k-1]
+	for i := range clocks {
+		if clocks[i].pending != nil && clocks[i].staleness >= maxDelay {
+			cutoff = maxf(cutoff, clocks[i].pending.finish)
+		}
+	}
+	return cutoff
+}
+
+// admmlibState carries the cross-round state of an ADMMLib run.
+type admmlibState struct {
+	clocks      []sspClock  // per node
+	wCur        [][]float64 // per node: last contributed dense sum (fp32-rounded)
+	pendingSum  [][]float64 // per node: in-flight contribution
+	lastRingEnd float64
+}
+
+func newADMMLibState(nodes, dim int) *admmlibState {
+	st := &admmlibState{
+		clocks:     make([]sspClock, nodes),
+		wCur:       make([][]float64, nodes),
+		pendingSum: make([][]float64, nodes),
+	}
+	for n := 0; n < nodes; n++ {
+		st.wCur[n] = make([]float64, dim)
+	}
+	return st
+}
+
+// runADMMLibRound executes one ADMMLib round.
+func runADMMLibRound(cfg Config, ws []*worker, fab *transport.ChanFabric, st *admmlibState, iter int) (iterTiming, error) {
+	topo := cfg.Topo
+	wpn := topo.WorkersPerNode
+	dim := len(ws[0].zDense)
+	var timing iterTiming
+	denseMsgBytes := 4 + wire.DenseEntryBytes*dim/2 // fp32 on the bus too
+
+	// Launch compute on every idle node.
+	for n := range st.clocks {
+		if st.clocks[n].pending != nil {
+			continue
+		}
+		ranks := topo.WorkersOf(n)
+		sub := make([]*worker, len(ranks))
+		for i, r := range ranks {
+			sub[i] = ws[r]
+		}
+		cals := parallelXUpdates(cfg, sub, iter)
+		starts := make([]float64, len(ranks))
+		sum := make([]float64, dim)
+		ready := 0.0
+		for i, w := range sub {
+			starts[i] = w.clock
+			ready = maxf(ready, w.clock+cals[i])
+			w.wSparse(cfg.Rho).AddIntoDense(sum, 1)
+		}
+		quantizeF32(sum)
+		// Intra reduce of dense fp32 vectors over the bus.
+		tr := denseFanTrace(ranks, ranks[0], denseMsgBytes, true)
+		timing.bytes += traceBytes(tr)
+		st.pendingSum[n] = sum
+		st.clocks[n].pending = &pendingCompute{
+			finish: ready + cfg.Cost.TraceTime(topo, tr),
+			starts: starts,
+			cals:   cals,
+		}
+	}
+
+	kNodes := (cfg.MinBarrier + wpn - 1) / wpn
+	if kNodes < 1 {
+		kNodes = 1
+	}
+	cutoff := sspCutoff(st.clocks, kNodes, cfg.MaxDelay)
+
+	freshNodes := make([]int, 0, topo.Nodes)
+	for n := range st.clocks {
+		if p := st.clocks[n].pending; p != nil && p.finish <= cutoff {
+			st.wCur[n] = st.pendingSum[n]
+			freshNodes = append(freshNodes, n)
+		}
+	}
+
+	// Dense single-precision Ring-Allreduce among ALL leaders (stale
+	// leaders serve cached values).
+	leaders := make([]int, topo.Nodes)
+	for n := 0; n < topo.Nodes; n++ {
+		leaders[n] = topo.WorkersOf(n)[0]
+	}
+	ringStart := maxf(cutoff, st.lastRingEnd)
+	var commT float64
+	var bigW []float64
+	if topo.Nodes == 1 {
+		bigW = append([]float64(nil), st.wCur[0]...)
+	} else {
+		var err error
+		var tr collectiveTraceWrap
+		bigW, tr.t, err = groupAllreduceDense(fab, leaders, int32(64+iter%2*8), st.wCur)
+		if err != nil {
+			return timing, err
+		}
+		scaled := scaleTraceBytes(tr.t, 1, 2) // fp32 on the wire
+		commT = cfg.Cost.TraceTime(topo, scaled)
+		timing.bytes += traceBytes(scaled)
+	}
+	ringEnd := ringStart + commT
+	st.lastRingEnd = ringEnd
+	quantizeF32(bigW)
+
+	// Leaders hold W after the ring; they apply the z-update and fan the
+	// (much sparser) z to their workers in single precision: 4-byte index
+	// plus 4-byte value per entry.
+	zDense := make([]float64, dim)
+	solverZUpdate(zDense, bigW, cfg.Lambda, cfg.Rho, topo.Size())
+	quantizeF32(zDense)
+	zNNZ := countNonzero(zDense)
+	zMsgBytes := 4 + 8*zNNZ
+
+	calSum, commSum := 0.0, 0.0
+	applied := 0
+	for _, n := range freshNodes {
+		p := st.clocks[n].pending
+		ranks := topo.WorkersOf(n)
+		bc := denseFanTrace(ranks, ranks[0], zMsgBytes, false)
+		timing.bytes += traceBytes(bc)
+		end := ringEnd + cfg.Cost.TraceTime(topo, bc)
+		for i, r := range ranks {
+			ws[r].applyZ(cfg, zDense, nil)
+			calSum += p.cals[i]
+			commSum += end - p.starts[i] - p.cals[i]
+			ws[r].clock = end
+			applied++
+		}
+		st.clocks[n].pending = nil
+		st.clocks[n].staleness = 0
+		st.pendingSum[n] = nil
+	}
+	for n := range st.clocks {
+		if st.clocks[n].pending != nil {
+			st.clocks[n].staleness++
+		}
+	}
+	if applied > 0 {
+		timing.cal = calSum / float64(applied)
+		timing.comm = commSum / float64(applied)
+	}
+	return timing, nil
+}
+
+// collectiveTraceWrap keeps the multi-assignment call sites tidy.
+type collectiveTraceWrap struct{ t traceAlias }
+
+// adadmmState carries the cross-round state of an AD-ADMM run.
+type adadmmState struct {
+	clocks       []sspClock // per worker
+	wCur         []*sparse.Vector
+	pendingW     []*sparse.Vector
+	masterFreeAt float64
+}
+
+func newADADMMState(workers, dim int) *adadmmState {
+	st := &adadmmState{
+		clocks:   make([]sspClock, workers),
+		wCur:     make([]*sparse.Vector, workers),
+		pendingW: make([]*sparse.Vector, workers),
+	}
+	for i := range st.wCur {
+		st.wCur[i] = sparse.NewVector(dim, 0)
+	}
+	return st
+}
+
+// runADADMMRound executes one AD-ADMM round: worker-granular SSP against a
+// master colocated with rank 0.
+func runADADMMRound(cfg Config, ws []*worker, st *adadmmState, iter int) (iterTiming, error) {
+	topo := cfg.Topo
+	dim := len(ws[0].zDense)
+	var timing iterTiming
+
+	for i := range st.clocks {
+		if st.clocks[i].pending != nil {
+			continue
+		}
+		w := ws[i]
+		cal := w.xUpdate(cfg, iter)
+		st.pendingW[i] = w.wSparse(cfg.Rho)
+		st.clocks[i].pending = &pendingCompute{
+			finish: w.clock + cal,
+			starts: []float64{w.clock},
+			cals:   []float64{cal},
+		}
+	}
+
+	cutoff := sspCutoff(st.clocks, cfg.MinBarrier, cfg.MaxDelay)
+
+	fresh := make([]int, 0, len(ws))
+	for i := range st.clocks {
+		if p := st.clocks[i].pending; p != nil && p.finish <= cutoff {
+			st.wCur[i] = st.pendingW[i]
+			fresh = append(fresh, i)
+		}
+	}
+
+	// The master aggregates EVERY worker's cached contribution (fresh or
+	// stale) — Zhang & Kwok's async consensus update — then returns z to
+	// the fresh workers. Only fresh workers pay wire time this round; the
+	// master's serialized links are what make this scale poorly.
+	master := 0
+	gatherStart := maxf(cutoff, st.masterFreeAt)
+	tr := starGatherTrace(master, fresh, dim)
+	commT := cfg.Cost.TraceTime(topo, tr)
+	timing.bytes += traceBytes(tr)
+	end := gatherStart + commT
+	st.masterFreeAt = end
+
+	acc := sparse.NewAccumulator(dim)
+	for _, wc := range st.wCur {
+		acc.Add(wc)
+	}
+	zDense := make([]float64, dim)
+	solverZUpdate(zDense, acc.Sum().ToDense(), cfg.Lambda, cfg.Rho, topo.Size())
+
+	calSum, commSum := 0.0, 0.0
+	for _, i := range fresh {
+		p := st.clocks[i].pending
+		ws[i].applyZ(cfg, zDense, nil)
+		calSum += p.cals[0]
+		commSum += end - p.starts[0] - p.cals[0]
+		ws[i].clock = end
+		st.clocks[i].pending = nil
+		st.clocks[i].staleness = 0
+		st.pendingW[i] = nil
+	}
+	for i := range st.clocks {
+		if st.clocks[i].pending != nil {
+			st.clocks[i].staleness++
+		}
+	}
+	if len(fresh) > 0 {
+		timing.cal = calSum / float64(len(fresh))
+		timing.comm = commSum / float64(len(fresh))
+	}
+	return timing, nil
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/transport"
+)
+
+// iterTiming aggregates one iteration's virtual-time accounting.
+type iterTiming struct {
+	cal   float64 // mean per-worker compute time
+	comm  float64 // mean per-worker wait+transfer time
+	bytes int64
+}
+
+// runPSRAADMM executes one flat PSRA-ADMM iteration (§4.2 without the WLG
+// framework): every worker joins a single cluster-wide sparse
+// PSR-Allreduce of its w_i. BSP: the collective starts when the slowest
+// worker is ready; the recursion is exact consensus every iteration.
+func runPSRAADMM(cfg Config, ws []*worker, fab *transport.ChanFabric, iter int) (iterTiming, error) {
+	calTimes := parallelXUpdates(cfg, ws, iter)
+	var timing iterTiming
+
+	start := 0.0
+	starts := make([]float64, len(ws))
+	for i, w := range ws {
+		starts[i] = w.clock
+		w.clock += calTimes[i]
+		start = maxf(start, w.clock)
+		timing.cal += calTimes[i]
+	}
+	timing.cal /= float64(len(ws))
+
+	ranks := make([]int, len(ws))
+	inputs := make([]*sparse.Vector, len(ws))
+	for i, w := range ws {
+		ranks[i] = w.rank
+		inputs[i] = w.wSparse(cfg.Rho)
+		if cfg.QuantBits != 0 {
+			quantizeSparseBits(inputs[i], cfg.QuantBits)
+		}
+	}
+	agg, tr, err := groupAllreduce(fab, ranks, commPSRSparse, int32(64+iter%2*8), inputs)
+	if err != nil {
+		return timing, err
+	}
+	tr = quantScale(tr, cfg.QuantBits)
+	commT := cfg.Cost.TraceTime(cfg.Topo, tr)
+	timing.bytes += traceBytes(tr)
+	end := start + commT
+	bigW := agg.ToDense()
+	for i, w := range ws {
+		w.applyW(cfg, bigW, len(ws))
+		timing.comm += end - starts[i] - calTimes[i]
+		w.clock = end
+	}
+	timing.comm /= float64(len(ws))
+	return timing, nil
+}
+
+// runGCADMM executes one classic synchronous master–worker consensus ADMM
+// iteration: all workers ship (x_i, y_i) to the master (rank 0), which
+// computes z and returns it. Full barrier; the master's links serialize
+// all traffic — the scalability wall the paper's §4.1 starts from.
+func runGCADMM(cfg Config, ws []*worker, iter int) (iterTiming, error) {
+	calTimes := parallelXUpdates(cfg, ws, iter)
+	var timing iterTiming
+	dim := len(ws[0].zDense)
+
+	start := 0.0
+	starts := make([]float64, len(ws))
+	for i, w := range ws {
+		starts[i] = w.clock
+		w.clock += calTimes[i]
+		start = maxf(start, w.clock)
+		timing.cal += calTimes[i]
+	}
+	timing.cal /= float64(len(ws))
+
+	master := ws[0].rank
+	all := make([]int, len(ws))
+	for i, w := range ws {
+		all[i] = w.rank
+	}
+	tr := starGatherTrace(master, all, dim)
+	commT := cfg.Cost.TraceTime(cfg.Topo, tr)
+	timing.bytes += traceBytes(tr)
+
+	// Exact aggregation in rank order.
+	bigW := make([]float64, dim)
+	for _, w := range ws {
+		w.wSparse(cfg.Rho).AddIntoDense(bigW, 1)
+	}
+	end := start + commT
+	for i, w := range ws {
+		w.applyW(cfg, bigW, len(ws))
+		timing.comm += end - starts[i] - calTimes[i]
+		w.clock = end
+	}
+	timing.comm /= float64(len(ws))
+	return timing, nil
+}
+
+// runGRADMM executes one GR-ADMM iteration (after the paper's ref. [9]):
+// BSP hierarchy identical to PSRA-HGADMM — workers reduce w over the bus
+// to their node Leader — but the Leaders run one sparse Ring-Allreduce
+// across ALL nodes (no GG, no dynamic grouping), then distribute the
+// thresholded z. Against PSRA-HGADMM it isolates the collective schedule;
+// against ADMMLib it isolates the computing model (BSP vs SSP at the same
+// ring).
+func runGRADMM(cfg Config, ws []*worker, fab *transport.ChanFabric, iter int) (iterTiming, error) {
+	topo := cfg.Topo
+	wpn := topo.WorkersPerNode
+	dim := len(ws[0].zDense)
+	calTimes := parallelXUpdates(cfg, ws, iter)
+
+	var timing iterTiming
+	starts := make([]float64, len(ws))
+	for i, w := range ws {
+		starts[i] = w.clock
+		w.clock += calTimes[i]
+		timing.cal += calTimes[i]
+	}
+	timing.cal /= float64(len(ws))
+
+	// Intra-node reduce to Leaders; the ring starts when the slowest
+	// Leader is ready (BSP).
+	leaders := make([]int, topo.Nodes)
+	inputs := make([]*sparse.Vector, topo.Nodes)
+	start := 0.0
+	for n := 0; n < topo.Nodes; n++ {
+		ranks := topo.WorkersOf(n)
+		vs := make([]*sparse.Vector, wpn)
+		nnzs := make([]int, wpn)
+		ready := 0.0
+		for i, r := range ranks {
+			vs[i] = ws[r].wSparse(cfg.Rho)
+			if cfg.QuantBits != 0 {
+				quantizeSparseBits(vs[i], cfg.QuantBits)
+			}
+			nnzs[i] = vs[i].NNZ()
+			ready = maxf(ready, ws[r].clock)
+		}
+		tr := quantScale(intraReduceTrace(ranks, ranks[0], nnzs), cfg.QuantBits)
+		timing.bytes += traceBytes(tr)
+		leaders[n] = ranks[0]
+		inputs[n] = sumSparse(dim, vs)
+		start = maxf(start, ready+cfg.Cost.TraceTime(topo, tr))
+	}
+
+	var agg *sparse.Vector
+	var commT float64
+	if topo.Nodes == 1 {
+		agg = inputs[0]
+	} else {
+		var tr traceAlias
+		var err error
+		agg, tr, err = groupAllreduce(fab, leaders, commRingSparse, int32(64+iter%2*8), inputs)
+		if err != nil {
+			return timing, err
+		}
+		tr = quantScale(tr, cfg.QuantBits)
+		commT = cfg.Cost.TraceTime(topo, tr)
+		timing.bytes += traceBytes(tr)
+	}
+
+	zSparse := zFromW(agg, cfg.Lambda, cfg.Rho, topo.Size())
+	zDense := zSparse.ToDense()
+	for n := 0; n < topo.Nodes; n++ {
+		ranks := topo.WorkersOf(n)
+		bc := intraBcastTrace(ranks, ranks[0], zSparse.NNZ())
+		timing.bytes += traceBytes(bc)
+		end := start + commT + cfg.Cost.TraceTime(topo, bc)
+		for _, r := range ranks {
+			ws[r].applyZ(cfg, zDense, zSparse)
+			timing.comm += end - starts[r] - calTimes[r]
+			ws[r].clock = end
+		}
+	}
+	timing.comm /= float64(len(ws))
+	return timing, nil
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"psrahgadmm/internal/dataset"
+	"psrahgadmm/internal/simnet"
+	"psrahgadmm/internal/solver"
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/vec"
+)
+
+func nan() float64         { return math.NaN() }
+func isNaN(v float64) bool { return math.IsNaN(v) }
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// worker holds one rank's private ADMM state.
+//
+// The subproblem is solved in the shard's *active feature subspace*: for a
+// coordinate j no sample of the shard touches, the x-subproblem objective
+// reduces to y_j·x_j + (ρ/2)(x_j − z_j)², whose minimizer is closed-form —
+// and since y_j starts at 0, induction over the dual update gives
+// y_j ≡ 0 and x_j ≡ z_j there forever, hence w_j = ρ·z_j. Restricting
+// TRON to the active columns is therefore *exact*, and it is what makes
+// million-dimension problems feasible: per-worker dense work scales with
+// the shard's support, not the global dimension. (LIBLINEAR-style sparse
+// solvers make the same move.)
+type worker struct {
+	rank  int
+	shard *dataset.Dataset // original shard (full column space, for evaluation)
+
+	// Active-subspace problem.
+	active  []int32     // sorted original column ids the shard touches
+	compact *sparse.CSR // shard remapped to columns 0..len(active)-1
+	obj     *solver.LogisticProx
+	xA, yA  []float64 // primal/dual over active columns
+	zA      []float64 // consensus gathered onto active columns
+
+	// Consensus view.
+	zDense  []float64      // full-dimension copy (evaluation, mean-z)
+	zSparse *sparse.Vector // same iterate, sparse (w construction)
+
+	// clock is the worker's virtual time; calTotal accumulates compute.
+	clock    float64
+	calTotal float64
+	lastCal  float64
+	tron     solver.Workspace
+}
+
+// newWorkers shards the dataset and initializes per-rank state (x=y=z=0,
+// paper Algorithm 1 line 2).
+func newWorkers(cfg Config, train *dataset.Dataset) []*worker {
+	n := cfg.Topo.Size()
+	shards := train.Shard(n)
+	dim := train.Dim()
+	ws := make([]*worker, n)
+	for i := range ws {
+		w := &worker{rank: i, shard: shards[i]}
+		w.buildActive(dim)
+		w.obj = solver.NewLogisticProx(w.compact, w.shard.Labels, cfg.Rho, w.yA, w.zA)
+		w.zDense = make([]float64, dim)
+		w.zSparse = sparse.NewVector(dim, 0)
+		ws[i] = w
+	}
+	return ws
+}
+
+// buildActive computes the shard's active column set and the remapped CSR.
+func (w *worker) buildActive(dim int) {
+	seen := make(map[int32]struct{})
+	for _, c := range w.shard.X.ColIdx {
+		seen[c] = struct{}{}
+	}
+	w.active = make([]int32, 0, len(seen))
+	for c := range seen {
+		w.active = append(w.active, c)
+	}
+	sort.Slice(w.active, func(a, b int) bool { return w.active[a] < w.active[b] })
+	remap := make(map[int32]int32, len(w.active))
+	for i, c := range w.active {
+		remap[c] = int32(i)
+	}
+	src := w.shard.X
+	w.compact = &sparse.CSR{
+		NRows:  src.NRows,
+		NCols:  len(w.active),
+		RowPtr: src.RowPtr,
+		ColIdx: make([]int32, len(src.ColIdx)),
+		Val:    src.Val,
+	}
+	for k, c := range src.ColIdx {
+		w.compact.ColIdx[k] = remap[c]
+	}
+	w.xA = make([]float64, len(w.active))
+	w.yA = make([]float64, len(w.active))
+	w.zA = make([]float64, len(w.active))
+}
+
+// xUpdate solves the local subproblem (eq. 4) with TRON over the active
+// subspace and returns the deterministic virtual compute time, scaled by
+// the straggler and jitter factors for (iter, rank).
+func (w *worker) xUpdate(cfg Config, iter int) float64 {
+	// Gather the consensus onto the active columns.
+	for i, c := range w.active {
+		w.zA[i] = w.zDense[c]
+	}
+	var res solver.TronResult
+	if len(w.active) > 0 {
+		res = solver.TRONWorkspace(w.obj, w.xA, cfg.Tron, &w.tron)
+	}
+	units := simnet.WorkUnits(res.CGIters, res.FunEvals, w.shard.NNZ(), len(w.active))
+	t := cfg.Cost.ComputeTime(units)
+	node := cfg.Topo.NodeOf(w.rank)
+	t *= cfg.Stragglers.NodeFactor(iter, node)
+	t *= cfg.Jitter.Factor(iter, w.rank)
+	t += cfg.Stragglers.NodeDelay(iter, node)
+	w.lastCal = t
+	w.calTotal += t
+	return t
+}
+
+// wSparse assembles w_i = y_i + ρ·x_i (eq. 8) as a sparse vector: the
+// active columns carry y_A + ρ·x_A; off-active columns carry ρ·z_j on the
+// consensus support (the closed-form x_j = z_j, y_j = 0 there).
+func (w *worker) wSparse(rho float64) *sparse.Vector {
+	out := sparse.NewVector(len(w.zDense), len(w.active)+w.zSparse.NNZ())
+	ai, zi := 0, 0
+	for ai < len(w.active) || zi < w.zSparse.NNZ() {
+		switch {
+		case zi >= w.zSparse.NNZ() || (ai < len(w.active) && w.active[ai] < w.zSparse.Index[zi]):
+			if v := w.yA[ai] + rho*w.xA[ai]; v != 0 {
+				out.Index = append(out.Index, w.active[ai])
+				out.Value = append(out.Value, v)
+			}
+			ai++
+		case ai >= len(w.active) || w.zSparse.Index[zi] < w.active[ai]:
+			if v := rho * w.zSparse.Value[zi]; v != 0 {
+				out.Index = append(out.Index, w.zSparse.Index[zi])
+				out.Value = append(out.Value, v)
+			}
+			zi++
+		default: // same column: the active coordinates already include the z pull
+			if v := w.yA[ai] + rho*w.xA[ai]; v != 0 {
+				out.Index = append(out.Index, w.active[ai])
+				out.Value = append(out.Value, v)
+			}
+			ai++
+			zi++
+		}
+	}
+	return out
+}
+
+// applyZ consumes the new consensus iterate (the Leader-distributed,
+// already-thresholded z) and performs the dual update (eq. 6) over the
+// active subspace; off-active duals are identically zero (see the worker
+// doc comment). zSparse may be nil, in which case it is derived from
+// zDense. The worker copies the dense form and retains the sparse one.
+func (w *worker) applyZ(cfg Config, zDense []float64, zSparse *sparse.Vector) {
+	copy(w.zDense, zDense)
+	if zSparse != nil {
+		w.zSparse = zSparse
+	} else {
+		w.zSparse = sparse.FromDense(zDense)
+	}
+	for i, c := range w.active {
+		w.yA[i] += cfg.Rho * (w.xA[i] - zDense[c])
+	}
+}
+
+// applyW consumes a raw aggregated W summing `contributors` workers (the
+// flat PSRA-ADMM and GC-ADMM paths, where every worker receives W itself):
+// the z-update (eq. 10, corrected N·ρ scaling) followed by applyZ.
+func (w *worker) applyW(cfg Config, bigW []float64, contributors int) {
+	z := make([]float64, len(bigW))
+	solver.ZUpdateL1(z, bigW, cfg.Lambda, cfg.Rho, contributors)
+	w.applyZ(cfg, z, nil)
+}
+
+// localLoss evaluates the shard's data-fit term Σ log(1+exp(−b·aᵀz)) at a
+// full-dimension point.
+func (w *worker) localLoss(z []float64) float64 {
+	m := w.shard.X
+	var loss float64
+	for r := 0; r < m.NRows; r++ {
+		loss += solver.LogLoss(w.shard.Labels[r] * m.RowDot(r, z))
+	}
+	return loss
+}
+
+// solverZUpdate is a thin alias keeping ssp.go readable.
+func solverZUpdate(dst, w []float64, lambda, rho float64, n int) {
+	solver.ZUpdateL1(dst, w, lambda, rho, n)
+}
+
+// countNonzero counts nonzero entries of a dense slice.
+func countNonzero(x []float64) int { return vec.CountNonzero(x) }
+
+// parallelXUpdates runs every listed worker's xUpdate concurrently (the
+// updates are independent) and returns each worker's compute time indexed
+// as the input. Results are deterministic: each worker's state is private
+// and the caller consumes results in fixed order.
+func parallelXUpdates(cfg Config, ws []*worker, iter int) []float64 {
+	times := make([]float64, len(ws))
+	par := runtime.GOMAXPROCS(0)
+	if par > len(ws) {
+		par = len(ws)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				times[i] = ws[i].xUpdate(cfg, iter)
+			}
+		}()
+	}
+	for i := range ws {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return times
+}
+
+// meanZ returns the average of all workers' consensus views — the iterate
+// the engine evaluates the global objective at. Under exact consensus all
+// views are equal and the mean is that view; under SSP they may differ
+// transiently and the mean is the natural cluster-wide summary.
+func meanZ(ws []*worker) []float64 {
+	out := make([]float64, len(ws[0].zDense))
+	for _, w := range ws {
+		vec.AddInto(out, w.zDense)
+	}
+	vec.Scale(1/float64(len(ws)), out)
+	return out
+}
+
+// globalObjective evaluates the paper's eq. 17 at point z over all shards:
+// Σ_i f_i(z) + λ‖z‖₁.
+func globalObjective(cfg Config, ws []*worker, z []float64) float64 {
+	var loss float64
+	for _, w := range ws {
+		loss += w.localLoss(z)
+	}
+	return loss + cfg.Lambda*vec.Nrm1(z)
+}

@@ -1,0 +1,253 @@
+// Package dataset provides the training data substrate: LIBSVM-format
+// reading/writing, row sharding for data parallelism, and seeded synthetic
+// generators that stand in for the paper's corpora (news20, webspam, url —
+// Table 1), which are multi-gigabyte downloads this offline module cannot
+// fetch. The generators match each corpus's *shape* — dimensionality,
+// per-row sparsity, feature-popularity skew, label balance — which is what
+// the convergence and communication behaviour of sparse consensus ADMM
+// depends on.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"psrahgadmm/internal/sparse"
+)
+
+// Dataset is a labeled sparse design matrix: one row per sample, labels in
+// {−1, +1}.
+type Dataset struct {
+	Name   string
+	X      *sparse.CSR
+	Labels []float64
+}
+
+// Rows returns the number of samples.
+func (d *Dataset) Rows() int { return d.X.NRows }
+
+// Dim returns the feature dimension.
+func (d *Dataset) Dim() int { return d.X.NCols }
+
+// NNZ returns the total stored nonzeros.
+func (d *Dataset) NNZ() int { return d.X.NNZ() }
+
+// Density returns NNZ / (rows·dim).
+func (d *Dataset) Density() float64 {
+	if d.Rows() == 0 || d.Dim() == 0 {
+		return 0
+	}
+	return float64(d.NNZ()) / (float64(d.Rows()) * float64(d.Dim()))
+}
+
+// Check validates matrix invariants and label values.
+func (d *Dataset) Check() error {
+	if err := d.X.Check(); err != nil {
+		return err
+	}
+	if len(d.Labels) != d.X.NRows {
+		return fmt.Errorf("dataset: %d labels for %d rows", len(d.Labels), d.X.NRows)
+	}
+	for i, l := range d.Labels {
+		if l != 1 && l != -1 {
+			return fmt.Errorf("dataset: label[%d] = %v, want ±1", i, l)
+		}
+	}
+	return nil
+}
+
+// Shard splits the dataset into n contiguous row shards of nearly equal
+// size, the data-parallel distribution the paper uses (one shard per
+// worker). Shards own copies of their rows.
+func (d *Dataset) Shard(n int) []*Dataset {
+	if n <= 0 {
+		panic("dataset: Shard requires n >= 1")
+	}
+	out := make([]*Dataset, n)
+	base := d.Rows() / n
+	rem := d.Rows() % n
+	lo := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		hi := lo + size
+		out[i] = &Dataset{
+			Name:   fmt.Sprintf("%s/shard%d", d.Name, i),
+			X:      d.X.RowSlice(lo, hi),
+			Labels: append([]float64(nil), d.Labels[lo:hi]...),
+		}
+		lo = hi
+	}
+	return out
+}
+
+// Accuracy returns the fraction of samples whose sign(xᵀa) matches the
+// label; ties (zero margin) count as wrong, matching LIBLINEAR.
+func (d *Dataset) Accuracy(x []float64) float64 {
+	if d.Rows() == 0 {
+		return 0
+	}
+	correct := 0
+	for r := 0; r < d.Rows(); r++ {
+		m := d.X.RowDot(r, x)
+		if (m > 0 && d.Labels[r] > 0) || (m < 0 && d.Labels[r] < 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Rows())
+}
+
+// ReadLIBSVM parses the LIBSVM text format ("label idx:val idx:val ...",
+// 1-based indices). If dim <= 0 the dimension is inferred from the maximum
+// index seen. Labels other than ±1 are mapped: values > 0 → +1, else −1
+// (the paper's binary problems use ±1 directly).
+func ReadLIBSVM(r io.Reader, dim int, name string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	type row struct {
+		label float64
+		cols  []int32
+		vals  []float64
+	}
+	var rows []row
+	maxIdx := int32(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		lab, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad label %q", lineNo, fields[0])
+		}
+		rw := row{label: 1}
+		if lab <= 0 {
+			rw.label = -1
+		}
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("dataset: line %d: bad feature %q", lineNo, f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil || idx < 1 {
+				return nil, fmt.Errorf("dataset: line %d: bad index %q", lineNo, f[:colon])
+			}
+			val, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad value %q", lineNo, f[colon+1:])
+			}
+			if val == 0 {
+				continue
+			}
+			c := int32(idx - 1)
+			if c > maxIdx {
+				maxIdx = c
+			}
+			rw.cols = append(rw.cols, c)
+			rw.vals = append(rw.vals, val)
+		}
+		// LIBSVM files are sorted by index, but be forgiving.
+		if !sort.SliceIsSorted(rw.cols, func(a, b int) bool { return rw.cols[a] < rw.cols[b] }) {
+			sort.Sort(&colSorter{rw.cols, rw.vals})
+		}
+		rows = append(rows, rw)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scan: %w", err)
+	}
+	if dim <= 0 {
+		dim = int(maxIdx) + 1
+	}
+	m := sparse.NewCSR(0, dim, 0)
+	labels := make([]float64, 0, len(rows))
+	for i, rw := range rows {
+		for _, c := range rw.cols {
+			if int(c) >= dim {
+				return nil, fmt.Errorf("dataset: row %d index %d exceeds dim %d", i, c+1, dim)
+			}
+		}
+		m.AppendRow(rw.cols, rw.vals)
+		labels = append(labels, rw.label)
+	}
+	return &Dataset{Name: name, X: m, Labels: labels}, nil
+}
+
+type colSorter struct {
+	cols []int32
+	vals []float64
+}
+
+func (s *colSorter) Len() int           { return len(s.cols) }
+func (s *colSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s *colSorter) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// WriteLIBSVM writes the dataset in LIBSVM text format (1-based indices).
+func WriteLIBSVM(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for r := 0; r < d.Rows(); r++ {
+		if d.Labels[r] > 0 {
+			if _, err := bw.WriteString("+1"); err != nil {
+				return err
+			}
+		} else {
+			if _, err := bw.WriteString("-1"); err != nil {
+				return err
+			}
+		}
+		cols, vals := d.X.Row(r)
+		for k, c := range cols {
+			if _, err := fmt.Fprintf(bw, " %d:%.17g", c+1, vals[k]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Stats summarizes a dataset for Table 1 style reporting.
+type Stats struct {
+	Name    string
+	Dim     int
+	Rows    int
+	NNZ     int
+	Density float64
+	PosFrac float64
+}
+
+// Summary computes the dataset's Stats.
+func (d *Dataset) Summary() Stats {
+	pos := 0
+	for _, l := range d.Labels {
+		if l > 0 {
+			pos++
+		}
+	}
+	pf := 0.0
+	if d.Rows() > 0 {
+		pf = float64(pos) / float64(d.Rows())
+	}
+	return Stats{
+		Name:    d.Name,
+		Dim:     d.Dim(),
+		Rows:    d.Rows(),
+		NNZ:     d.NNZ(),
+		Density: d.Density(),
+		PosFrac: pf,
+	}
+}

@@ -1,0 +1,332 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"psrahgadmm/internal/vec"
+)
+
+const sampleLIBSVM = `+1 1:0.5 3:1.25 7:-2
+-1 2:1 3:0.5
+# a comment line
+
++1 7:3
+`
+
+func TestReadLIBSVM(t *testing.T) {
+	d, err := ReadLIBSVM(strings.NewReader(sampleLIBSVM), 0, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 3 {
+		t.Fatalf("Rows = %d", d.Rows())
+	}
+	if d.Dim() != 7 {
+		t.Fatalf("Dim = %d (max index 7 → 0-based 6 → dim 7)", d.Dim())
+	}
+	if d.Labels[0] != 1 || d.Labels[1] != -1 || d.Labels[2] != 1 {
+		t.Fatalf("labels = %v", d.Labels)
+	}
+	cols, vals := d.X.Row(0)
+	if len(cols) != 3 || cols[0] != 0 || cols[2] != 6 || vals[2] != -2 {
+		t.Fatalf("row 0 = %v %v", cols, vals)
+	}
+}
+
+func TestReadLIBSVMExplicitDim(t *testing.T) {
+	d, err := ReadLIBSVM(strings.NewReader("+1 2:1\n"), 10, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 10 {
+		t.Fatalf("Dim = %d", d.Dim())
+	}
+	// Index exceeding explicit dim must error.
+	if _, err := ReadLIBSVM(strings.NewReader("+1 11:1\n"), 10, "x"); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestReadLIBSVMLabelMapping(t *testing.T) {
+	d, err := ReadLIBSVM(strings.NewReader("0 1:1\n2 1:1\n-3 1:1\n"), 0, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 1, -1}
+	if !vec.Equal(d.Labels, want) {
+		t.Fatalf("labels = %v, want %v", d.Labels, want)
+	}
+}
+
+func TestReadLIBSVMUnsortedIndices(t *testing.T) {
+	d, err := ReadLIBSVM(strings.NewReader("+1 5:2 1:1\n"), 0, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	cols, vals := d.X.Row(0)
+	if cols[0] != 0 || vals[0] != 1 || cols[1] != 4 || vals[1] != 2 {
+		t.Fatalf("row = %v %v", cols, vals)
+	}
+}
+
+func TestReadLIBSVMErrors(t *testing.T) {
+	for _, bad := range []string{
+		"abc 1:1\n",
+		"+1 1\n",
+		"+1 x:1\n",
+		"+1 1:y\n",
+		"+1 0:1\n", // 0-based index invalid in LIBSVM
+	} {
+		if _, err := ReadLIBSVM(strings.NewReader(bad), 0, "x"); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	train, _, err := Generate(SynthConfig{
+		Name: "rt", Dim: 50, TrainRows: 30, TestRows: 1, RowNNZ: 5,
+		ZipfS: 1.3, SignalNNZ: 10, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLIBSVM(&buf, train); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLIBSVM(&buf, train.Dim(), "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != train.Rows() || back.NNZ() != train.NNZ() {
+		t.Fatalf("round trip shape: %d/%d vs %d/%d", back.Rows(), back.NNZ(), train.Rows(), train.NNZ())
+	}
+	if !vec.Equal(back.Labels, train.Labels) {
+		t.Fatal("labels changed in round trip")
+	}
+	for r := 0; r < train.Rows(); r++ {
+		gc, gv := back.X.Row(r)
+		wc, wv := train.X.Row(r)
+		if len(gc) != len(wc) {
+			t.Fatalf("row %d nnz", r)
+		}
+		for k := range gc {
+			if gc[k] != wc[k] || gv[k] != wv[k] {
+				t.Fatalf("row %d entry %d: %d:%v vs %d:%v", r, k, gc[k], gv[k], wc[k], wv[k])
+			}
+		}
+	}
+}
+
+func TestShard(t *testing.T) {
+	train, _, err := Generate(SynthConfig{
+		Name: "s", Dim: 40, TrainRows: 10, TestRows: 1, RowNNZ: 4,
+		ZipfS: 1.3, SignalNNZ: 8, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := train.Shard(3)
+	if len(shards) != 3 {
+		t.Fatalf("len = %d", len(shards))
+	}
+	total, nnz := 0, 0
+	for _, s := range shards {
+		if err := s.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Dim() != train.Dim() {
+			t.Fatalf("shard dim %d", s.Dim())
+		}
+		total += s.Rows()
+		nnz += s.NNZ()
+	}
+	if total != train.Rows() || nnz != train.NNZ() {
+		t.Fatalf("shards lose rows/nnz: %d/%d", total, nnz)
+	}
+	// Sizes differ by at most 1.
+	if shards[0].Rows()-shards[2].Rows() > 1 {
+		t.Fatalf("unbalanced shards: %d vs %d", shards[0].Rows(), shards[2].Rows())
+	}
+}
+
+func TestShardMoreThanRows(t *testing.T) {
+	train, _, err := Generate(SynthConfig{
+		Name: "s", Dim: 20, TrainRows: 2, TestRows: 1, RowNNZ: 3,
+		ZipfS: 1.3, SignalNNZ: 5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := train.Shard(5)
+	nonEmpty := 0
+	for _, s := range shards {
+		if s.Rows() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 2 {
+		t.Fatalf("nonEmpty = %d", nonEmpty)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	d, err := ReadLIBSVM(strings.NewReader("+1 1:1\n-1 1:1\n+1 2:1\n"), 2, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x = [1, -1]: row0 margin 1 (+1 ✓), row1 margin 1 (−1 ✗), row2 margin −1 (+1 ✗).
+	acc := d.Accuracy([]float64{1, -1})
+	if math.Abs(acc-1.0/3) > 1e-15 {
+		t.Fatalf("Accuracy = %v", acc)
+	}
+	// Zero margin counts as wrong.
+	if a := d.Accuracy([]float64{0, 0}); a != 0 {
+		t.Fatalf("zero-margin accuracy = %v", a)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := News20Like(0.001, 42)
+	a, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != b.NNZ() || !vec.Equal(a.Labels, b.Labels) {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+func TestGenerateShapeMatchesConfig(t *testing.T) {
+	cfg := SynthConfig{
+		Name: "shape", Dim: 500, TrainRows: 200, TestRows: 50, RowNNZ: 10,
+		ZipfS: 1.3, SignalNNZ: 30, NoiseFlip: 0.05, Seed: 9,
+	}
+	train, test, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := train.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := test.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if train.Rows() != 200 || test.Rows() != 50 || train.Dim() != 500 {
+		t.Fatalf("shape: %d %d %d", train.Rows(), test.Rows(), train.Dim())
+	}
+	meanNNZ := float64(train.NNZ()) / float64(train.Rows())
+	if meanNNZ < 3 || meanNNZ > 25 {
+		t.Fatalf("mean row nnz %v far from configured 10", meanNNZ)
+	}
+	// Zipf head: the most popular block of features should hold far more
+	// mass than the tail block.
+	counts := train.X.ColumnDensity(10)
+	if counts[0] <= counts[9]*2 {
+		t.Fatalf("no popularity skew: head %d tail %d", counts[0], counts[9])
+	}
+	// Label balance should not be degenerate.
+	s := train.Summary()
+	if s.PosFrac < 0.1 || s.PosFrac > 0.9 {
+		t.Fatalf("degenerate label balance %v", s.PosFrac)
+	}
+}
+
+func TestGenerateIsLearnable(t *testing.T) {
+	// A planted linear model must be recoverable: train accuracy of the
+	// true weights should be >= 1 - noise - slack.
+	cfg := SynthConfig{
+		Name: "learn", Dim: 300, TrainRows: 400, TestRows: 100, RowNNZ: 12,
+		ZipfS: 1.3, SignalNNZ: 40, NoiseFlip: 0.02, Seed: 11,
+	}
+	train, test, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = test
+	// Re-derive w* by regenerating with the same seed (the generator uses
+	// the first SignalNNZ features); instead check separability via a
+	// simple perceptron pass, which succeeds only if structure exists.
+	w := make([]float64, cfg.Dim)
+	mistakes := 0
+	for epoch := 0; epoch < 20; epoch++ {
+		mistakes = 0
+		for r := 0; r < train.Rows(); r++ {
+			m := train.X.RowDot(r, w)
+			if m*train.Labels[r] <= 0 {
+				train.X.AddScaledRow(w, r, train.Labels[r])
+				mistakes++
+			}
+		}
+	}
+	acc := train.Accuracy(w)
+	if acc < 0.85 {
+		t.Fatalf("perceptron accuracy %v — generated data has no linear structure", acc)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []SynthConfig{
+		{Dim: 0, TrainRows: 1, TestRows: 1, RowNNZ: 1, ZipfS: 1.2, SignalNNZ: 1},
+		{Dim: 10, TrainRows: 0, TestRows: 1, RowNNZ: 1, ZipfS: 1.2, SignalNNZ: 1},
+		{Dim: 10, TrainRows: 1, TestRows: 1, RowNNZ: 11, ZipfS: 1.2, SignalNNZ: 1},
+		{Dim: 10, TrainRows: 1, TestRows: 1, RowNNZ: 1, ZipfS: 1.0, SignalNNZ: 1},
+		{Dim: 10, TrainRows: 1, TestRows: 1, RowNNZ: 1, ZipfS: 1.2, SignalNNZ: 0},
+		{Dim: 10, TrainRows: 1, TestRows: 1, RowNNZ: 1, ZipfS: 1.2, SignalNNZ: 1, NoiseFlip: 0.7},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Generate(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPaperPresets(t *testing.T) {
+	presets := PaperPresets(1.0, 1)
+	names := []string{"news20", "webspam", "url"}
+	dims := []int{1355191, 16609143, 3231961}
+	trains := []int{16000, 300000, 2000000}
+	tests := []int{3996, 50000, 396130}
+	for i, p := range presets {
+		if p.Name != names[i] {
+			t.Fatalf("preset %d name %s", i, p.Name)
+		}
+		if p.Dim != dims[i] || p.TrainRows != trains[i] || p.TestRows != tests[i] {
+			t.Fatalf("preset %s: dim %d train %d test %d", p.Name, p.Dim, p.TrainRows, p.TestRows)
+		}
+	}
+	// Scaled-down presets still validate.
+	for _, p := range PaperPresets(0.001, 1) {
+		if err := p.validate(); err != nil {
+			t.Fatalf("scaled preset %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	d, err := ReadLIBSVM(strings.NewReader("+1 1:1 2:1\n-1 1:1\n"), 4, "sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Summary()
+	if s.Rows != 2 || s.Dim != 4 || s.NNZ != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.Density-3.0/8) > 1e-15 || math.Abs(s.PosFrac-0.5) > 1e-15 {
+		t.Fatalf("Summary = %+v", s)
+	}
+}

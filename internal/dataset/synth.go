@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"psrahgadmm/internal/sparse"
+)
+
+// SynthConfig parameterizes the synthetic generator. A linear model w* with
+// SignalNNZ nonzero weights over the most popular features is planted;
+// features per row are drawn from a Zipf popularity distribution (text-like
+// long tail) and labels are sign(w*·a) with NoiseFlip label noise.
+type SynthConfig struct {
+	Name      string
+	Dim       int
+	TrainRows int
+	TestRows  int
+	// RowNNZ is the mean number of nonzeros per row.
+	RowNNZ int
+	// ZipfS > 1 controls feature popularity skew; larger = heavier head.
+	ZipfS float64
+	// SignalNNZ is the support size of the planted weight vector.
+	SignalNNZ int
+	// NoiseFlip is the probability a label is flipped.
+	NoiseFlip float64
+	Seed      int64
+}
+
+func (c SynthConfig) validate() error {
+	switch {
+	case c.Dim <= 0:
+		return fmt.Errorf("dataset: Dim must be positive")
+	case c.TrainRows <= 0:
+		return fmt.Errorf("dataset: TrainRows must be positive")
+	case c.TestRows < 0:
+		return fmt.Errorf("dataset: TestRows must be non-negative")
+	case c.RowNNZ <= 0 || c.RowNNZ > c.Dim:
+		return fmt.Errorf("dataset: RowNNZ %d out of (0,%d]", c.RowNNZ, c.Dim)
+	case c.ZipfS <= 1:
+		return fmt.Errorf("dataset: ZipfS must exceed 1")
+	case c.SignalNNZ <= 0 || c.SignalNNZ > c.Dim:
+		return fmt.Errorf("dataset: SignalNNZ %d out of (0,%d]", c.SignalNNZ, c.Dim)
+	case c.NoiseFlip < 0 || c.NoiseFlip >= 0.5:
+		return fmt.Errorf("dataset: NoiseFlip %v out of [0,0.5)", c.NoiseFlip)
+	}
+	return nil
+}
+
+// Generate builds the train and test splits deterministically from
+// cfg.Seed.
+func Generate(cfg SynthConfig) (train, test *Dataset, err error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.Dim-1))
+
+	// Planted weights on the SignalNNZ most popular features (low Zipf
+	// ranks), so most rows touch some signal.
+	w := make([]float64, cfg.Dim)
+	for i := 0; i < cfg.SignalNNZ; i++ {
+		w[i] = r.NormFloat64() * 2
+	}
+
+	gen := func(rows int, suffix string) *Dataset {
+		m := sparse.NewCSR(0, cfg.Dim, 0)
+		labels := make([]float64, rows)
+		colsBuf := make([]int32, 0, 4*cfg.RowNNZ)
+		valsBuf := make([]float64, 0, 4*cfg.RowNNZ)
+		seen := map[int32]float64{}
+		for i := 0; i < rows; i++ {
+			// Row length: geometric-ish spread around the mean, >= 1.
+			nnz := 1 + r.Intn(2*cfg.RowNNZ-1)
+			for k := range seen {
+				delete(seen, k)
+			}
+			for len(seen) < nnz {
+				f := int32(zipf.Uint64())
+				if _, ok := seen[f]; ok {
+					continue
+				}
+				// tf-idf-like positive magnitudes.
+				seen[f] = 0.2 + math.Abs(r.NormFloat64())
+			}
+			colsBuf = colsBuf[:0]
+			valsBuf = valsBuf[:0]
+			for c := range seen {
+				colsBuf = append(colsBuf, c)
+			}
+			sort.Slice(colsBuf, func(a, b int) bool { return colsBuf[a] < colsBuf[b] })
+			margin := 0.0
+			for _, c := range colsBuf {
+				v := seen[c]
+				valsBuf = append(valsBuf, v)
+				margin += v * w[c]
+			}
+			m.AppendRow(colsBuf, valsBuf)
+			label := 1.0
+			if margin < 0 {
+				label = -1
+			}
+			if r.Float64() < cfg.NoiseFlip {
+				label = -label
+			}
+			labels[i] = label
+		}
+		return &Dataset{Name: cfg.Name + suffix, X: m, Labels: labels}
+	}
+	train = gen(cfg.TrainRows, "")
+	test = gen(cfg.TestRows, "/test")
+	return train, test, nil
+}
+
+// Paper-corpus presets. scale ∈ (0, 1] shrinks dimension and row counts
+// proportionally (floors keep the problems meaningful); scale = 1
+// reproduces Table 1's sizes. The default experiment scale in package
+// bench is chosen so a full figure sweep runs in seconds on a laptop.
+//
+//	paper Table 1:  dataset   dim         train      test
+//	                news20    1,355,191   16,000     3,996
+//	                webspam   16,609,143  300,000    50,000
+//	                url       3,231,961   2,000,000  396,130
+func scaled(v int, scale float64, floor int) int {
+	s := int(float64(v) * scale)
+	if s < floor {
+		s = floor
+	}
+	return s
+}
+
+// News20Like mimics news20.binary: bag-of-words text, ~455 nonzeros per
+// row over 1.35M features, heavy Zipf head.
+func News20Like(scale float64, seed int64) SynthConfig {
+	return SynthConfig{
+		Name:      "news20",
+		Dim:       scaled(1355191, scale, 256),
+		TrainRows: scaled(16000, scale, 64),
+		TestRows:  scaled(3996, scale, 16),
+		RowNNZ:    scaled(455, scale*10, 12),
+		ZipfS:     1.3,
+		SignalNNZ: scaled(2000, scale, 32),
+		NoiseFlip: 0.02,
+		Seed:      seed,
+	}
+}
+
+// WebspamLike mimics webspam (trigram): extremely high dimension (16.6M),
+// ~3700 nonzeros per row, very sparse relative to dimension.
+func WebspamLike(scale float64, seed int64) SynthConfig {
+	return SynthConfig{
+		Name:      "webspam",
+		Dim:       scaled(16609143, scale, 512),
+		TrainRows: scaled(300000, scale, 96),
+		TestRows:  scaled(50000, scale, 16),
+		RowNNZ:    scaled(3730, scale*10, 20),
+		ZipfS:     1.2,
+		SignalNNZ: scaled(4000, scale, 48),
+		NoiseFlip: 0.01,
+		Seed:      seed,
+	}
+}
+
+// URLLike mimics the url reputation corpus: 3.2M features, ~115 nonzeros
+// per row, many near-binary features, mild skew.
+func URLLike(scale float64, seed int64) SynthConfig {
+	return SynthConfig{
+		Name:      "url",
+		Dim:       scaled(3231961, scale, 384),
+		TrainRows: scaled(2000000, scale, 128),
+		TestRows:  scaled(396130, scale, 24),
+		RowNNZ:    scaled(115, scale*10, 10),
+		ZipfS:     1.15,
+		SignalNNZ: scaled(3000, scale, 40),
+		NoiseFlip: 0.03,
+		Seed:      seed,
+	}
+}
+
+// PaperPresets returns the three Table 1 dataset configs at the given
+// scale, in the paper's order.
+func PaperPresets(scale float64, seed int64) []SynthConfig {
+	return []SynthConfig{
+		News20Like(scale, seed),
+		WebspamLike(scale, seed+1),
+		URLLike(scale, seed+2),
+	}
+}

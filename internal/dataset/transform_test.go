@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"psrahgadmm/internal/vec"
+)
+
+func transformFixture(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := ReadLIBSVM(strings.NewReader(
+		"+1 1:3 2:4\n-1 2:2\n+1 3:10\n-1 1:1 3:2\n+1 2:6\n-1 1:5\n"), 3, "fx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNormalizeRowsL2(t *testing.T) {
+	d := transformFixture(t)
+	d.NormalizeRowsL2()
+	for r := 0; r < d.Rows(); r++ {
+		_, vals := d.X.Row(r)
+		var sq float64
+		for _, v := range vals {
+			sq += v * v
+		}
+		if math.Abs(sq-1) > 1e-12 {
+			t.Fatalf("row %d norm² = %v", r, sq)
+		}
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 was (3,4): must become (0.6, 0.8).
+	_, vals := d.X.Row(0)
+	if math.Abs(vals[0]-0.6) > 1e-12 || math.Abs(vals[1]-0.8) > 1e-12 {
+		t.Fatalf("row 0 = %v", vals)
+	}
+}
+
+func TestNormalizeRowsL2EmptyRow(t *testing.T) {
+	d, err := ReadLIBSVM(strings.NewReader("+1 1:2\n-1\n"), 2, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.NormalizeRowsL2() // must not panic on the empty row
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAbsColumnScale(t *testing.T) {
+	d := transformFixture(t)
+	scales := d.MaxAbsColumnScale()
+	// Column maxima: col0 max |5|, col1 max |6|, col2 max |10|.
+	want := []float64{5, 6, 10}
+	if !vec.WithinTol(scales, want, 1e-12) {
+		t.Fatalf("scales = %v, want %v", scales, want)
+	}
+	// After scaling every |value| ≤ 1 and each column's max is exactly 1.
+	maxima := make([]float64, d.Dim())
+	for k, c := range d.X.ColIdx {
+		if a := math.Abs(d.X.Val[k]); a > maxima[c] {
+			maxima[c] = a
+		}
+	}
+	for c, mx := range maxima {
+		if math.Abs(mx-1) > 1e-12 {
+			t.Fatalf("column %d post-scale max = %v", c, mx)
+		}
+	}
+}
+
+func TestApplyColumnScaleToTestSplit(t *testing.T) {
+	train := transformFixture(t)
+	test := transformFixture(t)
+	scales := train.MaxAbsColumnScale()
+	test.ApplyColumnScale(scales)
+	// Both splits must now be identical (they started identical).
+	for r := 0; r < train.Rows(); r++ {
+		_, a := train.X.Row(r)
+		_, b := test.X.Row(r)
+		if !vec.WithinTol(a, b, 1e-12) {
+			t.Fatalf("row %d differs after shared scaling", r)
+		}
+	}
+}
+
+func TestShuffleAndReorder(t *testing.T) {
+	d := transformFixture(t)
+	orig := make([]float64, d.Rows())
+	copy(orig, d.Labels)
+	nnz := d.NNZ()
+	d.Shuffle(3)
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NNZ() != nnz || d.Rows() != len(orig) {
+		t.Fatal("shuffle lost data")
+	}
+	// Same multiset of labels.
+	var sumA, sumB float64
+	for i := range orig {
+		sumA += orig[i]
+		sumB += d.Labels[i]
+	}
+	if sumA != sumB {
+		t.Fatal("labels changed")
+	}
+	// Deterministic: same seed, same order.
+	e := transformFixture(t)
+	e.Shuffle(3)
+	if !vec.Equal(d.Labels, e.Labels) {
+		t.Fatal("shuffle not deterministic")
+	}
+}
+
+func TestReorderRejectsBadPermutation(t *testing.T) {
+	d := transformFixture(t)
+	for _, bad := range [][]int{
+		{0, 0, 2, 3, 4, 5},
+		{0, 1, 2},
+		{0, 1, 2, 3, 4, 9},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("permutation %v accepted", bad)
+				}
+			}()
+			d.Reorder(bad)
+		}()
+	}
+}
+
+func TestStratifiedSplit(t *testing.T) {
+	train, _, err := Generate(SynthConfig{
+		Name: "ss", Dim: 100, TrainRows: 200, TestRows: 1, RowNNZ: 5,
+		ZipfS: 1.3, SignalNNZ: 20, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, te, err := train.StratifiedSplit(0.25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rows()+te.Rows() != train.Rows() {
+		t.Fatalf("split lost rows: %d + %d != %d", tr.Rows(), te.Rows(), train.Rows())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := te.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Label ratios preserved within a couple of samples.
+	frac := func(d *Dataset) float64 { return d.Summary().PosFrac }
+	if math.Abs(frac(tr)-frac(te)) > 0.05 {
+		t.Fatalf("stratification broken: train %v vs test %v", frac(tr), frac(te))
+	}
+	// Invalid fractions rejected.
+	if _, _, err := train.StratifiedSplit(0, 1); err == nil {
+		t.Fatal("testFrac 0 accepted")
+	}
+	if _, _, err := train.StratifiedSplit(1, 1); err == nil {
+		t.Fatal("testFrac 1 accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	s := Sparkline([]float64{1, 2, 3, 4})
+	if utf8.RuneCountInString(s) != 4 {
+		t.Fatalf("length %d, want 4", utf8.RuneCountInString(s))
+	}
+	// Monotone input → monotone glyph heights.
+	runes := []rune(s)
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("non-monotone sparkline %q", s)
+		}
+	}
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("endpoints %q", s)
+	}
+}
+
+func TestSparklineLogScale(t *testing.T) {
+	// Convergence-style decay spanning 5 decades: the log scale must keep
+	// the middle values distinguishable (not all collapsed to the floor).
+	vals := []float64{1, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5}
+	s := []rune(Sparkline(vals))
+	if s[0] != '█' || s[len(s)-1] != '▁' {
+		t.Fatalf("log endpoints %q", string(s))
+	}
+	distinct := map[rune]bool{}
+	for _, r := range s {
+		distinct[r] = true
+	}
+	if len(distinct) < 4 {
+		t.Fatalf("log scale collapsed: %q", string(s))
+	}
+}
+
+func TestSparklineNaNsAndConstants(t *testing.T) {
+	s := Sparkline([]float64{math.NaN(), 1, math.NaN()})
+	if !strings.HasPrefix(s, " ") || !strings.HasSuffix(s, " ") {
+		t.Fatalf("NaN rendering %q", s)
+	}
+	all := Sparkline([]float64{math.NaN(), math.NaN()})
+	if all != "  " {
+		t.Fatalf("all-NaN rendering %q", all)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if utf8.RuneCountInString(flat) != 3 {
+		t.Fatalf("flat rendering %q", flat)
+	}
+}

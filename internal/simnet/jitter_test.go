@@ -1,0 +1,109 @@
+package simnet
+
+import "testing"
+
+func TestJitterRangeAndDeterminism(t *testing.T) {
+	j := Jitter{Seed: 9, Amp: 0.5}
+	for iter := 0; iter < 50; iter++ {
+		for w := 0; w < 16; w++ {
+			f := j.Factor(iter, w)
+			if f < 1 || f > 1.5 {
+				t.Fatalf("factor %v out of [1,1.5]", f)
+			}
+			if f != j.Factor(iter, w) {
+				t.Fatal("jitter not deterministic")
+			}
+		}
+	}
+}
+
+func TestJitterDisabled(t *testing.T) {
+	j := Jitter{}
+	if j.Enabled() {
+		t.Fatal("zero Jitter enabled")
+	}
+	if j.Factor(3, 4) != 1 {
+		t.Fatal("disabled jitter altered factor")
+	}
+}
+
+func TestJitterVaries(t *testing.T) {
+	j := Jitter{Seed: 2, Amp: 0.5}
+	same := true
+	base := j.Factor(0, 0)
+	for w := 1; w < 32 && same; w++ {
+		if j.Factor(0, w) != base {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("jitter constant across workers")
+	}
+	// Mean should be near 1 + Amp/2.
+	sum := 0.0
+	n := 0
+	for iter := 0; iter < 100; iter++ {
+		for w := 0; w < 32; w++ {
+			sum += j.Factor(iter, w)
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	if mean < 1.2 || mean > 1.3 {
+		t.Fatalf("jitter mean %v, want ≈1.25", mean)
+	}
+}
+
+func TestStragglerDelay(t *testing.T) {
+	s := Stragglers{Seed: 3, Prob: 0.5, Delay: 2e-3}
+	if !s.Enabled() {
+		t.Fatal("delay-only injector should be enabled")
+	}
+	sawDelay, sawZero := false, false
+	for iter := 0; iter < 40; iter++ {
+		d := s.NodeDelay(iter, 1)
+		switch d {
+		case 0:
+			sawZero = true
+		case 2e-3:
+			sawDelay = true
+		default:
+			t.Fatalf("delay %v", d)
+		}
+		// Delay-only injection must not touch the multiplicative factor.
+		if s.NodeFactor(iter, 1) != 1 {
+			t.Fatal("delay-only injector changed NodeFactor")
+		}
+	}
+	if !sawDelay || !sawZero {
+		t.Fatalf("delay injection degenerate: sawDelay=%v sawZero=%v", sawDelay, sawZero)
+	}
+}
+
+func TestStragglerSlowdownAndDelayCompose(t *testing.T) {
+	s := Stragglers{Seed: 3, Prob: 1, Slowdown: 3, Delay: 1e-3}
+	if s.NodeFactor(0, 0) != 3 {
+		t.Fatalf("factor %v", s.NodeFactor(0, 0))
+	}
+	if s.NodeDelay(0, 0) != 1e-3 {
+		t.Fatalf("delay %v", s.NodeDelay(0, 0))
+	}
+}
+
+func TestScaleBandwidthAndCompute(t *testing.T) {
+	c := Tianhe2Like()
+	s := c.ScaleBandwidth(4)
+	if s.InterBeta != 4*c.InterBeta || s.IntraBeta != 4*c.IntraBeta {
+		t.Fatal("ScaleBandwidth wrong")
+	}
+	if s.InterAlpha != c.InterAlpha {
+		t.Fatal("ScaleBandwidth must not change latency")
+	}
+	s2 := c.ScaleCompute(5)
+	if s2.ComputePerUnit != 5*c.ComputePerUnit {
+		t.Fatal("ScaleCompute wrong")
+	}
+	if s2.InterBeta != c.InterBeta {
+		t.Fatal("ScaleCompute must not change bandwidth")
+	}
+}

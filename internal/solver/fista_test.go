@@ -1,0 +1,103 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"psrahgadmm/internal/vec"
+)
+
+func TestFISTAConvergesAndMatchesADMMStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(70))
+	data, labels := smallLogistic(r, 60, 12)
+	lambda := 0.5
+
+	x := make([]float64, 12)
+	res := FISTA(data, labels, lambda, x, FISTAOptions{MaxIter: 2000, Tol: 1e-12})
+	if !res.Converged {
+		t.Fatalf("FISTA did not converge: %+v", res)
+	}
+
+	obj := func(pt []float64) float64 {
+		var loss float64
+		for row := 0; row < data.NRows; row++ {
+			loss += LogLoss(labels[row] * data.RowDot(row, pt))
+		}
+		return loss + lambda*vec.Nrm1(pt)
+	}
+	f := obj(x)
+	if math.Abs(f-res.F) > 1e-9*(1+math.Abs(f)) {
+		t.Fatalf("reported F %v != evaluated %v", res.F, f)
+	}
+
+	// First-order optimality of the composite problem: for x_i ≠ 0,
+	// ∇f_i = −λ·sign(x_i); for x_i = 0, |∇f_i| ≤ λ.
+	grad := make([]float64, 12)
+	scratch := make([]float64, data.NRows)
+	margins := make([]float64, data.NRows)
+	data.MulVec(margins, x)
+	for j := range margins {
+		scratch[j] = -labels[j] * Sigmoid(-labels[j]*margins[j])
+	}
+	data.MulTransVec(grad, scratch)
+	for i, xi := range x {
+		switch {
+		case xi > 0:
+			if math.Abs(grad[i]+lambda) > 1e-4 {
+				t.Fatalf("KKT violated at %d: grad %v, x %v", i, grad[i], xi)
+			}
+		case xi < 0:
+			if math.Abs(grad[i]-lambda) > 1e-4 {
+				t.Fatalf("KKT violated at %d: grad %v, x %v", i, grad[i], xi)
+			}
+		default:
+			if math.Abs(grad[i]) > lambda+1e-4 {
+				t.Fatalf("KKT violated at zero %d: |grad| %v > λ", i, math.Abs(grad[i]))
+			}
+		}
+	}
+
+	// Perturbation check: no nearby point beats the solution.
+	for trial := 0; trial < 50; trial++ {
+		xp := vec.Clone(x)
+		xp[r.Intn(12)] += (r.Float64() - 0.5) * 0.01
+		if obj(xp) < f-1e-9 {
+			t.Fatalf("perturbed objective %v below solution %v", obj(xp), f)
+		}
+	}
+}
+
+func TestFISTAZeroLambdaIsLogisticRegression(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	data, labels := smallLogistic(r, 40, 6)
+	x := make([]float64, 6)
+	res := FISTA(data, labels, 0, x, FISTAOptions{MaxIter: 3000, Tol: 1e-12})
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	// Gradient must vanish without regularization.
+	margins := make([]float64, data.NRows)
+	scratch := make([]float64, data.NRows)
+	grad := make([]float64, 6)
+	data.MulVec(margins, x)
+	for j := range margins {
+		scratch[j] = -labels[j] * Sigmoid(-labels[j]*margins[j])
+	}
+	data.MulTransVec(grad, scratch)
+	if vec.Nrm2(grad) > 1e-4 {
+		t.Fatalf("gradient norm %v at unregularized optimum", vec.Nrm2(grad))
+	}
+}
+
+func TestFISTAHighLambdaGivesZero(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	data, labels := smallLogistic(r, 30, 5)
+	x := make([]float64, 5)
+	// λ above the gradient magnitude at 0 forces the zero solution.
+	res := FISTA(data, labels, 1e4, x, FISTAOptions{MaxIter: 200})
+	_ = res
+	if vec.CountNonzero(x) != 0 {
+		t.Fatalf("x = %v, want exactly zero at huge λ", x)
+	}
+}

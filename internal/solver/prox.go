@@ -1,0 +1,49 @@
+package solver
+
+import "psrahgadmm/internal/vec"
+
+// ZUpdateL1 computes the consensus z-update for g(z) = lambda·‖z‖₁ (paper
+// eq. 10, with the N-worker penalty aggregated correctly):
+//
+//	z = argmin_z  λ‖z‖₁ + (Nρ/2)‖z‖² − zᵀW
+//	  = SoftThreshold(W, λ) / (Nρ)
+//
+// where W = Σᵢ (yᵢ + ρ·xᵢ) over the n workers contributing to W. Note the
+// paper's eq. (10) writes ρ/2·‖z‖²; summing eq. (5)'s penalty over i gives
+// N·ρ/2, which is what we use (the paper silently absorbs N into ρ).
+// dst may alias w.
+func ZUpdateL1(dst, w []float64, lambda, rho float64, n int) {
+	if n <= 0 {
+		panic("solver: ZUpdateL1 requires n >= 1")
+	}
+	inv := 1 / (rho * float64(n))
+	for i, wi := range w {
+		dst[i] = vec.SoftThreshold(wi, lambda) * inv
+	}
+}
+
+// ZUpdateL2 computes the consensus z-update for ridge regularization
+// g(z) = (lambda/2)·‖z‖²:
+//
+//	z = argmin_z (λ/2)‖z‖² + (Nρ/2)‖z‖² − zᵀW = W / (λ + Nρ)
+func ZUpdateL2(dst, w []float64, lambda, rho float64, n int) {
+	if n <= 0 {
+		panic("solver: ZUpdateL2 requires n >= 1")
+	}
+	vec.ScaleTo(dst, 1/(lambda+rho*float64(n)), w)
+}
+
+// DualUpdate performs yᵢ ← yᵢ + ρ(xᵢ − z) in place (paper eq. 6).
+func DualUpdate(y, x, z []float64, rho float64) {
+	for i := range y {
+		y[i] += rho * (x[i] - z[i])
+	}
+}
+
+// WLocal computes wᵢ = yᵢ + ρ·xᵢ (paper eq. 8), the quantity each worker
+// contributes to the Allreduce.
+func WLocal(dst, y, x []float64, rho float64) {
+	for i := range dst {
+		dst[i] = y[i] + rho*x[i]
+	}
+}

@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"psrahgadmm/internal/wire"
+)
+
+// inboxDepth bounds each rank's unread message queue. The ADMM algorithms
+// are at most a few messages ahead per peer, so this never fills in
+// practice; if it does, Send blocks, which is exactly MPI's eager-limit
+// behaviour.
+const inboxDepth = 4096
+
+// ChanFabric is an in-process fabric connecting n rank goroutines with
+// channels. Construct it once, hand Endpoint(i) to goroutine i.
+type ChanFabric struct {
+	size      int
+	endpoints []*chanEndpoint
+}
+
+// NewChanFabric creates a fabric with n ranks.
+func NewChanFabric(n int) *ChanFabric {
+	if n <= 0 {
+		panic("transport: fabric size must be positive")
+	}
+	f := &ChanFabric{size: n}
+	f.endpoints = make([]*chanEndpoint, n)
+	for i := range f.endpoints {
+		f.endpoints[i] = &chanEndpoint{
+			fabric: f,
+			rank:   i,
+			inbox:  make(chan wire.Message, inboxDepth),
+			closed: make(chan struct{}),
+		}
+	}
+	return f
+}
+
+// Size returns the number of ranks.
+func (f *ChanFabric) Size() int { return f.size }
+
+// Endpoint returns rank i's endpoint.
+func (f *ChanFabric) Endpoint(i int) Endpoint {
+	if err := checkRank(i, f.size); err != nil {
+		panic(err)
+	}
+	return f.endpoints[i]
+}
+
+// Close closes every endpoint in the fabric.
+func (f *ChanFabric) Close() {
+	for _, ep := range f.endpoints {
+		_ = ep.Close()
+	}
+}
+
+type chanEndpoint struct {
+	fabric *ChanFabric
+	rank   int
+	inbox  chan wire.Message
+	buf    pending
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	stats     statsCounter
+}
+
+func (e *chanEndpoint) Rank() int { return e.rank }
+func (e *chanEndpoint) Size() int { return e.fabric.size }
+
+func (e *chanEndpoint) Send(to int, m wire.Message) error {
+	if err := checkRank(to, e.fabric.size); err != nil {
+		return err
+	}
+	m.From = int32(e.rank)
+	// Deep-copy float payloads: delivery must not alias the sender's
+	// buffers, or a sender mutating its vector on a later collective step
+	// races with a receiver still reading this one. This mirrors the TCP
+	// fabric, where serialization makes the copy implicit.
+	if m.Dense != nil {
+		m.Dense = append([]float64(nil), m.Dense...)
+	}
+	if m.Sparse != nil {
+		m.Sparse = m.Sparse.Clone()
+	}
+	dst := e.fabric.endpoints[to]
+	// Check closed states first: select{} picks randomly among ready cases,
+	// and a send to a closed-but-drainable inbox must still fail.
+	select {
+	case <-e.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-dst.closed:
+		return fmt.Errorf("transport: send to closed rank %d: %w", to, ErrClosed)
+	default:
+	}
+	select {
+	case <-e.closed:
+		return ErrClosed
+	case <-dst.closed:
+		return fmt.Errorf("transport: send to closed rank %d: %w", to, ErrClosed)
+	case dst.inbox <- m:
+		e.stats.record(m)
+		return nil
+	}
+}
+
+func (e *chanEndpoint) Recv(from int, tag int32) (wire.Message, error) {
+	if from != AnySource {
+		if err := checkRank(from, e.fabric.size); err != nil {
+			return wire.Message{}, err
+		}
+	}
+	if m, ok := e.buf.take(from, tag); ok {
+		return m, nil
+	}
+	for {
+		select {
+		case <-e.closed:
+			return wire.Message{}, ErrClosed
+		case m := <-e.inbox:
+			if m.Tag == tag && (from == AnySource || int(m.From) == from) {
+				return m, nil
+			}
+			e.buf.put(m)
+		}
+	}
+}
+
+func (e *chanEndpoint) Stats() Stats { return e.stats.snapshot() }
+
+func (e *chanEndpoint) Close() error {
+	e.closeOnce.Do(func() { close(e.closed) })
+	return nil
+}

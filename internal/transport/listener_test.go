@@ -1,0 +1,18 @@
+package transport
+
+import "net"
+
+// loopbackListener reserves an ephemeral port for tests that need to know a
+// full mesh's addresses up front.
+type loopbackListener struct {
+	ln   net.Listener
+	port int
+}
+
+func newLoopbackListener() (*loopbackListener, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return &loopbackListener{ln: ln, port: ln.Addr().(*net.TCPAddr).Port}, nil
+}

@@ -1,0 +1,271 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"psrahgadmm/internal/wire"
+)
+
+// handshakeTag is the reserved tag carried by the one-time rank
+// identification frame exchanged when a mesh connection is established.
+// User code must not send on this tag.
+const handshakeTag int32 = -0x7fffffff
+
+// TCPOptions configures mesh establishment.
+type TCPOptions struct {
+	// DialTimeout bounds how long NewTCPEndpoint keeps retrying dials to
+	// peers that have not started listening yet. Default 30s.
+	DialTimeout time.Duration
+	// RetryInterval is the pause between dial attempts. Default 50ms.
+	RetryInterval time.Duration
+}
+
+func (o *TCPOptions) fill() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 30 * time.Second
+	}
+	if o.RetryInterval <= 0 {
+		o.RetryInterval = 50 * time.Millisecond
+	}
+}
+
+// tcpEndpoint is one rank of a full TCP mesh. Every pair of ranks shares
+// exactly one TCP connection: rank i dials every rank j < i and accepts
+// from every j > i, so connection count is n(n-1)/2 across the cluster.
+type tcpEndpoint struct {
+	rank  int
+	size  int
+	ln    net.Listener
+	peers []*tcpPeer // indexed by rank; peers[rank] == nil
+
+	inbox chan wire.Message
+	buf   pending
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+	stats     statsCounter
+}
+
+type tcpPeer struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes frame writes
+}
+
+// NewTCPEndpoint joins a TCP mesh as `rank`. addrs lists the listen address
+// of every rank (host:port); addrs[rank] is this process's own listen
+// address. The call blocks until the full mesh is established.
+func NewTCPEndpoint(rank int, addrs []string, opts TCPOptions) (Endpoint, error) {
+	opts.fill()
+	size := len(addrs)
+	if err := checkRank(rank, size); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("transport: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	e := &tcpEndpoint{
+		rank:   rank,
+		size:   size,
+		ln:     ln,
+		peers:  make([]*tcpPeer, size),
+		inbox:  make(chan wire.Message, inboxDepth),
+		closed: make(chan struct{}),
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var setup sync.WaitGroup
+
+	// Accept connections from all higher ranks.
+	higher := size - 1 - rank
+	setup.Add(1)
+	go func() {
+		defer setup.Done()
+		for i := 0; i < higher; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				setErr(fmt.Errorf("transport: rank %d accept: %w", rank, err))
+				return
+			}
+			m, err := wire.Decode(conn)
+			if err != nil || m.Tag != handshakeTag || len(m.Ints) != 1 {
+				conn.Close()
+				setErr(fmt.Errorf("transport: rank %d bad handshake: %v", rank, err))
+				return
+			}
+			peer := int(m.Ints[0])
+			if err := checkRank(peer, size); err != nil || peer <= rank {
+				conn.Close()
+				setErr(fmt.Errorf("transport: rank %d handshake from invalid rank %d", rank, peer))
+				return
+			}
+			mu.Lock()
+			dup := e.peers[peer] != nil
+			if !dup {
+				e.peers[peer] = &tcpPeer{conn: conn}
+			}
+			mu.Unlock()
+			if dup {
+				conn.Close()
+				setErr(fmt.Errorf("transport: rank %d duplicate handshake from %d", rank, peer))
+				return
+			}
+		}
+	}()
+
+	// Dial all lower ranks, retrying while they come up.
+	for peer := 0; peer < rank; peer++ {
+		setup.Add(1)
+		go func(peer int) {
+			defer setup.Done()
+			deadline := time.Now().Add(opts.DialTimeout)
+			for {
+				conn, err := net.DialTimeout("tcp", addrs[peer], opts.DialTimeout)
+				if err == nil {
+					hs := wire.Control(handshakeTag, int64(rank))
+					hs.From = int32(rank)
+					if err := wire.Encode(conn, hs); err != nil {
+						conn.Close()
+						setErr(fmt.Errorf("transport: rank %d handshake to %d: %w", rank, peer, err))
+						return
+					}
+					mu.Lock()
+					e.peers[peer] = &tcpPeer{conn: conn}
+					mu.Unlock()
+					return
+				}
+				if time.Now().After(deadline) {
+					setErr(fmt.Errorf("transport: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err))
+					return
+				}
+				time.Sleep(opts.RetryInterval)
+			}
+		}(peer)
+	}
+
+	setup.Wait()
+	if firstErr != nil {
+		e.teardown()
+		return nil, firstErr
+	}
+
+	// Start one reader per peer connection.
+	for p, peer := range e.peers {
+		if peer == nil {
+			continue
+		}
+		e.wg.Add(1)
+		go e.readLoop(p, peer.conn)
+	}
+	return e, nil
+}
+
+func (e *tcpEndpoint) readLoop(peer int, conn net.Conn) {
+	defer e.wg.Done()
+	for {
+		m, err := wire.Decode(conn)
+		if err != nil {
+			return // connection closed or corrupted; Recv ends via e.closed
+		}
+		m.From = int32(peer) // trust the mesh, not the frame
+		select {
+		case e.inbox <- m:
+		case <-e.closed:
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) Rank() int { return e.rank }
+func (e *tcpEndpoint) Size() int { return e.size }
+
+func (e *tcpEndpoint) Send(to int, m wire.Message) error {
+	if err := checkRank(to, e.size); err != nil {
+		return err
+	}
+	if to == e.rank {
+		// Loopback without touching the network.
+		m.From = int32(e.rank)
+		select {
+		case e.inbox <- m:
+			e.stats.record(m)
+			return nil
+		case <-e.closed:
+			return ErrClosed
+		}
+	}
+	peer := e.peers[to]
+	if peer == nil {
+		return fmt.Errorf("transport: no connection to rank %d", to)
+	}
+	select {
+	case <-e.closed:
+		return ErrClosed
+	default:
+	}
+	m.From = int32(e.rank)
+	peer.wmu.Lock()
+	err := wire.Encode(peer.conn, m)
+	peer.wmu.Unlock()
+	if err != nil {
+		return fmt.Errorf("transport: send to rank %d: %w", to, err)
+	}
+	e.stats.record(m)
+	return nil
+}
+
+func (e *tcpEndpoint) Recv(from int, tag int32) (wire.Message, error) {
+	if from != AnySource {
+		if err := checkRank(from, e.size); err != nil {
+			return wire.Message{}, err
+		}
+	}
+	if m, ok := e.buf.take(from, tag); ok {
+		return m, nil
+	}
+	for {
+		select {
+		case <-e.closed:
+			return wire.Message{}, ErrClosed
+		case m := <-e.inbox:
+			if m.Tag == tag && (from == AnySource || int(m.From) == from) {
+				return m, nil
+			}
+			e.buf.put(m)
+		}
+	}
+}
+
+func (e *tcpEndpoint) Stats() Stats { return e.stats.snapshot() }
+
+func (e *tcpEndpoint) teardown() {
+	if e.ln != nil {
+		e.ln.Close()
+	}
+	for _, p := range e.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.closed)
+		e.teardown()
+	})
+	e.wg.Wait()
+	return nil
+}

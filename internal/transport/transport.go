@@ -1,0 +1,107 @@
+// Package transport provides the message-passing fabric the PSRA-HGADMM
+// algorithms run on. It plays the role MPICH plays in the paper: reliable,
+// ordered, tagged point-to-point messaging between ranks, with two
+// interchangeable implementations:
+//
+//   - ChanFabric: all ranks are goroutines in one process, messages travel
+//     over channels. This is the default for the engine, the tests, and the
+//     benchmark harness.
+//   - TCPFabric: each rank is a peer in a full TCP mesh using the wire
+//     codec. This is the "custom RPC" substitute for MPI when ranks live in
+//     separate processes (see cmd/psra-worker).
+//
+// Collectives (package collective) and the WLG runtime (package wlg) are
+// written purely against Endpoint, so every algorithm runs unchanged on
+// either fabric.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"psrahgadmm/internal/wire"
+)
+
+// AnySource makes Recv match a message from any sender, like MPI_ANY_SOURCE.
+const AnySource = -1
+
+// ErrClosed is returned by Send/Recv after the endpoint has been closed.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Endpoint is one rank's handle onto the fabric. Send and Recv follow MPI
+// point-to-point semantics: messages between a fixed (sender, receiver)
+// pair are delivered in send order, and Recv matches on (source, tag),
+// buffering non-matching messages until a matching Recv arrives.
+//
+// An Endpoint is safe for use by a single goroutine (one rank = one
+// goroutine); concurrent Sends from the owning goroutine's helpers must be
+// externally serialized.
+type Endpoint interface {
+	// Rank returns this endpoint's 0-based rank.
+	Rank() int
+	// Size returns the number of ranks in the world.
+	Size() int
+	// Send delivers m to rank `to`. The From field is stamped by the
+	// fabric. Delivered payloads never alias the sender's buffers: the
+	// channel fabric deep-copies float payloads, the TCP fabric
+	// serializes. Senders may mutate their buffers as soon as Send
+	// returns.
+	Send(to int, m wire.Message) error
+	// Recv blocks until a message with the given tag from the given source
+	// (or from anyone when from == AnySource) is available.
+	Recv(from int, tag int32) (wire.Message, error)
+	// Stats returns cumulative send-side counters for this endpoint.
+	Stats() Stats
+	// Close tears down the endpoint. Blocked Recvs return ErrClosed.
+	Close() error
+}
+
+// Stats counts traffic an endpoint has sent.
+type Stats struct {
+	MsgsSent  int64
+	BytesSent int64
+}
+
+type statsCounter struct {
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+func (s *statsCounter) record(m wire.Message) {
+	s.msgs.Add(1)
+	s.bytes.Add(int64(wire.EncodedBytes(m)))
+}
+
+func (s *statsCounter) snapshot() Stats {
+	return Stats{MsgsSent: s.msgs.Load(), BytesSent: s.bytes.Load()}
+}
+
+func checkRank(rank, size int) error {
+	if rank < 0 || rank >= size {
+		return fmt.Errorf("transport: rank %d out of range [0,%d)", rank, size)
+	}
+	return nil
+}
+
+// pending is an ordered buffer of received-but-unmatched messages.
+type pending struct {
+	msgs []wire.Message
+}
+
+// take removes and returns the first buffered message matching (from, tag).
+func (p *pending) take(from int, tag int32) (wire.Message, bool) {
+	for i, m := range p.msgs {
+		if m.Tag != tag {
+			continue
+		}
+		if from != AnySource && int(m.From) != from {
+			continue
+		}
+		p.msgs = append(p.msgs[:i], p.msgs[i+1:]...)
+		return m, true
+	}
+	return wire.Message{}, false
+}
+
+func (p *pending) put(m wire.Message) { p.msgs = append(p.msgs, m) }

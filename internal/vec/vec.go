@@ -1,0 +1,328 @@
+// Package vec provides the dense float64 vector kernels used throughout the
+// PSRA-HGADMM library: BLAS-level-1 style operations (axpy, dot, scale,
+// norms), numerically careful summation, and small helpers for cloning and
+// zeroing. All functions operate on plain []float64 so callers can slice
+// blocks out of larger buffers without copies, which the collective
+// communication layer relies on heavily.
+//
+// Unless stated otherwise, functions panic when the input lengths disagree;
+// a length mismatch is always a programming error in this codebase, never a
+// runtime condition to recover from.
+package vec
+
+import "math"
+
+// Dot returns the inner product <a, b>.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vec: Dot length mismatch")
+	}
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha * x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("vec: Axpy length mismatch")
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, xv := range x {
+		y[i] += alpha * xv
+	}
+}
+
+// AxpyTo computes dst = y + alpha*x without modifying the inputs.
+// dst may alias y or x.
+func AxpyTo(dst []float64, alpha float64, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("vec: AxpyTo length mismatch")
+	}
+	for i := range dst {
+		dst[i] = y[i] + alpha*x[i]
+	}
+}
+
+// Scale computes x *= alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// ScaleTo computes dst = alpha * x. dst may alias x.
+func ScaleTo(dst []float64, alpha float64, x []float64) {
+	if len(dst) != len(x) {
+		panic("vec: ScaleTo length mismatch")
+	}
+	for i, xv := range x {
+		dst[i] = alpha * xv
+	}
+}
+
+// Add computes dst = a + b elementwise. dst may alias either input.
+func Add(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("vec: Add length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst = a - b elementwise. dst may alias either input.
+func Sub(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("vec: Sub length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// AddInto accumulates src into dst: dst += src.
+func AddInto(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("vec: AddInto length mismatch")
+	}
+	for i, sv := range src {
+		dst[i] += sv
+	}
+}
+
+// Nrm2 returns the Euclidean norm ||x||_2, guarding against overflow the
+// same way the reference BLAS dnrm2 does (scaling by the running maximum).
+func Nrm2(x []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if scale < av {
+			r := scale / av
+			ssq = 1 + ssq*r*r
+			scale = av
+		} else {
+			r := av / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Nrm2Sq returns ||x||_2^2 via direct accumulation. Faster than Nrm2 and
+// sufficient where the squared norm is what the formula needs.
+func Nrm2Sq(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// Nrm1 returns the L1 norm ||x||_1.
+func Nrm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// NrmInf returns the infinity norm max_i |x_i|.
+func NrmInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		av := math.Abs(v)
+		if av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+// DistSq returns ||a - b||_2^2.
+func DistSq(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("vec: DistSq length mismatch")
+	}
+	var s float64
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Sum returns the plain sum of elements.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// KahanSum returns the compensated (Kahan–Babuška) sum of x. The consensus
+// reductions use this so that the order-of-magnitude spread between dual and
+// primal contributions does not lose low bits; it is what makes histories
+// bit-reproducible across schedule-equivalent collectives.
+func KahanSum(x []float64) float64 {
+	var s, c float64
+	for _, v := range x {
+		t := s + v
+		if math.Abs(s) >= math.Abs(v) {
+			c += (s - t) + v
+		} else {
+			c += (v - t) + s
+		}
+		s = t
+	}
+	return s + c
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Clone returns a newly allocated copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Equal reports whether a and b are elementwise identical (bitwise for NaN:
+// NaN != NaN, matching ==).
+func Equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, av := range a {
+		if av != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WithinTol reports whether max_i |a_i - b_i| <= tol.
+func WithinTol(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, av := range a {
+		if math.Abs(av-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// SoftThreshold applies the scalar soft-thresholding (shrinkage) operator
+//
+//	S(v, k) = sign(v) * max(|v| - k, 0)
+//
+// which is the proximal operator of k*|·|. It is the core of the
+// L1-regularized z-update in consensus ADMM.
+func SoftThreshold(v, k float64) float64 {
+	switch {
+	case v > k:
+		return v - k
+	case v < -k:
+		return v + k
+	default:
+		return 0
+	}
+}
+
+// SoftThresholdVec applies SoftThreshold elementwise: dst_i = S(x_i, k).
+// dst may alias x.
+func SoftThresholdVec(dst, x []float64, k float64) {
+	if len(dst) != len(x) {
+		panic("vec: SoftThresholdVec length mismatch")
+	}
+	for i, v := range x {
+		dst[i] = SoftThreshold(v, k)
+	}
+}
+
+// CountNonzero returns the number of elements with |x_i| > 0.
+func CountNonzero(x []float64) int {
+	n := 0
+	for _, v := range x {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Chunk describes the half-open index range [Lo, Hi) of block i when a
+// vector of length n is split into p nearly equal contiguous blocks. The
+// first n%p blocks get one extra element, matching the block layout both
+// allreduce implementations and their cost analysis assume.
+type Chunk struct{ Lo, Hi int }
+
+// Split returns the p chunks of a length-n vector. Every index belongs to
+// exactly one chunk; chunks are contiguous, ordered, and sizes differ by at
+// most one. p must be >= 1; n may be smaller than p (trailing chunks are
+// then empty).
+func Split(n, p int) []Chunk {
+	if p < 1 {
+		panic("vec: Split requires p >= 1")
+	}
+	chunks := make([]Chunk, p)
+	base := n / p
+	rem := n % p
+	lo := 0
+	for i := range chunks {
+		size := base
+		if i < rem {
+			size++
+		}
+		chunks[i] = Chunk{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return chunks
+}
+
+// ChunkOf returns the chunk index that owns position idx under Split(n, p).
+func ChunkOf(n, p, idx int) int {
+	if idx < 0 || idx >= n {
+		panic("vec: ChunkOf index out of range")
+	}
+	base := n / p
+	rem := n % p
+	// First rem chunks have size base+1 and cover [0, rem*(base+1)).
+	big := rem * (base + 1)
+	if idx < big {
+		return idx / (base + 1)
+	}
+	if base == 0 {
+		// idx >= big and all remaining chunks are empty: unreachable given
+		// idx < n, because n == big when base == 0.
+		panic("vec: ChunkOf internal error")
+	}
+	return rem + (idx-big)/base
+}

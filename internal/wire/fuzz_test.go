@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeArbitraryBytesNeverPanics feeds the decoder random garbage,
+// truncations of valid frames, and bit-flipped valid frames: it must
+// always return an error (or a valid message) and never panic or over-read
+// — the robustness a network-facing codec needs.
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(90))
+
+	// Pure garbage.
+	for trial := 0; trial < 500; trial++ {
+		n := r.Intn(200)
+		buf := make([]byte, n)
+		r.Read(buf)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on garbage input: %v", p)
+				}
+			}()
+			_, _ = Decode(bytes.NewReader(buf))
+		}()
+	}
+
+	// Truncations of a valid frame at every boundary.
+	var valid bytes.Buffer
+	if err := Encode(&valid, DenseMsg(3, []float64{1, 2, 3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	full := valid.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		_, err := Decode(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+		if cut == 0 && err != io.EOF {
+			t.Fatalf("empty stream: %v, want io.EOF", err)
+		}
+	}
+
+	// Single-bit flips of a valid frame: must decode to something valid
+	// or error — never panic, never hang.
+	for trial := 0; trial < 300; trial++ {
+		mut := append([]byte(nil), full...)
+		mut[r.Intn(len(mut))] ^= 1 << uint(r.Intn(8))
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on bit-flipped frame: %v", p)
+				}
+			}()
+			_, _ = Decode(bytes.NewReader(mut))
+		}()
+	}
+}
+
+// TestDecodeHugeLengthPrefix checks the 1 GiB payload cap fires instead of
+// attempting a giant allocation.
+func TestDecodeHugeLengthPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, Control(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt the length field to ~4 GiB.
+	b[12], b[13], b[14], b[15] = 0xff, 0xff, 0xff, 0xff
+	if _, err := Decode(bytes.NewReader(b)); err == nil {
+		t.Fatal("4 GiB length prefix accepted")
+	}
+}

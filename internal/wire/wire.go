@@ -1,0 +1,256 @@
+// Package wire defines the binary message format used by the PSRA-HGADMM
+// communication fabrics. The format is deliberately tiny and self-contained
+// (no reflection, no gob): a fixed 16-byte little-endian header followed by
+// one typed payload. The same encoding defines the byte counts fed to the
+// simnet cost model, so "bytes on the wire" means the same thing for the
+// in-process fabric, the TCP fabric, and the analytical model.
+//
+// Sparse payload entries cost 12 bytes each (4-byte index + 8-byte value),
+// matching the paper's per-element transmission cost θ_s = (value+index)/B.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"psrahgadmm/internal/sparse"
+)
+
+// Kind tags the payload type of a message.
+type Kind uint8
+
+const (
+	// KindControl carries a small []int64 payload (grouping requests,
+	// notifications, barrier tokens).
+	KindControl Kind = iota + 1
+	// KindDense carries a dense []float64 vector.
+	KindDense
+	// KindSparse carries a sparse vector (dim + index/value pairs).
+	KindSparse
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindControl:
+		return "control"
+	case KindDense:
+		return "dense"
+	case KindSparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Message is one unit of communication between ranks. Exactly one payload
+// field is meaningful, selected by Kind. From is stamped by the fabric on
+// delivery; Tag disambiguates concurrent conversations the way MPI tags do.
+type Message struct {
+	Kind   Kind
+	Tag    int32
+	From   int32
+	Ints   []int64
+	Dense  []float64
+	Sparse *sparse.Vector
+}
+
+// Control builds a control message.
+func Control(tag int32, ints ...int64) Message {
+	return Message{Kind: KindControl, Tag: tag, Ints: ints}
+}
+
+// DenseMsg builds a dense-vector message. The slice is NOT copied; the
+// sender must not mutate it until the message has been delivered.
+func DenseMsg(tag int32, x []float64) Message {
+	return Message{Kind: KindDense, Tag: tag, Dense: x}
+}
+
+// SparseMsg builds a sparse-vector message. The vector is NOT copied.
+func SparseMsg(tag int32, v *sparse.Vector) Message {
+	return Message{Kind: KindSparse, Tag: tag, Sparse: v}
+}
+
+const (
+	magic0      = 'P'
+	magic1      = 'S'
+	version     = 1
+	headerBytes = 16
+	// SparseEntryBytes is the wire cost of one sparse element: a 4-byte
+	// index plus an 8-byte value. This constant is what the collective
+	// cost analysis (paper eqs. 11-16) multiplies by.
+	SparseEntryBytes = 12
+	// DenseEntryBytes is the wire cost of one dense element.
+	DenseEntryBytes = 8
+)
+
+// ErrBadFrame is returned when a frame fails validation on decode.
+var ErrBadFrame = errors.New("wire: malformed frame")
+
+// maxPayload caps a single frame at 1 GiB to fail fast on corrupt length
+// prefixes instead of attempting a huge allocation.
+const maxPayload = 1 << 30
+
+// PayloadBytes returns the encoded payload size of m in bytes, excluding
+// the fixed header. This is the number the cost model charges per message.
+func PayloadBytes(m Message) int {
+	switch m.Kind {
+	case KindControl:
+		return 4 + 8*len(m.Ints)
+	case KindDense:
+		return 4 + DenseEntryBytes*len(m.Dense)
+	case KindSparse:
+		if m.Sparse == nil {
+			return 8
+		}
+		return 8 + SparseEntryBytes*m.Sparse.NNZ()
+	default:
+		return 0
+	}
+}
+
+// EncodedBytes returns the full on-wire size of m including the header.
+func EncodedBytes(m Message) int { return headerBytes + PayloadBytes(m) }
+
+// Encode writes m to w in wire format.
+func Encode(w io.Writer, m Message) error {
+	plen := PayloadBytes(m)
+	if plen > maxPayload {
+		return fmt.Errorf("wire: payload %d exceeds limit", plen)
+	}
+	buf := make([]byte, headerBytes+plen)
+	buf[0] = magic0
+	buf[1] = magic1
+	buf[2] = version
+	buf[3] = byte(m.Kind)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(m.Tag))
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(m.From))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(plen))
+	p := buf[headerBytes:]
+	switch m.Kind {
+	case KindControl:
+		binary.LittleEndian.PutUint32(p[0:4], uint32(len(m.Ints)))
+		off := 4
+		for _, v := range m.Ints {
+			binary.LittleEndian.PutUint64(p[off:off+8], uint64(v))
+			off += 8
+		}
+	case KindDense:
+		binary.LittleEndian.PutUint32(p[0:4], uint32(len(m.Dense)))
+		off := 4
+		for _, v := range m.Dense {
+			binary.LittleEndian.PutUint64(p[off:off+8], math.Float64bits(v))
+			off += 8
+		}
+	case KindSparse:
+		sv := m.Sparse
+		if sv == nil {
+			sv = sparse.NewVector(0, 0)
+		}
+		binary.LittleEndian.PutUint32(p[0:4], uint32(sv.Dim))
+		binary.LittleEndian.PutUint32(p[4:8], uint32(sv.NNZ()))
+		off := 8
+		for k := range sv.Index {
+			binary.LittleEndian.PutUint32(p[off:off+4], uint32(sv.Index[k]))
+			off += 4
+			binary.LittleEndian.PutUint64(p[off:off+8], math.Float64bits(sv.Value[k]))
+			off += 8
+		}
+	default:
+		return fmt.Errorf("wire: cannot encode kind %v", m.Kind)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// Decode reads one message from r. It returns io.EOF cleanly if the stream
+// ends exactly at a frame boundary and io.ErrUnexpectedEOF mid-frame.
+func Decode(r io.Reader) (Message, error) {
+	var hdr [headerBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Message{}, io.EOF
+		}
+		return Message{}, err
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return Message{}, fmt.Errorf("%w: bad magic %x%x", ErrBadFrame, hdr[0], hdr[1])
+	}
+	if hdr[2] != version {
+		return Message{}, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, hdr[2])
+	}
+	m := Message{
+		Kind: Kind(hdr[3]),
+		Tag:  int32(binary.LittleEndian.Uint32(hdr[4:8])),
+		From: int32(binary.LittleEndian.Uint32(hdr[8:12])),
+	}
+	plen := binary.LittleEndian.Uint32(hdr[12:16])
+	if plen > maxPayload {
+		return Message{}, fmt.Errorf("%w: payload length %d too large", ErrBadFrame, plen)
+	}
+	p := make([]byte, plen)
+	if _, err := io.ReadFull(r, p); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Message{}, err
+	}
+	switch m.Kind {
+	case KindControl:
+		if len(p) < 4 {
+			return Message{}, fmt.Errorf("%w: short control payload", ErrBadFrame)
+		}
+		n := binary.LittleEndian.Uint32(p[0:4])
+		if uint64(len(p)) != 4+8*uint64(n) {
+			return Message{}, fmt.Errorf("%w: control payload size mismatch", ErrBadFrame)
+		}
+		m.Ints = make([]int64, n)
+		off := 4
+		for i := range m.Ints {
+			m.Ints[i] = int64(binary.LittleEndian.Uint64(p[off : off+8]))
+			off += 8
+		}
+	case KindDense:
+		if len(p) < 4 {
+			return Message{}, fmt.Errorf("%w: short dense payload", ErrBadFrame)
+		}
+		n := binary.LittleEndian.Uint32(p[0:4])
+		if uint64(len(p)) != 4+8*uint64(n) {
+			return Message{}, fmt.Errorf("%w: dense payload size mismatch", ErrBadFrame)
+		}
+		m.Dense = make([]float64, n)
+		off := 4
+		for i := range m.Dense {
+			m.Dense[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[off : off+8]))
+			off += 8
+		}
+	case KindSparse:
+		if len(p) < 8 {
+			return Message{}, fmt.Errorf("%w: short sparse payload", ErrBadFrame)
+		}
+		dim := binary.LittleEndian.Uint32(p[0:4])
+		n := binary.LittleEndian.Uint32(p[4:8])
+		if uint64(len(p)) != 8+SparseEntryBytes*uint64(n) {
+			return Message{}, fmt.Errorf("%w: sparse payload size mismatch", ErrBadFrame)
+		}
+		sv := sparse.NewVector(int(dim), int(n))
+		off := 8
+		for i := uint32(0); i < n; i++ {
+			idx := int32(binary.LittleEndian.Uint32(p[off : off+4]))
+			off += 4
+			val := math.Float64frombits(binary.LittleEndian.Uint64(p[off : off+8]))
+			off += 8
+			sv.Index = append(sv.Index, idx)
+			sv.Value = append(sv.Value, val)
+		}
+		if err := sv.Check(); err != nil {
+			return Message{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		m.Sparse = sv
+	default:
+		return Message{}, fmt.Errorf("%w: unknown kind %d", ErrBadFrame, hdr[3])
+	}
+	return m, nil
+}

@@ -1,0 +1,26 @@
+package wlg
+
+import (
+	"fmt"
+	"net"
+)
+
+// loopback reserves an ephemeral port so TCP mesh tests know all addresses
+// before any endpoint starts.
+type loopback struct {
+	addr string
+	ln   net.Listener
+}
+
+func newLoopback() (*loopback, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return &loopback{
+		addr: fmt.Sprintf("127.0.0.1:%d", ln.Addr().(*net.TCPAddr).Port),
+		ln:   ln,
+	}, nil
+}
+
+func (l *loopback) close() { l.ln.Close() }

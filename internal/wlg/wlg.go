@@ -1,0 +1,255 @@
+// Package wlg implements the paper's Worker-Leader-Group generator
+// framework (§4.3, Algorithms 1–3) as a real message-passing runtime over
+// transport.Endpoint:
+//
+//   - Workers on one physical node form an intra-node communication domain
+//     and elect a Leader (the node's first rank, mirroring how MPI
+//     communicators elect rank 0).
+//   - Each iteration, workers reduce their contribution w_i to the Leader
+//     (BSP, blocking — the fast memory bus), the Leader reports to the
+//     Group Generator, the GG batches Leaders into inter-node groups of a
+//     configurable threshold in arrival order (FIFO queue GQ), and each
+//     group runs PSR-Allreduce among its Leaders before the Leaders
+//     broadcast the aggregate back to their workers.
+//
+// The runtime is algorithm-agnostic: the ADMM math is supplied through
+// callbacks, so the same machinery serves PSRA-HGADMM, its flat PSRA-ADMM
+// special case (threshold = all nodes), and the lasso example. It runs
+// identically over the in-process channel fabric and the TCP fabric.
+package wlg
+
+import (
+	"fmt"
+
+	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/simnet"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/wire"
+)
+
+// GGRank returns the world rank reserved for the Group Generator: one past
+// the last worker. A WLG world therefore has topo.Size()+1 endpoints.
+func GGRank(topo simnet.Topology) int { return topo.Size() }
+
+// WorldSize returns the endpoint count a WLG run needs (workers + GG).
+func WorldSize(topo simnet.Topology) int { return topo.Size() + 1 }
+
+// LeaderOf returns the rank acting as Leader for node n (its first worker).
+func LeaderOf(topo simnet.Topology, n int) int { return topo.WorkersOf(n)[0] }
+
+// IsLeader reports whether rank r is its node's Leader.
+func IsLeader(topo simnet.Topology, r int) bool {
+	return r == LeaderOf(topo, topo.NodeOf(r))
+}
+
+// Tag layout: each iteration gets a disjoint tag window so messages from
+// consecutive iterations cannot be confused even when groups run ahead.
+const (
+	tagsPerIter = 8
+	tagIterBase = 1 << 10
+	offIntraRed = 0
+	offGGReply  = 2
+	offInterAR  = 3 // PSR-Allreduce uses two tags: offInterAR, offInterAR+1
+	offIntraBc  = 5
+	offIntraBc2 = 6
+
+	// tagGGRequest is the single fixed tag Leaders use to report to the
+	// GG; the iteration travels in the payload so the GG can match
+	// requests from interleaved iterations with one Recv.
+	tagGGRequest int32 = 512
+)
+
+func iterTag(iter, off int) int32 {
+	return int32(tagIterBase + iter*tagsPerIter + off)
+}
+
+// Config parameterizes a WLG run.
+type Config struct {
+	Topo simnet.Topology
+	// MaxIter is the number of outer ADMM iterations.
+	MaxIter int
+	// GroupThreshold is the GQ batching threshold in Leaders. Values < 1
+	// or > Nodes are clamped to Nodes (one global group = exact
+	// consensus, the "ungrouped" baseline of Figure 7).
+	GroupThreshold int
+}
+
+func (c Config) threshold() int {
+	t := c.GroupThreshold
+	if t < 1 || t > c.Topo.Nodes {
+		t = c.Topo.Nodes
+	}
+	return t
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Topo.Validate(); err != nil {
+		return err
+	}
+	if c.MaxIter <= 0 {
+		return fmt.Errorf("wlg: MaxIter must be positive")
+	}
+	return nil
+}
+
+// WorkerFuncs supplies the algorithm math to the runtime. The runtime
+// guarantees ComputeW and ApplyW are called exactly once per iteration, in
+// order, from the worker's own goroutine.
+type WorkerFuncs struct {
+	// ComputeW returns the worker's contribution w_i = y_i + ρ·x_i for the
+	// given iteration (the paper's step 7–8 of Algorithm 1). The returned
+	// slice is not retained.
+	ComputeW func(iter int) []float64
+	// ApplyW receives the aggregated W for the worker's group and the
+	// number of workers whose contributions it sums; the worker performs
+	// the z- and y-updates (steps 12–13).
+	ApplyW func(iter int, w []float64, contributors int)
+}
+
+// RunWorker executes Algorithm 1 (and Algorithm 3 when this rank is its
+// node's Leader) for MaxIter iterations. It must be called concurrently on
+// every worker rank while RunGG serves GGRank.
+func RunWorker(ep transport.Endpoint, cfg Config, f WorkerFuncs) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if f.ComputeW == nil || f.ApplyW == nil {
+		return fmt.Errorf("wlg: WorkerFuncs incomplete")
+	}
+	topo := cfg.Topo
+	rank := ep.Rank()
+	if rank >= topo.Size() {
+		return fmt.Errorf("wlg: rank %d is not a worker (world has %d workers)", rank, topo.Size())
+	}
+	node := topo.NodeOf(rank)
+	intra := collective.NewGroup(topo.WorkersOf(node)...)
+	leader := IsLeader(topo, rank)
+	gg := GGRank(topo)
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		w := f.ComputeW(iter)
+		buf := append([]float64(nil), w...)
+
+		// Step 9: intra-node reduce to the Leader over the bus.
+		if _, err := collective.ReduceDense(ep, intra, iterTag(iter, offIntraRed), 0, buf); err != nil {
+			return fmt.Errorf("wlg: rank %d iter %d intra reduce: %w", rank, iter, err)
+		}
+
+		var contributors int
+		if leader {
+			// Algorithm 3: report to the GG, receive the inter-node group.
+			if err := ep.Send(gg, wire.Control(tagGGRequest, int64(node), int64(iter))); err != nil {
+				return fmt.Errorf("wlg: leader %d iter %d GG request: %w", rank, iter, err)
+			}
+			reply, err := ep.Recv(gg, iterTag(iter, offGGReply))
+			if err != nil {
+				return fmt.Errorf("wlg: leader %d iter %d GG reply: %w", rank, iter, err)
+			}
+			members := make([]int, len(reply.Ints))
+			for i, n := range reply.Ints {
+				members[i] = LeaderOf(topo, int(n))
+			}
+			inter := collective.NewGroup(members...)
+			// PSR-Allreduce of W among the group's Leaders.
+			if _, err := collective.PSRAllreduceDense(ep, inter, iterTag(iter, offInterAR), buf); err != nil {
+				return fmt.Errorf("wlg: leader %d iter %d PSR allreduce: %w", rank, iter, err)
+			}
+			contributors = inter.Size() * topo.WorkersPerNode
+			// Step 4: broadcast the aggregate and its contributor count.
+			if err := broadcastResult(ep, intra, iter, buf, contributors); err != nil {
+				return err
+			}
+		} else {
+			var err error
+			buf, contributors, err = receiveResult(ep, intra, topo, iter)
+			if err != nil {
+				return err
+			}
+		}
+		f.ApplyW(iter, buf, contributors)
+	}
+	return nil
+}
+
+func broadcastResult(ep transport.Endpoint, intra collective.Group, iter int, w []float64, contributors int) error {
+	if _, err := collective.BroadcastDense(ep, intra, iterTag(iter, offIntraBc), 0, w); err != nil {
+		return fmt.Errorf("wlg: iter %d intra broadcast: %w", iter, err)
+	}
+	for _, r := range intra.Ranks[1:] {
+		if err := ep.Send(r, wire.Control(iterTag(iter, offIntraBc2), int64(contributors))); err != nil {
+			return fmt.Errorf("wlg: iter %d contributor broadcast: %w", iter, err)
+		}
+	}
+	return nil
+}
+
+func receiveResult(ep transport.Endpoint, intra collective.Group, topo simnet.Topology, iter int) ([]float64, int, error) {
+	leaderRank := intra.Ranks[0]
+	in, err := ep.Recv(leaderRank, iterTag(iter, offIntraBc))
+	if err != nil {
+		return nil, 0, fmt.Errorf("wlg: iter %d receive W: %w", iter, err)
+	}
+	cnt, err := ep.Recv(leaderRank, iterTag(iter, offIntraBc2))
+	if err != nil {
+		return nil, 0, fmt.Errorf("wlg: iter %d receive count: %w", iter, err)
+	}
+	return in.Dense, int(cnt.Ints[0]), nil
+}
+
+// RunGG executes Algorithm 2: serve grouping requests for MaxIter
+// iterations. Leaders of one iteration are batched into groups of
+// cfg.GroupThreshold in arrival order; once every node has reported for an
+// iteration, any remainder below the threshold forms a final smaller
+// group. Requests from different iterations may interleave (fast groups
+// start the next iteration while slow ones finish), which the per-iteration
+// queues absorb.
+func RunGG(ep transport.Endpoint, cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	topo := cfg.Topo
+	threshold := cfg.threshold()
+	queues := make(map[int][]int64) // iteration → GQ (node ids, arrival order)
+	reported := make(map[int]int)   // iteration → requests seen
+	remaining := cfg.MaxIter * topo.Nodes
+
+	flush := func(iter int) error {
+		q := queues[iter]
+		if len(q) == 0 {
+			return nil
+		}
+		queues[iter] = nil
+		for _, nodeID := range q {
+			leader := LeaderOf(topo, int(nodeID))
+			if err := ep.Send(leader, wire.Control(iterTag(iter, offGGReply), q...)); err != nil {
+				return fmt.Errorf("wlg: GG reply to leader %d: %w", leader, err)
+			}
+		}
+		return nil
+	}
+
+	for remaining > 0 {
+		m, err := ep.Recv(transport.AnySource, tagGGRequest)
+		if err != nil {
+			return fmt.Errorf("wlg: GG recv: %w", err)
+		}
+		if len(m.Ints) != 2 {
+			return fmt.Errorf("wlg: GG malformed request from %d", m.From)
+		}
+		node, iter := m.Ints[0], int(m.Ints[1])
+		queues[iter] = append(queues[iter], node)
+		reported[iter]++
+		remaining--
+		if len(queues[iter]) == threshold || reported[iter] == topo.Nodes {
+			if err := flush(iter); err != nil {
+				return err
+			}
+		}
+		if reported[iter] == topo.Nodes {
+			delete(reported, iter)
+			delete(queues, iter)
+		}
+	}
+	return nil
+}
