@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +46,8 @@ func main() {
 		scale     = flag.Float64("scale", 0.001, "preset scale")
 		seed      = flag.Int64("seed", 1, "generation seed (must match across ranks)")
 		timeout   = flag.Duration("timeout", time.Minute, "mesh establishment timeout")
+		heartbeat = flag.Duration("heartbeat", time.Second, "keepalive interval on idle connections (negative disables)")
+		peerDead  = flag.Duration("peer-timeout", 15*time.Second, "declare a peer dead after this much silence (0 disables)")
 	)
 	flag.Parse()
 
@@ -58,7 +61,11 @@ func main() {
 		fatal(fmt.Errorf("rank %d out of [0,%d)", *rank, world))
 	}
 
-	ep, err := transport.NewTCPEndpoint(*rank, addrList, transport.TCPOptions{DialTimeout: *timeout})
+	ep, err := transport.NewTCPEndpoint(*rank, addrList, transport.TCPOptions{
+		DialTimeout:       *timeout,
+		HeartbeatInterval: *heartbeat,
+		PeerTimeout:       *peerDead,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -120,7 +127,15 @@ func main() {
 	fmt.Printf("rank %d: done\n", *rank)
 }
 
+// fatal exits nonzero with a diagnostic. Peer loss gets its own exit code
+// and a pointed message so orchestration (and humans reading logs) can tell
+// "a neighbor died" apart from local failures.
 func fatal(err error) {
+	var pd *transport.PeerDownError
+	if errors.As(err, &pd) {
+		fmt.Fprintf(os.Stderr, "psra-worker: peer rank %d is down (%v); aborting run: %v\n", pd.Peer, pd.Cause, err)
+		os.Exit(3)
+	}
 	fmt.Fprintln(os.Stderr, "psra-worker:", err)
 	os.Exit(1)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -19,13 +20,51 @@ const (
 	commRingSparse
 )
 
+// abortOnError closes the scratch fabric the first time a group member
+// reports an error, so every other member's blocked Recv unblocks with
+// ErrClosed instead of waiting forever on a rank that will never send.
+// The run is aborting anyway — a dead scratch fabric is the price of the
+// no-hang guarantee.
+type abortOnError struct {
+	fab  transport.Fabric
+	once sync.Once
+}
+
+func (a *abortOnError) observe(err error) {
+	if err != nil {
+		a.once.Do(a.fab.Close)
+	}
+}
+
+// firstGroupError picks the most informative error out of a group's
+// results: a typed PeerDownError beats a generic failure, which beats the
+// ErrClosed noise the abort itself produced on the other members.
+func firstGroupError(what string, ranks []int, errs []error) error {
+	var fallback error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		var pd *transport.PeerDownError
+		if errors.As(err, &pd) {
+			return fmt.Errorf("core: %s rank %d: %w", what, ranks[i], err)
+		}
+		if fallback == nil || errors.Is(fallback, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed) {
+			fallback = fmt.Errorf("core: %s rank %d: %w", what, ranks[i], err)
+		}
+	}
+	return fallback
+}
+
 // groupAllreduce runs the *actual* collective implementation among the
 // given world ranks over the engine's scratch fabric — one goroutine per
 // member — and returns the aggregated vector plus the merged trace. The
 // engine's virtual clock is driven by real message sizes, not an analytic
 // formula; this is what keeps the Figure 6/7 communication times honest
-// about sparsity.
-func groupAllreduce(fab *transport.ChanFabric, ranks []int, kind commKind, tagBase int32, inputs []*sparse.Vector) (*sparse.Vector, collective.Trace, error) {
+// about sparsity. If any member fails (fault injection, closed fabric) the
+// whole group aborts: the fabric is closed, every member unblocks, and the
+// most informative error is returned.
+func groupAllreduce(fab transport.Fabric, ranks []int, kind commKind, tagBase int32, inputs []*sparse.Vector) (*sparse.Vector, collective.Trace, error) {
 	if len(ranks) != len(inputs) {
 		panic("core: groupAllreduce ranks/inputs mismatch")
 	}
@@ -33,6 +72,7 @@ func groupAllreduce(fab *transport.ChanFabric, ranks []int, kind commKind, tagBa
 	results := make([]*sparse.Vector, len(ranks))
 	traces := make([]collective.Trace, len(ranks))
 	errs := make([]error, len(ranks))
+	abort := &abortOnError{fab: fab}
 	var wg sync.WaitGroup
 	for i := range ranks {
 		wg.Add(1)
@@ -47,14 +87,15 @@ func groupAllreduce(fab *transport.ChanFabric, ranks []int, kind commKind, tagBa
 			default:
 				errs[i] = fmt.Errorf("core: unknown comm kind %d", kind)
 			}
+			abort.observe(errs[i])
 		}(i)
 	}
 	wg.Wait()
+	if err := firstGroupError("group allreduce", ranks, errs); err != nil {
+		return nil, collective.Trace{}, err
+	}
 	merged := collective.Trace{}
 	for i := range ranks {
-		if errs[i] != nil {
-			return nil, merged, fmt.Errorf("core: group allreduce rank %d: %w", ranks[i], errs[i])
-		}
 		if traces[i].Steps > merged.Steps {
 			merged.Steps = traces[i].Steps
 		}
@@ -67,8 +108,9 @@ func groupAllreduce(fab *transport.ChanFabric, ranks []int, kind commKind, tagBa
 // groupAllreduceDense runs the real dense Ring-Allreduce among the given
 // world ranks — ADMMLib's exchange: the full parameter vector circulates
 // regardless of sparsity. Inputs are summed in place into per-member
-// copies; member 0's result and the merged trace are returned.
-func groupAllreduceDense(fab *transport.ChanFabric, ranks []int, tagBase int32, inputs [][]float64) ([]float64, collective.Trace, error) {
+// copies; member 0's result and the merged trace are returned. Aborts like
+// groupAllreduce on any member failure.
+func groupAllreduceDense(fab transport.Fabric, ranks []int, tagBase int32, inputs [][]float64) ([]float64, collective.Trace, error) {
 	if len(ranks) != len(inputs) {
 		panic("core: groupAllreduceDense ranks/inputs mismatch")
 	}
@@ -76,6 +118,7 @@ func groupAllreduceDense(fab *transport.ChanFabric, ranks []int, tagBase int32, 
 	bufs := make([][]float64, len(ranks))
 	traces := make([]collective.Trace, len(ranks))
 	errs := make([]error, len(ranks))
+	abort := &abortOnError{fab: fab}
 	var wg sync.WaitGroup
 	for i := range ranks {
 		wg.Add(1)
@@ -83,14 +126,15 @@ func groupAllreduceDense(fab *transport.ChanFabric, ranks []int, tagBase int32, 
 			defer wg.Done()
 			bufs[i] = append([]float64(nil), inputs[i]...)
 			traces[i], errs[i] = collective.RingAllreduceDense(fab.Endpoint(ranks[i]), g, tagBase, bufs[i])
+			abort.observe(errs[i])
 		}(i)
 	}
 	wg.Wait()
+	if err := firstGroupError("dense group allreduce", ranks, errs); err != nil {
+		return nil, collective.Trace{}, err
+	}
 	merged := collective.Trace{}
 	for i := range ranks {
-		if errs[i] != nil {
-			return nil, merged, fmt.Errorf("core: dense group allreduce rank %d: %w", ranks[i], errs[i])
-		}
 		if traces[i].Steps > merged.Steps {
 			merged.Steps = traces[i].Steps
 		}

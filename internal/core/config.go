@@ -29,6 +29,7 @@ import (
 
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/solver"
+	"psrahgadmm/internal/transport"
 )
 
 // ConsensusMode selects PSRA-HGADMM's aggregation breadth per iteration.
@@ -130,6 +131,14 @@ type Config struct {
 	// scale (the Q-GADMM-style lossy option). 0 keeps full float64
 	// precision. Applies to the PSRA algorithms' sparse exchange.
 	QuantBits int
+	// Faults, when non-nil, wraps the engine's scratch fabric in a
+	// transport.FaultFabric injecting the described drops, delays,
+	// partitions, and rank kills deterministically from the plan's seed.
+	// A killed rank surfaces as a typed transport.PeerDownError; Run then
+	// aborts cleanly with partial results instead of hanging. Test/chaos
+	// tooling only — production failures arrive through the TCP fabric's
+	// own detection.
+	Faults *transport.FaultPlan
 }
 
 func (c *Config) fill() {

@@ -27,6 +27,12 @@ type RunOptions struct {
 // configured algorithm and virtual cluster, returning the per-iteration
 // history. Runs are deterministic: equal inputs give bit-identical
 // histories.
+//
+// Failure semantics: if the communication fabric fails mid-run (a rank
+// killed by Config.Faults, a closed endpoint), Run aborts the iteration,
+// unblocks every worker goroutine, and returns the partial Result
+// accumulated so far ALONGSIDE the error — callers get the history up to
+// the failure instead of a deadlock.
 func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -39,7 +45,11 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	ws := newWorkers(cfg, train)
 	// One scratch fabric serves every in-run collective; rank numbering
 	// matches the virtual topology so link classes resolve correctly.
-	fab := transport.NewChanFabric(cfg.Topo.Size())
+	// A fault plan wraps it for deterministic failure injection.
+	var fab transport.Fabric = transport.NewChanFabric(cfg.Topo.Size())
+	if cfg.Faults != nil {
+		fab = transport.NewFaultFabric(fab, *cfg.Faults)
+	}
 	defer fab.Close()
 
 	var admmlibSt *admmlibState
@@ -73,7 +83,10 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 			err = fmt.Errorf("core: unhandled algorithm %q", cfg.Algorithm)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: iteration %d: %w", iter, err)
+			// Partial results travel with the error: everything up to the
+			// failed iteration is valid history.
+			res.Z = meanZ(ws)
+			return res, fmt.Errorf("core: iteration %d: %w", iter, err)
 		}
 
 		stat := IterStat{

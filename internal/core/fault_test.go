@@ -1,0 +1,75 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"psrahgadmm/internal/transport"
+)
+
+// TestRunAbortsOnWorkerDeath is the engine-level no-hang guarantee: with a
+// fault plan that kills one rank mid-run, Run must return an error (not
+// deadlock with the surviving workers blocked in a collective) and still
+// hand back the partial result. The exact error may be the typed
+// *PeerDownError or the ErrClosed fallout of the abort cascade; what is
+// non-negotiable is that Run returns at all, promptly, on every algorithm's
+// communication pattern.
+func TestRunAbortsOnWorkerDeath(t *testing.T) {
+	train, _ := testData(t, 120)
+	for _, alg := range []Algorithm{PSRAHGADMM, PSRAADMM, GRADMM} {
+		t.Run(string(alg), func(t *testing.T) {
+			cfg := baseConfig(alg, 3, 2)
+			cfg.MaxIter = 50
+			// Rank 0 leads node 0, so it participates in every algorithm's
+			// communication pattern (non-leader ranks never touch the
+			// inter-node fabric in the hierarchical variants).
+			cfg.Faults = &transport.FaultPlan{
+				Seed:           9,
+				KillAfterSends: map[int]int{0: 7},
+			}
+			type outcome struct {
+				res *Result
+				err error
+			}
+			done := make(chan outcome, 1)
+			go func() {
+				res, err := Run(cfg, train, RunOptions{})
+				done <- outcome{res, err}
+			}()
+			select {
+			case o := <-done:
+				if o.err == nil {
+					t.Fatal("Run succeeded despite a killed worker")
+				}
+				if o.res == nil {
+					t.Fatal("Run returned no partial result alongside the error")
+				}
+				if errors.Is(o.err, transport.ErrTimeout) {
+					t.Fatalf("death surfaced as a timeout, not a failure: %v", o.err)
+				}
+				t.Logf("aborted with: %v", o.err)
+			case <-time.After(60 * time.Second):
+				t.Fatal("Run deadlocked after worker death")
+			}
+		})
+	}
+}
+
+// TestRunWithBenignFaultsStillConverges exercises the delay injector on the
+// happy path: jitter alone must not corrupt results or trip the failure
+// detector.
+func TestRunWithBenignFaultsStillConverges(t *testing.T) {
+	train, test := testData(t, 120)
+	cfg := baseConfig(PSRAHGADMM, 3, 2)
+	cfg.MaxIter = 10
+	cfg.Faults = &transport.FaultPlan{Seed: 3, DelayProb: 0.2, MaxDelay: time.Millisecond}
+	res, err := Run(cfg, train, RunOptions{Test: test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalObjective() >= res.History[0].Objective {
+		t.Fatalf("objective did not decrease under jitter: %v → %v",
+			res.History[0].Objective, res.FinalObjective())
+	}
+}

@@ -54,7 +54,7 @@ func (h entryHeap) peekReady() float64 { return h[0].ready }
 
 // runPSRAHGADMM executes one PSRA-HGADMM iteration under the DES clock,
 // dispatching on the configured consensus mode.
-func runPSRAHGADMM(cfg Config, ws []*worker, fab *transport.ChanFabric, iter int) (iterTiming, error) {
+func runPSRAHGADMM(cfg Config, ws []*worker, fab transport.Fabric, iter int) (iterTiming, error) {
 	if cfg.Consensus == ConsensusGroup {
 		return runPSRAHGADMMGroup(cfg, ws, fab, iter)
 	}
@@ -63,7 +63,7 @@ func runPSRAHGADMM(cfg Config, ws []*worker, fab *transport.ChanFabric, iter int
 
 // runPSRAHGADMMGlobal is the staged-aggregation-tree reading (exact global
 // consensus every iteration).
-func runPSRAHGADMMGlobal(cfg Config, ws []*worker, fab *transport.ChanFabric, iter int) (iterTiming, error) {
+func runPSRAHGADMMGlobal(cfg Config, ws []*worker, fab transport.Fabric, iter int) (iterTiming, error) {
 	topo := cfg.Topo
 	wpn := topo.WorkersPerNode
 	dim := len(ws[0].zDense)
@@ -233,7 +233,7 @@ func runPSRAHGADMMGlobal(cfg Config, ws []*worker, fab *transport.ChanFabric, it
 // proceed without ever waiting for slow nodes — the straggler isolation
 // Figure 7 measures — trading per-iteration consensus breadth; rotating
 // arrival-ordered membership mixes information across iterations.
-func runPSRAHGADMMGroup(cfg Config, ws []*worker, fab *transport.ChanFabric, iter int) (iterTiming, error) {
+func runPSRAHGADMMGroup(cfg Config, ws []*worker, fab transport.Fabric, iter int) (iterTiming, error) {
 	topo := cfg.Topo
 	wpn := topo.WorkersPerNode
 	dim := len(ws[0].zDense)

@@ -85,7 +85,7 @@ func newADMMLibState(nodes, dim int) *admmlibState {
 }
 
 // runADMMLibRound executes one ADMMLib round.
-func runADMMLibRound(cfg Config, ws []*worker, fab *transport.ChanFabric, st *admmlibState, iter int) (iterTiming, error) {
+func runADMMLibRound(cfg Config, ws []*worker, fab transport.Fabric, st *admmlibState, iter int) (iterTiming, error) {
 	topo := cfg.Topo
 	wpn := topo.WorkersPerNode
 	dim := len(ws[0].zDense)

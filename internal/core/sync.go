@@ -16,7 +16,7 @@ type iterTiming struct {
 // framework): every worker joins a single cluster-wide sparse
 // PSR-Allreduce of its w_i. BSP: the collective starts when the slowest
 // worker is ready; the recursion is exact consensus every iteration.
-func runPSRAADMM(cfg Config, ws []*worker, fab *transport.ChanFabric, iter int) (iterTiming, error) {
+func runPSRAADMM(cfg Config, ws []*worker, fab transport.Fabric, iter int) (iterTiming, error) {
 	calTimes := parallelXUpdates(cfg, ws, iter)
 	var timing iterTiming
 
@@ -107,7 +107,7 @@ func runGCADMM(cfg Config, ws []*worker, iter int) (iterTiming, error) {
 // thresholded z. Against PSRA-HGADMM it isolates the collective schedule;
 // against ADMMLib it isolates the computing model (BSP vs SSP at the same
 // ring).
-func runGRADMM(cfg Config, ws []*worker, fab *transport.ChanFabric, iter int) (iterTiming, error) {
+func runGRADMM(cfg Config, ws []*worker, fab transport.Fabric, iter int) (iterTiming, error) {
 	topo := cfg.Topo
 	wpn := topo.WorkersPerNode
 	dim := len(ws[0].zDense)

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"psrahgadmm/internal/wire"
 )
@@ -110,20 +111,53 @@ func (e *chanEndpoint) Send(to int, m wire.Message) error {
 }
 
 func (e *chanEndpoint) Recv(from int, tag int32) (wire.Message, error) {
+	return e.recv(from, tag, 0)
+}
+
+func (e *chanEndpoint) RecvTimeout(from int, tag int32, d time.Duration) (wire.Message, error) {
+	return e.recv(from, tag, d)
+}
+
+func (e *chanEndpoint) recv(from int, tag int32, d time.Duration) (wire.Message, error) {
 	if from != AnySource {
 		if err := checkRank(from, e.fabric.size); err != nil {
 			return wire.Message{}, err
 		}
 	}
-	if m, ok := e.buf.take(from, tag); ok {
-		return m, nil
-	}
+	timeout, stop := deadlineChan(d)
+	defer stop()
 	for {
+		if m, ok := e.buf.take(from, tag); ok {
+			return m, nil
+		}
+		// Drain already-delivered messages before consulting the closed
+		// state: a message that made it into the inbox before Close must
+		// still be matched (see the Endpoint.Recv contract).
+	drain:
+		for {
+			select {
+			case m := <-e.inbox:
+				if matches(m, from, tag) {
+					return m, nil
+				}
+				e.buf.put(m)
+			default:
+				break drain
+			}
+		}
 		select {
 		case <-e.closed:
 			return wire.Message{}, ErrClosed
+		default:
+		}
+		select {
+		case <-e.closed:
+			// Loop once more: drain anything that raced in, then report
+			// ErrClosed from the check above.
+		case <-timeout:
+			return wire.Message{}, fmt.Errorf("transport: recv from %d tag %d: %w", from, tag, ErrTimeout)
 		case m := <-e.inbox:
-			if m.Tag == tag && (from == AnySource || int(m.From) == from) {
+			if matches(m, from, tag) {
 				return m, nil
 			}
 			e.buf.put(m)

@@ -1,0 +1,295 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psrahgadmm/internal/wire"
+)
+
+// FaultPlan describes the failures a FaultFabric injects. All randomness is
+// drawn from per-rank PRNGs seeded from Seed, so a plan replays identically
+// across runs as long as each rank's own send sequence is deterministic —
+// which the ADMM runtimes guarantee (one rank = one goroutine).
+type FaultPlan struct {
+	// Seed derives every per-rank PRNG. Two fabrics with equal plans
+	// inject identical fault sequences.
+	Seed int64
+	// DropProb is the probability an individual Send is silently
+	// discarded (message loss). The sender sees success.
+	DropProb float64
+	// DelayProb is the probability a Send is held for a random duration
+	// up to MaxDelay before delivery (network jitter / stragglers).
+	DelayProb float64
+	// MaxDelay bounds injected delays. Default 10ms when DelayProb > 0.
+	MaxDelay time.Duration
+	// Partitions lists rank pairs whose traffic is blackholed in both
+	// directions, simulating a network partition. Partitioned sends are
+	// silently dropped, exactly like a real partition: only deadlines
+	// (RecvTimeout) or the peers' own failure detection notice.
+	Partitions [][2]int
+	// KillAfterSends maps rank → the number of successful Sends after
+	// which that rank dies: its endpoint behaves as abruptly closed
+	// (ErrClosed from its own calls) and every other rank sees it as a
+	// down peer (PeerDownError), mirroring a mid-collective process crash.
+	KillAfterSends map[int]int
+}
+
+// faultPoll is how often blocked Recvs on a FaultFabric re-check failure
+// state. Coarse enough to stay cheap, fine enough that a kill surfaces to
+// every blocked rank within a few milliseconds.
+const faultPoll = 2 * time.Millisecond
+
+// FaultFabric wraps another Fabric and injects drops, delays, partitions,
+// and peer kills according to a deterministic FaultPlan. It implements
+// Fabric, so the engine and the WLG runtime run on it unchanged — this is
+// the harness the no-hang tests drive and the knob Config.Faults exposes.
+type FaultFabric struct {
+	under Fabric
+	plan  FaultPlan
+	eps   []*faultEndpoint
+
+	mu     sync.Mutex
+	down   []*PeerDownError // rank → kill record, nil while alive
+	cut    map[[2]int]bool  // normalized partitioned pairs
+	drops  atomic.Int64
+	delays atomic.Int64
+}
+
+// NewFaultFabric wraps under with the given plan.
+func NewFaultFabric(under Fabric, plan FaultPlan) *FaultFabric {
+	if plan.MaxDelay <= 0 {
+		plan.MaxDelay = 10 * time.Millisecond
+	}
+	f := &FaultFabric{
+		under: under,
+		plan:  plan,
+		eps:   make([]*faultEndpoint, under.Size()),
+		down:  make([]*PeerDownError, under.Size()),
+		cut:   make(map[[2]int]bool),
+	}
+	for _, p := range plan.Partitions {
+		f.cut[pairKey(p[0], p[1])] = true
+	}
+	for i := range f.eps {
+		f.eps[i] = &faultEndpoint{
+			fab:       f,
+			under:     under.Endpoint(i),
+			rng:       rand.New(rand.NewSource(plan.Seed ^ int64(i)*0x5851f42d4c957f2d)),
+			killAfter: -1,
+		}
+		if n, ok := plan.KillAfterSends[i]; ok {
+			f.eps[i].killAfter = n
+		}
+	}
+	return f
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Size returns the number of ranks.
+func (f *FaultFabric) Size() int { return f.under.Size() }
+
+// Endpoint returns rank i's fault-injecting endpoint.
+func (f *FaultFabric) Endpoint(i int) Endpoint {
+	if err := checkRank(i, f.under.Size()); err != nil {
+		panic(err)
+	}
+	return f.eps[i]
+}
+
+// Close closes the underlying fabric.
+func (f *FaultFabric) Close() { f.under.Close() }
+
+// Kill marks rank dead immediately: its endpoint's calls return ErrClosed
+// and every peer observes a PeerDownError for it. Idempotent.
+func (f *FaultFabric) Kill(rank int) {
+	if err := checkRank(rank, f.under.Size()); err != nil {
+		panic(err)
+	}
+	f.mu.Lock()
+	if f.down[rank] == nil {
+		f.down[rank] = &PeerDownError{Peer: rank, Cause: errors.New("killed by fault plan")}
+	}
+	f.mu.Unlock()
+	// Closing the victim's underlying endpoint unblocks its own Recvs and
+	// makes peers' direct sends to it fail, as a real crash would.
+	f.under.Endpoint(rank).Close()
+}
+
+// Partition blackholes traffic between a and b (both directions) from now
+// on. Heal removes the cut.
+func (f *FaultFabric) Partition(a, b int) {
+	f.mu.Lock()
+	f.cut[pairKey(a, b)] = true
+	f.mu.Unlock()
+}
+
+// Heal reconnects a previously partitioned pair.
+func (f *FaultFabric) Heal(a, b int) {
+	f.mu.Lock()
+	delete(f.cut, pairKey(a, b))
+	f.mu.Unlock()
+}
+
+// InjectedDrops reports how many sends were discarded (drops + partition
+// blackholes) — the number tests assert against to prove injection ran.
+func (f *FaultFabric) InjectedDrops() int64 { return f.drops.Load() }
+
+// InjectedDelays reports how many sends were artificially delayed.
+func (f *FaultFabric) InjectedDelays() int64 { return f.delays.Load() }
+
+func (f *FaultFabric) killed(rank int) *PeerDownError {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down[rank]
+}
+
+// recvDownError mirrors the TCP fabric's policy: a targeted Recv fails as
+// soon as its source is killed, and an AnySource Recv fails on the first
+// killed rank. Every FaultFabric death is a crash (Kill models a process
+// dying, never an orderly Close), so unlike the TCP fabric there is no
+// graceful case for an any-source wait to tolerate.
+func (f *FaultFabric) recvDownError(self, from int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if from != AnySource {
+		if d := f.down[from]; d != nil {
+			return d
+		}
+		return nil
+	}
+	for r := range f.down {
+		if r == self {
+			continue
+		}
+		if d := f.down[r]; d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+func (f *FaultFabric) partitioned(a, b int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cut[pairKey(a, b)]
+}
+
+// faultEndpoint decorates one rank's endpoint with the fabric's plan.
+type faultEndpoint struct {
+	fab   *FaultFabric
+	under Endpoint
+
+	rmu       sync.Mutex // guards rng and sends (determinism + race safety)
+	rng       *rand.Rand
+	sends     int
+	killAfter int // successful sends before suicide; -1 = never
+}
+
+func (e *faultEndpoint) Rank() int { return e.under.Rank() }
+func (e *faultEndpoint) Size() int { return e.under.Size() }
+
+func (e *faultEndpoint) Send(to int, m wire.Message) error {
+	if err := checkRank(to, e.Size()); err != nil {
+		return err
+	}
+	self := e.Rank()
+	if e.fab.killed(self) != nil {
+		return ErrClosed // a dead rank's own calls fail as if closed
+	}
+	if d := e.fab.killed(to); d != nil {
+		return d
+	}
+	e.rmu.Lock()
+	if e.killAfter >= 0 && e.sends >= e.killAfter {
+		e.rmu.Unlock()
+		e.fab.Kill(self)
+		return ErrClosed
+	}
+	e.sends++
+	drop := e.fab.plan.DropProb > 0 && e.rng.Float64() < e.fab.plan.DropProb
+	var delay time.Duration
+	if e.fab.plan.DelayProb > 0 && e.rng.Float64() < e.fab.plan.DelayProb {
+		delay = time.Duration(e.rng.Int63n(int64(e.fab.plan.MaxDelay))) + 1
+	}
+	e.rmu.Unlock()
+
+	if e.fab.partitioned(self, to) || drop {
+		e.fab.drops.Add(1)
+		return nil // blackholed: the sender cannot tell
+	}
+	if delay > 0 {
+		e.fab.delays.Add(1)
+		time.Sleep(delay)
+	}
+	return e.under.Send(to, m)
+}
+
+func (e *faultEndpoint) Recv(from int, tag int32) (wire.Message, error) {
+	return e.recv(from, tag, 0)
+}
+
+func (e *faultEndpoint) RecvTimeout(from int, tag int32, d time.Duration) (wire.Message, error) {
+	return e.recv(from, tag, d)
+}
+
+// recv polls the underlying endpoint in short slices so that kills — which
+// the underlying fabric may have no way to observe (a ChanFabric rank has
+// no connection to break) — still surface to blocked receivers within
+// faultPoll, preserving the no-hang guarantee on every fabric.
+func (e *faultEndpoint) recv(from int, tag int32, d time.Duration) (wire.Message, error) {
+	self := e.Rank()
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	for {
+		slice := faultPoll
+		if d > 0 {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return wire.Message{}, fmt.Errorf("transport: recv from %d tag %d: %w", from, tag, ErrTimeout)
+			}
+			if remaining < slice {
+				slice = remaining
+			}
+		}
+		// Poll the real endpoint first: messages already delivered (even
+		// by a peer killed since) win over the failure report.
+		m, err := e.under.RecvTimeout(from, tag, slice)
+		if err == nil {
+			return m, nil
+		}
+		if !errors.Is(err, ErrTimeout) {
+			// A kill always precedes the abort cascade that closes the
+			// fabric, so prefer the typed cause over ErrClosed noise.
+			if e.fab.killed(self) != nil {
+				return wire.Message{}, ErrClosed
+			}
+			if derr := e.fab.recvDownError(self, from); derr != nil {
+				return wire.Message{}, derr
+			}
+			return m, err
+		}
+		if e.fab.killed(self) != nil {
+			return wire.Message{}, ErrClosed
+		}
+		if derr := e.fab.recvDownError(self, from); derr != nil {
+			return wire.Message{}, derr
+		}
+	}
+}
+
+func (e *faultEndpoint) Stats() Stats { return e.under.Stats() }
+
+func (e *faultEndpoint) Close() error { return e.under.Close() }

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"psrahgadmm/internal/wire"
+)
+
+func TestFaultKillUnblocksReceiversWithTypedError(t *testing.T) {
+	f := NewFaultFabric(NewChanFabric(3), FaultPlan{})
+	defer f.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Endpoint(0).Recv(1, 5)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the Recv block
+	f.Kill(1)
+
+	select {
+	case err := <-done:
+		var pd *PeerDownError
+		if !errors.As(err, &pd) || pd.Peer != 1 {
+			t.Fatalf("err = %v, want *PeerDownError{Peer: 1}", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock after Kill")
+	}
+
+	// The dead rank's own calls fail as a closed endpoint...
+	if _, err := f.Endpoint(1).Recv(0, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("dead rank's Recv = %v, want ErrClosed", err)
+	}
+	// ...and sends to it fail fast with the typed error.
+	err := f.Endpoint(0).Send(1, wire.Control(1, 1))
+	var pd *PeerDownError
+	if !errors.As(err, &pd) || pd.Peer != 1 {
+		t.Fatalf("Send to dead rank = %v, want *PeerDownError{Peer: 1}", err)
+	}
+	// An unrelated pair keeps working.
+	if err := f.Endpoint(0).Send(2, wire.Control(9, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := f.Endpoint(2).RecvTimeout(0, 9, time.Second); err != nil || m.Ints[0] != 3 {
+		t.Fatalf("live pair broken by kill: %v %v", m, err)
+	}
+}
+
+func TestFaultKillAfterSends(t *testing.T) {
+	f := NewFaultFabric(NewChanFabric(2), FaultPlan{
+		KillAfterSends: map[int]int{0: 3},
+	})
+	defer f.Close()
+	ep := f.Endpoint(0)
+	for i := 0; i < 3; i++ {
+		if err := ep.Send(1, wire.Control(1, int64(i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := ep.Send(1, wire.Control(1, 99)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send past budget = %v, want ErrClosed", err)
+	}
+	// The 3 pre-death messages were delivered and survive the death.
+	for i := 0; i < 3; i++ {
+		m, err := f.Endpoint(1).RecvTimeout(0, 1, time.Second)
+		if err != nil || m.Ints[0] != int64(i) {
+			t.Fatalf("pre-death message %d: %v %v", i, m, err)
+		}
+	}
+	// After draining, the death surfaces.
+	_, err := f.Endpoint(1).RecvTimeout(0, 1, time.Second)
+	var pd *PeerDownError
+	if !errors.As(err, &pd) || pd.Peer != 0 {
+		t.Fatalf("err = %v, want *PeerDownError{Peer: 0}", err)
+	}
+}
+
+func TestFaultDropsAreDeterministic(t *testing.T) {
+	const n = 200
+	run := func() (int64, int) {
+		f := NewFaultFabric(NewChanFabric(2), FaultPlan{Seed: 42, DropProb: 0.3})
+		defer f.Close()
+		for i := 0; i < n; i++ {
+			if err := f.Endpoint(0).Send(1, wire.Control(1, int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := 0
+		for {
+			if _, err := f.Endpoint(1).RecvTimeout(0, 1, 100*time.Millisecond); err != nil {
+				break
+			}
+			got++
+		}
+		return f.InjectedDrops(), got
+	}
+	drops1, got1 := run()
+	drops2, got2 := run()
+	if drops1 == 0 || drops1 == n {
+		t.Fatalf("degenerate drop count %d/%d", drops1, n)
+	}
+	if drops1 != drops2 || got1 != got2 {
+		t.Fatalf("same seed diverged: drops %d vs %d, delivered %d vs %d", drops1, drops2, got1, got2)
+	}
+	if got1 != n-int(drops1) {
+		t.Fatalf("delivered %d + dropped %d != sent %d", got1, drops1, n)
+	}
+}
+
+func TestFaultPartitionAndHeal(t *testing.T) {
+	f := NewFaultFabric(NewChanFabric(2), FaultPlan{Partitions: [][2]int{{0, 1}}})
+	defer f.Close()
+	if err := f.Endpoint(0).Send(1, wire.Control(1, 1)); err != nil {
+		t.Fatalf("partitioned send must look successful (blackhole): %v", err)
+	}
+	if _, err := f.Endpoint(1).RecvTimeout(0, 1, 80*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout across partition", err)
+	}
+	if f.InjectedDrops() != 1 {
+		t.Fatalf("InjectedDrops = %d, want 1", f.InjectedDrops())
+	}
+	f.Heal(0, 1)
+	if err := f.Endpoint(0).Send(1, wire.Control(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Endpoint(1).RecvTimeout(0, 1, time.Second)
+	if err != nil || m.Ints[0] != 2 {
+		t.Fatalf("healed link: %v %v", m, err)
+	}
+}
+
+func TestFaultDelaysDeliverEventually(t *testing.T) {
+	f := NewFaultFabric(NewChanFabric(2), FaultPlan{
+		Seed: 7, DelayProb: 1, MaxDelay: 20 * time.Millisecond,
+	})
+	defer f.Close()
+	for i := 0; i < 5; i++ {
+		if err := f.Endpoint(0).Send(1, wire.Control(1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		m, err := f.Endpoint(1).RecvTimeout(0, 1, 2*time.Second)
+		if err != nil || m.Ints[0] != int64(i) {
+			t.Fatalf("delayed message %d: %v %v", i, m, err)
+		}
+	}
+	if f.InjectedDelays() != 5 {
+		t.Fatalf("InjectedDelays = %d, want 5", f.InjectedDelays())
+	}
+}

@@ -1,9 +1,13 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"psrahgadmm/internal/wire"
@@ -12,15 +16,30 @@ import (
 // handshakeTag is the reserved tag carried by the one-time rank
 // identification frame exchanged when a mesh connection is established.
 // User code must not send on this tag.
-const handshakeTag int32 = -0x7fffffff
+const handshakeTag = wire.TagHandshake
 
-// TCPOptions configures mesh establishment.
+// TCPOptions configures mesh establishment and failure detection.
 type TCPOptions struct {
-	// DialTimeout bounds how long NewTCPEndpoint keeps retrying dials to
-	// peers that have not started listening yet. Default 30s.
+	// DialTimeout bounds the TOTAL wall time NewTCPEndpoint spends
+	// retrying dials to peers that have not started listening yet,
+	// including the individual dial attempts themselves. Default 30s.
 	DialTimeout time.Duration
 	// RetryInterval is the pause between dial attempts. Default 50ms.
 	RetryInterval time.Duration
+	// HeartbeatInterval is how often an idle connection carries a
+	// keepalive frame (wire.TagHeartbeat), keeping silent peer failures
+	// detectable. Heartbeats are consumed by the transport, never surface
+	// from Recv, and are excluded from MsgsSent/BytesSent. Default 1s; a
+	// negative value disables heartbeats (and with them PeerTimeout
+	// detection).
+	HeartbeatInterval time.Duration
+	// PeerTimeout, when positive, marks a peer down (PeerDownError) after
+	// no frame — data or heartbeat — has been received from it for this
+	// long. It should be several times the peers' HeartbeatInterval.
+	// Default 0: disabled; peer failure is then detected only through
+	// connection errors (EOF, reset, write failure), which the OS reports
+	// promptly for process death but not for silent network partitions.
+	PeerTimeout time.Duration
 }
 
 func (o *TCPOptions) fill() {
@@ -30,19 +49,34 @@ func (o *TCPOptions) fill() {
 	if o.RetryInterval <= 0 {
 		o.RetryInterval = 50 * time.Millisecond
 	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = time.Second
+	}
 }
 
 // tcpEndpoint is one rank of a full TCP mesh. Every pair of ranks shares
 // exactly one TCP connection: rank i dials every rank j < i and accepts
 // from every j > i, so connection count is n(n-1)/2 across the cluster.
+//
+// Failure model: each peer connection has a dedicated reader; any read
+// error, decode error, write error, or heartbeat silence marks that peer
+// down exactly once. A down peer turns every Send to it and every Recv that
+// depends on it into a fast *PeerDownError instead of a hang (see
+// Endpoint.Recv for the buffered-delivery guarantee).
 type tcpEndpoint struct {
 	rank  int
 	size  int
+	opts  TCPOptions
 	ln    net.Listener
 	peers []*tcpPeer // indexed by rank; peers[rank] == nil
 
 	inbox chan wire.Message
 	buf   pending
+
+	mu       sync.Mutex
+	down     []*PeerDownError // indexed by rank, nil while alive
+	downCh   chan struct{}    // closed and replaced on every down event
+	firstErr error            // first decode error seen by any reader
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -51,8 +85,11 @@ type tcpEndpoint struct {
 }
 
 type tcpPeer struct {
-	conn net.Conn
-	wmu  sync.Mutex // serializes frame writes
+	conn       net.Conn
+	wmu        sync.Mutex   // serializes frame writes
+	lastSend   atomic.Int64 // UnixNano of the last frame written
+	lastRecv   atomic.Int64 // UnixNano of the last frame read
+	sawGoodbye atomic.Bool  // peer announced an orderly shutdown
 }
 
 // NewTCPEndpoint joins a TCP mesh as `rank`. addrs lists the listen address
@@ -71,9 +108,12 @@ func NewTCPEndpoint(rank int, addrs []string, opts TCPOptions) (Endpoint, error)
 	e := &tcpEndpoint{
 		rank:   rank,
 		size:   size,
+		opts:   opts,
 		ln:     ln,
 		peers:  make([]*tcpPeer, size),
 		inbox:  make(chan wire.Message, inboxDepth),
+		down:   make([]*PeerDownError, size),
+		downCh: make(chan struct{}),
 		closed: make(chan struct{}),
 	}
 
@@ -125,14 +165,23 @@ func NewTCPEndpoint(rank int, addrs []string, opts TCPOptions) (Endpoint, error)
 		}
 	}()
 
-	// Dial all lower ranks, retrying while they come up.
+	// Dial all lower ranks, retrying while they come up. The whole loop —
+	// attempts and pauses — shares one wall-clock budget of
+	// opts.DialTimeout, so each attempt is capped by the remaining budget
+	// rather than restarting the full timeout (which could overshoot ~2×).
 	for peer := 0; peer < rank; peer++ {
 		setup.Add(1)
 		go func(peer int) {
 			defer setup.Done()
 			deadline := time.Now().Add(opts.DialTimeout)
 			for {
-				conn, err := net.DialTimeout("tcp", addrs[peer], opts.DialTimeout)
+				remaining := time.Until(deadline)
+				if remaining <= 0 {
+					setErr(fmt.Errorf("transport: rank %d dial rank %d (%s): %w",
+						rank, peer, addrs[peer], ErrTimeout))
+					return
+				}
+				conn, err := net.DialTimeout("tcp", addrs[peer], remaining)
 				if err == nil {
 					hs := wire.Control(handshakeTag, int64(rank))
 					hs.From = int32(rank)
@@ -146,11 +195,15 @@ func NewTCPEndpoint(rank int, addrs []string, opts TCPOptions) (Endpoint, error)
 					mu.Unlock()
 					return
 				}
-				if time.Now().After(deadline) {
+				if remaining = time.Until(deadline); remaining <= 0 {
 					setErr(fmt.Errorf("transport: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err))
 					return
 				}
-				time.Sleep(opts.RetryInterval)
+				if pause := opts.RetryInterval; pause > remaining {
+					time.Sleep(remaining)
+				} else {
+					time.Sleep(pause)
+				}
 			}
 		}(peer)
 	}
@@ -161,29 +214,202 @@ func NewTCPEndpoint(rank int, addrs []string, opts TCPOptions) (Endpoint, error)
 		return nil, firstErr
 	}
 
-	// Start one reader per peer connection.
+	// Start one reader per peer connection, plus the heartbeat ticker.
+	now := time.Now().UnixNano()
 	for p, peer := range e.peers {
 		if peer == nil {
 			continue
 		}
+		peer.lastSend.Store(now)
+		peer.lastRecv.Store(now)
 		e.wg.Add(1)
-		go e.readLoop(p, peer.conn)
+		go e.readLoop(p, peer)
+	}
+	if e.opts.HeartbeatInterval > 0 && size > 1 {
+		e.wg.Add(1)
+		go e.heartbeatLoop()
 	}
 	return e, nil
 }
 
-func (e *tcpEndpoint) readLoop(peer int, conn net.Conn) {
+// peerDown records the first failure observed for peer and wakes every
+// blocked Recv. Closing the connection stops its reader and fails any
+// in-flight writes fast instead of letting them buffer into a dead socket.
+func (e *tcpEndpoint) peerDown(peer int, cause error, graceful bool) {
+	e.mu.Lock()
+	if e.down[peer] != nil {
+		e.mu.Unlock()
+		return
+	}
+	e.down[peer] = &PeerDownError{Peer: peer, Cause: cause, Graceful: graceful}
+	close(e.downCh)
+	e.downCh = make(chan struct{})
+	e.mu.Unlock()
+	if p := e.peers[peer]; p != nil {
+		p.conn.Close()
+	}
+}
+
+// peerErr returns peer's PeerDownError, or nil while it is alive.
+func (e *tcpEndpoint) peerErr(peer int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d := e.down[peer]; d != nil {
+		return d
+	}
+	return nil
+}
+
+// recvDownError decides whether a Recv(from, ...) can still be satisfied.
+// A targeted Recv fails as soon as its source is down, gracefully or not.
+// An AnySource Recv fails on the first CRASHED peer — a rank that vanished
+// without a goodbye may be exactly the one whose message the caller is
+// waiting for, so continuing risks a hang — but tolerates graceful
+// departures (ranks that Closed after finishing) as long as at least one
+// remote peer is still alive. A fully departed world fails too: nobody is
+// left to send.
+func (e *tcpEndpoint) recvDownError(from int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if from != AnySource {
+		if d := e.down[from]; d != nil {
+			return d
+		}
+		return nil
+	}
+	var first *PeerDownError
+	allDown := true
+	for r := 0; r < e.size; r++ {
+		if r == e.rank {
+			continue
+		}
+		d := e.down[r]
+		if d == nil {
+			allDown = false
+			continue
+		}
+		if !d.Graceful {
+			return d // a crash can strand this wait forever — fail now
+		}
+		if first == nil {
+			first = d
+		}
+	}
+	if allDown && first != nil {
+		return first
+	}
+	return nil // live peers remain (or single-rank world: loopback only)
+}
+
+// curDownCh returns the channel that will be closed on the next down event.
+func (e *tcpEndpoint) curDownCh() <-chan struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.downCh
+}
+
+// noteDecodeError counts a corrupted frame and logs the first one, so a
+// poisoned stream is distinguishable from a clean shutdown in both Stats
+// and the process log.
+func (e *tcpEndpoint) noteDecodeError(peer int, err error) {
+	e.stats.recvErrs.Add(1)
+	e.mu.Lock()
+	first := e.firstErr == nil
+	if first {
+		e.firstErr = err
+	}
+	e.mu.Unlock()
+	if first {
+		log.Printf("transport: rank %d: decode error from peer %d: %v", e.rank, peer, err)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(peer int, p *tcpPeer) {
 	defer e.wg.Done()
 	for {
-		m, err := wire.Decode(conn)
+		m, err := wire.Decode(p.conn)
 		if err != nil {
-			return // connection closed or corrupted; Recv ends via e.closed
+			select {
+			case <-e.closed:
+				return // local shutdown, not a peer failure
+			default:
+			}
+			switch {
+			case errors.Is(err, io.EOF) && p.sawGoodbye.Load():
+				// FIN after a goodbye frame: an orderly departure.
+				e.peerDown(peer, errors.New("peer closed"), true)
+			case errors.Is(err, io.EOF):
+				// FIN with no goodbye: the process died.
+				e.peerDown(peer, errors.New("connection closed by peer"), false)
+			case errors.Is(err, wire.ErrBadFrame):
+				e.noteDecodeError(peer, err)
+				e.peerDown(peer, fmt.Errorf("corrupted frame: %w", err), false)
+			default:
+				// Mid-frame EOF, reset, or read error — includes the
+				// conn.Close a concurrent peerDown already performed, in
+				// which case this is a no-op. A goodbye still marks the
+				// departure orderly even if the teardown raced the read.
+				e.peerDown(peer, fmt.Errorf("read: %w", err), p.sawGoodbye.Load())
+			}
+			return
+		}
+		p.lastRecv.Store(time.Now().UnixNano())
+		if m.Tag == wire.TagHeartbeat {
+			continue // liveness plumbing, never delivered
+		}
+		if m.Tag == wire.TagGoodbye {
+			p.sawGoodbye.Store(true)
+			continue // shutdown announcement; the EOF that follows is clean
 		}
 		m.From = int32(peer) // trust the mesh, not the frame
 		select {
 		case e.inbox <- m:
 		case <-e.closed:
 			return
+		}
+	}
+}
+
+// heartbeatLoop keeps idle connections carrying traffic and, when
+// PeerTimeout is set, converts prolonged silence into a peer-down event.
+func (e *tcpEndpoint) heartbeatLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.closed:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		for r, p := range e.peers {
+			if p == nil || e.peerErr(r) != nil {
+				continue
+			}
+			if pt := e.opts.PeerTimeout; pt > 0 && now-p.lastRecv.Load() > int64(pt) {
+				e.peerDown(r, fmt.Errorf("no traffic for %v: %w", pt, ErrTimeout), false)
+				continue
+			}
+			if now-p.lastSend.Load() < int64(e.opts.HeartbeatInterval) {
+				continue // connection is busy; no keepalive needed
+			}
+			hb := wire.Control(wire.TagHeartbeat)
+			hb.From = int32(e.rank)
+			p.wmu.Lock()
+			err := wire.Encode(p.conn, hb)
+			p.wmu.Unlock()
+			if err != nil {
+				select {
+				case <-e.closed:
+					return
+				default:
+				}
+				e.peerDown(r, fmt.Errorf("heartbeat write: %w", err), p.sawGoodbye.Load())
+				continue
+			}
+			p.lastSend.Store(now)
+			e.stats.heartbeats.Add(1)
 		}
 	}
 }
@@ -206,6 +432,9 @@ func (e *tcpEndpoint) Send(to int, m wire.Message) error {
 			return ErrClosed
 		}
 	}
+	if err := e.peerErr(to); err != nil {
+		return err
+	}
 	peer := e.peers[to]
 	if peer == nil {
 		return fmt.Errorf("transport: no connection to rank %d", to)
@@ -220,27 +449,76 @@ func (e *tcpEndpoint) Send(to int, m wire.Message) error {
 	err := wire.Encode(peer.conn, m)
 	peer.wmu.Unlock()
 	if err != nil {
-		return fmt.Errorf("transport: send to rank %d: %w", to, err)
+		select {
+		case <-e.closed:
+			return ErrClosed
+		default:
+		}
+		e.peerDown(to, fmt.Errorf("write: %w", err), peer.sawGoodbye.Load())
+		return e.peerErr(to)
 	}
+	peer.lastSend.Store(time.Now().UnixNano())
 	e.stats.record(m)
 	return nil
 }
 
 func (e *tcpEndpoint) Recv(from int, tag int32) (wire.Message, error) {
+	return e.recv(from, tag, 0)
+}
+
+func (e *tcpEndpoint) RecvTimeout(from int, tag int32, d time.Duration) (wire.Message, error) {
+	return e.recv(from, tag, d)
+}
+
+func (e *tcpEndpoint) recv(from int, tag int32, d time.Duration) (wire.Message, error) {
 	if from != AnySource {
 		if err := checkRank(from, e.size); err != nil {
 			return wire.Message{}, err
 		}
 	}
-	if m, ok := e.buf.take(from, tag); ok {
-		return m, nil
-	}
+	timeout, stop := deadlineChan(d)
+	defer stop()
 	for {
+		if m, ok := e.buf.take(from, tag); ok {
+			return m, nil
+		}
+		// Drain already-delivered messages before consulting closed/down
+		// state: frames that arrived before a peer died (or before Close)
+		// must still be matched. The reader pushes every decoded frame
+		// into the inbox before it reports the failure, so this drain sees
+		// everything the dead peer managed to send.
+	drain:
+		for {
+			select {
+			case m := <-e.inbox:
+				if matches(m, from, tag) {
+					return m, nil
+				}
+				e.buf.put(m)
+			default:
+				break drain
+			}
+		}
 		select {
 		case <-e.closed:
 			return wire.Message{}, ErrClosed
+		default:
+		}
+		if err := e.recvDownError(from); err != nil {
+			return wire.Message{}, err
+		}
+		downCh := e.curDownCh()
+		select {
+		case <-e.closed:
+			// Loop once more to drain racing deliveries, then report
+			// ErrClosed via the check above.
+		case <-downCh:
+			// A peer just went down; re-evaluate whether this Recv can
+			// still complete.
+		case <-timeout:
+			return wire.Message{}, fmt.Errorf("transport: recv from %d tag %d: %w", from, tag, ErrTimeout)
 		case m := <-e.inbox:
-			if m.Tag == tag && (from == AnySource || int(m.From) == from) {
+			if matches(m, from, tag) {
 				return m, nil
 			}
 			e.buf.put(m)
@@ -263,9 +541,27 @@ func (e *tcpEndpoint) teardown() {
 
 func (e *tcpEndpoint) Close() error {
 	e.closeOnce.Do(func() {
+		e.sayGoodbye()
 		close(e.closed)
 		e.teardown()
 	})
 	e.wg.Wait()
 	return nil
+}
+
+// sayGoodbye announces an orderly shutdown to every live peer so they can
+// tell this departure from a crash. Best effort: a peer that is already
+// gone, or a socket that fails mid-write, simply misses the announcement
+// and errs on the side of reporting a crash — a failure, never a hang.
+func (e *tcpEndpoint) sayGoodbye() {
+	for r, p := range e.peers {
+		if p == nil || e.peerErr(r) != nil {
+			continue
+		}
+		bye := wire.Control(wire.TagGoodbye)
+		bye.From = int32(e.rank)
+		p.wmu.Lock()
+		wire.Encode(p.conn, bye)
+		p.wmu.Unlock()
+	}
 }

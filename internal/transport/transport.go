@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"psrahgadmm/internal/wire"
 )
@@ -28,6 +29,36 @@ const AnySource = -1
 
 // ErrClosed is returned by Send/Recv after the endpoint has been closed.
 var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrTimeout is returned (wrapped) by RecvTimeout when the deadline expires
+// before a matching message arrives. Check with errors.Is.
+var ErrTimeout = errors.New("transport: deadline exceeded")
+
+// PeerDownError reports that a specific peer rank has failed: its
+// connection broke, a frame from it failed to decode, or it went silent
+// past the configured heartbeat timeout. Once a peer is down, every Send to
+// it and every Recv that could only be satisfied by it fails fast with this
+// error instead of blocking forever — the property the WLG runtime needs to
+// turn a crashed worker into a clean abort rather than a cluster-wide hang.
+type PeerDownError struct {
+	// Peer is the world rank that failed.
+	Peer int
+	// Cause is the first error observed from the peer (EOF, decode
+	// failure, write error, or heartbeat timeout).
+	Cause error
+	// Graceful is true when the peer announced an orderly shutdown (a
+	// goodbye frame preceded the disconnect) rather than crashing. A
+	// graceful departure still fails targeted Sends and Recvs — the peer
+	// will never speak again — but is tolerated by Recv(AnySource) waits,
+	// which only a crash (or a fully departed world) aborts.
+	Graceful bool
+}
+
+func (e *PeerDownError) Error() string {
+	return fmt.Sprintf("transport: peer %d down: %v", e.Peer, e.Cause)
+}
+
+func (e *PeerDownError) Unwrap() error { return e.Cause }
 
 // Endpoint is one rank's handle onto the fabric. Send and Recv follow MPI
 // point-to-point semantics: messages between a fixed (sender, receiver)
@@ -50,22 +81,62 @@ type Endpoint interface {
 	Send(to int, m wire.Message) error
 	// Recv blocks until a message with the given tag from the given source
 	// (or from anyone when from == AnySource) is available.
+	//
+	// Delivery guarantee around shutdown: messages already delivered to
+	// this endpoint before Close are never dropped — Recv drains and
+	// matches them first and returns ErrClosed only once no buffered
+	// message matches. Likewise, frames received from a peer before it
+	// died are matched before Recv reports the peer's PeerDownError.
+	//
+	// Failure policy: a targeted Recv fails once its source is down for
+	// any reason. An AnySource Recv fails on the first crashed peer, but
+	// tolerates graceful departures (PeerDownError.Graceful) while any
+	// remote peer is still alive.
 	Recv(from int, tag int32) (wire.Message, error)
-	// Stats returns cumulative send-side counters for this endpoint.
+	// RecvTimeout is Recv with a deadline: it returns an error wrapping
+	// ErrTimeout if no matching message arrives within d. d <= 0 means no
+	// deadline (identical to Recv). On fabrics with failure detection a
+	// dead peer surfaces as PeerDownError as soon as it is detected, which
+	// may be well before the deadline.
+	RecvTimeout(from int, tag int32, d time.Duration) (wire.Message, error)
+	// Stats returns cumulative traffic and error counters for this endpoint.
 	Stats() Stats
-	// Close tears down the endpoint. Blocked Recvs return ErrClosed.
+	// Close tears down the endpoint. Blocked Recvs return ErrClosed (after
+	// draining already-delivered messages, per the Recv contract).
 	Close() error
 }
 
-// Stats counts traffic an endpoint has sent.
+// Fabric is a set of endpoints sharing one world — the handle the engine
+// holds to build, wrap (fault injection), and tear down a whole cluster of
+// ranks at once. ChanFabric and FaultFabric implement it.
+type Fabric interface {
+	// Size returns the number of ranks.
+	Size() int
+	// Endpoint returns rank i's endpoint.
+	Endpoint(i int) Endpoint
+	// Close closes every endpoint, unblocking all ranks.
+	Close()
+}
+
+// Stats counts traffic an endpoint has sent and errors it has observed.
 type Stats struct {
 	MsgsSent  int64
 	BytesSent int64
+	// RecvErrors counts frames that failed to decode on this endpoint's
+	// reader side (corrupted frames, protocol violations). A clean peer
+	// shutdown (EOF at a frame boundary) is not counted.
+	RecvErrors int64
+	// HeartbeatsSent counts keepalive frames, which are deliberately
+	// excluded from MsgsSent/BytesSent so algorithm-traffic accounting is
+	// unchanged by liveness plumbing.
+	HeartbeatsSent int64
 }
 
 type statsCounter struct {
-	msgs  atomic.Int64
-	bytes atomic.Int64
+	msgs       atomic.Int64
+	bytes      atomic.Int64
+	recvErrs   atomic.Int64
+	heartbeats atomic.Int64
 }
 
 func (s *statsCounter) record(m wire.Message) {
@@ -74,7 +145,12 @@ func (s *statsCounter) record(m wire.Message) {
 }
 
 func (s *statsCounter) snapshot() Stats {
-	return Stats{MsgsSent: s.msgs.Load(), BytesSent: s.bytes.Load()}
+	return Stats{
+		MsgsSent:       s.msgs.Load(),
+		BytesSent:      s.bytes.Load(),
+		RecvErrors:     s.recvErrs.Load(),
+		HeartbeatsSent: s.heartbeats.Load(),
+	}
 }
 
 func checkRank(rank, size int) error {
@@ -105,3 +181,19 @@ func (p *pending) take(from int, tag int32) (wire.Message, bool) {
 }
 
 func (p *pending) put(m wire.Message) { p.msgs = append(p.msgs, m) }
+
+// matches reports whether m satisfies a Recv(from, tag) call.
+func matches(m wire.Message, from int, tag int32) bool {
+	return m.Tag == tag && (from == AnySource || int(m.From) == from)
+}
+
+// deadlineChan turns a timeout into a select-able channel. The returned
+// stop func must be called to release the timer; the channel is nil (never
+// ready) when d <= 0.
+func deadlineChan(d time.Duration) (<-chan time.Time, func()) {
+	if d <= 0 {
+		return nil, func() {}
+	}
+	t := time.NewTimer(d)
+	return t.C, func() { t.Stop() }
+}

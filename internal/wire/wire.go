@@ -73,6 +73,31 @@ func SparseMsg(tag int32, v *sparse.Vector) Message {
 	return Message{Kind: KindSparse, Tag: tag, Sparse: v}
 }
 
+// Reserved control tags. The transports claim a small band at the very
+// bottom of the int32 tag space for internal control frames; user code must
+// never send on these. Keeping them in wire (rather than each transport
+// picking its own) guarantees every fabric and every tool that inspects
+// frames agrees on what is algorithm traffic and what is plumbing.
+const (
+	// TagHandshake carries the one-time rank identification frame exchanged
+	// when a mesh connection is established.
+	TagHandshake int32 = -0x7fffffff
+	// TagHeartbeat marks the empty keepalive frames the TCP fabric sends on
+	// idle connections so silent peer failures are detectable. Heartbeats
+	// are consumed by the transport and never surface from Recv.
+	TagHeartbeat int32 = -0x7ffffffe
+	// TagGoodbye announces an orderly shutdown: a rank that Closes its
+	// endpoint sends this before the FIN, letting peers distinguish a clean
+	// departure (tolerated by any-source waits) from a crash (which must
+	// fail them). An EOF without a preceding goodbye is a crash.
+	TagGoodbye int32 = -0x7ffffffd
+)
+
+// IsReservedTag reports whether tag belongs to the transport-internal band.
+func IsReservedTag(tag int32) bool {
+	return tag == TagHandshake || tag == TagHeartbeat || tag == TagGoodbye
+}
+
 const (
 	magic0      = 'P'
 	magic1      = 'S'

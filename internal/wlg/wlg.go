@@ -19,7 +19,9 @@
 package wlg
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"psrahgadmm/internal/collective"
 	"psrahgadmm/internal/simnet"
@@ -195,6 +197,58 @@ func receiveResult(ep transport.Endpoint, intra collective.Group, topo simnet.To
 		return nil, 0, fmt.Errorf("wlg: iter %d receive count: %w", iter, err)
 	}
 	return in.Dense, int(cnt.Ints[0]), nil
+}
+
+// Run executes a complete WLG world — every worker plus the Group
+// Generator — over the given fabric, with fail-fast semantics: the first
+// rank to return an error (a transport.PeerDownError from a crashed peer,
+// a closed endpoint, a malformed request) closes the whole fabric, so every
+// other rank unblocks instead of waiting on messages that will never
+// arrive. funcs(rank) supplies each worker's algorithm callbacks. The
+// returned error is the first causal failure; ErrClosed noise from the
+// abort itself is suppressed in its favor.
+func Run(fab transport.Fabric, cfg Config, funcs func(rank int) WorkerFuncs) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	world := WorldSize(cfg.Topo)
+	if fab.Size() < world {
+		return fmt.Errorf("wlg: fabric has %d endpoints, world needs %d", fab.Size(), world)
+	}
+	errs := make([]error, world)
+	var abort sync.Once
+	var wg sync.WaitGroup
+	run := func(rank int, f func() error) {
+		defer wg.Done()
+		if err := f(); err != nil {
+			errs[rank] = err
+			abort.Do(fab.Close)
+		}
+	}
+	wg.Add(1)
+	go run(GGRank(cfg.Topo), func() error { return RunGG(fab.Endpoint(GGRank(cfg.Topo)), cfg) })
+	for r := 0; r < cfg.Topo.Size(); r++ {
+		r := r
+		wg.Add(1)
+		go run(r, func() error { return RunWorker(fab.Endpoint(r), cfg, funcs(r)) })
+	}
+	wg.Wait()
+	// Prefer a typed peer failure, then any non-ErrClosed error, then
+	// whatever remains — mirroring core's collective abort.
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var pd *transport.PeerDownError
+		if errors.As(err, &pd) {
+			return err
+		}
+		if fallback == nil || errors.Is(fallback, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed) {
+			fallback = err
+		}
+	}
+	return fallback
 }
 
 // RunGG executes Algorithm 2: serve grouping requests for MaxIter
