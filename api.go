@@ -40,6 +40,7 @@ package psrahgadmm
 import (
 	"psrahgadmm/internal/core"
 	"psrahgadmm/internal/dataset"
+	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/simnet"
 )
 
@@ -56,8 +57,20 @@ type (
 	Result = core.Result
 	// IterStat is one iteration's record.
 	IterStat = core.IterStat
-	// Algorithm names a consensus-ADMM variant.
+	// Algorithm names a registered consensus-ADMM variant.
 	Algorithm = core.Algorithm
+	// Variant is one registry entry: an algorithm name bound to a
+	// (consensus, sync, codec) strategy triple.
+	Variant = core.Variant
+	// ConsensusKind names a consensus strategy (how W is aggregated and z
+	// redistributed): star, ring, flat PSR, staged tree, or group-local.
+	ConsensusKind = core.ConsensusKind
+	// SyncKind names a synchronization model (when a round admits its
+	// participants): BSP, SSP, or bounded-delay async.
+	SyncKind = core.SyncKind
+	// ExchangeKind names a wire codec (what travels): exact sparse,
+	// quantized sparse, dense fp64, or dense fp32.
+	ExchangeKind = exchange.Kind
 	// ConsensusMode selects PSRA-HGADMM's aggregation breadth.
 	ConsensusMode = core.ConsensusMode
 	// Topology is the virtual cluster layout (nodes × workers/node).
@@ -90,6 +103,17 @@ const (
 	ADADMM = core.ADADMM
 	// GCADMM is classic synchronous master-worker consensus ADMM.
 	GCADMM = core.GCADMM
+	// PSRAHGADMMGroup is the group-local consensus reading as a named
+	// variant (equivalent to PSRAHGADMM with Consensus: ConsensusGroup).
+	PSRAHGADMMGroup = core.PSRAHGADMMGroup
+	// PSRAHGADMMSSPQ8 composes the staged aggregation tree with SSP
+	// admission and an 8-bit quantized sparse exchange — a combination the
+	// pre-registry engine could not express.
+	PSRAHGADMMSSPQ8 = core.PSRAHGADMMSSPQ8
+	// PSRAADMMAsync drives the flat PSR-Allreduce asynchronously.
+	PSRAADMMAsync = core.PSRAADMMAsync
+	// GRADMMSSP runs GR-ADMM's sparse Leader ring under SSP.
+	GRADMMSSP = core.GRADMMSSP
 )
 
 // PSRA-HGADMM consensus modes (see Config.Consensus).
@@ -106,8 +130,19 @@ func Train(cfg Config, train *Dataset, opts RunOptions) (*Result, error) {
 	return core.Run(cfg, train, opts)
 }
 
-// Algorithms lists every implemented variant in presentation order.
+// Algorithms lists every registered variant name in registration order
+// (the paper's six first, then the named strategy compositions).
 func Algorithms() []Algorithm { return core.Algorithms() }
+
+// Variants lists every registered variant with its strategy triple and
+// description, in registration order.
+func Variants() []Variant { return core.Variants() }
+
+// RegisterVariant adds a custom algorithm to the registry: any valid
+// (consensus, sync, codec) triple becomes runnable by name through Train.
+// It panics on duplicate names or inexpressible combinations, matching the
+// package-init-time semantics of the built-in registrations.
+func RegisterVariant(v Variant) { core.Register(v) }
 
 // ReferenceOptimum computes a tight approximation of the global optimum
 // f* (the denominator of the paper's relative-error metric, eq. 18).

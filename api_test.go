@@ -35,14 +35,24 @@ func TestPublicAPITrainRoundTrip(t *testing.T) {
 	}
 }
 
-// TestPublicAPIAllAlgorithms smoke-tests every exported algorithm id.
+// TestPublicAPIAllAlgorithms smoke-tests every registered algorithm id.
 func TestPublicAPIAllAlgorithms(t *testing.T) {
 	train, _, err := Generate(News20Like(0.0005, 7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(Algorithms()) != 6 {
-		t.Fatalf("expected 6 algorithms, got %d", len(Algorithms()))
+	// The paper's six variants plus the registered strategy compositions.
+	if len(Algorithms()) < 6 {
+		t.Fatalf("expected at least the paper's 6 algorithms, got %d", len(Algorithms()))
+	}
+	if len(Algorithms()) != len(Variants()) {
+		t.Fatalf("Algorithms()/Variants() length mismatch: %d vs %d",
+			len(Algorithms()), len(Variants()))
+	}
+	for _, v := range Variants() {
+		if v.Consensus == "" || v.Sync == "" || v.Codec == "" || v.Description == "" {
+			t.Fatalf("%s: incomplete variant %+v", v.Name, v)
+		}
 	}
 	for _, alg := range Algorithms() {
 		cfg := Config{

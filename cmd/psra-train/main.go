@@ -18,7 +18,8 @@ import (
 
 func main() {
 	var (
-		algorithm = flag.String("algorithm", string(psra.PSRAHGADMM), "psra-hgadmm | psra-admm | admmlib | ad-admm | gc-admm")
+		algorithm = flag.String("algorithm", string(psra.PSRAHGADMM), "registered algorithm name (see -list-algorithms)")
+		listAlgos = flag.Bool("list-algorithms", false, "list every registered algorithm with its strategy triple and exit")
 		nodes     = flag.Int("nodes", 4, "virtual cluster nodes")
 		wpn       = flag.Int("wpn", 4, "workers per node")
 		rho       = flag.Float64("rho", 1, "ADMM penalty parameter ρ")
@@ -35,6 +36,11 @@ func main() {
 		jsonOut   = flag.String("json", "", "write the full run history as JSON to this file")
 	)
 	flag.Parse()
+
+	if *listAlgos {
+		listAlgorithms()
+		return
+	}
 
 	train, test, err := loadData(*dataPath, *testPath, *synth, *scale, *seed)
 	if err != nil {
@@ -82,6 +88,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("history written to %s\n", *jsonOut)
+	}
+}
+
+// listAlgorithms prints the registry: every runnable algorithm with the
+// (consensus, sync, codec) triple it binds.
+func listAlgorithms() {
+	for _, v := range psra.Variants() {
+		fmt.Printf("%-20s consensus=%-11s sync=%-5s codec=%-10s %s\n",
+			v.Name, v.Consensus, v.Sync, v.Codec, v.Description)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	psra "psrahgadmm"
+	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/transport"
@@ -40,6 +41,7 @@ func main() {
 		wpn       = flag.Int("wpn", 2, "workers per node")
 		iters     = flag.Int("iters", 30, "outer iterations")
 		threshold = flag.Int("threshold", 0, "GQ grouping threshold in nodes (0 = all)")
+		codec     = flag.String("codec", "", "exchange codec: sparse | sparse-q8 | sparse-q16 | dense | dense-f32 (empty = exact)")
 		rho       = flag.Float64("rho", 1, "ADMM penalty parameter ρ")
 		lambda    = flag.Float64("lambda", 1, "L1 regularization weight λ")
 		synth     = flag.String("synth", "news20", "synthetic preset: news20 | webspam | url")
@@ -71,7 +73,7 @@ func main() {
 	}
 	defer ep.Close()
 
-	cfg := wlg.Config{Topo: topo, MaxIter: *iters, GroupThreshold: *threshold}
+	cfg := wlg.Config{Topo: topo, MaxIter: *iters, GroupThreshold: *threshold, Codec: exchange.Kind(*codec)}
 	if *rank == wlg.GGRank(topo) {
 		fmt.Printf("rank %d: group generator serving %d nodes × %d iterations\n", *rank, *nodes, *iters)
 		if err := wlg.RunGG(ep, cfg); err != nil {

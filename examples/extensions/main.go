@@ -1,7 +1,8 @@
 // Extensions: the classic ADMM add-ons this library layers on the paper's
 // algorithm — residual-based early stopping, residual-balancing adaptive ρ
-// (the AADMM idea), and Q-GADMM-style quantized communication — all
-// through the public API.
+// (the AADMM idea), and Q-GADMM-style quantized communication — plus the
+// algorithm registry: every variant is a named (consensus, sync, codec)
+// triple, enumerable and runnable through the public API.
 //
 //	go run ./examples/extensions
 package main
@@ -72,5 +73,22 @@ func main() {
 		}
 		fmt.Printf("%s values: objective %9.4f, %8d bytes communicated\n",
 			label, res.FinalObjective(), res.TotalBytes)
+	}
+
+	// 4. The registry: every runnable variant is a (consensus, sync, codec)
+	// binding — including compositions the paper's monoliths could not
+	// express, like the quantized staged tree under SSP. Each runs through
+	// the same Train call by name.
+	fmt.Println("\nregistered algorithm variants:")
+	for _, v := range psra.Variants() {
+		cfg := base
+		cfg.Algorithm = v.Name
+		cfg.MaxIter = 15
+		res, err := psra.Train(cfg, train, psra.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20s (%s × %s × %s): objective %9.4f\n",
+			v.Name, v.Consensus, v.Sync, v.Codec, res.FinalObjective())
 	}
 }

@@ -184,6 +184,7 @@ func Experiments() []struct {
 		{"costmodel", "Ring vs PSR sparse cost envelopes (paper eqs. 11-16)", CostModel},
 		{"tte", "time to fixed relative error (derived from Figures 5+6)", TimeToError},
 		{"ablation", "design-choice ablations (DESIGN.md §5)", Ablation},
+		{"zoo", "every registered algorithm variant side by side", Zoo},
 	}
 }
 

@@ -143,27 +143,6 @@ func groupAllreduceDense(fab transport.Fabric, ranks []int, tagBase int32, input
 	return bufs[0], merged, nil
 }
 
-// scaleTraceBytes multiplies every event's byte count by num/den —
-// used to model ADMMLib's single-precision exchange (4 bytes per element
-// instead of 8) without forking the collectives.
-func scaleTraceBytes(tr collective.Trace, num, den int) collective.Trace {
-	out := collective.Trace{Steps: tr.Steps, Events: make([]collective.Event, len(tr.Events))}
-	for i, e := range tr.Events {
-		e.Bytes = e.Bytes * num / den
-		out.Events[i] = e
-	}
-	return out
-}
-
-// quantScale rescales a sparse-exchange trace's bytes for the configured
-// quantization (12 bytes per element → 4 + bits/8). No-op when bits is 0.
-func quantScale(tr collective.Trace, bits int) collective.Trace {
-	if bits == 0 {
-		return tr
-	}
-	return scaleTraceBytes(tr, quantEntryBytes(bits), 12)
-}
-
 // traceBytes sums payload bytes across a merged trace.
 func traceBytes(tr collective.Trace) int64 {
 	var n int64
@@ -249,12 +228,6 @@ func zFromW(w *sparse.Vector, lambda, rho float64, n int) *sparse.Vector {
 	return out
 }
 
-// sparseW compresses a worker's dense w into the sparse vector the
-// collectives ship. Exact zeros — features never touched by data, duals,
-// or consensus — are what make the exchange sparse in early iterations and
-// on small shards.
-func sparseW(w []float64) *sparse.Vector { return sparse.FromDense(w) }
-
 // sumSparse adds vs in index order (deterministic association).
 func sumSparse(dim int, vs []*sparse.Vector) *sparse.Vector {
 	acc := sparse.NewAccumulator(dim)
@@ -283,33 +256,4 @@ func starGatherTrace(master int, fresh []int, dim int) collective.Trace {
 		)
 	}
 	return tr
-}
-
-// quantizeF32 rounds every element to float32 precision in place,
-// modeling ADMMLib's single-precision parameter exchange (the accuracy
-// cost §2 of the paper attributes to reduced-precision schemes).
-func quantizeF32(x []float64) {
-	for i, v := range x {
-		x[i] = float64(float32(v))
-	}
-}
-
-// quantizeSparseF32 rounds a sparse vector's values to float32 precision.
-func quantizeSparseF32(v *sparse.Vector) {
-	for i, val := range v.Value {
-		v.Value[i] = float64(float32(val))
-	}
-	// float32 rounding cannot produce new zeros from nonzeros except for
-	// subnormal underflow; drop those to preserve the no-stored-zeros
-	// invariant.
-	kept := 0
-	for i := range v.Value {
-		if v.Value[i] != 0 {
-			v.Index[kept] = v.Index[i]
-			v.Value[kept] = v.Value[i]
-			kept++
-		}
-	}
-	v.Index = v.Index[:kept]
-	v.Value = v.Value[:kept]
 }

@@ -1,22 +1,19 @@
-// Package core implements the paper's algorithm family on top of the
-// substrate packages:
+// Package core implements the paper's algorithm family as compositions of
+// three orthogonal strategy axes:
 //
-//   - PSRAHGADMM — the contribution: hierarchical grouping consensus ADMM
-//     with PSR-Allreduce among dynamically formed Leader groups (BSP).
-//   - PSRAADMM — the flat variant: PSR-Allreduce across all workers, no
-//     hierarchy (the §4.2 algorithm before the WLG framework is added).
-//   - ADMMLib — baseline: hierarchical Ring-Allreduce with SSP (stale
-//     synchronous parallel, Min_barrier/Max_delay) and single-precision
-//     parameter exchange, after Xie & Lei's ADMMLIB.
-//   - ADADMM — baseline: asynchronous master–worker consensus ADMM with
-//     partial barrier and bounded delay, after Zhang & Kwok.
-//   - GRADMM — baseline after Huang, Wang & Lei's GR-ADMM (the paper's
-//     ref. [9]): the same BSP hierarchy as PSRA-HGADMM but sparse
-//     Ring-Allreduce among all Leaders and no dynamic grouping —
-//     isolating the PSR-vs-Ring schedule at identical synchronization
-//     semantics.
-//   - GCADMM — classic fully synchronous master–worker global consensus
-//     ADMM, the textbook reference point.
+//   - ConsensusStrategy (strategy.go, consensus_*.go): HOW the aggregate
+//     W = Σ(yᵢ + ρxᵢ) is formed and z redistributed — star, ring, flat
+//     PSR, staged aggregation tree, group-local.
+//   - SyncModel (syncmodel.go): WHEN a round admits its participants —
+//     BSP barrier, SSP partial barrier (Min_barrier/Max_delay), or
+//     bounded-delay async.
+//   - ExchangeCodec (package exchange): WHAT travels — exact sparse,
+//     quantized sparse, dense fp64, or dense fp32.
+//
+// Named algorithms are registry entries (registry.go) binding one triple:
+// PSRA-HGADMM is (tree, bsp, sparse), ADMMLib is (ring, ssp, dense-f32),
+// AD-ADMM is (star, ssp, dense), and so on — see Variants() for the full
+// zoo, including compositions the paper's monoliths could not express.
 //
 // The engine executes real numerics (TRON subproblem solves, exact sparse
 // aggregation through the collective implementations) under a deterministic
@@ -41,10 +38,11 @@ const (
 	ConsensusGroup  ConsensusMode = "group"
 )
 
-// Algorithm names one of the implemented consensus-ADMM variants.
+// Algorithm names one registered consensus-ADMM variant (see registry.go
+// for the bindings and Algorithms()/Variants() for enumeration).
 type Algorithm string
 
-// The implemented algorithms.
+// The paper's variants plus the registered strategy compositions.
 const (
 	PSRAHGADMM Algorithm = "psra-hgadmm"
 	PSRAADMM   Algorithm = "psra-admm"
@@ -52,21 +50,19 @@ const (
 	ADMMLib    Algorithm = "admmlib"
 	ADADMM     Algorithm = "ad-admm"
 	GCADMM     Algorithm = "gc-admm"
+	// PSRAHGADMMGroup names the group-local consensus reading directly
+	// (equivalent to PSRAHGADMM with Consensus=group).
+	PSRAHGADMMGroup Algorithm = "psra-hgadmm-group"
+	// PSRAHGADMMSSPQ8 is a composition the monolithic switch could not
+	// express: the staged aggregation tree under SSP with an 8-bit
+	// quantized sparse exchange.
+	PSRAHGADMMSSPQ8 Algorithm = "psra-hgadmm-ssp-q8"
+	// PSRAADMMAsync drives the flat PSR-Allreduce asynchronously.
+	PSRAADMMAsync Algorithm = "psra-admm-async"
+	// GRADMMSSP runs GR-ADMM's sparse Leader ring under ADMMLib's SSP
+	// barrier — isolating the codec at identical topology and sync.
+	GRADMMSSP Algorithm = "gr-admm-ssp"
 )
-
-// Algorithms lists every implemented variant in presentation order.
-func Algorithms() []Algorithm {
-	return []Algorithm{PSRAHGADMM, PSRAADMM, GRADMM, ADMMLib, ADADMM, GCADMM}
-}
-
-// Valid reports whether a is a known algorithm.
-func (a Algorithm) Valid() bool {
-	switch a {
-	case PSRAHGADMM, PSRAADMM, GRADMM, ADMMLib, ADADMM, GCADMM:
-		return true
-	}
-	return false
-}
 
 // Config parameterizes one training run.
 type Config struct {

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"psrahgadmm/internal/sparse"
+)
+
+// flatStrategy is the cluster-wide PSR-Allreduce (§4.2 without the WLG
+// framework): every worker is a peer in a single sparse collective; the
+// recursion is exact consensus every round. Under BSP the collective
+// starts when the slowest worker is ready. Under SSP/async — compositions
+// the monolithic variant could not express — the collective runs over
+// every worker's cached contribution as soon as the quorum finishes, and
+// only fresh workers receive (and pay for) the result.
+type flatStrategy struct {
+	env      *strategyEnv
+	clocks   []sspClock // per worker
+	wCur     []*sparse.Vector
+	pendingW []*sparse.Vector
+	// lastEnd serializes consecutive collectives: a new round cannot start
+	// before the previous one's result has been delivered.
+	lastEnd float64
+}
+
+func newFlatStrategy(env *strategyEnv) *flatStrategy {
+	st := &flatStrategy{
+		env:      env,
+		clocks:   make([]sspClock, len(env.ws)),
+		wCur:     make([]*sparse.Vector, len(env.ws)),
+		pendingW: make([]*sparse.Vector, len(env.ws)),
+	}
+	for i := range st.wCur {
+		st.wCur[i] = sparse.NewVector(env.dim, 0)
+	}
+	return st
+}
+
+func (st *flatStrategy) Round(cfg Config, iter int) (iterTiming, error) {
+	env := st.env
+	ws := env.ws
+	var timing iterTiming
+
+	idle := make([]int, 0, len(ws))
+	for i := range st.clocks {
+		if st.clocks[i].pending == nil {
+			idle = append(idle, i)
+		}
+	}
+	sub := make([]*worker, len(idle))
+	for j, i := range idle {
+		sub[j] = ws[i]
+	}
+	cals := parallelXUpdates(cfg, sub, iter)
+	for j, i := range idle {
+		w := ws[i]
+		st.pendingW[i] = w.wSparse(cfg.Rho)
+		env.codec.EncodeSparse(st.pendingW[i])
+		st.clocks[i].pending = &pendingCompute{
+			finish: w.clock + cals[j],
+			starts: []float64{w.clock},
+			cals:   []float64{cals[j]},
+		}
+	}
+
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(len(ws), 1), env.sync.Delay())
+	fresh := admitted(st.clocks, cutoff)
+	for _, i := range fresh {
+		st.wCur[i] = st.pendingW[i]
+	}
+
+	ranks := make([]int, len(ws))
+	for i, w := range ws {
+		ranks[i] = w.rank
+	}
+	start := maxf(cutoff, st.lastEnd)
+	agg, tr, err := groupAllreduce(env.fab, ranks, commPSRSparse, int32(64+iter%2*8), st.wCur)
+	if err != nil {
+		return timing, err
+	}
+	tr = env.codec.WireTrace(tr)
+	commT := cfg.Cost.TraceTime(cfg.Topo, tr)
+	timing.bytes += traceBytes(tr)
+	end := start + commT
+	st.lastEnd = end
+
+	bigW := agg.ToDense()
+	calSum, commSum := 0.0, 0.0
+	for _, i := range fresh {
+		p := st.clocks[i].pending
+		ws[i].applyW(cfg, bigW, len(ws))
+		calSum += p.cals[0]
+		commSum += end - p.starts[0] - p.cals[0]
+		ws[i].clock = end
+		st.clocks[i].pending = nil
+		st.clocks[i].staleness = 0
+		st.pendingW[i] = nil
+	}
+	bumpStale(st.clocks)
+	if len(fresh) > 0 {
+		timing.cal = calSum / float64(len(fresh))
+		timing.comm = commSum / float64(len(fresh))
+	}
+	return timing, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sort"
+
+	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/sparse"
+)
+
+// groupStrategy is the group-local-consensus reading of Algorithms 1–3:
+// one grouping round per iteration, each group computing z from its own
+// members' W only (scaled by the group's worker count). Fast groups
+// proceed without ever waiting for slow nodes — the straggler isolation
+// Figure 7 measures — trading per-iteration consensus breadth; rotating
+// arrival-ordered membership mixes information across iterations. Under
+// SSP/async the isolation compounds: stale nodes are simply absent from
+// the round's grouping instead of gating it.
+type groupStrategy struct {
+	env    *strategyEnv
+	clocks []sspClock // per node
+	pend   []*sparse.Vector
+}
+
+func newGroupStrategy(env *strategyEnv, cfg Config) *groupStrategy {
+	return &groupStrategy{
+		env:    env,
+		clocks: make([]sspClock, cfg.Topo.Nodes),
+		pend:   make([]*sparse.Vector, cfg.Topo.Nodes),
+	}
+}
+
+func (st *groupStrategy) Round(cfg Config, iter int) (iterTiming, error) {
+	env := st.env
+	topo := cfg.Topo
+	wpn := topo.WorkersPerNode
+	var timing iterTiming
+
+	for n := range st.clocks {
+		if st.clocks[n].pending != nil {
+			continue
+		}
+		c := launchNodeSparse(env, cfg, n, iter, &timing)
+		st.pend[n] = c.sum
+		st.clocks[n].pending = c.pending
+	}
+
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(topo.Nodes, wpn), env.sync.Delay())
+	freshNodes := admitted(st.clocks, cutoff)
+
+	// GG batching in virtual-arrival order over this round's fresh nodes.
+	type nodeAgg struct {
+		node    int
+		leader  int
+		sum     *sparse.Vector
+		ready   float64
+		workers []int
+	}
+	ggRTT := 2 * (cfg.Cost.InterAlpha + float64(ggRequestBytes)*cfg.Cost.InterBeta)
+	order := make([]*nodeAgg, 0, len(freshNodes))
+	for _, n := range freshNodes {
+		ranks := topo.WorkersOf(n)
+		order = append(order, &nodeAgg{
+			node: n, leader: ranks[0], sum: st.pend[n],
+			ready:   st.clocks[n].pending.finish,
+			workers: ranks,
+		})
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].ready != order[b].ready {
+			return order[a].ready < order[b].ready
+		}
+		return order[a].node < order[b].node
+	})
+
+	calSum, commSum := 0.0, 0.0
+	applied := 0
+	threshold := cfg.GroupThreshold
+	for lo := 0; lo < len(order); lo += threshold {
+		hi := lo + threshold
+		if hi > len(order) {
+			hi = len(order)
+		}
+		group := order[lo:hi]
+		start := 0.0
+		leaders := make([]int, len(group))
+		inputs := make([]*sparse.Vector, len(group))
+		for i, na := range group {
+			start = maxf(start, na.ready)
+			leaders[i] = na.leader
+			inputs[i] = na.sum
+		}
+		start += ggRTT
+		timing.bytes += int64(len(group) * ggRequestBytes * 2)
+
+		var agg *sparse.Vector
+		var tr collective.Trace
+		var err error
+		if len(group) == 1 {
+			agg, tr = group[0].sum, collective.Trace{}
+		} else {
+			agg, tr, err = groupAllreduce(env.fab, leaders, commPSRSparse, int32(64+iter%2*8), inputs)
+			if err != nil {
+				return timing, err
+			}
+			tr = env.codec.WireTrace(tr)
+		}
+		commT := cfg.Cost.TraceTime(topo, tr)
+		timing.bytes += traceBytes(tr)
+
+		contributors := len(group) * wpn
+		zSparse := zFromW(agg, cfg.Lambda, cfg.Rho, contributors)
+		zDense := zSparse.ToDense()
+		for _, na := range group {
+			bc := intraBcastTrace(na.workers, na.leader, zSparse.NNZ())
+			timing.bytes += traceBytes(bc)
+			end := start + commT + cfg.Cost.TraceTime(topo, bc)
+			applyNodeZ(env, cfg, na.node, st.clocks[na.node].pending, zDense, zSparse, end, &commSum, &applied)
+		}
+	}
+
+	// Compute time sums in rank order (comm follows group order); fresh
+	// bookkeeping clears after the whole round so group membership stays
+	// stable while groups are processed.
+	for _, n := range freshNodes {
+		for _, c := range st.clocks[n].pending.cals {
+			calSum += c
+		}
+	}
+	for _, n := range freshNodes {
+		st.clocks[n].pending = nil
+		st.clocks[n].staleness = 0
+		st.pend[n] = nil
+	}
+	bumpStale(st.clocks)
+	if applied > 0 {
+		timing.cal = calSum / float64(applied)
+		timing.comm = commSum / float64(applied)
+	}
+	return timing, nil
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"psrahgadmm/internal/sparse"
+)
+
+// ringStrategy is the hierarchical Ring-Allreduce: workers reduce their w
+// over the node bus to their Leader, all Leaders run one Ring-Allreduce,
+// and the (much sparser) z fans back out. The codec decides the wire
+// format — GR-ADMM is this ring with the exact sparse exchange under BSP;
+// ADMMLib is the same ring with the dense single-precision exchange under
+// node-granular SSP (the full parameter vector circulates regardless of
+// sparsity, which is why its communication volume is flat in cluster size
+// and why PSRA's sparse exchange undercuts it).
+type ringStrategy struct {
+	env    *strategyEnv
+	clocks []sspClock // per node
+	// Dense-codec state: cached and in-flight per-node dense sums.
+	wCurD [][]float64
+	pendD [][]float64
+	// Sparse-codec state: cached and in-flight per-node sparse sums.
+	wCurS []*sparse.Vector
+	pendS []*sparse.Vector
+	// lastRingEnd serializes consecutive rings through the Leaders' NICs.
+	lastRingEnd float64
+}
+
+func newRingStrategy(env *strategyEnv, cfg Config) *ringStrategy {
+	nodes := cfg.Topo.Nodes
+	st := &ringStrategy{env: env, clocks: make([]sspClock, nodes)}
+	if env.codec.DenseExchange() {
+		st.wCurD = make([][]float64, nodes)
+		st.pendD = make([][]float64, nodes)
+		for n := range st.wCurD {
+			st.wCurD[n] = make([]float64, env.dim)
+		}
+	} else {
+		st.wCurS = make([]*sparse.Vector, nodes)
+		st.pendS = make([]*sparse.Vector, nodes)
+		for n := range st.wCurS {
+			st.wCurS[n] = sparse.NewVector(env.dim, 0)
+		}
+	}
+	return st
+}
+
+func (st *ringStrategy) Round(cfg Config, iter int) (iterTiming, error) {
+	env := st.env
+	topo := cfg.Topo
+	wpn := topo.WorkersPerNode
+	dense := env.codec.DenseExchange()
+	var timing iterTiming
+
+	// Launch compute on every idle node.
+	for n := range st.clocks {
+		if st.clocks[n].pending != nil {
+			continue
+		}
+		if dense {
+			st.pendD[n] = st.launchNodeDense(cfg, n, iter, &timing)
+		} else {
+			c := launchNodeSparse(env, cfg, n, iter, &timing)
+			st.pendS[n] = c.sum
+			st.clocks[n].pending = c.pending
+		}
+	}
+
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(topo.Nodes, wpn), env.sync.Delay())
+	freshNodes := admitted(st.clocks, cutoff)
+	for _, n := range freshNodes {
+		if dense {
+			st.wCurD[n] = st.pendD[n]
+		} else {
+			st.wCurS[n] = st.pendS[n]
+		}
+	}
+
+	// The ring runs among ALL Leaders every round — stale Leaders serve
+	// their cached contribution.
+	leaders := make([]int, topo.Nodes)
+	for n := 0; n < topo.Nodes; n++ {
+		leaders[n] = topo.WorkersOf(n)[0]
+	}
+	ringStart := maxf(cutoff, st.lastRingEnd)
+	var commT float64
+	var bigW []float64
+	var agg *sparse.Vector
+	if topo.Nodes == 1 {
+		if dense {
+			bigW = append([]float64(nil), st.wCurD[0]...)
+		} else {
+			agg = st.wCurS[0]
+		}
+	} else if dense {
+		var err error
+		var tr traceAlias
+		bigW, tr, err = groupAllreduceDense(env.fab, leaders, int32(64+iter%2*8), st.wCurD)
+		if err != nil {
+			return timing, err
+		}
+		scaled := env.codec.WireTrace(tr)
+		commT = cfg.Cost.TraceTime(topo, scaled)
+		timing.bytes += traceBytes(scaled)
+	} else {
+		var err error
+		var tr traceAlias
+		agg, tr, err = groupAllreduce(env.fab, leaders, commRingSparse, int32(64+iter%2*8), st.wCurS)
+		if err != nil {
+			return timing, err
+		}
+		tr = env.codec.WireTrace(tr)
+		commT = cfg.Cost.TraceTime(topo, tr)
+		timing.bytes += traceBytes(tr)
+	}
+	ringEnd := ringStart + commT
+	st.lastRingEnd = ringEnd
+
+	// Leaders hold W after the ring; they apply the z-update and fan the
+	// thresholded z to their fresh workers.
+	var zDense []float64
+	var zSparse *sparse.Vector
+	if dense {
+		env.codec.EncodeDense(bigW)
+		zDense = make([]float64, env.dim)
+		solverZUpdate(zDense, bigW, cfg.Lambda, cfg.Rho, topo.Size())
+		env.codec.EncodeDense(zDense)
+	} else {
+		zSparse = zFromW(agg, cfg.Lambda, cfg.Rho, topo.Size())
+		zDense = zSparse.ToDense()
+	}
+
+	calSum, commSum := 0.0, 0.0
+	applied := 0
+	for _, n := range freshNodes {
+		p := st.clocks[n].pending
+		ranks := topo.WorkersOf(n)
+		var bc traceAlias
+		if dense {
+			bc = denseFanTrace(ranks, ranks[0], env.codec.ZMsgBytes(countNonzero(zDense)), false)
+		} else {
+			bc = intraBcastTrace(ranks, ranks[0], zSparse.NNZ())
+		}
+		timing.bytes += traceBytes(bc)
+		end := ringEnd + cfg.Cost.TraceTime(topo, bc)
+		for _, c := range p.cals {
+			calSum += c
+		}
+		applyNodeZ(env, cfg, n, p, zDense, zSparse, end, &commSum, &applied)
+		st.clocks[n].pending = nil
+		st.clocks[n].staleness = 0
+		if dense {
+			st.pendD[n] = nil
+		} else {
+			st.pendS[n] = nil
+		}
+	}
+	bumpStale(st.clocks)
+	if applied > 0 {
+		timing.cal = calSum / float64(applied)
+		timing.comm = commSum / float64(applied)
+	}
+	return timing, nil
+}
+
+// launchNodeDense is the dense-codec counterpart of launchNodeSparse: the
+// node's w contributions are summed densely, rounded by the codec, and
+// fanned to the Leader as fixed-size dense messages over the bus.
+func (st *ringStrategy) launchNodeDense(cfg Config, n, iter int, timing *iterTiming) []float64 {
+	env := st.env
+	topo := cfg.Topo
+	ranks := topo.WorkersOf(n)
+	sub := make([]*worker, len(ranks))
+	for i, r := range ranks {
+		sub[i] = env.ws[r]
+	}
+	cals := parallelXUpdates(cfg, sub, iter)
+	starts := make([]float64, len(ranks))
+	sum := make([]float64, env.dim)
+	ready := 0.0
+	for i, w := range sub {
+		starts[i] = w.clock
+		ready = maxf(ready, w.clock+cals[i])
+		w.wSparse(cfg.Rho).AddIntoDense(sum, 1)
+	}
+	env.codec.EncodeDense(sum)
+	tr := denseFanTrace(ranks, ranks[0], env.codec.DenseMsgBytes(env.dim), true)
+	timing.bytes += traceBytes(tr)
+	st.clocks[n].pending = &pendingCompute{
+		finish: ready + cfg.Cost.TraceTime(topo, tr),
+		starts: starts,
+		cals:   cals,
+	}
+	return sum
+}

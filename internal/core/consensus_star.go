@@ -1,0 +1,108 @@
+package core
+
+import (
+	"psrahgadmm/internal/sparse"
+)
+
+// starStrategy is the master–worker topology: every admitted worker ships
+// its (x_i, y_i) to the master colocated with rank 0, which computes z
+// from ALL workers' cached contributions and returns it. The master's
+// links serialize both directions — the scalability wall §4.1 starts from.
+// Under BSP this is classic GC-ADMM (full barrier, every worker fresh
+// every round); under SSP it is AD-ADMM's worker-granular partial barrier
+// (Zhang & Kwok's async consensus update: stale workers' previous w's
+// stay in the sum).
+type starStrategy struct {
+	env      *strategyEnv
+	clocks   []sspClock // per worker
+	wCur     []*sparse.Vector
+	pendingW []*sparse.Vector
+	// masterFreeAt serializes consecutive rounds through the master's NIC.
+	masterFreeAt float64
+}
+
+func newStarStrategy(env *strategyEnv) *starStrategy {
+	st := &starStrategy{
+		env:      env,
+		clocks:   make([]sspClock, len(env.ws)),
+		wCur:     make([]*sparse.Vector, len(env.ws)),
+		pendingW: make([]*sparse.Vector, len(env.ws)),
+	}
+	for i := range st.wCur {
+		st.wCur[i] = sparse.NewVector(env.dim, 0)
+	}
+	return st
+}
+
+func (st *starStrategy) Round(cfg Config, iter int) (iterTiming, error) {
+	env := st.env
+	ws := env.ws
+	topo := cfg.Topo
+	var timing iterTiming
+
+	// Launch compute on every idle worker.
+	idle := make([]int, 0, len(ws))
+	for i := range st.clocks {
+		if st.clocks[i].pending == nil {
+			idle = append(idle, i)
+		}
+	}
+	sub := make([]*worker, len(idle))
+	for j, i := range idle {
+		sub[j] = ws[i]
+	}
+	cals := parallelXUpdates(cfg, sub, iter)
+	for j, i := range idle {
+		w := ws[i]
+		st.pendingW[i] = w.wSparse(cfg.Rho)
+		env.codec.EncodeSparse(st.pendingW[i])
+		st.clocks[i].pending = &pendingCompute{
+			finish: w.clock + cals[j],
+			starts: []float64{w.clock},
+			cals:   []float64{cals[j]},
+		}
+	}
+
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(len(ws), 1), env.sync.Delay())
+	fresh := admitted(st.clocks, cutoff)
+	for _, i := range fresh {
+		st.wCur[i] = st.pendingW[i]
+	}
+
+	// The master aggregates EVERY worker's cached contribution (fresh or
+	// stale), then returns z to the fresh workers. Only fresh workers pay
+	// wire time this round.
+	master := 0
+	gatherStart := maxf(cutoff, st.masterFreeAt)
+	tr := env.codec.WireTrace(starGatherTrace(master, fresh, env.dim))
+	commT := cfg.Cost.TraceTime(topo, tr)
+	timing.bytes += traceBytes(tr)
+	end := gatherStart + commT
+	st.masterFreeAt = end
+
+	acc := sparse.NewAccumulator(env.dim)
+	for _, wc := range st.wCur {
+		acc.Add(wc)
+	}
+	zDense := make([]float64, env.dim)
+	solverZUpdate(zDense, acc.Sum().ToDense(), cfg.Lambda, cfg.Rho, topo.Size())
+	env.codec.EncodeDense(zDense)
+
+	calSum, commSum := 0.0, 0.0
+	for _, i := range fresh {
+		p := st.clocks[i].pending
+		ws[i].applyZ(cfg, zDense, nil)
+		calSum += p.cals[0]
+		commSum += end - p.starts[0] - p.cals[0]
+		ws[i].clock = end
+		st.clocks[i].pending = nil
+		st.clocks[i].staleness = 0
+		st.pendingW[i] = nil
+	}
+	bumpStale(st.clocks)
+	if len(fresh) > 0 {
+		timing.cal = calSum / float64(len(fresh))
+		timing.comm = commSum / float64(len(fresh))
+	}
+	return timing, nil
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"container/heap"
+
+	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/sparse"
+)
+
+// treeStrategy is PSRA-HGADMM's grouped aggregation, modeled as the
+// paper's Algorithms 1–3 with the GG's "next grouping cycle" taken
+// literally: a Leader that finishes a group synchronization re-enters the
+// GG queue carrying the group's partial aggregate, so arrival-ordered
+// groups of GroupThreshold Leaders form a *staged aggregation tree* that
+// terminates in one exact global W. Consensus is exact every iteration
+// (the property Figure 5's convergence requires); what grouping changes is
+// the clock: early arrivals aggregate while stragglers are still
+// computing, so the synchronization wait that a flat all-node collective
+// serializes behind the slowest node is largely overlapped (the Figure 7
+// effect). The flip side — visible at small node counts, and called out in
+// the paper's §5.5 and conclusion — is the extra GG round trips and tree
+// levels.
+//
+// Under SSP/async — a composition the monolithic variant could not
+// express — stale nodes' cached partials enter the tree as leaves
+// available at the cutoff, keeping W a full-N sum while only fresh nodes
+// wait for (and receive) the result.
+
+// aggEntry is one queue occupant: a Leader (or group representative)
+// carrying a partial aggregate that becomes available at `ready`.
+type aggEntry struct {
+	seq   int // creation order, deterministic tie-break
+	rep   int // world rank of the representative Leader
+	value *sparse.Vector
+	ready float64
+	// children are the entries merged into this one (nil for leaves);
+	// child 0's rep is this entry's rep.
+	children []*aggEntry
+	// leafNode is the physical node for leaf entries, -1 otherwise.
+	leafNode int
+}
+
+// entryHeap orders by (ready, seq).
+type entryHeap []*aggEntry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].seq < h[j].seq
+}
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)   { *h = append(*h, x.(*aggEntry)) }
+func (h *entryHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type treeStrategy struct {
+	env    *strategyEnv
+	clocks []sspClock // per node
+	wCur   []*sparse.Vector
+	pend   []*sparse.Vector
+}
+
+func newTreeStrategy(env *strategyEnv, cfg Config) *treeStrategy {
+	nodes := cfg.Topo.Nodes
+	st := &treeStrategy{
+		env:    env,
+		clocks: make([]sspClock, nodes),
+		wCur:   make([]*sparse.Vector, nodes),
+		pend:   make([]*sparse.Vector, nodes),
+	}
+	for n := range st.wCur {
+		st.wCur[n] = sparse.NewVector(env.dim, 0)
+	}
+	return st
+}
+
+func (st *treeStrategy) Round(cfg Config, iter int) (iterTiming, error) {
+	env := st.env
+	topo := cfg.Topo
+	var timing iterTiming
+
+	for n := range st.clocks {
+		if st.clocks[n].pending != nil {
+			continue
+		}
+		c := launchNodeSparse(env, cfg, n, iter, &timing)
+		st.pend[n] = c.sum
+		st.clocks[n].pending = c.pending
+	}
+
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(topo.Nodes, topo.WorkersPerNode), env.sync.Delay())
+	freshSet := make(map[int]bool, topo.Nodes)
+	for _, n := range admitted(st.clocks, cutoff) {
+		st.wCur[n] = st.pend[n]
+		freshSet[n] = true
+	}
+
+	// Leaves: fresh nodes arrive at their finish time; stale nodes' cached
+	// partials are available at the cutoff (the GG retained them).
+	seq := 0
+	pending := make(entryHeap, 0, topo.Nodes)
+	for n := 0; n < topo.Nodes; n++ {
+		ready := cutoff
+		if freshSet[n] {
+			ready = st.clocks[n].pending.finish
+		}
+		pending = append(pending, &aggEntry{
+			seq:      seq,
+			rep:      topo.WorkersOf(n)[0],
+			value:    st.wCur[n],
+			ready:    ready,
+			leafNode: n,
+		})
+		seq++
+	}
+	heap.Init(&pending)
+
+	// Grouping threshold: a group of one cannot aggregate, so the
+	// effective tree fan-in is at least 2 (unless there is only one node).
+	threshold := cfg.GroupThreshold
+	if threshold < 2 {
+		threshold = 2
+	}
+	ggRTT := 2 * (cfg.Cost.InterAlpha + float64(ggRequestBytes)*cfg.Cost.InterBeta)
+
+	merge := func(group []*aggEntry) (*aggEntry, error) {
+		start := 0.0
+		leaders := make([]int, len(group))
+		inputs := make([]*sparse.Vector, len(group))
+		for i, e := range group {
+			start = maxf(start, e.ready)
+			leaders[i] = e.rep
+			inputs[i] = e.value
+		}
+		start += ggRTT
+		timing.bytes += int64(len(group) * ggRequestBytes * 2)
+		agg, tr, err := groupAllreduce(env.fab, leaders, commPSRSparse, int32(64+iter%2*8), inputs)
+		if err != nil {
+			return nil, err
+		}
+		tr = env.codec.WireTrace(tr)
+		timing.bytes += traceBytes(tr)
+		e := &aggEntry{
+			seq:      seq,
+			rep:      group[0].rep,
+			value:    agg,
+			ready:    start + cfg.Cost.TraceTime(topo, tr),
+			children: group,
+			leafNode: -1,
+		}
+		seq++
+		return e, nil
+	}
+
+	// Event-driven GG: arrivals (by virtual ready time) enter the queue;
+	// a full queue forms a group; when nothing more can arrive, the
+	// remainder is flushed. The loop conserves entries, terminating with
+	// the single global aggregate.
+	var queue []*aggEntry
+	var root *aggEntry
+	for {
+		if pending.Len() == 0 {
+			if len(queue) == 1 {
+				root = queue[0]
+				break
+			}
+			g, err := merge(queue)
+			if err != nil {
+				return timing, err
+			}
+			queue = nil
+			heap.Push(&pending, g)
+			continue
+		}
+		e := heap.Pop(&pending).(*aggEntry)
+		queue = append(queue, e)
+		if len(queue) == threshold {
+			g, err := merge(queue)
+			if err != nil {
+				return timing, err
+			}
+			queue = nil
+			heap.Push(&pending, g)
+		}
+	}
+
+	// Down-pass: the root group's members already hold W (PSR-Allreduce
+	// leaves every member with the result) and apply the z-update
+	// themselves; what travels down the tree is the *thresholded* z —
+	// identical at every worker and far sparser than W. Each
+	// representative re-broadcasts down its subtree, and node Leaders
+	// broadcast to their fresh workers over the bus; stale nodes are still
+	// computing and receive nothing this round.
+	zSparse := zFromW(root.value, cfg.Lambda, cfg.Rho, topo.Size())
+	zDense := zSparse.ToDense()
+	wBytes := env.codec.ZMsgBytes(zSparse.NNZ())
+	calSum, commSum := 0.0, 0.0
+	applied := 0
+	var deliver func(e *aggEntry, t float64)
+	deliver = func(e *aggEntry, t float64) {
+		if e.leafNode >= 0 {
+			n := e.leafNode
+			if !freshSet[n] {
+				return
+			}
+			ranks := topo.WorkersOf(n)
+			bc := intraBcastTrace(ranks, ranks[0], zSparse.NNZ())
+			timing.bytes += traceBytes(bc)
+			end := t + cfg.Cost.TraceTime(topo, bc)
+			applyNodeZ(env, cfg, n, st.clocks[n].pending, zDense, zSparse, end, &commSum, &applied)
+			return
+		}
+		// Child 0's rep is e.rep and already holds W; the others receive
+		// it in one step over the interconnect.
+		tr := collective.Trace{Steps: 1}
+		for _, c := range e.children[1:] {
+			tr.Events = append(tr.Events, collective.Event{
+				Step: 0, From: e.rep, To: c.rep, Bytes: wBytes,
+			})
+		}
+		timing.bytes += traceBytes(tr)
+		tNext := t + cfg.Cost.TraceTime(topo, tr)
+		deliver(e.children[0], t)
+		for _, c := range e.children[1:] {
+			deliver(c, tNext)
+		}
+	}
+	if root.leafNode >= 0 {
+		// Single-node cluster: no tree was built.
+		deliver(root, root.ready)
+	} else {
+		// Every member of the final group holds W at root.ready.
+		for _, c := range root.children {
+			deliver(c, root.ready)
+		}
+	}
+	// Compute time is summed in rank order (delivery order drives comm),
+	// so grouped and ungrouped runs report bit-identical CalTime.
+	for n := 0; n < topo.Nodes; n++ {
+		if !freshSet[n] {
+			continue
+		}
+		for _, c := range st.clocks[n].pending.cals {
+			calSum += c
+		}
+	}
+	for n := range st.clocks {
+		if freshSet[n] {
+			st.clocks[n].pending = nil
+			st.clocks[n].staleness = 0
+			st.pend[n] = nil
+		}
+	}
+	bumpStale(st.clocks)
+	if applied > 0 {
+		timing.cal = calSum / float64(applied)
+		timing.comm = commSum / float64(applied)
+	}
+	return timing, nil
+}

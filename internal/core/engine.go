@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"psrahgadmm/internal/dataset"
+	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/simnet"
+	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/transport"
 	"psrahgadmm/internal/vec"
 )
@@ -28,6 +30,13 @@ type RunOptions struct {
 // history. Runs are deterministic: equal inputs give bit-identical
 // histories.
 //
+// Run contains the ONE iteration loop of the engine. Everything
+// algorithm-specific lives behind the strategy triple the registry binds
+// to cfg.Algorithm: the ConsensusStrategy executes the round, the
+// SyncModel decides admission, and the ExchangeCodec fixes the wire
+// format. The loop itself only does bookkeeping every variant shares —
+// residuals, evaluation cadence, adaptive penalty, early stopping.
+//
 // Failure semantics: if the communication fabric fails mid-run (a rank
 // killed by Config.Faults, a closed endpoint), Run aborts the iteration,
 // unblocks every worker goroutine, and returns the partial Result
@@ -41,6 +50,15 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	if train.Rows() < cfg.Topo.Size() {
 		return nil, fmt.Errorf("core: %d rows cannot feed %d workers", train.Rows(), cfg.Topo.Size())
 	}
+	variant, ok := Lookup(cfg.Algorithm)
+	if !ok { // unreachable after Validate; kept for direct callers
+		return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algorithm)
+	}
+	consensusKind, syncKind, codecKind := variant.resolve(cfg)
+	codec, err := exchange.For(codecKind)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", cfg.Algorithm, err)
+	}
 
 	ws := newWorkers(cfg, train)
 	// One scratch fabric serves every in-run collective; rank numbering
@@ -52,36 +70,22 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	}
 	defer fab.Close()
 
-	var admmlibSt *admmlibState
-	var adadmmSt *adadmmState
-	switch cfg.Algorithm {
-	case ADMMLib:
-		admmlibSt = newADMMLibState(cfg.Topo.Nodes, train.Dim())
-	case ADADMM:
-		adadmmSt = newADADMMState(cfg.Topo.Size(), train.Dim())
+	env := &strategyEnv{
+		ws:    ws,
+		fab:   fab,
+		codec: codec,
+		sync:  newSyncModel(syncKind, cfg),
+		dim:   train.Dim(),
+	}
+	strat, err := newStrategy(consensusKind, env, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", cfg.Algorithm, err)
 	}
 
 	res := &Result{Config: cfg, History: make([]IterStat, 0, cfg.MaxIter)}
 	zPrev := make([]float64, train.Dim())
 	for iter := 0; iter < cfg.MaxIter; iter++ {
-		var timing iterTiming
-		var err error
-		switch cfg.Algorithm {
-		case PSRAHGADMM:
-			timing, err = runPSRAHGADMM(cfg, ws, fab, iter)
-		case PSRAADMM:
-			timing, err = runPSRAADMM(cfg, ws, fab, iter)
-		case GRADMM:
-			timing, err = runGRADMM(cfg, ws, fab, iter)
-		case ADMMLib:
-			timing, err = runADMMLibRound(cfg, ws, fab, admmlibSt, iter)
-		case ADADMM:
-			timing, err = runADADMMRound(cfg, ws, adadmmSt, iter)
-		case GCADMM:
-			timing, err = runGCADMM(cfg, ws, iter)
-		default:
-			err = fmt.Errorf("core: unhandled algorithm %q", cfg.Algorithm)
-		}
+		timing, err := strat.Round(cfg, iter)
 		if err != nil {
 			// Partial results travel with the error: everything up to the
 			// failed iteration is valid history.
@@ -104,8 +108,11 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		copy(zPrev, zbar)
 		if iter%cfg.EvalEvery == 0 || iter == cfg.MaxIter-1 {
 			stat.Objective = globalObjective(cfg, ws, zbar)
-			if opts.HaveFStar && opts.FStar != 0 {
-				stat.RelError = absf(stat.Objective-opts.FStar) / opts.FStar
+			// Paper eq. 18: |f − f*| / |f*|. Gate on HaveFStar (f* = 0 is a
+			// legitimate optimum for trivially separable data, though the
+			// ratio is then undefined and stays NaN).
+			if opts.HaveFStar && absf(opts.FStar) != 0 {
+				stat.RelError = absf(stat.Objective-opts.FStar) / absf(opts.FStar)
 			}
 			if opts.Test != nil {
 				stat.Accuracy = opts.Test.Accuracy(zbar)
@@ -167,6 +174,12 @@ func ReferenceOptimum(train *dataset.Dataset, rho, lambda float64, iters int) (f
 	best := res.FinalObjective()
 	// The objective at intermediate iterates can dip below the final
 	// evaluation point only through numerical noise; guard by also
-	// checking the final z directly.
+	// checking the final z directly and keeping the smaller of the two.
+	scratch := make([]float64, train.Dim())
+	obj := solver.NewLogisticProx(train.X, train.Labels, rho, scratch, scratch)
+	atZ := obj.LocalLoss(res.Z) + lambda*vec.Nrm1(res.Z)
+	if isNaN(best) || atZ < best {
+		best = atZ
+	}
 	return best, vec.Clone(res.Z), nil
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/sparse"
 	"psrahgadmm/internal/vec"
@@ -132,7 +133,7 @@ func TestQuantizedCommunication(t *testing.T) {
 
 func TestQuantizeSparseBits(t *testing.T) {
 	v := sparse.FromDense([]float64{1, 0, -0.5, 0.001, 0})
-	quantizeSparseBits(v, 8)
+	exchange.QuantizeSparseBits(v, 8)
 	if err := v.Check(); err != nil {
 		t.Fatal(err)
 	}
@@ -149,15 +150,15 @@ func TestQuantizeSparseBits(t *testing.T) {
 	}
 	// Empty and zero vectors are no-ops.
 	empty := sparse.NewVector(3, 0)
-	quantizeSparseBits(empty, 8)
+	exchange.QuantizeSparseBits(empty, 8)
 	if empty.NNZ() != 0 {
 		t.Fatal("empty vector changed")
 	}
 }
 
 func TestQuantEntryBytes(t *testing.T) {
-	if quantEntryBytes(0) != 12 || quantEntryBytes(8) != 5 || quantEntryBytes(16) != 6 {
-		t.Fatal("quantEntryBytes wrong")
+	if exchange.EntryBytes(0) != 12 || exchange.EntryBytes(8) != 5 || exchange.EntryBytes(16) != 6 {
+		t.Fatal("exchange.EntryBytes wrong")
 	}
 }
 

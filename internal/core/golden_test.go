@@ -1,0 +1,189 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"psrahgadmm/internal/simnet"
+)
+
+// The golden-history regression suite pins the exact per-iteration output
+// of every paper variant (plus the consensus-mode and quantized readings)
+// to files under testdata/golden. Histories are serialized with float64
+// bit patterns, so ANY change to the arithmetic, its association order, or
+// the virtual-clock bookkeeping fails the test — this is what licenses
+// refactoring the variant zoo into strategies: the strategies must
+// reproduce the monolithic implementations bit for bit.
+//
+// Regenerate (only when an intentional numerical change lands) with:
+//
+//	go test ./internal/core -run TestGoldenHistories -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden from the current implementation")
+
+// goldenCase names one pinned configuration. The configs deliberately
+// exercise the interesting machinery: stragglers and jitter make the SSP
+// partial barrier real, GroupThreshold 2 forces a multi-level aggregation
+// tree, and the quantized case covers the lossy sparse exchange.
+type goldenCase struct {
+	name string
+	cfg  func() Config
+}
+
+func goldenCases() []goldenCase {
+	base := func(alg Algorithm) Config {
+		cfg := Config{
+			Algorithm:      alg,
+			Topo:           simnet.Topology{Nodes: 3, WorkersPerNode: 2},
+			Rho:            1.0,
+			Lambda:         0.5,
+			MaxIter:        6,
+			GroupThreshold: 2,
+			EvalEvery:      2,
+			Stragglers:     simnet.Default(5),
+			Jitter:         simnet.Jitter{Seed: 7, Amp: 0.6},
+		}
+		return cfg
+	}
+	return []goldenCase{
+		{"psra-hgadmm", func() Config { return base(PSRAHGADMM) }},
+		{"psra-hgadmm-group", func() Config {
+			cfg := base(PSRAHGADMM)
+			cfg.Consensus = ConsensusGroup
+			return cfg
+		}},
+		{"psra-admm", func() Config { return base(PSRAADMM) }},
+		{"psra-admm-q8", func() Config {
+			cfg := base(PSRAADMM)
+			cfg.QuantBits = 8
+			return cfg
+		}},
+		{"gr-admm", func() Config { return base(GRADMM) }},
+		{"gr-admm-q16", func() Config {
+			cfg := base(GRADMM)
+			cfg.QuantBits = 16
+			return cfg
+		}},
+		{"admmlib", func() Config { return base(ADMMLib) }},
+		{"ad-admm", func() Config { return base(ADADMM) }},
+		{"gc-admm", func() Config { return base(GCADMM) }},
+	}
+}
+
+// goldenStat is one IterStat with float64 fields rendered as hex bit
+// patterns — bit-exact and immune to formatting drift.
+type goldenStat struct {
+	Iter      int    `json:"iter"`
+	Objective string `json:"objective"`
+	RelError  string `json:"rel_error"`
+	Accuracy  string `json:"accuracy"`
+	CalTime   string `json:"cal_time"`
+	CommTime  string `json:"comm_time"`
+	Bytes     int64  `json:"bytes"`
+	PrimalRes string `json:"primal_res"`
+	DualRes   string `json:"dual_res"`
+	Rho       string `json:"rho"`
+}
+
+type goldenRun struct {
+	History []goldenStat `json:"history"`
+	// ZBitsFNV is an FNV-1a hash over the final iterate's float64 bit
+	// patterns — pins res.Z without storing the whole vector.
+	ZBitsFNV string `json:"z_bits_fnv"`
+}
+
+func bits(v float64) string { return strconv.FormatUint(math.Float64bits(v), 16) }
+
+func fnvZ(z []float64) string {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range z {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= prime
+		}
+	}
+	return strconv.FormatUint(h, 16)
+}
+
+func goldenFromResult(res *Result) goldenRun {
+	out := goldenRun{ZBitsFNV: fnvZ(res.Z)}
+	for _, h := range res.History {
+		out.History = append(out.History, goldenStat{
+			Iter:      h.Iter,
+			Objective: bits(h.Objective),
+			RelError:  bits(h.RelError),
+			Accuracy:  bits(h.Accuracy),
+			CalTime:   bits(h.CalTime),
+			CommTime:  bits(h.CommTime),
+			Bytes:     h.Bytes,
+			PrimalRes: bits(h.PrimalRes),
+			DualRes:   bits(h.DualRes),
+			Rho:       bits(h.Rho),
+		})
+	}
+	return out
+}
+
+func TestGoldenHistories(t *testing.T) {
+	train, test := testData(t, 120)
+	for _, gc := range goldenCases() {
+		t.Run(gc.name, func(t *testing.T) {
+			res, err := Run(gc.cfg(), train, RunOptions{Test: test})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenFromResult(res)
+			path := filepath.Join("testdata", "golden", gc.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+			}
+			var want goldenRun
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatal(err)
+			}
+			if len(got.History) != len(want.History) {
+				t.Fatalf("history length %d, golden %d", len(got.History), len(want.History))
+			}
+			for i := range want.History {
+				if got.History[i] != want.History[i] {
+					t.Errorf("iter %d diverged from golden:\n got %+v\nwant %+v",
+						i, got.History[i], want.History[i])
+				}
+			}
+			if got.ZBitsFNV != want.ZBitsFNV {
+				t.Errorf("final iterate diverged from golden: hash %s vs %s", got.ZBitsFNV, want.ZBitsFNV)
+			}
+			if t.Failed() {
+				t.Log("bit-identical histories are a hard contract of the strategy refactor;" +
+					" only regenerate goldens for an intentional numerical change")
+			}
+		})
+	}
+}
+
+var _ = fmt.Sprintf

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/sparse"
 	"psrahgadmm/internal/vec"
@@ -64,7 +65,7 @@ func TestQuantizationErrorBound(t *testing.T) {
 			}
 		}
 		q := orig.Clone()
-		quantizeSparseBits(q, bits)
+		exchange.QuantizeSparseBits(q, bits)
 		if q.Check() != nil {
 			return false
 		}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"psrahgadmm/internal/exchange"
+)
+
+// The algorithm registry: every runnable variant is a named binding of the
+// three strategy axes. The paper's six algorithms are just entries here —
+// GADMM-style topology changes, Zhu-style synchronization changes, and
+// lossy-exchange changes are one Register call each, not a new engine.
+
+// Variant binds an algorithm name to a (consensus, sync, codec) triple.
+type Variant struct {
+	Name      Algorithm
+	Consensus ConsensusKind
+	Sync      SyncKind
+	Codec     exchange.Kind
+	// Description is the one-line summary the CLIs print when enumerating
+	// the registry.
+	Description string
+}
+
+var registry = struct {
+	order  []Algorithm
+	byName map[Algorithm]Variant
+}{byName: map[Algorithm]Variant{}}
+
+// Register adds a variant to the registry. It panics on a duplicate name
+// or an inexpressible combination (the hierarchical sparse strategies have
+// no dense wire format), since registrations are package-init-time
+// programming errors, not runtime conditions.
+func Register(v Variant) {
+	if v.Name == "" {
+		panic("core: Register: empty algorithm name")
+	}
+	if _, dup := registry.byName[v.Name]; dup {
+		panic(fmt.Sprintf("core: Register: duplicate algorithm %q", v.Name))
+	}
+	if _, err := exchange.For(v.Codec); err != nil {
+		panic(fmt.Sprintf("core: Register(%s): %v", v.Name, err))
+	}
+	switch v.Consensus {
+	case ConsensusStar, ConsensusRing, ConsensusFlat, ConsensusTree, ConsensusGroupLocal:
+	default:
+		panic(fmt.Sprintf("core: Register(%s): unknown consensus %q", v.Name, v.Consensus))
+	}
+	switch v.Sync {
+	case SyncBSP, SyncSSP, SyncAsync:
+	default:
+		panic(fmt.Sprintf("core: Register(%s): unknown sync %q", v.Name, v.Sync))
+	}
+	if sparseOnly(v.Consensus) && denseKind(v.Codec) {
+		panic(fmt.Sprintf("core: Register(%s): %s consensus cannot carry the %s codec",
+			v.Name, v.Consensus, v.Codec))
+	}
+	registry.byName[v.Name] = v
+	registry.order = append(registry.order, v.Name)
+}
+
+func sparseOnly(k ConsensusKind) bool {
+	return k == ConsensusFlat || k == ConsensusTree || k == ConsensusGroupLocal
+}
+
+func denseKind(k exchange.Kind) bool {
+	return k == exchange.Dense || k == exchange.DenseF32
+}
+
+// Lookup returns the registered variant for name.
+func Lookup(name Algorithm) (Variant, bool) {
+	v, ok := registry.byName[name]
+	return v, ok
+}
+
+// Variants lists every registered variant in registration order.
+func Variants() []Variant {
+	out := make([]Variant, len(registry.order))
+	for i, name := range registry.order {
+		out[i] = registry.byName[name]
+	}
+	return out
+}
+
+// Algorithms lists every registered algorithm name in registration order.
+func Algorithms() []Algorithm {
+	return append([]Algorithm(nil), registry.order...)
+}
+
+// AlgorithmsSorted lists every registered algorithm name alphabetically —
+// stable output for help text and scripted enumeration.
+func AlgorithmsSorted() []Algorithm {
+	out := Algorithms()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Valid reports whether a is a registered algorithm.
+func (a Algorithm) Valid() bool {
+	_, ok := Lookup(a)
+	return ok
+}
+
+// resolve maps the registered triple through the Config's compatibility
+// overrides: the legacy Consensus=group mode turns the staged tree into
+// group-local consensus, and QuantBits upgrades the exact sparse codec to
+// its quantized variant — exactly the knobs the pre-registry engine
+// honored.
+func (v Variant) resolve(cfg Config) (ConsensusKind, SyncKind, exchange.Kind) {
+	ck := v.Consensus
+	if ck == ConsensusTree && cfg.Consensus == ConsensusGroup {
+		ck = ConsensusGroupLocal
+	}
+	ek := v.Codec
+	if ek == exchange.Sparse {
+		switch cfg.QuantBits {
+		case 8:
+			ek = exchange.SparseQ8
+		case 16:
+			ek = exchange.SparseQ16
+		}
+	}
+	return ck, v.Sync, ek
+}
+
+func init() {
+	// The paper's six variants. Registration order is presentation order:
+	// the contribution first, then the ablations, then the baselines.
+	Register(Variant{
+		Name: PSRAHGADMM, Consensus: ConsensusTree, Sync: SyncBSP, Codec: exchange.Sparse,
+		Description: "the contribution: WLG-grouped hierarchical consensus ADMM, staged PSR aggregation tree (BSP, sparse exchange)",
+	})
+	Register(Variant{
+		Name: PSRAADMM, Consensus: ConsensusFlat, Sync: SyncBSP, Codec: exchange.Sparse,
+		Description: "flat ablation: one cluster-wide sparse PSR-Allreduce, no hierarchy (§4.2 before WLG)",
+	})
+	Register(Variant{
+		Name: GRADMM, Consensus: ConsensusRing, Sync: SyncBSP, Codec: exchange.Sparse,
+		Description: "baseline (ref. [9]): same BSP hierarchy, sparse Ring-Allreduce among all Leaders, no grouping",
+	})
+	Register(Variant{
+		Name: ADMMLib, Consensus: ConsensusRing, Sync: SyncSSP, Codec: exchange.DenseF32,
+		Description: "baseline (Xie & Lei): hierarchical dense fp32 Ring-Allreduce under node-granular SSP",
+	})
+	Register(Variant{
+		Name: ADADMM, Consensus: ConsensusStar, Sync: SyncSSP, Codec: exchange.Dense,
+		Description: "baseline (Zhang & Kwok): asynchronous master-worker consensus ADMM, partial barrier + bounded delay",
+	})
+	Register(Variant{
+		Name: GCADMM, Consensus: ConsensusStar, Sync: SyncBSP, Codec: exchange.Dense,
+		Description: "baseline: classic fully synchronous master-worker global consensus ADMM",
+	})
+
+	// Named reading of the paper's group-local consensus (also reachable
+	// via Config.Consensus=group on psra-hgadmm).
+	Register(Variant{
+		Name: PSRAHGADMMGroup, Consensus: ConsensusGroupLocal, Sync: SyncBSP, Codec: exchange.Sparse,
+		Description: "group-local reading of Algorithms 1-3: each WLG group computes z from its own members only",
+	})
+
+	// Compositions the monolithic switch could not express.
+	Register(Variant{
+		Name: PSRAHGADMMSSPQ8, Consensus: ConsensusTree, Sync: SyncSSP, Codec: exchange.SparseQ8,
+		Description: "new composition: quantized (8-bit) hierarchical staged-tree aggregation under node-granular SSP",
+	})
+	Register(Variant{
+		Name: PSRAADMMAsync, Consensus: ConsensusFlat, Sync: SyncAsync, Codec: exchange.Sparse,
+		Description: "new composition: flat sparse PSR-Allreduce driven asynchronously (quorum of one, bounded delay)",
+	})
+	Register(Variant{
+		Name: GRADMMSSP, Consensus: ConsensusRing, Sync: SyncSSP, Codec: exchange.Sparse,
+		Description: "new composition: GR-ADMM's sparse Leader ring under ADMMLib's SSP barrier",
+	})
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"math"
 
-	"psrahgadmm/internal/sparse"
 	"psrahgadmm/internal/vec"
 )
 
@@ -58,46 +57,4 @@ func setRho(ws []*worker, rho float64) {
 	for _, w := range ws {
 		w.obj.Rho = rho
 	}
-}
-
-// quantizeSparseBits rounds a sparse vector's values to b-bit fixed point
-// with a per-vector scale (max-abs), in place — the Q-GADMM-style lossy
-// communication option. b must be 8 or 16; exact zeros after rounding are
-// dropped to preserve the no-stored-zeros invariant.
-func quantizeSparseBits(v *sparse.Vector, bits int) {
-	if v.NNZ() == 0 {
-		return
-	}
-	var scale float64
-	for _, val := range v.Value {
-		if a := math.Abs(val); a > scale {
-			scale = a
-		}
-	}
-	if scale == 0 {
-		return
-	}
-	levels := float64(int(1)<<(bits-1) - 1)
-	kept := 0
-	for i := range v.Value {
-		q := math.Round(v.Value[i] / scale * levels)
-		val := q / levels * scale
-		if val != 0 {
-			v.Index[kept] = v.Index[i]
-			v.Value[kept] = val
-			kept++
-		}
-	}
-	v.Index = v.Index[:kept]
-	v.Value = v.Value[:kept]
-}
-
-// quantEntryBytes returns the wire size of one sparse element under the
-// configured quantization: 4-byte index plus bits/8 value bytes (12 bytes
-// unquantized).
-func quantEntryBytes(bits int) int {
-	if bits == 8 || bits == 16 {
-		return 4 + bits/8
-	}
-	return 12
 }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"psrahgadmm/internal/exchange"
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/transport"
+)
+
+// The ConsensusStrategy axis: HOW the aggregated W = Σ(yᵢ + ρxᵢ) is formed
+// and the thresholded z redistributed. Each strategy is one file
+// implementing one round of its topology's protocol against the shared
+// substrate — the virtual clock, the real collective implementations over
+// the scratch fabric, the SyncModel barrier, and the ExchangeCodec wire
+// format. The engine's Run loop is strategy-agnostic; adding a topology
+// means adding one strategy file and a registry entry, not a seventh copy
+// of the iteration loop.
+
+// ConsensusKind names a consensus strategy in the algorithm registry.
+type ConsensusKind string
+
+// The implemented consensus strategies.
+const (
+	// ConsensusStar gathers every worker's contribution at a master
+	// (rank 0) whose links serialize all traffic — GC-ADMM under BSP,
+	// AD-ADMM under SSP.
+	ConsensusStar ConsensusKind = "star"
+	// ConsensusRing reduces within nodes, then runs a Ring-Allreduce among
+	// all node Leaders — GR-ADMM (sparse, BSP) and ADMMLib (dense fp32,
+	// SSP).
+	ConsensusRing ConsensusKind = "ring"
+	// ConsensusFlat runs one cluster-wide PSR-Allreduce with every worker
+	// as a peer — PSRA-ADMM, the §4.2 algorithm before WLG grouping.
+	ConsensusFlat ConsensusKind = "flat-psr"
+	// ConsensusTree is PSRA-HGADMM's staged aggregation tree: arrival-
+	// ordered Leader groups merge partials through the GG until W is exact
+	// global consensus.
+	ConsensusTree ConsensusKind = "tree"
+	// ConsensusGroupLocal is the group-local reading of Algorithms 1–3:
+	// one grouping round per iteration, each group computing z from its
+	// own members only.
+	ConsensusGroupLocal ConsensusKind = "group-local"
+)
+
+// ConsensusKinds lists every implemented consensus strategy.
+func ConsensusKinds() []ConsensusKind {
+	return []ConsensusKind{ConsensusStar, ConsensusRing, ConsensusFlat, ConsensusTree, ConsensusGroupLocal}
+}
+
+// ConsensusStrategy executes one aggregation round. Implementations keep
+// their own cross-round state (clocks, cached contributions); cfg is
+// passed per round because AdaptiveRho mutates it mid-run.
+type ConsensusStrategy interface {
+	Round(cfg Config, iter int) (iterTiming, error)
+}
+
+// iterTiming aggregates one iteration's virtual-time accounting.
+type iterTiming struct {
+	cal   float64 // mean per-worker compute time
+	comm  float64 // mean per-worker wait+transfer time
+	bytes int64
+}
+
+// strategyEnv bundles the per-run substrate every strategy round uses.
+type strategyEnv struct {
+	ws    []*worker
+	fab   transport.Fabric
+	codec exchange.Codec
+	sync  SyncModel
+	dim   int
+}
+
+// newStrategy instantiates the consensus strategy for one run.
+func newStrategy(kind ConsensusKind, env *strategyEnv, cfg Config) (ConsensusStrategy, error) {
+	switch kind {
+	case ConsensusStar:
+		return newStarStrategy(env), nil
+	case ConsensusFlat:
+		if env.codec.DenseExchange() {
+			return nil, fmt.Errorf("core: %s consensus requires a sparse codec, got %s", kind, env.codec.Kind())
+		}
+		return newFlatStrategy(env), nil
+	case ConsensusRing:
+		return newRingStrategy(env, cfg), nil
+	case ConsensusTree, ConsensusGroupLocal:
+		if env.codec.DenseExchange() {
+			return nil, fmt.Errorf("core: %s consensus requires a sparse codec, got %s", kind, env.codec.Kind())
+		}
+		if kind == ConsensusTree {
+			return newTreeStrategy(env, cfg), nil
+		}
+		return newGroupStrategy(env, cfg), nil
+	}
+	return nil, fmt.Errorf("core: unknown consensus strategy %q", kind)
+}
+
+// nodeContribution is the result of launching one node's compute: the
+// Leader-held partial sum plus the barrier bookkeeping.
+type nodeContribution struct {
+	sum     *sparse.Vector
+	pending *pendingCompute
+}
+
+// launchNodeSparse runs the x-update on one idle node's workers, encodes
+// each worker's w through the codec, reduces to the node Leader over the
+// bus, and returns the partial sum with its availability time. Workers'
+// clocks are NOT advanced here — they move to the round's end when the
+// consensus is applied — so the launch is identical under BSP and SSP.
+func launchNodeSparse(env *strategyEnv, cfg Config, n, iter int, timing *iterTiming) nodeContribution {
+	topo := cfg.Topo
+	ranks := topo.WorkersOf(n)
+	sub := make([]*worker, len(ranks))
+	for i, r := range ranks {
+		sub[i] = env.ws[r]
+	}
+	cals := parallelXUpdates(cfg, sub, iter)
+	starts := make([]float64, len(ranks))
+	vs := make([]*sparse.Vector, len(ranks))
+	nnzs := make([]int, len(ranks))
+	ready := 0.0
+	for i, w := range sub {
+		starts[i] = w.clock
+		vs[i] = w.wSparse(cfg.Rho)
+		env.codec.EncodeSparse(vs[i])
+		nnzs[i] = vs[i].NNZ()
+		ready = maxf(ready, w.clock+cals[i])
+	}
+	tr := env.codec.WireTrace(intraReduceTrace(ranks, ranks[0], nnzs))
+	timing.bytes += traceBytes(tr)
+	return nodeContribution{
+		sum: sumSparse(env.dim, vs),
+		pending: &pendingCompute{
+			finish: ready + cfg.Cost.TraceTime(topo, tr),
+			starts: starts,
+			cals:   cals,
+		},
+	}
+}
+
+// applyNodeZ delivers the consensus iterate to one node's workers at
+// virtual time end and folds their wait+transfer time into commSum.
+// Compute time is summed separately by the caller: the strategies
+// accumulate cal in rank order but comm in delivery order, and float
+// summation order is part of the determinism contract.
+func applyNodeZ(env *strategyEnv, cfg Config, n int, p *pendingCompute,
+	zDense []float64, zSparse *sparse.Vector, end float64,
+	commSum *float64, applied *int) {
+	for i, r := range cfg.Topo.WorkersOf(n) {
+		env.ws[r].applyZ(cfg, zDense, zSparse)
+		*commSum += end - p.starts[i] - p.cals[i]
+		env.ws[r].clock = end
+		*applied++
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// The SyncModel axis: WHEN a consensus round admits its participants.
+// Every strategy runs the same per-round protocol — launch compute on idle
+// participants, admit a quorum at a cutoff time, aggregate, apply — and
+// the sync model only decides the quorum size and the staleness bound:
+//
+//   - BSP: the quorum is everyone. Every participant is fresh every round,
+//     the cutoff is the slowest finish, and staleness never accrues — the
+//     classic bulk-synchronous barrier all the paper's exact variants use.
+//   - SSP (stale synchronous parallel): the quorum is Min_barrier workers
+//     (scaled to the strategy's granularity); laggards' *previous*
+//     contributions are reused, but nobody falls more than Max_delay
+//     rounds behind — the ADMMLib / AD-ADMM partial barrier.
+//   - Async (bounded-delay asynchronous): quorum of one — a round fires as
+//     soon as the fastest participant finishes, with the same Max_delay
+//     bound keeping the slowest from diverging (Zhang & Kwok's regime).
+//
+// Granularity belongs to the consensus strategy: star and flat synchronize
+// individual workers, the hierarchical strategies synchronize nodes
+// (workers within a node stay BSP over the bus).
+
+// SyncKind names a synchronization model in the algorithm registry.
+type SyncKind string
+
+// The implemented synchronization models.
+const (
+	SyncBSP   SyncKind = "bsp"
+	SyncSSP   SyncKind = "ssp"
+	SyncAsync SyncKind = "async"
+)
+
+// SyncKinds lists every implemented synchronization model.
+func SyncKinds() []SyncKind { return []SyncKind{SyncBSP, SyncSSP, SyncAsync} }
+
+// SyncModel decides how many participants a round waits for and how stale
+// a laggard may grow. Implementations are stateless; the per-participant
+// bookkeeping ([]sspClock) lives in the strategy.
+type SyncModel interface {
+	Kind() SyncKind
+	// Quorum returns the partial-barrier size in participants, given the
+	// total participant count and how many workers each participant
+	// represents (1 for worker granularity, WorkersPerNode for node
+	// granularity).
+	Quorum(participants, workersPer int) int
+	// Delay is the staleness bound in rounds after which a pending
+	// participant forces the barrier to wait for it.
+	Delay() int
+}
+
+// newSyncModel binds a SyncKind to the run's barrier parameters.
+func newSyncModel(kind SyncKind, cfg Config) SyncModel {
+	switch kind {
+	case SyncSSP:
+		return sspSync{minBarrier: cfg.MinBarrier, maxDelay: cfg.MaxDelay}
+	case SyncAsync:
+		return asyncSync{maxDelay: cfg.MaxDelay}
+	default:
+		return bspSync{}
+	}
+}
+
+// bspSync is the full barrier: quorum of everyone, staleness impossible.
+type bspSync struct{}
+
+func (bspSync) Kind() SyncKind                 { return SyncBSP }
+func (bspSync) Quorum(participants, _ int) int { return participants }
+func (bspSync) Delay() int                     { return math.MaxInt }
+
+// sspSync is the Min_barrier/Max_delay partial barrier. MinBarrier is
+// configured in workers; node-granular strategies round it up to whole
+// nodes exactly as ADMMLib does.
+type sspSync struct{ minBarrier, maxDelay int }
+
+func (sspSync) Kind() SyncKind { return SyncSSP }
+func (s sspSync) Quorum(participants, workersPer int) int {
+	k := (s.minBarrier + workersPer - 1) / workersPer
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+func (s sspSync) Delay() int { return s.maxDelay }
+
+// asyncSync fires on the fastest participant, bounded by Max_delay.
+type asyncSync struct{ maxDelay int }
+
+func (asyncSync) Kind() SyncKind      { return SyncAsync }
+func (asyncSync) Quorum(_, _ int) int { return 1 }
+func (s asyncSync) Delay() int        { return s.maxDelay }
+
+// pendingCompute is an in-flight x-update batch (one node for the
+// hierarchical strategies, one worker for star/flat) whose result becomes
+// visible at finish.
+type pendingCompute struct {
+	finish float64
+	starts []float64 // per-member clock at compute start
+	cals   []float64 // per-member compute time
+}
+
+// sspClock tracks a participant's barrier bookkeeping.
+type sspClock struct {
+	pending   *pendingCompute
+	staleness int
+}
+
+// sspCutoff returns the partial-barrier time over participants: the K-th
+// smallest pending finish, extended to cover every participant that has
+// exhausted maxDelay.
+func sspCutoff(clocks []sspClock, k, maxDelay int) float64 {
+	finishes := make([]float64, 0, len(clocks))
+	for i := range clocks {
+		if clocks[i].pending != nil {
+			finishes = append(finishes, clocks[i].pending.finish)
+		}
+	}
+	sort.Float64s(finishes)
+	if len(finishes) == 0 {
+		return 0
+	}
+	if k > len(finishes) {
+		k = len(finishes)
+	}
+	cutoff := finishes[k-1]
+	for i := range clocks {
+		if clocks[i].pending != nil && clocks[i].staleness >= maxDelay {
+			cutoff = maxf(cutoff, clocks[i].pending.finish)
+		}
+	}
+	return cutoff
+}
+
+// admitted lists the participants whose pending compute finished by the
+// cutoff, in index order.
+func admitted(clocks []sspClock, cutoff float64) []int {
+	fresh := make([]int, 0, len(clocks))
+	for i := range clocks {
+		if p := clocks[i].pending; p != nil && p.finish <= cutoff {
+			fresh = append(fresh, i)
+		}
+	}
+	return fresh
+}
+
+// bumpStale advances the staleness counter of every still-pending
+// participant; callers clear admitted participants' pending first.
+func bumpStale(clocks []sspClock) {
+	for i := range clocks {
+		if clocks[i].pending != nil {
+			clocks[i].staleness++
+		}
+	}
+}

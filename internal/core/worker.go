@@ -196,7 +196,7 @@ func (w *worker) localLoss(z []float64) float64 {
 	return loss
 }
 
-// solverZUpdate is a thin alias keeping ssp.go readable.
+// solverZUpdate is a thin alias keeping the consensus strategies readable.
 func solverZUpdate(dst, w []float64, lambda, rho float64, n int) {
 	solver.ZUpdateL1(dst, w, lambda, rho, n)
 }

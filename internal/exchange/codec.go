@@ -1,0 +1,255 @@
+// Package exchange defines the ExchangeCodec axis of the strategy
+// decomposition: how ADMM contributions are represented on the wire.
+// Where the consensus strategy decides WHO communicates and the sync model
+// decides WHEN, the codec decides WHAT travels — full float64, ADMMLib's
+// single-precision parameter exchange, or Q-GADMM-style fixed-point
+// quantization — and therefore how many bytes every collective costs.
+//
+// Both execution paths share this package: the DES-clock engine
+// (internal/core) uses codecs to encode contributions and to rescale
+// collective traces to wire sizes, and the real-fabric WLG runtime
+// (internal/wlg) uses the same codecs to round the vectors it actually
+// ships. Lossy encodings are applied to VALUES before a collective runs,
+// so both paths aggregate exactly what a real cluster would.
+package exchange
+
+import (
+	"fmt"
+	"math"
+
+	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/wire"
+)
+
+// Kind names a codec in the algorithm registry.
+type Kind string
+
+// The implemented codecs.
+const (
+	// Sparse is the exact sparse float64 exchange (the PSRA default):
+	// 4-byte index + 8-byte value per nonzero.
+	Sparse Kind = "sparse"
+	// SparseQ8 and SparseQ16 quantize sparse values to 8/16-bit fixed
+	// point with a per-vector max-abs scale (Q-GADMM-style).
+	SparseQ8  Kind = "sparse-q8"
+	SparseQ16 Kind = "sparse-q16"
+	// Dense ships full dense float64 vectors (the master-worker
+	// baselines' exchange).
+	Dense Kind = "dense"
+	// DenseF32 ships dense vectors rounded to float32 precision at half
+	// the bytes (ADMMLib's single-precision parameter exchange).
+	DenseF32 Kind = "dense-f32"
+)
+
+// Kinds lists every implemented codec.
+func Kinds() []Kind { return []Kind{Sparse, SparseQ8, SparseQ16, Dense, DenseF32} }
+
+// Codec is the exchange-representation strategy. Encode* round values in
+// place to what survives the wire; the *Bytes methods and WireTrace give
+// the corresponding payload sizes for the virtual cost model.
+type Codec interface {
+	Kind() Kind
+	// DenseExchange reports whether contributions travel as full dense
+	// vectors (true) or index/value sparse payloads (false).
+	DenseExchange() bool
+	// EncodeSparse lossily rounds a sparse contribution in place. Exact
+	// codecs are no-ops.
+	EncodeSparse(v *sparse.Vector)
+	// EncodeDense lossily rounds a dense vector in place.
+	EncodeDense(x []float64)
+	// WireTrace rescales a collective trace — built at nominal sparse
+	// (12-byte-entry) or dense (8-byte-entry) sizes — to this codec's
+	// wire format.
+	WireTrace(tr collective.Trace) collective.Trace
+	// SparseMsgBytes is the nominal payload of one sparse vector with nnz
+	// entries, before WireTrace scaling.
+	SparseMsgBytes(nnz int) int
+	// DenseMsgBytes is the wire payload of one dense vector of dim
+	// entries.
+	DenseMsgBytes(dim int) int
+	// ZMsgBytes is the wire payload of the distributed consensus iterate
+	// with nnz nonzeros. The z indices always travel exactly; only value
+	// precision varies.
+	ZMsgBytes(nnz int) int
+}
+
+// For returns the codec implementing kind.
+func For(kind Kind) (Codec, error) {
+	switch kind {
+	case Sparse:
+		return sparseCodec{}, nil
+	case SparseQ8:
+		return quantCodec{bits: 8}, nil
+	case SparseQ16:
+		return quantCodec{bits: 16}, nil
+	case Dense:
+		return denseCodec{}, nil
+	case DenseF32:
+		return f32Codec{}, nil
+	}
+	return nil, fmt.Errorf("exchange: unknown codec %q", kind)
+}
+
+// sparseCodec is the exact sparse float64 exchange.
+type sparseCodec struct{}
+
+func (sparseCodec) Kind() Kind                                     { return Sparse }
+func (sparseCodec) DenseExchange() bool                            { return false }
+func (sparseCodec) EncodeSparse(*sparse.Vector)                    {}
+func (sparseCodec) EncodeDense([]float64)                          {}
+func (sparseCodec) WireTrace(tr collective.Trace) collective.Trace { return tr }
+func (sparseCodec) SparseMsgBytes(nnz int) int                     { return 8 + wire.SparseEntryBytes*nnz }
+func (sparseCodec) DenseMsgBytes(dim int) int                      { return 4 + wire.DenseEntryBytes*dim }
+func (sparseCodec) ZMsgBytes(nnz int) int                          { return 8 + wire.SparseEntryBytes*nnz }
+
+// quantCodec is the b-bit fixed-point sparse exchange: values quantize to
+// bits-wide levels against a per-vector max-abs scale, and every sparse
+// entry costs 4 index bytes plus bits/8 value bytes on the wire. z still
+// travels at full precision (it is already thresholded and sparse).
+type quantCodec struct{ bits int }
+
+func (c quantCodec) Kind() Kind {
+	if c.bits == 8 {
+		return SparseQ8
+	}
+	return SparseQ16
+}
+func (quantCodec) DenseExchange() bool             { return false }
+func (c quantCodec) EncodeSparse(v *sparse.Vector) { QuantizeSparseBits(v, c.bits) }
+func (c quantCodec) EncodeDense(x []float64)       { QuantizeDenseBits(x, c.bits) }
+func (c quantCodec) WireTrace(tr collective.Trace) collective.Trace {
+	return ScaleTraceBytes(tr, EntryBytes(c.bits), wire.SparseEntryBytes)
+}
+func (quantCodec) SparseMsgBytes(nnz int) int { return 8 + wire.SparseEntryBytes*nnz }
+func (quantCodec) DenseMsgBytes(dim int) int  { return 4 + wire.DenseEntryBytes*dim }
+func (quantCodec) ZMsgBytes(nnz int) int      { return 8 + wire.SparseEntryBytes*nnz }
+
+// denseCodec is the exact dense float64 exchange.
+type denseCodec struct{}
+
+func (denseCodec) Kind() Kind                                     { return Dense }
+func (denseCodec) DenseExchange() bool                            { return true }
+func (denseCodec) EncodeSparse(*sparse.Vector)                    {}
+func (denseCodec) EncodeDense([]float64)                          {}
+func (denseCodec) WireTrace(tr collective.Trace) collective.Trace { return tr }
+func (denseCodec) SparseMsgBytes(nnz int) int                     { return 8 + wire.SparseEntryBytes*nnz }
+func (denseCodec) DenseMsgBytes(dim int) int                      { return 4 + wire.DenseEntryBytes*dim }
+func (denseCodec) ZMsgBytes(nnz int) int                          { return 4 + wire.SparseEntryBytes*nnz }
+
+// f32Codec is ADMMLib's single-precision dense exchange: values round to
+// float32, dense payloads halve, and the thresholded z fans out as 4-byte
+// index + 4-byte value entries.
+type f32Codec struct{}
+
+func (f32Codec) Kind() Kind                    { return DenseF32 }
+func (f32Codec) DenseExchange() bool           { return true }
+func (f32Codec) EncodeSparse(v *sparse.Vector) { RoundF32Sparse(v) }
+func (f32Codec) EncodeDense(x []float64)       { RoundF32(x) }
+func (f32Codec) WireTrace(tr collective.Trace) collective.Trace {
+	return ScaleTraceBytes(tr, 1, 2)
+}
+func (f32Codec) SparseMsgBytes(nnz int) int { return 8 + (4+4)*nnz }
+func (f32Codec) DenseMsgBytes(dim int) int  { return 4 + wire.DenseEntryBytes*dim/2 }
+func (f32Codec) ZMsgBytes(nnz int) int      { return 4 + 8*nnz }
+
+// ScaleTraceBytes multiplies every event's byte count by num/den — how
+// lossy codecs rescale a trace built at nominal entry sizes without
+// forking the collectives.
+func ScaleTraceBytes(tr collective.Trace, num, den int) collective.Trace {
+	out := collective.Trace{Steps: tr.Steps, Events: make([]collective.Event, len(tr.Events))}
+	for i, e := range tr.Events {
+		e.Bytes = e.Bytes * num / den
+		out.Events[i] = e
+	}
+	return out
+}
+
+// EntryBytes returns the wire size of one sparse element under b-bit
+// quantization: 4-byte index plus bits/8 value bytes (12 bytes exact).
+func EntryBytes(bits int) int {
+	if bits == 8 || bits == 16 {
+		return 4 + bits/8
+	}
+	return wire.SparseEntryBytes
+}
+
+// QuantizeSparseBits rounds a sparse vector's values to b-bit fixed point
+// with a per-vector scale (max-abs), in place — the Q-GADMM-style lossy
+// communication option. b must be 8 or 16; exact zeros after rounding are
+// dropped to preserve the no-stored-zeros invariant.
+func QuantizeSparseBits(v *sparse.Vector, bits int) {
+	if v.NNZ() == 0 {
+		return
+	}
+	var scale float64
+	for _, val := range v.Value {
+		if a := math.Abs(val); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		return
+	}
+	levels := float64(int(1)<<(bits-1) - 1)
+	kept := 0
+	for i := range v.Value {
+		q := math.Round(v.Value[i] / scale * levels)
+		val := q / levels * scale
+		if val != 0 {
+			v.Index[kept] = v.Index[i]
+			v.Value[kept] = val
+			kept++
+		}
+	}
+	v.Index = v.Index[:kept]
+	v.Value = v.Value[:kept]
+}
+
+// QuantizeDenseBits applies the same b-bit max-abs fixed-point rounding to
+// a dense vector in place (the WLG runtime's dense exchange).
+func QuantizeDenseBits(x []float64, bits int) {
+	var scale float64
+	for _, v := range x {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		return
+	}
+	levels := float64(int(1)<<(bits-1) - 1)
+	for i, v := range x {
+		q := math.Round(v / scale * levels)
+		x[i] = q / levels * scale
+	}
+}
+
+// RoundF32 rounds every element to float32 precision in place, modeling
+// ADMMLib's single-precision parameter exchange (the accuracy cost §2 of
+// the paper attributes to reduced-precision schemes).
+func RoundF32(x []float64) {
+	for i, v := range x {
+		x[i] = float64(float32(v))
+	}
+}
+
+// RoundF32Sparse rounds a sparse vector's values to float32 precision.
+func RoundF32Sparse(v *sparse.Vector) {
+	for i, val := range v.Value {
+		v.Value[i] = float64(float32(val))
+	}
+	// float32 rounding cannot produce new zeros from nonzeros except for
+	// subnormal underflow; drop those to preserve the no-stored-zeros
+	// invariant.
+	kept := 0
+	for i := range v.Value {
+		if v.Value[i] != 0 {
+			v.Index[kept] = v.Index[i]
+			v.Value[kept] = v.Value[i]
+			kept++
+		}
+	}
+	v.Index = v.Index[:kept]
+	v.Value = v.Value[:kept]
+}

@@ -1,0 +1,122 @@
+package exchange
+
+import (
+	"math"
+	"testing"
+
+	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/sparse"
+)
+
+func TestForCoversEveryKind(t *testing.T) {
+	for _, k := range Kinds() {
+		c, err := For(k)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if c.Kind() != k {
+			t.Fatalf("%s: Kind() returned %s", k, c.Kind())
+		}
+	}
+	if _, err := For("bogus"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestDenseExchangeFlag(t *testing.T) {
+	for k, want := range map[Kind]bool{
+		Sparse: false, SparseQ8: false, SparseQ16: false,
+		Dense: true, DenseF32: true,
+	} {
+		c, _ := For(k)
+		if c.DenseExchange() != want {
+			t.Fatalf("%s: DenseExchange = %v", k, c.DenseExchange())
+		}
+	}
+}
+
+func TestExactCodecsAreIdentity(t *testing.T) {
+	for _, k := range []Kind{Sparse, Dense} {
+		c, _ := For(k)
+		v := sparse.FromDense([]float64{0.1, 0, -2.5})
+		c.EncodeSparse(v)
+		d := []float64{0.1, -2.5}
+		c.EncodeDense(d)
+		if v.Value[0] != 0.1 || v.Value[1] != -2.5 || d[0] != 0.1 || d[1] != -2.5 {
+			t.Fatalf("%s: exact codec changed values", k)
+		}
+	}
+}
+
+func TestWireTraceScaling(t *testing.T) {
+	tr := collective.Trace{Steps: 1, Events: []collective.Event{
+		{Step: 0, From: 0, To: 1, Bytes: 120},
+	}}
+	cases := []struct {
+		kind Kind
+		want int
+	}{
+		{Sparse, 120},   // identity
+		{SparseQ8, 50},  // 12-byte entries → 5-byte entries
+		{SparseQ16, 60}, // → 6-byte entries
+		{Dense, 120},    // identity
+		{DenseF32, 60},  // halved values
+	}
+	for _, tc := range cases {
+		c, _ := For(tc.kind)
+		got := c.WireTrace(tr).Events[0].Bytes
+		if got != tc.want {
+			t.Fatalf("%s: WireTrace bytes %d, want %d", tc.kind, got, tc.want)
+		}
+		if tr.Events[0].Bytes != 120 {
+			t.Fatalf("%s: WireTrace mutated its input", tc.kind)
+		}
+	}
+}
+
+func TestQuantizeDenseBitsBound(t *testing.T) {
+	x := []float64{1, -0.5, 0.3, 0}
+	QuantizeDenseBits(x, 8)
+	// Max-abs element is exactly representable; every element stays within
+	// half a quantization level of its original.
+	if x[0] != 1 || x[3] != 0 {
+		t.Fatalf("endpoints moved: %v", x)
+	}
+	if math.Abs(x[1]+0.5) > 0.5/127+1e-12 || math.Abs(x[2]-0.3) > 0.5/127+1e-12 {
+		t.Fatalf("quantization error too large: %v", x)
+	}
+	// All-zero input is a no-op.
+	z := []float64{0, 0}
+	QuantizeDenseBits(z, 8)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero vector changed")
+	}
+}
+
+func TestRoundF32DropsUnderflow(t *testing.T) {
+	v := sparse.FromDense([]float64{1.5, 1e-300})
+	RoundF32Sparse(v)
+	if v.NNZ() != 1 || v.Value[0] != 1.5 {
+		t.Fatalf("subnormal underflow not dropped: %+v", v)
+	}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageByteFormulas(t *testing.T) {
+	sp, _ := For(Sparse)
+	f32, _ := For(DenseF32)
+	if sp.SparseMsgBytes(10) != 8+12*10 {
+		t.Fatalf("sparse msg bytes %d", sp.SparseMsgBytes(10))
+	}
+	if sp.DenseMsgBytes(100) != 4+8*100 {
+		t.Fatalf("dense msg bytes %d", sp.DenseMsgBytes(100))
+	}
+	if f32.DenseMsgBytes(100) != 4+8*100/2 {
+		t.Fatalf("f32 dense msg bytes %d", f32.DenseMsgBytes(100))
+	}
+	if f32.ZMsgBytes(7) != 4+8*7 {
+		t.Fatalf("f32 z msg bytes %d", f32.ZMsgBytes(7))
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/transport"
 	"psrahgadmm/internal/wire"
@@ -74,6 +75,21 @@ type Config struct {
 	// or > Nodes are clamped to Nodes (one global group = exact
 	// consensus, the "ungrouped" baseline of Figure 7).
 	GroupThreshold int
+	// Codec selects the exchange representation from the same codec axis
+	// the engine's registry binds (exchange.Kinds()). Lossy codecs round
+	// each worker's contribution in place before it enters the intra-node
+	// reduce, so the runtime aggregates exactly what a real lossy wire
+	// would deliver. Empty means the exact exchange.
+	Codec exchange.Kind
+}
+
+// codec resolves the configured exchange codec, defaulting to exact.
+func (c Config) codec() (exchange.Codec, error) {
+	k := c.Codec
+	if k == "" {
+		k = exchange.Sparse
+	}
+	return exchange.For(k)
 }
 
 func (c Config) threshold() int {
@@ -91,6 +107,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxIter <= 0 {
 		return fmt.Errorf("wlg: MaxIter must be positive")
+	}
+	if _, err := c.codec(); err != nil {
+		return fmt.Errorf("wlg: %w", err)
 	}
 	return nil
 }
@@ -128,10 +147,18 @@ func RunWorker(ep transport.Endpoint, cfg Config, f WorkerFuncs) error {
 	intra := collective.NewGroup(topo.WorkersOf(node)...)
 	leader := IsLeader(topo, rank)
 	gg := GGRank(topo)
+	codec, err := cfg.codec() // Validate already vetted the kind
+	if err != nil {
+		return fmt.Errorf("wlg: %w", err)
+	}
 
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		w := f.ComputeW(iter)
 		buf := append([]float64(nil), w...)
+		// Lossy codecs round the contribution before it is communicated:
+		// the aggregate every worker applies is built from wire-precision
+		// values, matching what a real cluster would sum.
+		codec.EncodeDense(buf)
 
 		// Step 9: intra-node reduce to the Leader over the bus.
 		if _, err := collective.ReduceDense(ep, intra, iterTag(iter, offIntraRed), 0, buf); err != nil {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/transport"
 	"psrahgadmm/internal/vec"
@@ -214,11 +215,48 @@ func TestConfigValidation(t *testing.T) {
 	bad := []Config{
 		{Topo: simnet.Topology{Nodes: 0, WorkersPerNode: 1}, MaxIter: 1},
 		{Topo: simnet.Topology{Nodes: 1, WorkersPerNode: 1}, MaxIter: 0},
+		{Topo: simnet.Topology{Nodes: 1, WorkersPerNode: 1}, MaxIter: 1, Codec: "bogus"},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
 			t.Fatalf("bad config %d accepted", i)
 		}
+	}
+}
+
+// TestLossyCodecRoundsContributions runs the same world with the exact and
+// the 8-bit quantized codec: the lossy aggregate must differ from the
+// exact one but stay within the quantization error bound (every worker
+// sums wire-precision values, so the error per element is at most the sum
+// of per-contribution quantization steps).
+func TestLossyCodecRoundsContributions(t *testing.T) {
+	topo := simnet.Topology{Nodes: 2, WorkersPerNode: 2}
+	dim := 9
+	contribution := func(r, iter int) []float64 {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = math.Sin(float64(r*dim + j + 1)) // irrational-ish: quantization must move these
+		}
+		return v
+	}
+	exact, _ := runWLG(t, Config{Topo: topo, MaxIter: 1}, dim, contribution)
+	lossy, _ := runWLG(t, Config{Topo: topo, MaxIter: 1, Codec: exchange.SparseQ8}, dim, contribution)
+
+	var moved bool
+	for j := 0; j < dim; j++ {
+		diff := math.Abs(exact[0][0][j] - lossy[0][0][j])
+		// Each of the 4 contributions has max-abs ≤ 1, so its quantization
+		// step is at most 1/127; the summed error is bounded by 4×(1/2)/127
+		// plus float slack.
+		if diff > 4*0.5/127+1e-9 {
+			t.Fatalf("slot %d error %v exceeds quantization bound", j, diff)
+		}
+		if diff != 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("8-bit codec left every aggregate value untouched")
 	}
 }
 
