@@ -38,6 +38,7 @@
 package psrahgadmm
 
 import (
+	"psrahgadmm/internal/checkpoint"
 	"psrahgadmm/internal/core"
 	"psrahgadmm/internal/dataset"
 	"psrahgadmm/internal/exchange"
@@ -85,6 +86,12 @@ type (
 	Dataset = dataset.Dataset
 	// SynthConfig parameterizes the synthetic dataset generator.
 	SynthConfig = dataset.SynthConfig
+	// CheckpointOptions enables periodic snapshots for Train (and resume
+	// from the latest one); see RunOptions.Checkpoint.
+	CheckpointOptions = core.CheckpointOptions
+	// CheckpointStore persists snapshot blobs (directory-backed or
+	// in-memory).
+	CheckpointStore = checkpoint.Store
 )
 
 // The implemented algorithms.
@@ -148,6 +155,13 @@ func RegisterVariant(v Variant) { core.Register(v) }
 // f* (the denominator of the paper's relative-error metric, eq. 18).
 func ReferenceOptimum(train *Dataset, rho, lambda float64, iters int) (float64, []float64, error) {
 	return core.ReferenceOptimum(train, rho, lambda, iters)
+}
+
+// NewDirCheckpointStore returns a crash-safe file-backed checkpoint store
+// (one atomically-replaced snapshot file inside dir) for
+// CheckpointOptions.Store.
+func NewDirCheckpointStore(dir string) (CheckpointStore, error) {
+	return checkpoint.NewDirStore(dir, "")
 }
 
 // Generate builds a synthetic dataset (train and test splits)

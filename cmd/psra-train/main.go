@@ -34,6 +34,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "synthetic generation seed")
 		every     = flag.Int("every", 10, "print every k-th iteration")
 		jsonOut   = flag.String("json", "", "write the full run history as JSON to this file")
+		elastic   = flag.Bool("elastic", false, "survive worker deaths: shrink the world and keep training instead of aborting")
+		ckDir     = flag.String("checkpoint-dir", "", "directory for periodic snapshots (enables checkpointing)")
+		ckEvery   = flag.Int("checkpoint-every", 10, "snapshot every k-th iteration (with -checkpoint-dir)")
+		resume    = flag.Bool("resume", false, "continue from the latest snapshot in -checkpoint-dir (fresh start if none)")
 	)
 	flag.Parse()
 
@@ -57,8 +61,19 @@ func main() {
 		MaxIter:        *iters,
 		GroupThreshold: *threshold,
 		Consensus:      psra.ConsensusMode(*consensus),
+		Elastic:        *elastic,
 	}
 	opts := psra.RunOptions{Test: test}
+	if *resume && *ckDir == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint-dir"))
+	}
+	if *ckDir != "" {
+		store, err := psra.NewDirCheckpointStore(*ckDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Checkpoint = &psra.CheckpointOptions{Store: store, Every: *ckEvery, Resume: *resume}
+	}
 	opts.OnIteration = func(s psra.IterStat) {
 		if s.Iter%*every != 0 && s.Iter != *iters-1 {
 			return
@@ -78,6 +93,10 @@ func main() {
 	fmt.Printf("\nvirtual system time %s (cal %s + comm %s), %s communicated\n",
 		metrics.Seconds(res.SystemTime), metrics.Seconds(res.TotalCalTime),
 		metrics.Seconds(res.TotalCommTime), metrics.Bytes(res.TotalBytes))
+	if res.Degraded {
+		fmt.Printf("DEGRADED: %d of %d workers survived (membership epoch %d) — objective is the survivors' optimum\n",
+			res.LiveWorkers, cfg.Topo.Size(), res.Epoch)
+	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {

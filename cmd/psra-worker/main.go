@@ -14,6 +14,21 @@
 // Every process generates the identical synthetic dataset from -seed and
 // takes the shard matching its rank, so no data distribution step is
 // needed.
+//
+// With -elastic the run survives worker deaths: nodes re-elect their
+// Leader, inter-node aggregation routes through the GG (which caches
+// results for recovery), and surviving ranks train to completion on the
+// shrunken world. -start-iter resumes a run's tail after a restart.
+//
+// Exit codes tell orchestration what happened:
+//
+//	0 — clean completion, nobody lost
+//	1 — local failure (bad flags, dataset, I/O)
+//	3 — unrecoverable peer loss: a peer died and the run could not
+//	    continue without it (always the outcome of a death without
+//	    -elastic)
+//	4 — degraded completion: all iterations finished, but peers died or
+//	    contributions were skipped along the way (-elastic only)
 package main
 
 import (
@@ -50,6 +65,8 @@ func main() {
 		timeout   = flag.Duration("timeout", time.Minute, "mesh establishment timeout")
 		heartbeat = flag.Duration("heartbeat", time.Second, "keepalive interval on idle connections (negative disables)")
 		peerDead  = flag.Duration("peer-timeout", 15*time.Second, "declare a peer dead after this much silence (0 disables)")
+		elastic   = flag.Bool("elastic", false, "survive peer deaths: re-elect Leaders and keep training (exit 4 when degraded)")
+		startIter = flag.Int("start-iter", 0, "first iteration to execute (resume a run's tail after a restart)")
 	)
 	flag.Parse()
 
@@ -73,7 +90,14 @@ func main() {
 	}
 	defer ep.Close()
 
-	cfg := wlg.Config{Topo: topo, MaxIter: *iters, GroupThreshold: *threshold, Codec: exchange.Kind(*codec)}
+	cfg := wlg.Config{
+		Topo:           topo,
+		MaxIter:        *iters,
+		GroupThreshold: *threshold,
+		Codec:          exchange.Kind(*codec),
+		Elastic:        *elastic,
+		StartIter:      *startIter,
+	}
 	if *rank == wlg.GGRank(topo) {
 		fmt.Printf("rank %d: group generator serving %d nodes × %d iterations\n", *rank, *nodes, *iters)
 		if err := wlg.RunGG(ep, cfg); err != nil {
@@ -123,15 +147,23 @@ func main() {
 			}
 		},
 	}
-	if err := wlg.RunWorker(ep, cfg, funcs); err != nil {
+	info, err := wlg.RunWorkerInfo(ep, cfg, funcs)
+	if err != nil {
 		fatal(err)
+	}
+	if info.Degraded() {
+		fmt.Printf("rank %d: done DEGRADED — %d workers alive, %d deaths absorbed, %d contributions skipped, %d short rounds\n",
+			*rank, info.LiveWorkers, info.Epoch, info.Skipped, info.ShortRounds)
+		os.Exit(4)
 	}
 	fmt.Printf("rank %d: done\n", *rank)
 }
 
 // fatal exits nonzero with a diagnostic. Peer loss gets its own exit code
-// and a pointed message so orchestration (and humans reading logs) can tell
-// "a neighbor died" apart from local failures.
+// (3, "unrecoverable") and a pointed message so orchestration (and humans
+// reading logs) can tell "a neighbor died and took the run with it" apart
+// from local failures — and apart from exit 4, a degraded-but-complete
+// elastic run.
 func fatal(err error) {
 	var pd *transport.PeerDownError
 	if errors.As(err, &pd) {

@@ -1,0 +1,117 @@
+// Package checkpoint provides the pluggable snapshot stores the
+// degraded-mode runtimes write to. The store is deliberately dumb — save
+// one opaque blob, load it back — so the binary snapshot format (package
+// exchange) and the storage medium evolve independently. A training job
+// that dies keeps at most CheckpointEvery iterations of work to redo.
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store persists the latest snapshot blob. Save replaces any previous
+// snapshot atomically; Load returns (nil, false, nil) when no snapshot
+// exists yet.
+type Store interface {
+	Save(data []byte) error
+	Load() (data []byte, ok bool, err error)
+}
+
+// DirStore keeps the snapshot as one file inside a directory, written via
+// a temp file + rename so a crash mid-save never corrupts the previous
+// snapshot (rename within a directory is atomic on POSIX).
+type DirStore struct {
+	dir  string
+	name string
+}
+
+// NewDirStore returns a store writing `name` (e.g. "rank-0.ckpt") inside
+// dir, creating the directory if needed.
+func NewDirStore(dir, name string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if name == "" {
+		name = "checkpoint.bin"
+	}
+	return &DirStore{dir: dir, name: name}, nil
+}
+
+// Path returns the snapshot's final path.
+func (s *DirStore) Path() string { return filepath.Join(s.dir, s.name) }
+
+// Save atomically replaces the stored snapshot.
+func (s *DirStore) Save(data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, s.name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path()); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads the stored snapshot, reporting ok=false when none exists.
+func (s *DirStore) Load() ([]byte, bool, error) {
+	data, err := os.ReadFile(s.Path())
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("checkpoint: %w", err)
+	}
+	return data, true, nil
+}
+
+// MemStore is an in-memory Store for tests and the in-process engine.
+type MemStore struct {
+	mu   sync.Mutex
+	data []byte
+	has  bool
+	// Saves counts completed Save calls (test assertions).
+	saves int
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Save replaces the stored snapshot.
+func (s *MemStore) Save(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = append([]byte(nil), data...)
+	s.has = true
+	s.saves++
+	return nil
+}
+
+// Load returns the stored snapshot, ok=false when none was saved.
+func (s *MemStore) Load() ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.has {
+		return nil, false, nil
+	}
+	return append([]byte(nil), s.data...), true, nil
+}
+
+// Saves reports how many snapshots were saved.
+func (s *MemStore) Saves() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saves
+}

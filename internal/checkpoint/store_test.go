@@ -1,0 +1,78 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir, "rank-0.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Load(); err != nil || ok {
+		t.Fatalf("fresh store: ok=%v err=%v", ok, err)
+	}
+	if err := s.Save([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := s.Load()
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(data, []byte("second")) {
+		t.Fatalf("got %q", data)
+	}
+	// No temp litter after successful saves.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "rank-0.ckpt" {
+		t.Fatalf("unexpected directory contents: %v", ents)
+	}
+}
+
+func TestDirStoreCreatesNestedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	s, err := NewDirStore(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Path(); got != filepath.Join(dir, "checkpoint.bin") {
+		t.Fatalf("default name path: %s", got)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore()
+	if _, ok, _ := s.Load(); ok {
+		t.Fatal("empty store reported data")
+	}
+	blob := []byte{1, 2, 3}
+	if err := s.Save(blob); err != nil {
+		t.Fatal(err)
+	}
+	blob[0] = 9 // caller mutation must not leak in
+	data, ok, _ := s.Load()
+	if !ok || !bytes.Equal(data, []byte{1, 2, 3}) {
+		t.Fatalf("got %v ok=%v", data, ok)
+	}
+	data[1] = 9 // nor out
+	again, _, _ := s.Load()
+	if !bytes.Equal(again, []byte{1, 2, 3}) {
+		t.Fatalf("aliasing: %v", again)
+	}
+	if s.Saves() != 1 {
+		t.Fatalf("saves = %d", s.Saves())
+	}
+}

@@ -1,0 +1,153 @@
+package collective
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/wire"
+)
+
+// Bounded retry with exponential backoff: the degraded-mode runtimes never
+// block forever on a peer, and never declare one dead on first loss. A
+// message that a FaultFabric dropped or delayed is retried under a growing
+// deadline; only transport-level death evidence (PeerDownError) or an
+// exhausted budget ends the wait. Crucially the two outcomes are distinct:
+//
+//   - *transport.PeerDownError — the peer is KNOWN dead; the caller prunes
+//     it from membership.
+//   - ErrUnavailable — the budget ran out but the peer is (as far as the
+//     transport knows) alive; the caller treats the exchange as stale and
+//     moves on WITHOUT declaring anyone dead. Slowness is not death.
+//
+// This is tentpole (3) of the elastic design: a peer is only removed from
+// the world after the transport itself says so, never because a retry
+// budget expired.
+
+// ErrUnavailable reports that a peer did not respond within the retry
+// budget but is not known to be dead. Callers skip the exchange (bounded
+// staleness) instead of pruning the peer.
+var ErrUnavailable = errors.New("collective: peer unresponsive within retry budget")
+
+// ackTagOffset maps a data tag to its acknowledgement tag. User tags must
+// stay below this offset; the wire package's reserved control tags are
+// negative and cannot collide.
+const ackTagOffset = int32(1) << 28
+
+// AckTag returns the acknowledgement tag paired with a data tag.
+func AckTag(tag int32) int32 { return tag + ackTagOffset }
+
+// RetryPolicy bounds a retried exchange: up to Attempts tries, the i-th
+// waiting BaseDelay·2^i capped at MaxDelay. The zero value means the
+// defaults (4 attempts, 50ms base, 2s cap).
+type RetryPolicy struct {
+	Attempts  int
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p RetryPolicy) fill() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// delay returns the attempt-th wait (0-based) under exponential backoff.
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// RecvRetry waits for a message from `from` (or transport.AnySource) on
+// tag, retrying with exponential backoff. It returns the message; a
+// *transport.PeerDownError as soon as the source is known dead; or
+// ErrUnavailable once the budget is exhausted with the peer still alive.
+func RecvRetry(ep transport.Endpoint, from int, tag int32, pol RetryPolicy) (wire.Message, error) {
+	pol = pol.fill()
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		m, err := ep.RecvTimeout(from, tag, pol.delay(attempt))
+		if err == nil {
+			return m, nil
+		}
+		if !errors.Is(err, transport.ErrTimeout) {
+			return wire.Message{}, err
+		}
+	}
+	return wire.Message{}, fmt.Errorf("collective: recv from %d tag %d: %w", from, tag, ErrUnavailable)
+}
+
+// SendAck sends m to `to` and waits for the receiver's acknowledgement on
+// AckTag(m.Tag), resending the payload on each timeout — the recovery path
+// for FaultFabric drops. The receiver must use RecvAck on the same tag.
+//
+// When the ack budget is exhausted the sender probes the peer's liveness:
+// a dead peer returns its PeerDownError; a live peer means the data (or
+// its ack) was merely lost or slow, and the send is reported successful —
+// at-least-once delivery, with duplicates left harmlessly unmatched under
+// the iteration-unique tags all callers use.
+func SendAck(ep transport.Endpoint, to int, m wire.Message, pol RetryPolicy) error {
+	pol = pol.fill()
+	ackTag := AckTag(m.Tag)
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if err := ep.Send(to, m); err != nil {
+			return err
+		}
+		_, err := ep.RecvTimeout(to, ackTag, pol.delay(attempt))
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, transport.ErrTimeout) {
+			return err
+		}
+	}
+	if err := ProbePeer(ep, to); err != nil {
+		return err
+	}
+	return nil // peer alive: assume delivered (ack lost), proceed
+}
+
+// RecvAck receives a message from `from` on tag with RecvRetry semantics
+// and acknowledges it on AckTag(tag) so a SendAck sender stops resending.
+// A failed ack send to an already-dead sender is ignored — the data
+// arrived, which is all the caller needs.
+func RecvAck(ep transport.Endpoint, from int, tag int32, pol RetryPolicy) (wire.Message, error) {
+	m, err := RecvRetry(ep, from, tag, pol)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	_ = ep.Send(int(m.From), wire.Control(AckTag(tag), 0))
+	return m, nil
+}
+
+// probeTag is a tag no protocol sends on: a RecvTimeout against it can
+// only end in ErrTimeout (peer alive) or a PeerDownError (peer dead),
+// which is exactly the liveness oracle SendAck needs.
+const probeTag = ackTagOffset - 1
+
+// ProbePeer checks whether a peer is known dead without exchanging any
+// message: it returns the peer's PeerDownError if the transport has one,
+// nil while the peer is (as far as anyone knows) alive.
+func ProbePeer(ep transport.Endpoint, peer int) error {
+	_, err := ep.RecvTimeout(peer, probeTag, time.Millisecond)
+	if err == nil || errors.Is(err, transport.ErrTimeout) {
+		return nil
+	}
+	return err
+}

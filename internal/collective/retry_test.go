@@ -1,0 +1,126 @@
+package collective
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/wire"
+)
+
+func TestRecvRetryOutwaitsDelay(t *testing.T) {
+	fab := transport.NewChanFabric(2)
+	defer fab.Close()
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		fab.Endpoint(1).Send(0, wire.Control(9, 7))
+	}()
+	pol := RetryPolicy{Attempts: 6, BaseDelay: 10 * time.Millisecond}
+	m, err := RecvRetry(fab.Endpoint(0), 1, 9, pol)
+	if err != nil {
+		t.Fatalf("RecvRetry should outlast the delay: %v", err)
+	}
+	if m.Ints[0] != 7 {
+		t.Fatalf("wrong payload: %+v", m)
+	}
+}
+
+func TestRecvRetryBudgetExhaustion(t *testing.T) {
+	fab := transport.NewChanFabric(2)
+	defer fab.Close()
+	pol := RetryPolicy{Attempts: 3, BaseDelay: 5 * time.Millisecond}
+	_, err := RecvRetry(fab.Endpoint(0), 1, 9, pol)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("want ErrUnavailable, got %v", err)
+	}
+}
+
+func TestRecvRetryFastFailsOnDeath(t *testing.T) {
+	fab := transport.NewFaultFabric(transport.NewChanFabric(2), transport.FaultPlan{Seed: 1})
+	defer fab.Close()
+	fab.Kill(1)
+	start := time.Now()
+	pol := RetryPolicy{Attempts: 10, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	_, err := RecvRetry(fab.Endpoint(0), 1, 9, pol)
+	var pd *transport.PeerDownError
+	if !errors.As(err, &pd) || pd.Peer != 1 {
+		t.Fatalf("want PeerDownError{1}, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("death must short-circuit the backoff, not exhaust it")
+	}
+}
+
+// TestSendAckRecoversFromPartition drops the first transmissions in a
+// transient partition; SendAck's resend loop delivers once the partition
+// heals, and the receiver's ack stops the resends.
+func TestSendAckRecoversFromPartition(t *testing.T) {
+	fab := transport.NewFaultFabric(transport.NewChanFabric(2), transport.FaultPlan{Seed: 1})
+	defer fab.Close()
+	fab.Partition(0, 1)
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		fab.Heal(0, 1)
+	}()
+	pol := RetryPolicy{Attempts: 8, BaseDelay: 20 * time.Millisecond}
+	done := make(chan error, 1)
+	go func() { done <- SendAck(fab.Endpoint(0), 1, wire.Control(33, 5), pol) }()
+	m, err := RecvAck(fab.Endpoint(1), 0, 33, pol)
+	if err != nil {
+		t.Fatalf("RecvAck: %v", err)
+	}
+	if m.Ints[0] != 5 {
+		t.Fatalf("wrong payload: %+v", m)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("SendAck: %v", err)
+	}
+	if fab.InjectedDrops() == 0 {
+		t.Fatal("test never exercised the drop path")
+	}
+}
+
+func TestSendAckReportsDeadPeer(t *testing.T) {
+	fab := transport.NewFaultFabric(transport.NewChanFabric(2), transport.FaultPlan{Seed: 1})
+	defer fab.Close()
+	fab.Kill(1)
+	pol := RetryPolicy{Attempts: 3, BaseDelay: 5 * time.Millisecond}
+	err := SendAck(fab.Endpoint(0), 1, wire.Control(33, 5), pol)
+	var pd *transport.PeerDownError
+	if !errors.As(err, &pd) || pd.Peer != 1 {
+		t.Fatalf("want PeerDownError{1}, got %v", err)
+	}
+}
+
+// TestSendAckToleratesLostAck pins the give-up rule: when the budget runs
+// out against a peer that is alive but never acks (it consumed the data
+// with a plain Recv), the probe finds it alive and the send is reported
+// successful rather than the peer executed.
+func TestSendAckToleratesLostAck(t *testing.T) {
+	fab := transport.NewChanFabric(2)
+	defer fab.Close()
+	got := make(chan wire.Message, 1)
+	go func() {
+		m, _ := fab.Endpoint(1).Recv(0, 33)
+		got <- m
+	}()
+	pol := RetryPolicy{Attempts: 2, BaseDelay: 10 * time.Millisecond}
+	if err := SendAck(fab.Endpoint(0), 1, wire.Control(33, 5), pol); err != nil {
+		t.Fatalf("live-but-silent peer must not fail the send: %v", err)
+	}
+	m := <-got
+	if m.Ints[0] != 5 {
+		t.Fatalf("wrong payload: %+v", m)
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Attempts: 6}
+	want := []time.Duration{10, 20, 40, 50, 50}
+	for i, w := range want {
+		if d := p.delay(i); d != w*time.Millisecond {
+			t.Fatalf("delay(%d) = %v, want %v", i, d, w*time.Millisecond)
+		}
+	}
+}

@@ -61,86 +61,72 @@ func firstGroupError(what string, ranks []int, errs []error) error {
 // member — and returns the aggregated vector plus the merged trace. The
 // engine's virtual clock is driven by real message sizes, not an analytic
 // formula; this is what keeps the Figure 6/7 communication times honest
-// about sparsity. If any member fails (fault injection, closed fabric) the
-// whole group aborts: the fabric is closed, every member unblocks, and the
-// most informative error is returned.
-func groupAllreduce(fab transport.Fabric, ranks []int, kind commKind, tagBase int32, inputs []*sparse.Vector) (*sparse.Vector, collective.Trace, error) {
+// about sparsity. Each invocation draws a fresh tag window, so a retried
+// attempt can never match an aborted attempt's stale messages. Failure
+// handling follows runGroup: abort-and-return in a non-elastic run,
+// classify-and-retry (errPeersLost) in an elastic one.
+func groupAllreduce(env *strategyEnv, ranks []int, kind commKind, inputs []*sparse.Vector) (*sparse.Vector, collective.Trace, error) {
 	if len(ranks) != len(inputs) {
 		panic("core: groupAllreduce ranks/inputs mismatch")
 	}
+	tagBase := env.nextTagBase()
 	g := collective.NewGroup(ranks...)
 	results := make([]*sparse.Vector, len(ranks))
 	traces := make([]collective.Trace, len(ranks))
-	errs := make([]error, len(ranks))
-	abort := &abortOnError{fab: fab}
-	var wg sync.WaitGroup
-	for i := range ranks {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			ep := fab.Endpoint(ranks[i])
-			switch kind {
-			case commPSRSparse:
-				results[i], traces[i], errs[i] = collective.PSRAllreduceSparse(ep, g, tagBase, inputs[i])
-			case commRingSparse:
-				results[i], traces[i], errs[i] = collective.RingAllreduceSparse(ep, g, tagBase, inputs[i])
-			default:
-				errs[i] = fmt.Errorf("core: unknown comm kind %d", kind)
-			}
-			abort.observe(errs[i])
-		}(i)
-	}
-	wg.Wait()
-	if err := firstGroupError("group allreduce", ranks, errs); err != nil {
+	err := runGroup(env, "group allreduce", ranks, func(i int, ep transport.Endpoint) error {
+		var err error
+		switch kind {
+		case commPSRSparse:
+			results[i], traces[i], err = collective.PSRAllreduceSparse(ep, g, tagBase, inputs[i])
+		case commRingSparse:
+			results[i], traces[i], err = collective.RingAllreduceSparse(ep, g, tagBase, inputs[i])
+		default:
+			err = fmt.Errorf("core: unknown comm kind %d", kind)
+		}
+		return err
+	})
+	if err != nil {
 		return nil, collective.Trace{}, err
 	}
-	merged := collective.Trace{}
-	for i := range ranks {
-		if traces[i].Steps > merged.Steps {
-			merged.Steps = traces[i].Steps
-		}
-		merged.Events = append(merged.Events, traces[i].Events...)
-	}
 	// All members hold the identical aggregate; return member 0's.
-	return results[0], merged, nil
+	return results[0], mergeTraces(traces), nil
 }
 
 // groupAllreduceDense runs the real dense Ring-Allreduce among the given
 // world ranks — ADMMLib's exchange: the full parameter vector circulates
 // regardless of sparsity. Inputs are summed in place into per-member
-// copies; member 0's result and the merged trace are returned. Aborts like
-// groupAllreduce on any member failure.
-func groupAllreduceDense(fab transport.Fabric, ranks []int, tagBase int32, inputs [][]float64) ([]float64, collective.Trace, error) {
+// copies; member 0's result and the merged trace are returned. Failure
+// handling as in groupAllreduce.
+func groupAllreduceDense(env *strategyEnv, ranks []int, inputs [][]float64) ([]float64, collective.Trace, error) {
 	if len(ranks) != len(inputs) {
 		panic("core: groupAllreduceDense ranks/inputs mismatch")
 	}
+	tagBase := env.nextTagBase()
 	g := collective.NewGroup(ranks...)
 	bufs := make([][]float64, len(ranks))
 	traces := make([]collective.Trace, len(ranks))
-	errs := make([]error, len(ranks))
-	abort := &abortOnError{fab: fab}
-	var wg sync.WaitGroup
-	for i := range ranks {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			bufs[i] = append([]float64(nil), inputs[i]...)
-			traces[i], errs[i] = collective.RingAllreduceDense(fab.Endpoint(ranks[i]), g, tagBase, bufs[i])
-			abort.observe(errs[i])
-		}(i)
-	}
-	wg.Wait()
-	if err := firstGroupError("dense group allreduce", ranks, errs); err != nil {
+	err := runGroup(env, "dense group allreduce", ranks, func(i int, ep transport.Endpoint) error {
+		bufs[i] = append([]float64(nil), inputs[i]...)
+		var err error
+		traces[i], err = collective.RingAllreduceDense(ep, g, tagBase, bufs[i])
+		return err
+	})
+	if err != nil {
 		return nil, collective.Trace{}, err
 	}
+	return bufs[0], mergeTraces(traces), nil
+}
+
+// mergeTraces folds per-member traces into one (max steps, all events).
+func mergeTraces(traces []collective.Trace) collective.Trace {
 	merged := collective.Trace{}
-	for i := range ranks {
+	for i := range traces {
 		if traces[i].Steps > merged.Steps {
 			merged.Steps = traces[i].Steps
 		}
 		merged.Events = append(merged.Events, traces[i].Events...)
 	}
-	return bufs[0], merged, nil
+	return merged
 }
 
 // traceBytes sums payload bytes across a merged trace.

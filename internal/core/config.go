@@ -135,6 +135,16 @@ type Config struct {
 	// tooling only — production failures arrive through the TCP fabric's
 	// own detection.
 	Faults *transport.FaultPlan
+	// Elastic switches the failure model from fail-stop to fail-survive:
+	// a dead rank is pruned from the membership view instead of aborting
+	// the run, the z-update averages over the survivors (keeping degraded
+	// consensus exact under BSP), and training continues to MaxIter on
+	// the shrunken world. IterStat.LiveWorkers/Epoch and
+	// Result.Degraded report the attrition. Kills scheduled via
+	// Faults.KillAtIteration are deterministic in elastic mode: the rank
+	// leaves the world at the iteration boundary, before any collective
+	// can fail on it.
+	Elastic bool
 }
 
 func (c *Config) fill() {
@@ -221,6 +231,15 @@ type IterStat struct {
 	// Rho is the penalty in effect during this iteration (changes only
 	// under AdaptiveRho).
 	Rho float64
+	// LiveWorkers is the surviving worker count at the end of the
+	// iteration (always Topo.Size() in a non-elastic run).
+	LiveWorkers int
+	// Epoch is the membership epoch — it advances by one per observed
+	// death, so equal epochs mean identical membership views.
+	Epoch int
+	// PeerDowns is the cumulative count of peer-death observations across
+	// all ranks (the per-rank counters live in metrics.Health).
+	PeerDowns int64
 }
 
 // Result is a completed run.
@@ -240,6 +259,12 @@ type Result struct {
 	// Stopped reports whether residual-based early stopping fired before
 	// MaxIter (History is then shorter than Config.MaxIter).
 	Stopped bool
+	// LiveWorkers and Epoch are the final membership view; Degraded
+	// reports whether any worker was lost (elastic runs complete degraded
+	// rather than aborting).
+	LiveWorkers int
+	Epoch       int
+	Degraded    bool
 }
 
 // FinalObjective returns the last evaluated objective value.

@@ -39,9 +39,20 @@ func (st *flatStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	ws := env.ws
 	var timing iterTiming
 
+	// Reconcile: dead workers leave the barrier, the collective, and the
+	// z-update's averaging count.
+	if env.elastic {
+		for i := range st.clocks {
+			if st.clocks[i].pending != nil && !env.members.Alive(ws[i].rank) {
+				st.clocks[i] = sspClock{}
+				st.pendingW[i] = nil
+			}
+		}
+	}
+
 	idle := make([]int, 0, len(ws))
 	for i := range st.clocks {
-		if st.clocks[i].pending == nil {
+		if st.clocks[i].pending == nil && env.members.Alive(ws[i].rank) {
 			idle = append(idle, i)
 		}
 	}
@@ -56,23 +67,32 @@ func (st *flatStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 		env.codec.EncodeSparse(st.pendingW[i])
 		st.clocks[i].pending = &pendingCompute{
 			finish: w.clock + cals[j],
+			ranks:  []int{w.rank},
 			starts: []float64{w.clock},
 			cals:   []float64{cals[j]},
 		}
 	}
 
-	cutoff := sspCutoff(st.clocks, env.sync.Quorum(len(ws), 1), env.sync.Delay())
+	contributors := env.members.LiveCount()
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(contributors, 1), env.sync.Delay())
 	fresh := admitted(st.clocks, cutoff)
 	for _, i := range fresh {
 		st.wCur[i] = st.pendingW[i]
 	}
 
-	ranks := make([]int, len(ws))
+	// Every LIVE worker is a peer in the collective, serving its cached
+	// contribution when stale.
+	ranks := make([]int, 0, len(ws))
+	inputs := make([]*sparse.Vector, 0, len(ws))
 	for i, w := range ws {
-		ranks[i] = w.rank
+		if !env.members.Alive(w.rank) {
+			continue
+		}
+		ranks = append(ranks, w.rank)
+		inputs = append(inputs, st.wCur[i])
 	}
 	start := maxf(cutoff, st.lastEnd)
-	agg, tr, err := groupAllreduce(env.fab, ranks, commPSRSparse, int32(64+iter%2*8), st.wCur)
+	agg, tr, err := groupAllreduce(env, ranks, commPSRSparse, inputs)
 	if err != nil {
 		return timing, err
 	}
@@ -86,7 +106,7 @@ func (st *flatStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	calSum, commSum := 0.0, 0.0
 	for _, i := range fresh {
 		p := st.clocks[i].pending
-		ws[i].applyW(cfg, bigW, len(ws))
+		ws[i].applyW(cfg, bigW, contributors)
 		calSum += p.cals[0]
 		commSum += end - p.starts[0] - p.cals[0]
 		ws[i].clock = end

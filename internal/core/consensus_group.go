@@ -29,22 +29,46 @@ func newGroupStrategy(env *strategyEnv, cfg Config) *groupStrategy {
 	}
 }
 
+// reconcile absorbs membership changes exactly as treeStrategy.reconcile
+// does (see that method for the staleness contract).
+func (st *groupStrategy) reconcile() {
+	env := st.env
+	for n := range st.clocks {
+		p := st.clocks[n].pending
+		if p == nil || !env.prunePending(p) {
+			continue
+		}
+		if len(p.ranks) == 0 {
+			st.clocks[n] = sspClock{}
+			st.pend[n] = nil
+			continue
+		}
+		st.pend[n] = sumSparse(env.dim, p.vs)
+	}
+}
+
 func (st *groupStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	env := st.env
 	topo := cfg.Topo
 	wpn := topo.WorkersPerNode
 	var timing iterTiming
 
-	for n := range st.clocks {
+	if env.elastic {
+		st.reconcile()
+	}
+	liveNodes, _ := env.liveNodes(topo)
+
+	for _, n := range liveNodes {
 		if st.clocks[n].pending != nil {
 			continue
 		}
-		c := launchNodeSparse(env, cfg, n, iter, &timing)
+		c := launchNodeSparse(env, cfg, n, iter)
 		st.pend[n] = c.sum
 		st.clocks[n].pending = c.pending
 	}
+	chargeLaunchBytes(st.clocks, iter, &timing)
 
-	cutoff := sspCutoff(st.clocks, env.sync.Quorum(topo.Nodes, wpn), env.sync.Delay())
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(len(liveNodes), wpn), env.sync.Delay())
 	freshNodes := admitted(st.clocks, cutoff)
 
 	// GG batching in virtual-arrival order over this round's fresh nodes.
@@ -58,11 +82,11 @@ func (st *groupStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	ggRTT := 2 * (cfg.Cost.InterAlpha + float64(ggRequestBytes)*cfg.Cost.InterBeta)
 	order := make([]*nodeAgg, 0, len(freshNodes))
 	for _, n := range freshNodes {
-		ranks := topo.WorkersOf(n)
+		p := st.clocks[n].pending
 		order = append(order, &nodeAgg{
-			node: n, leader: ranks[0], sum: st.pend[n],
-			ready:   st.clocks[n].pending.finish,
-			workers: ranks,
+			node: n, leader: p.ranks[0], sum: st.pend[n],
+			ready:   p.finish,
+			workers: p.ranks,
 		})
 	}
 	sort.SliceStable(order, func(a, b int) bool {
@@ -72,9 +96,18 @@ func (st *groupStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 		return order[a].node < order[b].node
 	})
 
-	calSum, commSum := 0.0, 0.0
-	applied := 0
+	// Phase 1 — fabric traffic only: every group's allreduce completes
+	// before ANY worker state mutates, so a failed attempt (peers lost
+	// mid-collective) leaves nothing half-applied and the elastic engine
+	// can safely retry the whole round.
+	type groupResult struct {
+		group []*nodeAgg
+		agg   *sparse.Vector
+		start float64
+		commT float64
+	}
 	threshold := cfg.GroupThreshold
+	results := make([]groupResult, 0, (len(order)+threshold-1)/threshold)
 	for lo := 0; lo < len(order); lo += threshold {
 		hi := lo + threshold
 		if hi > len(order) {
@@ -98,23 +131,38 @@ func (st *groupStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 		if len(group) == 1 {
 			agg, tr = group[0].sum, collective.Trace{}
 		} else {
-			agg, tr, err = groupAllreduce(env.fab, leaders, commPSRSparse, int32(64+iter%2*8), inputs)
+			agg, tr, err = groupAllreduce(env, leaders, commPSRSparse, inputs)
 			if err != nil {
 				return timing, err
 			}
 			tr = env.codec.WireTrace(tr)
 		}
-		commT := cfg.Cost.TraceTime(topo, tr)
 		timing.bytes += traceBytes(tr)
+		results = append(results, groupResult{
+			group: group,
+			agg:   agg,
+			start: start,
+			commT: cfg.Cost.TraceTime(topo, tr),
+		})
+	}
 
-		contributors := len(group) * wpn
-		zSparse := zFromW(agg, cfg.Lambda, cfg.Rho, contributors)
+	// Phase 2 — apply: each group's z averages over its members'
+	// SURVIVING workers, the scaling that keeps a degraded group's
+	// consensus exact.
+	calSum, commSum := 0.0, 0.0
+	applied := 0
+	for _, gr := range results {
+		contributors := 0
+		for _, na := range gr.group {
+			contributors += len(na.workers)
+		}
+		zSparse := zFromW(gr.agg, cfg.Lambda, cfg.Rho, contributors)
 		zDense := zSparse.ToDense()
-		for _, na := range group {
+		for _, na := range gr.group {
 			bc := intraBcastTrace(na.workers, na.leader, zSparse.NNZ())
 			timing.bytes += traceBytes(bc)
-			end := start + commT + cfg.Cost.TraceTime(topo, bc)
-			applyNodeZ(env, cfg, na.node, st.clocks[na.node].pending, zDense, zSparse, end, &commSum, &applied)
+			end := gr.start + gr.commT + cfg.Cost.TraceTime(topo, bc)
+			applyNodeZ(env, cfg, st.clocks[na.node].pending, zDense, zSparse, end, &commSum, &applied)
 		}
 	}
 

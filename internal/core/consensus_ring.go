@@ -44,6 +44,41 @@ func newRingStrategy(env *strategyEnv, cfg Config) *ringStrategy {
 	return st
 }
 
+// reconcile absorbs membership changes: dead members leave every
+// in-flight batch, whose partial sum is rebuilt from the survivors'
+// retained contributions (re-encoded for the dense exchange). Cached
+// stale contributions follow the bounded-staleness contract described on
+// treeStrategy.reconcile.
+func (st *ringStrategy) reconcile() {
+	env := st.env
+	dense := env.codec.DenseExchange()
+	for n := range st.clocks {
+		p := st.clocks[n].pending
+		if p == nil || !env.prunePending(p) {
+			continue
+		}
+		if len(p.ranks) == 0 {
+			st.clocks[n] = sspClock{}
+			if dense {
+				st.pendD[n] = nil
+			} else {
+				st.pendS[n] = nil
+			}
+			continue
+		}
+		if dense {
+			sum := make([]float64, env.dim)
+			for _, v := range p.vs {
+				v.AddIntoDense(sum, 1)
+			}
+			env.codec.EncodeDense(sum)
+			st.pendD[n] = sum
+		} else {
+			st.pendS[n] = sumSparse(env.dim, p.vs)
+		}
+	}
+}
+
 func (st *ringStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	env := st.env
 	topo := cfg.Topo
@@ -51,21 +86,27 @@ func (st *ringStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	dense := env.codec.DenseExchange()
 	var timing iterTiming
 
-	// Launch compute on every idle node.
-	for n := range st.clocks {
+	if env.elastic {
+		st.reconcile()
+	}
+	liveNodes, ranksOf := env.liveNodes(topo)
+
+	// Launch compute on every idle live node.
+	for _, n := range liveNodes {
 		if st.clocks[n].pending != nil {
 			continue
 		}
 		if dense {
-			st.pendD[n] = st.launchNodeDense(cfg, n, iter, &timing)
+			st.pendD[n] = st.launchNodeDense(cfg, n, iter)
 		} else {
-			c := launchNodeSparse(env, cfg, n, iter, &timing)
+			c := launchNodeSparse(env, cfg, n, iter)
 			st.pendS[n] = c.sum
 			st.clocks[n].pending = c.pending
 		}
 	}
+	chargeLaunchBytes(st.clocks, iter, &timing)
 
-	cutoff := sspCutoff(st.clocks, env.sync.Quorum(topo.Nodes, wpn), env.sync.Delay())
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(len(liveNodes), wpn), env.sync.Delay())
 	freshNodes := admitted(st.clocks, cutoff)
 	for _, n := range freshNodes {
 		if dense {
@@ -75,26 +116,33 @@ func (st *ringStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 		}
 	}
 
-	// The ring runs among ALL Leaders every round — stale Leaders serve
-	// their cached contribution.
-	leaders := make([]int, topo.Nodes)
-	for n := 0; n < topo.Nodes; n++ {
-		leaders[n] = topo.WorkersOf(n)[0]
+	// The ring runs among every live node's Leader (the node's first
+	// surviving rank) — stale Leaders serve their cached contribution.
+	leaders := make([]int, 0, len(liveNodes))
+	inputsD := make([][]float64, 0, len(liveNodes))
+	inputsS := make([]*sparse.Vector, 0, len(liveNodes))
+	for _, n := range liveNodes {
+		leaders = append(leaders, ranksOf[n][0])
+		if dense {
+			inputsD = append(inputsD, st.wCurD[n])
+		} else {
+			inputsS = append(inputsS, st.wCurS[n])
+		}
 	}
 	ringStart := maxf(cutoff, st.lastRingEnd)
 	var commT float64
 	var bigW []float64
 	var agg *sparse.Vector
-	if topo.Nodes == 1 {
+	if len(liveNodes) == 1 {
 		if dense {
-			bigW = append([]float64(nil), st.wCurD[0]...)
+			bigW = append([]float64(nil), inputsD[0]...)
 		} else {
-			agg = st.wCurS[0]
+			agg = inputsS[0]
 		}
 	} else if dense {
 		var err error
 		var tr traceAlias
-		bigW, tr, err = groupAllreduceDense(env.fab, leaders, int32(64+iter%2*8), st.wCurD)
+		bigW, tr, err = groupAllreduceDense(env, leaders, inputsD)
 		if err != nil {
 			return timing, err
 		}
@@ -104,7 +152,7 @@ func (st *ringStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	} else {
 		var err error
 		var tr traceAlias
-		agg, tr, err = groupAllreduce(env.fab, leaders, commRingSparse, int32(64+iter%2*8), st.wCurS)
+		agg, tr, err = groupAllreduce(env, leaders, commRingSparse, inputsS)
 		if err != nil {
 			return timing, err
 		}
@@ -115,17 +163,19 @@ func (st *ringStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	ringEnd := ringStart + commT
 	st.lastRingEnd = ringEnd
 
-	// Leaders hold W after the ring; they apply the z-update and fan the
-	// thresholded z to their fresh workers.
+	// Leaders hold W after the ring; they apply the z-update — averaging
+	// over the surviving workers — and fan the thresholded z to their
+	// fresh workers.
+	contributors := env.members.LiveCount()
 	var zDense []float64
 	var zSparse *sparse.Vector
 	if dense {
 		env.codec.EncodeDense(bigW)
 		zDense = make([]float64, env.dim)
-		solverZUpdate(zDense, bigW, cfg.Lambda, cfg.Rho, topo.Size())
+		solverZUpdate(zDense, bigW, cfg.Lambda, cfg.Rho, contributors)
 		env.codec.EncodeDense(zDense)
 	} else {
-		zSparse = zFromW(agg, cfg.Lambda, cfg.Rho, topo.Size())
+		zSparse = zFromW(agg, cfg.Lambda, cfg.Rho, contributors)
 		zDense = zSparse.ToDense()
 	}
 
@@ -133,19 +183,18 @@ func (st *ringStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	applied := 0
 	for _, n := range freshNodes {
 		p := st.clocks[n].pending
-		ranks := topo.WorkersOf(n)
 		var bc traceAlias
 		if dense {
-			bc = denseFanTrace(ranks, ranks[0], env.codec.ZMsgBytes(countNonzero(zDense)), false)
+			bc = denseFanTrace(p.ranks, p.ranks[0], env.codec.ZMsgBytes(countNonzero(zDense)), false)
 		} else {
-			bc = intraBcastTrace(ranks, ranks[0], zSparse.NNZ())
+			bc = intraBcastTrace(p.ranks, p.ranks[0], zSparse.NNZ())
 		}
 		timing.bytes += traceBytes(bc)
 		end := ringEnd + cfg.Cost.TraceTime(topo, bc)
 		for _, c := range p.cals {
 			calSum += c
 		}
-		applyNodeZ(env, cfg, n, p, zDense, zSparse, end, &commSum, &applied)
+		applyNodeZ(env, cfg, p, zDense, zSparse, end, &commSum, &applied)
 		st.clocks[n].pending = nil
 		st.clocks[n].staleness = 0
 		if dense {
@@ -165,30 +214,37 @@ func (st *ringStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 // launchNodeDense is the dense-codec counterpart of launchNodeSparse: the
 // node's w contributions are summed densely, rounded by the codec, and
 // fanned to the Leader as fixed-size dense messages over the bus.
-func (st *ringStrategy) launchNodeDense(cfg Config, n, iter int, timing *iterTiming) []float64 {
+func (st *ringStrategy) launchNodeDense(cfg Config, n, iter int) []float64 {
 	env := st.env
 	topo := cfg.Topo
-	ranks := topo.WorkersOf(n)
+	ranks := env.liveWorkersOf(topo, n)
 	sub := make([]*worker, len(ranks))
 	for i, r := range ranks {
 		sub[i] = env.ws[r]
 	}
 	cals := parallelXUpdates(cfg, sub, iter)
 	starts := make([]float64, len(ranks))
+	vs := make([]*sparse.Vector, len(ranks))
 	sum := make([]float64, env.dim)
 	ready := 0.0
 	for i, w := range sub {
 		starts[i] = w.clock
 		ready = maxf(ready, w.clock+cals[i])
-		w.wSparse(cfg.Rho).AddIntoDense(sum, 1)
+		// Retain the raw sparse contribution: reconcile re-sums and
+		// re-encodes from these when a member dies in flight.
+		vs[i] = w.wSparse(cfg.Rho)
+		vs[i].AddIntoDense(sum, 1)
 	}
 	env.codec.EncodeDense(sum)
 	tr := denseFanTrace(ranks, ranks[0], env.codec.DenseMsgBytes(env.dim), true)
-	timing.bytes += traceBytes(tr)
 	st.clocks[n].pending = &pendingCompute{
-		finish: ready + cfg.Cost.TraceTime(topo, tr),
-		starts: starts,
-		cals:   cals,
+		finish:      ready + cfg.Cost.TraceTime(topo, tr),
+		ranks:       ranks,
+		starts:      starts,
+		cals:        cals,
+		vs:          vs,
+		launchIter:  iter,
+		launchBytes: traceBytes(tr),
 	}
 	return sum
 }

@@ -40,10 +40,22 @@ func (st *starStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	topo := cfg.Topo
 	var timing iterTiming
 
-	// Launch compute on every idle worker.
+	// Reconcile: dead workers leave the barrier and the sum. The star has
+	// no fabric traffic, so deaths only ever arrive via the engine's
+	// scheduled kills; the master role migrates to the first live rank.
+	if env.elastic {
+		for i := range st.clocks {
+			if st.clocks[i].pending != nil && !env.members.Alive(ws[i].rank) {
+				st.clocks[i] = sspClock{}
+				st.pendingW[i] = nil
+			}
+		}
+	}
+
+	// Launch compute on every idle live worker.
 	idle := make([]int, 0, len(ws))
 	for i := range st.clocks {
-		if st.clocks[i].pending == nil {
+		if st.clocks[i].pending == nil && env.members.Alive(ws[i].rank) {
 			idle = append(idle, i)
 		}
 	}
@@ -58,21 +70,23 @@ func (st *starStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 		env.codec.EncodeSparse(st.pendingW[i])
 		st.clocks[i].pending = &pendingCompute{
 			finish: w.clock + cals[j],
+			ranks:  []int{w.rank},
 			starts: []float64{w.clock},
 			cals:   []float64{cals[j]},
 		}
 	}
 
-	cutoff := sspCutoff(st.clocks, env.sync.Quorum(len(ws), 1), env.sync.Delay())
+	contributors := env.members.LiveCount()
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(contributors, 1), env.sync.Delay())
 	fresh := admitted(st.clocks, cutoff)
 	for _, i := range fresh {
 		st.wCur[i] = st.pendingW[i]
 	}
 
-	// The master aggregates EVERY worker's cached contribution (fresh or
-	// stale), then returns z to the fresh workers. Only fresh workers pay
-	// wire time this round.
-	master := 0
+	// The master — the first live rank — aggregates every live worker's
+	// cached contribution (fresh or stale), then returns z to the fresh
+	// workers. Only fresh workers pay wire time this round.
+	master := env.members.FirstLive(allRanks(len(ws)))
 	gatherStart := maxf(cutoff, st.masterFreeAt)
 	tr := env.codec.WireTrace(starGatherTrace(master, fresh, env.dim))
 	commT := cfg.Cost.TraceTime(topo, tr)
@@ -81,11 +95,14 @@ func (st *starStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	st.masterFreeAt = end
 
 	acc := sparse.NewAccumulator(env.dim)
-	for _, wc := range st.wCur {
+	for i, wc := range st.wCur {
+		if !env.members.Alive(ws[i].rank) {
+			continue
+		}
 		acc.Add(wc)
 	}
 	zDense := make([]float64, env.dim)
-	solverZUpdate(zDense, acc.Sum().ToDense(), cfg.Lambda, cfg.Rho, topo.Size())
+	solverZUpdate(zDense, acc.Sum().ToDense(), cfg.Lambda, cfg.Rho, contributors)
 	env.codec.EncodeDense(zDense)
 
 	calSum, commSum := 0.0, 0.0

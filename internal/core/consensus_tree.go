@@ -75,21 +75,50 @@ func newTreeStrategy(env *strategyEnv, cfg Config) *treeStrategy {
 	return st
 }
 
+// reconcile absorbs membership changes since the last attempt: dead
+// members leave every in-flight batch and the node partial sums are
+// rebuilt from the survivors' retained contributions. A node with no
+// survivors drops out entirely. Cached stale contributions (wCur) are
+// left as-is — under SSP a dead worker's w can linger in a live node's
+// cached partial for at most MaxDelay rounds (bounded staleness); under
+// BSP every round is fresh and degraded consensus is exact.
+func (st *treeStrategy) reconcile() {
+	env := st.env
+	for n := range st.clocks {
+		p := st.clocks[n].pending
+		if p == nil || !env.prunePending(p) {
+			continue
+		}
+		if len(p.ranks) == 0 {
+			st.clocks[n] = sspClock{}
+			st.pend[n] = nil
+			continue
+		}
+		st.pend[n] = sumSparse(env.dim, p.vs)
+	}
+}
+
 func (st *treeStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	env := st.env
 	topo := cfg.Topo
 	var timing iterTiming
 
-	for n := range st.clocks {
+	if env.elastic {
+		st.reconcile()
+	}
+	liveNodes, ranksOf := env.liveNodes(topo)
+
+	for _, n := range liveNodes {
 		if st.clocks[n].pending != nil {
 			continue
 		}
-		c := launchNodeSparse(env, cfg, n, iter, &timing)
+		c := launchNodeSparse(env, cfg, n, iter)
 		st.pend[n] = c.sum
 		st.clocks[n].pending = c.pending
 	}
+	chargeLaunchBytes(st.clocks, iter, &timing)
 
-	cutoff := sspCutoff(st.clocks, env.sync.Quorum(topo.Nodes, topo.WorkersPerNode), env.sync.Delay())
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(len(liveNodes), topo.WorkersPerNode), env.sync.Delay())
 	freshSet := make(map[int]bool, topo.Nodes)
 	for _, n := range admitted(st.clocks, cutoff) {
 		st.wCur[n] = st.pend[n]
@@ -97,17 +126,19 @@ func (st *treeStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	}
 
 	// Leaves: fresh nodes arrive at their finish time; stale nodes' cached
-	// partials are available at the cutoff (the GG retained them).
+	// partials are available at the cutoff (the GG retained them). Fully
+	// dead nodes are gone: their shards leave the consensus, and the
+	// z-update rescales to the surviving worker count below.
 	seq := 0
-	pending := make(entryHeap, 0, topo.Nodes)
-	for n := 0; n < topo.Nodes; n++ {
+	pending := make(entryHeap, 0, len(liveNodes))
+	for _, n := range liveNodes {
 		ready := cutoff
 		if freshSet[n] {
 			ready = st.clocks[n].pending.finish
 		}
 		pending = append(pending, &aggEntry{
 			seq:      seq,
-			rep:      topo.WorkersOf(n)[0],
+			rep:      ranksOf[n][0],
 			value:    st.wCur[n],
 			ready:    ready,
 			leafNode: n,
@@ -135,7 +166,7 @@ func (st *treeStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 		}
 		start += ggRTT
 		timing.bytes += int64(len(group) * ggRequestBytes * 2)
-		agg, tr, err := groupAllreduce(env.fab, leaders, commPSRSparse, int32(64+iter%2*8), inputs)
+		agg, tr, err := groupAllreduce(env, leaders, commPSRSparse, inputs)
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +223,7 @@ func (st *treeStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	// representative re-broadcasts down its subtree, and node Leaders
 	// broadcast to their fresh workers over the bus; stale nodes are still
 	// computing and receive nothing this round.
-	zSparse := zFromW(root.value, cfg.Lambda, cfg.Rho, topo.Size())
+	zSparse := zFromW(root.value, cfg.Lambda, cfg.Rho, env.members.LiveCount())
 	zDense := zSparse.ToDense()
 	wBytes := env.codec.ZMsgBytes(zSparse.NNZ())
 	calSum, commSum := 0.0, 0.0
@@ -204,11 +235,11 @@ func (st *treeStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 			if !freshSet[n] {
 				return
 			}
-			ranks := topo.WorkersOf(n)
-			bc := intraBcastTrace(ranks, ranks[0], zSparse.NNZ())
+			p := st.clocks[n].pending
+			bc := intraBcastTrace(p.ranks, p.ranks[0], zSparse.NNZ())
 			timing.bytes += traceBytes(bc)
 			end := t + cfg.Cost.TraceTime(topo, bc)
-			applyNodeZ(env, cfg, n, st.clocks[n].pending, zDense, zSparse, end, &commSum, &applied)
+			applyNodeZ(env, cfg, p, zDense, zSparse, end, &commSum, &applied)
 			return
 		}
 		// Child 0's rep is e.rep and already holds W; the others receive

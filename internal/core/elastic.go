@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"psrahgadmm/internal/simnet"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/wire"
+)
+
+// Elastic membership for the in-process engine: the fail-survive half of
+// the failure model. When Config.Elastic is set, a dead rank does not
+// abort the run — the strategies prune it from every collective and
+// pending batch, the z-update averages over the survivors (the
+// `contributors` scaling that keeps degraded consensus mathematically
+// exact), and the engine retries the round over the shrunken world. The
+// membership.Tracker is the single source of truth all of it consults.
+
+// errPeersLost marks a round failure caused by group members dying
+// mid-collective. It is the ONLY error the elastic engine retries: after
+// the tracker absorbs the deaths, the next attempt runs over survivors.
+var errPeersLost = errors.New("core: live peers lost mid-round")
+
+// errRoundAborted is the latch's local unblock signal: another member of
+// the same collective failed, so this member's attempt is void. Never
+// escapes runGroup.
+var errRoundAborted = errors.New("core: round attempt aborted")
+
+// errScheduledKill is the cause recorded for deaths injected by
+// FaultPlan.KillAtIteration.
+var errScheduledKill = errors.New("scheduled kill (fault plan)")
+
+// latchPoll is how often a latched Recv re-checks the abort flag.
+const latchPoll = 2 * time.Millisecond
+
+// latchEndpoint wraps a group member's endpoint with a shared abort
+// latch. The elastic engine must NOT close the fabric on failure (the
+// survivors keep using it), so blocked members are instead unblocked by
+// polling: once any member errors, every other member's next poll
+// returns errRoundAborted and the attempt unwinds cleanly.
+type latchEndpoint struct {
+	transport.Endpoint
+	stop *atomic.Bool
+}
+
+func (l latchEndpoint) Send(to int, m wire.Message) error {
+	if l.stop.Load() {
+		return errRoundAborted
+	}
+	return l.Endpoint.Send(to, m)
+}
+
+func (l latchEndpoint) Recv(from int, tag int32) (wire.Message, error) {
+	for {
+		if l.stop.Load() {
+			return wire.Message{}, errRoundAborted
+		}
+		m, err := l.Endpoint.RecvTimeout(from, tag, latchPoll)
+		if err == nil || !errors.Is(err, transport.ErrTimeout) {
+			return m, err
+		}
+	}
+}
+
+func (l latchEndpoint) RecvTimeout(from int, tag int32, d time.Duration) (wire.Message, error) {
+	if d <= 0 {
+		return l.Recv(from, tag)
+	}
+	deadline := time.Now().Add(d)
+	for {
+		if l.stop.Load() {
+			return wire.Message{}, errRoundAborted
+		}
+		step := latchPoll
+		if rem := time.Until(deadline); rem <= 0 {
+			return wire.Message{}, fmt.Errorf("core: latched recv: %w", transport.ErrTimeout)
+		} else if rem < step {
+			step = rem
+		}
+		m, err := l.Endpoint.RecvTimeout(from, tag, step)
+		if err == nil || !errors.Is(err, transport.ErrTimeout) {
+			return m, err
+		}
+	}
+}
+
+// runGroup executes one member function per rank, fail-fast style in a
+// non-elastic run (first error closes the fabric; everyone unblocks with
+// ErrClosed) and latch style in an elastic one (first error flips the
+// latch; everyone unblocks with errRoundAborted, the fabric survives).
+//
+// In the elastic case the member errors are classified into membership
+// facts: a PeerDownError marks its peer dead, a member's own ErrClosed
+// marks that member dead (its endpoint was killed under it; the fabric
+// itself is never closed mid-run). Either way the round failed because
+// peers were lost, so the returned error wraps errPeersLost and the
+// engine retries over the survivors. Any other error is non-retryable
+// and returned as-is.
+func runGroup(env *strategyEnv, what string, ranks []int, member func(i int, ep transport.Endpoint) error) error {
+	errs := make([]error, len(ranks))
+	var wg sync.WaitGroup
+	if !env.elastic {
+		abort := &abortOnError{fab: env.fab}
+		for i := range ranks {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = member(i, env.fab.Endpoint(ranks[i]))
+				abort.observe(errs[i])
+			}(i)
+		}
+		wg.Wait()
+		return firstGroupError(what, ranks, errs)
+	}
+
+	var stop atomic.Bool
+	for i := range ranks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = member(i, latchEndpoint{env.fab.Endpoint(ranks[i]), &stop})
+			if errs[i] != nil {
+				stop.Store(true)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var cause error
+	lost := false
+	for i, err := range errs {
+		if err == nil || errors.Is(err, errRoundAborted) {
+			continue
+		}
+		var pd *transport.PeerDownError
+		switch {
+		case errors.As(err, &pd):
+			env.members.MarkDown(pd.Peer, pd)
+			lost = true
+		case errors.Is(err, transport.ErrClosed):
+			env.members.MarkDown(ranks[i], err)
+			lost = true
+		default:
+			return fmt.Errorf("core: %s rank %d: %w", what, ranks[i], err)
+		}
+		if cause == nil {
+			cause = err
+		}
+	}
+	if lost {
+		return fmt.Errorf("core: %s: %v: %w", what, cause, errPeersLost)
+	}
+	return nil
+}
+
+// liveWorkersOf returns node n's live world ranks in topology order.
+func (env *strategyEnv) liveWorkersOf(topo simnet.Topology, n int) []int {
+	return env.members.Live(topo.WorkersOf(n))
+}
+
+// liveNodes returns the nodes with at least one live worker, plus each
+// node's live rank list indexed by node.
+func (env *strategyEnv) liveNodes(topo simnet.Topology) (nodes []int, ranksOf [][]int) {
+	ranksOf = make([][]int, topo.Nodes)
+	nodes = make([]int, 0, topo.Nodes)
+	for n := 0; n < topo.Nodes; n++ {
+		ranksOf[n] = env.liveWorkersOf(topo, n)
+		if len(ranksOf[n]) > 0 {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes, ranksOf
+}
+
+// liveWorkers returns the live workers' state in rank order. With nobody
+// dead it returns the full slice unchanged, so the happy path sums in
+// exactly the pre-elastic order.
+func (env *strategyEnv) liveWorkers() []*worker {
+	if env.members.LiveCount() == len(env.ws) {
+		return env.ws
+	}
+	out := make([]*worker, 0, env.members.LiveCount())
+	for _, w := range env.ws {
+		if env.members.Alive(w.rank) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// allRanks returns the full world rank list [0, n).
+func allRanks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// prunePending drops dead members from an in-flight batch in place,
+// reporting whether anything was removed. A batch can shrink to zero
+// members; the caller then discards it entirely.
+func (env *strategyEnv) prunePending(p *pendingCompute) bool {
+	keep := 0
+	for i, r := range p.ranks {
+		if !env.members.Alive(r) {
+			continue
+		}
+		p.ranks[keep] = p.ranks[i]
+		p.starts[keep] = p.starts[i]
+		p.cals[keep] = p.cals[i]
+		if p.vs != nil {
+			p.vs[keep] = p.vs[i]
+		}
+		keep++
+	}
+	if keep == len(p.ranks) {
+		return false
+	}
+	p.ranks = p.ranks[:keep]
+	p.starts = p.starts[:keep]
+	p.cals = p.cals[:keep]
+	if p.vs != nil {
+		p.vs = p.vs[:keep]
+	}
+	return true
+}

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"psrahgadmm/internal/dataset"
 	"psrahgadmm/internal/exchange"
+	"psrahgadmm/internal/membership"
+	"psrahgadmm/internal/metrics"
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/transport"
@@ -23,6 +27,15 @@ type RunOptions struct {
 	// OnIteration, when non-nil, observes each IterStat as it is
 	// produced (progress reporting in the CLIs).
 	OnIteration func(IterStat)
+	// Checkpoint, when non-nil, enables periodic snapshots and — with
+	// Resume set — restart from the store's latest snapshot. See
+	// CheckpointOptions for the exactness contract.
+	Checkpoint *CheckpointOptions
+	// Health, when non-nil, receives the run's live-worker and epoch
+	// gauges plus per-rank PeerDown counters (external monitoring). Run
+	// creates a private one when nil; the same numbers always surface in
+	// every IterStat.
+	Health *metrics.Health
 }
 
 // Run trains L1-regularized logistic regression on train with the
@@ -37,11 +50,19 @@ type RunOptions struct {
 // format. The loop itself only does bookkeeping every variant shares —
 // residuals, evaluation cadence, adaptive penalty, early stopping.
 //
-// Failure semantics: if the communication fabric fails mid-run (a rank
-// killed by Config.Faults, a closed endpoint), Run aborts the iteration,
-// unblocks every worker goroutine, and returns the partial Result
-// accumulated so far ALONGSIDE the error — callers get the history up to
-// the failure instead of a deadlock.
+// Failure semantics are selected by Config.Elastic:
+//
+//   - Fail-stop (default): if the communication fabric fails mid-run (a
+//     rank killed by Config.Faults, a closed endpoint), Run aborts the
+//     iteration, unblocks every worker goroutine, and returns the partial
+//     Result accumulated so far ALONGSIDE the error — callers get the
+//     history up to the failure instead of a deadlock.
+//   - Fail-survive (Elastic): a death is absorbed into the membership
+//     view, the failed round retries over the survivors, and the run
+//     continues to MaxIter on the shrunken world with the z-update
+//     averaging over live shards. Run returns an error only when the
+//     failure is not peer loss or no workers survive. Both exit paths set
+//     Z, SystemTime, and the membership fields of Result.
 func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -65,49 +86,148 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	// matches the virtual topology so link classes resolve correctly.
 	// A fault plan wraps it for deterministic failure injection.
 	var fab transport.Fabric = transport.NewChanFabric(cfg.Topo.Size())
+	var ffab *transport.FaultFabric
 	if cfg.Faults != nil {
-		fab = transport.NewFaultFabric(fab, *cfg.Faults)
+		ffab = transport.NewFaultFabric(fab, *cfg.Faults)
+		fab = ffab
 	}
 	defer fab.Close()
 
+	// The membership tracker is the single source of truth for who is
+	// alive; the health metrics mirror it for external observers and the
+	// per-iteration stats.
+	members := membership.NewTracker(cfg.Topo.Size())
+	health := opts.Health
+	if health == nil {
+		health = metrics.NewHealth(cfg.Topo.Size())
+	}
+	members.OnDown(func(rank int, cause error) {
+		health.ObserveDown(rank)
+		health.LiveWorkers.Set(int64(members.LiveCount()))
+		health.Epoch.Set(int64(members.Epoch()))
+	})
+
 	env := &strategyEnv{
-		ws:    ws,
-		fab:   fab,
-		codec: codec,
-		sync:  newSyncModel(syncKind, cfg),
-		dim:   train.Dim(),
+		ws:      ws,
+		fab:     fab,
+		codec:   codec,
+		sync:    newSyncModel(syncKind, cfg),
+		dim:     train.Dim(),
+		members: members,
+		elastic: cfg.Elastic,
 	}
 	strat, err := newStrategy(consensusKind, env, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", cfg.Algorithm, err)
 	}
 
+	// Scheduled kills, fired at iteration starts. In elastic mode the
+	// death is also recorded in the membership view at the same boundary,
+	// making elastic chaos runs deterministic: the rank leaves the world
+	// before any collective can race against discovering it.
+	killAt := make(map[int][]int)
+	if ffab != nil {
+		for r, it := range cfg.Faults.KillAtIteration {
+			killAt[it] = append(killAt[it], r)
+		}
+		for _, rs := range killAt {
+			sort.Ints(rs)
+		}
+	}
+
 	res := &Result{Config: cfg, History: make([]IterStat, 0, cfg.MaxIter)}
 	zPrev := make([]float64, train.Dim())
-	for iter := 0; iter < cfg.MaxIter; iter++ {
-		timing, err := strat.Round(cfg, iter)
+
+	// finish stamps the shared exit-path fields — on success AND on
+	// failure, so a partial Result is never missing Z, SystemTime, or the
+	// membership view.
+	finish := func() {
+		res.SystemTime = res.TotalCalTime + res.TotalCommTime
+		live := env.liveWorkers()
+		if len(live) == 0 {
+			live = ws
+		}
+		res.Z = meanZ(live)
+		res.LiveWorkers = members.LiveCount()
+		res.Epoch = members.Epoch()
+		res.Degraded = res.LiveWorkers < len(ws)
+	}
+	fail := func(iter int, err error) (*Result, error) {
+		finish()
+		return res, fmt.Errorf("core: iteration %d: %w", iter, err)
+	}
+
+	startIter := 0
+	if opts.Checkpoint != nil && opts.Checkpoint.Resume {
+		startIter, err = restoreCheckpoint(opts.Checkpoint, &cfg, env, strat, zPrev, res)
 		if err != nil {
-			// Partial results travel with the error: everything up to the
-			// failed iteration is valid history.
-			res.Z = meanZ(ws)
-			return res, fmt.Errorf("core: iteration %d: %w", iter, err)
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+		// Replay scheduled kills that predate the snapshot so the fabric
+		// agrees with the restored membership view.
+		for it, rs := range killAt {
+			if it < startIter {
+				for _, r := range rs {
+					ffab.Kill(r)
+				}
+			}
+		}
+	}
+
+	// A round that fails because peers died is retried over the survivors
+	// (elastic mode only). Each death shrinks the world by one, and a
+	// retry can surface at most one fresh death per observing member, so
+	// 2·world+4 attempts bounds any real cascade; hitting the cap means
+	// the round is failing for a reason retries cannot fix.
+	retryCap := 2*cfg.Topo.Size() + 4
+	for iter := startIter; iter < cfg.MaxIter; iter++ {
+		for _, r := range killAt[iter] {
+			ffab.Kill(r)
+			if cfg.Elastic {
+				members.MarkDown(r, &transport.PeerDownError{Peer: r, Cause: errScheduledKill})
+			}
+		}
+		if cfg.Elastic && members.LiveCount() == 0 {
+			return fail(iter, errors.New("no live workers remain"))
 		}
 
-		stat := IterStat{
-			Iter:      iter,
-			Objective: nan(),
-			RelError:  nan(),
-			Accuracy:  nan(),
-			CalTime:   timing.cal,
-			CommTime:  timing.comm,
-			Bytes:     timing.bytes,
-			Rho:       cfg.Rho,
+		var timing iterTiming
+		for attempt := 0; ; attempt++ {
+			var err error
+			timing, err = strat.Round(cfg, iter)
+			if err == nil {
+				break
+			}
+			if !cfg.Elastic || !errors.Is(err, errPeersLost) ||
+				members.LiveCount() == 0 || attempt >= retryCap {
+				// Partial results travel with the error: everything up
+				// to the failed iteration is valid history.
+				return fail(iter, err)
+			}
+			// Failed attempts charge no virtual time: the simulated
+			// cluster's clock models healthy progress, and a retried
+			// round re-runs from the reconciled state.
 		}
-		zbar := meanZ(ws)
-		stat.PrimalRes, stat.DualRes = residuals(ws, zbar, zPrev, cfg.Rho)
+
+		live := env.liveWorkers()
+		stat := IterStat{
+			Iter:        iter,
+			Objective:   nan(),
+			RelError:    nan(),
+			Accuracy:    nan(),
+			CalTime:     timing.cal,
+			CommTime:    timing.comm,
+			Bytes:       timing.bytes,
+			Rho:         cfg.Rho,
+			LiveWorkers: members.LiveCount(),
+			Epoch:       members.Epoch(),
+			PeerDowns:   health.TotalPeerDowns(),
+		}
+		zbar := meanZ(live)
+		stat.PrimalRes, stat.DualRes = residuals(live, zbar, zPrev, cfg.Rho)
 		copy(zPrev, zbar)
 		if iter%cfg.EvalEvery == 0 || iter == cfg.MaxIter-1 {
-			stat.Objective = globalObjective(cfg, ws, zbar)
+			stat.Objective = globalObjective(cfg, live, zbar)
 			// Paper eq. 18: |f − f*| / |f*|. Gate on HaveFStar (f* = 0 is a
 			// legitimate optimum for trivially separable data, though the
 			// ratio is then undefined and stays NaN).
@@ -131,13 +251,17 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 				setRho(ws, newRho)
 			}
 		}
+		if ck := opts.Checkpoint; ck != nil && ck.Store != nil && (iter+1)%ck.interval() == 0 {
+			if err := saveCheckpoint(ck, cfg, env, strat, iter+1, zPrev, res); err != nil {
+				return fail(iter, fmt.Errorf("checkpoint: %w", err))
+			}
+		}
 		if cfg.Tol > 0 && stat.PrimalRes <= cfg.Tol && stat.DualRes <= cfg.Tol {
 			res.Stopped = true
 			break
 		}
 	}
-	res.SystemTime = res.TotalCalTime + res.TotalCommTime
-	res.Z = meanZ(ws)
+	finish()
 	return res, nil
 }
 

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"psrahgadmm/internal/checkpoint"
+	"psrahgadmm/internal/transport"
+)
+
+// statBitEqual compares every float field bitwise (NaN == NaN: "not
+// evaluated" must reproduce too) — stricter than iterStatEqual, which
+// ignores the residual and membership fields.
+func statBitEqual(a, b IterStat) bool {
+	feq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return a.Iter == b.Iter && a.Bytes == b.Bytes &&
+		a.LiveWorkers == b.LiveWorkers && a.Epoch == b.Epoch &&
+		feq(a.Objective, b.Objective) && feq(a.RelError, b.RelError) &&
+		feq(a.Accuracy, b.Accuracy) && feq(a.CalTime, b.CalTime) &&
+		feq(a.CommTime, b.CommTime) && feq(a.PrimalRes, b.PrimalRes) &&
+		feq(a.DualRes, b.DualRes) && feq(a.Rho, b.Rho)
+}
+
+// TestResumeBitExact is the checkpoint/resume contract: kill a run at
+// iteration k, resume from its snapshot, and the continued history must be
+// BIT-IDENTICAL to an uninterrupted golden run from k on. AdaptiveRho is
+// on so the snapshot's ρ capture is load-bearing, and the elastic variant
+// kills a worker before the cut so the membership view must survive the
+// round trip too.
+func TestResumeBitExact(t *testing.T) {
+	train, test := testData(t, 160)
+	const cut = 7
+
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantPD  int64 // PeerDowns expected after resume (membership restore)
+		degrade bool
+	}{
+		{name: "healthy", mutate: func(cfg *Config) {}},
+		{
+			name: "degraded",
+			mutate: func(cfg *Config) {
+				cfg.Elastic = true
+				cfg.Faults = &transport.FaultPlan{
+					Seed:            11,
+					KillAtIteration: map[int]int{5: 3},
+				}
+			},
+			wantPD:  1,
+			degrade: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func() Config {
+				cfg := baseConfig(PSRAHGADMM, 4, 2)
+				cfg.MaxIter = 12
+				cfg.GroupThreshold = 2
+				cfg.AdaptiveRho = true
+				tc.mutate(&cfg)
+				return cfg
+			}
+
+			// Golden: uninterrupted.
+			golden, err := Run(mk(), train, RunOptions{Test: test})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Interrupted: same run cut at iteration `cut`, snapshotting
+			// every iteration.
+			store := checkpoint.NewMemStore()
+			cfgCut := mk()
+			cfgCut.MaxIter = cut
+			if _, err := Run(cfgCut, train, RunOptions{
+				Test:       test,
+				Checkpoint: &CheckpointOptions{Store: store, Every: 1},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if store.Saves() != cut {
+				t.Fatalf("saved %d snapshots, want %d", store.Saves(), cut)
+			}
+
+			// Resumed: fresh process state, same store.
+			resumed, err := Run(mk(), train, RunOptions{
+				Test:       test,
+				Checkpoint: &CheckpointOptions{Store: store, Every: 1, Resume: true},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			want := golden.History[cut:]
+			if len(resumed.History) != len(want) {
+				t.Fatalf("resumed %d iterations, want %d", len(resumed.History), len(want))
+			}
+			for i := range want {
+				if !statBitEqual(want[i], resumed.History[i]) {
+					t.Fatalf("iter %d diverged after resume:\ngolden:  %+v\nresumed: %+v",
+						want[i].Iter, want[i], resumed.History[i])
+				}
+			}
+			for i := range golden.Z {
+				if math.Float64bits(golden.Z[i]) != math.Float64bits(resumed.Z[i]) {
+					t.Fatalf("final iterate diverged at coordinate %d: %v vs %v",
+						i, golden.Z[i], resumed.Z[i])
+				}
+			}
+			// The virtual-clock totals resume from the snapshot, so the
+			// resumed run's grand totals equal the golden run's.
+			if math.Float64bits(golden.TotalCalTime) != math.Float64bits(resumed.TotalCalTime) ||
+				math.Float64bits(golden.TotalCommTime) != math.Float64bits(resumed.TotalCommTime) ||
+				golden.TotalBytes != resumed.TotalBytes {
+				t.Fatalf("totals diverged: golden (%v, %v, %d) vs resumed (%v, %v, %d)",
+					golden.TotalCalTime, golden.TotalCommTime, golden.TotalBytes,
+					resumed.TotalCalTime, resumed.TotalCommTime, resumed.TotalBytes)
+			}
+			if resumed.Degraded != tc.degrade {
+				t.Fatalf("Degraded = %v, want %v", resumed.Degraded, tc.degrade)
+			}
+			if pd := resumed.History[len(resumed.History)-1].PeerDowns; pd != tc.wantPD {
+				t.Fatalf("PeerDowns after resume = %d, want %d", pd, tc.wantPD)
+			}
+		})
+	}
+}
+
+// TestResumeFreshStartWhenEmpty: Resume against an empty store is a
+// normal cold start, so one flag serves both the first launch and every
+// restart of a training job.
+func TestResumeFreshStartWhenEmpty(t *testing.T) {
+	train, _ := testData(t, 120)
+	cfg := baseConfig(PSRAHGADMM, 2, 2)
+	cfg.MaxIter = 5
+	res, err := Run(cfg, train, RunOptions{
+		Checkpoint: &CheckpointOptions{Store: checkpoint.NewMemStore(), Resume: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != cfg.MaxIter {
+		t.Fatalf("history length %d", len(res.History))
+	}
+}
+
+// TestResumeRejectsMismatchedRun: a snapshot from a different algorithm
+// or world must be refused loudly, not silently corrupt the state.
+func TestResumeRejectsMismatchedRun(t *testing.T) {
+	train, _ := testData(t, 120)
+	store := checkpoint.NewMemStore()
+	cfg := baseConfig(PSRAHGADMM, 2, 2)
+	cfg.MaxIter = 4
+	if _, err := Run(cfg, train, RunOptions{
+		Checkpoint: &CheckpointOptions{Store: store, Every: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	wrongAlg := baseConfig(GCADMM, 2, 2)
+	wrongAlg.MaxIter = 4
+	if _, err := Run(wrongAlg, train, RunOptions{
+		Checkpoint: &CheckpointOptions{Store: store, Resume: true},
+	}); err == nil {
+		t.Fatal("resume accepted a snapshot from a different algorithm")
+	}
+
+	wrongWorld := baseConfig(PSRAHGADMM, 3, 2)
+	wrongWorld.MaxIter = 4
+	if _, err := Run(wrongWorld, train, RunOptions{
+		Checkpoint: &CheckpointOptions{Store: store, Resume: true},
+	}); err == nil {
+		t.Fatal("resume accepted a snapshot from a different world size")
+	}
+}
+
+// TestCheckpointDirStoreRoundTrip drives the file-backed store through
+// the engine: save to disk, resume from disk — the CLI flag path.
+func TestCheckpointDirStoreRoundTrip(t *testing.T) {
+	train, _ := testData(t, 120)
+	store, err := checkpoint.NewDirStore(t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() Config {
+		cfg := baseConfig(PSRAHGADMM, 2, 2)
+		cfg.MaxIter = 8
+		return cfg
+	}
+	golden, err := Run(mk(), train, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgCut := mk()
+	cfgCut.MaxIter = 4
+	if _, err := Run(cfgCut, train, RunOptions{
+		Checkpoint: &CheckpointOptions{Store: store, Every: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Run(mk(), train, RunOptions{
+		Checkpoint: &CheckpointOptions{Store: store, Every: 2, Resume: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.History) != 4 {
+		t.Fatalf("resumed %d iterations, want 4", len(resumed.History))
+	}
+	for i, want := range golden.History[4:] {
+		if !statBitEqual(want, resumed.History[i]) {
+			t.Fatalf("iter %d diverged across the file round trip", want.Iter)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"psrahgadmm/internal/exchange"
+	"psrahgadmm/internal/membership"
 	"psrahgadmm/internal/sparse"
 	"psrahgadmm/internal/transport"
 )
@@ -69,6 +70,33 @@ type strategyEnv struct {
 	codec exchange.Codec
 	sync  SyncModel
 	dim   int
+	// members is the run's monotonic membership view. It is always
+	// present; in a non-elastic run nothing is ever marked down, so every
+	// live filter is an identity and the happy path is bit-identical to
+	// the pre-elastic engine.
+	members *membership.Tracker
+	// elastic enables degraded-mode continuation: collectives run under
+	// the abort latch instead of closing the fabric, and strategies prune
+	// dead ranks instead of failing.
+	elastic bool
+	// seq numbers collective invocations so every attempt — including
+	// retries of a failed round — gets a fresh, globally unique tag
+	// window. Stale messages from an aborted attempt can then never be
+	// matched by a later one.
+	seq int32
+}
+
+// tagWindowBase starts the collective tag space well above the small
+// hand-assigned tags, and every window is 8 tags wide (the widest any
+// collective uses).
+const tagWindowBase = int32(1) << 16
+
+// nextTagBase allocates the next collective invocation's tag window.
+// Called from the single strategy goroutine only.
+func (env *strategyEnv) nextTagBase() int32 {
+	b := tagWindowBase + env.seq*8
+	env.seq++
+	return b
 }
 
 // newStrategy instantiates the consensus strategy for one run.
@@ -107,9 +135,11 @@ type nodeContribution struct {
 // bus, and returns the partial sum with its availability time. Workers'
 // clocks are NOT advanced here — they move to the round's end when the
 // consensus is applied — so the launch is identical under BSP and SSP.
-func launchNodeSparse(env *strategyEnv, cfg Config, n, iter int, timing *iterTiming) nodeContribution {
+// The fan-in's wire bytes ride on the pending batch (see pendingCompute)
+// and are charged by chargeLaunchBytes in the consuming round.
+func launchNodeSparse(env *strategyEnv, cfg Config, n, iter int) nodeContribution {
 	topo := cfg.Topo
-	ranks := topo.WorkersOf(n)
+	ranks := env.liveWorkersOf(topo, n)
 	sub := make([]*worker, len(ranks))
 	for i, r := range ranks {
 		sub[i] = env.ws[r]
@@ -127,26 +157,45 @@ func launchNodeSparse(env *strategyEnv, cfg Config, n, iter int, timing *iterTim
 		ready = maxf(ready, w.clock+cals[i])
 	}
 	tr := env.codec.WireTrace(intraReduceTrace(ranks, ranks[0], nnzs))
-	timing.bytes += traceBytes(tr)
 	return nodeContribution{
 		sum: sumSparse(env.dim, vs),
 		pending: &pendingCompute{
-			finish: ready + cfg.Cost.TraceTime(topo, tr),
-			starts: starts,
-			cals:   cals,
+			finish:      ready + cfg.Cost.TraceTime(topo, tr),
+			ranks:       ranks,
+			starts:      starts,
+			cals:        cals,
+			vs:          vs,
+			launchIter:  iter,
+			launchBytes: traceBytes(tr),
 		},
 	}
 }
 
-// applyNodeZ delivers the consensus iterate to one node's workers at
-// virtual time end and folds their wait+transfer time into commSum.
+// chargeLaunchBytes charges the launch fan-in of every batch launched
+// this iteration into the attempt's timing. Keying on the launch
+// iteration (rather than the launch call, which an elastic retry skips
+// because the batch survives attempts) keeps Bytes identical whether or
+// not the round needed retries, and leaves SSP attribution unchanged: a
+// stale batch was charged in its own launch round.
+func chargeLaunchBytes(clocks []sspClock, iter int, timing *iterTiming) {
+	for i := range clocks {
+		if p := clocks[i].pending; p != nil && p.launchIter == iter {
+			timing.bytes += p.launchBytes
+		}
+	}
+}
+
+// applyNodeZ delivers the consensus iterate to a pending batch's members
+// at virtual time end and folds their wait+transfer time into commSum.
 // Compute time is summed separately by the caller: the strategies
 // accumulate cal in rank order but comm in delivery order, and float
-// summation order is part of the determinism contract.
-func applyNodeZ(env *strategyEnv, cfg Config, n int, p *pendingCompute,
+// summation order is part of the determinism contract. The batch's own
+// rank list is authoritative — in a degraded run it holds only the
+// members that were live at launch (minus any pruned since).
+func applyNodeZ(env *strategyEnv, cfg Config, p *pendingCompute,
 	zDense []float64, zSparse *sparse.Vector, end float64,
 	commSum *float64, applied *int) {
-	for i, r := range cfg.Topo.WorkersOf(n) {
+	for i, r := range p.ranks {
 		env.ws[r].applyZ(cfg, zDense, zSparse)
 		*commSum += end - p.starts[i] - p.cals[i]
 		env.ws[r].clock = end

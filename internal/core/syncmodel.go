@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"sort"
+
+	"psrahgadmm/internal/sparse"
 )
 
 // The SyncModel axis: WHEN a consensus round admits its participants.
@@ -96,11 +98,23 @@ func (s asyncSync) Delay() int        { return s.maxDelay }
 
 // pendingCompute is an in-flight x-update batch (one node for the
 // hierarchical strategies, one worker for star/flat) whose result becomes
-// visible at finish.
+// visible at finish. The per-member encoded contributions (vs) are
+// retained so an elastic run can rebuild the batch's partial sum exactly
+// when a member dies between launch and admission — recomputing w from
+// worker state would be wrong once AdaptiveRho has moved ρ.
 type pendingCompute struct {
 	finish float64
-	starts []float64 // per-member clock at compute start
-	cals   []float64 // per-member compute time
+	ranks  []int            // per-member world ranks (live at launch)
+	starts []float64        // per-member clock at compute start
+	cals   []float64        // per-member compute time
+	vs     []*sparse.Vector // per-member encoded w contribution
+	// launchIter/launchBytes record the launch fan-in so its bytes are
+	// charged by the launch ITERATION, not the launch call: the batch
+	// survives elastic round retries (compute runs once), so a retried
+	// attempt must re-charge the same bytes its failed predecessor did
+	// for Bytes accounting to stay retry-invariant.
+	launchIter  int
+	launchBytes int64
 }
 
 // sspClock tracks a participant's barrier bookkeeping.

@@ -87,6 +87,38 @@ func (d *Dataset) Shard(n int) []*Dataset {
 	return out
 }
 
+// Concat joins datasets row-wise into one (the inverse of Shard, up to
+// row order). All parts must share the feature dimension. Used to
+// reassemble the surviving workers' shards when computing a degraded
+// run's reference optimum.
+func Concat(name string, parts ...*Dataset) (*Dataset, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("dataset: Concat needs at least one part")
+	}
+	dim := parts[0].Dim()
+	rows, nnz := 0, 0
+	for _, p := range parts {
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("dataset: Concat dimension mismatch: %d vs %d", p.Dim(), dim)
+		}
+		rows += p.Rows()
+		nnz += p.NNZ()
+	}
+	out := &Dataset{
+		Name:   name,
+		X:      sparse.NewCSR(0, dim, nnz),
+		Labels: make([]float64, 0, rows),
+	}
+	for _, p := range parts {
+		for r := 0; r < p.Rows(); r++ {
+			cols, vals := p.X.Row(r)
+			out.X.AppendRow(cols, vals)
+		}
+		out.Labels = append(out.Labels, p.Labels...)
+	}
+	return out, nil
+}
+
 // Accuracy returns the fraction of samples whose sign(xᵀa) matches the
 // label; ties (zero margin) count as wrong, matching LIBLINEAR.
 func (d *Dataset) Accuracy(x []float64) float64 {

@@ -1,0 +1,70 @@
+package exchange
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := &Snapshot{
+		Algorithm:  "psra-hgadmm",
+		Iter:       17,
+		Rho:        1.5625,
+		Epoch:      3,
+		Dead:       []int32{2, 5},
+		ZPrev:      []float64{0.25, -1, math.Copysign(0, -1)},
+		TotalCal:   12.5,
+		TotalComm:  3.25,
+		TotalBytes: 1 << 40,
+		Strategy:   []float64{42.5},
+		Workers: []WorkerSnap{
+			{Rank: 0, Clock: 9.75, CalTotal: 4.5,
+				XA: []float64{1, 2}, YA: []float64{-3, 0.125}, ZDense: []float64{0, 7},
+				ZIdx: []int32{1}, ZVal: []float64{7}},
+			{Rank: 3, Clock: 1, CalTotal: 0.5,
+				XA: []float64{0.1}, YA: []float64{0.2}, ZDense: []float64{0.3}},
+		},
+	}
+	got, err := DecodeSnapshot(EncodeSnapshot(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip changed snapshot:\n in  %+v\n out %+v", s, got)
+	}
+}
+
+func TestSnapshotBitExactFloats(t *testing.T) {
+	// NaN payloads and -0 must survive: bit-exact resume depends on it.
+	nan := math.Float64frombits(0x7ff8000000000001)
+	s := &Snapshot{Algorithm: "a", ZPrev: []float64{nan, math.Copysign(0, -1)}}
+	got, err := DecodeSnapshot(EncodeSnapshot(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.ZPrev {
+		if math.Float64bits(got.ZPrev[i]) != math.Float64bits(s.ZPrev[i]) {
+			t.Fatalf("ZPrev[%d]: bits %x != %x", i,
+				math.Float64bits(got.ZPrev[i]), math.Float64bits(s.ZPrev[i]))
+		}
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSnapshot([]byte("nope")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	blob := EncodeSnapshot(&Snapshot{Algorithm: "a"})
+	if _, err := DecodeSnapshot(blob[:len(blob)-3]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if _, err := DecodeSnapshot(append(blob, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[4] = 99 // version
+	if _, err := DecodeSnapshot(bad); err == nil {
+		t.Fatal("future version accepted")
+	}
+}

@@ -1,0 +1,228 @@
+// Package membership turns transport-level failure evidence — typed
+// PeerDownErrors from crashed connections, missed heartbeats, fault-plan
+// kills — into a monotonic, epoch-stamped view of which ranks are alive.
+//
+// The in-process engine (core.Run) and the message-passing runtime
+// (wlg.Run) share this layer: both feed it the errors their communication
+// produces and read back the surviving world. Two invariants keep the view
+// sane without any consensus protocol of its own:
+//
+//   - Death is monotone. A rank marked down never comes back, so every
+//     observer's dead set only grows and all views converge to the union
+//     of the evidence. (Elastic rejoin would need a membership epoch in
+//     every message; this layer reserves the epoch number for exactly that
+//     but the runtimes do not implement rejoin.)
+//   - Evidence is ground truth. Ranks are only marked down from transport
+//     facts (a PeerDownError, a fault-plan kill), never from timeouts
+//     alone — a slow peer stays a member. The bounded-retry helpers in
+//     package collective enforce the same rule: a retry budget expiring
+//     against a live peer yields staleness, not an execution.
+//
+// Leader re-election follows from the view deterministically: the leader
+// of any rank set is its first live member, so every observer that has
+// seen the same evidence elects the same leader with no extra messages.
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"psrahgadmm/internal/transport"
+)
+
+// View is an immutable snapshot of the tracker: the epoch and the live
+// ranks in ascending order.
+type View struct {
+	Epoch int
+	Live  []int
+}
+
+// Tracker maintains the epoch-stamped live set for one world. It is safe
+// for concurrent use: in the engine many collective goroutines observe
+// errors at once; in the WLG runtime every rank's goroutine shares one
+// tracker per process.
+type Tracker struct {
+	mu     sync.Mutex
+	world  int
+	epoch  int
+	dead   []bool
+	causes []error
+	live   int
+	onDown func(rank int, cause error)
+}
+
+// NewTracker returns a tracker for ranks 0..world-1, all alive, epoch 0.
+func NewTracker(world int) *Tracker {
+	if world <= 0 {
+		panic("membership: world must be positive")
+	}
+	return &Tracker{
+		world:  world,
+		dead:   make([]bool, world),
+		causes: make([]error, world),
+		live:   world,
+	}
+}
+
+// OnDown registers a hook invoked (outside the tracker lock) each time a
+// rank is newly marked down — the metrics layer's event counter feed.
+func (t *Tracker) OnDown(fn func(rank int, cause error)) {
+	t.mu.Lock()
+	t.onDown = fn
+	t.mu.Unlock()
+}
+
+// World returns the total rank count, dead or alive.
+func (t *Tracker) World() int { return t.world }
+
+// MarkDown records rank as dead with the given cause and bumps the epoch.
+// Idempotent: re-reporting a known death changes nothing. Returns whether
+// the rank was newly marked.
+func (t *Tracker) MarkDown(rank int, cause error) bool {
+	if rank < 0 || rank >= t.world {
+		return false
+	}
+	t.mu.Lock()
+	if t.dead[rank] {
+		t.mu.Unlock()
+		return false
+	}
+	t.dead[rank] = true
+	t.causes[rank] = cause
+	t.live--
+	t.epoch++
+	hook := t.onDown
+	t.mu.Unlock()
+	if hook != nil {
+		hook(rank, cause)
+	}
+	return true
+}
+
+// Observe extracts a *transport.PeerDownError from err and marks the peer
+// down. It returns the peer rank and whether err carried one.
+func (t *Tracker) Observe(err error) (int, bool) {
+	var pd *transport.PeerDownError
+	if !errors.As(err, &pd) {
+		return -1, false
+	}
+	t.MarkDown(pd.Peer, pd)
+	return pd.Peer, true
+}
+
+// Alive reports whether rank is still a member.
+func (t *Tracker) Alive(rank int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return rank >= 0 && rank < t.world && !t.dead[rank]
+}
+
+// Epoch returns the current membership epoch: the number of deaths
+// observed so far. Every degraded-mode decision is stamped with it.
+func (t *Tracker) Epoch() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// LiveCount returns how many ranks remain alive.
+func (t *Tracker) LiveCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.live
+}
+
+// View returns the epoch and the ascending live rank list.
+func (t *Tracker) View() View {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := View{Epoch: t.epoch, Live: make([]int, 0, t.live)}
+	for r := 0; r < t.world; r++ {
+		if !t.dead[r] {
+			v.Live = append(v.Live, r)
+		}
+	}
+	return v
+}
+
+// Live filters ranks down to its live members, preserving order.
+func (t *Tracker) Live(ranks []int) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int, 0, len(ranks))
+	for _, r := range ranks {
+		if r >= 0 && r < t.world && !t.dead[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FirstLive returns the first live rank of the ordered set — the
+// deterministic leader-election rule — or -1 when every member is dead.
+func (t *Tracker) FirstLive(ranks []int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range ranks {
+		if r >= 0 && r < t.world && !t.dead[r] {
+			return r
+		}
+	}
+	return -1
+}
+
+// Dead returns the dead ranks in ascending order (checkpoint capture).
+func (t *Tracker) Dead() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int, 0, t.world-t.live)
+	for r := 0; r < t.world; r++ {
+		if t.dead[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Cause returns the recorded cause of a rank's death, nil while alive.
+func (t *Tracker) Cause(rank int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rank < 0 || rank >= t.world {
+		return nil
+	}
+	return t.causes[rank]
+}
+
+// Restore resets the tracker to a checkpointed state: the given epoch and
+// dead set. Used on resume so a restarted run agrees with the snapshot's
+// view of the world. The OnDown hook fires for every restored death.
+func (t *Tracker) Restore(epoch int, dead []int) error {
+	for _, r := range dead {
+		if r < 0 || r >= t.world {
+			return fmt.Errorf("membership: restore: rank %d out of world %d", r, t.world)
+		}
+	}
+	cause := errors.New("membership: dead at checkpoint")
+	t.mu.Lock()
+	hook := t.onDown
+	t.dead = make([]bool, t.world)
+	t.causes = make([]error, t.world)
+	t.live = t.world
+	for _, r := range dead {
+		if !t.dead[r] {
+			t.dead[r] = true
+			t.causes[r] = cause
+			t.live--
+		}
+	}
+	t.epoch = epoch
+	t.mu.Unlock()
+	if hook != nil {
+		for _, r := range dead {
+			hook(r, cause)
+		}
+	}
+	return nil
+}

@@ -37,6 +37,13 @@ type FaultPlan struct {
 	// (ErrClosed from its own calls) and every other rank sees it as a
 	// down peer (PeerDownError), mirroring a mid-collective process crash.
 	KillAfterSends map[int]int
+	// KillAtIteration maps rank → the outer iteration at whose start the
+	// rank dies. The transport layer cannot trigger these itself (an
+	// iteration is an algorithm notion); the core engine reads the plan
+	// and calls Kill at the scheduled boundary. This is how ranks that
+	// never touch the fabric — e.g. non-leader workers whose intra-node
+	// exchange is simulated — can still be killed deterministically.
+	KillAtIteration map[int]int
 }
 
 // faultPoll is how often blocked Recvs on a FaultFabric re-check failure
@@ -81,6 +88,7 @@ func NewFaultFabric(under Fabric, plan FaultPlan) *FaultFabric {
 			under:     under.Endpoint(i),
 			rng:       rand.New(rand.NewSource(plan.Seed ^ int64(i)*0x5851f42d4c957f2d)),
 			killAfter: -1,
+			reported:  make(map[int]bool),
 		}
 		if n, ok := plan.KillAfterSends[i]; ok {
 			f.eps[i].killAfter = n
@@ -155,11 +163,15 @@ func (f *FaultFabric) killed(rank int) *PeerDownError {
 }
 
 // recvDownError mirrors the TCP fabric's policy: a targeted Recv fails as
-// soon as its source is killed, and an AnySource Recv fails on the first
-// killed rank. Every FaultFabric death is a crash (Kill models a process
-// dying, never an orderly Close), so unlike the TCP fabric there is no
-// graceful case for an any-source wait to tolerate.
-func (f *FaultFabric) recvDownError(self, from int) error {
+// soon as its source is killed, and an AnySource Recv fails on a killed
+// rank — but each kill is reported at most ONCE per observing endpoint
+// (the reported set). The first report lets a blocked collective abort
+// and its caller register the death; after that an any-source wait
+// tolerates the known-dead rank like a departed peer, so an elastic
+// caller's retried collective over the survivors is not re-failed by old
+// news. When every remote rank is dead the wait fails regardless: nobody
+// is left to send.
+func (f *FaultFabric) recvDownError(e *faultEndpoint, self, from int) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if from != AnySource {
@@ -168,13 +180,31 @@ func (f *FaultFabric) recvDownError(self, from int) error {
 		}
 		return nil
 	}
+	var unreported *PeerDownError
+	var first *PeerDownError
+	allDown := true
 	for r := range f.down {
 		if r == self {
 			continue
 		}
-		if d := f.down[r]; d != nil {
-			return d
+		d := f.down[r]
+		if d == nil {
+			allDown = false
+			continue
 		}
+		if first == nil {
+			first = d
+		}
+		if unreported == nil && !e.reported[r] {
+			unreported = d
+		}
+	}
+	if unreported != nil {
+		e.reported[unreported.Peer] = true
+		return unreported
+	}
+	if allDown && first != nil {
+		return first
 	}
 	return nil
 }
@@ -194,6 +224,10 @@ type faultEndpoint struct {
 	rng       *rand.Rand
 	sends     int
 	killAfter int // successful sends before suicide; -1 = never
+	// reported tracks which kills this endpoint's any-source waits have
+	// already surfaced (one report per death per observer); guarded by the
+	// fabric mutex alongside the down records it mirrors.
+	reported map[int]bool
 }
 
 func (e *faultEndpoint) Rank() int { return e.under.Rank() }
@@ -276,7 +310,7 @@ func (e *faultEndpoint) recv(from int, tag int32, d time.Duration) (wire.Message
 			if e.fab.killed(self) != nil {
 				return wire.Message{}, ErrClosed
 			}
-			if derr := e.fab.recvDownError(self, from); derr != nil {
+			if derr := e.fab.recvDownError(e, self, from); derr != nil {
 				return wire.Message{}, derr
 			}
 			return m, err
@@ -284,7 +318,7 @@ func (e *faultEndpoint) recv(from int, tag int32, d time.Duration) (wire.Message
 		if e.fab.killed(self) != nil {
 			return wire.Message{}, ErrClosed
 		}
-		if derr := e.fab.recvDownError(self, from); derr != nil {
+		if derr := e.fab.recvDownError(e, self, from); derr != nil {
 			return wire.Message{}, derr
 		}
 	}

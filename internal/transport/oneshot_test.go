@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"psrahgadmm/internal/wire"
+)
+
+// TestFaultAnySourceReportsKillOnce pins the elastic-mode contract: an
+// any-source wait surfaces a given kill exactly once per observing
+// endpoint, then tolerates the dead rank while live peers remain, so a
+// retried collective over the survivors is not re-failed by old news.
+func TestFaultAnySourceReportsKillOnce(t *testing.T) {
+	fab := NewFaultFabric(NewChanFabric(3), FaultPlan{Seed: 1})
+	defer fab.Close()
+	fab.Kill(2)
+
+	ep := fab.Endpoint(0)
+	_, err := ep.RecvTimeout(AnySource, 7, 200*time.Millisecond)
+	var pd *PeerDownError
+	if !errors.As(err, &pd) || pd.Peer != 2 {
+		t.Fatalf("first wait must report the kill, got %v", err)
+	}
+
+	// Second wait: the kill is old news; a live peer's message wins.
+	done := make(chan error, 1)
+	go func() { done <- fab.Endpoint(1).Send(0, wire.Control(7, 42)) }()
+	m, err := ep.Recv(AnySource, 7)
+	if err != nil {
+		t.Fatalf("second wait must tolerate the reported kill: %v", err)
+	}
+	if m.From != 1 || m.Ints[0] != 42 {
+		t.Fatalf("wrong message: %+v", m)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Targeted waits at the dead rank keep failing.
+	if _, err := ep.RecvTimeout(2, 7, 50*time.Millisecond); !errors.As(err, &pd) {
+		t.Fatalf("targeted recv from dead rank: %v", err)
+	}
+
+	// Once every remote rank is dead the wait fails regardless.
+	fab.Kill(1)
+	if _, err := ep.RecvTimeout(AnySource, 8, 200*time.Millisecond); !errors.As(err, &pd) {
+		t.Fatalf("first report of second kill: %v", err)
+	}
+	if _, err := ep.RecvTimeout(AnySource, 8, 200*time.Millisecond); !errors.As(err, &pd) {
+		t.Fatalf("fully departed world must fail: %v", err)
+	}
+}

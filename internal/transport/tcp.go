@@ -76,6 +76,7 @@ type tcpEndpoint struct {
 	mu       sync.Mutex
 	down     []*PeerDownError // indexed by rank, nil while alive
 	downCh   chan struct{}    // closed and replaced on every down event
+	reported []bool           // crashes already surfaced to an any-source wait
 	firstErr error            // first decode error seen by any reader
 
 	closeOnce sync.Once
@@ -106,15 +107,16 @@ func NewTCPEndpoint(rank int, addrs []string, opts TCPOptions) (Endpoint, error)
 		return nil, fmt.Errorf("transport: rank %d listen %s: %w", rank, addrs[rank], err)
 	}
 	e := &tcpEndpoint{
-		rank:   rank,
-		size:   size,
-		opts:   opts,
-		ln:     ln,
-		peers:  make([]*tcpPeer, size),
-		inbox:  make(chan wire.Message, inboxDepth),
-		down:   make([]*PeerDownError, size),
-		downCh: make(chan struct{}),
-		closed: make(chan struct{}),
+		rank:     rank,
+		size:     size,
+		opts:     opts,
+		ln:       ln,
+		peers:    make([]*tcpPeer, size),
+		inbox:    make(chan wire.Message, inboxDepth),
+		down:     make([]*PeerDownError, size),
+		downCh:   make(chan struct{}),
+		reported: make([]bool, size),
+		closed:   make(chan struct{}),
 	}
 
 	var mu sync.Mutex
@@ -262,11 +264,16 @@ func (e *tcpEndpoint) peerErr(peer int) error {
 
 // recvDownError decides whether a Recv(from, ...) can still be satisfied.
 // A targeted Recv fails as soon as its source is down, gracefully or not.
-// An AnySource Recv fails on the first CRASHED peer — a rank that vanished
-// without a goodbye may be exactly the one whose message the caller is
-// waiting for, so continuing risks a hang — but tolerates graceful
-// departures (ranks that Closed after finishing) as long as at least one
-// remote peer is still alive. A fully departed world fails too: nobody is
+// An AnySource Recv fails on a CRASHED peer — a rank that vanished without
+// a goodbye may be exactly the one whose message the caller is waiting
+// for, so continuing risks a hang — but each crash is reported only ONCE:
+// the report lets the caller register the death, after which later
+// any-source waits tolerate the known-dead rank like a graceful departure
+// (ranks that Closed after finishing) as long as at least one remote peer
+// is still alive. Without the once-only rule an elastic caller that
+// already pruned the dead rank would have every subsequent wait re-failed
+// by old news — the Group Generator's request loop would spin instead of
+// serving survivors. A fully departed world fails regardless: nobody is
 // left to send.
 func (e *tcpEndpoint) recvDownError(from int) error {
 	e.mu.Lock()
@@ -288,11 +295,12 @@ func (e *tcpEndpoint) recvDownError(from int) error {
 			allDown = false
 			continue
 		}
-		if !d.Graceful {
-			return d // a crash can strand this wait forever — fail now
-		}
 		if first == nil {
 			first = d
+		}
+		if !d.Graceful && !e.reported[r] {
+			e.reported[r] = true
+			return d // a crash can strand this wait forever — fail now
 		}
 	}
 	if allDown && first != nil {

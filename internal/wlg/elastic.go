@@ -1,0 +1,502 @@
+// Elastic (fail-survive) mode of the WLG runtime: worker deaths shrink the
+// world instead of aborting it.
+//
+// Every rank keeps its own membership.Tracker fed exclusively by transport
+// evidence — a failed send or receive against a dead peer surfaces a typed
+// *transport.PeerDownError, which marks the peer down. Views converge
+// because death is monotone and every rank eventually touches a dead peer
+// it depends on. A node's Leader is re-elected deterministically as the
+// first live rank of the node (membership.Tracker.FirstLive), so ranks
+// that have seen the same evidence elect the same Leader with no election
+// messages.
+//
+// Inter-node aggregation changes shape relative to the fail-stop runtime:
+// instead of the leader-to-leader PSR-Allreduce, each Leader sends its
+// node's sum to the Group Generator, which batches nodes into groups
+// (arrival order, same GQ threshold as Algorithm 2), sums each group, and
+// replies to the contributing Leaders. The GG also CACHES every flushed
+// (iteration, node) result. The cache is what makes re-election sound: a
+// result exists if and only if the GG holds it, so a member orphaned by
+// its Leader's death first asks the GG to recover the result — a hit means
+// the old Leader had finished the round before dying; a miss guarantees no
+// member of the node has the result, so the survivors can safely re-elect
+// and re-run the round (the GG deduplicates re-sent contributions by
+// node). This trades the PSR-Allreduce's bandwidth optimality for a single
+// authoritative place to recover from, which is the robustness point of
+// this mode.
+//
+// Waits on peers are bounded by cfg.Retry (package collective): a retry
+// budget expiring against a LIVE peer is staleness, not death — the Leader
+// skips that member's contribution for the round (counted in
+// RunInfo.Skipped) and nobody is pruned. Only transport evidence removes a
+// rank from the world.
+//
+// Termination: each worker sends a "done" control to the GG when it
+// finishes (or gives up); the GG exits once every worker rank is done or
+// dead, so it never waits on a crashed worker's farewell.
+package wlg
+
+import (
+	"errors"
+	"fmt"
+
+	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/membership"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/vec"
+	"psrahgadmm/internal/wire"
+)
+
+// Elastic-mode tags. The per-iteration offsets live in the same iterTag
+// windows as the fail-stop protocol's — the two protocols never share a
+// run, so reuse is safe — and the fixed control tag sits beside
+// tagGGRequest, below tagIterBase and far below the collective package's
+// ack band.
+const (
+	offElMemberW  = 0 // member → Leader: dense contribution w_i
+	offElReplyCtl = 2 // GG → requester: Control[status, contributors]
+	offElReplyW   = 3 // GG → requester: dense group aggregate
+	offElBcCtl    = 5 // Leader → member: Control[contributors]
+	offElBcW      = 6 // Leader → member: dense group aggregate
+	offElGGW      = 7 // Leader → GG: dense node sum (follows the contribute control)
+
+	// tagElControl carries every worker→GG control in elastic mode:
+	// Ints = [kind, node, iteration, count].
+	tagElControl int32 = 520
+
+	elKindContribute = 1 // a Leader's node sum is on its way
+	elKindRecover    = 2 // an orphaned member asks for a cached result
+	elKindDone       = 3 // this rank will send nothing more
+
+	elStatusNotReady = 0
+	elStatusReady    = 1
+
+	// elasticCycles bounds a member's elect→send→wait→recover loop per
+	// iteration; recontributeCap bounds a Leader's contribute→reply loop
+	// against the GG. Both exist so message loss degrades into an error
+	// instead of an infinite loop; each cycle already carries a full retry
+	// budget, so hitting these caps means the fabric is effectively gone.
+	elasticCycles   = 8
+	recontributeCap = 4
+)
+
+// RunInfo summarizes how degraded an elastic run ended up.
+type RunInfo struct {
+	// Epoch counts the deaths this view absorbed (membership epoch).
+	Epoch int
+	// LiveWorkers is the surviving worker count.
+	LiveWorkers int
+	// Skipped counts member contributions a Leader's gather skipped
+	// because the retry budget expired against a live peer (bounded
+	// staleness, not death).
+	Skipped int64
+	// ShortRounds counts iterations whose consensus averaged fewer than
+	// the full world's workers. The contributor count travels with every
+	// aggregate, so this catches degradation a rank never locally
+	// witnessed: workers on an unaffected node exchange no messages with
+	// a dead peer (aggregation routes through the GG) and their tracker
+	// stays pristine, but the shrunken count still reaches them.
+	ShortRounds int64
+}
+
+// Degraded reports whether the run lost anything: a death, a skipped
+// contribution, or a round whose consensus fell short of the full world.
+func (ri *RunInfo) Degraded() bool {
+	return ri.Epoch > 0 || ri.Skipped > 0 || ri.ShortRounds > 0
+}
+
+// elasticWorker is one rank's state for the fail-survive protocol.
+type elasticWorker struct {
+	ep      transport.Endpoint
+	cfg     Config
+	rank    int
+	node    int
+	gg      int
+	members []int // all ranks of this node, rank order (election order)
+	tr      *membership.Tracker
+	pol     collective.RetryPolicy
+	skipped int64
+	short   int64
+}
+
+// runWorkerElastic executes the elastic worker loop. The returned RunInfo
+// reflects THIS rank's final membership view; the error is non-nil only
+// for unrecoverable failures (the GG gone, the fabric closed, recovery
+// budgets exhausted) — peer deaths are absorbed, not returned.
+func runWorkerElastic(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInfo, error) {
+	topo := cfg.Topo
+	rank := ep.Rank()
+	codec, err := cfg.codec()
+	if err != nil {
+		return nil, fmt.Errorf("wlg: %w", err)
+	}
+	w := &elasticWorker{
+		ep:      ep,
+		cfg:     cfg,
+		rank:    rank,
+		node:    topo.NodeOf(rank),
+		gg:      GGRank(topo),
+		members: topo.WorkersOf(topo.NodeOf(rank)),
+		tr:      membership.NewTracker(topo.Size()),
+		pol:     cfg.Retry,
+	}
+	info := func() *RunInfo {
+		return &RunInfo{
+			Epoch:       w.tr.Epoch(),
+			LiveWorkers: w.tr.LiveCount(),
+			Skipped:     w.skipped,
+			ShortRounds: w.short,
+		}
+	}
+	// Tell the GG this rank is finished on every exit path — including
+	// give-ups — so its done-or-dead accounting never waits on a rank that
+	// will stay silent. The farewell is ack'd and re-sent on loss (the GG
+	// treats duplicates idempotently): a dropped farewell must not strand
+	// the GG. A failed farewell means the GG itself is gone, which is moot.
+	defer func() {
+		_ = collective.SendAck(ep, w.gg, wire.Control(tagElControl, elKindDone, int64(w.node), 0, 0), w.pol)
+	}()
+
+	for iter := cfg.StartIter; iter < cfg.MaxIter; iter++ {
+		buf := append([]float64(nil), f.ComputeW(iter)...)
+		codec.EncodeDense(buf)
+		agg, contributors, err := w.iterate(iter, buf)
+		if err != nil {
+			return info(), err
+		}
+		if contributors < topo.Size() {
+			w.short++
+		}
+		f.ApplyW(iter, agg, contributors)
+	}
+	return info(), nil
+}
+
+// iterate runs one elastic iteration: elect the node's Leader, follow the
+// member or Leader path, and recover through the GG when the Leader is
+// lost mid-round. Each cycle either returns a result or strictly narrows
+// the world (a death observed) or burns one bounded recovery attempt.
+func (w *elasticWorker) iterate(iter int, own []float64) ([]float64, int, error) {
+	for cycle := 0; cycle < elasticCycles; cycle++ {
+		leader := w.tr.FirstLive(w.members)
+		if leader < 0 { // self is alive in its own view; defensive only
+			return nil, 0, fmt.Errorf("wlg: rank %d iter %d: node %d has no live ranks", w.rank, iter, w.node)
+		}
+		if leader == w.rank {
+			return w.leadIterate(iter, own)
+		}
+
+		// Member path: hand the contribution to the Leader, wait for the
+		// aggregate. A re-sent contribution (same Leader after a recover
+		// miss) sits unconsumed under the iteration-scoped tag — harmless.
+		if err := w.ep.Send(leader, wire.DenseMsg(iterTag(iter, offElMemberW), own)); err != nil {
+			if _, down := w.tr.Observe(err); down {
+				continue // Leader died: re-elect
+			}
+			return nil, 0, fmt.Errorf("wlg: rank %d iter %d send to leader %d: %w", w.rank, iter, leader, err)
+		}
+		ctl, err := collective.RecvRetry(w.ep, leader, iterTag(iter, offElBcCtl), w.pol)
+		if err == nil {
+			var wm wire.Message
+			wm, err = collective.RecvRetry(w.ep, leader, iterTag(iter, offElBcW), w.pol)
+			if err == nil {
+				return wm.Dense, int(ctl.Ints[0]), nil
+			}
+		}
+		if _, down := w.tr.Observe(err); !down && !errors.Is(err, collective.ErrUnavailable) {
+			return nil, 0, fmt.Errorf("wlg: rank %d iter %d await leader %d: %w", w.rank, iter, leader, err)
+		}
+
+		// The Leader is dead or silent. If it completed the round before
+		// vanishing the GG has the result cached; a miss proves nobody in
+		// the node has it, so re-electing and re-running is safe.
+		agg, contributors, hit, err := w.recoverFromGG(iter)
+		if err != nil {
+			return nil, 0, err
+		}
+		if hit {
+			return agg, contributors, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("wlg: rank %d iter %d: no result after %d recovery cycles: %w",
+		w.rank, iter, elasticCycles, collective.ErrUnavailable)
+}
+
+// leadIterate is the Leader path: gather the live members' contributions,
+// contribute the node sum to the GG, broadcast the group aggregate back.
+func (w *elasticWorker) leadIterate(iter int, own []float64) ([]float64, int, error) {
+	sum := append([]float64(nil), own...)
+	count := 1
+	for _, m := range w.tr.Live(w.members) {
+		if m == w.rank {
+			continue
+		}
+		msg, err := collective.RecvRetry(w.ep, m, iterTag(iter, offElMemberW), w.pol)
+		if err != nil {
+			if _, down := w.tr.Observe(err); down {
+				continue // dead: excluded from this round
+			}
+			if errors.Is(err, collective.ErrUnavailable) {
+				// Alive but silent: skip the contribution, never prune.
+				// The member still receives the broadcast below (messages
+				// queue), so it is only stale, not stuck.
+				w.skipped++
+				continue
+			}
+			return nil, 0, fmt.Errorf("wlg: leader %d iter %d gather from %d: %w", w.rank, iter, m, err)
+		}
+		vec.AddInto(sum, msg.Dense)
+		count++
+	}
+
+	agg, contributors, err := w.contribute(iter, sum, count)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Broadcast to every live member — including skipped ones, whose late
+	// contributions stay unconsumed. A failed send is death evidence.
+	for _, m := range w.tr.Live(w.members) {
+		if m == w.rank {
+			continue
+		}
+		if err := w.ep.Send(m, wire.Control(iterTag(iter, offElBcCtl), int64(contributors))); err != nil {
+			w.tr.Observe(err)
+			continue
+		}
+		if err := w.ep.Send(m, wire.DenseMsg(iterTag(iter, offElBcW), agg)); err != nil {
+			w.tr.Observe(err)
+		}
+	}
+	return agg, contributors, nil
+}
+
+// contribute sends the node sum to the GG and awaits the group reply,
+// re-contributing on a lost exchange (the GG deduplicates by node, so
+// at-least-once is safe).
+func (w *elasticWorker) contribute(iter int, sum []float64, count int) ([]float64, int, error) {
+	for attempt := 0; attempt < recontributeCap; attempt++ {
+		if err := w.ep.Send(w.gg, wire.Control(tagElControl, elKindContribute, int64(w.node), int64(iter), int64(count))); err != nil {
+			return nil, 0, fmt.Errorf("wlg: leader %d iter %d contribute: %w", w.rank, iter, err)
+		}
+		if err := w.ep.Send(w.gg, wire.DenseMsg(iterTag(iter, offElGGW), sum)); err != nil {
+			return nil, 0, fmt.Errorf("wlg: leader %d iter %d contribute payload: %w", w.rank, iter, err)
+		}
+		ctl, err := collective.RecvRetry(w.ep, w.gg, iterTag(iter, offElReplyCtl), w.pol)
+		if err != nil {
+			if errors.Is(err, collective.ErrUnavailable) {
+				continue // lost somewhere on the way: re-contribute
+			}
+			return nil, 0, fmt.Errorf("wlg: leader %d iter %d GG reply: %w", w.rank, iter, err)
+		}
+		wm, err := collective.RecvRetry(w.ep, w.gg, iterTag(iter, offElReplyW), w.pol)
+		if err != nil {
+			if errors.Is(err, collective.ErrUnavailable) {
+				continue
+			}
+			return nil, 0, fmt.Errorf("wlg: leader %d iter %d GG aggregate: %w", w.rank, iter, err)
+		}
+		return wm.Dense, int(ctl.Ints[1]), nil
+	}
+	return nil, 0, fmt.Errorf("wlg: leader %d iter %d: GG unresponsive after %d contributions: %w",
+		w.rank, iter, recontributeCap, collective.ErrUnavailable)
+}
+
+// recoverFromGG asks the GG for the cached (iter, node) result. hit=false
+// with a nil error means the round was never flushed (or the reply was
+// lost): the caller re-elects and retries.
+func (w *elasticWorker) recoverFromGG(iter int) (agg []float64, contributors int, hit bool, err error) {
+	if err := w.ep.Send(w.gg, wire.Control(tagElControl, elKindRecover, int64(w.node), int64(iter), 0)); err != nil {
+		return nil, 0, false, fmt.Errorf("wlg: rank %d iter %d recover: %w", w.rank, iter, err)
+	}
+	ctl, err := collective.RecvRetry(w.ep, w.gg, iterTag(iter, offElReplyCtl), w.pol)
+	if err != nil {
+		if errors.Is(err, collective.ErrUnavailable) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, fmt.Errorf("wlg: rank %d iter %d recover reply: %w", w.rank, iter, err)
+	}
+	if ctl.Ints[0] != elStatusReady {
+		return nil, 0, false, nil
+	}
+	wm, err := collective.RecvRetry(w.ep, w.gg, iterTag(iter, offElReplyW), w.pol)
+	if err != nil {
+		if errors.Is(err, collective.ErrUnavailable) {
+			return nil, 0, false, nil // re-request: the cache serves repeatedly
+		}
+		return nil, 0, false, fmt.Errorf("wlg: rank %d iter %d recover payload: %w", w.rank, iter, err)
+	}
+	return wm.Dense, int(ctl.Ints[1]), true, nil
+}
+
+// runGGElastic is the elastic Group Generator: an any-source control loop
+// that batches node contributions into groups, caches every flushed
+// result for recovery, and terminates when every worker rank is done or
+// dead.
+func runGGElastic(ep transport.Endpoint, cfg Config) error {
+	topo := cfg.Topo
+	threshold := cfg.threshold()
+	tr := membership.NewTracker(topo.Size())
+	pol := cfg.Retry
+	type entry struct {
+		node, leader int
+		w            []float64
+		count        int64
+	}
+	type result struct {
+		w     []float64
+		count int64
+	}
+	type key struct{ iter, node int }
+	queues := make(map[int][]*entry) // iteration → GQ (arrival order)
+	cache := make(map[key]*result)   // flushed results, the recovery source
+	done := make([]bool, topo.Size())
+
+	// nodeActive: some rank of the node may still contribute for an
+	// iteration — alive and not done. allDone: nobody will ever talk to
+	// the GG again.
+	nodeActive := func(n int) bool {
+		for _, r := range topo.WorkersOf(n) {
+			if !done[r] && tr.Alive(r) {
+				return true
+			}
+		}
+		return false
+	}
+	allDone := func() bool {
+		for r := 0; r < topo.Size(); r++ {
+			if !done[r] && tr.Alive(r) {
+				return false
+			}
+		}
+		return true
+	}
+	reply := func(to, iter int, res *result) {
+		if err := ep.Send(to, wire.Control(iterTag(iter, offElReplyCtl), elStatusReady, res.count)); err != nil {
+			tr.Observe(err) // a dead Leader's successor recovers from the cache
+			return
+		}
+		if err := ep.Send(to, wire.DenseMsg(iterTag(iter, offElReplyW), res.w)); err != nil {
+			tr.Observe(err)
+		}
+	}
+	flush := func(iter int, q []*entry) {
+		sum := append([]float64(nil), q[0].w...)
+		cnt := q[0].count
+		for _, e := range q[1:] {
+			vec.AddInto(sum, e.w)
+			cnt += e.count
+		}
+		res := &result{w: sum, count: cnt}
+		for _, e := range q {
+			cache[key{iter, e.node}] = res
+		}
+		for _, e := range q {
+			reply(e.leader, iter, res)
+		}
+	}
+	accounted := func(iter, node int) bool {
+		if _, ok := cache[key{iter, node}]; ok {
+			return true
+		}
+		for _, e := range queues[iter] {
+			if e.node == node {
+				return true
+			}
+		}
+		return false
+	}
+	maybeFlush := func(iter int) {
+		for len(queues[iter]) >= threshold {
+			q := queues[iter]
+			queues[iter] = q[threshold:]
+			flush(iter, q[:threshold])
+		}
+		if len(queues[iter]) == 0 {
+			delete(queues, iter)
+			return
+		}
+		// The remainder group flushes once no unaccounted node can still
+		// contribute — the elastic version of "every node has reported".
+		for n := 0; n < topo.Nodes; n++ {
+			if nodeActive(n) && !accounted(iter, n) {
+				return
+			}
+		}
+		q := queues[iter]
+		delete(queues, iter)
+		flush(iter, q)
+	}
+	// A death or a farewell can complete the "nobody else will report"
+	// condition of any pending remainder, so re-check them all.
+	recheck := func() {
+		for iter := range queues {
+			maybeFlush(iter)
+		}
+	}
+
+	for !allDone() {
+		m, err := ep.Recv(transport.AnySource, tagElControl)
+		if err != nil {
+			if _, down := tr.Observe(err); down {
+				recheck()
+				continue
+			}
+			return fmt.Errorf("wlg: GG recv: %w", err)
+		}
+		if len(m.Ints) != 4 {
+			return fmt.Errorf("wlg: GG malformed elastic request from %d", m.From)
+		}
+		kind, node, iter, count := m.Ints[0], int(m.Ints[1]), int(m.Ints[2]), m.Ints[3]
+		from := int(m.From)
+		switch kind {
+		case elKindDone:
+			done[from] = true
+			// Acknowledge so the sender's SendAck stops re-sending;
+			// duplicates from lost acks land here again, idempotently.
+			if err := ep.Send(from, wire.Control(collective.AckTag(tagElControl), 0)); err != nil {
+				tr.Observe(err)
+			}
+			recheck()
+		case elKindContribute:
+			// The node sum follows on the per-iteration tag; per-sender
+			// ordering pairs it with this control. A lost payload drops
+			// the contribution — the Leader re-contributes.
+			wm, err := collective.RecvRetry(ep, from, iterTag(iter, offElGGW), pol)
+			if err != nil {
+				if _, down := tr.Observe(err); !down && !errors.Is(err, collective.ErrUnavailable) {
+					return fmt.Errorf("wlg: GG contribution payload from %d: %w", from, err)
+				}
+				recheck()
+				continue
+			}
+			if res, ok := cache[key{iter, node}]; ok {
+				reply(from, iter, res) // already flushed: serve the cache
+				continue
+			}
+			replaced := false
+			for _, e := range queues[iter] {
+				if e.node == node {
+					// A re-elected (or retrying) Leader supersedes the
+					// node's queued entry — never a double count.
+					e.leader, e.w, e.count = from, wm.Dense, count
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				queues[iter] = append(queues[iter], &entry{node: node, leader: from, w: wm.Dense, count: count})
+			}
+			maybeFlush(iter)
+		case elKindRecover:
+			if res, ok := cache[key{iter, node}]; ok {
+				reply(from, iter, res)
+			} else if err := ep.Send(from, wire.Control(iterTag(iter, offElReplyCtl), elStatusNotReady, 0)); err != nil {
+				tr.Observe(err)
+			}
+		default:
+			return fmt.Errorf("wlg: GG unknown elastic request kind %d from %d", kind, m.From)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package wlg
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"psrahgadmm/internal/simnet"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/vec"
+)
+
+// elasticRecorder wires a full elastic world over a (possibly faulty)
+// fabric and records every surviving worker's applied aggregates and
+// contributor counts per iteration. It enforces a deadline: elastic runs
+// must terminate, not hang.
+type elasticRecorder struct {
+	agg    [][][]float64
+	counts [][]int
+	info   *RunInfo
+}
+
+func runElastic(t *testing.T, fab transport.Fabric, cfg Config, dim int) *elasticRecorder {
+	t.Helper()
+	topo := cfg.Topo
+	rec := &elasticRecorder{
+		agg:    make([][][]float64, topo.Size()),
+		counts: make([][]int, topo.Size()),
+	}
+	var mu sync.Mutex
+	for r := range rec.agg {
+		rec.agg[r] = make([][]float64, cfg.MaxIter)
+		rec.counts[r] = make([]int, cfg.MaxIter)
+	}
+	funcs := func(rank int) WorkerFuncs {
+		return WorkerFuncs{
+			ComputeW: func(iter int) []float64 { return rankVec(dim, rank) },
+			ApplyW: func(iter int, w []float64, n int) {
+				mu.Lock()
+				rec.agg[rank][iter] = vec.Clone(w)
+				rec.counts[rank][iter] = n
+				mu.Unlock()
+			},
+		}
+	}
+	type outcome struct {
+		info *RunInfo
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		info, err := RunWithInfo(fab, cfg, funcs)
+		done <- outcome{info, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatalf("elastic run failed: %v", o.err)
+		}
+		rec.info = o.info
+	case <-time.After(120 * time.Second):
+		t.Fatal("elastic run hung")
+	}
+	return rec
+}
+
+// TestElasticHappyPathExactConsensus: with nobody dying and the threshold
+// clamped to all nodes, the elastic protocol is exact consensus — every
+// worker applies the full-world sum with the full contributor count, and
+// the run reports itself undegraded.
+func TestElasticHappyPathExactConsensus(t *testing.T) {
+	topo := simnet.Topology{Nodes: 3, WorkersPerNode: 2}
+	cfg := Config{Topo: topo, MaxIter: 4, Elastic: true}
+	fab := transport.NewChanFabric(WorldSize(topo))
+	defer fab.Close()
+	rec := runElastic(t, fab, cfg, 5)
+
+	want := float64(int(1)<<topo.Size() - 1)
+	for r := 0; r < topo.Size(); r++ {
+		for iter := 0; iter < cfg.MaxIter; iter++ {
+			if rec.counts[r][iter] != topo.Size() {
+				t.Fatalf("rank %d iter %d contributors = %d, want %d", r, iter, rec.counts[r][iter], topo.Size())
+			}
+			for j, got := range rec.agg[r][iter] {
+				if got != want {
+					t.Fatalf("rank %d iter %d slot %d = %v, want %v", r, iter, j, got, want)
+				}
+			}
+		}
+	}
+	if rec.info.Degraded() || rec.info.LiveWorkers != topo.Size() || rec.info.Epoch != 0 {
+		t.Fatalf("happy path reported degraded: %+v", rec.info)
+	}
+}
+
+// TestElasticLeaderDeathReelection kills a node's Leader before the run
+// starts — the exact scenario that makes the fail-stop runtime return a
+// PeerDownError (TestRunSurfacesTypedPeerError). Elastic mode must instead
+// re-elect the node's surviving rank as Leader and complete every
+// iteration, with the dead rank's contribution absent from every sum.
+func TestElasticLeaderDeathReelection(t *testing.T) {
+	topo := simnet.Topology{Nodes: 2, WorkersPerNode: 2}
+	cfg := Config{Topo: topo, MaxIter: 5, Elastic: true}
+	fab := transport.NewFaultFabric(transport.NewChanFabric(WorldSize(topo)), transport.FaultPlan{})
+	fab.Kill(2) // Leader of node 1; rank 3 must take over
+	defer fab.Close()
+	rec := runElastic(t, fab, cfg, 3)
+
+	// Survivors: ranks 0, 1 (node 0) and 3 (node 1, now Leader).
+	want := float64(1<<0 + 1<<1 + 1<<3)
+	for _, r := range []int{0, 1, 3} {
+		for iter := 0; iter < cfg.MaxIter; iter++ {
+			if rec.counts[r][iter] != 3 {
+				t.Fatalf("rank %d iter %d contributors = %d, want 3", r, iter, rec.counts[r][iter])
+			}
+			if rec.agg[r][iter][0] != want {
+				t.Fatalf("rank %d iter %d sum = %v, want %v (dead rank leaked in?)",
+					r, iter, rec.agg[r][iter][0], want)
+			}
+		}
+	}
+	if !rec.info.Degraded() || rec.info.LiveWorkers != 3 || rec.info.Epoch != 1 {
+		t.Fatalf("degradation summary: %+v", rec.info)
+	}
+}
+
+// TestElasticMidRunLeaderKill kills a Leader partway through the run (send
+// count triggered): its members are mid-protocol when the death surfaces,
+// so recovery exercises the GG's result cache and the re-election loop
+// rather than a clean boundary. The run must still complete every
+// iteration for every survivor.
+func TestElasticMidRunLeaderKill(t *testing.T) {
+	topo := simnet.Topology{Nodes: 2, WorkersPerNode: 2}
+	cfg := Config{Topo: topo, MaxIter: 20, Elastic: true}
+	fab := transport.NewFaultFabric(
+		transport.NewChanFabric(WorldSize(topo)),
+		transport.FaultPlan{Seed: 3, KillAfterSends: map[int]int{2: 5}},
+	)
+	defer fab.Close()
+	rec := runElastic(t, fab, cfg, 3)
+
+	for _, r := range []int{0, 1, 3} {
+		for iter := 0; iter < cfg.MaxIter; iter++ {
+			if rec.agg[r][iter] == nil {
+				t.Fatalf("survivor %d never applied iteration %d", r, iter)
+			}
+			// Own contribution must always be in the sum the rank applies.
+			if ranks := decodeRanks(rec.agg[r][iter][0], topo.Size()); !ranks[r] {
+				t.Fatalf("rank %d iter %d: own contribution missing from %v", r, iter, ranks)
+			}
+		}
+	}
+	if !rec.info.Degraded() || rec.info.LiveWorkers != 3 {
+		t.Fatalf("degradation summary: %+v", rec.info)
+	}
+}
+
+// TestElasticWholeNodeDeath removes node 1 entirely mid-run (both ranks
+// killed). The GG must prune the dead node from its flush expectations —
+// the remainder group condition is "no unaccounted node can still
+// contribute", not "every node reported" — so the surviving nodes' groups
+// keep flushing and the run completes.
+func TestElasticWholeNodeDeath(t *testing.T) {
+	topo := simnet.Topology{Nodes: 3, WorkersPerNode: 2}
+	cfg := Config{Topo: topo, MaxIter: 15, Elastic: true}
+	fab := transport.NewFaultFabric(
+		transport.NewChanFabric(WorldSize(topo)),
+		transport.FaultPlan{Seed: 4, KillAfterSends: map[int]int{2: 6, 3: 6}},
+	)
+	defer fab.Close()
+	rec := runElastic(t, fab, cfg, 3)
+
+	for _, r := range []int{0, 1, 4, 5} {
+		for iter := 0; iter < cfg.MaxIter; iter++ {
+			if rec.agg[r][iter] == nil {
+				t.Fatalf("survivor %d never applied iteration %d", r, iter)
+			}
+		}
+	}
+	if !rec.info.Degraded() || rec.info.LiveWorkers != 4 {
+		t.Fatalf("degradation summary: %+v", rec.info)
+	}
+}
+
+// TestElasticSurvivesMessageLoss runs the elastic world over a lossy
+// fabric: every wait is budget-bounded and every exchange has a recovery
+// path (re-contribution to the GG, recovery from its cache, the ack'd
+// farewell), so a few percent of dropped messages must cost staleness at
+// worst, never a hang or an abort — the bounded-retry contract end to end.
+func TestElasticSurvivesMessageLoss(t *testing.T) {
+	topo := simnet.Topology{Nodes: 2, WorkersPerNode: 2}
+	cfg := Config{Topo: topo, MaxIter: 8, Elastic: true}
+	fab := transport.NewFaultFabric(
+		transport.NewChanFabric(WorldSize(topo)),
+		transport.FaultPlan{Seed: 6, DropProb: 0.02},
+	)
+	defer fab.Close()
+	rec := runElastic(t, fab, cfg, 3)
+
+	for r := 0; r < topo.Size(); r++ {
+		for iter := 0; iter < cfg.MaxIter; iter++ {
+			if rec.agg[r][iter] == nil {
+				t.Fatalf("rank %d never applied iteration %d", r, iter)
+			}
+		}
+	}
+	if rec.info.Epoch != 0 {
+		t.Fatalf("message loss was escalated to a death: %+v", rec.info)
+	}
+}
+
+// TestStartIterRunsTail: StartIter makes both runtimes execute exactly the
+// iterations [StartIter, MaxIter) with absolute iteration numbers — the
+// property checkpoint resume relies on.
+func TestStartIterRunsTail(t *testing.T) {
+	topo := simnet.Topology{Nodes: 2, WorkersPerNode: 2}
+	for _, elastic := range []bool{false, true} {
+		cfg := Config{Topo: topo, MaxIter: 6, StartIter: 4, Elastic: elastic}
+		fab := transport.NewChanFabric(WorldSize(topo))
+		var mu sync.Mutex
+		seen := make(map[int]map[int]bool) // rank → iterations applied
+		funcs := func(rank int) WorkerFuncs {
+			return WorkerFuncs{
+				ComputeW: func(iter int) []float64 { return rankVec(2, rank) },
+				ApplyW: func(iter int, w []float64, n int) {
+					mu.Lock()
+					if seen[rank] == nil {
+						seen[rank] = map[int]bool{}
+					}
+					seen[rank][iter] = true
+					mu.Unlock()
+				},
+			}
+		}
+		if err := Run(fab, cfg, funcs); err != nil {
+			t.Fatalf("elastic=%v: %v", elastic, err)
+		}
+		fab.Close()
+		for r := 0; r < topo.Size(); r++ {
+			if len(seen[r]) != 2 || !seen[r][4] || !seen[r][5] {
+				t.Fatalf("elastic=%v rank %d applied %v, want exactly {4, 5}", elastic, r, seen[r])
+			}
+		}
+	}
+}
+
+// TestStartIterValidation: StartIter outside [0, MaxIter) is a config
+// error, not a silent empty run.
+func TestStartIterValidation(t *testing.T) {
+	topo := simnet.Topology{Nodes: 1, WorkersPerNode: 1}
+	for _, si := range []int{-1, 3, 4} {
+		cfg := Config{Topo: topo, MaxIter: 3, StartIter: si}
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("StartIter %d accepted", si)
+		}
+	}
+}

@@ -81,6 +81,24 @@ type Config struct {
 	// reduce, so the runtime aggregates exactly what a real lossy wire
 	// would deliver. Empty means the exact exchange.
 	Codec exchange.Kind
+	// Elastic selects fail-survive semantics: worker deaths shrink the
+	// world instead of aborting the run. Each rank keeps a membership view
+	// fed by transport evidence, nodes re-elect their Leader as the first
+	// live rank, and inter-node aggregation routes through the Group
+	// Generator (which caches per-iteration results so orphaned workers
+	// can recover them) instead of the leader-to-leader PSR-Allreduce —
+	// robustness bought with GG bandwidth. See elastic.go.
+	Elastic bool
+	// StartIter is the first iteration to execute (resume support: a run
+	// restored from a checkpoint at iteration k passes StartIter = k).
+	// Iteration tags are absolute, so a resumed world is wire-compatible
+	// with a fresh one.
+	StartIter int
+	// Retry bounds every elastic-mode wait on a peer (the Leader's gather,
+	// the GG round trips, the member's wait for the broadcast). The zero
+	// value means the collective package defaults. Only consulted when
+	// Elastic is set.
+	Retry collective.RetryPolicy
 }
 
 // codec resolves the configured exchange codec, defaulting to exact.
@@ -108,6 +126,9 @@ func (c Config) Validate() error {
 	if c.MaxIter <= 0 {
 		return fmt.Errorf("wlg: MaxIter must be positive")
 	}
+	if c.StartIter < 0 || c.StartIter >= c.MaxIter {
+		return fmt.Errorf("wlg: StartIter %d outside [0, MaxIter=%d)", c.StartIter, c.MaxIter)
+	}
 	if _, err := c.codec(); err != nil {
 		return fmt.Errorf("wlg: %w", err)
 	}
@@ -130,19 +151,44 @@ type WorkerFuncs struct {
 
 // RunWorker executes Algorithm 1 (and Algorithm 3 when this rank is its
 // node's Leader) for MaxIter iterations. It must be called concurrently on
-// every worker rank while RunGG serves GGRank.
+// every worker rank while RunGG serves GGRank. With cfg.Elastic it runs
+// the fail-survive protocol of elastic.go instead; RunWorkerInfo
+// additionally reports the degradation summary that path accumulates.
 func RunWorker(ep transport.Endpoint, cfg Config, f WorkerFuncs) error {
+	_, err := RunWorkerInfo(ep, cfg, f)
+	return err
+}
+
+// RunWorkerInfo is RunWorker plus the run's RunInfo: the rank's final
+// membership view and how many contributions its gathers skipped. Process
+// launchers use it to distinguish a degraded-but-complete run (exit code
+// "degraded") from a clean one.
+func RunWorkerInfo(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInfo, error) {
 	if err := cfg.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	if f.ComputeW == nil || f.ApplyW == nil {
-		return fmt.Errorf("wlg: WorkerFuncs incomplete")
+		return nil, fmt.Errorf("wlg: WorkerFuncs incomplete")
 	}
 	topo := cfg.Topo
 	rank := ep.Rank()
 	if rank >= topo.Size() {
-		return fmt.Errorf("wlg: rank %d is not a worker (world has %d workers)", rank, topo.Size())
+		return nil, fmt.Errorf("wlg: rank %d is not a worker (world has %d workers)", rank, topo.Size())
 	}
+	if cfg.Elastic {
+		return runWorkerElastic(ep, cfg, f)
+	}
+	if err := runWorkerPlain(ep, cfg, f); err != nil {
+		return nil, err
+	}
+	return &RunInfo{LiveWorkers: topo.Size()}, nil
+}
+
+// runWorkerPlain is the original fail-stop worker loop: every peer is
+// assumed alive, every wait is unbounded, and the first failure aborts.
+func runWorkerPlain(ep transport.Endpoint, cfg Config, f WorkerFuncs) error {
+	topo := cfg.Topo
+	rank := ep.Rank()
 	node := topo.NodeOf(rank)
 	intra := collective.NewGroup(topo.WorkersOf(node)...)
 	leader := IsLeader(topo, rank)
@@ -152,7 +198,7 @@ func RunWorker(ep transport.Endpoint, cfg Config, f WorkerFuncs) error {
 		return fmt.Errorf("wlg: %w", err)
 	}
 
-	for iter := 0; iter < cfg.MaxIter; iter++ {
+	for iter := cfg.StartIter; iter < cfg.MaxIter; iter++ {
 		w := f.ComputeW(iter)
 		buf := append([]float64(nil), w...)
 		// Lossy codecs round the contribution before it is communicated:
@@ -227,55 +273,102 @@ func receiveResult(ep transport.Endpoint, intra collective.Group, topo simnet.To
 }
 
 // Run executes a complete WLG world — every worker plus the Group
-// Generator — over the given fabric, with fail-fast semantics: the first
-// rank to return an error (a transport.PeerDownError from a crashed peer,
-// a closed endpoint, a malformed request) closes the whole fabric, so every
-// other rank unblocks instead of waiting on messages that will never
-// arrive. funcs(rank) supplies each worker's algorithm callbacks. The
-// returned error is the first causal failure; ErrClosed noise from the
-// abort itself is suppressed in its favor.
+// Generator — over the given fabric. Without cfg.Elastic the semantics are
+// fail-fast: the first rank to return an error (a transport.PeerDownError
+// from a crashed peer, a closed endpoint, a malformed request) closes the
+// whole fabric, so every other rank unblocks instead of waiting on
+// messages that will never arrive. With cfg.Elastic a worker's death is
+// absorbed — its own ErrClosed exit does not abort the others, who regroup
+// per elastic.go — and only the GG failing or a worker hitting an
+// unrecoverable error tears the world down. funcs(rank) supplies each
+// worker's algorithm callbacks. The returned error is the first causal
+// failure; ErrClosed noise from the abort itself is suppressed in its
+// favor.
 func Run(fab transport.Fabric, cfg Config, funcs func(rank int) WorkerFuncs) error {
+	_, err := RunWithInfo(fab, cfg, funcs)
+	return err
+}
+
+// RunWithInfo is Run plus the degradation summary: how many workers
+// survived to the end, how many died, and how many contributions the
+// Leaders' gathers skipped. On a fail-stop (non-elastic) success the
+// summary is trivially "everyone lived".
+func RunWithInfo(fab transport.Fabric, cfg Config, funcs func(rank int) WorkerFuncs) (*RunInfo, error) {
 	if err := cfg.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	world := WorldSize(cfg.Topo)
 	if fab.Size() < world {
-		return fmt.Errorf("wlg: fabric has %d endpoints, world needs %d", fab.Size(), world)
+		return nil, fmt.Errorf("wlg: fabric has %d endpoints, world needs %d", fab.Size(), world)
 	}
 	errs := make([]error, world)
+	infos := make([]*RunInfo, world)
 	var abort sync.Once
 	var wg sync.WaitGroup
-	run := func(rank int, f func() error) {
-		defer wg.Done()
-		if err := f(); err != nil {
-			errs[rank] = err
-			abort.Do(fab.Close)
-		}
+	// In elastic mode a worker whose own endpoint died (ErrClosed from a
+	// fault-plan kill) is a casualty the protocol absorbs, not a reason to
+	// abort; everything else still tears the world down so nobody hangs on
+	// an unrecoverable failure.
+	fatal := func(err error) bool {
+		return !cfg.Elastic || !errors.Is(err, transport.ErrClosed)
 	}
 	wg.Add(1)
-	go run(GGRank(cfg.Topo), func() error { return RunGG(fab.Endpoint(GGRank(cfg.Topo)), cfg) })
+	go func() {
+		defer wg.Done()
+		gg := GGRank(cfg.Topo)
+		if err := RunGG(fab.Endpoint(gg), cfg); err != nil {
+			errs[gg] = err
+			abort.Do(fab.Close)
+		}
+	}()
 	for r := 0; r < cfg.Topo.Size(); r++ {
 		r := r
 		wg.Add(1)
-		go run(r, func() error { return RunWorker(fab.Endpoint(r), cfg, funcs(r)) })
+		go func() {
+			defer wg.Done()
+			info, err := RunWorkerInfo(fab.Endpoint(r), cfg, funcs(r))
+			infos[r] = info
+			if err != nil {
+				errs[r] = err
+				if fatal(err) {
+					abort.Do(fab.Close)
+				}
+			}
+		}()
 	}
 	wg.Wait()
 	// Prefer a typed peer failure, then any non-ErrClosed error, then
-	// whatever remains — mirroring core's collective abort.
+	// whatever remains — mirroring core's collective abort. Elastic deaths
+	// (a worker's own ErrClosed) are not failures at all.
 	var fallback error
-	for _, err := range errs {
+	deaths := 0
+	for rank, err := range errs {
 		if err == nil {
+			continue
+		}
+		if cfg.Elastic && rank < cfg.Topo.Size() && errors.Is(err, transport.ErrClosed) {
+			deaths++
 			continue
 		}
 		var pd *transport.PeerDownError
 		if errors.As(err, &pd) {
-			return err
+			return nil, err
 		}
 		if fallback == nil || errors.Is(fallback, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed) {
 			fallback = err
 		}
 	}
-	return fallback
+	if fallback != nil {
+		return nil, fallback
+	}
+	sum := &RunInfo{Epoch: deaths, LiveWorkers: cfg.Topo.Size() - deaths}
+	for _, info := range infos {
+		if info != nil {
+			sum.Skipped += info.Skipped
+			sum.ShortRounds += info.ShortRounds
+		}
+	}
+	return sum, nil
 }
 
 // RunGG executes Algorithm 2: serve grouping requests for MaxIter
@@ -289,11 +382,14 @@ func RunGG(ep transport.Endpoint, cfg Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	if cfg.Elastic {
+		return runGGElastic(ep, cfg)
+	}
 	topo := cfg.Topo
 	threshold := cfg.threshold()
 	queues := make(map[int][]int64) // iteration → GQ (node ids, arrival order)
 	reported := make(map[int]int)   // iteration → requests seen
-	remaining := cfg.MaxIter * topo.Nodes
+	remaining := (cfg.MaxIter - cfg.StartIter) * topo.Nodes
 
 	flush := func(iter int) error {
 		q := queues[iter]
