@@ -6,6 +6,7 @@
 //	psra-bench -experiment fig6 -csv      # system-time sweep as CSV
 //	psra-bench -experiment fig7 -iters 40 # straggler study, shorter runs
 //	psra-bench -list                      # enumerate experiments
+//	psra-bench -perf BENCH_psra.json      # per-layer perf suite → JSON
 package main
 
 import (
@@ -26,9 +27,17 @@ func main() {
 		rho        = flag.Float64("rho", 1, "ADMM penalty parameter ρ")
 		lambda     = flag.Float64("lambda", 1, "L1 regularization weight λ (paper: 1)")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		perf       = flag.String("perf", "", "run the per-layer steady-state perf suite and write a JSON report to this path (the committed BENCH_psra.json)")
 	)
 	flag.Parse()
 
+	if *perf != "" {
+		if err := bench.WritePerfReport(*perf, os.Stdout, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "psra-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Desc)

@@ -14,6 +14,7 @@ import (
 	psra "psrahgadmm"
 	"psrahgadmm/internal/dataset"
 	"psrahgadmm/internal/metrics"
+	"psrahgadmm/internal/prof"
 )
 
 func main() {
@@ -39,11 +40,15 @@ func main() {
 		ckEvery   = flag.Int("checkpoint-every", 10, "snapshot every k-th iteration (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "continue from the latest snapshot in -checkpoint-dir (fresh start if none)")
 	)
+	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *listAlgos {
 		listAlgorithms()
 		return
+	}
+	if err := profiles.Start(); err != nil {
+		fatal(err)
 	}
 
 	train, test, err := loadData(*dataPath, *testPath, *synth, *scale, *seed)
@@ -83,6 +88,9 @@ func main() {
 			metrics.Seconds(s.CalTime), metrics.Seconds(s.CommTime))
 	}
 	res, err := psra.Train(cfg, train, opts)
+	if stopErr := profiles.Stop(); stopErr != nil && err == nil {
+		err = stopErr
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -41,6 +41,7 @@ import (
 
 	psra "psrahgadmm"
 	"psrahgadmm/internal/exchange"
+	"psrahgadmm/internal/prof"
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/transport"
@@ -68,8 +69,12 @@ func main() {
 		elastic   = flag.Bool("elastic", false, "survive peer deaths: re-elect Leaders and keep training (exit 4 when degraded)")
 		startIter = flag.Int("start-iter", 0, "first iteration to execute (resume a run's tail after a restart)")
 	)
+	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
 
+	if err := profiles.Start(); err != nil {
+		fatal(err)
+	}
 	topo := simnet.Topology{Nodes: *nodes, WorkersPerNode: *wpn}
 	world := wlg.WorldSize(topo)
 	addrList := strings.Split(*addrs, ",")
@@ -101,6 +106,9 @@ func main() {
 	if *rank == wlg.GGRank(topo) {
 		fmt.Printf("rank %d: group generator serving %d nodes × %d iterations\n", *rank, *nodes, *iters)
 		if err := wlg.RunGG(ep, cfg); err != nil {
+			fatal(err)
+		}
+		if err := profiles.Stop(); err != nil {
 			fatal(err)
 		}
 		return
@@ -149,6 +157,11 @@ func main() {
 	}
 	info, err := wlg.RunWorkerInfo(ep, cfg, funcs)
 	if err != nil {
+		fatal(err)
+	}
+	// Profiles flush before the degraded os.Exit below: a degraded-but-
+	// complete run is a clean exit as far as profiling is concerned.
+	if err := profiles.Stop(); err != nil {
 		fatal(err)
 	}
 	if info.Degraded() {

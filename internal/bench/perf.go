@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/core"
+	"psrahgadmm/internal/dataset"
+	"psrahgadmm/internal/exchange"
+	"psrahgadmm/internal/simnet"
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/vec"
+)
+
+// PerfEntry records one benchmark of the steady-state perf suite.
+type PerfEntry struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// PerfReport is the schema of BENCH_psra.json: one entry per layer of the
+// hot path (vec kernel, sparse reduce, codec, collective, full engine
+// iteration), recorded on one machine as a comparison point — absolute
+// numbers are machine-dependent; allocs/op is the portable column and the
+// one the alloc-budget tests enforce.
+type PerfReport struct {
+	Schema     int         `json:"schema"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	MaxProcs   int         `json:"gomaxprocs"`
+	Benchmarks []PerfEntry `json:"benchmarks"`
+}
+
+func perfEntry(name string, r testing.BenchmarkResult) PerfEntry {
+	return PerfEntry{
+		Name:        name,
+		Iters:       r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func perfSparse(r *rand.Rand, dim int, density float64) *sparse.Vector {
+	v := sparse.NewVector(dim, 0)
+	for i := 0; i < dim; i++ {
+		if r.Float64() < density {
+			v.Index = append(v.Index, int32(i))
+			v.Value = append(v.Value, r.NormFloat64())
+		}
+	}
+	return v
+}
+
+// Perf runs the per-layer steady-state suite and returns the report.
+// Each layer is measured through testing.Benchmark, so the CLI records
+// exactly what `go test -bench` would.
+func Perf(seed int64) (*PerfReport, error) {
+	rep := &PerfReport{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		rep.Benchmarks = append(rep.Benchmarks, perfEntry(name, testing.Benchmark(fn)))
+	}
+
+	// Layer 1: vec kernels.
+	{
+		r := rand.New(rand.NewSource(seed))
+		x := make([]float64, 4096)
+		y := make([]float64, 4096)
+		for i := range x {
+			x[i], y[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		add("vec/dot-4096", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = vec.Dot(x, y)
+			}
+		})
+		add("vec/axpy-4096", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				vec.Axpy(1e-9, x, y)
+			}
+		})
+	}
+
+	// Layer 2: sparse reduce (the accumulator behind every aggregation).
+	{
+		r := rand.New(rand.NewSource(seed + 1))
+		const dim = 1 << 16
+		vs := make([]*sparse.Vector, 8)
+		for i := range vs {
+			vs[i] = perfSparse(r, dim, 0.02)
+		}
+		acc := sparse.NewAccumulator(dim)
+		out := new(sparse.Vector)
+		add("sparse/reduce-8x", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				acc.Reset(dim)
+				for _, v := range vs {
+					acc.Add(v)
+				}
+				out = acc.SumInto(out)
+			}
+		})
+	}
+
+	// Layer 3: codec encode (exact passthrough vs 8-bit quantization).
+	for _, kind := range []exchange.Kind{exchange.Sparse, exchange.SparseQ8} {
+		codec, err := exchange.For(kind)
+		if err != nil {
+			return nil, err
+		}
+		v := perfSparse(rand.New(rand.NewSource(seed+2)), 1<<16, 0.05)
+		add(fmt.Sprintf("exchange/encode-%s", kind), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				codec.EncodeSparse(v)
+			}
+		})
+	}
+
+	// Layer 4: the sparse PSR-Allreduce across a 4-member world with
+	// persistent workspaces — the engine crew's exact steady state.
+	{
+		const n = 4
+		fab := transport.NewChanFabric(n)
+		defer fab.Close()
+		g := collective.WorldGroup(n)
+		r := rand.New(rand.NewSource(seed + 3))
+		wss := make([]collective.Workspace, n)
+		ins := make([]*sparse.Vector, n)
+		outs := make([]*sparse.Vector, n)
+		eps := make([]transport.Endpoint, n)
+		for i := 0; i < n; i++ {
+			ins[i] = perfSparse(r, 1<<14, 0.05)
+			outs[i] = new(sparse.Vector)
+			eps[i] = fab.Endpoint(i)
+		}
+		var wg sync.WaitGroup
+		add("collective/psr-allreduce-sparse-4", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				wg.Add(n)
+				for m := 0; m < n; m++ {
+					go func(m int) {
+						defer wg.Done()
+						if _, err := wss[m].PSRAllreduceSparse(eps[m], g, 64, ins[m], outs[m]); err != nil {
+							b.Error(err)
+						}
+					}(m)
+				}
+				wg.Wait()
+			}
+		})
+	}
+
+	// Layer 5: one full engine iteration (flat PSR / BSP / sparse — the
+	// alloc-budget composition), MaxIter = b.N so setup amortizes away.
+	{
+		train, _, err := dataset.Generate(dataset.SynthConfig{
+			Name: "perf", Dim: 200, TrainRows: 160, TestRows: 40, RowNNZ: 10,
+			ZipfS: 1.3, SignalNNZ: 30, NoiseFlip: 0.02, Seed: seed + 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var runErr error
+		add("core/bsp-iteration", func(b *testing.B) {
+			cfg := core.Config{
+				Algorithm: core.PSRAADMM,
+				Topo:      simnet.Topology{Nodes: 3, WorkersPerNode: 2},
+				Rho:       1.0,
+				Lambda:    0.5,
+				MaxIter:   b.N,
+				EvalEvery: 1 << 20,
+			}
+			b.ReportAllocs()
+			if _, err := core.Run(cfg, train, core.RunOptions{}); err != nil {
+				runErr = err
+			}
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+	}
+	return rep, nil
+}
+
+// WritePerfReport runs the perf suite and writes the JSON report to path
+// (the committed BENCH_psra.json), echoing a human-readable table to out.
+func WritePerfReport(path string, out io.Writer, seed int64) error {
+	rep, err := Perf(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-36s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, e := range rep.Benchmarks {
+		fmt.Fprintf(out, "%-36s %14.1f %12d %12d\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,11 +1,7 @@
 package collective
 
 import (
-	"fmt"
-
 	"psrahgadmm/internal/transport"
-	"psrahgadmm/internal/vec"
-	"psrahgadmm/internal/wire"
 )
 
 // RingAllreduceDense sums x elementwise across the group, in place. Every
@@ -15,65 +11,8 @@ import (
 // arriving from its predecessor, then len(g)-1 Allgather steps circulating
 // the finished blocks. tagBase reserves tags [tagBase, tagBase+2).
 func RingAllreduceDense(ep transport.Endpoint, g Group, tagBase int32, x []float64) (Trace, error) {
-	me, err := g.validate(ep)
-	if err != nil {
-		return Trace{}, err
-	}
-	p := g.Size()
-	tr := Trace{Steps: 2 * (p - 1)}
-	if p == 1 {
-		return tr, nil
-	}
-	chunks := vec.Split(len(x), p)
-	next := g.Ranks[(me+1)%p]
-	prev := g.Ranks[(me-1+p)%p]
-
-	// Scatter-Reduce: after step s, member i holds the partial sum of s+2
-	// contributions in chunk (i-s-1 mod p); after p-1 steps chunk (i+1 mod
-	// p) is complete at member i.
-	for s := 0; s < p-1; s++ {
-		sendIdx := (me - s + p*p) % p
-		recvIdx := (me - s - 1 + p*p) % p
-		sc := chunks[sendIdx]
-		msg := wire.DenseMsg(tagBase, x[sc.Lo:sc.Hi])
-		errc := sendAsync(ep, next, msg)
-		in, err := ep.Recv(prev, tagBase)
-		if err != nil {
-			return tr, err
-		}
-		if err := <-errc; err != nil {
-			return tr, err
-		}
-		tr.add(s, ep.Rank(), next, wire.PayloadBytes(msg))
-		rc := chunks[recvIdx]
-		if len(in.Dense) != rc.Hi-rc.Lo {
-			return tr, fmt.Errorf("collective: ring scatter block size %d, want %d", len(in.Dense), rc.Hi-rc.Lo)
-		}
-		vec.AddInto(x[rc.Lo:rc.Hi], in.Dense)
-	}
-
-	// Allgather: circulate completed blocks.
-	for s := 0; s < p-1; s++ {
-		sendIdx := (me + 1 - s + p*p) % p
-		recvIdx := (me - s + p*p) % p
-		sc := chunks[sendIdx]
-		msg := wire.DenseMsg(tagBase+1, x[sc.Lo:sc.Hi])
-		errc := sendAsync(ep, next, msg)
-		in, err := ep.Recv(prev, tagBase+1)
-		if err != nil {
-			return tr, err
-		}
-		if err := <-errc; err != nil {
-			return tr, err
-		}
-		tr.add(p-1+s, ep.Rank(), next, wire.PayloadBytes(msg))
-		rc := chunks[recvIdx]
-		if len(in.Dense) != rc.Hi-rc.Lo {
-			return tr, fmt.Errorf("collective: ring gather block size %d, want %d", len(in.Dense), rc.Hi-rc.Lo)
-		}
-		copy(x[rc.Lo:rc.Hi], in.Dense)
-	}
-	return tr, nil
+	var ws Workspace
+	return ws.RingAllreduceDense(ep, g, tagBase, x)
 }
 
 // PSRAllreduceDense sums x elementwise across the group in place using the
@@ -83,87 +22,8 @@ func RingAllreduceDense(ep transport.Endpoint, g Group, tagBase int32, x []float
 // its finished block to all other members. tagBase reserves tags
 // [tagBase, tagBase+2).
 func PSRAllreduceDense(ep transport.Endpoint, g Group, tagBase int32, x []float64) (Trace, error) {
-	me, err := g.validate(ep)
-	if err != nil {
-		return Trace{}, err
-	}
-	p := g.Size()
-	tr := Trace{Steps: 2}
-	if p == 1 {
-		return tr, nil
-	}
-	chunks := vec.Split(len(x), p)
-	mine := chunks[me]
-
-	// Scatter-Reduce: ship block j to owner j, reduce arrivals into mine.
-	errcs := make([]chan error, 0, p-1)
-	for j := 0; j < p; j++ {
-		if j == me {
-			continue
-		}
-		c := chunks[j]
-		errcs = append(errcs, sendAsync(ep, g.Ranks[j], wire.DenseMsg(tagBase, x[c.Lo:c.Hi])))
-		tr.add(0, ep.Rank(), g.Ranks[j], 4+wire.DenseEntryBytes*(c.Hi-c.Lo))
-	}
-	// Collect all contributions first, then reduce in member order so the
-	// floating-point association is independent of arrival order; this is
-	// what makes runs bit-reproducible.
-	arrivals := make([][]float64, p)
-	for j := 0; j < p-1; j++ {
-		in, err := ep.Recv(transport.AnySource, tagBase)
-		if err != nil {
-			return tr, err
-		}
-		if len(in.Dense) != mine.Hi-mine.Lo {
-			return tr, fmt.Errorf("collective: psr scatter block size %d, want %d", len(in.Dense), mine.Hi-mine.Lo)
-		}
-		src := g.IndexOf(int(in.From))
-		if src < 0 || src == me || arrivals[src] != nil {
-			return tr, fmt.Errorf("collective: psr scatter unexpected sender %d", in.From)
-		}
-		arrivals[src] = in.Dense
-	}
-	for _, a := range arrivals {
-		if a != nil {
-			vec.AddInto(x[mine.Lo:mine.Hi], a)
-		}
-	}
-	for _, c := range errcs {
-		if err := <-c; err != nil {
-			return tr, err
-		}
-	}
-
-	// Allgather: broadcast my finished block, collect everyone else's.
-	errcs = errcs[:0]
-	for j := 0; j < p; j++ {
-		if j == me {
-			continue
-		}
-		errcs = append(errcs, sendAsync(ep, g.Ranks[j], wire.DenseMsg(tagBase+1, x[mine.Lo:mine.Hi])))
-		tr.add(1, ep.Rank(), g.Ranks[j], 4+wire.DenseEntryBytes*(mine.Hi-mine.Lo))
-	}
-	for j := 0; j < p-1; j++ {
-		in, err := ep.Recv(transport.AnySource, tagBase+1)
-		if err != nil {
-			return tr, err
-		}
-		src := g.IndexOf(int(in.From))
-		if src < 0 {
-			return tr, fmt.Errorf("collective: psr gather from non-member rank %d", in.From)
-		}
-		c := chunks[src]
-		if len(in.Dense) != c.Hi-c.Lo {
-			return tr, fmt.Errorf("collective: psr gather block size %d, want %d", len(in.Dense), c.Hi-c.Lo)
-		}
-		copy(x[c.Lo:c.Hi], in.Dense)
-	}
-	for _, c := range errcs {
-		if err := <-c; err != nil {
-			return tr, err
-		}
-	}
-	return tr, nil
+	var ws Workspace
+	return ws.PSRAllreduceDense(ep, g, tagBase, x)
 }
 
 // ReduceDense sums every member's x into the root member's slice (member
@@ -172,88 +32,14 @@ func PSRAllreduceDense(ep transport.Endpoint, g Group, tagBase int32, x []float6
 // intra-node reduction to the Leader, where member counts are small and the
 // "link" is the memory bus.
 func ReduceDense(ep transport.Endpoint, g Group, tagBase int32, rootIdx int, x []float64) (Trace, error) {
-	me, err := g.validate(ep)
-	if err != nil {
-		return Trace{}, err
-	}
-	if rootIdx < 0 || rootIdx >= g.Size() {
-		return Trace{}, fmt.Errorf("collective: root index %d out of group", rootIdx)
-	}
-	tr := Trace{Steps: 1}
-	if g.Size() == 1 {
-		return tr, nil
-	}
-	if me != rootIdx {
-		m := wire.DenseMsg(tagBase, x)
-		if err := ep.Send(g.Ranks[rootIdx], m); err != nil {
-			return tr, err
-		}
-		tr.add(0, ep.Rank(), g.Ranks[rootIdx], wire.PayloadBytes(m))
-		return tr, nil
-	}
-	arrivals := make([][]float64, g.Size())
-	for j := 0; j < g.Size()-1; j++ {
-		in, err := ep.Recv(transport.AnySource, tagBase)
-		if err != nil {
-			return tr, err
-		}
-		if len(in.Dense) != len(x) {
-			return tr, fmt.Errorf("collective: reduce length %d, want %d", len(in.Dense), len(x))
-		}
-		src := g.IndexOf(int(in.From))
-		if src < 0 || src == me || arrivals[src] != nil {
-			return tr, fmt.Errorf("collective: reduce unexpected sender %d", in.From)
-		}
-		arrivals[src] = in.Dense
-	}
-	// Reduce in member order for arrival-order-independent float results.
-	for _, a := range arrivals {
-		if a != nil {
-			vec.AddInto(x, a)
-		}
-	}
-	return tr, nil
+	var ws Workspace
+	return ws.ReduceDense(ep, g, tagBase, rootIdx, x)
 }
 
 // BroadcastDense copies the root member's x into every member's slice.
 func BroadcastDense(ep transport.Endpoint, g Group, tagBase int32, rootIdx int, x []float64) (Trace, error) {
-	me, err := g.validate(ep)
-	if err != nil {
-		return Trace{}, err
-	}
-	if rootIdx < 0 || rootIdx >= g.Size() {
-		return Trace{}, fmt.Errorf("collective: root index %d out of group", rootIdx)
-	}
-	tr := Trace{Steps: 1}
-	if g.Size() == 1 {
-		return tr, nil
-	}
-	if me == rootIdx {
-		errcs := make([]chan error, 0, g.Size()-1)
-		for j := 0; j < g.Size(); j++ {
-			if j == rootIdx {
-				continue
-			}
-			m := wire.DenseMsg(tagBase, x)
-			errcs = append(errcs, sendAsync(ep, g.Ranks[j], m))
-			tr.add(0, ep.Rank(), g.Ranks[j], wire.PayloadBytes(m))
-		}
-		for _, c := range errcs {
-			if err := <-c; err != nil {
-				return tr, err
-			}
-		}
-		return tr, nil
-	}
-	in, err := ep.Recv(g.Ranks[rootIdx], tagBase)
-	if err != nil {
-		return tr, err
-	}
-	if len(in.Dense) != len(x) {
-		return tr, fmt.Errorf("collective: broadcast length %d, want %d", len(in.Dense), len(x))
-	}
-	copy(x, in.Dense)
-	return tr, nil
+	var ws Workspace
+	return ws.BroadcastDense(ep, g, tagBase, rootIdx, x)
 }
 
 // StarAllreduceDense is the master-worker allreduce of AD-ADMM: gather all

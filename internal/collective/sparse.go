@@ -5,7 +5,6 @@ import (
 
 	"psrahgadmm/internal/sparse"
 	"psrahgadmm/internal/transport"
-	"psrahgadmm/internal/vec"
 	"psrahgadmm/internal/wire"
 )
 
@@ -16,70 +15,13 @@ import (
 // the paper analyzes in eqs. (11)–(13): a block that accumulates all the
 // nonzeros grows linearly as it travels the ring.
 func RingAllreduceSparse(ep transport.Endpoint, g Group, tagBase int32, v *sparse.Vector) (*sparse.Vector, Trace, error) {
-	me, err := g.validate(ep)
+	var ws Workspace
+	out := new(sparse.Vector)
+	tr, err := ws.RingAllreduceSparse(ep, g, tagBase, v, out)
 	if err != nil {
-		return nil, Trace{}, err
+		return nil, tr, err
 	}
-	p := g.Size()
-	tr := Trace{Steps: 2 * (p - 1)}
-	if p == 1 {
-		return v.Clone(), tr, nil
-	}
-	chunks := vec.Split(v.Dim, p)
-	next := g.Ranks[(me+1)%p]
-	prev := g.Ranks[(me-1+p)%p]
-
-	// blocks[j] is this member's current (partially reduced) copy of block j.
-	blocks := make([]*sparse.Vector, p)
-	for j, c := range chunks {
-		blocks[j] = v.Slice(c.Lo, c.Hi)
-	}
-
-	for s := 0; s < p-1; s++ {
-		sendIdx := (me - s + p*p) % p
-		recvIdx := (me - s - 1 + p*p) % p
-		msg := wire.SparseMsg(tagBase, blocks[sendIdx])
-		bytes := wire.PayloadBytes(msg)
-		errc := sendAsync(ep, next, msg)
-		in, err := ep.Recv(prev, tagBase)
-		if err != nil {
-			return nil, tr, err
-		}
-		if err := <-errc; err != nil {
-			return nil, tr, err
-		}
-		tr.add(s, ep.Rank(), next, bytes)
-		if in.Sparse.Dim != blocks[recvIdx].Dim {
-			return nil, tr, fmt.Errorf("collective: ring sparse block dim %d, want %d", in.Sparse.Dim, blocks[recvIdx].Dim)
-		}
-		blocks[recvIdx] = sparse.Merge(blocks[recvIdx], in.Sparse)
-	}
-
-	for s := 0; s < p-1; s++ {
-		sendIdx := (me + 1 - s + p*p) % p
-		recvIdx := (me - s + p*p) % p
-		msg := wire.SparseMsg(tagBase+1, blocks[sendIdx])
-		bytes := wire.PayloadBytes(msg)
-		errc := sendAsync(ep, next, msg)
-		in, err := ep.Recv(prev, tagBase+1)
-		if err != nil {
-			return nil, tr, err
-		}
-		if err := <-errc; err != nil {
-			return nil, tr, err
-		}
-		tr.add(p-1+s, ep.Rank(), next, bytes)
-		if in.Sparse.Dim != blocks[recvIdx].Dim {
-			return nil, tr, fmt.Errorf("collective: ring sparse gather dim %d, want %d", in.Sparse.Dim, blocks[recvIdx].Dim)
-		}
-		blocks[recvIdx] = in.Sparse
-	}
-
-	offsets := make([]int, p)
-	for j, c := range chunks {
-		offsets[j] = c.Lo
-	}
-	return sparse.Concat(v.Dim, offsets, blocks), tr, nil
+	return out, tr, nil
 }
 
 // PSRAllreduceSparse sums the members' sparse vectors with the paper's
@@ -90,98 +32,13 @@ func RingAllreduceSparse(ep transport.Endpoint, g Group, tagBase int32, v *spars
 // independent of where the nonzeros concentrate — the robustness property
 // PSRA-HGADMM is built on.
 func PSRAllreduceSparse(ep transport.Endpoint, g Group, tagBase int32, v *sparse.Vector) (*sparse.Vector, Trace, error) {
-	me, err := g.validate(ep)
+	var ws Workspace
+	out := new(sparse.Vector)
+	tr, err := ws.PSRAllreduceSparse(ep, g, tagBase, v, out)
 	if err != nil {
-		return nil, Trace{}, err
+		return nil, tr, err
 	}
-	p := g.Size()
-	tr := Trace{Steps: 2}
-	if p == 1 {
-		return v.Clone(), tr, nil
-	}
-	chunks := vec.Split(v.Dim, p)
-	mine := chunks[me]
-
-	// Scatter-Reduce: send block j to its owner, accumulate arrivals into
-	// my own block.
-	errcs := make([]chan error, 0, p-1)
-	for j := 0; j < p; j++ {
-		if j == me {
-			continue
-		}
-		blk := v.Slice(chunks[j].Lo, chunks[j].Hi)
-		msg := wire.SparseMsg(tagBase, blk)
-		tr.add(0, ep.Rank(), g.Ranks[j], wire.PayloadBytes(msg))
-		errcs = append(errcs, sendAsync(ep, g.Ranks[j], msg))
-	}
-	// Collect contributions first, then reduce in member order so float
-	// association is independent of arrival order (bit-reproducibility).
-	arrivals := make([]*sparse.Vector, p)
-	for j := 0; j < p-1; j++ {
-		in, err := ep.Recv(transport.AnySource, tagBase)
-		if err != nil {
-			return nil, tr, err
-		}
-		if in.Sparse.Dim != mine.Hi-mine.Lo {
-			return nil, tr, fmt.Errorf("collective: psr sparse scatter dim %d, want %d", in.Sparse.Dim, mine.Hi-mine.Lo)
-		}
-		src := g.IndexOf(int(in.From))
-		if src < 0 || src == me || arrivals[src] != nil {
-			return nil, tr, fmt.Errorf("collective: psr sparse scatter unexpected sender %d", in.From)
-		}
-		arrivals[src] = in.Sparse
-	}
-	arrivals[me] = v.Slice(mine.Lo, mine.Hi)
-	acc := sparse.NewAccumulator(mine.Hi - mine.Lo)
-	for _, a := range arrivals {
-		if a != nil {
-			acc.Add(a)
-		}
-	}
-	for _, c := range errcs {
-		if err := <-c; err != nil {
-			return nil, tr, err
-		}
-	}
-	myBlock := acc.Sum()
-
-	// Allgather: broadcast my finished block, collect the rest.
-	errcs = errcs[:0]
-	msg := wire.SparseMsg(tagBase+1, myBlock)
-	bytes := wire.PayloadBytes(msg)
-	for j := 0; j < p; j++ {
-		if j == me {
-			continue
-		}
-		tr.add(1, ep.Rank(), g.Ranks[j], bytes)
-		errcs = append(errcs, sendAsync(ep, g.Ranks[j], msg))
-	}
-	blocks := make([]*sparse.Vector, p)
-	blocks[me] = myBlock
-	for j := 0; j < p-1; j++ {
-		in, err := ep.Recv(transport.AnySource, tagBase+1)
-		if err != nil {
-			return nil, tr, err
-		}
-		src := g.IndexOf(int(in.From))
-		if src < 0 || src == me {
-			return nil, tr, fmt.Errorf("collective: psr sparse gather from unexpected rank %d", in.From)
-		}
-		if in.Sparse.Dim != chunks[src].Hi-chunks[src].Lo {
-			return nil, tr, fmt.Errorf("collective: psr sparse gather dim %d, want %d", in.Sparse.Dim, chunks[src].Hi-chunks[src].Lo)
-		}
-		blocks[src] = in.Sparse
-	}
-	for _, c := range errcs {
-		if err := <-c; err != nil {
-			return nil, tr, err
-		}
-	}
-	offsets := make([]int, p)
-	for j, c := range chunks {
-		offsets[j] = c.Lo
-	}
-	return sparse.Concat(v.Dim, offsets, blocks), tr, nil
+	return out, tr, nil
 }
 
 // ReduceSparse sums every member's vector at the root member and returns

@@ -1,0 +1,629 @@
+package collective
+
+import (
+	"fmt"
+
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/vec"
+	"psrahgadmm/internal/wire"
+)
+
+// Workspace holds every piece of per-call scratch a collective needs —
+// chunk tables, block buffers, arrival slots, the reduce accumulator, and
+// the trace event log — so a long-lived caller (one engine member, one
+// WLG worker) re-runs collectives with zero steady-state heap allocation.
+// Buffers are sized on first use and grown on demand, so a workspace
+// needs no explicit invalidation when the group or dimension changes
+// (elastic regroup simply re-sizes on the next call).
+//
+// A Workspace serves ONE goroutine: concurrent collectives need one
+// workspace per member. The returned Trace's Events alias ws storage and
+// are valid until the workspace's next call; callers that keep a trace
+// must copy it.
+//
+// When the endpoint advertises transport.NonBlockingSender, sends happen
+// inline instead of via the usual goroutine-per-send (the async form
+// exists only to avoid distributed deadlock on fabrics with bounded
+// buffering, such as TCP). On zero-copy fabrics delivered payloads alias
+// sender workspaces; that is safe here because every schedule below has
+// the property that a buffer, once sent, is not rewritten until the whole
+// collective completes on all members — see DESIGN.md "Memory model &
+// buffer ownership" for the per-schedule argument.
+type Workspace struct {
+	seen    []bool // group validation scratch, world-sized
+	chunks  []vec.Chunk
+	offsets []int
+	events  []Event
+	errcs   []chan error // async-send fallback
+
+	// Sparse block state. own[j] are buffers this workspace owns and
+	// rewrites each call; cur[j] are the working pointers, which may come
+	// to alias received payloads on zero-copy fabrics. spare double-buffers
+	// ring merges; myBlock holds the accumulator extraction.
+	own     []*sparse.Vector
+	cur     []*sparse.Vector
+	arrS    []*sparse.Vector
+	acc     *sparse.Accumulator
+	myBlock *sparse.Vector
+	spare   *sparse.Vector
+
+	arrD [][]float64
+}
+
+// validateGroup is Group.validate using ws.seen instead of a fresh map.
+// Every collective enters through here, so it also discards async-send
+// error channels left over from a previous call that aborted mid-protocol:
+// their errors belong to the aborted round, and the buffered channels let
+// orphaned send goroutines finish without a receiver.
+func (ws *Workspace) validateGroup(ep transport.Endpoint, g Group) (int, error) {
+	for i := range ws.errcs {
+		ws.errcs[i] = nil
+	}
+	ws.errcs = ws.errcs[:0]
+	if g.Size() == 0 {
+		return 0, fmt.Errorf("collective: empty group")
+	}
+	me := g.IndexOf(ep.Rank())
+	if me < 0 {
+		return 0, fmt.Errorf("collective: rank %d not in group %v", ep.Rank(), g.Ranks)
+	}
+	n := ep.Size()
+	if cap(ws.seen) < n {
+		ws.seen = make([]bool, n)
+	}
+	ws.seen = ws.seen[:n]
+	var err error
+	marked := 0
+	for _, r := range g.Ranks {
+		if r < 0 || r >= n {
+			err = fmt.Errorf("collective: group rank %d out of world [0,%d)", r, n)
+			break
+		}
+		if ws.seen[r] {
+			err = fmt.Errorf("collective: duplicate rank %d in group", r)
+			break
+		}
+		ws.seen[r] = true
+		marked++
+	}
+	for _, r := range g.Ranks[:marked] {
+		ws.seen[r] = false
+	}
+	if err != nil {
+		return 0, err
+	}
+	return me, nil
+}
+
+// ensureSparse sizes the sparse block/arrival state for a p-member group.
+func (ws *Workspace) ensureSparse(p int) {
+	if cap(ws.own) < p {
+		own := make([]*sparse.Vector, p)
+		copy(own, ws.own)
+		ws.own = own
+		ws.cur = make([]*sparse.Vector, p)
+		ws.arrS = make([]*sparse.Vector, p)
+		ws.offsets = make([]int, p)
+	}
+	ws.own = ws.own[:p]
+	ws.cur = ws.cur[:p]
+	ws.arrS = ws.arrS[:p]
+	ws.offsets = ws.offsets[:p]
+	for j := range ws.own {
+		if ws.own[j] == nil {
+			ws.own[j] = new(sparse.Vector)
+		}
+		ws.cur[j] = nil
+		ws.arrS[j] = nil
+	}
+	if ws.spare == nil {
+		ws.spare = new(sparse.Vector)
+	}
+	if ws.myBlock == nil {
+		ws.myBlock = new(sparse.Vector)
+	}
+	if ws.acc == nil {
+		ws.acc = sparse.NewAccumulator(0)
+	}
+}
+
+// ensureDense sizes the dense arrival state for a p-member group.
+func (ws *Workspace) ensureDense(p int) {
+	if cap(ws.arrD) < p {
+		ws.arrD = make([][]float64, p)
+	}
+	ws.arrD = ws.arrD[:p]
+	for j := range ws.arrD {
+		ws.arrD[j] = nil
+	}
+}
+
+// send delivers msg inline when the endpoint's sends cannot deadlock,
+// otherwise through the usual async goroutine (error collected later via
+// ws.errcs).
+func (ws *Workspace) send(ep transport.Endpoint, sync bool, to int, m wire.Message) error {
+	if sync {
+		return ep.Send(to, m)
+	}
+	ws.errcs = append(ws.errcs, sendAsync(ep, to, m))
+	return nil
+}
+
+// drainSends collects the async-send errors, if any.
+func (ws *Workspace) drainSends() error {
+	var first error
+	for i, c := range ws.errcs {
+		if err := <-c; err != nil && first == nil {
+			first = err
+		}
+		ws.errcs[i] = nil
+	}
+	ws.errcs = ws.errcs[:0]
+	return first
+}
+
+// RingAllreduceSparse is the workspace form of the package-level
+// RingAllreduceSparse: the global sum is written into out (which must not
+// alias v) instead of freshly allocated. Float operations occur in the
+// identical order, so results are bit-identical.
+func (ws *Workspace) RingAllreduceSparse(ep transport.Endpoint, g Group, tagBase int32, v, out *sparse.Vector) (Trace, error) {
+	me, err := ws.validateGroup(ep, g)
+	if err != nil {
+		return Trace{}, err
+	}
+	p := g.Size()
+	tr := Trace{Steps: 2 * (p - 1), Events: ws.events[:0]}
+	if p == 1 {
+		out.ReuseFrom(v)
+		return tr, nil
+	}
+	sync := transport.SendsNonBlocking(ep)
+	ws.ensureSparse(p)
+	ws.chunks = vec.SplitInto(ws.chunks, v.Dim, p)
+	next := g.Ranks[(me+1)%p]
+	prev := g.Ranks[(me-1+p)%p]
+
+	blocks := ws.cur
+	for j, c := range ws.chunks {
+		blocks[j] = v.SliceInto(ws.own[j], c.Lo, c.Hi)
+	}
+
+	for s := 0; s < p-1; s++ {
+		sendIdx := (me - s + p*p) % p
+		recvIdx := (me - s - 1 + p*p) % p
+		msg := wire.SparseMsg(tagBase, blocks[sendIdx])
+		bytes := wire.PayloadBytes(msg)
+		if err := ws.send(ep, sync, next, msg); err != nil {
+			return tr, err
+		}
+		in, err := ep.Recv(prev, tagBase)
+		if err != nil {
+			return tr, err
+		}
+		if err := ws.drainSends(); err != nil {
+			return tr, err
+		}
+		tr.add(s, ep.Rank(), next, bytes)
+		if in.Sparse.Dim != blocks[recvIdx].Dim {
+			return tr, fmt.Errorf("collective: ring sparse block dim %d, want %d", in.Sparse.Dim, blocks[recvIdx].Dim)
+		}
+		merged := sparse.MergeInto(ws.spare, blocks[recvIdx], in.Sparse)
+		// The displaced buffer was never sent (a block is merged one step
+		// before it is forwarded), so it can safely become the next spare.
+		// Swap the ownership slot too, keeping {own[·]} ∪ {spare} a set of
+		// p+1 distinct buffers across calls.
+		ws.own[recvIdx], ws.spare = merged, ws.own[recvIdx]
+		blocks[recvIdx] = merged
+	}
+
+	for s := 0; s < p-1; s++ {
+		sendIdx := (me + 1 - s + p*p) % p
+		recvIdx := (me - s + p*p) % p
+		msg := wire.SparseMsg(tagBase+1, blocks[sendIdx])
+		bytes := wire.PayloadBytes(msg)
+		if err := ws.send(ep, sync, next, msg); err != nil {
+			return tr, err
+		}
+		in, err := ep.Recv(prev, tagBase+1)
+		if err != nil {
+			return tr, err
+		}
+		if err := ws.drainSends(); err != nil {
+			return tr, err
+		}
+		tr.add(p-1+s, ep.Rank(), next, bytes)
+		if in.Sparse.Dim != blocks[recvIdx].Dim {
+			return tr, fmt.Errorf("collective: ring sparse gather dim %d, want %d", in.Sparse.Dim, blocks[recvIdx].Dim)
+		}
+		blocks[recvIdx] = in.Sparse
+	}
+
+	for j, c := range ws.chunks {
+		ws.offsets[j] = c.Lo
+	}
+	sparse.ConcatInto(out, v.Dim, ws.offsets, blocks)
+	ws.events = tr.Events
+	return tr, nil
+}
+
+// PSRAllreduceSparse is the workspace form of the package-level
+// PSRAllreduceSparse, writing the global sum into out (which must not
+// alias v). Bit-identical to the allocating form.
+func (ws *Workspace) PSRAllreduceSparse(ep transport.Endpoint, g Group, tagBase int32, v, out *sparse.Vector) (Trace, error) {
+	me, err := ws.validateGroup(ep, g)
+	if err != nil {
+		return Trace{}, err
+	}
+	p := g.Size()
+	tr := Trace{Steps: 2, Events: ws.events[:0]}
+	if p == 1 {
+		out.ReuseFrom(v)
+		return tr, nil
+	}
+	sync := transport.SendsNonBlocking(ep)
+	ws.ensureSparse(p)
+	ws.chunks = vec.SplitInto(ws.chunks, v.Dim, p)
+	mine := ws.chunks[me]
+
+	// Scatter-Reduce: send block j to its owner, accumulate arrivals into
+	// my own block.
+	for j := 0; j < p; j++ {
+		if j == me {
+			continue
+		}
+		blk := v.SliceInto(ws.own[j], ws.chunks[j].Lo, ws.chunks[j].Hi)
+		msg := wire.SparseMsg(tagBase, blk)
+		tr.add(0, ep.Rank(), g.Ranks[j], wire.PayloadBytes(msg))
+		if err := ws.send(ep, sync, g.Ranks[j], msg); err != nil {
+			return tr, err
+		}
+	}
+	// Collect contributions first, then reduce in member order so float
+	// association is independent of arrival order (bit-reproducibility).
+	arrivals := ws.arrS
+	for j := 0; j < p-1; j++ {
+		in, err := ep.Recv(transport.AnySource, tagBase)
+		if err != nil {
+			return tr, err
+		}
+		if in.Sparse.Dim != mine.Hi-mine.Lo {
+			return tr, fmt.Errorf("collective: psr sparse scatter dim %d, want %d", in.Sparse.Dim, mine.Hi-mine.Lo)
+		}
+		src := g.IndexOf(int(in.From))
+		if src < 0 || src == me || arrivals[src] != nil {
+			return tr, fmt.Errorf("collective: psr sparse scatter unexpected sender %d", in.From)
+		}
+		arrivals[src] = in.Sparse
+	}
+	arrivals[me] = v.SliceInto(ws.own[me], mine.Lo, mine.Hi)
+	ws.acc.Reset(mine.Hi - mine.Lo)
+	for _, a := range arrivals {
+		if a != nil {
+			ws.acc.Add(a)
+		}
+	}
+	if err := ws.drainSends(); err != nil {
+		return tr, err
+	}
+	myBlock := ws.acc.SumInto(ws.myBlock)
+	ws.myBlock = myBlock
+
+	// Allgather: broadcast my finished block, collect the rest.
+	msg := wire.SparseMsg(tagBase+1, myBlock)
+	bytes := wire.PayloadBytes(msg)
+	for j := 0; j < p; j++ {
+		if j == me {
+			continue
+		}
+		tr.add(1, ep.Rank(), g.Ranks[j], bytes)
+		if err := ws.send(ep, sync, g.Ranks[j], msg); err != nil {
+			return tr, err
+		}
+	}
+	blocks := ws.cur
+	blocks[me] = myBlock
+	for j := 0; j < p-1; j++ {
+		in, err := ep.Recv(transport.AnySource, tagBase+1)
+		if err != nil {
+			return tr, err
+		}
+		src := g.IndexOf(int(in.From))
+		if src < 0 || src == me {
+			return tr, fmt.Errorf("collective: psr sparse gather from unexpected rank %d", in.From)
+		}
+		if in.Sparse.Dim != ws.chunks[src].Hi-ws.chunks[src].Lo {
+			return tr, fmt.Errorf("collective: psr sparse gather dim %d, want %d", in.Sparse.Dim, ws.chunks[src].Hi-ws.chunks[src].Lo)
+		}
+		blocks[src] = in.Sparse
+	}
+	if err := ws.drainSends(); err != nil {
+		return tr, err
+	}
+	for j, c := range ws.chunks {
+		ws.offsets[j] = c.Lo
+	}
+	sparse.ConcatInto(out, v.Dim, ws.offsets, blocks)
+	ws.events = tr.Events
+	return tr, nil
+}
+
+// RingAllreduceDense is the workspace form of the package-level
+// RingAllreduceDense (in place on x). Bit-identical results.
+func (ws *Workspace) RingAllreduceDense(ep transport.Endpoint, g Group, tagBase int32, x []float64) (Trace, error) {
+	me, err := ws.validateGroup(ep, g)
+	if err != nil {
+		return Trace{}, err
+	}
+	p := g.Size()
+	tr := Trace{Steps: 2 * (p - 1), Events: ws.events[:0]}
+	if p == 1 {
+		return tr, nil
+	}
+	sync := transport.SendsNonBlocking(ep)
+	ws.chunks = vec.SplitInto(ws.chunks, len(x), p)
+	next := g.Ranks[(me+1)%p]
+	prev := g.Ranks[(me-1+p)%p]
+
+	for s := 0; s < p-1; s++ {
+		sendIdx := (me - s + p*p) % p
+		recvIdx := (me - s - 1 + p*p) % p
+		sc := ws.chunks[sendIdx]
+		msg := wire.DenseMsg(tagBase, x[sc.Lo:sc.Hi])
+		if err := ws.send(ep, sync, next, msg); err != nil {
+			return tr, err
+		}
+		in, err := ep.Recv(prev, tagBase)
+		if err != nil {
+			return tr, err
+		}
+		if err := ws.drainSends(); err != nil {
+			return tr, err
+		}
+		tr.add(s, ep.Rank(), next, wire.PayloadBytes(msg))
+		rc := ws.chunks[recvIdx]
+		if len(in.Dense) != rc.Hi-rc.Lo {
+			return tr, fmt.Errorf("collective: ring scatter block size %d, want %d", len(in.Dense), rc.Hi-rc.Lo)
+		}
+		vec.AddInto(x[rc.Lo:rc.Hi], in.Dense)
+	}
+
+	for s := 0; s < p-1; s++ {
+		sendIdx := (me + 1 - s + p*p) % p
+		recvIdx := (me - s + p*p) % p
+		sc := ws.chunks[sendIdx]
+		msg := wire.DenseMsg(tagBase+1, x[sc.Lo:sc.Hi])
+		if err := ws.send(ep, sync, next, msg); err != nil {
+			return tr, err
+		}
+		in, err := ep.Recv(prev, tagBase+1)
+		if err != nil {
+			return tr, err
+		}
+		if err := ws.drainSends(); err != nil {
+			return tr, err
+		}
+		tr.add(p-1+s, ep.Rank(), next, wire.PayloadBytes(msg))
+		rc := ws.chunks[recvIdx]
+		if len(in.Dense) != rc.Hi-rc.Lo {
+			return tr, fmt.Errorf("collective: ring gather block size %d, want %d", len(in.Dense), rc.Hi-rc.Lo)
+		}
+		copy(x[rc.Lo:rc.Hi], in.Dense)
+	}
+	ws.events = tr.Events
+	return tr, nil
+}
+
+// PSRAllreduceDense is the workspace form of the package-level
+// PSRAllreduceDense (in place on x). Bit-identical results.
+func (ws *Workspace) PSRAllreduceDense(ep transport.Endpoint, g Group, tagBase int32, x []float64) (Trace, error) {
+	me, err := ws.validateGroup(ep, g)
+	if err != nil {
+		return Trace{}, err
+	}
+	p := g.Size()
+	tr := Trace{Steps: 2, Events: ws.events[:0]}
+	if p == 1 {
+		return tr, nil
+	}
+	sync := transport.SendsNonBlocking(ep)
+	ws.ensureDense(p)
+	ws.chunks = vec.SplitInto(ws.chunks, len(x), p)
+	mine := ws.chunks[me]
+
+	for j := 0; j < p; j++ {
+		if j == me {
+			continue
+		}
+		c := ws.chunks[j]
+		if err := ws.send(ep, sync, g.Ranks[j], wire.DenseMsg(tagBase, x[c.Lo:c.Hi])); err != nil {
+			return tr, err
+		}
+		tr.add(0, ep.Rank(), g.Ranks[j], 4+wire.DenseEntryBytes*(c.Hi-c.Lo))
+	}
+	arrivals := ws.arrD
+	for j := 0; j < p-1; j++ {
+		in, err := ep.Recv(transport.AnySource, tagBase)
+		if err != nil {
+			return tr, err
+		}
+		if len(in.Dense) != mine.Hi-mine.Lo {
+			return tr, fmt.Errorf("collective: psr scatter block size %d, want %d", len(in.Dense), mine.Hi-mine.Lo)
+		}
+		src := g.IndexOf(int(in.From))
+		if src < 0 || src == me || arrivals[src] != nil {
+			return tr, fmt.Errorf("collective: psr scatter unexpected sender %d", in.From)
+		}
+		arrivals[src] = in.Dense
+	}
+	for _, a := range arrivals {
+		if a != nil {
+			vec.AddInto(x[mine.Lo:mine.Hi], a)
+		}
+	}
+	if err := ws.drainSends(); err != nil {
+		return tr, err
+	}
+
+	for j := 0; j < p; j++ {
+		if j == me {
+			continue
+		}
+		if err := ws.send(ep, sync, g.Ranks[j], wire.DenseMsg(tagBase+1, x[mine.Lo:mine.Hi])); err != nil {
+			return tr, err
+		}
+		tr.add(1, ep.Rank(), g.Ranks[j], 4+wire.DenseEntryBytes*(mine.Hi-mine.Lo))
+	}
+	for j := 0; j < p-1; j++ {
+		in, err := ep.Recv(transport.AnySource, tagBase+1)
+		if err != nil {
+			return tr, err
+		}
+		src := g.IndexOf(int(in.From))
+		if src < 0 {
+			return tr, fmt.Errorf("collective: psr gather from non-member rank %d", in.From)
+		}
+		c := ws.chunks[src]
+		if len(in.Dense) != c.Hi-c.Lo {
+			return tr, fmt.Errorf("collective: psr gather block size %d, want %d", len(in.Dense), c.Hi-c.Lo)
+		}
+		copy(x[c.Lo:c.Hi], in.Dense)
+	}
+	if err := ws.drainSends(); err != nil {
+		return tr, err
+	}
+	ws.events = tr.Events
+	return tr, nil
+}
+
+// ReduceDense is the workspace form of the package-level ReduceDense.
+func (ws *Workspace) ReduceDense(ep transport.Endpoint, g Group, tagBase int32, rootIdx int, x []float64) (Trace, error) {
+	me, err := ws.validateGroup(ep, g)
+	if err != nil {
+		return Trace{}, err
+	}
+	if rootIdx < 0 || rootIdx >= g.Size() {
+		return Trace{}, fmt.Errorf("collective: root index %d out of group", rootIdx)
+	}
+	tr := Trace{Steps: 1, Events: ws.events[:0]}
+	if g.Size() == 1 {
+		return tr, nil
+	}
+	if me != rootIdx {
+		m := wire.DenseMsg(tagBase, x)
+		if err := ep.Send(g.Ranks[rootIdx], m); err != nil {
+			return tr, err
+		}
+		tr.add(0, ep.Rank(), g.Ranks[rootIdx], wire.PayloadBytes(m))
+		ws.events = tr.Events
+		return tr, nil
+	}
+	ws.ensureDense(g.Size())
+	arrivals := ws.arrD
+	for j := 0; j < g.Size()-1; j++ {
+		in, err := ep.Recv(transport.AnySource, tagBase)
+		if err != nil {
+			return tr, err
+		}
+		if len(in.Dense) != len(x) {
+			return tr, fmt.Errorf("collective: reduce length %d, want %d", len(in.Dense), len(x))
+		}
+		src := g.IndexOf(int(in.From))
+		if src < 0 || src == me || arrivals[src] != nil {
+			return tr, fmt.Errorf("collective: reduce unexpected sender %d", in.From)
+		}
+		arrivals[src] = in.Dense
+	}
+	// Reduce in member order for arrival-order-independent float results.
+	for _, a := range arrivals {
+		if a != nil {
+			vec.AddInto(x, a)
+		}
+	}
+	ws.events = tr.Events
+	return tr, nil
+}
+
+// BroadcastDense is the workspace form of the package-level
+// BroadcastDense.
+func (ws *Workspace) BroadcastDense(ep transport.Endpoint, g Group, tagBase int32, rootIdx int, x []float64) (Trace, error) {
+	me, err := ws.validateGroup(ep, g)
+	if err != nil {
+		return Trace{}, err
+	}
+	if rootIdx < 0 || rootIdx >= g.Size() {
+		return Trace{}, fmt.Errorf("collective: root index %d out of group", rootIdx)
+	}
+	tr := Trace{Steps: 1, Events: ws.events[:0]}
+	if g.Size() == 1 {
+		return tr, nil
+	}
+	sync := transport.SendsNonBlocking(ep)
+	if me == rootIdx {
+		m := wire.DenseMsg(tagBase, x)
+		bytes := wire.PayloadBytes(m)
+		for j := 0; j < g.Size(); j++ {
+			if j == rootIdx {
+				continue
+			}
+			if err := ws.send(ep, sync, g.Ranks[j], m); err != nil {
+				return tr, err
+			}
+			tr.add(0, ep.Rank(), g.Ranks[j], bytes)
+		}
+		if err := ws.drainSends(); err != nil {
+			return tr, err
+		}
+		ws.events = tr.Events
+		return tr, nil
+	}
+	in, err := ep.Recv(g.Ranks[rootIdx], tagBase)
+	if err != nil {
+		return tr, err
+	}
+	if len(in.Dense) != len(x) {
+		return tr, fmt.Errorf("collective: broadcast length %d, want %d", len(in.Dense), len(x))
+	}
+	copy(x, in.Dense)
+	ws.events = tr.Events
+	return tr, nil
+}
+
+// Barrier is the workspace form of the package-level Barrier.
+func (ws *Workspace) Barrier(ep transport.Endpoint, g Group, tag int32) (Trace, error) {
+	me, err := ws.validateGroup(ep, g)
+	if err != nil {
+		return Trace{}, err
+	}
+	tr := Trace{Steps: 2, Events: ws.events[:0]}
+	if g.Size() == 1 {
+		return tr, nil
+	}
+	root := g.Ranks[0]
+	if me == 0 {
+		for i := 1; i < g.Size(); i++ {
+			if _, err := ep.Recv(transport.AnySource, tag); err != nil {
+				return tr, err
+			}
+		}
+		for i := 1; i < g.Size(); i++ {
+			m := wire.Control(tag + 1)
+			if err := ep.Send(g.Ranks[i], m); err != nil {
+				return tr, err
+			}
+			tr.add(1, ep.Rank(), g.Ranks[i], wire.PayloadBytes(m))
+		}
+		ws.events = tr.Events
+		return tr, nil
+	}
+	m := wire.Control(tag)
+	if err := ep.Send(root, m); err != nil {
+		return tr, err
+	}
+	tr.add(0, ep.Rank(), root, wire.PayloadBytes(m))
+	if _, err := ep.Recv(root, tag+1); err != nil {
+		return tr, err
+	}
+	ws.events = tr.Events
+	return tr, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"psrahgadmm/internal/dataset"
+	"psrahgadmm/internal/raceflag"
+)
+
+// runMallocs executes one full training run and returns the heap objects
+// it allocated, counted across all goroutines (crew members, compute
+// pool) via runtime.MemStats.Mallocs.
+func runMallocs(t *testing.T, cfg Config, train *dataset.Dataset) int64 {
+	t.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := Run(cfg, train, RunOptions{})
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != cfg.MaxIter {
+		t.Fatalf("history length %d, want %d", len(res.History), cfg.MaxIter)
+	}
+	return int64(after.Mallocs - before.Mallocs)
+}
+
+// marginalAllocs measures the per-iteration allocation rate of a config as
+// the slope between two runs differing only in MaxIter, so every one-time
+// cost — fabric, crew, workspaces, first-rounds buffer growth — cancels.
+// The minimum over trials filters runtime background noise (timers,
+// scheduler growth).
+func marginalAllocs(t *testing.T, base Config, train *dataset.Dataset, n1, n2 int) float64 {
+	t.Helper()
+	best := math.Inf(1)
+	for trial := 0; trial < 3; trial++ {
+		c1, c2 := base, base
+		c1.MaxIter, c2.MaxIter = n1, n2
+		m1 := runMallocs(t, c1, train)
+		m2 := runMallocs(t, c2, train)
+		if perIter := float64(m2-m1) / float64(n2-n1); perIter < best {
+			best = perIter
+		}
+	}
+	return best
+}
+
+// TestSteadyStateAllocBudget pins the tentpole guarantee: a warmed
+// steady-state iteration of the flat-PSR / BSP / sparse engine — the
+// repo's allocation benchmark composition — stays within a small fixed
+// heap budget. Guards the reuse discipline of DESIGN.md "Memory model &
+// buffer ownership"; a regression here means some per-round buffer went
+// back on the heap.
+func TestSteadyStateAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	train, _ := testData(t, 160)
+	cfg := baseConfig(PSRAADMM, 3, 2)
+	cfg.EvalEvery = 1 << 20 // objective eval is off the steady-state path
+
+	const budget = 8.0
+	got := marginalAllocs(t, cfg, train, 30, 130)
+	t.Logf("steady-state allocations: %.2f objects/iter (budget %g)", got, budget)
+	if got > budget {
+		t.Fatalf("steady-state allocations: %.2f objects/iter exceeds budget %g", got, budget)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"psrahgadmm/internal/collective"
 	"psrahgadmm/internal/sparse"
@@ -18,6 +19,7 @@ type commKind int
 const (
 	commPSRSparse commKind = iota
 	commRingSparse
+	commRingDense
 )
 
 // abortOnError closes the scratch fabric the first time a group member
@@ -36,97 +38,241 @@ func (a *abortOnError) observe(err error) {
 	}
 }
 
-// firstGroupError picks the most informative error out of a group's
-// results: a typed PeerDownError beats a generic failure, which beats the
-// ErrClosed noise the abort itself produced on the other members.
-func firstGroupError(what string, ranks []int, errs []error) error {
-	var fallback error
-	for i, err := range errs {
-		if err == nil {
+// crewJob is one member's share of a collective round: the sparse kinds
+// read in and write the aggregate into out; the dense kind sums in place
+// into dense.
+type crewJob struct {
+	kind    commKind
+	g       collective.Group
+	tagBase int32
+	in      *sparse.Vector
+	out     *sparse.Vector
+	dense   []float64
+}
+
+// crew is the run-persistent collective executor: one goroutine per world
+// rank, fed one crewJob per collective round through its own channel. The
+// per-round form this replaces — spawn a goroutine per member, allocate
+// results, traces, endpoint wrappers, and a whole collective.Workspace per
+// call — put every round's collective on the heap; the crew keeps all of
+// it warm. Per-rank Workspaces grow to the round's (group size, dim) shape
+// once and are reused for the rest of the run; elastic regroups simply
+// present a smaller group and the workspaces adapt in place.
+//
+// Rounds are dispatched strictly sequentially from the single strategy
+// goroutine, so per-rank result slots need no locks: wg.Wait() is the
+// barrier that orders every slot write before the dispatcher reads it.
+type crew struct {
+	env    *strategyEnv
+	jobs   []chan crewJob
+	wg     sync.WaitGroup
+	wss    []collective.Workspace
+	outs   []*sparse.Vector // aggregate sinks for members beyond the first
+	dense  [][]float64      // dense in-place buffers, grown to dim once
+	traces []collective.Trace
+	errs   []error
+	eps    []transport.Endpoint // pre-boxed (latched in elastic runs)
+	stop   atomic.Bool          // elastic abort latch, reset per round
+	abort  abortOnError         // non-elastic fail-fast
+
+	mergedEvents []collective.Event // mergedTrace scratch
+}
+
+func newCrew(env *strategyEnv) *crew {
+	n := len(env.ws)
+	c := &crew{
+		env:    env,
+		jobs:   make([]chan crewJob, n),
+		wss:    make([]collective.Workspace, n),
+		outs:   make([]*sparse.Vector, n),
+		dense:  make([][]float64, n),
+		traces: make([]collective.Trace, n),
+		errs:   make([]error, n),
+		eps:    make([]transport.Endpoint, n),
+	}
+	c.abort.fab = env.fab
+	for r := 0; r < n; r++ {
+		if env.elastic {
+			c.eps[r] = latchEndpoint{env.fab.Endpoint(r), &c.stop}
+		} else {
+			c.eps[r] = env.fab.Endpoint(r)
+		}
+		c.outs[r] = new(sparse.Vector)
+		c.jobs[r] = make(chan crewJob)
+		go c.serve(r)
+	}
+	return c
+}
+
+func (c *crew) serve(r int) {
+	for job := range c.jobs[r] {
+		var err error
+		var tr collective.Trace
+		switch job.kind {
+		case commPSRSparse:
+			tr, err = c.wss[r].PSRAllreduceSparse(c.eps[r], job.g, job.tagBase, job.in, job.out)
+		case commRingSparse:
+			tr, err = c.wss[r].RingAllreduceSparse(c.eps[r], job.g, job.tagBase, job.in, job.out)
+		case commRingDense:
+			tr, err = c.wss[r].RingAllreduceDense(c.eps[r], job.g, job.tagBase, job.dense)
+		default:
+			err = fmt.Errorf("core: unknown comm kind %d", job.kind)
+		}
+		c.traces[r], c.errs[r] = tr, err
+		if err != nil {
+			// Unblock the rest of the group: flip the latch in an elastic
+			// run (the fabric must survive for the retry), close the
+			// fabric in a fail-stop one.
+			if c.env.elastic {
+				c.stop.Store(true)
+			} else {
+				c.abort.observe(err)
+			}
+		}
+		c.wg.Done()
+	}
+}
+
+// close stops the crew goroutines; no round may be in flight.
+func (c *crew) close() {
+	for _, ch := range c.jobs {
+		close(ch)
+	}
+}
+
+// collect classifies the round's member errors. Non-elastic, it picks the
+// most informative one: a typed PeerDownError beats a generic failure,
+// which beats the ErrClosed noise the abort itself produced on the other
+// members. Elastic, it translates errors into membership facts — a
+// PeerDownError marks its peer dead, a member's own ErrClosed marks that
+// member dead (its endpoint was killed under it; the fabric is never
+// closed mid-run) — and wraps retryable peer loss in errPeersLost so the
+// engine re-runs the round over the survivors. Any other error is
+// non-retryable and returned as-is.
+func (c *crew) collect(what string, ranks []int) error {
+	if !c.env.elastic {
+		var fallback error
+		for _, r := range ranks {
+			err := c.errs[r]
+			if err == nil {
+				continue
+			}
+			var pd *transport.PeerDownError
+			if errors.As(err, &pd) {
+				return fmt.Errorf("core: %s rank %d: %w", what, r, err)
+			}
+			if fallback == nil || errors.Is(fallback, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed) {
+				fallback = fmt.Errorf("core: %s rank %d: %w", what, r, err)
+			}
+		}
+		return fallback
+	}
+	var cause error
+	lost := false
+	for _, r := range ranks {
+		err := c.errs[r]
+		if err == nil || errors.Is(err, errRoundAborted) {
 			continue
 		}
 		var pd *transport.PeerDownError
-		if errors.As(err, &pd) {
-			return fmt.Errorf("core: %s rank %d: %w", what, ranks[i], err)
+		switch {
+		case errors.As(err, &pd):
+			c.env.members.MarkDown(pd.Peer, pd)
+			lost = true
+		case errors.Is(err, transport.ErrClosed):
+			c.env.members.MarkDown(r, err)
+			lost = true
+		default:
+			return fmt.Errorf("core: %s rank %d: %w", what, r, err)
 		}
-		if fallback == nil || errors.Is(fallback, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed) {
-			fallback = fmt.Errorf("core: %s rank %d: %w", what, ranks[i], err)
+		if cause == nil {
+			cause = err
 		}
 	}
-	return fallback
+	if lost {
+		return fmt.Errorf("core: %s: %v: %w", what, cause, errPeersLost)
+	}
+	return nil
+}
+
+// mergedTrace folds the group's per-member traces into one (max steps, all
+// events in member order). The result aliases crew scratch and is valid
+// until the next collective round.
+func (c *crew) mergedTrace(ranks []int) collective.Trace {
+	merged := collective.Trace{Events: c.mergedEvents[:0]}
+	for _, r := range ranks {
+		tr := c.traces[r]
+		if tr.Steps > merged.Steps {
+			merged.Steps = tr.Steps
+		}
+		merged.Events = append(merged.Events, tr.Events...)
+	}
+	c.mergedEvents = merged.Events
+	return merged
 }
 
 // groupAllreduce runs the *actual* collective implementation among the
-// given world ranks over the engine's scratch fabric — one goroutine per
-// member — and returns the aggregated vector plus the merged trace. The
-// engine's virtual clock is driven by real message sizes, not an analytic
-// formula; this is what keeps the Figure 6/7 communication times honest
-// about sparsity. Each invocation draws a fresh tag window, so a retried
-// attempt can never match an aborted attempt's stale messages. Failure
-// handling follows runGroup: abort-and-return in a non-elastic run,
-// classify-and-retry (errPeersLost) in an elastic one.
-func groupAllreduce(env *strategyEnv, ranks []int, kind commKind, inputs []*sparse.Vector) (*sparse.Vector, collective.Trace, error) {
+// given world ranks over the engine's scratch fabric — the crew's
+// persistent member goroutines — writing the aggregate into the
+// caller-owned out and returning the merged trace. The engine's virtual
+// clock is driven by real message sizes, not an analytic formula; this is
+// what keeps the Figure 6/7 communication times honest about sparsity.
+// Each invocation draws a fresh tag window, so a retried attempt can never
+// match an aborted attempt's stale messages. The returned trace aliases
+// crew scratch (consume it before the next collective); out is untouched
+// by later rounds, so strategies may retain it.
+func groupAllreduce(env *strategyEnv, ranks []int, kind commKind, inputs []*sparse.Vector, out *sparse.Vector) (collective.Trace, error) {
 	if len(ranks) != len(inputs) {
 		panic("core: groupAllreduce ranks/inputs mismatch")
 	}
+	c := env.crew
 	tagBase := env.nextTagBase()
-	g := collective.NewGroup(ranks...)
-	results := make([]*sparse.Vector, len(ranks))
-	traces := make([]collective.Trace, len(ranks))
-	err := runGroup(env, "group allreduce", ranks, func(i int, ep transport.Endpoint) error {
-		var err error
-		switch kind {
-		case commPSRSparse:
-			results[i], traces[i], err = collective.PSRAllreduceSparse(ep, g, tagBase, inputs[i])
-		case commRingSparse:
-			results[i], traces[i], err = collective.RingAllreduceSparse(ep, g, tagBase, inputs[i])
-		default:
-			err = fmt.Errorf("core: unknown comm kind %d", kind)
+	g := collective.Group{Ranks: ranks}
+	c.stop.Store(false)
+	c.wg.Add(len(ranks))
+	for i, r := range ranks {
+		dst := out
+		if i != 0 {
+			dst = c.outs[r]
 		}
-		return err
-	})
-	if err != nil {
-		return nil, collective.Trace{}, err
+		c.jobs[r] <- crewJob{kind: kind, g: g, tagBase: tagBase, in: inputs[i], out: dst}
 	}
-	// All members hold the identical aggregate; return member 0's.
-	return results[0], mergeTraces(traces), nil
+	c.wg.Wait()
+	if err := c.collect("group allreduce", ranks); err != nil {
+		return collective.Trace{}, err
+	}
+	return c.mergedTrace(ranks), nil
 }
 
 // groupAllreduceDense runs the real dense Ring-Allreduce among the given
 // world ranks — ADMMLib's exchange: the full parameter vector circulates
-// regardless of sparsity. Inputs are summed in place into per-member
-// copies; member 0's result and the merged trace are returned. Failure
-// handling as in groupAllreduce.
-func groupAllreduceDense(env *strategyEnv, ranks []int, inputs [][]float64) ([]float64, collective.Trace, error) {
+// regardless of sparsity. Inputs are copied into crew-owned per-member
+// buffers and summed in place; member 0's result is copied into the
+// caller-owned out (len == dim). Failure handling as in groupAllreduce.
+func groupAllreduceDense(env *strategyEnv, ranks []int, inputs [][]float64, out []float64) (collective.Trace, error) {
 	if len(ranks) != len(inputs) {
 		panic("core: groupAllreduceDense ranks/inputs mismatch")
 	}
+	c := env.crew
 	tagBase := env.nextTagBase()
-	g := collective.NewGroup(ranks...)
-	bufs := make([][]float64, len(ranks))
-	traces := make([]collective.Trace, len(ranks))
-	err := runGroup(env, "dense group allreduce", ranks, func(i int, ep transport.Endpoint) error {
-		bufs[i] = append([]float64(nil), inputs[i]...)
-		var err error
-		traces[i], err = collective.RingAllreduceDense(ep, g, tagBase, bufs[i])
-		return err
-	})
-	if err != nil {
-		return nil, collective.Trace{}, err
-	}
-	return bufs[0], mergeTraces(traces), nil
-}
-
-// mergeTraces folds per-member traces into one (max steps, all events).
-func mergeTraces(traces []collective.Trace) collective.Trace {
-	merged := collective.Trace{}
-	for i := range traces {
-		if traces[i].Steps > merged.Steps {
-			merged.Steps = traces[i].Steps
+	g := collective.Group{Ranks: ranks}
+	c.stop.Store(false)
+	c.wg.Add(len(ranks))
+	for i, r := range ranks {
+		if cap(c.dense[r]) < len(inputs[i]) {
+			c.dense[r] = make([]float64, len(inputs[i]))
 		}
-		merged.Events = append(merged.Events, traces[i].Events...)
+		buf := c.dense[r][:len(inputs[i])]
+		copy(buf, inputs[i])
+		c.dense[r] = buf
+		c.jobs[r] <- crewJob{kind: commRingDense, g: g, tagBase: tagBase, dense: buf}
 	}
-	return merged
+	c.wg.Wait()
+	if err := c.collect("dense group allreduce", ranks); err != nil {
+		return collective.Trace{}, err
+	}
+	copy(out, c.dense[ranks[0]])
+	return c.mergedTrace(ranks), nil
 }
 
 // traceBytes sums payload bytes across a merged trace.

@@ -19,6 +19,9 @@ type groupStrategy struct {
 	env    *strategyEnv
 	clocks []sspClock // per node
 	pend   []*sparse.Vector
+	// Reusable barrier scratch.
+	finishes []float64
+	fresh    []int
 }
 
 func newGroupStrategy(env *strategyEnv, cfg Config) *groupStrategy {
@@ -68,8 +71,9 @@ func (st *groupStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	}
 	chargeLaunchBytes(st.clocks, iter, &timing)
 
-	cutoff := sspCutoff(st.clocks, env.sync.Quorum(len(liveNodes), wpn), env.sync.Delay())
-	freshNodes := admitted(st.clocks, cutoff)
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(len(liveNodes), wpn), env.sync.Delay(), &st.finishes)
+	st.fresh = admitted(st.clocks, cutoff, st.fresh)
+	freshNodes := st.fresh
 
 	// GG batching in virtual-arrival order over this round's fresh nodes.
 	type nodeAgg struct {
@@ -127,11 +131,14 @@ func (st *groupStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 
 		var agg *sparse.Vector
 		var tr collective.Trace
-		var err error
 		if len(group) == 1 {
 			agg, tr = group[0].sum, collective.Trace{}
 		} else {
-			agg, tr, err = groupAllreduce(env, leaders, commPSRSparse, inputs)
+			// The aggregate is retained into results for phase 2, so it
+			// gets its own vector rather than crew scratch.
+			agg = new(sparse.Vector)
+			var err error
+			tr, err = groupAllreduce(env, leaders, commPSRSparse, inputs, agg)
 			if err != nil {
 				return timing, err
 			}

@@ -23,6 +23,12 @@ type ringStrategy struct {
 	pendS []*sparse.Vector
 	// lastRingEnd serializes consecutive rings through the Leaders' NICs.
 	lastRingEnd float64
+	// Reusable round scratch: barrier bookkeeping plus the ring's result
+	// sinks (aggS for the sparse exchange, bigWBuf for the dense one).
+	finishes []float64
+	fresh    []int
+	aggS     *sparse.Vector
+	bigWBuf  []float64
 }
 
 func newRingStrategy(env *strategyEnv, cfg Config) *ringStrategy {
@@ -34,12 +40,14 @@ func newRingStrategy(env *strategyEnv, cfg Config) *ringStrategy {
 		for n := range st.wCurD {
 			st.wCurD[n] = make([]float64, env.dim)
 		}
+		st.bigWBuf = make([]float64, env.dim)
 	} else {
 		st.wCurS = make([]*sparse.Vector, nodes)
 		st.pendS = make([]*sparse.Vector, nodes)
 		for n := range st.wCurS {
 			st.wCurS[n] = sparse.NewVector(env.dim, 0)
 		}
+		st.aggS = new(sparse.Vector)
 	}
 	return st
 }
@@ -106,8 +114,9 @@ func (st *ringStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	}
 	chargeLaunchBytes(st.clocks, iter, &timing)
 
-	cutoff := sspCutoff(st.clocks, env.sync.Quorum(len(liveNodes), wpn), env.sync.Delay())
-	freshNodes := admitted(st.clocks, cutoff)
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(len(liveNodes), wpn), env.sync.Delay(), &st.finishes)
+	st.fresh = admitted(st.clocks, cutoff, st.fresh)
+	freshNodes := st.fresh
 	for _, n := range freshNodes {
 		if dense {
 			st.wCurD[n] = st.pendD[n]
@@ -135,27 +144,28 @@ func (st *ringStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	var agg *sparse.Vector
 	if len(liveNodes) == 1 {
 		if dense {
-			bigW = append([]float64(nil), inputsD[0]...)
+			// Copy: EncodeDense below mutates bigW, and the cached
+			// contribution must stay intact for later stale rounds.
+			bigW = st.bigWBuf
+			copy(bigW, inputsD[0])
 		} else {
 			agg = inputsS[0]
 		}
 	} else if dense {
-		var err error
-		var tr traceAlias
-		bigW, tr, err = groupAllreduceDense(env, leaders, inputsD)
+		tr, err := groupAllreduceDense(env, leaders, inputsD, st.bigWBuf)
 		if err != nil {
 			return timing, err
 		}
+		bigW = st.bigWBuf
 		scaled := env.codec.WireTrace(tr)
 		commT = cfg.Cost.TraceTime(topo, scaled)
 		timing.bytes += traceBytes(scaled)
 	} else {
-		var err error
-		var tr traceAlias
-		agg, tr, err = groupAllreduce(env, leaders, commRingSparse, inputsS)
+		tr, err := groupAllreduce(env, leaders, commRingSparse, inputsS, st.aggS)
 		if err != nil {
 			return timing, err
 		}
+		agg = st.aggS
 		tr = env.codec.WireTrace(tr)
 		commT = cfg.Cost.TraceTime(topo, tr)
 		timing.bytes += traceBytes(tr)
@@ -222,7 +232,9 @@ func (st *ringStrategy) launchNodeDense(cfg Config, n, iter int) []float64 {
 	for i, r := range ranks {
 		sub[i] = env.ws[r]
 	}
-	cals := parallelXUpdates(cfg, sub, iter)
+	// The pending batch retains cals past this round; copy out of the
+	// pool's scratch.
+	cals := append([]float64(nil), env.pool.run(cfg, sub, iter)...)
 	starts := make([]float64, len(ranks))
 	vs := make([]*sparse.Vector, len(ranks))
 	sum := make([]float64, env.dim)

@@ -19,6 +19,11 @@ type starStrategy struct {
 	pendingW []*sparse.Vector
 	// masterFreeAt serializes consecutive rounds through the master's NIC.
 	masterFreeAt float64
+	// Reusable round scratch (barrier bookkeeping).
+	finishes []float64
+	fresh    []int
+	idle     []int
+	sub      []*worker
 }
 
 func newStarStrategy(env *strategyEnv) *starStrategy {
@@ -53,17 +58,21 @@ func (st *starStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	}
 
 	// Launch compute on every idle live worker.
-	idle := make([]int, 0, len(ws))
+	idle := st.idle[:0]
 	for i := range st.clocks {
 		if st.clocks[i].pending == nil && env.members.Alive(ws[i].rank) {
 			idle = append(idle, i)
 		}
 	}
-	sub := make([]*worker, len(idle))
-	for j, i := range idle {
-		sub[j] = ws[i]
+	st.idle = idle
+	sub := st.sub[:0]
+	for _, i := range idle {
+		sub = append(sub, ws[i])
 	}
-	cals := parallelXUpdates(cfg, sub, iter)
+	st.sub = sub
+	// The per-batch cal slices below copy the value out, so the pool's
+	// scratch is safe to use directly.
+	cals := env.pool.run(cfg, sub, iter)
 	for j, i := range idle {
 		w := ws[i]
 		st.pendingW[i] = w.wSparse(cfg.Rho)
@@ -77,8 +86,9 @@ func (st *starStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	}
 
 	contributors := env.members.LiveCount()
-	cutoff := sspCutoff(st.clocks, env.sync.Quorum(contributors, 1), env.sync.Delay())
-	fresh := admitted(st.clocks, cutoff)
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(contributors, 1), env.sync.Delay(), &st.finishes)
+	st.fresh = admitted(st.clocks, cutoff, st.fresh)
+	fresh := st.fresh
 	for _, i := range fresh {
 		st.wCur[i] = st.pendingW[i]
 	}

@@ -59,6 +59,9 @@ type treeStrategy struct {
 	clocks []sspClock // per node
 	wCur   []*sparse.Vector
 	pend   []*sparse.Vector
+	// Reusable barrier scratch.
+	finishes []float64
+	fresh    []int
 }
 
 func newTreeStrategy(env *strategyEnv, cfg Config) *treeStrategy {
@@ -118,9 +121,10 @@ func (st *treeStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	}
 	chargeLaunchBytes(st.clocks, iter, &timing)
 
-	cutoff := sspCutoff(st.clocks, env.sync.Quorum(len(liveNodes), topo.WorkersPerNode), env.sync.Delay())
+	cutoff := sspCutoff(st.clocks, env.sync.Quorum(len(liveNodes), topo.WorkersPerNode), env.sync.Delay(), &st.finishes)
 	freshSet := make(map[int]bool, topo.Nodes)
-	for _, n := range admitted(st.clocks, cutoff) {
+	st.fresh = admitted(st.clocks, cutoff, st.fresh)
+	for _, n := range st.fresh {
 		st.wCur[n] = st.pend[n]
 		freshSet[n] = true
 	}
@@ -166,7 +170,10 @@ func (st *treeStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 		}
 		start += ggRTT
 		timing.bytes += int64(len(group) * ggRequestBytes * 2)
-		agg, tr, err := groupAllreduce(env, leaders, commPSRSparse, inputs)
+		// The aggregate travels up the tree as a later merge's input, so
+		// each merge gets its own result vector rather than crew scratch.
+		agg := new(sparse.Vector)
+		tr, err := groupAllreduce(env, leaders, commPSRSparse, inputs, agg)
 		if err != nil {
 			return nil, err
 		}

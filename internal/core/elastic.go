@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -86,75 +85,6 @@ func (l latchEndpoint) RecvTimeout(from int, tag int32, d time.Duration) (wire.M
 			return m, err
 		}
 	}
-}
-
-// runGroup executes one member function per rank, fail-fast style in a
-// non-elastic run (first error closes the fabric; everyone unblocks with
-// ErrClosed) and latch style in an elastic one (first error flips the
-// latch; everyone unblocks with errRoundAborted, the fabric survives).
-//
-// In the elastic case the member errors are classified into membership
-// facts: a PeerDownError marks its peer dead, a member's own ErrClosed
-// marks that member dead (its endpoint was killed under it; the fabric
-// itself is never closed mid-run). Either way the round failed because
-// peers were lost, so the returned error wraps errPeersLost and the
-// engine retries over the survivors. Any other error is non-retryable
-// and returned as-is.
-func runGroup(env *strategyEnv, what string, ranks []int, member func(i int, ep transport.Endpoint) error) error {
-	errs := make([]error, len(ranks))
-	var wg sync.WaitGroup
-	if !env.elastic {
-		abort := &abortOnError{fab: env.fab}
-		for i := range ranks {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				errs[i] = member(i, env.fab.Endpoint(ranks[i]))
-				abort.observe(errs[i])
-			}(i)
-		}
-		wg.Wait()
-		return firstGroupError(what, ranks, errs)
-	}
-
-	var stop atomic.Bool
-	for i := range ranks {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = member(i, latchEndpoint{env.fab.Endpoint(ranks[i]), &stop})
-			if errs[i] != nil {
-				stop.Store(true)
-			}
-		}(i)
-	}
-	wg.Wait()
-
-	var cause error
-	lost := false
-	for i, err := range errs {
-		if err == nil || errors.Is(err, errRoundAborted) {
-			continue
-		}
-		var pd *transport.PeerDownError
-		switch {
-		case errors.As(err, &pd):
-			env.members.MarkDown(pd.Peer, pd)
-			lost = true
-		case errors.Is(err, transport.ErrClosed):
-			env.members.MarkDown(ranks[i], err)
-			lost = true
-		default:
-			return fmt.Errorf("core: %s rank %d: %w", what, ranks[i], err)
-		}
-		if cause == nil {
-			cause = err
-		}
-	}
-	if lost {
-		return fmt.Errorf("core: %s: %v: %w", what, cause, errPeersLost)
-	}
-	return nil
 }
 
 // liveWorkersOf returns node n's live world ranks in topology order.

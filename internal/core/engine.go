@@ -84,8 +84,11 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	ws := newWorkers(cfg, train)
 	// One scratch fabric serves every in-run collective; rank numbering
 	// matches the virtual topology so link classes resolve correctly.
-	// A fault plan wraps it for deterministic failure injection.
-	var fab transport.Fabric = transport.NewChanFabric(cfg.Topo.Size())
+	// A fault plan wraps it for deterministic failure injection. Zero-copy
+	// is safe here: every collective is barrier-aligned, the workspaces
+	// ship only their private chunk scratch, and aborted-round stragglers
+	// are tag-matched but never payload-read.
+	var fab transport.Fabric = transport.NewChanFabricZeroCopy(cfg.Topo.Size())
 	var ffab *transport.FaultFabric
 	if cfg.Faults != nil {
 		ffab = transport.NewFaultFabric(fab, *cfg.Faults)
@@ -116,6 +119,13 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		members: members,
 		elastic: cfg.Elastic,
 	}
+	// The run's persistent goroutine sets: the compute pool executes
+	// x-updates, the crew serves collective membership. Both are created
+	// once so steady-state rounds spawn nothing.
+	env.pool = newComputePool()
+	defer env.pool.close()
+	env.crew = newCrew(env)
+	defer env.crew.close()
 	strat, err := newStrategy(consensusKind, env, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", cfg.Algorithm, err)
@@ -137,6 +147,7 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 
 	res := &Result{Config: cfg, History: make([]IterStat, 0, cfg.MaxIter)}
 	zPrev := make([]float64, train.Dim())
+	zbar := make([]float64, train.Dim())
 
 	// finish stamps the shared exit-path fields — on success AND on
 	// failure, so a partial Result is never missing Z, SystemTime, or the
@@ -223,7 +234,7 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 			Epoch:       members.Epoch(),
 			PeerDowns:   health.TotalPeerDowns(),
 		}
-		zbar := meanZ(live)
+		meanZInto(zbar, live)
 		stat.PrimalRes, stat.DualRes = residuals(live, zbar, zPrev, cfg.Rho)
 		copy(zPrev, zbar)
 		if iter%cfg.EvalEvery == 0 || iter == cfg.MaxIter-1 {

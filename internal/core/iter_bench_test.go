@@ -1,0 +1,21 @@
+package core
+
+import "testing"
+
+// BenchmarkBSPIteration makes one benchmark op equal one engine iteration
+// by running a single training with MaxIter = b.N: setup (fabric, crew,
+// workers) happens once and amortizes away, so time/op and allocs/op
+// converge on the warmed steady-state iteration cost the alloc-budget
+// test bounds. Flat PSR / BSP / sparse — the allocation benchmark
+// composition.
+func BenchmarkBSPIteration(b *testing.B) {
+	train, _ := testData(b, 160)
+	cfg := baseConfig(PSRAADMM, 3, 2)
+	cfg.EvalEvery = 1 << 20 // objective eval is off the steady-state path
+	cfg.MaxIter = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(cfg, train, RunOptions{}); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -11,29 +11,30 @@ func TestSSPCutoffBasics(t *testing.T) {
 		return sspClock{pending: &pendingCompute{finish: finish}, staleness: stale}
 	}
 	clocks := []sspClock{mk(3, 0), mk(1, 0), mk(2, 0), mk(9, 0)}
-	if got := sspCutoff(clocks, 2, 5); got != 2 {
+	var scratch []float64
+	if got := sspCutoff(clocks, 2, 5, &scratch); got != 2 {
 		t.Fatalf("k=2 cutoff = %v", got)
 	}
-	if got := sspCutoff(clocks, 4, 5); got != 9 {
+	if got := sspCutoff(clocks, 4, 5, &scratch); got != 9 {
 		t.Fatalf("k=4 cutoff = %v", got)
 	}
 	// k beyond population clamps.
-	if got := sspCutoff(clocks, 99, 5); got != 9 {
+	if got := sspCutoff(clocks, 99, 5, &scratch); got != 9 {
 		t.Fatalf("clamped cutoff = %v", got)
 	}
 	// A participant at MaxDelay forces the cutoff out to its finish.
 	clocks[3].staleness = 5
-	if got := sspCutoff(clocks, 1, 5); got != 9 {
+	if got := sspCutoff(clocks, 1, 5, &scratch); got != 9 {
 		t.Fatalf("forced cutoff = %v", got)
 	}
 	// Empty population.
-	if got := sspCutoff(nil, 1, 5); got != 0 {
+	if got := sspCutoff(nil, 1, 5, &scratch); got != 0 {
 		t.Fatalf("empty cutoff = %v", got)
 	}
 	// Participants without pending are skipped.
 	clocks[0].pending = nil
 	clocks[3].staleness = 0
-	if got := sspCutoff(clocks, 1, 5); got != 1 {
+	if got := sspCutoff(clocks, 1, 5, &scratch); got != 1 {
 		t.Fatalf("skip-nil cutoff = %v", got)
 	}
 }

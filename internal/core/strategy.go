@@ -5,6 +5,7 @@ import (
 
 	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/membership"
+	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/sparse"
 	"psrahgadmm/internal/transport"
 )
@@ -84,6 +85,14 @@ type strategyEnv struct {
 	// window. Stale messages from an aborted attempt can then never be
 	// matched by a later one.
 	seq int32
+	// crew and pool are the run's persistent goroutine sets: collective
+	// members and x-update executors. Both exist so the steady-state
+	// round touches no heap — see DESIGN.md "Memory model & buffer
+	// ownership".
+	crew *crew
+	pool *computePool
+	// ts is the cost model's per-run scratch for trace timing.
+	ts simnet.TimeScratch
 }
 
 // tagWindowBase starts the collective tag space well above the small
@@ -144,7 +153,9 @@ func launchNodeSparse(env *strategyEnv, cfg Config, n, iter int) nodeContributio
 	for i, r := range ranks {
 		sub[i] = env.ws[r]
 	}
-	cals := parallelXUpdates(cfg, sub, iter)
+	// The pool's times slice is per-round scratch; the pending batch
+	// outlives the round, so it keeps its own copy.
+	cals := append([]float64(nil), env.pool.run(cfg, sub, iter)...)
 	starts := make([]float64, len(ranks))
 	vs := make([]*sparse.Vector, len(ranks))
 	nnzs := make([]int, len(ranks))

@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"psrahgadmm/internal/sparse"
 )
@@ -125,15 +125,17 @@ type sspClock struct {
 
 // sspCutoff returns the partial-barrier time over participants: the K-th
 // smallest pending finish, extended to cover every participant that has
-// exhausted maxDelay.
-func sspCutoff(clocks []sspClock, k, maxDelay int) float64 {
-	finishes := make([]float64, 0, len(clocks))
+// exhausted maxDelay. scratch is the caller's finish-time buffer, grown on
+// demand and handed back so the steady state sorts in place.
+func sspCutoff(clocks []sspClock, k, maxDelay int, scratch *[]float64) float64 {
+	finishes := (*scratch)[:0]
 	for i := range clocks {
 		if clocks[i].pending != nil {
 			finishes = append(finishes, clocks[i].pending.finish)
 		}
 	}
-	sort.Float64s(finishes)
+	*scratch = finishes
+	slices.Sort(finishes)
 	if len(finishes) == 0 {
 		return 0
 	}
@@ -150,9 +152,9 @@ func sspCutoff(clocks []sspClock, k, maxDelay int) float64 {
 }
 
 // admitted lists the participants whose pending compute finished by the
-// cutoff, in index order.
-func admitted(clocks []sspClock, cutoff float64) []int {
-	fresh := make([]int, 0, len(clocks))
+// cutoff, in index order, appended into the caller's reusable dst.
+func admitted(clocks []sspClock, cutoff float64, dst []int) []int {
+	fresh := dst[:0]
 	for i := range clocks {
 		if p := clocks[i].pending; p != nil && p.finish <= cutoff {
 			fresh = append(fresh, i)

@@ -53,6 +53,16 @@ type worker struct {
 	calTotal float64
 	lastCal  float64
 	tron     solver.Workspace
+
+	// Steady-state reuse (see DESIGN.md "Memory model & buffer
+	// ownership"): zScratch is applyW's z-update destination; zOwn
+	// double-buffers the sparse consensus view derived in applyZ's nil-
+	// zSparse path. The double buffer keeps the vector the worker read
+	// this round intact while the next one is built, and because zOwn is
+	// worker-private it can never alias a strategy-shared z vector.
+	zScratch []float64
+	zOwn     [2]*sparse.Vector
+	zOwnIdx  int
 }
 
 // newWorkers shards the dataset and initializes per-rank state (x=y=z=0,
@@ -131,7 +141,14 @@ func (w *worker) xUpdate(cfg Config, iter int) float64 {
 // active columns carry y_A + ρ·x_A; off-active columns carry ρ·z_j on the
 // consensus support (the closed-form x_j = z_j, y_j = 0 there).
 func (w *worker) wSparse(rho float64) *sparse.Vector {
-	out := sparse.NewVector(len(w.zDense), len(w.active)+w.zSparse.NNZ())
+	return w.wSparseInto(sparse.NewVector(len(w.zDense), len(w.active)+w.zSparse.NNZ()), rho)
+}
+
+// wSparseInto is wSparse writing into out (emptied first, backing arrays
+// reused). The merge order and zero-skipping are identical to the
+// allocating form, so reuse never perturbs the bit-exact histories.
+func (w *worker) wSparseInto(out *sparse.Vector, rho float64) *sparse.Vector {
+	out.Reset(len(w.zDense))
 	ai, zi := 0, 0
 	for ai < len(w.active) || zi < w.zSparse.NNZ() {
 		switch {
@@ -169,7 +186,17 @@ func (w *worker) applyZ(cfg Config, zDense []float64, zSparse *sparse.Vector) {
 	if zSparse != nil {
 		w.zSparse = zSparse
 	} else {
-		w.zSparse = sparse.FromDense(zDense)
+		// Derive the sparse view into the worker-private double buffer:
+		// never overwrite the vector w.zSparse currently points at — the
+		// last round's wSparse merge may still be comparing against it, and
+		// a strategy-shared vector must never be clobbered.
+		nb := w.zOwn[w.zOwnIdx]
+		if nb == nil {
+			nb = new(sparse.Vector)
+			w.zOwn[w.zOwnIdx] = nb
+		}
+		w.zOwnIdx = 1 - w.zOwnIdx
+		w.zSparse = sparse.FromDenseInto(nb, zDense)
 	}
 	for i, c := range w.active {
 		w.yA[i] += cfg.Rho * (w.xA[i] - zDense[c])
@@ -179,8 +206,13 @@ func (w *worker) applyZ(cfg Config, zDense []float64, zSparse *sparse.Vector) {
 // applyW consumes a raw aggregated W summing `contributors` workers (the
 // flat PSRA-ADMM and GC-ADMM paths, where every worker receives W itself):
 // the z-update (eq. 10, corrected N·ρ scaling) followed by applyZ.
+// ZUpdateL1 overwrites every destination element, so the scratch carries
+// no state between rounds.
 func (w *worker) applyW(cfg Config, bigW []float64, contributors int) {
-	z := make([]float64, len(bigW))
+	if cap(w.zScratch) < len(bigW) {
+		w.zScratch = make([]float64, len(bigW))
+	}
+	z := w.zScratch[:len(bigW)]
 	solver.ZUpdateL1(z, bigW, cfg.Lambda, cfg.Rho, contributors)
 	w.applyZ(cfg, z, nil)
 }
@@ -239,12 +271,74 @@ func parallelXUpdates(cfg Config, ws []*worker, iter int) []float64 {
 // transiently and the mean is the natural cluster-wide summary.
 func meanZ(ws []*worker) []float64 {
 	out := make([]float64, len(ws[0].zDense))
+	meanZInto(out, ws)
+	return out
+}
+
+// meanZInto is meanZ writing into a caller-owned buffer (the engine's
+// steady-state path). Same accumulation order, bit-identical result.
+func meanZInto(out []float64, ws []*worker) {
+	for i := range out {
+		out[i] = 0
+	}
 	for _, w := range ws {
 		vec.AddInto(out, w.zDense)
 	}
 	vec.Scale(1/float64(len(ws)), out)
-	return out
 }
+
+// computePool is the run's persistent x-update executor: GOMAXPROCS
+// worker goroutines fed by an unbuffered index channel, so dispatching a
+// round's subproblem solves costs no goroutine spawns and no allocation.
+// The job fields (cfg/iter/ws/times) are plain writes made visible by the
+// channel sends; the pool is driven only from the single strategy
+// goroutine, and wg.Wait orders the executors' writes before the caller
+// reads times.
+type computePool struct {
+	cfg   Config
+	iter  int
+	ws    []*worker
+	times []float64
+	jobs  chan int
+	wg    sync.WaitGroup
+}
+
+func newComputePool() *computePool {
+	p := &computePool{jobs: make(chan int)}
+	for i := runtime.GOMAXPROCS(0); i > 0; i-- {
+		go p.serve()
+	}
+	return p
+}
+
+func (p *computePool) serve() {
+	for i := range p.jobs {
+		p.times[i] = p.ws[i].xUpdate(p.cfg, p.iter)
+		p.wg.Done()
+	}
+}
+
+// run executes every listed worker's xUpdate concurrently and returns the
+// compute times indexed as the input. The returned slice is pool-owned
+// scratch, valid only until the next run — callers that retain it copy.
+func (p *computePool) run(cfg Config, ws []*worker, iter int) []float64 {
+	if cap(p.times) < len(ws) {
+		p.times = make([]float64, len(ws))
+	}
+	p.times = p.times[:len(ws)]
+	if len(ws) == 0 {
+		return p.times
+	}
+	p.cfg, p.iter, p.ws = cfg, iter, ws
+	p.wg.Add(len(ws))
+	for i := range ws {
+		p.jobs <- i
+	}
+	p.wg.Wait()
+	return p.times
+}
+
+func (p *computePool) close() { close(p.jobs) }
 
 // globalObjective evaluates the paper's eq. 17 at point z over all shards:
 // Σ_i f_i(z) + λ‖z‖₁.

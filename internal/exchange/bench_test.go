@@ -1,0 +1,89 @@
+package exchange
+
+import (
+	"math/rand"
+	"testing"
+
+	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/sparse"
+)
+
+func benchSparse(r *rand.Rand, dim int, density float64) *sparse.Vector {
+	v := sparse.NewVector(dim, 0)
+	for i := 0; i < dim; i++ {
+		if r.Float64() < density {
+			v.Index = append(v.Index, int32(i))
+			v.Value = append(v.Value, r.NormFloat64())
+		}
+	}
+	return v
+}
+
+// BenchmarkCodecEncodeSparse measures the in-place wire rounding every
+// contribution pays before entering a collective, per codec kind. All
+// kinds must stay allocation-free: encode works in the caller's buffer.
+func BenchmarkCodecEncodeSparse(b *testing.B) {
+	for _, k := range Kinds() {
+		b.Run(string(k), func(b *testing.B) {
+			c, err := For(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v := benchSparse(rand.New(rand.NewSource(7)), 1<<16, 0.05)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.EncodeSparse(v)
+			}
+		})
+	}
+}
+
+// BenchmarkCodecEncodeDense is the dense-exchange analogue (ADMMLib's
+// fp32 rounding and the quantizers over a full parameter vector).
+func BenchmarkCodecEncodeDense(b *testing.B) {
+	for _, k := range Kinds() {
+		b.Run(string(k), func(b *testing.B) {
+			c, err := For(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rand.New(rand.NewSource(8))
+			x := make([]float64, 1<<16)
+			for i := range x {
+				x[i] = r.NormFloat64()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.EncodeDense(x)
+			}
+		})
+	}
+}
+
+// BenchmarkCodecWireTraceInto measures re-costing a collective trace to
+// wire sizes into caller scratch — per-round work on the engine hot path.
+func BenchmarkCodecWireTraceInto(b *testing.B) {
+	for _, k := range Kinds() {
+		b.Run(string(k), func(b *testing.B) {
+			c, err := For(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr := collective.Trace{Steps: 8}
+			for i := 0; i < 64; i++ {
+				tr.Events = append(tr.Events, collective.Event{
+					Step: i % 8, From: i % 4, To: (i + 1) % 4, Bytes: 8 + 20*i,
+				})
+			}
+			var scratch []collective.Event
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := c.WireTraceInto(scratch[:0], tr)
+				scratch = out.Events
+			}
+		})
+	}
+}

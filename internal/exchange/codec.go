@@ -62,6 +62,12 @@ type Codec interface {
 	// (12-byte-entry) or dense (8-byte-entry) sizes — to this codec's
 	// wire format.
 	WireTrace(tr collective.Trace) collective.Trace
+	// WireTraceInto is WireTrace writing the rescaled events into dst's
+	// backing array (grown only when too small). Identity codecs return
+	// tr unchanged without touching dst. Callers on the hot path keep the
+	// returned Events slice and pass it back as dst next round, so the
+	// steady state rescales without allocating.
+	WireTraceInto(dst []collective.Event, tr collective.Trace) collective.Trace
 	// SparseMsgBytes is the nominal payload of one sparse vector with nnz
 	// entries, before WireTrace scaling.
 	SparseMsgBytes(nnz int) int
@@ -99,9 +105,12 @@ func (sparseCodec) DenseExchange() bool                            { return fals
 func (sparseCodec) EncodeSparse(*sparse.Vector)                    {}
 func (sparseCodec) EncodeDense([]float64)                          {}
 func (sparseCodec) WireTrace(tr collective.Trace) collective.Trace { return tr }
-func (sparseCodec) SparseMsgBytes(nnz int) int                     { return 8 + wire.SparseEntryBytes*nnz }
-func (sparseCodec) DenseMsgBytes(dim int) int                      { return 4 + wire.DenseEntryBytes*dim }
-func (sparseCodec) ZMsgBytes(nnz int) int                          { return 8 + wire.SparseEntryBytes*nnz }
+func (sparseCodec) WireTraceInto(_ []collective.Event, tr collective.Trace) collective.Trace {
+	return tr
+}
+func (sparseCodec) SparseMsgBytes(nnz int) int { return 8 + wire.SparseEntryBytes*nnz }
+func (sparseCodec) DenseMsgBytes(dim int) int  { return 4 + wire.DenseEntryBytes*dim }
+func (sparseCodec) ZMsgBytes(nnz int) int      { return 8 + wire.SparseEntryBytes*nnz }
 
 // quantCodec is the b-bit fixed-point sparse exchange: values quantize to
 // bits-wide levels against a per-vector max-abs scale, and every sparse
@@ -121,6 +130,9 @@ func (c quantCodec) EncodeDense(x []float64)       { QuantizeDenseBits(x, c.bits
 func (c quantCodec) WireTrace(tr collective.Trace) collective.Trace {
 	return ScaleTraceBytes(tr, EntryBytes(c.bits), wire.SparseEntryBytes)
 }
+func (c quantCodec) WireTraceInto(dst []collective.Event, tr collective.Trace) collective.Trace {
+	return ScaleTraceBytesInto(dst, tr, EntryBytes(c.bits), wire.SparseEntryBytes)
+}
 func (quantCodec) SparseMsgBytes(nnz int) int { return 8 + wire.SparseEntryBytes*nnz }
 func (quantCodec) DenseMsgBytes(dim int) int  { return 4 + wire.DenseEntryBytes*dim }
 func (quantCodec) ZMsgBytes(nnz int) int      { return 8 + wire.SparseEntryBytes*nnz }
@@ -133,9 +145,12 @@ func (denseCodec) DenseExchange() bool                            { return true 
 func (denseCodec) EncodeSparse(*sparse.Vector)                    {}
 func (denseCodec) EncodeDense([]float64)                          {}
 func (denseCodec) WireTrace(tr collective.Trace) collective.Trace { return tr }
-func (denseCodec) SparseMsgBytes(nnz int) int                     { return 8 + wire.SparseEntryBytes*nnz }
-func (denseCodec) DenseMsgBytes(dim int) int                      { return 4 + wire.DenseEntryBytes*dim }
-func (denseCodec) ZMsgBytes(nnz int) int                          { return 4 + wire.SparseEntryBytes*nnz }
+func (denseCodec) WireTraceInto(_ []collective.Event, tr collective.Trace) collective.Trace {
+	return tr
+}
+func (denseCodec) SparseMsgBytes(nnz int) int { return 8 + wire.SparseEntryBytes*nnz }
+func (denseCodec) DenseMsgBytes(dim int) int  { return 4 + wire.DenseEntryBytes*dim }
+func (denseCodec) ZMsgBytes(nnz int) int      { return 4 + wire.SparseEntryBytes*nnz }
 
 // f32Codec is ADMMLib's single-precision dense exchange: values round to
 // float32, dense payloads halve, and the thresholded z fans out as 4-byte
@@ -149,20 +164,30 @@ func (f32Codec) EncodeDense(x []float64)       { RoundF32(x) }
 func (f32Codec) WireTrace(tr collective.Trace) collective.Trace {
 	return ScaleTraceBytes(tr, 1, 2)
 }
+func (f32Codec) WireTraceInto(dst []collective.Event, tr collective.Trace) collective.Trace {
+	return ScaleTraceBytesInto(dst, tr, 1, 2)
+}
 func (f32Codec) SparseMsgBytes(nnz int) int { return 8 + (4+4)*nnz }
 func (f32Codec) DenseMsgBytes(dim int) int  { return 4 + wire.DenseEntryBytes*dim/2 }
 func (f32Codec) ZMsgBytes(nnz int) int      { return 4 + 8*nnz }
 
 // ScaleTraceBytes multiplies every event's byte count by num/den — how
 // lossy codecs rescale a trace built at nominal entry sizes without
-// forking the collectives.
+// forking the collectives. The input trace is never mutated.
 func ScaleTraceBytes(tr collective.Trace, num, den int) collective.Trace {
-	out := collective.Trace{Steps: tr.Steps, Events: make([]collective.Event, len(tr.Events))}
-	for i, e := range tr.Events {
+	return ScaleTraceBytesInto(nil, tr, num, den)
+}
+
+// ScaleTraceBytesInto is ScaleTraceBytes writing the scaled events into
+// dst's backing array, which grows only when too small. The returned
+// trace aliases dst (when large enough), never tr's events.
+func ScaleTraceBytesInto(dst []collective.Event, tr collective.Trace, num, den int) collective.Trace {
+	dst = dst[:0]
+	for _, e := range tr.Events {
 		e.Bytes = e.Bytes * num / den
-		out.Events[i] = e
+		dst = append(dst, e)
 	}
-	return out
+	return collective.Trace{Steps: tr.Steps, Events: dst}
 }
 
 // EntryBytes returns the wire size of one sparse element under b-bit

@@ -2,10 +2,13 @@ package exchange
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/raceflag"
 	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/wire"
 )
 
 func TestForCoversEveryKind(t *testing.T) {
@@ -70,6 +73,113 @@ func TestWireTraceScaling(t *testing.T) {
 		}
 		if tr.Events[0].Bytes != 120 {
 			t.Fatalf("%s: WireTrace mutated its input", tc.kind)
+		}
+	}
+}
+
+// TestTracedBytesMatchEncoded pins the message-size accounting to the
+// bytes the wire codec actually produces, for every codec: the nominal
+// sizes the strategies feed into traces (*MsgBytes, computed from the
+// POST-encode payload) must equal wire.PayloadBytes of the message the
+// fabric ships, and WireTrace must map those recorded sizes to the
+// codec's modeled wire cost with the documented num/den scaling. This is
+// what keeps the virtual cost model honest after encoders drop entries
+// (quantization rounds small values to exact zero).
+func TestTracedBytesMatchEncoded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dense := make([]float64, 64)
+	for i := range dense {
+		dense[i] = rng.NormFloat64() * 1e-2
+	}
+	// A vector with a huge max-abs entry so 8-bit quantization rounds the
+	// tiny values to zero — exercising the dropped-entry accounting.
+	spVals := append([]float64{1e6}, dense...)
+	for _, k := range Kinds() {
+		c, _ := For(k)
+		v := sparse.FromDense(spVals)
+		c.EncodeSparse(v)
+		x := append([]float64(nil), dense...)
+		c.EncodeDense(x)
+
+		// The frames the in-process and TCP fabrics actually ship.
+		spMsg := wire.SparseMsg(0, v)
+		dnMsg := wire.DenseMsg(0, x)
+		spFrame, err := wire.AppendMessage(nil, spMsg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(spFrame) != wire.EncodedBytes(spMsg) {
+			t.Fatalf("%s: encoded sparse frame %d bytes, EncodedBytes %d", k, len(spFrame), wire.EncodedBytes(spMsg))
+		}
+		dnFrame, err := wire.AppendMessage(nil, dnMsg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dnFrame) != wire.EncodedBytes(dnMsg) {
+			t.Fatalf("%s: encoded dense frame %d bytes, EncodedBytes %d", k, len(dnFrame), wire.EncodedBytes(dnMsg))
+		}
+		spActual := wire.PayloadBytes(spMsg)
+		dnActual := wire.PayloadBytes(dnMsg)
+
+		// Nominal accounting must equal the actual encoded payload for the
+		// formats that travel as-is (sparse contributions, dense float64).
+		if k != DenseF32 {
+			if got := c.SparseMsgBytes(v.NNZ()); got != spActual {
+				t.Fatalf("%s: SparseMsgBytes(%d) = %d, encoded payload %d", k, v.NNZ(), got, spActual)
+			}
+		}
+		if k == Sparse || k == Dense {
+			if got := c.DenseMsgBytes(len(x)); got != dnActual {
+				t.Fatalf("%s: DenseMsgBytes(%d) = %d, encoded payload %d", k, len(x), got, dnActual)
+			}
+			if got := c.ZMsgBytes(v.NNZ()); k == Sparse && got != spActual {
+				t.Fatalf("%s: ZMsgBytes(%d) = %d, encoded payload %d", k, v.NNZ(), got, spActual)
+			}
+		}
+
+		// WireTrace maps the recorded (actual) sizes to modeled wire cost.
+		tr := collective.Trace{Steps: 1, Events: []collective.Event{
+			{Step: 0, From: 0, To: 1, Bytes: spActual},
+			{Step: 0, From: 1, To: 0, Bytes: dnActual},
+		}}
+		var wantSp, wantDn int
+		switch k {
+		case Sparse, Dense:
+			wantSp, wantDn = spActual, dnActual
+		case SparseQ8:
+			wantSp, wantDn = spActual*5/12, dnActual*5/12
+		case SparseQ16:
+			wantSp, wantDn = spActual*6/12, dnActual*6/12
+		case DenseF32:
+			wantSp, wantDn = spActual/2, dnActual/2
+		}
+		scaled := c.WireTrace(tr)
+		if scaled.Events[0].Bytes != wantSp || scaled.Events[1].Bytes != wantDn {
+			t.Fatalf("%s: WireTrace bytes (%d,%d), want (%d,%d)",
+				k, scaled.Events[0].Bytes, scaled.Events[1].Bytes, wantSp, wantDn)
+		}
+		// WireTraceInto agrees event-for-event and reuses its scratch.
+		dst := c.WireTraceInto(nil, tr)
+		if dst.Steps != scaled.Steps || len(dst.Events) != len(scaled.Events) {
+			t.Fatalf("%s: WireTraceInto shape mismatch", k)
+		}
+		for i := range scaled.Events {
+			if dst.Events[i] != scaled.Events[i] {
+				t.Fatalf("%s: WireTraceInto event %d = %+v, want %+v", k, i, dst.Events[i], scaled.Events[i])
+			}
+		}
+		if tr.Events[0].Bytes != spActual || tr.Events[1].Bytes != dnActual {
+			t.Fatalf("%s: scaling mutated its input", k)
+		}
+		if !raceflag.Enabled {
+			scratchEv := dst.Events
+			allocs := testing.AllocsPerRun(100, func() {
+				out := c.WireTraceInto(scratchEv, tr)
+				scratchEv = out.Events
+			})
+			if allocs != 0 {
+				t.Fatalf("%s: WireTraceInto with warm scratch allocates %.1f times", k, allocs)
+			}
 		}
 	}
 }

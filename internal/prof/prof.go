@@ -1,0 +1,91 @@
+// Package prof wires the standard runtime/pprof profiles behind the CLI
+// flags the psra commands share (-cpuprofile, -memprofile,
+// -mutexprofile). Profiles are flushed by an explicit Stop call rather
+// than a defer, because the commands exit through os.Exit on the
+// degraded path (exit code 4), which skips deferred functions — a
+// degraded-but-complete run is exactly the one worth profiling.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// mutexSampling is the fraction passed to runtime.SetMutexProfileFraction
+// when -mutexprofile is set: report every 5th contention event, the
+// conventional low-overhead setting.
+const mutexSampling = 5
+
+// Flags holds the profile destinations registered by Register.
+type Flags struct {
+	cpu, mem, mutex string
+	cpuFile         *os.File
+}
+
+// Register installs the three profile flags on fs (use flag.CommandLine
+// for a command's global flags). Call before fs is parsed.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.mem, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&f.mutex, "mutexprofile", "", "write a mutex-contention profile to this file on exit")
+	return f
+}
+
+// Start begins CPU profiling and mutex sampling for every requested
+// profile. Call once, after flag parsing.
+func (f *Flags) Start() error {
+	if f.cpu != "" {
+		file, err := os.Create(f.cpu)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return fmt.Errorf("prof: %w", err)
+		}
+		f.cpuFile = file
+	}
+	if f.mutex != "" {
+		runtime.SetMutexProfileFraction(mutexSampling)
+	}
+	return nil
+}
+
+// Stop flushes every requested profile. It must run on every completed
+// run — including degraded completions that end in os.Exit(4) — and is
+// safe to call when no profile was requested.
+func (f *Flags) Stop() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		f.cpuFile = nil
+	}
+	if f.mem != "" {
+		file, err := os.Create(f.mem)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		defer file.Close()
+		runtime.GC() // an up-to-date heap profile, not the last GC's
+		if err := pprof.WriteHeapProfile(file); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+	}
+	if f.mutex != "" {
+		file, err := os.Create(f.mutex)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		defer file.Close()
+		if err := pprof.Lookup("mutex").WriteTo(file, 0); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceflag reports whether the race detector is compiled in.
+// Allocation-budget tests skip under race: the detector instruments
+// allocations and synchronization, inflating AllocsPerRun counts beyond
+// anything the production binary does.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

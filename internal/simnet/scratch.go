@@ -1,0 +1,107 @@
+package simnet
+
+import (
+	"fmt"
+
+	"psrahgadmm/internal/collective"
+)
+
+// TimeScratch holds the per-call state StepTimes needs — per-(step,
+// endpoint) send/receive loads and the merged event list — as flat
+// reusable slices instead of nested maps. One scratch per engine
+// amortizes cost-model evaluation to zero allocation; it is resized
+// on demand, so an elastic regroup that changes the world size needs no
+// explicit invalidation.
+//
+// Bit-reproducibility: loads accumulate in event-slice order exactly as
+// the map-based StepTimes does, and the per-step maximum is
+// order-independent, so scratch-computed times are bit-identical to the
+// allocating path (the golden-history tests pin this).
+type TimeScratch struct {
+	out, in []float64 // indexed step*world + rank
+	touched []int32   // touched flat keys, first-touch order
+	times   []float64
+	events  []collective.Event // merge buffer for TraceTimeScratch
+	world   int
+}
+
+// grow ensures capacity for steps×world load cells. Cells are kept clean
+// between calls via the touched list, so growth only zero-fills new
+// storage.
+func (ts *TimeScratch) grow(steps, world int) {
+	n := steps * world
+	if cap(ts.out) < n {
+		ts.out = make([]float64, n)
+		ts.in = make([]float64, n)
+	}
+	ts.out = ts.out[:n]
+	ts.in = ts.in[:n]
+	ts.world = world
+	if cap(ts.times) < steps {
+		ts.times = make([]float64, steps)
+	}
+	ts.times = ts.times[:steps]
+	for s := range ts.times {
+		ts.times[s] = 0
+	}
+}
+
+// StepTimesScratch is StepTimes computing into ts. The returned slice is
+// owned by ts and valid until the next call; callers that keep it must
+// copy. Results are bit-identical to StepTimes.
+func (c CostModel) StepTimesScratch(ts *TimeScratch, topo Topology, steps int, events []collective.Event) []float64 {
+	if steps == 0 {
+		return nil
+	}
+	world := topo.Size()
+	ts.grow(steps, world)
+	for _, e := range events {
+		if e.Step < 0 || e.Step >= steps {
+			panic(fmt.Sprintf("simnet: event step %d out of [0,%d)", e.Step, steps))
+		}
+		alpha, beta := c.linkCost(topo, e.From, e.To)
+		cost := alpha + beta*float64(e.Bytes)
+		kf := int32(e.Step*world + e.From)
+		kt := int32(e.Step*world + e.To)
+		if ts.out[kf] == 0 && ts.in[kf] == 0 {
+			ts.touched = append(ts.touched, kf)
+		}
+		ts.out[kf] += cost
+		if ts.in[kt] == 0 && ts.out[kt] == 0 {
+			ts.touched = append(ts.touched, kt)
+		}
+		ts.in[kt] += cost
+	}
+	for _, k := range ts.touched {
+		s := int(k) / world
+		if ts.out[k] > ts.times[s] {
+			ts.times[s] = ts.out[k]
+		}
+		if ts.in[k] > ts.times[s] {
+			ts.times[s] = ts.in[k]
+		}
+		ts.out[k] = 0
+		ts.in[k] = 0
+	}
+	ts.touched = ts.touched[:0]
+	return ts.times
+}
+
+// TraceTimeScratch is TraceTime computing through ts, merging the traces'
+// events into ts's reusable buffer. Results are bit-identical to
+// TraceTime.
+func (c CostModel) TraceTimeScratch(ts *TimeScratch, topo Topology, traces ...collective.Trace) float64 {
+	steps := 0
+	ts.events = ts.events[:0]
+	for _, tr := range traces {
+		if tr.Steps > steps {
+			steps = tr.Steps
+		}
+		ts.events = append(ts.events, tr.Events...)
+	}
+	var total float64
+	for _, t := range c.StepTimesScratch(ts, topo, steps, ts.events) {
+		total += t
+	}
+	return total
+}

@@ -11,6 +11,7 @@ package sparse
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -179,55 +180,13 @@ func (v *Vector) Nrm2Sq() float64 {
 // block-extraction primitive the sparse collectives use to ship one owned
 // block. The returned vector shares no storage with v.
 func (v *Vector) Slice(lo, hi int) *Vector {
-	if lo < 0 || hi < lo || hi > v.Dim {
-		panic("sparse: Slice bounds out of range")
-	}
-	from := sort.Search(len(v.Index), func(k int) bool { return int(v.Index[k]) >= lo })
-	to := sort.Search(len(v.Index), func(k int) bool { return int(v.Index[k]) >= hi })
-	out := NewVector(hi-lo, to-from)
-	for k := from; k < to; k++ {
-		out.Index = append(out.Index, v.Index[k]-int32(lo))
-		out.Value = append(out.Value, v.Value[k])
-	}
-	return out
+	return v.SliceInto(nil, lo, hi)
 }
 
 // Merge returns a + b, where both share the same Dim. Indices present in
 // both are summed; sums that cancel to exactly zero are dropped.
 func Merge(a, b *Vector) *Vector {
-	if a.Dim != b.Dim {
-		panic("sparse: Merge dimension mismatch")
-	}
-	out := NewVector(a.Dim, len(a.Index)+len(b.Index))
-	i, j := 0, 0
-	for i < len(a.Index) && j < len(b.Index) {
-		switch {
-		case a.Index[i] < b.Index[j]:
-			out.Index = append(out.Index, a.Index[i])
-			out.Value = append(out.Value, a.Value[i])
-			i++
-		case a.Index[i] > b.Index[j]:
-			out.Index = append(out.Index, b.Index[j])
-			out.Value = append(out.Value, b.Value[j])
-			j++
-		default:
-			if s := a.Value[i] + b.Value[j]; s != 0 {
-				out.Index = append(out.Index, a.Index[i])
-				out.Value = append(out.Value, s)
-			}
-			i++
-			j++
-		}
-	}
-	for ; i < len(a.Index); i++ {
-		out.Index = append(out.Index, a.Index[i])
-		out.Value = append(out.Value, a.Value[i])
-	}
-	for ; j < len(b.Index); j++ {
-		out.Index = append(out.Index, b.Index[j])
-		out.Value = append(out.Value, b.Value[j])
-	}
-	return out
+	return MergeInto(nil, a, b)
 }
 
 // Concat stitches re-based block vectors (as produced by Slice over
@@ -235,30 +194,7 @@ func Merge(a, b *Vector) *Vector {
 // the dense position where blocks[i] begins; blocks must be non-overlapping
 // and given in increasing offset order.
 func Concat(dim int, offsets []int, blocks []*Vector) *Vector {
-	if len(offsets) != len(blocks) {
-		panic("sparse: Concat offsets/blocks length mismatch")
-	}
-	nnz := 0
-	for _, b := range blocks {
-		nnz += b.NNZ()
-	}
-	out := NewVector(dim, nnz)
-	prevEnd := 0
-	for bi, b := range blocks {
-		off := offsets[bi]
-		if off < prevEnd {
-			panic("sparse: Concat blocks overlap or out of order")
-		}
-		if off+b.Dim > dim {
-			panic("sparse: Concat block exceeds dimension")
-		}
-		for k, i := range b.Index {
-			out.Index = append(out.Index, i+int32(off))
-			out.Value = append(out.Value, b.Value[k])
-		}
-		prevEnd = off + b.Dim
-	}
-	return out
+	return ConcatInto(nil, dim, offsets, blocks)
 }
 
 // Accumulator sums many sparse vectors of a fixed dimension without
@@ -316,16 +252,60 @@ func (a *Accumulator) AddDense(x []float64) {
 // Sum extracts the accumulated total as a sparse vector and resets the
 // accumulator for reuse. Exact-zero sums are dropped.
 func (a *Accumulator) Sum() *Vector {
-	sort.Slice(a.touched, func(i, j int) bool { return a.touched[i] < a.touched[j] })
-	out := NewVector(a.dim, len(a.touched))
+	return a.SumInto(nil)
+}
+
+// SumInto is Sum writing into dst (allocated when nil, grown only when too
+// small) so steady-state reduce fan-ins extract their total without
+// allocating. dst is reset to the accumulator's dimension first.
+func (a *Accumulator) SumInto(dst *Vector) *Vector {
+	slices.Sort(a.touched)
+	if dst == nil {
+		dst = NewVector(a.dim, len(a.touched))
+	} else {
+		dst.Reset(a.dim)
+	}
 	for _, i := range a.touched {
 		if v := a.dense[i]; v != 0 {
-			out.Index = append(out.Index, i)
-			out.Value = append(out.Value, v)
+			dst.Index = append(dst.Index, i)
+			dst.Value = append(dst.Value, v)
 		}
 		a.dense[i] = 0
 		a.seen[i] = false
 	}
 	a.touched = a.touched[:0]
-	return out
+	return dst
+}
+
+// Reset empties the accumulator and re-dimensions it, growing the dense
+// scratch only when dim exceeds its capacity. Used when a pooled
+// accumulator is re-targeted (e.g. after an elastic regroup changes the
+// block layout).
+func (a *Accumulator) Reset(dim int) {
+	for _, i := range a.touched {
+		a.dense[i] = 0
+		a.seen[i] = false
+	}
+	a.touched = a.touched[:0]
+	if dim == a.dim {
+		return
+	}
+	if cap(a.dense) < dim {
+		a.dense = make([]float64, dim)
+		a.seen = make([]bool, dim)
+	} else {
+		// Shrinking then regrowing within capacity: clear the newly
+		// exposed tail, which a smaller dim's Sum never visited.
+		grown := a.dense[:dim]
+		seen := a.seen[:dim]
+		for i := a.dim; i < dim; i++ {
+			grown[i] = 0
+			seen[i] = false
+		}
+		a.dense = grown
+		a.seen = seen
+	}
+	a.dim = dim
+	a.dense = a.dense[:dim]
+	a.seen = a.seen[:dim]
 }

@@ -18,15 +18,32 @@ const inboxDepth = 4096
 // channels. Construct it once, hand Endpoint(i) to goroutine i.
 type ChanFabric struct {
 	size      int
+	zeroCopy  bool
 	endpoints []*chanEndpoint
 }
 
 // NewChanFabric creates a fabric with n ranks.
 func NewChanFabric(n int) *ChanFabric {
+	return newChanFabric(n, false)
+}
+
+// NewChanFabricZeroCopy creates a fabric whose Sends deliver float
+// payloads WITHOUT the defensive deep copy — the delivered Dense/Sparse
+// alias the sender's buffers. This deliberately opts out of the Endpoint
+// aliasing contract and is safe only under the discipline the core engine
+// enforces: collectives are barrier-aligned (every member completes a
+// round before any member's buffers are rewritten for the next), and
+// messages left over from aborted rounds are matched by tag but never
+// payload-read. Anything without that structure must use NewChanFabric.
+func NewChanFabricZeroCopy(n int) *ChanFabric {
+	return newChanFabric(n, true)
+}
+
+func newChanFabric(n int, zeroCopy bool) *ChanFabric {
 	if n <= 0 {
 		panic("transport: fabric size must be positive")
 	}
-	f := &ChanFabric{size: n}
+	f := &ChanFabric{size: n, zeroCopy: zeroCopy}
 	f.endpoints = make([]*chanEndpoint, n)
 	for i := range f.endpoints {
 		f.endpoints[i] = &chanEndpoint{
@@ -79,12 +96,15 @@ func (e *chanEndpoint) Send(to int, m wire.Message) error {
 	// Deep-copy float payloads: delivery must not alias the sender's
 	// buffers, or a sender mutating its vector on a later collective step
 	// races with a receiver still reading this one. This mirrors the TCP
-	// fabric, where serialization makes the copy implicit.
-	if m.Dense != nil {
-		m.Dense = append([]float64(nil), m.Dense...)
-	}
-	if m.Sparse != nil {
-		m.Sparse = m.Sparse.Clone()
+	// fabric, where serialization makes the copy implicit. Zero-copy
+	// fabrics shift that burden to the caller (see NewChanFabricZeroCopy).
+	if !e.fabric.zeroCopy {
+		if m.Dense != nil {
+			m.Dense = append([]float64(nil), m.Dense...)
+		}
+		if m.Sparse != nil {
+			m.Sparse = m.Sparse.Clone()
+		}
 	}
 	dst := e.fabric.endpoints[to]
 	// Check closed states first: select{} picks randomly among ready cases,
@@ -164,6 +184,12 @@ func (e *chanEndpoint) recv(from int, tag int32, d time.Duration) (wire.Message,
 		}
 	}
 }
+
+// SendNonBlocking reports that Send completes without a concurrent
+// receiver: delivery is a buffered-channel push (it can block only if a
+// peer falls inboxDepth messages behind, which the lockstep collectives
+// never approach). Collectives use this to skip the send goroutine.
+func (e *chanEndpoint) SendNonBlocking() bool { return true }
 
 func (e *chanEndpoint) Stats() Stats { return e.stats.snapshot() }
 

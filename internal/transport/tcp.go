@@ -334,8 +334,13 @@ func (e *tcpEndpoint) noteDecodeError(peer int, err error) {
 
 func (e *tcpEndpoint) readLoop(peer int, p *tcpPeer) {
 	defer e.wg.Done()
+	// The frame scratch is grown by DecodeFrom only when a payload exceeds
+	// it, so the steady state reads every frame into the same buffer.
+	var frame []byte
 	for {
-		m, err := wire.Decode(p.conn)
+		var m wire.Message
+		var err error
+		m, frame, err = wire.DecodeFrom(p.conn, frame)
 		if err != nil {
 			select {
 			case <-e.closed:

@@ -106,6 +106,23 @@ type Endpoint interface {
 	Close() error
 }
 
+// NonBlockingSender is the optional interface of endpoints whose Send
+// needs no concurrent receiver to make progress (in-process buffered
+// delivery). Collectives consult it to send inline instead of spawning a
+// goroutine per message — the dominant per-iteration allocation on hot
+// paths. Endpoints that may block in Send (TCP flow control, injected
+// fault delays) simply don't implement it, or return false; wrappers
+// should forward the question to what they wrap.
+type NonBlockingSender interface {
+	SendNonBlocking() bool
+}
+
+// SendsNonBlocking reports whether ep advertises non-blocking sends.
+func SendsNonBlocking(ep Endpoint) bool {
+	nb, ok := ep.(NonBlockingSender)
+	return ok && nb.SendNonBlocking()
+}
+
 // Fabric is a set of endpoints sharing one world — the handle the engine
 // holds to build, wrap (fault injection), and tear down a whole cluster of
 // ranks at once. ChanFabric and FaultFabric implement it.

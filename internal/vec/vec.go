@@ -212,6 +212,18 @@ func Clone(x []float64) []float64 {
 	return out
 }
 
+// CloneInto copies x into dst, growing dst only when its capacity is too
+// small, and returns the destination. Steady-state callers that hold on
+// to the returned slice amortize to zero allocation.
+func CloneInto(dst, x []float64) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	dst = dst[:len(x)]
+	copy(dst, x)
+	return dst
+}
+
 // Equal reports whether a and b are elementwise identical (bitwise for NaN:
 // NaN != NaN, matching ==).
 func Equal(a, b []float64) bool {
@@ -289,22 +301,32 @@ type Chunk struct{ Lo, Hi int }
 // most one. p must be >= 1; n may be smaller than p (trailing chunks are
 // then empty).
 func Split(n, p int) []Chunk {
+	return SplitInto(nil, n, p)
+}
+
+// SplitInto writes the p chunks of a length-n vector into dst (grown only
+// when its capacity is too small) and returns it. Identical layout to
+// Split; callers that retain dst split with zero steady-state allocation.
+func SplitInto(dst []Chunk, n, p int) []Chunk {
 	if p < 1 {
 		panic("vec: Split requires p >= 1")
 	}
-	chunks := make([]Chunk, p)
+	if cap(dst) < p {
+		dst = make([]Chunk, p)
+	}
+	dst = dst[:p]
 	base := n / p
 	rem := n % p
 	lo := 0
-	for i := range chunks {
+	for i := range dst {
 		size := base
 		if i < rem {
 			size++
 		}
-		chunks[i] = Chunk{Lo: lo, Hi: lo + size}
+		dst[i] = Chunk{Lo: lo, Hi: lo + size}
 		lo += size
 	}
-	return chunks
+	return dst
 }
 
 // ChunkOf returns the chunk index that owns position idx under Split(n, p).

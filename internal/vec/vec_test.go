@@ -366,3 +366,45 @@ func BenchmarkKahanSum(b *testing.B) {
 		_ = KahanSum(x)
 	}
 }
+
+func TestCloneInto(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	dst := CloneInto(nil, x)
+	if !Equal(dst, x) {
+		t.Fatal("CloneInto(nil) mismatch")
+	}
+	dst[0] = 99
+	if x[0] == 99 {
+		t.Fatal("CloneInto shares storage")
+	}
+	// Reuse path: same backing array, no growth.
+	big := make([]float64, 8)
+	out := CloneInto(big, x)
+	if len(out) != 4 || &out[0] != &big[0] {
+		t.Fatal("CloneInto did not reuse capacity")
+	}
+	if n := testing.AllocsPerRun(50, func() { out = CloneInto(out, x) }); n > 0 {
+		t.Errorf("warmed CloneInto allocates %.1f, want 0", n)
+	}
+}
+
+func TestSplitInto(t *testing.T) {
+	dst := make([]Chunk, 0, 16)
+	for n := 0; n < 40; n++ {
+		for p := 1; p < 9; p++ {
+			want := Split(n, p)
+			dst = SplitInto(dst, n, p)
+			if len(dst) != len(want) {
+				t.Fatalf("SplitInto(%d,%d) len %d want %d", n, p, len(dst), len(want))
+			}
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("SplitInto(%d,%d)[%d] = %v want %v", n, p, i, dst[i], want[i])
+				}
+			}
+		}
+	}
+	if n := testing.AllocsPerRun(50, func() { dst = SplitInto(dst, 1000, 8) }); n > 0 {
+		t.Errorf("warmed SplitInto allocates %.1f, want 0", n)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 
+	"psrahgadmm/internal/scratch"
 	"psrahgadmm/internal/sparse"
 )
 
@@ -139,72 +140,92 @@ func PayloadBytes(m Message) int {
 // EncodedBytes returns the full on-wire size of m including the header.
 func EncodedBytes(m Message) int { return headerBytes + PayloadBytes(m) }
 
-// Encode writes m to w in wire format.
-func Encode(w io.Writer, m Message) error {
+// AppendMessage appends m's full wire encoding (header + payload) to dst
+// and returns the extended slice. This is the allocation-free core of
+// Encode: callers that reuse dst encode with zero steady-state heap
+// traffic.
+func AppendMessage(dst []byte, m Message) ([]byte, error) {
 	plen := PayloadBytes(m)
 	if plen > maxPayload {
-		return fmt.Errorf("wire: payload %d exceeds limit", plen)
+		return dst, fmt.Errorf("wire: payload %d exceeds limit", plen)
 	}
-	buf := make([]byte, headerBytes+plen)
-	buf[0] = magic0
-	buf[1] = magic1
-	buf[2] = version
-	buf[3] = byte(m.Kind)
-	binary.LittleEndian.PutUint32(buf[4:8], uint32(m.Tag))
-	binary.LittleEndian.PutUint32(buf[8:12], uint32(m.From))
-	binary.LittleEndian.PutUint32(buf[12:16], uint32(plen))
-	p := buf[headerBytes:]
+	le := binary.LittleEndian
+	dst = append(dst, magic0, magic1, version, byte(m.Kind))
+	dst = le.AppendUint32(dst, uint32(m.Tag))
+	dst = le.AppendUint32(dst, uint32(m.From))
+	dst = le.AppendUint32(dst, uint32(plen))
 	switch m.Kind {
 	case KindControl:
-		binary.LittleEndian.PutUint32(p[0:4], uint32(len(m.Ints)))
-		off := 4
+		dst = le.AppendUint32(dst, uint32(len(m.Ints)))
 		for _, v := range m.Ints {
-			binary.LittleEndian.PutUint64(p[off:off+8], uint64(v))
-			off += 8
+			dst = le.AppendUint64(dst, uint64(v))
 		}
 	case KindDense:
-		binary.LittleEndian.PutUint32(p[0:4], uint32(len(m.Dense)))
-		off := 4
+		dst = le.AppendUint32(dst, uint32(len(m.Dense)))
 		for _, v := range m.Dense {
-			binary.LittleEndian.PutUint64(p[off:off+8], math.Float64bits(v))
-			off += 8
+			dst = le.AppendUint64(dst, math.Float64bits(v))
 		}
 	case KindSparse:
-		sv := m.Sparse
-		if sv == nil {
-			sv = sparse.NewVector(0, 0)
+		var dim, nnz int
+		if sv := m.Sparse; sv != nil {
+			dim, nnz = sv.Dim, sv.NNZ()
 		}
-		binary.LittleEndian.PutUint32(p[0:4], uint32(sv.Dim))
-		binary.LittleEndian.PutUint32(p[4:8], uint32(sv.NNZ()))
-		off := 8
-		for k := range sv.Index {
-			binary.LittleEndian.PutUint32(p[off:off+4], uint32(sv.Index[k]))
-			off += 4
-			binary.LittleEndian.PutUint64(p[off:off+8], math.Float64bits(sv.Value[k]))
-			off += 8
+		dst = le.AppendUint32(dst, uint32(dim))
+		dst = le.AppendUint32(dst, uint32(nnz))
+		if sv := m.Sparse; sv != nil {
+			for k := range sv.Index {
+				dst = le.AppendUint32(dst, uint32(sv.Index[k]))
+				dst = le.AppendUint64(dst, math.Float64bits(sv.Value[k]))
+			}
 		}
 	default:
-		return fmt.Errorf("wire: cannot encode kind %v", m.Kind)
+		return dst[:len(dst)-headerBytes], fmt.Errorf("wire: cannot encode kind %v", m.Kind)
 	}
-	_, err := w.Write(buf)
+	return dst, nil
+}
+
+// encBufs pools encode buffers so Encode's steady state allocates
+// nothing; buffers return to the pool as soon as the Write completes.
+var encBufs scratch.Bytes
+
+// Encode writes m to w in wire format.
+func Encode(w io.Writer, m Message) error {
+	buf := encBufs.Get(EncodedBytes(m))
+	buf, err := AppendMessage(buf, m)
+	if err != nil {
+		encBufs.Put(buf)
+		return err
+	}
+	_, err = w.Write(buf)
+	encBufs.Put(buf)
 	return err
 }
 
 // Decode reads one message from r. It returns io.EOF cleanly if the stream
 // ends exactly at a frame boundary and io.ErrUnexpectedEOF mid-frame.
 func Decode(r io.Reader) (Message, error) {
+	m, _, err := DecodeFrom(r, nil)
+	return m, err
+}
+
+// DecodeFrom is Decode reading the raw payload into scratch (grown only
+// when too small), returning the possibly-grown buffer for the caller to
+// reuse on the next frame. The decoded Message's payload fields are
+// always freshly allocated — they outlive the scratch — so only the
+// transient frame buffer is saved.
+func DecodeFrom(r io.Reader, payload []byte) (Message, []byte, error) {
 	var hdr [headerBytes]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return Message{}, io.EOF
+			return Message{}, payload, io.EOF
 		}
-		return Message{}, err
+		return Message{}, payload, err
 	}
 	if hdr[0] != magic0 || hdr[1] != magic1 {
-		return Message{}, fmt.Errorf("%w: bad magic %x%x", ErrBadFrame, hdr[0], hdr[1])
+		return Message{}, payload, fmt.Errorf("%w: bad magic %x%x", ErrBadFrame, hdr[0], hdr[1])
 	}
 	if hdr[2] != version {
-		return Message{}, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, hdr[2])
+		return Message{}, payload, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, hdr[2])
 	}
 	m := Message{
 		Kind: Kind(hdr[3]),
@@ -213,23 +234,32 @@ func Decode(r io.Reader) (Message, error) {
 	}
 	plen := binary.LittleEndian.Uint32(hdr[12:16])
 	if plen > maxPayload {
-		return Message{}, fmt.Errorf("%w: payload length %d too large", ErrBadFrame, plen)
+		return Message{}, payload, fmt.Errorf("%w: payload length %d too large", ErrBadFrame, plen)
 	}
-	p := make([]byte, plen)
+	if uint32(cap(payload)) < plen {
+		payload = make([]byte, plen)
+	}
+	payload = payload[:cap(payload)]
+	p := payload[:plen]
 	if _, err := io.ReadFull(r, p); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return Message{}, err
+		return Message{}, payload, err
 	}
+	err := decodePayload(&m, p, hdr[3])
+	return m, payload, err
+}
+
+func decodePayload(m *Message, p []byte, rawKind byte) error {
 	switch m.Kind {
 	case KindControl:
 		if len(p) < 4 {
-			return Message{}, fmt.Errorf("%w: short control payload", ErrBadFrame)
+			return fmt.Errorf("%w: short control payload", ErrBadFrame)
 		}
 		n := binary.LittleEndian.Uint32(p[0:4])
 		if uint64(len(p)) != 4+8*uint64(n) {
-			return Message{}, fmt.Errorf("%w: control payload size mismatch", ErrBadFrame)
+			return fmt.Errorf("%w: control payload size mismatch", ErrBadFrame)
 		}
 		m.Ints = make([]int64, n)
 		off := 4
@@ -239,11 +269,11 @@ func Decode(r io.Reader) (Message, error) {
 		}
 	case KindDense:
 		if len(p) < 4 {
-			return Message{}, fmt.Errorf("%w: short dense payload", ErrBadFrame)
+			return fmt.Errorf("%w: short dense payload", ErrBadFrame)
 		}
 		n := binary.LittleEndian.Uint32(p[0:4])
 		if uint64(len(p)) != 4+8*uint64(n) {
-			return Message{}, fmt.Errorf("%w: dense payload size mismatch", ErrBadFrame)
+			return fmt.Errorf("%w: dense payload size mismatch", ErrBadFrame)
 		}
 		m.Dense = make([]float64, n)
 		off := 4
@@ -253,12 +283,12 @@ func Decode(r io.Reader) (Message, error) {
 		}
 	case KindSparse:
 		if len(p) < 8 {
-			return Message{}, fmt.Errorf("%w: short sparse payload", ErrBadFrame)
+			return fmt.Errorf("%w: short sparse payload", ErrBadFrame)
 		}
 		dim := binary.LittleEndian.Uint32(p[0:4])
 		n := binary.LittleEndian.Uint32(p[4:8])
 		if uint64(len(p)) != 8+SparseEntryBytes*uint64(n) {
-			return Message{}, fmt.Errorf("%w: sparse payload size mismatch", ErrBadFrame)
+			return fmt.Errorf("%w: sparse payload size mismatch", ErrBadFrame)
 		}
 		sv := sparse.NewVector(int(dim), int(n))
 		off := 8
@@ -271,11 +301,11 @@ func Decode(r io.Reader) (Message, error) {
 			sv.Value = append(sv.Value, val)
 		}
 		if err := sv.Check(); err != nil {
-			return Message{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+			return fmt.Errorf("%w: %v", ErrBadFrame, err)
 		}
 		m.Sparse = sv
 	default:
-		return Message{}, fmt.Errorf("%w: unknown kind %d", ErrBadFrame, hdr[3])
+		return fmt.Errorf("%w: unknown kind %d", ErrBadFrame, rawKind)
 	}
-	return m, nil
+	return nil
 }

@@ -1,0 +1,103 @@
+package wlg
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"psrahgadmm/internal/raceflag"
+	"psrahgadmm/internal/simnet"
+	"psrahgadmm/internal/transport"
+)
+
+// runWorldMallocs runs a complete WLG world (workers + GG) on a chan
+// fabric with allocation-free callbacks and returns the heap objects the
+// whole world allocated.
+func runWorldMallocs(t *testing.T, cfg Config, contrib [][]float64) int64 {
+	t.Helper()
+	topo := cfg.Topo
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	f := transport.NewChanFabric(WorldSize(topo))
+	var wg sync.WaitGroup
+	errCh := make(chan error, WorldSize(topo))
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := RunGG(f.Endpoint(GGRank(topo)), cfg); err != nil {
+			errCh <- fmt.Errorf("GG: %w", err)
+		}
+	}()
+	for r := 0; r < topo.Size(); r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			funcs := WorkerFuncs{
+				ComputeW: func(iter int) []float64 { return contrib[r] },
+				ApplyW:   func(iter int, w []float64, n int) {},
+			}
+			if err := RunWorker(f.Endpoint(r), cfg, funcs); err != nil {
+				errCh <- fmt.Errorf("worker %d: %w", r, err)
+			}
+		}()
+	}
+	wg.Wait()
+	f.Close()
+	runtime.ReadMemStats(&after)
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	return int64(after.Mallocs - before.Mallocs)
+}
+
+// TestWLGSteadyStateAllocBudget bounds the per-iteration allocation rate
+// of a warmed 2-group WLG world (4 nodes × 2 workers, threshold 2) on the
+// in-process fabric. The runtime itself — contribution buffers, collective
+// workspaces, group/control scratch — allocates nothing once warm (see
+// DESIGN.md "Memory model & buffer ownership"); what remains is the chan
+// fabric's per-message defensive copies and the GG's per-iteration queue
+// bookkeeping, which together bound the budget. Measured marginally (two
+// world runs differing only in MaxIter) so setup costs cancel.
+func TestWLGSteadyStateAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	topo := simnet.Topology{Nodes: 4, WorkersPerNode: 2}
+	const dim = 256
+	contrib := make([][]float64, topo.Size())
+	for r := range contrib {
+		contrib[r] = make([]float64, dim)
+		for j := range contrib[r] {
+			contrib[r][j] = float64(r + j)
+		}
+	}
+	base := Config{Topo: topo, GroupThreshold: 2}
+
+	const n1, n2 = 20, 120
+	best := math.Inf(1)
+	for trial := 0; trial < 3; trial++ {
+		c1, c2 := base, base
+		c1.MaxIter, c2.MaxIter = n1, n2
+		m1 := runWorldMallocs(t, c1, contrib)
+		m2 := runWorldMallocs(t, c2, contrib)
+		if perIter := float64(m2-m1) / float64(n2-n1); perIter < best {
+			best = perIter
+		}
+	}
+	// The budget is for the WHOLE 9-endpoint world per iteration: ~26
+	// fabric messages (intra reduce/broadcast, GG round trips, inter
+	// allreduce) at 2–3 objects each plus GG map traffic. Headroom is
+	// deliberate slack for runtime noise, not license for runtime-side
+	// allocation — the runtime's own loop must stay at zero.
+	const budget = 64.0
+	t.Logf("wlg world allocations: %.1f objects/iter (budget %g)", best, budget)
+	if best > budget {
+		t.Fatalf("wlg world allocations: %.1f objects/iter exceeds budget %g", best, budget)
+	}
+}

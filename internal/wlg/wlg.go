@@ -186,6 +186,12 @@ func RunWorkerInfo(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInfo, 
 
 // runWorkerPlain is the original fail-stop worker loop: every peer is
 // assumed alive, every wait is unbounded, and the first failure aborts.
+//
+// All per-iteration scratch — the contribution buffer, the collective
+// workspace, the leader's group membership and control payloads — is
+// allocated once before the loop and reused, so a warmed iteration
+// allocates nothing in the runtime itself (see DESIGN.md "Memory model &
+// buffer ownership"). Transport-level copies remain the fabric's business.
 func runWorkerPlain(ep transport.Endpoint, cfg Config, f WorkerFuncs) error {
 	topo := cfg.Topo
 	rank := ep.Rank()
@@ -198,68 +204,79 @@ func runWorkerPlain(ep transport.Endpoint, cfg Config, f WorkerFuncs) error {
 		return fmt.Errorf("wlg: %w", err)
 	}
 
+	var ws collective.Workspace
+	var buf []float64
+	members := make([]int, 0, topo.Nodes)
+	var ggReq [2]int64 // node, iter — rewritten only after the GG replied
+	var cnt [1]int64
+
 	for iter := cfg.StartIter; iter < cfg.MaxIter; iter++ {
 		w := f.ComputeW(iter)
-		buf := append([]float64(nil), w...)
+		buf = append(buf[:0], w...)
 		// Lossy codecs round the contribution before it is communicated:
 		// the aggregate every worker applies is built from wire-precision
 		// values, matching what a real cluster would sum.
 		codec.EncodeDense(buf)
 
 		// Step 9: intra-node reduce to the Leader over the bus.
-		if _, err := collective.ReduceDense(ep, intra, iterTag(iter, offIntraRed), 0, buf); err != nil {
+		if _, err := ws.ReduceDense(ep, intra, iterTag(iter, offIntraRed), 0, buf); err != nil {
 			return fmt.Errorf("wlg: rank %d iter %d intra reduce: %w", rank, iter, err)
 		}
 
 		var contributors int
 		if leader {
 			// Algorithm 3: report to the GG, receive the inter-node group.
-			if err := ep.Send(gg, wire.Control(tagGGRequest, int64(node), int64(iter))); err != nil {
+			ggReq[0], ggReq[1] = int64(node), int64(iter)
+			if err := ep.Send(gg, wire.Control(tagGGRequest, ggReq[:]...)); err != nil {
 				return fmt.Errorf("wlg: leader %d iter %d GG request: %w", rank, iter, err)
 			}
 			reply, err := ep.Recv(gg, iterTag(iter, offGGReply))
 			if err != nil {
 				return fmt.Errorf("wlg: leader %d iter %d GG reply: %w", rank, iter, err)
 			}
-			members := make([]int, len(reply.Ints))
-			for i, n := range reply.Ints {
-				members[i] = LeaderOf(topo, int(n))
+			members = members[:0]
+			for _, n := range reply.Ints {
+				members = append(members, LeaderOf(topo, int(n)))
 			}
 			inter := collective.NewGroup(members...)
 			// PSR-Allreduce of W among the group's Leaders.
-			if _, err := collective.PSRAllreduceDense(ep, inter, iterTag(iter, offInterAR), buf); err != nil {
+			if _, err := ws.PSRAllreduceDense(ep, inter, iterTag(iter, offInterAR), buf); err != nil {
 				return fmt.Errorf("wlg: leader %d iter %d PSR allreduce: %w", rank, iter, err)
 			}
 			contributors = inter.Size() * topo.WorkersPerNode
 			// Step 4: broadcast the aggregate and its contributor count.
-			if err := broadcastResult(ep, intra, iter, buf, contributors); err != nil {
+			cnt[0] = int64(contributors)
+			if err := broadcastResult(ep, &ws, intra, iter, buf, cnt[:]); err != nil {
 				return err
 			}
 		} else {
-			var err error
-			buf, contributors, err = receiveResult(ep, intra, topo, iter)
+			res, n, err := receiveResult(ep, intra, iter)
 			if err != nil {
 				return err
 			}
+			// Copy into the worker-owned buffer: the received slice belongs
+			// to the transport and may be recycled or alias a peer.
+			buf = append(buf[:0], res...)
+			contributors = n
 		}
 		f.ApplyW(iter, buf, contributors)
 	}
 	return nil
 }
 
-func broadcastResult(ep transport.Endpoint, intra collective.Group, iter int, w []float64, contributors int) error {
-	if _, err := collective.BroadcastDense(ep, intra, iterTag(iter, offIntraBc), 0, w); err != nil {
+func broadcastResult(ep transport.Endpoint, ws *collective.Workspace, intra collective.Group, iter int, w []float64, contributors []int64) error {
+	if _, err := ws.BroadcastDense(ep, intra, iterTag(iter, offIntraBc), 0, w); err != nil {
 		return fmt.Errorf("wlg: iter %d intra broadcast: %w", iter, err)
 	}
 	for _, r := range intra.Ranks[1:] {
-		if err := ep.Send(r, wire.Control(iterTag(iter, offIntraBc2), int64(contributors))); err != nil {
+		if err := ep.Send(r, wire.Control(iterTag(iter, offIntraBc2), contributors...)); err != nil {
 			return fmt.Errorf("wlg: iter %d contributor broadcast: %w", iter, err)
 		}
 	}
 	return nil
 }
 
-func receiveResult(ep transport.Endpoint, intra collective.Group, topo simnet.Topology, iter int) ([]float64, int, error) {
+func receiveResult(ep transport.Endpoint, intra collective.Group, iter int) ([]float64, int, error) {
 	leaderRank := intra.Ranks[0]
 	in, err := ep.Recv(leaderRank, iterTag(iter, offIntraBc))
 	if err != nil {
