@@ -4,18 +4,52 @@
 //
 //	psra-train -synth news20 -scale 0.002 -algorithm psra-hgadmm -nodes 8 -wpn 4
 //	psra-train -data train.svm -test test.svm -algorithm admmlib -iters 50
+//
+// -elastic selects the failure model: off (fail-stop, the default),
+// survive (deaths shrink the world and training continues), or recover
+// (survive plus re-admission of returning ranks). Bare -elastic means
+// survive, matching the old boolean flag. The chaos flags schedule
+// deterministic boundary faults for studying the models:
+//
+//	psra-train -elastic=recover -chaos-kill 3@3,2@5 -chaos-rejoin 3@9,2@12
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	psra "psrahgadmm"
 	"psrahgadmm/internal/dataset"
 	"psrahgadmm/internal/metrics"
 	"psrahgadmm/internal/prof"
+	"psrahgadmm/internal/transport"
 )
+
+// elasticMode is the -elastic flag: a tri-state that still accepts the
+// historical boolean spellings (bare -elastic, -elastic=true/false).
+type elasticMode string
+
+func (m *elasticMode) String() string { return string(*m) }
+
+func (m *elasticMode) Set(s string) error {
+	switch s {
+	case "", "off", "false":
+		*m = "off"
+	case "true", "survive":
+		*m = "survive"
+	case "recover":
+		*m = "recover"
+	default:
+		return fmt.Errorf("unknown mode %q (off | survive | recover)", s)
+	}
+	return nil
+}
+
+// IsBoolFlag lets bare -elastic (no value) keep meaning "survive".
+func (m *elasticMode) IsBoolFlag() bool { return true }
 
 func main() {
 	var (
@@ -35,11 +69,15 @@ func main() {
 		seed      = flag.Int64("seed", 1, "synthetic generation seed")
 		every     = flag.Int("every", 10, "print every k-th iteration")
 		jsonOut   = flag.String("json", "", "write the full run history as JSON to this file")
-		elastic   = flag.Bool("elastic", false, "survive worker deaths: shrink the world and keep training instead of aborting")
+		chaosKill = flag.String("chaos-kill", "", "kill schedule rank@iter[,rank@iter...]: each rank dies at its iteration boundary")
+		chaosJoin = flag.String("chaos-rejoin", "", "rejoin schedule rank@iter[,...]: killed ranks return (requires -elastic=recover)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (with -chaos-kill)")
 		ckDir     = flag.String("checkpoint-dir", "", "directory for periodic snapshots (enables checkpointing)")
 		ckEvery   = flag.Int("checkpoint-every", 10, "snapshot every k-th iteration (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "continue from the latest snapshot in -checkpoint-dir (fresh start if none)")
 	)
+	elastic := elasticMode("off")
+	flag.Var(&elastic, "elastic", "failure model: off | survive | recover (bare -elastic = survive)")
 	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -66,7 +104,21 @@ func main() {
 		MaxIter:        *iters,
 		GroupThreshold: *threshold,
 		Consensus:      psra.ConsensusMode(*consensus),
-		Elastic:        *elastic,
+		Elastic:        elastic != "off",
+	}
+	if *chaosJoin != "" && elastic != "recover" {
+		fatal(fmt.Errorf("-chaos-rejoin requires -elastic=recover"))
+	}
+	if *chaosKill != "" || *chaosJoin != "" {
+		plan := &transport.FaultPlan{Seed: *chaosSeed}
+		var err error
+		if plan.KillAtIteration, err = parseSchedule(*chaosKill); err != nil {
+			fatal(fmt.Errorf("-chaos-kill: %w", err))
+		}
+		if plan.RejoinAtIteration, err = parseSchedule(*chaosJoin); err != nil {
+			fatal(fmt.Errorf("-chaos-rejoin: %w", err))
+		}
+		cfg.Faults = plan
 	}
 	opts := psra.RunOptions{Test: test}
 	if *resume && *ckDir == "" {
@@ -104,6 +156,9 @@ func main() {
 	if res.Degraded {
 		fmt.Printf("DEGRADED: %d of %d workers survived (membership epoch %d) — objective is the survivors' optimum\n",
 			res.LiveWorkers, cfg.Topo.Size(), res.Epoch)
+	} else if res.Epoch > 0 {
+		fmt.Printf("RECOVERED: membership changed %d times but the final world is whole — objective is the full-data optimum\n",
+			res.Epoch)
 	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
@@ -116,6 +171,34 @@ func main() {
 		}
 		fmt.Printf("history written to %s\n", *jsonOut)
 	}
+}
+
+// parseSchedule parses "rank@iter[,rank@iter...]" into a fault schedule;
+// an empty string is a nil map (no faults of that kind).
+func parseSchedule(s string) (map[int]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	sched := make(map[int]int)
+	for _, entry := range strings.Split(s, ",") {
+		rankStr, iterStr, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not rank@iter", entry)
+		}
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: bad rank: %w", entry, err)
+		}
+		iter, err := strconv.Atoi(iterStr)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: bad iteration: %w", entry, err)
+		}
+		if _, dup := sched[rank]; dup {
+			return nil, fmt.Errorf("rank %d scheduled twice", rank)
+		}
+		sched[rank] = iter
+	}
+	return sched, nil
 }
 
 // listAlgorithms prints the registry: every runnable algorithm with the

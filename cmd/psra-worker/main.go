@@ -20,6 +20,18 @@
 // results for recovery), and surviving ranks train to completion on the
 // shrunken world. -start-iter resumes a run's tail after a restart.
 //
+// With -rejoin (requires -elastic) a relaunched process re-enters a run
+// that is still going: the endpoint re-dials the mesh as a new
+// incarnation of its rank, the GG grants a join iteration plus the latest
+// consensus aggregate for a warm start, and every live rank folds the
+// returner back in at the same boundary. Pair it with -snapshot-dir,
+// which saves this rank's (x, y, z) every -snapshot-every iterations, so
+// the relaunch also restores local primal/dual state instead of starting
+// from zero:
+//
+//	psra-worker -rank 2 ... -elastic -snapshot-dir /tmp/psra   # dies
+//	psra-worker -rank 2 ... -elastic -snapshot-dir /tmp/psra -rejoin
+//
 // Exit codes tell orchestration what happened:
 //
 //	0 — clean completion, nobody lost
@@ -40,6 +52,7 @@ import (
 	"time"
 
 	psra "psrahgadmm"
+	"psrahgadmm/internal/checkpoint"
 	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/prof"
 	"psrahgadmm/internal/simnet"
@@ -68,6 +81,9 @@ func main() {
 		peerDead  = flag.Duration("peer-timeout", 15*time.Second, "declare a peer dead after this much silence (0 disables)")
 		elastic   = flag.Bool("elastic", false, "survive peer deaths: re-elect Leaders and keep training (exit 4 when degraded)")
 		startIter = flag.Int("start-iter", 0, "first iteration to execute (resume a run's tail after a restart)")
+		rejoin    = flag.Bool("rejoin", false, "re-enter a running elastic mesh as a new incarnation of this rank (requires -elastic)")
+		snapDir   = flag.String("snapshot-dir", "", "directory for this rank's periodic state snapshots (warm-starts x/y/z with -rejoin)")
+		snapEvery = flag.Int("snapshot-every", 5, "snapshot every k-th iteration (with -snapshot-dir)")
 	)
 	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -84,11 +100,18 @@ func main() {
 	if *rank < 0 || *rank >= world {
 		fatal(fmt.Errorf("rank %d out of [0,%d)", *rank, world))
 	}
+	if *rejoin && !*elastic {
+		fatal(fmt.Errorf("-rejoin requires -elastic: the fail-stop protocol cannot re-admit ranks"))
+	}
+	if *snapEvery < 1 {
+		fatal(fmt.Errorf("-snapshot-every must be >= 1, got %d", *snapEvery))
+	}
 
 	ep, err := transport.NewTCPEndpoint(*rank, addrList, transport.TCPOptions{
 		DialTimeout:       *timeout,
 		HeartbeatInterval: *heartbeat,
 		PeerTimeout:       *peerDead,
+		Rejoin:            *rejoin,
 	})
 	if err != nil {
 		fatal(err)
@@ -102,6 +125,7 @@ func main() {
 		Codec:          exchange.Kind(*codec),
 		Elastic:        *elastic,
 		StartIter:      *startIter,
+		Rejoin:         *rejoin,
 	}
 	if *rank == wlg.GGRank(topo) {
 		fmt.Printf("rank %d: group generator serving %d nodes × %d iterations\n", *rank, *nodes, *iters)
@@ -138,6 +162,27 @@ func main() {
 	y := make([]float64, dim)
 	z := make([]float64, dim)
 	w := make([]float64, dim)
+	var store checkpoint.Store
+	if *snapDir != "" {
+		ds, err := checkpoint.NewDirStore(*snapDir, fmt.Sprintf("rank-%d.ckpt", *rank))
+		if err != nil {
+			fatal(err)
+		}
+		store = ds
+	}
+	if *rejoin && store != nil {
+		// Restore local primal/dual state from the last snapshot. Copy INTO
+		// the slices — the prox objective below captures y and z by
+		// reference, and the consensus runtime owns the same views.
+		if snap, ok := loadSnapshot(store, *rank, dim); ok {
+			copy(x, snap.XA)
+			copy(y, snap.YA)
+			copy(z, snap.ZDense)
+			fmt.Printf("rank %d: restored x/y/z from snapshot\n", *rank)
+		} else {
+			fmt.Printf("rank %d: no usable snapshot, rejoining with zero local state\n", *rank)
+		}
+	}
 	obj := solver.NewLogisticProx(shard.X, shard.Labels, *rho, y, z)
 
 	funcs := wlg.WorkerFuncs{
@@ -153,6 +198,21 @@ func main() {
 				fmt.Printf("rank 0: iter %3d  local loss %.4f  ‖z‖₁ %.4f  z nnz %d  (group of %d workers)\n",
 					iter+1, obj.LocalLoss(z), vec.Nrm1(z), vec.CountNonzero(z), contributors)
 			}
+			if store != nil && ((iter+1)%*snapEvery == 0 || iter == *iters-1) {
+				saveSnapshot(store, *rank, iter+1, *rho, x, y, z)
+			}
+		},
+		Rejoined: func(joinIter int, bigW []float64, contributors int) {
+			if bigW == nil {
+				fmt.Printf("rank %d: rejoined at iteration %d (cold: no aggregate flushed yet)\n", *rank, joinIter)
+				return
+			}
+			// The GG's latest flushed aggregate is the freshest consensus
+			// view; derive z from it so the first local solve chases the
+			// world's current iterate, not the snapshot's stale one.
+			solver.ZUpdateL1(z, bigW, *lambda, *rho, contributors)
+			fmt.Printf("rank %d: rejoined at iteration %d, warm-started from %d contributors\n",
+				*rank, joinIter, contributors)
 		},
 	}
 	info, err := wlg.RunWorkerInfo(ep, cfg, funcs)
@@ -170,6 +230,47 @@ func main() {
 		os.Exit(4)
 	}
 	fmt.Printf("rank %d: done\n", *rank)
+}
+
+// saveSnapshot persists this rank's (x, y, z) as a one-worker PSCK
+// snapshot. A failed save is reported but never kills training: the
+// snapshot is an optimization for a future rejoin, not run state.
+func saveSnapshot(store checkpoint.Store, rank, iter int, rho float64, x, y, z []float64) {
+	snap := &exchange.Snapshot{
+		Algorithm: "psra-worker",
+		Iter:      int32(iter),
+		Rho:       rho,
+		Workers:   []exchange.WorkerSnap{{Rank: int32(rank), XA: x, YA: y, ZDense: z}},
+	}
+	if err := store.Save(exchange.EncodeSnapshot(snap)); err != nil {
+		fmt.Fprintf(os.Stderr, "psra-worker: rank %d snapshot save failed: %v\n", rank, err)
+	}
+}
+
+// loadSnapshot returns this rank's WorkerSnap from the store, or ok=false
+// when there is nothing usable (no file, corrupt bytes, wrong rank, or a
+// dimension mismatch from a differently-configured run). All of those are
+// survivable — the rejoin still warm-starts z from the GG's aggregate.
+func loadSnapshot(store checkpoint.Store, rank, dim int) (*exchange.WorkerSnap, bool) {
+	data, ok, err := store.Load()
+	if err != nil || !ok {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psra-worker: rank %d snapshot load failed: %v\n", rank, err)
+		}
+		return nil, false
+	}
+	snap, err := exchange.DecodeSnapshot(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psra-worker: rank %d snapshot rejected: %v\n", rank, err)
+		return nil, false
+	}
+	for i := range snap.Workers {
+		ws := &snap.Workers[i]
+		if int(ws.Rank) == rank && len(ws.XA) == dim && len(ws.YA) == dim && len(ws.ZDense) == dim {
+			return ws, true
+		}
+	}
+	return nil, false
 }
 
 // fatal exits nonzero with a diagnostic. Peer loss gets its own exit code

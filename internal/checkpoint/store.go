@@ -22,7 +22,11 @@ type Store interface {
 
 // DirStore keeps the snapshot as one file inside a directory, written via
 // a temp file + rename so a crash mid-save never corrupts the previous
-// snapshot (rename within a directory is atomic on POSIX).
+// snapshot (rename within a directory is atomic on POSIX). The temp file
+// is fsynced before the rename and the directory after it: without the
+// first, a power loss can promote a zero-length or torn temp file to the
+// "committed" name; without the second, the rename itself may not survive
+// the crash and Load would silently resurrect the previous snapshot.
 type DirStore struct {
 	dir  string
 	name string
@@ -54,6 +58,11 @@ func (s *DirStore) Save(data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: fsync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: %w", err)
@@ -61,6 +70,22 @@ func (s *DirStore) Save(data []byte) error {
 	if err := os.Rename(tmp.Name(), s.Path()); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so a just-committed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("checkpoint: fsync dir: %w", err)
 	}
 	return nil
 }

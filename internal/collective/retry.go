@@ -3,6 +3,7 @@ package collective
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"psrahgadmm/internal/transport"
@@ -45,6 +46,14 @@ type RetryPolicy struct {
 	Attempts  int
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// Jitter decorrelates the waits: each attempt draws uniformly from
+	// [BaseDelay, 3·previous], clamped to [delay(attempt)/2, MaxDelay].
+	// The clamp keeps the exponential shape — the budget a caller sized
+	// against the deterministic schedule still holds to within 2× — while
+	// N survivors retrying the same dead peer spread out instead of
+	// thundering the transport in lockstep. Off by default so tests that
+	// pin exact schedules stay deterministic.
+	Jitter bool
 }
 
 func (p RetryPolicy) fill() RetryPolicy {
@@ -75,14 +84,52 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 	return d
 }
 
+// jitteredDelay returns the attempt-th wait under decorrelated jitter: a
+// uniform draw from [BaseDelay, 3·prev] (prev = the previous attempt's
+// wait), clamped to [delay(attempt)/2, MaxDelay]. Drawing against the
+// previous *realized* wait rather than the deterministic schedule is what
+// decorrelates concurrent retriers: their sleep sequences diverge after
+// the first draw instead of re-synchronizing every attempt.
+func (p RetryPolicy) jitteredDelay(attempt int, prev time.Duration) time.Duration {
+	hi := 3 * prev
+	if hi < p.BaseDelay {
+		hi = p.BaseDelay
+	}
+	d := p.BaseDelay
+	if span := int64(hi - p.BaseDelay); span > 0 {
+		d += time.Duration(rand.Int63n(span + 1))
+	}
+	if floor := p.delay(attempt) / 2; d < floor {
+		d = floor
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// wait returns the attempt-th wait, threading prev for jitter's
+// decorrelation state. Callers start with prev = 0.
+func (p RetryPolicy) wait(attempt int, prev time.Duration) time.Duration {
+	if !p.Jitter {
+		return p.delay(attempt)
+	}
+	if prev <= 0 {
+		prev = p.BaseDelay
+	}
+	return p.jitteredDelay(attempt, prev)
+}
+
 // RecvRetry waits for a message from `from` (or transport.AnySource) on
 // tag, retrying with exponential backoff. It returns the message; a
 // *transport.PeerDownError as soon as the source is known dead; or
 // ErrUnavailable once the budget is exhausted with the peer still alive.
 func RecvRetry(ep transport.Endpoint, from int, tag int32, pol RetryPolicy) (wire.Message, error) {
 	pol = pol.fill()
+	var prev time.Duration
 	for attempt := 0; attempt < pol.Attempts; attempt++ {
-		m, err := ep.RecvTimeout(from, tag, pol.delay(attempt))
+		prev = pol.wait(attempt, prev)
+		m, err := ep.RecvTimeout(from, tag, prev)
 		if err == nil {
 			return m, nil
 		}
@@ -105,11 +152,13 @@ func RecvRetry(ep transport.Endpoint, from int, tag int32, pol RetryPolicy) (wir
 func SendAck(ep transport.Endpoint, to int, m wire.Message, pol RetryPolicy) error {
 	pol = pol.fill()
 	ackTag := AckTag(m.Tag)
+	var prev time.Duration
 	for attempt := 0; attempt < pol.Attempts; attempt++ {
 		if err := ep.Send(to, m); err != nil {
 			return err
 		}
-		_, err := ep.RecvTimeout(to, ackTag, pol.delay(attempt))
+		prev = pol.wait(attempt, prev)
+		_, err := ep.RecvTimeout(to, ackTag, prev)
 		if err == nil {
 			return nil
 		}

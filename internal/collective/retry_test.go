@@ -26,6 +26,42 @@ func TestRecvRetryOutwaitsDelay(t *testing.T) {
 	}
 }
 
+// TestJitteredBackoffBounds pins the decorrelated-jitter envelope: every
+// wait stays within [delay(attempt)/2, MaxDelay], so a budget sized
+// against the deterministic schedule still holds to within 2×, and the
+// draws actually vary — the whole point of jitter.
+func TestJitteredBackoffBounds(t *testing.T) {
+	pol := RetryPolicy{
+		Attempts:  6,
+		BaseDelay: 10 * time.Millisecond,
+		MaxDelay:  50 * time.Millisecond,
+		Jitter:    true,
+	}.fill()
+	distinct := make(map[time.Duration]bool)
+	for trial := 0; trial < 200; trial++ {
+		var prev time.Duration
+		for attempt := 0; attempt < pol.Attempts; attempt++ {
+			d := pol.wait(attempt, prev)
+			lo, hi := pol.delay(attempt)/2, pol.MaxDelay
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: wait %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+			prev = d
+			distinct[d] = true
+		}
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("jitter produced only %d distinct waits across 200 trials", len(distinct))
+	}
+	// Without Jitter the schedule is exactly the deterministic one.
+	det := RetryPolicy{Attempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}.fill()
+	for attempt := 0; attempt < det.Attempts; attempt++ {
+		if det.wait(attempt, 0) != det.delay(attempt) {
+			t.Fatalf("attempt %d: non-jittered wait diverged from schedule", attempt)
+		}
+	}
+}
+
 func TestRecvRetryBudgetExhaustion(t *testing.T) {
 	fab := transport.NewChanFabric(2)
 	defer fab.Close()

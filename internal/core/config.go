@@ -144,6 +144,13 @@ type Config struct {
 	// Faults.KillAtIteration are deterministic in elastic mode: the rank
 	// leaves the world at the iteration boundary, before any collective
 	// can fail on it.
+	//
+	// Elastic also enables fail-recover: ranks scheduled through
+	// Faults.RejoinAtIteration come back at their iteration boundary as a
+	// new incarnation — fabric reopened, membership revived, consensus
+	// view warm-started from the cluster's current iterate — and the
+	// z-update's contributor scaling grows back, so a kill-then-rejoin
+	// run converges to the same full-data optimum as an undisturbed one.
 	Elastic bool
 }
 
@@ -199,6 +206,21 @@ func (c Config) Validate() error {
 	}
 	if c.Tol < 0 {
 		return fmt.Errorf("core: Tol must be non-negative")
+	}
+	if c.Faults != nil && len(c.Faults.RejoinAtIteration) > 0 {
+		if !c.Elastic {
+			return fmt.Errorf("core: Faults.RejoinAtIteration requires Elastic mode (fail-stop runs cannot re-admit ranks)")
+		}
+		for r, rit := range c.Faults.RejoinAtIteration {
+			kit, scheduled := c.Faults.KillAtIteration[r]
+			_, sendKilled := c.Faults.KillAfterSends[r]
+			if !scheduled && !sendKilled {
+				return fmt.Errorf("core: rank %d scheduled to rejoin at iteration %d but never killed", r, rit)
+			}
+			if scheduled && rit <= kit {
+				return fmt.Errorf("core: rank %d rejoin at iteration %d must follow its kill at %d", r, rit, kit)
+			}
+		}
 	}
 	return nil
 }

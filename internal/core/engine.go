@@ -109,6 +109,10 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		health.LiveWorkers.Set(int64(members.LiveCount()))
 		health.Epoch.Set(int64(members.Epoch()))
 	})
+	members.OnUp(func(rank, incarnation int) {
+		health.LiveWorkers.Set(int64(members.LiveCount()))
+		health.Epoch.Set(int64(members.Epoch()))
+	})
 
 	env := &strategyEnv{
 		ws:      ws,
@@ -131,16 +135,27 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		return nil, fmt.Errorf("core: %s: %w", cfg.Algorithm, err)
 	}
 
-	// Scheduled kills, fired at iteration starts. In elastic mode the
-	// death is also recorded in the membership view at the same boundary,
-	// making elastic chaos runs deterministic: the rank leaves the world
-	// before any collective can race against discovering it.
+	// Scheduled kills and rejoins, fired at iteration starts. In elastic
+	// mode the death is also recorded in the membership view at the same
+	// boundary, making elastic chaos runs deterministic: the rank leaves
+	// the world before any collective can race against discovering it. A
+	// rejoin is the mirror image: the fabric endpoint reopens, the tracker
+	// revives the rank as a new incarnation, and the worker's consensus
+	// view warm-starts from the cluster's current iterate — all before the
+	// round, so the strategies simply see one more live rank.
 	killAt := make(map[int][]int)
+	rejoinAt := make(map[int][]int)
 	if ffab != nil {
 		for r, it := range cfg.Faults.KillAtIteration {
 			killAt[it] = append(killAt[it], r)
 		}
+		for r, it := range cfg.Faults.RejoinAtIteration {
+			rejoinAt[it] = append(rejoinAt[it], r)
+		}
 		for _, rs := range killAt {
+			sort.Ints(rs)
+		}
+		for _, rs := range rejoinAt {
 			sort.Ints(rs)
 		}
 	}
@@ -174,13 +189,15 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: resume: %w", err)
 		}
-		// Replay scheduled kills that predate the snapshot so the fabric
-		// agrees with the restored membership view.
-		for it, rs := range killAt {
-			if it < startIter {
-				for _, r := range rs {
-					ffab.Kill(r)
-				}
+		// Replay scheduled kills and rejoins that predate the snapshot, in
+		// iteration order, so the fabric agrees with the restored
+		// membership view (a rank killed then revived must end up open).
+		for it := 0; it < startIter; it++ {
+			for _, r := range killAt[it] {
+				ffab.Kill(r)
+			}
+			for _, r := range rejoinAt[it] {
+				ffab.Revive(r)
 			}
 		}
 	}
@@ -196,6 +213,24 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 			ffab.Kill(r)
 			if cfg.Elastic {
 				members.MarkDown(r, &transport.PeerDownError{Peer: r, Cause: errScheduledKill})
+			}
+		}
+		if rs := rejoinAt[iter]; len(rs) > 0 {
+			// The rejoiner's virtual clock jumps to the live maximum: it
+			// models a process that was absent, not one that computed.
+			var maxClock float64
+			for _, w := range env.liveWorkers() {
+				if w.clock > maxClock {
+					maxClock = w.clock
+				}
+			}
+			for _, r := range rs {
+				if members.Alive(r) {
+					continue // e.g. a KillAfterSends trigger that never fired
+				}
+				ffab.Revive(r)
+				members.MarkUp(r)
+				ws[r].rejoin(zPrev, maxClock)
 			}
 		}
 		if cfg.Elastic && members.LiveCount() == 0 {

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/vec"
+)
+
+// TestElasticRejoinRestoresFullDataOptimum is the fail-recover acceptance
+// test: 2 of 8 workers die — including a Leader, taking its whole node out
+// of the tree — and both rejoin a few iterations later. With every shard
+// contributing again, the run must converge to the FULL-data optimum, the
+// same target an undisturbed run reaches: the z-update's contributor
+// scaling grows back exactly as it shrank, so the disturbance is transient.
+func TestElasticRejoinRestoresFullDataOptimum(t *testing.T) {
+	train, _ := testData(t, 240)
+	cfg := baseConfig(PSRAHGADMM, 4, 2) // node n owns ranks {2n, 2n+1}
+	cfg.MaxIter = 200
+	cfg.EvalEvery = 10
+	cfg.Elastic = true
+	cfg.Faults = &transport.FaultPlan{
+		Seed: 5,
+		KillAtIteration: map[int]int{
+			3: 3, // non-leader of node 1
+			2: 5, // Leader of node 1 → node 1 fully dead
+		},
+		RejoinAtIteration: map[int]int{
+			3: 9,  // back while its node is still gone: re-seeds node 1
+			2: 12, // ex-Leader returns, reclaims the leadership slot
+		},
+	}
+
+	res, err := Run(cfg, train, RunOptions{})
+	if err != nil {
+		t.Fatalf("rejoin run failed: %v", err)
+	}
+	if len(res.History) != cfg.MaxIter {
+		t.Fatalf("completed %d of %d iterations", len(res.History), cfg.MaxIter)
+	}
+
+	// Membership trajectory: every transition lands at its boundary and
+	// bumps the epoch — deaths AND rejoins.
+	wantLive := func(iter, live, epoch int) {
+		t.Helper()
+		s := res.History[iter]
+		if s.LiveWorkers != live || s.Epoch != epoch {
+			t.Fatalf("iter %d: live=%d epoch=%d, want live=%d epoch=%d",
+				iter, s.LiveWorkers, s.Epoch, live, epoch)
+		}
+	}
+	wantLive(2, 8, 0)
+	wantLive(3, 7, 1)
+	wantLive(5, 6, 2)
+	wantLive(9, 7, 3)
+	wantLive(12, 8, 4)
+
+	// Full recovery: the final membership view is whole, not degraded.
+	if res.Degraded || res.LiveWorkers != 8 || res.Epoch != 4 {
+		t.Fatalf("final membership after rejoins: live=%d epoch=%d degraded=%v",
+			res.LiveWorkers, res.Epoch, res.Degraded)
+	}
+
+	// Convergence target: the reference optimum of ALL data — and the
+	// undisturbed elastic run must agree, pinning that the disturbance
+	// cost iterations, not the optimum.
+	fstar, _, err := ReferenceOptimum(train, cfg.Rho, cfg.Lambda, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.FinalObjective()
+	if rel := math.Abs(f-fstar) / math.Abs(fstar); rel > 1e-3 {
+		t.Fatalf("recovered run missed the full-data optimum: f=%v f*=%v rel=%v", f, fstar, rel)
+	}
+	clean := cfg
+	clean.Faults = nil
+	undisturbed, err := Run(clean, train, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fu := undisturbed.FinalObjective()
+	if rel := math.Abs(f-fu) / math.Abs(fu); rel > 1e-3 {
+		t.Fatalf("recovered run diverged from the undisturbed one: f=%v undisturbed=%v rel=%v", f, fu, rel)
+	}
+}
+
+// TestElasticRejoinDeterministic extends the determinism contract to
+// fail-recover: scheduled kills AND rejoins land at iteration boundaries,
+// so chaos runs with equal inputs produce bit-identical histories.
+func TestElasticRejoinDeterministic(t *testing.T) {
+	train, test := testData(t, 160)
+	run := func() *Result {
+		cfg := baseConfig(PSRAHGADMM, 4, 2)
+		cfg.MaxIter = 16
+		cfg.GroupThreshold = 2
+		cfg.Elastic = true
+		cfg.Faults = &transport.FaultPlan{
+			Seed:              7,
+			KillAtIteration:   map[int]int{3: 3, 2: 6},
+			RejoinAtIteration: map[int]int{3: 8, 2: 11},
+		}
+		res, err := Run(cfg, train, RunOptions{Test: test})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	for rep := 0; rep < 8; rep++ {
+		b := run()
+		for i := range a.History {
+			if !iterStatEqual(a.History[i], b.History[i]) {
+				t.Fatalf("rep %d iter %d differs:\n%+v\n%+v", rep, i, a.History[i], b.History[i])
+			}
+		}
+		if !vec.Equal(a.Z, b.Z) {
+			t.Fatalf("rep %d: final iterates differ", rep)
+		}
+	}
+}
+
+// TestElasticRejoinAcrossAlgorithms: the boundary-scheduled rejoin is a
+// membership-layer mechanism, so every elastic-capable strategy must fold
+// a returning rank back in — flat PSR, sparse Leader ring, and the staged
+// tree alike.
+func TestElasticRejoinAcrossAlgorithms(t *testing.T) {
+	train, _ := testData(t, 120)
+	for _, alg := range []Algorithm{PSRAADMM, GRADMM, PSRAHGADMM} {
+		t.Run(string(alg), func(t *testing.T) {
+			cfg := baseConfig(alg, 3, 2)
+			cfg.MaxIter = 30
+			cfg.EvalEvery = 5
+			cfg.Elastic = true
+			cfg.Faults = &transport.FaultPlan{
+				Seed:              9,
+				KillAtIteration:   map[int]int{2: 4},
+				RejoinAtIteration: map[int]int{2: 10},
+			}
+			res, err := Run(cfg, train, RunOptions{})
+			if err != nil {
+				t.Fatalf("%s rejoin run failed: %v", alg, err)
+			}
+			if len(res.History) != cfg.MaxIter {
+				t.Fatalf("completed %d of %d iterations", len(res.History), cfg.MaxIter)
+			}
+			if res.Degraded || res.LiveWorkers != 6 || res.Epoch != 2 {
+				t.Fatalf("final membership: live=%d epoch=%d degraded=%v",
+					res.LiveWorkers, res.Epoch, res.Degraded)
+			}
+			if res.FinalObjective() >= res.History[0].Objective {
+				t.Fatalf("no progress across kill+rejoin: %v → %v",
+					res.History[0].Objective, res.FinalObjective())
+			}
+		})
+	}
+}
+
+// TestRejoinRequiresElastic pins the validation: fail-stop runs cannot
+// re-admit ranks, and a rejoin without a preceding kill is a plan bug.
+func TestRejoinRequiresElastic(t *testing.T) {
+	train, _ := testData(t, 60)
+	cfg := baseConfig(PSRAADMM, 2, 2)
+	cfg.MaxIter = 4
+	cfg.Faults = &transport.FaultPlan{
+		KillAtIteration:   map[int]int{1: 1},
+		RejoinAtIteration: map[int]int{1: 2},
+	}
+	if _, err := Run(cfg, train, RunOptions{}); err == nil {
+		t.Fatal("non-elastic run accepted RejoinAtIteration")
+	}
+	cfg.Elastic = true
+	cfg.Faults.RejoinAtIteration = map[int]int{3: 2} // rank 3 is never killed
+	if _, err := Run(cfg, train, RunOptions{}); err == nil {
+		t.Fatal("rejoin without a kill accepted")
+	}
+	cfg.Faults.RejoinAtIteration = map[int]int{1: 1} // not after the kill
+	if _, err := Run(cfg, train, RunOptions{}); err == nil {
+		t.Fatal("rejoin at the kill iteration accepted")
+	}
+}

@@ -217,6 +217,29 @@ func (w *worker) applyW(cfg Config, bigW []float64, contributors int) {
 	w.applyZ(cfg, z, nil)
 }
 
+// rejoin re-admits a revived rank at an iteration boundary. The consensus
+// view warm-starts from the cluster's current iterate — the rejoiner's
+// first x-update then solves against live consensus, not the stale z it
+// died holding — while xA/yA keep their frozen pre-death values (any
+// restart point is valid for ADMM, and the stale primal/dual pair is
+// closer to the optimum than zero). The clock jump is supplied by the
+// engine (the live maximum).
+func (w *worker) rejoin(z []float64, clock float64) {
+	copy(w.zDense, z)
+	// Derive the sparse view through the same double buffer applyZ uses,
+	// so the vector the last pre-death round published is never clobbered.
+	nb := w.zOwn[w.zOwnIdx]
+	if nb == nil {
+		nb = new(sparse.Vector)
+		w.zOwn[w.zOwnIdx] = nb
+	}
+	w.zOwnIdx = 1 - w.zOwnIdx
+	w.zSparse = sparse.FromDenseInto(nb, z)
+	if clock > w.clock {
+		w.clock = clock
+	}
+}
+
 // localLoss evaluates the shard's data-fit term Σ log(1+exp(−b·aᵀz)) at a
 // full-dimension point.
 func (w *worker) localLoss(z []float64) float64 {

@@ -129,6 +129,12 @@ func (r *snapReader) i32s() []int32 {
 	if r.err != nil || n == 0 {
 		return nil
 	}
+	// Bound the allocation by the bytes actually present: a corrupt length
+	// prefix must produce an error, never a multi-gigabyte make.
+	if n < 0 || n > len(r.buf)/4 {
+		r.err = fmt.Errorf("exchange: vector length %d exceeds remaining %d bytes", n, len(r.buf))
+		return nil
+	}
 	v := make([]int32, n)
 	for i := range v {
 		v[i] = r.i32()
@@ -139,6 +145,10 @@ func (r *snapReader) i32s() []int32 {
 func (r *snapReader) f64s() []float64 {
 	n := int(r.u32())
 	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n < 0 || n > len(r.buf)/8 {
+		r.err = fmt.Errorf("exchange: vector length %d exceeds remaining %d bytes", n, len(r.buf))
 		return nil
 	}
 	v := make([]float64, n)
@@ -203,7 +213,10 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	if n < 0 || n > 1<<20 {
+	// A worker record is at least 40 bytes (three scalars + five length
+	// prefixes), so the remaining buffer bounds the plausible count — and
+	// with it the allocation — long before the absolute cap matters.
+	if n < 0 || n > 1<<20 || n > len(r.buf)/40 {
 		return nil, fmt.Errorf("exchange: implausible worker count %d", n)
 	}
 	s.Workers = make([]WorkerSnap, n)

@@ -1,0 +1,112 @@
+package exchange
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"psrahgadmm/internal/checkpoint"
+)
+
+// fuzzSnapshot is a representative two-worker snapshot exercising every
+// field shape the codec knows: dense and sparse consensus views, strategy
+// scalars, a dead rank.
+func fuzzSnapshot() *Snapshot {
+	return &Snapshot{
+		Algorithm:  "psra-hgadmm",
+		Iter:       42,
+		Rho:        1.5,
+		Epoch:      3,
+		Dead:       []int32{1},
+		ZPrev:      []float64{0.5, -0.25, 0},
+		TotalCal:   12.5,
+		TotalComm:  3.25,
+		TotalBytes: 4096,
+		Strategy:   []float64{7.5},
+		Workers: []WorkerSnap{
+			{Rank: 0, Clock: 10.5, CalTotal: 8, XA: []float64{1, 2, 3}, YA: []float64{0.1, 0.2, 0.3}, ZDense: []float64{0.5, -0.25, 0}},
+			{Rank: 2, Clock: 11, CalTotal: 9, XA: []float64{4, 5, 6}, YA: []float64{0.4, 0.5, 0.6}, ZIdx: []int32{0, 2}, ZVal: []float64{0.5, 0}},
+		},
+	}
+}
+
+// FuzzPSCKDecode drives DecodeSnapshot with arbitrary bytes. Invariants:
+// never panic; corrupt length prefixes must error without attempting an
+// allocation beyond the bytes present; and any blob that decodes must
+// re-encode to the identical bytes (the codec is canonical).
+func FuzzPSCKDecode(f *testing.F) {
+	full := EncodeSnapshot(fuzzSnapshot())
+	f.Add(append([]byte(nil), full...))
+	for _, cut := range []int{0, 3, 4, 8, len(full) / 2, len(full) - 1} {
+		f.Add(append([]byte(nil), full[:cut]...))
+	}
+	// Valid prefix with a huge vector-length prefix appended.
+	f.Add(append(append([]byte(nil), full[:8]...), 0xff, 0xff, 0xff, 0x7f))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeSnapshot(s), data) {
+			t.Fatal("re-encode diverged from accepted snapshot bytes")
+		}
+	})
+}
+
+// TestSnapshotTruncationRejected cuts a valid snapshot at every byte
+// boundary: no truncation may decode successfully, and none may panic.
+func TestSnapshotTruncationRejected(t *testing.T) {
+	full := EncodeSnapshot(fuzzSnapshot())
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeSnapshot(full[:cut]); err == nil {
+			t.Fatalf("truncation at byte %d of %d decoded successfully", cut, len(full))
+		}
+	}
+}
+
+// TestSnapshotCorruptLengthBounded pins the over-allocation guard: a
+// corrupt u32 length prefix claiming ~2^31 elements must produce a decode
+// error, not a multi-gigabyte make.
+func TestSnapshotCorruptLengthBounded(t *testing.T) {
+	full := EncodeSnapshot(fuzzSnapshot())
+	// The Dead vector's length prefix sits right after magic+version+
+	// Algorithm(str)+Iter+Rho+Epoch.
+	off := 4 + 4 + (4 + len("psra-hgadmm")) + 4 + 8 + 4
+	for _, evil := range []uint32{1 << 30, 0xffffffff} {
+		mut := append([]byte(nil), full...)
+		mut[off] = byte(evil)
+		mut[off+1] = byte(evil >> 8)
+		mut[off+2] = byte(evil >> 16)
+		mut[off+3] = byte(evil >> 24)
+		if _, err := DecodeSnapshot(mut); err == nil {
+			t.Fatalf("length prefix %#x accepted", evil)
+		}
+	}
+}
+
+// TestTruncatedCheckpointRejectedOnLoad is the durability contract end to
+// end: a PSCK blob saved through the fsynced DirStore, then truncated on
+// disk (a torn write the rename discipline is supposed to prevent, or
+// media damage), must be rejected at decode — a resumed run fails loudly
+// instead of training from garbage.
+func TestTruncatedCheckpointRejectedOnLoad(t *testing.T) {
+	store, err := checkpoint.NewDirStore(t.TempDir(), "rank-0.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := EncodeSnapshot(fuzzSnapshot())
+	if err := store.Save(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(store.Path(), int64(len(full)/2)); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := store.Load()
+	if err != nil || !ok {
+		t.Fatalf("load after truncate: ok=%v err=%v", ok, err)
+	}
+	if _, err := DecodeSnapshot(data); err == nil {
+		t.Fatal("truncated checkpoint decoded successfully")
+	}
+}

@@ -7,11 +7,14 @@
 // produces and read back the surviving world. Two invariants keep the view
 // sane without any consensus protocol of its own:
 //
-//   - Death is monotone. A rank marked down never comes back, so every
-//     observer's dead set only grows and all views converge to the union
-//     of the evidence. (Elastic rejoin would need a membership epoch in
-//     every message; this layer reserves the epoch number for exactly that
-//     but the runtimes do not implement rejoin.)
+//   - Death is monotone per incarnation. Every life of a rank carries an
+//     incarnation number; marking rank i down kills its current
+//     incarnation, and that incarnation never comes back — observers' dead
+//     sets for incarnation k only grow, so all views still converge to the
+//     union of the evidence. Rejoin is a *new* incarnation: MarkUp (or
+//     MarkUpAt, when the number is assigned elsewhere) revives the rank
+//     with incarnation k+1 and bumps the epoch, exactly the transition the
+//     epoch number was reserved for.
 //   - Evidence is ground truth. Ranks are only marked down from transport
 //     facts (a PeerDownError, a fault-plan kill), never from timeouts
 //     alone — a slow peer stays a member. The bounded-retry helpers in
@@ -47,12 +50,15 @@ type Tracker struct {
 	world  int
 	epoch  int
 	dead   []bool
+	inc    []int // incarnation of the rank's current (or last) life
 	causes []error
 	live   int
 	onDown func(rank int, cause error)
+	onUp   func(rank, incarnation int)
 }
 
-// NewTracker returns a tracker for ranks 0..world-1, all alive, epoch 0.
+// NewTracker returns a tracker for ranks 0..world-1, all alive, epoch 0,
+// every rank at incarnation 0 (its original life).
 func NewTracker(world int) *Tracker {
 	if world <= 0 {
 		panic("membership: world must be positive")
@@ -60,6 +66,7 @@ func NewTracker(world int) *Tracker {
 	return &Tracker{
 		world:  world,
 		dead:   make([]bool, world),
+		inc:    make([]int, world),
 		causes: make([]error, world),
 		live:   world,
 	}
@@ -70,6 +77,14 @@ func NewTracker(world int) *Tracker {
 func (t *Tracker) OnDown(fn func(rank int, cause error)) {
 	t.mu.Lock()
 	t.onDown = fn
+	t.mu.Unlock()
+}
+
+// OnUp registers a hook invoked (outside the tracker lock) each time a
+// rank rejoins as a new incarnation.
+func (t *Tracker) OnUp(fn func(rank, incarnation int)) {
+	t.mu.Lock()
+	t.onUp = fn
 	t.mu.Unlock()
 }
 
@@ -100,6 +115,77 @@ func (t *Tracker) MarkDown(rank int, cause error) bool {
 	return true
 }
 
+// MarkUp revives a dead rank as its next incarnation and bumps the epoch.
+// Only a dead rank can rejoin this way — a live rank's incarnation never
+// changes under it. Returns whether the rank was revived; the new
+// incarnation is readable via Incarnation.
+func (t *Tracker) MarkUp(rank int) bool {
+	if rank < 0 || rank >= t.world {
+		return false
+	}
+	t.mu.Lock()
+	if !t.dead[rank] {
+		t.mu.Unlock()
+		return false
+	}
+	inc := t.inc[rank] + 1
+	hook := t.markUpLocked(rank, inc)
+	t.mu.Unlock()
+	if hook != nil {
+		hook(rank, inc)
+	}
+	return true
+}
+
+// MarkUpAt applies a rejoin whose incarnation number was assigned by an
+// authoritative observer (the GG, a checkpoint): the rank is revived and
+// its incarnation set to inc. Idempotent: an incarnation at or below the
+// local one changes nothing, so a duplicated or re-forwarded rejoin
+// announcement is harmless. A rank that is still locally "alive" but
+// carries a newer incarnation died and rejoined without this observer
+// noticing either transition; the incarnation is adopted and the epoch
+// bumped once.
+func (t *Tracker) MarkUpAt(rank, inc int) bool {
+	if rank < 0 || rank >= t.world || inc <= 0 {
+		return false
+	}
+	t.mu.Lock()
+	if inc <= t.inc[rank] {
+		t.mu.Unlock()
+		return false
+	}
+	hook := t.markUpLocked(rank, inc)
+	t.mu.Unlock()
+	if hook != nil {
+		hook(rank, inc)
+	}
+	return true
+}
+
+// markUpLocked performs the revive transition under t.mu and returns the
+// OnUp hook to fire after unlock (nil if none registered).
+func (t *Tracker) markUpLocked(rank, inc int) func(rank, incarnation int) {
+	t.inc[rank] = inc
+	if t.dead[rank] {
+		t.dead[rank] = false
+		t.causes[rank] = nil
+		t.live++
+	}
+	t.epoch++
+	return t.onUp
+}
+
+// Incarnation returns the incarnation number of the rank's current (or,
+// when dead, last) life: 0 for the original process, k for its k-th rejoin.
+func (t *Tracker) Incarnation(rank int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rank < 0 || rank >= t.world {
+		return -1
+	}
+	return t.inc[rank]
+}
+
 // Observe extracts a *transport.PeerDownError from err and marks the peer
 // down. It returns the peer rank and whether err carried one.
 func (t *Tracker) Observe(err error) (int, bool) {
@@ -118,8 +204,9 @@ func (t *Tracker) Alive(rank int) bool {
 	return rank >= 0 && rank < t.world && !t.dead[rank]
 }
 
-// Epoch returns the current membership epoch: the number of deaths
-// observed so far. Every degraded-mode decision is stamped with it.
+// Epoch returns the current membership epoch: the number of membership
+// transitions (deaths and rejoins) observed so far. Every degraded-mode
+// decision is stamped with it.
 func (t *Tracker) Epoch() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -208,6 +295,7 @@ func (t *Tracker) Restore(epoch int, dead []int) error {
 	t.mu.Lock()
 	hook := t.onDown
 	t.dead = make([]bool, t.world)
+	t.inc = make([]int, t.world)
 	t.causes = make([]error, t.world)
 	t.live = t.world
 	for _, r := range dead {

@@ -98,6 +98,69 @@ func TestOnDownHookAndRestore(t *testing.T) {
 	}
 }
 
+func TestIncarnationRejoin(t *testing.T) {
+	tr := NewTracker(4)
+	if tr.Incarnation(2) != 0 {
+		t.Fatalf("fresh incarnation: %d", tr.Incarnation(2))
+	}
+	if tr.MarkUp(2) {
+		t.Fatal("MarkUp of a live rank must be a no-op")
+	}
+	tr.MarkDown(2, errors.New("boom"))
+	if !tr.MarkUp(2) {
+		t.Fatal("MarkUp of a dead rank must revive it")
+	}
+	if !tr.Alive(2) || tr.Incarnation(2) != 1 || tr.Cause(2) != nil {
+		t.Fatalf("after rejoin: alive %v inc %d cause %v", tr.Alive(2), tr.Incarnation(2), tr.Cause(2))
+	}
+	if tr.Epoch() != 2 || tr.LiveCount() != 4 {
+		t.Fatalf("after death+rejoin: epoch %d live %d", tr.Epoch(), tr.LiveCount())
+	}
+	// Incarnation 1 can die again — death stays monotone per incarnation.
+	if !tr.MarkDown(2, errors.New("boom again")) {
+		t.Fatal("new incarnation must be killable")
+	}
+	if tr.MarkDown(2, errors.New("dup")) {
+		t.Fatal("second death of the same incarnation must be idempotent")
+	}
+	if !tr.MarkUp(2) || tr.Incarnation(2) != 2 {
+		t.Fatalf("second rejoin: inc %d", tr.Incarnation(2))
+	}
+}
+
+func TestMarkUpAtIdempotent(t *testing.T) {
+	tr := NewTracker(4)
+	tr.MarkDown(1, errors.New("boom"))
+	var ups [][2]int
+	tr.OnUp(func(rank, inc int) { ups = append(ups, [2]int{rank, inc}) })
+	if !tr.MarkUpAt(1, 1) {
+		t.Fatal("first MarkUpAt must apply")
+	}
+	if tr.MarkUpAt(1, 1) {
+		t.Fatal("replayed MarkUpAt with the same incarnation must be a no-op")
+	}
+	if tr.MarkUpAt(1, 0) {
+		t.Fatal("incarnation 0 is the original life, never a rejoin")
+	}
+	if !tr.Alive(1) || tr.Incarnation(1) != 1 || tr.Epoch() != 2 {
+		t.Fatalf("after MarkUpAt: alive %v inc %d epoch %d", tr.Alive(1), tr.Incarnation(1), tr.Epoch())
+	}
+	// Unnoticed death + rejoin: the rank looks alive locally but the
+	// authoritative observer reports a newer incarnation.
+	if !tr.MarkUpAt(1, 3) || tr.Incarnation(1) != 3 {
+		t.Fatalf("newer incarnation must be adopted: inc %d", tr.Incarnation(1))
+	}
+	if !reflect.DeepEqual(ups, [][2]int{{1, 1}, {1, 3}}) {
+		t.Fatalf("OnUp events: %v", ups)
+	}
+	if err := tr.Restore(5, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Incarnation(1) != 0 {
+		t.Fatalf("restore must reset incarnations, got %d", tr.Incarnation(1))
+	}
+}
+
 func TestConcurrentMarkDown(t *testing.T) {
 	tr := NewTracker(64)
 	var wg sync.WaitGroup

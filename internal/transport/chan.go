@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"psrahgadmm/internal/wire"
@@ -46,14 +47,38 @@ func newChanFabric(n int, zeroCopy bool) *ChanFabric {
 	f := &ChanFabric{size: n, zeroCopy: zeroCopy}
 	f.endpoints = make([]*chanEndpoint, n)
 	for i := range f.endpoints {
-		f.endpoints[i] = &chanEndpoint{
+		ep := &chanEndpoint{
 			fabric: f,
 			rank:   i,
 			inbox:  make(chan wire.Message, inboxDepth),
-			closed: make(chan struct{}),
 		}
+		ep.life.Store(&chanLife{done: make(chan struct{})})
+		f.endpoints[i] = ep
 	}
 	return f
+}
+
+// Reopen resurrects a closed endpoint as a fresh life: stale messages from
+// the previous life are drained and a new open state installed, so a
+// rejoining rank starts with an empty inbox. The caller must guarantee the
+// previous owner goroutine has quiesced (no Recv in flight on this
+// endpoint); concurrent Sends from peers are safe — they land in either
+// life and at worst see one extra ErrClosed.
+func (f *ChanFabric) Reopen(i int) {
+	if err := checkRank(i, f.size); err != nil {
+		panic(err)
+	}
+	ep := f.endpoints[i]
+	for {
+		select {
+		case <-ep.inbox:
+			continue
+		default:
+		}
+		break
+	}
+	ep.buf = pending{}
+	ep.life.Store(&chanLife{done: make(chan struct{})})
 }
 
 // Size returns the number of ranks.
@@ -74,15 +99,21 @@ func (f *ChanFabric) Close() {
 	}
 }
 
+// chanLife is one open-until-closed lifetime of an endpoint. Reopen swaps
+// in a fresh life; the per-life once keeps Close idempotent within it.
+type chanLife struct {
+	done chan struct{}
+	once sync.Once
+}
+
 type chanEndpoint struct {
 	fabric *ChanFabric
 	rank   int
 	inbox  chan wire.Message
 	buf    pending
 
-	closeOnce sync.Once
-	closed    chan struct{}
-	stats     statsCounter
+	life  atomic.Pointer[chanLife]
+	stats statsCounter
 }
 
 func (e *chanEndpoint) Rank() int { return e.rank }
@@ -107,22 +138,24 @@ func (e *chanEndpoint) Send(to int, m wire.Message) error {
 		}
 	}
 	dst := e.fabric.endpoints[to]
+	closed := e.life.Load().done
+	dstClosed := dst.life.Load().done
 	// Check closed states first: select{} picks randomly among ready cases,
 	// and a send to a closed-but-drainable inbox must still fail.
 	select {
-	case <-e.closed:
+	case <-closed:
 		return ErrClosed
 	default:
 	}
 	select {
-	case <-dst.closed:
+	case <-dstClosed:
 		return fmt.Errorf("transport: send to closed rank %d: %w", to, ErrClosed)
 	default:
 	}
 	select {
-	case <-e.closed:
+	case <-closed:
 		return ErrClosed
-	case <-dst.closed:
+	case <-dstClosed:
 		return fmt.Errorf("transport: send to closed rank %d: %w", to, ErrClosed)
 	case dst.inbox <- m:
 		e.stats.record(m)
@@ -146,6 +179,7 @@ func (e *chanEndpoint) recv(from int, tag int32, d time.Duration) (wire.Message,
 	}
 	timeout, stop := deadlineChan(d)
 	defer stop()
+	closed := e.life.Load().done
 	for {
 		if m, ok := e.buf.take(from, tag); ok {
 			return m, nil
@@ -166,12 +200,12 @@ func (e *chanEndpoint) recv(from int, tag int32, d time.Duration) (wire.Message,
 			}
 		}
 		select {
-		case <-e.closed:
+		case <-closed:
 			return wire.Message{}, ErrClosed
 		default:
 		}
 		select {
-		case <-e.closed:
+		case <-closed:
 			// Loop once more: drain anything that raced in, then report
 			// ErrClosed from the check above.
 		case <-timeout:
@@ -194,6 +228,7 @@ func (e *chanEndpoint) SendNonBlocking() bool { return true }
 func (e *chanEndpoint) Stats() Stats { return e.stats.snapshot() }
 
 func (e *chanEndpoint) Close() error {
-	e.closeOnce.Do(func() { close(e.closed) })
+	l := e.life.Load()
+	l.once.Do(func() { close(l.done) })
 	return nil
 }

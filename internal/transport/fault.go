@@ -44,6 +44,19 @@ type FaultPlan struct {
 	// never touch the fabric — e.g. non-leader workers whose intra-node
 	// exchange is simulated — can still be killed deterministically.
 	KillAtIteration map[int]int
+	// RejoinAtIteration maps rank → the outer iteration at whose start the
+	// rank comes back as a new incarnation. Like KillAtIteration it is
+	// executed by the engine (via Revive) at the scheduled boundary, and it
+	// only makes sense for a rank some earlier entry killed.
+	RejoinAtIteration map[int]int
+	// DupProb is the probability a delivered Send is delivered twice —
+	// at-least-once semantics gone wrong. Protocols must treat duplicated
+	// frames as idempotent.
+	DupProb float64
+	// ReorderProb is the probability a Send is held back and delivered
+	// after the sender's next Send, swapping the pair's arrival order. A
+	// held message with no successor behaves like a drop.
+	ReorderProb float64
 }
 
 // faultPoll is how often blocked Recvs on a FaultFabric re-check failure
@@ -60,11 +73,13 @@ type FaultFabric struct {
 	plan  FaultPlan
 	eps   []*faultEndpoint
 
-	mu     sync.Mutex
-	down   []*PeerDownError // rank → kill record, nil while alive
-	cut    map[[2]int]bool  // normalized partitioned pairs
-	drops  atomic.Int64
-	delays atomic.Int64
+	mu       sync.Mutex
+	down     []*PeerDownError // rank → kill record, nil while alive
+	cut      map[[2]int]bool  // normalized partitioned pairs
+	drops    atomic.Int64
+	delays   atomic.Int64
+	dups     atomic.Int64
+	reorders atomic.Int64
 }
 
 // NewFaultFabric wraps under with the given plan.
@@ -134,6 +149,33 @@ func (f *FaultFabric) Kill(rank int) {
 	f.under.Endpoint(rank).Close()
 }
 
+// Revive brings a killed rank back as a new incarnation: the kill record
+// is cleared, every endpoint's once-per-observer report flag for the rank
+// is reset (so a future death of the new incarnation is reported afresh),
+// the pending KillAfterSends trigger is disarmed, and — when the
+// underlying fabric supports it — the rank's endpoint is reopened with an
+// empty inbox. The caller must guarantee the dead rank's old goroutine has
+// quiesced before reviving, exactly as a real rejoin is a new process.
+func (f *FaultFabric) Revive(rank int) {
+	if err := checkRank(rank, f.under.Size()); err != nil {
+		panic(err)
+	}
+	f.mu.Lock()
+	f.down[rank] = nil
+	for _, e := range f.eps {
+		delete(e.reported, rank)
+	}
+	f.mu.Unlock()
+	ep := f.eps[rank]
+	ep.rmu.Lock()
+	ep.killAfter = -1
+	ep.held = nil
+	ep.rmu.Unlock()
+	if ro, ok := f.under.(interface{ Reopen(int) }); ok {
+		ro.Reopen(rank)
+	}
+}
+
 // Partition blackholes traffic between a and b (both directions) from now
 // on. Heal removes the cut.
 func (f *FaultFabric) Partition(a, b int) {
@@ -155,6 +197,12 @@ func (f *FaultFabric) InjectedDrops() int64 { return f.drops.Load() }
 
 // InjectedDelays reports how many sends were artificially delayed.
 func (f *FaultFabric) InjectedDelays() int64 { return f.delays.Load() }
+
+// InjectedDups reports how many sends were delivered twice.
+func (f *FaultFabric) InjectedDups() int64 { return f.dups.Load() }
+
+// InjectedReorders reports how many send pairs had their order swapped.
+func (f *FaultFabric) InjectedReorders() int64 { return f.reorders.Load() }
 
 func (f *FaultFabric) killed(rank int) *PeerDownError {
 	f.mu.Lock()
@@ -220,10 +268,11 @@ type faultEndpoint struct {
 	fab   *FaultFabric
 	under Endpoint
 
-	rmu       sync.Mutex // guards rng and sends (determinism + race safety)
+	rmu       sync.Mutex // guards rng, sends, and held (determinism + race safety)
 	rng       *rand.Rand
 	sends     int
-	killAfter int // successful sends before suicide; -1 = never
+	killAfter int       // successful sends before suicide; -1 = never
+	held      *heldSend // reorder slot: message overtaken by the next send
 	// reported tracks which kills this endpoint's any-source waits have
 	// already surfaced (one report per death per observer); guarded by the
 	// fabric mutex alongside the down records it mirrors.
@@ -256,6 +305,19 @@ func (e *faultEndpoint) Send(to int, m wire.Message) error {
 	if e.fab.plan.DelayProb > 0 && e.rng.Float64() < e.fab.plan.DelayProb {
 		delay = time.Duration(e.rng.Int63n(int64(e.fab.plan.MaxDelay))) + 1
 	}
+	dup := e.fab.plan.DupProb > 0 && e.rng.Float64() < e.fab.plan.DupProb
+	reorder := e.fab.plan.ReorderProb > 0 && e.rng.Float64() < e.fab.plan.ReorderProb
+	var flush *heldSend
+	if reorder && e.held == nil && !drop {
+		// Hold this message; the sender's next Send overtakes it.
+		e.held = &heldSend{to: to, m: m}
+		e.rmu.Unlock()
+		return nil // held: the sender cannot tell, like a delay
+	}
+	if e.held != nil {
+		flush = e.held
+		e.held = nil
+	}
 	e.rmu.Unlock()
 
 	if e.fab.partitioned(self, to) || drop {
@@ -266,7 +328,26 @@ func (e *faultEndpoint) Send(to int, m wire.Message) error {
 		e.fab.delays.Add(1)
 		time.Sleep(delay)
 	}
-	return e.under.Send(to, m)
+	err := e.under.Send(to, m)
+	if err == nil && dup {
+		// Duplicate delivery: the same frame arrives twice. Best effort —
+		// the duplicate's failure is invisible, like a retransmit's.
+		e.fab.dups.Add(1)
+		_ = e.under.Send(to, m)
+	}
+	if flush != nil {
+		// The held message arrives after its successor: order swapped.
+		e.fab.reorders.Add(1)
+		_ = e.under.Send(flush.to, flush.m)
+	}
+	return err
+}
+
+// heldSend is a message parked by reorder injection until the sender's
+// next Send releases it behind that successor.
+type heldSend struct {
+	to int
+	m  wire.Message
 }
 
 func (e *faultEndpoint) Recv(from int, tag int32) (wire.Message, error) {

@@ -78,6 +78,93 @@ func TestFaultKillAfterSends(t *testing.T) {
 	}
 }
 
+func TestFaultReviveRestoresTraffic(t *testing.T) {
+	f := NewFaultFabric(NewChanFabric(3), FaultPlan{})
+	defer f.Close()
+	f.Kill(1)
+	// Surface the death to rank 0 once (any-source report consumed).
+	if _, err := f.Endpoint(0).RecvTimeout(1, 5, 100*time.Millisecond); err == nil {
+		t.Fatal("recv from dead peer must fail")
+	}
+	// A message that would land in the dead inbox must not leak into the
+	// next incarnation.
+	_ = f.Endpoint(0).Send(1, wire.Control(7, 111))
+
+	f.Revive(1)
+	if err := f.Endpoint(0).Send(1, wire.Control(1, 42)); err != nil {
+		t.Fatalf("send to revived rank: %v", err)
+	}
+	m, err := f.Endpoint(1).RecvTimeout(0, 1, time.Second)
+	if err != nil || m.Ints[0] != 42 {
+		t.Fatalf("revived rank recv: %v %v", m, err)
+	}
+	// Pre-death traffic was drained: the stale tag matches nothing.
+	if _, err := f.Endpoint(1).RecvTimeout(0, 7, 50*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("stale pre-death message leaked into new incarnation: %v", err)
+	}
+	// The rank's own calls work again.
+	if err := f.Endpoint(1).Send(2, wire.Control(2, 1)); err != nil {
+		t.Fatalf("revived rank's own send: %v", err)
+	}
+	if _, err := f.Endpoint(2).RecvTimeout(1, 2, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The new incarnation's death is reported afresh to every observer.
+	f.Kill(1)
+	_, err = f.Endpoint(0).RecvTimeout(AnySource, 9, time.Second)
+	var pd *PeerDownError
+	if !errors.As(err, &pd) || pd.Peer != 1 {
+		t.Fatalf("second death not re-reported: %v", err)
+	}
+}
+
+func TestFaultDuplicateDelivery(t *testing.T) {
+	const n = 100
+	f := NewFaultFabric(NewChanFabric(2), FaultPlan{Seed: 11, DupProb: 0.5})
+	defer f.Close()
+	for i := 0; i < n; i++ {
+		if err := f.Endpoint(0).Send(1, wire.Control(1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	for {
+		if _, err := f.Endpoint(1).RecvTimeout(0, 1, 100*time.Millisecond); err != nil {
+			break
+		}
+		got++
+	}
+	dups := int(f.InjectedDups())
+	if dups == 0 || dups == n {
+		t.Fatalf("degenerate dup count %d/%d", dups, n)
+	}
+	if got != n+dups {
+		t.Fatalf("delivered %d, want %d sent + %d dups", got, n, dups)
+	}
+}
+
+func TestFaultReorderSwapsPairs(t *testing.T) {
+	f := NewFaultFabric(NewChanFabric(2), FaultPlan{Seed: 3, ReorderProb: 1})
+	defer f.Close()
+	// With ReorderProb 1 every odd send releases the held even one behind
+	// it: 0,1,2,3 arrive as 1,0,3,2.
+	for i := 0; i < 4; i++ {
+		if err := f.Endpoint(0).Send(1, wire.Control(1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int64{1, 0, 3, 2}
+	for i, w := range want {
+		m, err := f.Endpoint(1).RecvTimeout(0, 1, time.Second)
+		if err != nil || m.Ints[0] != w {
+			t.Fatalf("message %d: got %v %v, want %d", i, m, err, w)
+		}
+	}
+	if f.InjectedReorders() != 2 {
+		t.Fatalf("InjectedReorders = %d, want 2", f.InjectedReorders())
+	}
+}
+
 func TestFaultDropsAreDeterministic(t *testing.T) {
 	const n = 200
 	run := func() (int64, int) {

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"psrahgadmm/internal/wire"
+)
+
+// TestTCPRejoinReestablishesMesh is the transport half of fail-recover: a
+// rank leaves the mesh, its peers observe the departure, and a restarted
+// incarnation re-dials everyone at the same address. The peers' persistent
+// accept loops must adopt the new connections, clear the down records, and
+// carry traffic in both directions again.
+func TestTCPRejoinReestablishesMesh(t *testing.T) {
+	const n, victim = 3, 2
+	ports := freePorts(t, n)
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", ports[i])
+	}
+	eps := make([]Endpoint, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eps[i], errs[i] = NewTCPEndpoint(i, addrs, TCPOptions{DialTimeout: 10 * time.Second})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, ep := range eps {
+			if ep != nil {
+				ep.Close()
+			}
+		}
+	}()
+
+	// Sanity traffic, then the victim departs.
+	if err := eps[0].Send(victim, wire.Control(1, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := eps[victim].RecvTimeout(0, 1, 5*time.Second); err != nil || m.Ints[0] != 7 {
+		t.Fatalf("pre-departure traffic: %v %v", m, err)
+	}
+	eps[victim].Close()
+
+	// Both survivors must observe the departure before the restart, so the
+	// rejoin exercises the down-record-clearing path, not a silent swap.
+	for _, r := range []int{0, 1} {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			err := eps[r].Send(victim, wire.Control(2, 0))
+			var pd *PeerDownError
+			if errors.As(err, &pd) && pd.Peer == victim {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("rank %d never observed the departure (last err %v)", r, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// The new incarnation dials the whole mesh from the same address.
+	rejoined, err := NewTCPEndpoint(victim, addrs, TCPOptions{
+		DialTimeout: 10 * time.Second,
+		Rejoin:      true,
+	})
+	if err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	eps[victim] = rejoined
+
+	// Traffic flows again in every direction touching the rejoiner.
+	for _, r := range []int{0, 1} {
+		if err := eps[r].Send(victim, wire.Control(3, int64(10+r))); err != nil {
+			t.Fatalf("rank %d send to rejoined: %v", r, err)
+		}
+		m, err := rejoined.RecvTimeout(r, 3, 5*time.Second)
+		if err != nil || m.Ints[0] != int64(10+r) {
+			t.Fatalf("rejoined recv from %d: %v %v", r, m, err)
+		}
+		if err := rejoined.Send(r, wire.Control(4, int64(20+r))); err != nil {
+			t.Fatalf("rejoined send to %d: %v", r, err)
+		}
+		m, err = eps[r].RecvTimeout(victim, 4, 5*time.Second)
+		if err != nil || m.Ints[0] != int64(20+r) {
+			t.Fatalf("rank %d recv from rejoined: %v %v", r, m, err)
+		}
+	}
+
+	// Heartbeat state is re-armed: the link stays quiet for a few intervals
+	// without being re-declared dead.
+	time.Sleep(300 * time.Millisecond)
+	if err := eps[0].Send(victim, wire.Control(5, 1)); err != nil {
+		t.Fatalf("link died after idle period: %v", err)
+	}
+	if _, err := rejoined.RecvTimeout(0, 5, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

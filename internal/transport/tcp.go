@@ -40,6 +40,12 @@ type TCPOptions struct {
 	// connection errors (EOF, reset, write failure), which the OS reports
 	// promptly for process death but not for silent network partitions.
 	PeerTimeout time.Duration
+	// Rejoin marks this endpoint as a restarted incarnation joining an
+	// already-established mesh: instead of the dial-lower/accept-higher
+	// bootstrap it dials EVERY peer, whose persistent accept loops adopt
+	// the new connections in place of the dead ones and re-arm their
+	// heartbeat state.
+	Rejoin bool
 }
 
 func (o *TCPOptions) fill() {
@@ -68,7 +74,7 @@ type tcpEndpoint struct {
 	size  int
 	opts  TCPOptions
 	ln    net.Listener
-	peers []*tcpPeer // indexed by rank; peers[rank] == nil
+	peers []*tcpPeer // indexed by rank; peers[rank] == nil; guarded by mu after setup
 
 	inbox chan wire.Message
 	buf   pending
@@ -130,8 +136,12 @@ func NewTCPEndpoint(rank int, addrs []string, opts TCPOptions) (Endpoint, error)
 	}
 	var setup sync.WaitGroup
 
-	// Accept connections from all higher ranks.
+	// Accept connections from all higher ranks (a rejoining incarnation
+	// instead dials everyone; its peers' accept loops adopt it).
 	higher := size - 1 - rank
+	if opts.Rejoin {
+		higher = 0
+	}
 	setup.Add(1)
 	go func() {
 		defer setup.Done()
@@ -167,19 +177,38 @@ func NewTCPEndpoint(rank int, addrs []string, opts TCPOptions) (Endpoint, error)
 		}
 	}()
 
-	// Dial all lower ranks, retrying while they come up. The whole loop —
-	// attempts and pauses — shares one wall-clock budget of
-	// opts.DialTimeout, so each attempt is capped by the remaining budget
-	// rather than restarting the full timeout (which could overshoot ~2×).
-	for peer := 0; peer < rank; peer++ {
+	// Dial all lower ranks — all peers when rejoining — retrying while
+	// they come up. The whole loop — attempts and pauses — shares one
+	// wall-clock budget of opts.DialTimeout, so each attempt is capped by
+	// the remaining budget rather than restarting the full timeout (which
+	// could overshoot ~2×).
+	dialHigh := rank
+	if opts.Rejoin {
+		dialHigh = size
+	}
+	for peer := 0; peer < dialHigh; peer++ {
+		if peer == rank {
+			continue
+		}
 		setup.Add(1)
 		go func(peer int) {
 			defer setup.Done()
 			deadline := time.Now().Add(opts.DialTimeout)
+			// A rejoining incarnation may find some peers dead themselves;
+			// that is a membership fact, not a setup failure — record them
+			// down and join the survivors.
+			fail := setErr
+			if opts.Rejoin {
+				fail = func(err error) {
+					e.mu.Lock()
+					e.down[peer] = &PeerDownError{Peer: peer, Cause: err}
+					e.mu.Unlock()
+				}
+			}
 			for {
 				remaining := time.Until(deadline)
 				if remaining <= 0 {
-					setErr(fmt.Errorf("transport: rank %d dial rank %d (%s): %w",
+					fail(fmt.Errorf("transport: rank %d dial rank %d (%s): %w",
 						rank, peer, addrs[peer], ErrTimeout))
 					return
 				}
@@ -189,8 +218,21 @@ func NewTCPEndpoint(rank int, addrs []string, opts TCPOptions) (Endpoint, error)
 					hs.From = int32(rank)
 					if err := wire.Encode(conn, hs); err != nil {
 						conn.Close()
-						setErr(fmt.Errorf("transport: rank %d handshake to %d: %w", rank, peer, err))
+						fail(fmt.Errorf("transport: rank %d handshake to %d: %w", rank, peer, err))
 						return
+					}
+					if opts.Rejoin {
+						// Wait for the peer to adopt the connection before
+						// reporting the mesh ready, or an immediate Send from
+						// the peer's side could still see the old down record.
+						conn.SetReadDeadline(deadline)
+						ack, err := wire.Decode(conn)
+						if err != nil || ack.Tag != handshakeTag {
+							conn.Close()
+							fail(fmt.Errorf("transport: rank %d rejoin ack from %d: %v", rank, peer, err))
+							return
+						}
+						conn.SetReadDeadline(time.Time{})
 					}
 					mu.Lock()
 					e.peers[peer] = &tcpPeer{conn: conn}
@@ -198,7 +240,7 @@ func NewTCPEndpoint(rank int, addrs []string, opts TCPOptions) (Endpoint, error)
 					return
 				}
 				if remaining = time.Until(deadline); remaining <= 0 {
-					setErr(fmt.Errorf("transport: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err))
+					fail(fmt.Errorf("transport: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err))
 					return
 				}
 				if pause := opts.RetryInterval; pause > remaining {
@@ -231,14 +273,98 @@ func NewTCPEndpoint(rank int, addrs []string, opts TCPOptions) (Endpoint, error)
 		e.wg.Add(1)
 		go e.heartbeatLoop()
 	}
+	// The listener stays open for the life of the endpoint so restarted
+	// incarnations of dead peers can re-dial into the mesh.
+	e.wg.Add(1)
+	go e.acceptRejoins()
 	return e, nil
+}
+
+// acceptRejoins serves the listener after mesh establishment: every new
+// connection must hand-shake as a known rank, and is adopted as that
+// peer's new incarnation — replacing the dead (or about-to-be-declared-
+// dead) connection, clearing the down record, and re-arming heartbeat
+// state. Handshakes are processed one at a time; rejoin traffic is rare.
+func (e *tcpEndpoint) acceptRejoins() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed (endpoint shutdown)
+		}
+		conn.SetReadDeadline(time.Now().Add(e.opts.DialTimeout))
+		m, err := wire.Decode(conn)
+		if err != nil || m.Tag != handshakeTag || len(m.Ints) != 1 {
+			conn.Close()
+			continue
+		}
+		conn.SetReadDeadline(time.Time{})
+		peer := int(m.Ints[0])
+		if checkRank(peer, e.size) != nil || peer == e.rank {
+			conn.Close()
+			continue
+		}
+		// Acknowledge before installing: the dialer blocks on this ack, so
+		// nobody else writes to the connection yet.
+		ack := wire.Control(handshakeTag, int64(e.rank))
+		ack.From = int32(e.rank)
+		if err := wire.Encode(conn, ack); err != nil {
+			conn.Close()
+			continue
+		}
+		p := &tcpPeer{conn: conn}
+		now := time.Now().UnixNano()
+		p.lastSend.Store(now)
+		p.lastRecv.Store(now)
+		e.mu.Lock()
+		select {
+		case <-e.closed:
+			e.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		old := e.peers[peer]
+		e.peers[peer] = p
+		e.down[peer] = nil
+		e.reported[peer] = false
+		// Wake blocked Recvs so targeted waits on the revived rank resume.
+		close(e.downCh)
+		e.downCh = make(chan struct{})
+		e.mu.Unlock()
+		if old != nil {
+			// A new incarnation supersedes the old connection whether or not
+			// its death was detected yet; stale observers of the old conn are
+			// ignored by peerDown's identity check.
+			old.conn.Close()
+		}
+		e.wg.Add(1)
+		go e.readLoop(peer, p)
+	}
+}
+
+// getPeer returns the current connection object for a rank; rejoins may
+// replace it at any time, so callers must pass the same object to peerDown
+// when reporting a failure they observed on it.
+func (e *tcpEndpoint) getPeer(r int) *tcpPeer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.peers[r]
 }
 
 // peerDown records the first failure observed for peer and wakes every
 // blocked Recv. Closing the connection stops its reader and fails any
 // in-flight writes fast instead of letting them buffer into a dead socket.
-func (e *tcpEndpoint) peerDown(peer int, cause error, graceful bool) {
+// The reporter passes the connection object it observed the failure on: a
+// report against a connection a rejoin has since superseded is stale news
+// about the previous incarnation and must not kill the new one.
+func (e *tcpEndpoint) peerDown(peer int, p *tcpPeer, cause error, graceful bool) {
 	e.mu.Lock()
+	if p != nil && e.peers[peer] != p {
+		e.mu.Unlock()
+		p.conn.Close() // stale observer of a superseded connection
+		return
+	}
 	if e.down[peer] != nil {
 		e.mu.Unlock()
 		return
@@ -246,9 +372,10 @@ func (e *tcpEndpoint) peerDown(peer int, cause error, graceful bool) {
 	e.down[peer] = &PeerDownError{Peer: peer, Cause: cause, Graceful: graceful}
 	close(e.downCh)
 	e.downCh = make(chan struct{})
+	cur := e.peers[peer]
 	e.mu.Unlock()
-	if p := e.peers[peer]; p != nil {
-		p.conn.Close()
+	if cur != nil {
+		cur.conn.Close()
 	}
 }
 
@@ -350,19 +477,19 @@ func (e *tcpEndpoint) readLoop(peer int, p *tcpPeer) {
 			switch {
 			case errors.Is(err, io.EOF) && p.sawGoodbye.Load():
 				// FIN after a goodbye frame: an orderly departure.
-				e.peerDown(peer, errors.New("peer closed"), true)
+				e.peerDown(peer, p, errors.New("peer closed"), true)
 			case errors.Is(err, io.EOF):
 				// FIN with no goodbye: the process died.
-				e.peerDown(peer, errors.New("connection closed by peer"), false)
+				e.peerDown(peer, p, errors.New("connection closed by peer"), false)
 			case errors.Is(err, wire.ErrBadFrame):
 				e.noteDecodeError(peer, err)
-				e.peerDown(peer, fmt.Errorf("corrupted frame: %w", err), false)
+				e.peerDown(peer, p, fmt.Errorf("corrupted frame: %w", err), false)
 			default:
 				// Mid-frame EOF, reset, or read error — includes the
 				// conn.Close a concurrent peerDown already performed, in
 				// which case this is a no-op. A goodbye still marks the
 				// departure orderly even if the teardown raced the read.
-				e.peerDown(peer, fmt.Errorf("read: %w", err), p.sawGoodbye.Load())
+				e.peerDown(peer, p, fmt.Errorf("read: %w", err), p.sawGoodbye.Load())
 			}
 			return
 		}
@@ -396,12 +523,13 @@ func (e *tcpEndpoint) heartbeatLoop() {
 		case <-ticker.C:
 		}
 		now := time.Now().UnixNano()
-		for r, p := range e.peers {
+		for r := 0; r < e.size; r++ {
+			p := e.getPeer(r)
 			if p == nil || e.peerErr(r) != nil {
 				continue
 			}
 			if pt := e.opts.PeerTimeout; pt > 0 && now-p.lastRecv.Load() > int64(pt) {
-				e.peerDown(r, fmt.Errorf("no traffic for %v: %w", pt, ErrTimeout), false)
+				e.peerDown(r, p, fmt.Errorf("no traffic for %v: %w", pt, ErrTimeout), false)
 				continue
 			}
 			if now-p.lastSend.Load() < int64(e.opts.HeartbeatInterval) {
@@ -418,7 +546,7 @@ func (e *tcpEndpoint) heartbeatLoop() {
 					return
 				default:
 				}
-				e.peerDown(r, fmt.Errorf("heartbeat write: %w", err), p.sawGoodbye.Load())
+				e.peerDown(r, p, fmt.Errorf("heartbeat write: %w", err), p.sawGoodbye.Load())
 				continue
 			}
 			p.lastSend.Store(now)
@@ -448,7 +576,7 @@ func (e *tcpEndpoint) Send(to int, m wire.Message) error {
 	if err := e.peerErr(to); err != nil {
 		return err
 	}
-	peer := e.peers[to]
+	peer := e.getPeer(to)
 	if peer == nil {
 		return fmt.Errorf("transport: no connection to rank %d", to)
 	}
@@ -467,7 +595,7 @@ func (e *tcpEndpoint) Send(to int, m wire.Message) error {
 			return ErrClosed
 		default:
 		}
-		e.peerDown(to, fmt.Errorf("write: %w", err), peer.sawGoodbye.Load())
+		e.peerDown(to, peer, fmt.Errorf("write: %w", err), peer.sawGoodbye.Load())
 		return e.peerErr(to)
 	}
 	peer.lastSend.Store(time.Now().UnixNano())
@@ -545,7 +673,10 @@ func (e *tcpEndpoint) teardown() {
 	if e.ln != nil {
 		e.ln.Close()
 	}
-	for _, p := range e.peers {
+	e.mu.Lock()
+	peers := append([]*tcpPeer(nil), e.peers...)
+	e.mu.Unlock()
+	for _, p := range peers {
 		if p != nil {
 			p.conn.Close()
 		}
@@ -567,7 +698,8 @@ func (e *tcpEndpoint) Close() error {
 // gone, or a socket that fails mid-write, simply misses the announcement
 // and errs on the side of reporting a crash — a failure, never a hang.
 func (e *tcpEndpoint) sayGoodbye() {
-	for r, p := range e.peers {
+	for r := 0; r < e.size; r++ {
+		p := e.getPeer(r)
 		if p == nil || e.peerErr(r) != nil {
 			continue
 		}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+
+	"psrahgadmm/internal/sparse"
 )
 
 // TestDecodeArbitraryBytesNeverPanics feeds the decoder random garbage,
@@ -59,6 +61,59 @@ func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
 			_, _ = Decode(bytes.NewReader(mut))
 		}()
 	}
+}
+
+// FuzzDecodeFrom drives the frame decoder with arbitrary byte streams.
+// Invariants: never panic; a lying length prefix must not force an
+// allocation disproportionate to the bytes actually present (the chunked
+// readPayload guarantee); and any frame that decodes successfully must
+// re-encode to the identical bytes (the codec is canonical).
+func FuzzDecodeFrom(f *testing.F) {
+	seed := func(m Message) {
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		full := buf.Bytes()
+		f.Add(append([]byte(nil), full...))
+		f.Add(append([]byte(nil), full[:len(full)/2]...))
+		// Two frames back to back: exercises stream framing.
+		f.Add(append(append([]byte(nil), full...), full...))
+	}
+	seed(Control(7, 1, -2, 3))
+	seed(DenseMsg(3, []float64{1, 2.5, -3}))
+	sv := sparse.NewVector(8, 2)
+	sv.Index = append(sv.Index, 1, 5)
+	sv.Value = append(sv.Value, 0.5, -1)
+	seed(SparseMsg(4, sv))
+	f.Add([]byte{magic0, magic1, version, byte(KindDense), 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x3f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var payload []byte
+		for {
+			start := len(data) - r.Len()
+			m, p, err := DecodeFrom(r, payload)
+			payload = p
+			if err != nil {
+				break
+			}
+			end := len(data) - r.Len()
+			var re bytes.Buffer
+			if eerr := Encode(&re, m); eerr != nil {
+				t.Fatalf("decoded frame failed to re-encode: %v", eerr)
+			}
+			if !bytes.Equal(re.Bytes(), data[start:end]) {
+				t.Fatalf("re-encode diverged from wire bytes at [%d:%d]", start, end)
+			}
+		}
+		// A lying length prefix must not have grown the scratch far past
+		// the input: doubling growth bounds it by twice the bytes present
+		// plus one speculative chunk — never the claimed payload size.
+		if cap(payload) > 2*(len(data)+decodeChunk) {
+			t.Fatalf("decoder allocated %d bytes for a %d-byte input", cap(payload), len(data))
+		}
+	})
 }
 
 // TestDecodeHugeLengthPrefix checks the 1 GiB payload cap fires instead of

@@ -119,6 +119,14 @@ var ErrBadFrame = errors.New("wire: malformed frame")
 // prefixes instead of attempting a huge allocation.
 const maxPayload = 1 << 30
 
+// decodeChunk bounds how much payload buffer is allocated ahead of the
+// bytes actually read. A header is 16 bytes of attacker-controlled input;
+// trusting its length field for an up-front allocation would let a
+// truncated or hostile stream pin ~1 GiB per frame. Growing chunk by chunk
+// means a lying header costs at most one chunk before ReadFull reports the
+// stream short.
+const decodeChunk = 1 << 20
+
 // PayloadBytes returns the encoded payload size of m in bytes, excluding
 // the fixed header. This is the number the cost model charges per message.
 func PayloadBytes(m Message) int {
@@ -236,19 +244,61 @@ func DecodeFrom(r io.Reader, payload []byte) (Message, []byte, error) {
 	if plen > maxPayload {
 		return Message{}, payload, fmt.Errorf("%w: payload length %d too large", ErrBadFrame, plen)
 	}
-	if uint32(cap(payload)) < plen {
-		payload = make([]byte, plen)
-	}
-	payload = payload[:cap(payload)]
-	p := payload[:plen]
-	if _, err := io.ReadFull(r, p); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return Message{}, payload, err
+	p, payload, rerr := readPayload(r, payload, int(plen))
+	if rerr != nil {
+		return Message{}, payload, rerr
 	}
 	err := decodePayload(&m, p, hdr[3])
 	return m, payload, err
+}
+
+// readPayload reads plen payload bytes into scratch, growing it only as
+// bytes actually arrive (in decodeChunk steps, doubling capacity for
+// amortized-linear growth). The steady-state path — scratch already large
+// enough — reads in one ReadFull with zero allocation. It returns the
+// filled prefix, the possibly-grown scratch for reuse, and any read error
+// (io.EOF mid-payload becomes io.ErrUnexpectedEOF).
+func readPayload(r io.Reader, scratch []byte, plen int) ([]byte, []byte, error) {
+	if cap(scratch) >= plen {
+		scratch = scratch[:cap(scratch)]
+		p := scratch[:plen]
+		if _, err := io.ReadFull(r, p); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, scratch, err
+		}
+		return p, scratch, nil
+	}
+	buf := scratch[:0]
+	for len(buf) < plen {
+		chunk := plen - len(buf)
+		if chunk > decodeChunk {
+			chunk = decodeChunk
+		}
+		start := len(buf)
+		if cap(buf) < start+chunk {
+			newCap := 2 * cap(buf)
+			if newCap < start+chunk {
+				newCap = start + chunk
+			}
+			if newCap > plen {
+				newCap = plen
+			}
+			nb := make([]byte, start+chunk, newCap)
+			copy(nb, buf)
+			buf = nb
+		} else {
+			buf = buf[:start+chunk]
+		}
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, buf[:start], err
+		}
+	}
+	return buf, buf, nil
 }
 
 func decodePayload(m *Message, p []byte, rawKind byte) error {

@@ -117,6 +117,11 @@ type elasticWorker struct {
 	pol     collective.RetryPolicy
 	skipped int64
 	short   int64
+	// joinLog is the newest copy of the GG's rejoin log (see rejoin.go):
+	// flattened (rank, joinIter, incarnation) triples applied at
+	// iteration boundaries so every rank re-admits a rejoiner at the
+	// same iteration.
+	joinLog []int64
 }
 
 // runWorkerElastic executes the elastic worker loop. The returned RunInfo
@@ -140,6 +145,10 @@ func runWorkerElastic(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInf
 		tr:      membership.NewTracker(topo.Size()),
 		pol:     cfg.Retry,
 	}
+	// Elastic retries converge on shared targets (a dead Leader, the GG);
+	// decorrelated jitter spreads the survivors' attempts instead of
+	// letting them thunder the transport in lockstep.
+	w.pol.Jitter = true
 	info := func() *RunInfo {
 		return &RunInfo{
 			Epoch:       w.tr.Epoch(),
@@ -157,7 +166,20 @@ func runWorkerElastic(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInf
 		_ = collective.SendAck(ep, w.gg, wire.Control(tagElControl, elKindDone, int64(w.node), 0, 0), w.pol)
 	}()
 
-	for iter := cfg.StartIter; iter < cfg.MaxIter; iter++ {
+	startIter := cfg.StartIter
+	if cfg.Rejoin {
+		// A returning incarnation first obtains its grant: the join
+		// iteration, the dead set, and (when available) a warm start. A
+		// grant at or past MaxIter degenerates to zero iterations and an
+		// immediate farewell — still a clean exit.
+		joinIter, err := w.rejoinStart(f)
+		if err != nil {
+			return info(), err
+		}
+		startIter = joinIter
+	}
+
+	for iter := startIter; iter < cfg.MaxIter; iter++ {
 		buf := append([]float64(nil), f.ComputeW(iter)...)
 		codec.EncodeDense(buf)
 		agg, contributors, err := w.iterate(iter, buf)
@@ -178,6 +200,13 @@ func runWorkerElastic(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInf
 // the world (a death observed) or burns one bounded recovery attempt.
 func (w *elasticWorker) iterate(iter int, own []float64) ([]float64, int, error) {
 	for cycle := 0; cycle < elasticCycles; cycle++ {
+		// Fold the rejoin log in BEFORE electing — on every cycle, not
+		// just at iteration entry, because a recover reply inside this
+		// loop may have just delivered the entry (e.g. the proof that the
+		// Leader this rank keeps waiting on died and will only be back at
+		// a later iteration). Every rank that holds the log sees the same
+		// world for the same iteration.
+		w.applyJoins(iter)
 		leader := w.tr.FirstLive(w.members)
 		if leader < 0 { // self is alive in its own view; defensive only
 			return nil, 0, fmt.Errorf("wlg: rank %d iter %d: node %d has no live ranks", w.rank, iter, w.node)
@@ -197,6 +226,7 @@ func (w *elasticWorker) iterate(iter int, own []float64) ([]float64, int, error)
 		}
 		ctl, err := collective.RecvRetry(w.ep, leader, iterTag(iter, offElBcCtl), w.pol)
 		if err == nil {
+			w.noteJoins(ctl.Ints[1:]) // the Leader forwards the GG's rejoin log
 			var wm wire.Message
 			wm, err = collective.RecvRetry(w.ep, leader, iterTag(iter, offElBcW), w.pol)
 			if err == nil {
@@ -255,12 +285,16 @@ func (w *elasticWorker) leadIterate(iter int, own []float64) ([]float64, int, er
 	}
 
 	// Broadcast to every live member — including skipped ones, whose late
-	// contributions stay unconsumed. A failed send is death evidence.
+	// contributions stay unconsumed. A failed send is death evidence. The
+	// control forwards the rejoin log so members that only ever talk to
+	// their Leader still learn about granted rejoins in time.
+	bc := append(make([]int64, 0, 1+len(w.joinLog)), int64(contributors))
+	bc = append(bc, w.joinLog...)
 	for _, m := range w.tr.Live(w.members) {
 		if m == w.rank {
 			continue
 		}
-		if err := w.ep.Send(m, wire.Control(iterTag(iter, offElBcCtl), int64(contributors))); err != nil {
+		if err := w.ep.Send(m, wire.Control(iterTag(iter, offElBcCtl), bc...)); err != nil {
 			w.tr.Observe(err)
 			continue
 		}
@@ -289,6 +323,7 @@ func (w *elasticWorker) contribute(iter int, sum []float64, count int) ([]float6
 			}
 			return nil, 0, fmt.Errorf("wlg: leader %d iter %d GG reply: %w", w.rank, iter, err)
 		}
+		w.noteJoins(ctl.Ints[2:])
 		wm, err := collective.RecvRetry(w.ep, w.gg, iterTag(iter, offElReplyW), w.pol)
 		if err != nil {
 			if errors.Is(err, collective.ErrUnavailable) {
@@ -316,6 +351,7 @@ func (w *elasticWorker) recoverFromGG(iter int) (agg []float64, contributors int
 		}
 		return nil, 0, false, fmt.Errorf("wlg: rank %d iter %d recover reply: %w", w.rank, iter, err)
 	}
+	w.noteJoins(ctl.Ints[2:]) // both Ready and NotReady replies carry the log
 	if ctl.Ints[0] != elStatusReady {
 		return nil, 0, false, nil
 	}
@@ -337,7 +373,18 @@ func runGGElastic(ep transport.Endpoint, cfg Config) error {
 	topo := cfg.Topo
 	threshold := cfg.threshold()
 	tr := membership.NewTracker(topo.Size())
+	// The GG's policy stays deterministic (no jitter): its worst-case
+	// block — waiting out a dead Leader's never-arriving payload — must
+	// stay strictly shorter than a live Leader's total re-contribution
+	// budget, or Leaders would exhaust recontributeCap against a GG that
+	// is merely busy. A jittered attempt waits at least half the
+	// deterministic delay, so recontributeCap (4) jittered worker budgets
+	// still cover one deterministic GG budget twice over; a jittered GG
+	// budget could stretch to several times the deterministic one and
+	// break that margin — which is exactly what jitter's clamp prevents on
+	// the side that retries, not the side others wait behind.
 	pol := cfg.Retry
+	rj := newGGRejoin(tr, topo.Size(), cfg.StartIter)
 	type entry struct {
 		node, leader int
 		w            []float64
@@ -353,11 +400,14 @@ func runGGElastic(ep transport.Endpoint, cfg Config) error {
 	done := make([]bool, topo.Size())
 
 	// nodeActive: some rank of the node may still contribute for an
-	// iteration — alive and not done. allDone: nobody will ever talk to
-	// the GG again.
-	nodeActive := func(n int) bool {
+	// iteration — alive, not done, and (for a rejoined incarnation) past
+	// its join boundary, so a revival never blocks a remainder group from
+	// an iteration the rejoiner will not participate in. allDone: nobody
+	// will ever talk to the GG again (a revived, not-yet-done rank keeps
+	// the GG serving until the rejoiner's own farewell).
+	nodeActive := func(n, iter int) bool {
 		for _, r := range topo.WorkersOf(n) {
-			if !done[r] && tr.Alive(r) {
+			if !done[r] && tr.Alive(r) && rj.activeAt(r, iter) {
 				return true
 			}
 		}
@@ -372,7 +422,7 @@ func runGGElastic(ep transport.Endpoint, cfg Config) error {
 		return true
 	}
 	reply := func(to, iter int, res *result) {
-		if err := ep.Send(to, wire.Control(iterTag(iter, offElReplyCtl), elStatusReady, res.count)); err != nil {
+		if err := ep.Send(to, wire.Control(iterTag(iter, offElReplyCtl), rj.withLog(elStatusReady, res.count)...)); err != nil {
 			tr.Observe(err) // a dead Leader's successor recovers from the cache
 			return
 		}
@@ -388,6 +438,7 @@ func runGGElastic(ep transport.Endpoint, cfg Config) error {
 			cnt += e.count
 		}
 		res := &result{w: sum, count: cnt}
+		rj.noteFlush(iter, res.w, res.count)
 		for _, e := range q {
 			cache[key{iter, e.node}] = res
 		}
@@ -419,7 +470,7 @@ func runGGElastic(ep transport.Endpoint, cfg Config) error {
 		// The remainder group flushes once no unaccounted node can still
 		// contribute — the elastic version of "every node has reported".
 		for n := 0; n < topo.Nodes; n++ {
-			if nodeActive(n) && !accounted(iter, n) {
+			if nodeActive(n, iter) && !accounted(iter, n) {
 				return
 			}
 		}
@@ -459,6 +510,7 @@ func runGGElastic(ep transport.Endpoint, cfg Config) error {
 			}
 			recheck()
 		case elKindContribute:
+			rj.observe(iter)
 			// The node sum follows on the per-iteration tag; per-sender
 			// ordering pairs it with this control. A lost payload drops
 			// the contribution — the Leader re-contributes.
@@ -489,10 +541,34 @@ func runGGElastic(ep transport.Endpoint, cfg Config) error {
 			}
 			maybeFlush(iter)
 		case elKindRecover:
+			rj.observe(iter)
 			if res, ok := cache[key{iter, node}]; ok {
 				reply(from, iter, res)
-			} else if err := ep.Send(from, wire.Control(iterTag(iter, offElReplyCtl), elStatusNotReady, 0)); err != nil {
+			} else if err := ep.Send(from, wire.Control(iterTag(iter, offElReplyCtl), rj.withLog(elStatusNotReady, 0)...)); err != nil {
 				tr.Observe(err)
+			}
+		case elKindRejoin:
+			// A returning incarnation of rank `from`. admit is idempotent
+			// for duplicates (loss-driven re-announces, fabric-duplicated
+			// frames): the same grant is re-served and no second
+			// incarnation is minted. Only a FRESH grant clears the done
+			// flag — a duplicated announce straggling in after the
+			// rejoiner's farewell must not resurrect the done accounting,
+			// or the GG would wait forever for a second farewell.
+			grant, fresh := rj.admit(from)
+			if fresh {
+				done[from] = false
+			}
+			if err := ep.Send(from, wire.Control(tagElRejoinReply, rj.grantInts(grant)...)); err != nil {
+				tr.Observe(err)
+				recheck()
+				continue
+			}
+			if grant.warm != nil {
+				if err := ep.Send(from, wire.DenseMsg(tagElRejoinW, grant.warm)); err != nil {
+					tr.Observe(err)
+					recheck()
+				}
 			}
 		default:
 			return fmt.Errorf("wlg: GG unknown elastic request kind %d from %d", kind, m.From)

@@ -94,6 +94,15 @@ type Config struct {
 	// Iteration tags are absolute, so a resumed world is wire-compatible
 	// with a fresh one.
 	StartIter int
+	// Rejoin marks this rank as a returning incarnation of a previously
+	// dead worker (fail-recover). Instead of starting at StartIter, the
+	// rank announces itself to the Group Generator, receives its join
+	// iteration, the current dead set, and the latest group aggregate for
+	// a warm start (surfaced through WorkerFuncs.Rejoined), and enters the
+	// elastic loop at the join boundary — the iteration from which every
+	// survivor's membership view re-admits it. Requires Elastic; see
+	// rejoin.go for the handshake.
+	Rejoin bool
 	// Retry bounds every elastic-mode wait on a peer (the Leader's gather,
 	// the GG round trips, the member's wait for the broadcast). The zero
 	// value means the collective package defaults. Only consulted when
@@ -129,6 +138,9 @@ func (c Config) Validate() error {
 	if c.StartIter < 0 || c.StartIter >= c.MaxIter {
 		return fmt.Errorf("wlg: StartIter %d outside [0, MaxIter=%d)", c.StartIter, c.MaxIter)
 	}
+	if c.Rejoin && !c.Elastic {
+		return fmt.Errorf("wlg: Rejoin requires Elastic mode (the fail-stop protocol cannot re-admit ranks)")
+	}
 	if _, err := c.codec(); err != nil {
 		return fmt.Errorf("wlg: %w", err)
 	}
@@ -147,6 +159,13 @@ type WorkerFuncs struct {
 	// number of workers whose contributions it sums; the worker performs
 	// the z- and y-updates (steps 12–13).
 	ApplyW func(iter int, w []float64, contributors int)
+	// Rejoined, if set, is called once on a Config.Rejoin rank before its
+	// first iteration, with the join iteration the Group Generator
+	// granted and the latest group aggregate plus its contributor count
+	// for a warm start (w is nil on a cold start: no round had flushed
+	// yet). The slice is not retained by the runtime. Ranks without
+	// Config.Rejoin never receive this call.
+	Rejoined func(joinIter int, w []float64, contributors int)
 }
 
 // RunWorker executes Algorithm 1 (and Algorithm 3 when this rank is its
