@@ -7,6 +7,7 @@
 //	psra-bench -experiment fig7 -iters 40 # straggler study, shorter runs
 //	psra-bench -list                      # enumerate experiments
 //	psra-bench -perf BENCH_psra.json      # per-layer perf suite → JSON
+//	psra-bench -check BENCH_psra.json     # rerun and fail on regressions
 package main
 
 import (
@@ -28,9 +29,18 @@ func main() {
 		lambda     = flag.Float64("lambda", 1, "L1 regularization weight λ (paper: 1)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		perf       = flag.String("perf", "", "run the per-layer steady-state perf suite and write a JSON report to this path (the committed BENCH_psra.json)")
+		check      = flag.String("check", "", "rerun the perf suite and fail if allocs/op grew — or ns/op drifted past -ns-tolerance — versus the committed report at this path")
+		nsTol      = flag.Float64("ns-tolerance", 0, "fractional ns/op drift allowed by -check, e.g. 0.15 (0 = allocs-only, for noisy shared runners)")
 	)
 	flag.Parse()
 
+	if *check != "" {
+		if err := bench.CheckPerfReport(*check, os.Stdout, *seed, *nsTol); err != nil {
+			fmt.Fprintln(os.Stderr, "psra-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *perf != "" {
 		if err := bench.WritePerfReport(*perf, os.Stdout, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "psra-bench:", err)

@@ -69,6 +69,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "synthetic generation seed")
 		every     = flag.Int("every", 10, "print every k-th iteration")
 		jsonOut   = flag.String("json", "", "write the full run history as JSON to this file")
+		codecKB   = flag.Int64("codec-budget-bytes", 0, "per-round wire budget for top-k codecs: k adapts to stay under it (0 = no budget)")
+		codecTopK = flag.Int("codec-topk", 0, "fixed selection size for top-k codecs, overriding the dim/2 default (0 = default)")
 		chaosKill = flag.String("chaos-kill", "", "kill schedule rank@iter[,rank@iter...]: each rank dies at its iteration boundary")
 		chaosJoin = flag.String("chaos-rejoin", "", "rejoin schedule rank@iter[,...]: killed ranks return (requires -elastic=recover)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (with -chaos-kill)")
@@ -97,14 +99,16 @@ func main() {
 		train.Name, train.Rows(), train.Dim(), train.NNZ())
 
 	cfg := psra.Config{
-		Algorithm:      psra.Algorithm(*algorithm),
-		Topo:           psra.Topology{Nodes: *nodes, WorkersPerNode: *wpn},
-		Rho:            *rho,
-		Lambda:         *lambda,
-		MaxIter:        *iters,
-		GroupThreshold: *threshold,
-		Consensus:      psra.ConsensusMode(*consensus),
-		Elastic:        elastic != "off",
+		Algorithm:        psra.Algorithm(*algorithm),
+		Topo:             psra.Topology{Nodes: *nodes, WorkersPerNode: *wpn},
+		Rho:              *rho,
+		Lambda:           *lambda,
+		MaxIter:          *iters,
+		GroupThreshold:   *threshold,
+		Consensus:        psra.ConsensusMode(*consensus),
+		Elastic:          elastic != "off",
+		CodecBudgetBytes: *codecKB,
+		CodecTopK:        *codecTopK,
 	}
 	if *chaosJoin != "" && elastic != "recover" {
 		fatal(fmt.Errorf("-chaos-rejoin requires -elastic=recover"))

@@ -70,7 +70,8 @@ func main() {
 		wpn       = flag.Int("wpn", 2, "workers per node")
 		iters     = flag.Int("iters", 30, "outer iterations")
 		threshold = flag.Int("threshold", 0, "GQ grouping threshold in nodes (0 = all)")
-		codec     = flag.String("codec", "", "exchange codec: sparse | sparse-q8 | sparse-q16 | dense | dense-f32 (empty = exact)")
+		codec     = flag.String("codec", "", "exchange codec: sparse | sparse-q8 | sparse-q16 | dense | dense-f32 | topk | topk-q8 (empty = exact)")
+		codecKB   = flag.Int64("codec-budget-bytes", 0, "per-round wire budget for top-k codecs: k adapts to stay under it (0 = no budget)")
 		rho       = flag.Float64("rho", 1, "ADMM penalty parameter ρ")
 		lambda    = flag.Float64("lambda", 1, "L1 regularization weight λ")
 		synth     = flag.String("synth", "news20", "synthetic preset: news20 | webspam | url")
@@ -119,13 +120,14 @@ func main() {
 	defer ep.Close()
 
 	cfg := wlg.Config{
-		Topo:           topo,
-		MaxIter:        *iters,
-		GroupThreshold: *threshold,
-		Codec:          exchange.Kind(*codec),
-		Elastic:        *elastic,
-		StartIter:      *startIter,
-		Rejoin:         *rejoin,
+		Topo:             topo,
+		MaxIter:          *iters,
+		GroupThreshold:   *threshold,
+		Codec:            exchange.Kind(*codec),
+		CodecBudgetBytes: *codecKB,
+		Elastic:          *elastic,
+		StartIter:        *startIter,
+		Rejoin:           *rejoin,
 	}
 	if *rank == wlg.GGRank(topo) {
 		fmt.Printf("rank %d: group generator serving %d nodes × %d iterations\n", *rank, *nodes, *iters)

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -138,11 +140,38 @@ func Perf(seed int64) (*PerfReport, error) {
 		})
 	}
 
+	// Layer 3b: the stateful top-k error-feedback encode — merge the
+	// residual, select k survivors, carry the dropped mass — at the same
+	// density as the plain codec benchmarks.
+	{
+		r := rand.New(rand.NewSource(seed + 2))
+		v := perfSparse(r, 1<<16, 0.05)
+		st := exchange.NewState(exchange.TopK, 0)
+		// Pin k below the vector's nnz so every encode runs a real
+		// selection, not just the merge.
+		st.K, st.KMin = 1024, 1024
+		work := sparse.NewVector(v.Dim, v.NNZ())
+		for i := 0; i < 8; i++ { // saturate residual support and scratch
+			work.ReuseFrom(v)
+			st.Encode(work)
+		}
+		add("exchange/encode-topk-ef", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				work.ReuseFrom(v)
+				st.Encode(work)
+			}
+		})
+	}
+
 	// Layer 4: the sparse PSR-Allreduce across a 4-member world with
-	// persistent workspaces — the engine crew's exact steady state.
+	// persistent workspaces — the engine crew's exact steady state. The
+	// zero-copy fabric matches what the engine actually runs on (the
+	// copying fabric's per-send Sparse.Clone is what used to make this
+	// the one allocating entry in the report).
 	{
 		const n = 4
-		fab := transport.NewChanFabric(n)
+		fab := transport.NewChanFabricZeroCopy(n)
 		defer fab.Close()
 		g := collective.WorldGroup(n)
 		r := rand.New(rand.NewSource(seed + 3))
@@ -155,20 +184,35 @@ func Perf(seed int64) (*PerfReport, error) {
 			outs[i] = new(sparse.Vector)
 			eps[i] = fab.Endpoint(i)
 		}
-		var wg sync.WaitGroup
 		add("collective/psr-allreduce-sparse-4", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				wg.Add(n)
-				for m := 0; m < n; m++ {
-					go func(m int) {
-						defer wg.Done()
+			// Persistent member goroutines signalled per op: spawning four
+			// goroutines inside the measured loop would charge the harness's
+			// own allocations to the collective.
+			starts := make([]chan struct{}, n)
+			var wg sync.WaitGroup
+			for m := 0; m < n; m++ {
+				starts[m] = make(chan struct{}, 1)
+				go func(m int) {
+					for range starts[m] {
 						if _, err := wss[m].PSRAllreduceSparse(eps[m], g, 64, ins[m], outs[m]); err != nil {
 							b.Error(err)
 						}
-					}(m)
+						wg.Done()
+					}
+				}(m)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wg.Add(n)
+				for m := 0; m < n; m++ {
+					starts[m] <- struct{}{}
 				}
 				wg.Wait()
+			}
+			b.StopTimer()
+			for m := 0; m < n; m++ {
+				close(starts[m])
 			}
 		})
 	}
@@ -221,4 +265,63 @@ func WritePerfReport(path string, out io.Writer, seed int64) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckPerfReport re-runs the perf suite and gates it against the
+// committed snapshot at path: any allocs/op increase fails, as does ns/op
+// drift beyond nsTol (fractional, e.g. 0.15 for 15%; <= 0 disables the
+// timing comparison, the right setting on shared CI runners where only
+// the alloc column is machine-independent). A benchmark present on one
+// side only also fails — a stale snapshot must be regenerated with
+// -perf, not silently ignored.
+func CheckPerfReport(path string, out io.Writer, seed int64, nsTol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench: read snapshot: %w", err)
+	}
+	var want PerfReport
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("bench: parse snapshot %s: %w", path, err)
+	}
+	rep, err := Perf(seed)
+	if err != nil {
+		return err
+	}
+	wantBy := make(map[string]PerfEntry, len(want.Benchmarks))
+	for _, e := range want.Benchmarks {
+		wantBy[e.Name] = e
+	}
+	var failures []string
+	for _, e := range rep.Benchmarks {
+		w, ok := wantBy[e.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: not in snapshot (regenerate with -perf)", e.Name))
+			continue
+		}
+		delete(wantBy, e.Name)
+		status := "ok"
+		if e.AllocsPerOp > w.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d > snapshot %d", e.Name, e.AllocsPerOp, w.AllocsPerOp))
+			status = "FAIL"
+		}
+		if nsTol > 0 && w.NsPerOp > 0 && e.NsPerOp > w.NsPerOp*(1+nsTol) {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.1f exceeds snapshot %.1f by more than %.0f%%",
+				e.Name, e.NsPerOp, w.NsPerOp, nsTol*100))
+			status = "FAIL"
+		}
+		fmt.Fprintf(out, "%-4s %-36s allocs %d (snapshot %d)  ns/op %.1f (snapshot %.1f)\n",
+			status, e.Name, e.AllocsPerOp, w.AllocsPerOp, e.NsPerOp, w.NsPerOp)
+	}
+	leftover := make([]string, 0, len(wantBy))
+	for name := range wantBy {
+		leftover = append(leftover, name)
+	}
+	sort.Strings(leftover)
+	for _, name := range leftover {
+		failures = append(failures, fmt.Sprintf("%s: in snapshot but not produced by this run", name))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: perf regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }

@@ -1,12 +1,47 @@
 package collective
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"psrahgadmm/internal/sparse"
 	"psrahgadmm/internal/transport"
 	"psrahgadmm/internal/wire"
 )
+
+// ErrPayloadKind reports that a message of the wrong payload kind arrived
+// on a sparse collective's tag — a protocol confusion (mis-tagged dense or
+// control traffic) that must surface as an error on the receiving member,
+// never as a nil-dereference panic.
+var ErrPayloadKind = errors.New("collective: unexpected payload kind")
+
+// sparsePayload validates that an arrival actually carries a sparse
+// vector before any field of it is dereferenced.
+func sparsePayload(in wire.Message) (*sparse.Vector, error) {
+	if in.Kind != wire.KindSparse || in.Sparse == nil {
+		return nil, fmt.Errorf("collective: tag %d from %d carries kind %v, want sparse: %w",
+			in.Tag, in.From, in.Kind, ErrPayloadKind)
+	}
+	return in.Sparse, nil
+}
+
+// wsPool backs the package-level convenience wrappers: they run through
+// pooled Workspaces instead of stack-allocating fresh scratch per call, so
+// callers that have not migrated to the Workspace methods still amortize
+// the block buffers. The wrappers copy the trace events out before
+// returning the workspace (a Workspace's Events are valid only until its
+// next call).
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+func detachTrace(tr Trace) Trace {
+	if len(tr.Events) > 0 {
+		tr.Events = append([]Event(nil), tr.Events...)
+	} else {
+		tr.Events = nil
+	}
+	return tr
+}
 
 // RingAllreduceSparse sums the members' sparse vectors (all of dimension
 // v.Dim) with the ring schedule, transmitting only nonzeros. The returned
@@ -14,10 +49,15 @@ import (
 // sizes depend on where the nonzeros sit — which is exactly the sensitivity
 // the paper analyzes in eqs. (11)–(13): a block that accumulates all the
 // nonzeros grows linearly as it travels the ring.
+//
+// Convenience form: allocates the result and copies the trace. Hot-path
+// callers hold a Workspace and use its method directly.
 func RingAllreduceSparse(ep transport.Endpoint, g Group, tagBase int32, v *sparse.Vector) (*sparse.Vector, Trace, error) {
-	var ws Workspace
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
 	out := new(sparse.Vector)
 	tr, err := ws.RingAllreduceSparse(ep, g, tagBase, v, out)
+	tr = detachTrace(tr)
 	if err != nil {
 		return nil, tr, err
 	}
@@ -31,10 +71,15 @@ func RingAllreduceSparse(ep transport.Endpoint, g Group, tagBase int32, v *spars
 // scatter step and c·θ·(N−1) in the gather step (paper eqs. 14–15),
 // independent of where the nonzeros concentrate — the robustness property
 // PSRA-HGADMM is built on.
+//
+// Convenience form: allocates the result and copies the trace. Hot-path
+// callers hold a Workspace and use its method directly.
 func PSRAllreduceSparse(ep transport.Endpoint, g Group, tagBase int32, v *sparse.Vector) (*sparse.Vector, Trace, error) {
-	var ws Workspace
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
 	out := new(sparse.Vector)
 	tr, err := ws.PSRAllreduceSparse(ep, g, tagBase, v, out)
+	tr = detachTrace(tr)
 	if err != nil {
 		return nil, tr, err
 	}
@@ -44,79 +89,35 @@ func PSRAllreduceSparse(ep transport.Endpoint, g Group, tagBase int32, v *sparse
 // ReduceSparse sums every member's vector at the root member and returns
 // the sum there; non-root members receive nil.
 func ReduceSparse(ep transport.Endpoint, g Group, tagBase int32, rootIdx int, v *sparse.Vector) (*sparse.Vector, Trace, error) {
-	me, err := g.validate(ep)
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	out := new(sparse.Vector)
+	tr, err := ws.ReduceSparse(ep, g, tagBase, rootIdx, v, out)
+	tr = detachTrace(tr)
 	if err != nil {
-		return nil, Trace{}, err
+		return nil, tr, err
 	}
-	if rootIdx < 0 || rootIdx >= g.Size() {
-		return nil, Trace{}, fmt.Errorf("collective: root index %d out of group", rootIdx)
-	}
-	tr := Trace{Steps: 1}
-	if me != rootIdx {
-		msg := wire.SparseMsg(tagBase, v)
-		if err := ep.Send(g.Ranks[rootIdx], msg); err != nil {
-			return nil, tr, err
-		}
-		tr.add(0, ep.Rank(), g.Ranks[rootIdx], wire.PayloadBytes(msg))
+	if g.IndexOf(ep.Rank()) != rootIdx {
 		return nil, tr, nil
 	}
-	arrivals := make([]*sparse.Vector, g.Size())
-	for j := 0; j < g.Size()-1; j++ {
-		in, err := ep.Recv(transport.AnySource, tagBase)
-		if err != nil {
-			return nil, tr, err
-		}
-		if in.Sparse.Dim != v.Dim {
-			return nil, tr, fmt.Errorf("collective: sparse reduce dim %d, want %d", in.Sparse.Dim, v.Dim)
-		}
-		src := g.IndexOf(int(in.From))
-		if src < 0 || src == me || arrivals[src] != nil {
-			return nil, tr, fmt.Errorf("collective: sparse reduce unexpected sender %d", in.From)
-		}
-		arrivals[src] = in.Sparse
-	}
-	arrivals[me] = v
-	acc := sparse.NewAccumulator(v.Dim)
-	for _, a := range arrivals {
-		if a != nil {
-			acc.Add(a)
-		}
-	}
-	return acc.Sum(), tr, nil
+	return out, tr, nil
 }
 
 // BroadcastSparse sends the root's vector to every member and returns each
 // member's copy (the root gets its own vector back unchanged).
 func BroadcastSparse(ep transport.Endpoint, g Group, tagBase int32, rootIdx int, v *sparse.Vector) (*sparse.Vector, Trace, error) {
-	me, err := g.validate(ep)
-	if err != nil {
-		return nil, Trace{}, err
-	}
-	if rootIdx < 0 || rootIdx >= g.Size() {
-		return nil, Trace{}, fmt.Errorf("collective: root index %d out of group", rootIdx)
-	}
-	tr := Trace{Steps: 1}
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	me := g.IndexOf(ep.Rank())
 	if me == rootIdx {
-		msg := wire.SparseMsg(tagBase, v)
-		bytes := wire.PayloadBytes(msg)
-		errcs := make([]chan error, 0, g.Size()-1)
-		for j := 0; j < g.Size(); j++ {
-			if j == rootIdx {
-				continue
-			}
-			tr.add(0, ep.Rank(), g.Ranks[j], bytes)
-			errcs = append(errcs, sendAsync(ep, g.Ranks[j], msg))
-		}
-		for _, c := range errcs {
-			if err := <-c; err != nil {
-				return nil, tr, err
-			}
-		}
-		return v, tr, nil
+		tr, err := ws.BroadcastSparse(ep, g, tagBase, rootIdx, v, nil)
+		return v, detachTrace(tr), err
 	}
-	in, err := ep.Recv(g.Ranks[rootIdx], tagBase)
+	out := new(sparse.Vector)
+	tr, err := ws.BroadcastSparse(ep, g, tagBase, rootIdx, v, out)
+	tr = detachTrace(tr)
 	if err != nil {
 		return nil, tr, err
 	}
-	return in.Sparse, tr, nil
+	return out, tr, nil
 }

@@ -205,10 +205,14 @@ func (ws *Workspace) RingAllreduceSparse(ep transport.Endpoint, g Group, tagBase
 			return tr, err
 		}
 		tr.add(s, ep.Rank(), next, bytes)
-		if in.Sparse.Dim != blocks[recvIdx].Dim {
-			return tr, fmt.Errorf("collective: ring sparse block dim %d, want %d", in.Sparse.Dim, blocks[recvIdx].Dim)
+		sv, err := sparsePayload(in)
+		if err != nil {
+			return tr, err
 		}
-		merged := sparse.MergeInto(ws.spare, blocks[recvIdx], in.Sparse)
+		if sv.Dim != blocks[recvIdx].Dim {
+			return tr, fmt.Errorf("collective: ring sparse block dim %d, want %d", sv.Dim, blocks[recvIdx].Dim)
+		}
+		merged := sparse.MergeInto(ws.spare, blocks[recvIdx], sv)
 		// The displaced buffer was never sent (a block is merged one step
 		// before it is forwarded), so it can safely become the next spare.
 		// Swap the ownership slot too, keeping {own[·]} ∪ {spare} a set of
@@ -233,10 +237,14 @@ func (ws *Workspace) RingAllreduceSparse(ep transport.Endpoint, g Group, tagBase
 			return tr, err
 		}
 		tr.add(p-1+s, ep.Rank(), next, bytes)
-		if in.Sparse.Dim != blocks[recvIdx].Dim {
-			return tr, fmt.Errorf("collective: ring sparse gather dim %d, want %d", in.Sparse.Dim, blocks[recvIdx].Dim)
+		sv, err := sparsePayload(in)
+		if err != nil {
+			return tr, err
 		}
-		blocks[recvIdx] = in.Sparse
+		if sv.Dim != blocks[recvIdx].Dim {
+			return tr, fmt.Errorf("collective: ring sparse gather dim %d, want %d", sv.Dim, blocks[recvIdx].Dim)
+		}
+		blocks[recvIdx] = sv
 	}
 
 	for j, c := range ws.chunks {
@@ -287,14 +295,18 @@ func (ws *Workspace) PSRAllreduceSparse(ep transport.Endpoint, g Group, tagBase 
 		if err != nil {
 			return tr, err
 		}
-		if in.Sparse.Dim != mine.Hi-mine.Lo {
-			return tr, fmt.Errorf("collective: psr sparse scatter dim %d, want %d", in.Sparse.Dim, mine.Hi-mine.Lo)
+		sv, err := sparsePayload(in)
+		if err != nil {
+			return tr, err
+		}
+		if sv.Dim != mine.Hi-mine.Lo {
+			return tr, fmt.Errorf("collective: psr sparse scatter dim %d, want %d", sv.Dim, mine.Hi-mine.Lo)
 		}
 		src := g.IndexOf(int(in.From))
 		if src < 0 || src == me || arrivals[src] != nil {
 			return tr, fmt.Errorf("collective: psr sparse scatter unexpected sender %d", in.From)
 		}
-		arrivals[src] = in.Sparse
+		arrivals[src] = sv
 	}
 	arrivals[me] = v.SliceInto(ws.own[me], mine.Lo, mine.Hi)
 	ws.acc.Reset(mine.Hi - mine.Lo)
@@ -328,14 +340,18 @@ func (ws *Workspace) PSRAllreduceSparse(ep transport.Endpoint, g Group, tagBase 
 		if err != nil {
 			return tr, err
 		}
+		sv, err := sparsePayload(in)
+		if err != nil {
+			return tr, err
+		}
 		src := g.IndexOf(int(in.From))
 		if src < 0 || src == me {
 			return tr, fmt.Errorf("collective: psr sparse gather from unexpected rank %d", in.From)
 		}
-		if in.Sparse.Dim != ws.chunks[src].Hi-ws.chunks[src].Lo {
-			return tr, fmt.Errorf("collective: psr sparse gather dim %d, want %d", in.Sparse.Dim, ws.chunks[src].Hi-ws.chunks[src].Lo)
+		if sv.Dim != ws.chunks[src].Hi-ws.chunks[src].Lo {
+			return tr, fmt.Errorf("collective: psr sparse gather dim %d, want %d", sv.Dim, ws.chunks[src].Hi-ws.chunks[src].Lo)
 		}
-		blocks[src] = in.Sparse
+		blocks[src] = sv
 	}
 	if err := ws.drainSends(); err != nil {
 		return tr, err
@@ -344,6 +360,107 @@ func (ws *Workspace) PSRAllreduceSparse(ep transport.Endpoint, g Group, tagBase 
 		ws.offsets[j] = c.Lo
 	}
 	sparse.ConcatInto(out, v.Dim, ws.offsets, blocks)
+	ws.events = tr.Events
+	return tr, nil
+}
+
+// ReduceSparse is the workspace form of the package-level ReduceSparse:
+// the root's sum is written into out (which must not alias v); non-root
+// members leave out untouched. Contributions are accumulated in member
+// order regardless of arrival order, so overlapping supports sum
+// bit-identically on every run — the property the WLG leader gather
+// relies on when members ship partially-overlapping top-k selections.
+func (ws *Workspace) ReduceSparse(ep transport.Endpoint, g Group, tagBase int32, rootIdx int, v, out *sparse.Vector) (Trace, error) {
+	me, err := ws.validateGroup(ep, g)
+	if err != nil {
+		return Trace{}, err
+	}
+	if rootIdx < 0 || rootIdx >= g.Size() {
+		return Trace{}, fmt.Errorf("collective: root index %d out of group", rootIdx)
+	}
+	tr := Trace{Steps: 1, Events: ws.events[:0]}
+	if me != rootIdx {
+		msg := wire.SparseMsg(tagBase, v)
+		if err := ep.Send(g.Ranks[rootIdx], msg); err != nil {
+			return tr, err
+		}
+		tr.add(0, ep.Rank(), g.Ranks[rootIdx], wire.PayloadBytes(msg))
+		ws.events = tr.Events
+		return tr, nil
+	}
+	ws.ensureSparse(g.Size())
+	arrivals := ws.arrS
+	for j := 0; j < g.Size()-1; j++ {
+		in, err := ep.Recv(transport.AnySource, tagBase)
+		if err != nil {
+			return tr, err
+		}
+		sv, err := sparsePayload(in)
+		if err != nil {
+			return tr, err
+		}
+		if sv.Dim != v.Dim {
+			return tr, fmt.Errorf("collective: sparse reduce dim %d, want %d", sv.Dim, v.Dim)
+		}
+		src := g.IndexOf(int(in.From))
+		if src < 0 || src == me || arrivals[src] != nil {
+			return tr, fmt.Errorf("collective: sparse reduce unexpected sender %d", in.From)
+		}
+		arrivals[src] = sv
+	}
+	arrivals[me] = v
+	ws.acc.Reset(v.Dim)
+	for _, a := range arrivals {
+		if a != nil {
+			ws.acc.Add(a)
+		}
+	}
+	ws.acc.SumInto(out)
+	ws.events = tr.Events
+	return tr, nil
+}
+
+// BroadcastSparse is the workspace form of the package-level
+// BroadcastSparse: the root sends v (out is ignored and may be nil);
+// every other member receives into out, decoupled from the transport
+// buffer.
+func (ws *Workspace) BroadcastSparse(ep transport.Endpoint, g Group, tagBase int32, rootIdx int, v, out *sparse.Vector) (Trace, error) {
+	me, err := ws.validateGroup(ep, g)
+	if err != nil {
+		return Trace{}, err
+	}
+	if rootIdx < 0 || rootIdx >= g.Size() {
+		return Trace{}, fmt.Errorf("collective: root index %d out of group", rootIdx)
+	}
+	sync := transport.SendsNonBlocking(ep)
+	tr := Trace{Steps: 1, Events: ws.events[:0]}
+	if me == rootIdx {
+		msg := wire.SparseMsg(tagBase, v)
+		bytes := wire.PayloadBytes(msg)
+		for j := 0; j < g.Size(); j++ {
+			if j == rootIdx {
+				continue
+			}
+			tr.add(0, ep.Rank(), g.Ranks[j], bytes)
+			if err := ws.send(ep, sync, g.Ranks[j], msg); err != nil {
+				return tr, err
+			}
+		}
+		if err := ws.drainSends(); err != nil {
+			return tr, err
+		}
+		ws.events = tr.Events
+		return tr, nil
+	}
+	in, err := ep.Recv(g.Ranks[rootIdx], tagBase)
+	if err != nil {
+		return tr, err
+	}
+	sv, err := sparsePayload(in)
+	if err != nil {
+		return tr, err
+	}
+	out.ReuseFrom(sv)
 	ws.events = tr.Events
 	return tr, nil
 }

@@ -62,6 +62,17 @@ const (
 	// GRADMMSSP runs GR-ADMM's sparse Leader ring under ADMMLib's SSP
 	// barrier — isolating the codec at identical topology and sync.
 	GRADMMSSP Algorithm = "gr-admm-ssp"
+	// PSRAHGADMMTopK is the staged aggregation tree with the top-k
+	// error-feedback codec: only the k largest-magnitude coordinates of
+	// each contribution travel; dropped mass carries into the next round.
+	PSRAHGADMMTopK Algorithm = "psra-hgadmm-topk"
+	// PSRAHGADMMTopKQ8 composes top-k selection with 8-bit quantization:
+	// the k survivors travel as 5-byte entries, and the quantization error
+	// joins the dropped coordinates in the residual.
+	PSRAHGADMMTopKQ8 Algorithm = "psra-hgadmm-topk-q8"
+	// PSRAADMMTopK drives the flat PSR-Allreduce with the top-k codec —
+	// the composition the zero-alloc budget test pins.
+	PSRAADMMTopK Algorithm = "psra-admm-topk"
 )
 
 // Config parameterizes one training run.
@@ -127,6 +138,24 @@ type Config struct {
 	// scale (the Q-GADMM-style lossy option). 0 keeps full float64
 	// precision. Applies to the PSRA algorithms' sparse exchange.
 	QuantBits int
+	// CodecBudgetBytes targets the top-k codecs' adaptive selection: after
+	// every round each live rank steers its selection budget k so the
+	// observed per-iteration trace bytes approach this figure, clamped to
+	// the state's [KMin, KMax]. All ranks observe the same round total, so
+	// k stays identical across ranks and runs stay deterministic. 0 keeps
+	// the default fixed k (dim/2, clamped). Ignored by non-topk codecs.
+	CodecBudgetBytes int64
+	// CodecTopK, when positive, sets the top-k codecs' selection size
+	// directly (and its floor under adaptation), overriding the dim/2
+	// default. With CodecBudgetBytes zero the selection stays fixed at
+	// this k. Ignored by non-topk codecs.
+	CodecTopK int
+	// CodecNoErrorFeedback disables the top-k codecs' residual accumulator
+	// — the ablation knob behind the acceptance test that shows error
+	// feedback is load-bearing. Dropped coordinates are then lost forever
+	// and convergence stalls short of the optimum; never set it in
+	// production runs.
+	CodecNoErrorFeedback bool
 	// Faults, when non-nil, wraps the engine's scratch fabric in a
 	// transport.FaultFabric injecting the described drops, delays,
 	// partitions, and rank kills deterministically from the plan's seed.
@@ -203,6 +232,12 @@ func (c Config) Validate() error {
 	}
 	if c.QuantBits != 0 && c.QuantBits != 8 && c.QuantBits != 16 {
 		return fmt.Errorf("core: QuantBits must be 0, 8 or 16, got %d", c.QuantBits)
+	}
+	if c.CodecBudgetBytes < 0 {
+		return fmt.Errorf("core: CodecBudgetBytes must be non-negative, got %d", c.CodecBudgetBytes)
+	}
+	if c.CodecTopK < 0 {
+		return fmt.Errorf("core: CodecTopK must be non-negative, got %d", c.CodecTopK)
 	}
 	if c.Tol < 0 {
 		return fmt.Errorf("core: Tol must be non-negative")

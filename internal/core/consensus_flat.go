@@ -111,7 +111,7 @@ func (st *flatStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 			nb = st.wBuf[i][1]
 		}
 		st.pendingW[i] = w.wSparseInto(nb, cfg.Rho)
-		env.codec.EncodeSparse(st.pendingW[i])
+		env.encodeSparse(w.rank, st.pendingW[i])
 		sl := &st.slots[i]
 		sl.rank[0] = w.rank
 		sl.start[0] = w.clock

@@ -76,7 +76,7 @@ func (st *starStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	for j, i := range idle {
 		w := ws[i]
 		st.pendingW[i] = w.wSparse(cfg.Rho)
-		env.codec.EncodeSparse(st.pendingW[i])
+		env.encodeSparse(w.rank, st.pendingW[i])
 		st.clocks[i].pending = &pendingCompute{
 			finish: w.clock + cals[j],
 			ranks:  []int{w.rank},

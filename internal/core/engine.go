@@ -123,6 +123,23 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		members: members,
 		elastic: cfg.Elastic,
 	}
+	// The top-k codecs carry per-rank error-feedback state: the residual
+	// of dropped (and quantized-away) mass, merged back before the next
+	// selection, plus the adaptive k driven by CodecBudgetBytes. Every
+	// other codec leaves states nil, keeping the encode path — and every
+	// golden history — byte-identical to the stateless engine.
+	if exchange.IsTopK(codecKind) {
+		env.states = make([]*exchange.State, cfg.Topo.Size())
+		for r := range env.states {
+			s := exchange.NewState(codecKind, cfg.CodecBudgetBytes)
+			s.DisableErrorFeedback = cfg.CodecNoErrorFeedback
+			if cfg.CodecTopK > 0 {
+				s.K = cfg.CodecTopK
+				s.KMin = cfg.CodecTopK
+			}
+			env.states[r] = s
+		}
+	}
 	// The run's persistent goroutine sets: the compute pool executes
 	// x-updates, the crew serves collective membership. Both are created
 	// once so steady-state rounds spawn nothing.
@@ -231,6 +248,12 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 				ffab.Revive(r)
 				members.MarkUp(r)
 				ws[r].rejoin(zPrev, maxClock)
+				if env.states != nil {
+					// The rejoiner's residual described contributions its
+					// dead incarnation never shipped; restart error feedback
+					// clean (k re-derives on first encode).
+					env.states[r].Reset()
+				}
 			}
 		}
 		if cfg.Elastic && members.LiveCount() == 0 {
@@ -256,6 +279,15 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		}
 
 		live := env.liveWorkers()
+		// Adaptive k: every live rank observes the same round total, so the
+		// per-rank states stay in lockstep and selection k is identical
+		// across ranks — the property the deterministic-history contract
+		// needs.
+		if env.states != nil && timing.bytes > 0 {
+			for _, w := range live {
+				env.states[w.rank].Adapt(timing.bytes)
+			}
+		}
 		stat := IterStat{
 			Iter:        iter,
 			Objective:   nan(),

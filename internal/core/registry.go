@@ -172,4 +172,21 @@ func init() {
 		Name: GRADMMSSP, Consensus: ConsensusRing, Sync: SyncSSP, Codec: exchange.Sparse,
 		Description: "new composition: GR-ADMM's sparse Leader ring under ADMMLib's SSP barrier",
 	})
+
+	// Top-k error-feedback compositions: only the k largest-magnitude
+	// coordinates of each contribution travel; dropped mass (and, for -q8,
+	// quantization error) carries into the next round's contribution via
+	// the per-rank exchange.State residual.
+	Register(Variant{
+		Name: PSRAHGADMMTopK, Consensus: ConsensusTree, Sync: SyncBSP, Codec: exchange.TopK,
+		Description: "new composition: staged aggregation tree with top-k error-feedback sparsification (adaptive k)",
+	})
+	Register(Variant{
+		Name: PSRAHGADMMTopKQ8, Consensus: ConsensusTree, Sync: SyncBSP, Codec: exchange.TopKQ8,
+		Description: "new composition: top-k error-feedback selection composed with 8-bit quantized survivors",
+	})
+	Register(Variant{
+		Name: PSRAADMMTopK, Consensus: ConsensusFlat, Sync: SyncBSP, Codec: exchange.TopK,
+		Description: "new composition: flat sparse PSR-Allreduce over top-k error-feedback contributions",
+	})
 }

@@ -69,8 +69,14 @@ type strategyEnv struct {
 	ws    []*worker
 	fab   transport.Fabric
 	codec exchange.Codec
-	sync  SyncModel
-	dim   int
+	// states, non-nil only under the top-k codecs, holds each world rank's
+	// error-feedback residual and adaptive selection budget. Encoding then
+	// routes through encodeSparse so the residual is merged before
+	// selection; every other codec takes the stateless path untouched
+	// (bit-identical to the pre-topk engine).
+	states []*exchange.State
+	sync   SyncModel
+	dim    int
 	// members is the run's monotonic membership view. It is always
 	// present; in a non-elastic run nothing is ever marked down, so every
 	// live filter is an identity and the happy path is bit-identical to
@@ -106,6 +112,17 @@ func (env *strategyEnv) nextTagBase() int32 {
 	b := tagWindowBase + env.seq*8
 	env.seq++
 	return b
+}
+
+// encodeSparse routes one rank's contribution through the codec: stateful
+// top-k error feedback when the run carries per-rank exchange state,
+// the stateless codec otherwise. rank is a world rank.
+func (env *strategyEnv) encodeSparse(rank int, v *sparse.Vector) {
+	if env.states != nil {
+		env.states[rank].Encode(v)
+		return
+	}
+	env.codec.EncodeSparse(v)
 }
 
 // newStrategy instantiates the consensus strategy for one run.
@@ -163,7 +180,7 @@ func launchNodeSparse(env *strategyEnv, cfg Config, n, iter int) nodeContributio
 	for i, w := range sub {
 		starts[i] = w.clock
 		vs[i] = w.wSparse(cfg.Rho)
-		env.codec.EncodeSparse(vs[i])
+		env.encodeSparse(ranks[i], vs[i])
 		nnzs[i] = vs[i].NNZ()
 		ready = maxf(ready, w.clock+cals[i])
 	}

@@ -40,10 +40,13 @@ const (
 	// DenseF32 ships dense vectors rounded to float32 precision at half
 	// the bytes (ADMMLib's single-precision parameter exchange).
 	DenseF32 Kind = "dense-f32"
+
+	// TopK and TopKQ8 are declared in topk.go: top-k sparsification with
+	// per-rank error feedback, exact or 8-bit-quantized survivors.
 )
 
 // Kinds lists every implemented codec.
-func Kinds() []Kind { return []Kind{Sparse, SparseQ8, SparseQ16, Dense, DenseF32} }
+func Kinds() []Kind { return []Kind{Sparse, SparseQ8, SparseQ16, Dense, DenseF32, TopK, TopKQ8} }
 
 // Codec is the exchange-representation strategy. Encode* round values in
 // place to what survives the wire; the *Bytes methods and WireTrace give
@@ -93,6 +96,10 @@ func For(kind Kind) (Codec, error) {
 		return denseCodec{}, nil
 	case DenseF32:
 		return f32Codec{}, nil
+	case TopK:
+		return topkCodec{}, nil
+	case TopKQ8:
+		return topkCodec{bits: 8}, nil
 	}
 	return nil, fmt.Errorf("exchange: unknown codec %q", kind)
 }

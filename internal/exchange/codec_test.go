@@ -30,6 +30,7 @@ func TestDenseExchangeFlag(t *testing.T) {
 	for k, want := range map[Kind]bool{
 		Sparse: false, SparseQ8: false, SparseQ16: false,
 		Dense: true, DenseF32: true,
+		TopK: false, TopKQ8: false,
 	} {
 		c, _ := For(k)
 		if c.DenseExchange() != want {
@@ -144,9 +145,9 @@ func TestTracedBytesMatchEncoded(t *testing.T) {
 		}}
 		var wantSp, wantDn int
 		switch k {
-		case Sparse, Dense:
+		case Sparse, Dense, TopK:
 			wantSp, wantDn = spActual, dnActual
-		case SparseQ8:
+		case SparseQ8, TopKQ8:
 			wantSp, wantDn = spActual*5/12, dnActual*5/12
 		case SparseQ16:
 			wantSp, wantDn = spActual*6/12, dnActual*6/12

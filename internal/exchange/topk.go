@@ -1,0 +1,420 @@
+// Top-k sparsification with error feedback — the codec-axis option that
+// changes WHICH coordinates travel, not just how they are encoded.
+// Following Deng et al. (communication-efficient distributed learning via
+// sparse and adaptive stochastic gradient), each rank keeps a residual of
+// the coordinates it dropped (plus any quantization error) and adds it
+// back into the next round's contribution before selection, so the mass a
+// round drops is delayed, never lost — the property that keeps aggressive
+// sparsification convergent. The selection budget k adapts per round from
+// observed trace bytes against a target budget, clamped to [KMin, KMax].
+//
+// The codec itself (topkCodec) is stateless like every other Codec; the
+// error-feedback residual and selection scratch live in a State, one per
+// rank, owned by the runtime (the engine's strategy environment or a WLG
+// worker loop) and carried across rounds. Ranks that die and rejoin Reset
+// their State: a returning incarnation must not replay residual mass
+// accumulated before it died (see DESIGN.md).
+package exchange
+
+import (
+	"math"
+
+	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/wire"
+)
+
+// Top-k codec kinds.
+const (
+	// TopK keeps only the k largest-magnitude coordinates of each
+	// contribution, exact float64 values (12-byte entries).
+	TopK Kind = "topk"
+	// TopKQ8 composes top-k selection with the 8-bit quantizer: the k
+	// survivors travel as 5-byte entries, and the quantization error joins
+	// the dropped coordinates in the error-feedback residual.
+	TopKQ8 Kind = "topk-q8"
+)
+
+// IsTopK reports whether kind is a top-k sparsifying codec (and therefore
+// needs a per-rank State to be convergent).
+func IsTopK(k Kind) bool { return k == TopK || k == TopKQ8 }
+
+// topkCodec is the stateless face of the top-k family. Selection and
+// error feedback need per-rank memory and run through State.Encode; the
+// codec's own Encode* methods apply only the value rounding (quantization
+// for topk-q8), so a State-less call site degrades to the exact/q8 codec
+// instead of silently dropping coordinates.
+type topkCodec struct{ bits int }
+
+func (c topkCodec) Kind() Kind {
+	if c.bits == 8 {
+		return TopKQ8
+	}
+	return TopK
+}
+func (topkCodec) DenseExchange() bool { return false }
+func (c topkCodec) EncodeSparse(v *sparse.Vector) {
+	if c.bits > 0 {
+		QuantizeSparseBits(v, c.bits)
+	}
+}
+func (c topkCodec) EncodeDense(x []float64) {
+	if c.bits > 0 {
+		QuantizeDenseBits(x, c.bits)
+	}
+}
+func (c topkCodec) WireTrace(tr collective.Trace) collective.Trace {
+	if c.bits == 0 {
+		return tr
+	}
+	return ScaleTraceBytes(tr, EntryBytes(c.bits), wire.SparseEntryBytes)
+}
+func (c topkCodec) WireTraceInto(dst []collective.Event, tr collective.Trace) collective.Trace {
+	if c.bits == 0 {
+		return tr
+	}
+	return ScaleTraceBytesInto(dst, tr, EntryBytes(c.bits), wire.SparseEntryBytes)
+}
+func (topkCodec) SparseMsgBytes(nnz int) int { return 8 + wire.SparseEntryBytes*nnz }
+func (topkCodec) DenseMsgBytes(dim int) int  { return 4 + wire.DenseEntryBytes*dim }
+func (topkCodec) ZMsgBytes(nnz int) int      { return 8 + wire.SparseEntryBytes*nnz }
+
+// Default selection-budget bounds. The initial k is dim/DefaultKDivisor
+// (clamped) — a deliberately conservative halving: the residual here
+// carries ADMM state (w = y + ρx), not gradient increments, so a dropped
+// coordinate's accumulated mass overshoots when it finally wins selection,
+// and too-aggressive k makes the recursion oscillate instead of converge.
+// Callers wanting harder compression pin k explicitly (core's CodecTopK)
+// or set a byte budget (State.BudgetBytes) and let Adapt steer k from
+// observed traffic.
+const (
+	DefaultKMin     = 16
+	DefaultKDivisor = 2
+)
+
+// DefaultDecay is the residual damping factor applied when State.Decay is
+// unset; NoDecay (exactly 1) keeps the classical undamped accumulator.
+const (
+	DefaultDecay = 0.5
+	NoDecay      = 1.0
+)
+
+// State is one rank's top-k error-feedback memory: the residual of
+// dropped coordinates (and quantization error), the merge/selection
+// scratch, and the adaptive selection budget. All scratch is State-owned
+// and reused, so a warmed Encode performs no allocations. A State is NOT
+// safe for concurrent use; the runtimes keep one per rank.
+type State struct {
+	// K is the current selection budget in coordinates. Zero means
+	// "derive from the first encoded vector's dimension".
+	K int
+	// KMin and KMax clamp both the initial k and every adaptation step.
+	// Zero values take DefaultKMin and the vector dimension respectively.
+	KMin, KMax int
+	// BudgetBytes is the target for observed per-round trace bytes; Adapt
+	// steers k toward it multiplicatively. Zero disables adaptation and
+	// keeps k fixed.
+	BudgetBytes int64
+	// DisableErrorFeedback drops the residual instead of carrying it —
+	// the ablation knob. Convergence degrades measurably without the
+	// accumulator (see the acceptance test in internal/core); never set
+	// it in production runs.
+	DisableErrorFeedback bool
+	// Decay scales the residual each round (0 takes DefaultDecay; set
+	// NoDecay for the undamped accumulator). The exchanged vector is ADMM
+	// state (w = y + ρx), not a gradient increment, so when a starved
+	// coordinate finally wins selection its transmitted value overshoots
+	// by everything the residual accumulated; geometric damping bounds
+	// that overshoot at w·decay/(1−decay) while still boosting dropped
+	// coordinates' selection priority round over round.
+	Decay float64
+
+	bits     int
+	residual *sparse.Vector
+	merged   *sparse.Vector
+	next     *sparse.Vector
+	dense    *sparse.Vector // EncodeDense's sparsify scratch
+	sel      []float64
+}
+
+// NewState returns the per-rank error-feedback state for a top-k codec
+// kind, or nil for any other kind — callers gate stateful encoding on the
+// nil check. budgetBytes of zero keeps k fixed at its initial value.
+func NewState(kind Kind, budgetBytes int64) *State {
+	if !IsTopK(kind) {
+		return nil
+	}
+	bits := 0
+	if kind == TopKQ8 {
+		bits = 8
+	}
+	return &State{
+		BudgetBytes: budgetBytes,
+		bits:        bits,
+		residual:    new(sparse.Vector),
+		merged:      new(sparse.Vector),
+		next:        new(sparse.Vector),
+		dense:       new(sparse.Vector),
+	}
+}
+
+// Residual exposes a read-only view of the carried residual (tests and
+// diagnostics); callers must not mutate it.
+func (s *State) Residual() *sparse.Vector { return s.residual }
+
+// Reset clears the error-feedback residual and restores the initial k.
+// The elastic-rejoin hook: a returning incarnation warm-starts from the
+// authoritative z, and residual mass accumulated by its previous
+// incarnation belongs to contributions that were already aggregated (or
+// lost with the death) — replaying it would inject stale updates.
+func (s *State) Reset() {
+	s.residual.Reset(s.residual.Dim)
+	s.K = 0
+}
+
+// WireBytes is the wire payload of one encoded contribution with nnz
+// entries under this state's value precision — the per-rank byte
+// observation the WLG runtime feeds back into Adapt.
+func (s *State) WireBytes(nnz int) int64 {
+	entry := wire.SparseEntryBytes
+	if s.bits > 0 {
+		entry = EntryBytes(s.bits)
+	}
+	return int64(8 + entry*nnz)
+}
+
+// Adapt steers k toward BudgetBytes given the bytes observed since the
+// last call (one round's traffic). The update is multiplicative with
+// halving smoothing, in integer arithmetic, so identical observations on
+// every rank keep k bit-identical across the run. No-op without a budget
+// or before the first Encode.
+func (s *State) Adapt(observedBytes int64) {
+	if s.BudgetBytes <= 0 || observedBytes <= 0 || s.K <= 0 {
+		return
+	}
+	target := int64(s.K) * s.BudgetBytes / observedBytes
+	if target > int64(s.KMax) {
+		target = int64(s.KMax)
+	}
+	s.K = clampInt((s.K+int(target)+1)/2, s.KMin, s.KMax)
+}
+
+// Encode applies error-feedback top-k selection to v in place: merge the
+// carried residual into the contribution, keep the k largest-magnitude
+// coordinates (deterministic tie-break on lower index), quantize the
+// survivors when the kind composes with q8, and carry everything the wire
+// loses — dropped coordinates and quantization error alike — into the
+// next round's residual. With DisableErrorFeedback the residual is
+// neither merged nor updated (pure lossy truncation).
+func (s *State) Encode(v *sparse.Vector) {
+	s.ensureK(v.Dim)
+	k := clampInt(s.K, s.KMin, s.KMax)
+
+	if s.DisableErrorFeedback {
+		s.selectInPlace(v, k)
+		if s.bits > 0 {
+			QuantizeSparseBits(v, s.bits)
+		}
+		return
+	}
+
+	if s.residual.Dim != v.Dim {
+		// First round, or an elastic regroup changed the dimension: start
+		// the residual empty at the new dimension.
+		s.residual.Reset(v.Dim)
+	}
+	src := sparse.MergeInto(s.merged, v, s.residual)
+	s.merged = src
+	if src.NNZ() > k {
+		theta, ties := s.threshold(src, k)
+		rebuild(v, src, theta, ties)
+	} else {
+		v.ReuseFrom(src)
+	}
+	if s.bits > 0 {
+		QuantizeSparseBits(v, s.bits)
+	}
+	// residual' = decay·((v + residual) − encoded): dropped coordinates
+	// keep their merged value, kept coordinates keep their quantization
+	// error, both damped (see Decay).
+	s.next = subInto(s.next, src, v, s.effDecay())
+	s.residual, s.next = s.next, s.residual
+}
+
+// EncodeDense applies the error-feedback selection to a dense buffer in
+// place: the values are sparsified, pushed through Encode, and scattered
+// back with dropped coordinates zeroed. The buffer's dense transport
+// shape — and therefore its wire size — is unchanged; this is the elastic
+// WLG runtime's operating point, where the GG's result cache and recovery
+// replies need dense frames. Returns the selection's nnz.
+func (s *State) EncodeDense(x []float64) int {
+	s.dense = sparse.FromDenseInto(s.dense, x)
+	s.Encode(s.dense)
+	for i := range x {
+		x[i] = 0
+	}
+	s.dense.AddIntoDense(x, 1)
+	return s.dense.NNZ()
+}
+
+func (s *State) effDecay() float64 {
+	if s.Decay > 0 {
+		return s.Decay
+	}
+	return DefaultDecay
+}
+
+// ensureK derives the clamp bounds and initial budget from the first
+// vector's dimension.
+func (s *State) ensureK(dim int) {
+	if s.KMin <= 0 {
+		s.KMin = DefaultKMin
+	}
+	if s.KMax <= 0 {
+		s.KMax = dim
+	}
+	if s.KMax < s.KMin {
+		s.KMax = s.KMin
+	}
+	if s.K <= 0 {
+		s.K = clampInt(dim/DefaultKDivisor, s.KMin, s.KMax)
+	}
+}
+
+// threshold computes the magnitude cut for keeping exactly k of src's
+// entries: theta is the k-th largest |value|, ties is how many entries
+// with |value| == theta survive (taken in increasing index order).
+func (s *State) threshold(src *sparse.Vector, k int) (theta float64, ties int) {
+	sel := s.sel[:0]
+	for _, val := range src.Value {
+		sel = append(sel, math.Abs(val))
+	}
+	s.sel = sel
+	theta = selectKthLargest(sel, k)
+	gt := 0
+	for _, val := range src.Value {
+		if math.Abs(val) > theta {
+			gt++
+		}
+	}
+	return theta, k - gt
+}
+
+// rebuild writes the surviving entries of src into dst (dst != src),
+// keeping every |value| > theta plus the first `ties` entries at exactly
+// theta in index order — exactly k survivors, deterministically.
+func rebuild(dst, src *sparse.Vector, theta float64, ties int) {
+	dst.Reset(src.Dim)
+	for i, idx := range src.Index {
+		a := math.Abs(src.Value[i])
+		switch {
+		case a > theta:
+		case a == theta && ties > 0:
+			ties--
+		default:
+			continue
+		}
+		dst.Index = append(dst.Index, idx)
+		dst.Value = append(dst.Value, src.Value[i])
+	}
+}
+
+// selectInPlace truncates v to its k largest-magnitude entries in place
+// (the no-error-feedback path).
+func (s *State) selectInPlace(v *sparse.Vector, k int) {
+	if v.NNZ() <= k {
+		return
+	}
+	theta, ties := s.threshold(v, k)
+	kept := 0
+	for i, idx := range v.Index {
+		a := math.Abs(v.Value[i])
+		switch {
+		case a > theta:
+		case a == theta && ties > 0:
+			ties--
+		default:
+			continue
+		}
+		v.Index[kept] = idx
+		v.Value[kept] = v.Value[i]
+		kept++
+	}
+	v.Index = v.Index[:kept]
+	v.Value = v.Value[:kept]
+}
+
+// subInto writes scale·(a − b) into dst, where b's support is a subset of
+// a's (b is a selected with possibly quantized values). Differences that
+// cancel exactly are dropped.
+func subInto(dst, a, b *sparse.Vector, scale float64) *sparse.Vector {
+	dst.Reset(a.Dim)
+	j := 0
+	for i, idx := range a.Index {
+		if j < len(b.Index) && b.Index[j] == idx {
+			if d := a.Value[i] - b.Value[j]; d != 0 {
+				dst.Index = append(dst.Index, idx)
+				dst.Value = append(dst.Value, scale*d)
+			}
+			j++
+			continue
+		}
+		dst.Index = append(dst.Index, idx)
+		dst.Value = append(dst.Value, scale*a.Value[i])
+	}
+	return dst
+}
+
+// selectKthLargest returns the k-th largest element of a (1-based),
+// partially reordering a. Deterministic iterative quickselect with a
+// median-of-three pivot — no allocation, no randomness.
+func selectKthLargest(a []float64, k int) float64 {
+	target := k - 1
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a[mid] > a[lo] {
+			a[lo], a[mid] = a[mid], a[lo]
+		}
+		if a[hi] > a[lo] {
+			a[lo], a[hi] = a[hi], a[lo]
+		}
+		if a[hi] > a[mid] {
+			a[mid], a[hi] = a[hi], a[mid]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] > pivot {
+				i++
+			}
+			for a[j] < pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case target <= j:
+			hi = j
+		case target >= i:
+			lo = i
+		default:
+			return a[target]
+		}
+	}
+	return a[target]
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,105 @@
+package exchange
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/wire"
+)
+
+// FuzzTopKDecode mirrors wire.FuzzDecodeFrom for the top-k path: arbitrary
+// bytes are parsed into a contribution plus selection parameters, pushed
+// through the stateful error-feedback encode, framed with
+// wire.AppendMessage, and decoded back with wire.DecodeFrom. Invariants:
+// Encode never panics and never emits a structurally invalid vector
+// (Check passes for both survivors and residual, nnz ≤ k), the encoded
+// support is a subset of the merged input's, and the frame round-trips
+// through the wire codec bit-for-bit.
+func FuzzTopKDecode(f *testing.F) {
+	f.Add([]byte{8, 0, 1, 2, 3}, uint8(4), false)
+	f.Add([]byte{1, 255, 1, 254, 2, 253, 3, 252, 4, 0}, uint8(2), true)
+	f.Add(bytes.Repeat([]byte{7}, 64), uint8(1), false)
+	f.Add([]byte{}, uint8(0), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, kByte uint8, q8 bool) {
+		// Deterministically derive a sparse vector from the fuzz bytes:
+		// each byte contributes an index gap (low nibble + 1) and a value
+		// (signed high bits), keeping indices strictly increasing.
+		const dim = 4096
+		v := sparse.NewVector(dim, len(data))
+		idx := int32(-1)
+		for _, b := range data {
+			idx += int32(b&0x0f) + 1
+			if int(idx) >= dim {
+				break
+			}
+			val := float64(int8(b)) / 16
+			if val == 0 {
+				continue
+			}
+			v.Index = append(v.Index, idx)
+			v.Value = append(v.Value, val)
+		}
+		if err := v.Check(); err != nil {
+			t.Fatalf("constructed vector invalid: %v", err)
+		}
+
+		kind := TopK
+		if q8 {
+			kind = TopKQ8
+		}
+		st := NewState(kind, 0)
+		k := int(kByte%64) + 1
+		st.KMin, st.KMax, st.K = 1, k, k
+
+		// Two rounds so the second encode consumes a nonempty residual.
+		for round := 0; round < 2; round++ {
+			merged := mergeWithResidual(v, st)
+			st.Encode(v)
+			if err := v.Check(); err != nil {
+				t.Fatalf("round %d: encoded vector invalid: %v", round, err)
+			}
+			if err := st.Residual().Check(); err != nil {
+				t.Fatalf("round %d: residual invalid: %v", round, err)
+			}
+			if v.NNZ() > k {
+				t.Fatalf("round %d: %d survivors exceed k=%d", round, v.NNZ(), k)
+			}
+			j := 0
+			for _, kept := range v.Index {
+				for j < merged.NNZ() && merged.Index[j] < kept {
+					j++
+				}
+				if j >= merged.NNZ() || merged.Index[j] != kept {
+					t.Fatalf("round %d: survivor %d not in merged support", round, kept)
+				}
+			}
+			for _, val := range v.Value {
+				if math.IsNaN(val) {
+					t.Fatalf("round %d: NaN survivor", round)
+				}
+			}
+
+			// Wire round-trip: the encoded contribution must frame and
+			// decode canonically, like any other sparse payload.
+			msg := wire.SparseMsg(9, v)
+			frame, err := wire.AppendMessage(nil, msg)
+			if err != nil {
+				t.Fatalf("round %d: encode frame: %v", round, err)
+			}
+			got, _, err := wire.DecodeFrom(bytes.NewReader(frame), nil)
+			if err != nil {
+				t.Fatalf("round %d: decode frame: %v", round, err)
+			}
+			re, err := wire.AppendMessage(nil, got)
+			if err != nil {
+				t.Fatalf("round %d: re-encode: %v", round, err)
+			}
+			if !bytes.Equal(frame, re) {
+				t.Fatalf("round %d: wire round-trip diverged", round)
+			}
+		}
+	})
+}

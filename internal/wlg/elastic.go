@@ -41,6 +41,7 @@ import (
 	"fmt"
 
 	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/membership"
 	"psrahgadmm/internal/transport"
 	"psrahgadmm/internal/vec"
@@ -179,9 +180,21 @@ func runWorkerElastic(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInf
 		startIter = joinIter
 	}
 
+	// Top-k runs its error-feedback selection over the dense buffer: the
+	// values are sparsified (dropped coordinates zeroed, residual carried)
+	// but the frames stay dense — the GG's result cache and recovery
+	// replies need them, so the elastic mode trades the byte savings for
+	// survivability. A rank that rejoined starts with a clean residual by
+	// construction (the State is created fresh for the new incarnation).
+	st := exchange.NewState(cfg.Codec, 0)
+
 	for iter := startIter; iter < cfg.MaxIter; iter++ {
 		buf := append([]float64(nil), f.ComputeW(iter)...)
-		codec.EncodeDense(buf)
+		if st != nil {
+			st.EncodeDense(buf)
+		} else {
+			codec.EncodeDense(buf)
+		}
 		agg, contributors, err := w.iterate(iter, buf)
 		if err != nil {
 			return info(), err

@@ -1,0 +1,113 @@
+// The top-k error-feedback path of the plain (fail-stop) WLG runtime.
+//
+// Unlike the value-rounding codecs, top-k changes WHICH coordinates
+// travel, so riding the dense transport would throw its savings away. This
+// loop swaps every hop of Algorithm 1/3 to the sparse collectives: workers
+// reduce their selected contributions to the Leader, the GG-formed group
+// runs the sparse PSR-Allreduce among Leaders — aggregating the partially-
+// overlapping supports different ranks selected — and the Leader broadcasts
+// the sparse aggregate back. Each rank owns one exchange.State: the
+// residual carries its dropped mass into the next round, and k adapts from
+// the rank's own observed contribution bytes against Config.
+// CodecBudgetBytes.
+//
+// The elastic runtime keeps its dense transport (the GG result cache and
+// recovery replies are dense frames) and applies the State only to the
+// values — selection still sparsifies the contribution, but wire size is
+// unchanged there. That asymmetry is documented in DESIGN.md.
+package wlg
+
+import (
+	"fmt"
+
+	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/exchange"
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/wire"
+)
+
+// runWorkerPlainTopK is runWorkerPlain with the exchange swapped to the
+// sparse collectives and the per-rank error-feedback state. The tag
+// layout, GG protocol, and callback contract are identical.
+func runWorkerPlainTopK(ep transport.Endpoint, cfg Config, f WorkerFuncs) error {
+	topo := cfg.Topo
+	rank := ep.Rank()
+	node := topo.NodeOf(rank)
+	intra := collective.NewGroup(topo.WorkersOf(node)...)
+	leader := IsLeader(topo, rank)
+	gg := GGRank(topo)
+	st := exchange.NewState(cfg.Codec, cfg.CodecBudgetBytes)
+
+	var ws collective.Workspace
+	var buf []float64
+	sv := new(sparse.Vector)   // this rank's selected contribution
+	part := new(sparse.Vector) // Leader: node partial sum
+	agg := new(sparse.Vector)  // group aggregate
+	members := make([]int, 0, topo.Nodes)
+	var ggReq [2]int64
+	var cnt [1]int64
+
+	for iter := cfg.StartIter; iter < cfg.MaxIter; iter++ {
+		w := f.ComputeW(iter)
+		buf = append(buf[:0], w...)
+		sv = sparse.FromDenseInto(sv, buf)
+		// Error-feedback selection, then steer k from this rank's own wire
+		// bytes — each rank observes only its contribution here, unlike the
+		// engine where every rank sees the round total.
+		st.Encode(sv)
+		st.Adapt(st.WireBytes(sv.NNZ()))
+
+		// Step 9: intra-node sparse reduce to the Leader.
+		if _, err := ws.ReduceSparse(ep, intra, iterTag(iter, offIntraRed), 0, sv, part); err != nil {
+			return fmt.Errorf("wlg: rank %d iter %d intra reduce: %w", rank, iter, err)
+		}
+
+		var contributors int
+		if leader {
+			// Algorithm 3: report to the GG, receive the inter-node group.
+			ggReq[0], ggReq[1] = int64(node), int64(iter)
+			if err := ep.Send(gg, wire.Control(tagGGRequest, ggReq[:]...)); err != nil {
+				return fmt.Errorf("wlg: leader %d iter %d GG request: %w", rank, iter, err)
+			}
+			reply, err := ep.Recv(gg, iterTag(iter, offGGReply))
+			if err != nil {
+				return fmt.Errorf("wlg: leader %d iter %d GG reply: %w", rank, iter, err)
+			}
+			members = members[:0]
+			for _, n := range reply.Ints {
+				members = append(members, LeaderOf(topo, int(n)))
+			}
+			inter := collective.NewGroup(members...)
+			// Sparse PSR-Allreduce among the group's Leaders: the node
+			// partials carry whatever supports their workers selected, and
+			// the scatter-reduce sums them block-wise without ever
+			// densifying.
+			if _, err := ws.PSRAllreduceSparse(ep, inter, iterTag(iter, offInterAR), part, agg); err != nil {
+				return fmt.Errorf("wlg: leader %d iter %d PSR allreduce: %w", rank, iter, err)
+			}
+			contributors = inter.Size() * topo.WorkersPerNode
+			cnt[0] = int64(contributors)
+			if _, err := ws.BroadcastSparse(ep, intra, iterTag(iter, offIntraBc), 0, agg, nil); err != nil {
+				return fmt.Errorf("wlg: leader %d iter %d intra broadcast: %w", rank, iter, err)
+			}
+			for _, r := range intra.Ranks[1:] {
+				if err := ep.Send(r, wire.Control(iterTag(iter, offIntraBc2), cnt[:]...)); err != nil {
+					return fmt.Errorf("wlg: leader %d iter %d contributor broadcast: %w", rank, iter, err)
+				}
+			}
+		} else {
+			if _, err := ws.BroadcastSparse(ep, intra, iterTag(iter, offIntraBc), 0, nil, agg); err != nil {
+				return fmt.Errorf("wlg: rank %d iter %d receive W: %w", rank, iter, err)
+			}
+			c, err := ep.Recv(intra.Ranks[0], iterTag(iter, offIntraBc2))
+			if err != nil {
+				return fmt.Errorf("wlg: rank %d iter %d receive count: %w", rank, iter, err)
+			}
+			contributors = int(c.Ints[0])
+		}
+		buf = agg.ToDenseInto(buf)
+		f.ApplyW(iter, buf, contributors)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package wlg
+
+import (
+	"math"
+	"testing"
+
+	"psrahgadmm/internal/exchange"
+	"psrahgadmm/internal/simnet"
+	"psrahgadmm/internal/vec"
+)
+
+// TestTopKPlainRuntimeExactWhenKCoversSupport drives the sparse top-k
+// transport end to end — intra-node sparse reduce, GG grouping, sparse
+// PSR-Allreduce among Leaders, sparse broadcast — on contributions small
+// enough that selection never truncates (nnz < KMin), so every aggregate
+// must match the exact consensus bit-for-bit.
+func TestTopKPlainRuntimeExactWhenKCoversSupport(t *testing.T) {
+	topo := simnet.Topology{Nodes: 3, WorkersPerNode: 2}
+	cfg := Config{Topo: topo, MaxIter: 3, GroupThreshold: 0, Codec: exchange.TopK}
+	dim := 7 // nnz 7 < DefaultKMin: selection is the identity
+	agg, counts := runWLG(t, cfg, dim, func(r, iter int) []float64 {
+		v := rankVec(dim, r)
+		vec.Scale(float64(iter+1), v)
+		return v
+	})
+	for r := 0; r < topo.Size(); r++ {
+		for iter := 0; iter < cfg.MaxIter; iter++ {
+			if counts[r][iter] != topo.Size() {
+				t.Fatalf("rank %d iter %d contributors = %d, want %d", r, iter, counts[r][iter], topo.Size())
+			}
+			wantSum := float64(iter+1) * float64(int(1)<<topo.Size()-1)
+			for j, got := range agg[r][iter] {
+				if got != wantSum {
+					t.Fatalf("rank %d iter %d slot %d = %v, want %v", r, iter, j, got, wantSum)
+				}
+			}
+		}
+	}
+}
+
+// TestTopKPlainRuntimeSelectsTopCoordinates pins the truncation itself:
+// with dim 64 every rank's default k is 32, so a single round over a
+// magnitude ramp must aggregate exactly the top half of the coordinates
+// and drop the rest on the wire.
+func TestTopKPlainRuntimeSelectsTopCoordinates(t *testing.T) {
+	topo := simnet.Topology{Nodes: 2, WorkersPerNode: 2}
+	cfg := Config{Topo: topo, MaxIter: 1, GroupThreshold: 0, Codec: exchange.TopK}
+	const dim = 64
+	agg, _ := runWLG(t, cfg, dim, func(r, iter int) []float64 {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = float64(j + 1) // magnitude ramp, identical on every rank
+		}
+		return v
+	})
+	n := float64(topo.Size())
+	for r := 0; r < topo.Size(); r++ {
+		for j, got := range agg[r][0] {
+			want := 0.0
+			if j >= dim/2 { // top 32 magnitudes are indices 32..63
+				want = n * float64(j+1)
+			}
+			if got != want {
+				t.Fatalf("rank %d slot %d = %v, want %v", r, j, got, want)
+			}
+		}
+	}
+}
+
+// TestTopKElasticRuntimeValuesOnly checks the elastic composition: the
+// dense transport is unchanged but contributions still pass through the
+// error-feedback state. With nnz < KMin the selection is the identity, so
+// a fault-free elastic topk run must agree with exact consensus.
+func TestTopKElasticRuntimeValuesOnly(t *testing.T) {
+	topo := simnet.Topology{Nodes: 2, WorkersPerNode: 2}
+	cfg := Config{Topo: topo, MaxIter: 3, GroupThreshold: 0, Codec: exchange.TopK, Elastic: true}
+	dim := 5
+	agg, counts := runWLG(t, cfg, dim, func(r, iter int) []float64 {
+		return rankVec(dim, r)
+	})
+	wantSum := math.Ldexp(1, topo.Size()) - 1 // Σ 2^r
+	for r := 0; r < topo.Size(); r++ {
+		for iter := 0; iter < cfg.MaxIter; iter++ {
+			if counts[r][iter] != topo.Size() {
+				t.Fatalf("rank %d iter %d contributors = %d, want %d", r, iter, counts[r][iter], topo.Size())
+			}
+			for j, got := range agg[r][iter] {
+				if got != wantSum {
+					t.Fatalf("rank %d iter %d slot %d = %v, want %v", r, iter, j, got, wantSum)
+				}
+			}
+		}
+	}
+}

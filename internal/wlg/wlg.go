@@ -79,8 +79,17 @@ type Config struct {
 	// the engine's registry binds (exchange.Kinds()). Lossy codecs round
 	// each worker's contribution in place before it enters the intra-node
 	// reduce, so the runtime aggregates exactly what a real lossy wire
-	// would deliver. Empty means the exact exchange.
+	// would deliver. Empty means the exact exchange. The top-k kinds
+	// additionally switch the plain runtime to sparse transport with a
+	// per-rank error-feedback state (see topk.go); the elastic runtime
+	// keeps dense frames and applies only the selection to the values.
 	Codec exchange.Kind
+	// CodecBudgetBytes targets the top-k codecs' adaptive selection in the
+	// plain runtime: each rank steers its k so its own contribution's wire
+	// bytes approach this figure. 0 keeps the default fixed k. Ignored by
+	// non-topk codecs and by the elastic runtime (dense frames make byte
+	// feedback meaningless there).
+	CodecBudgetBytes int64
 	// Elastic selects fail-survive semantics: worker deaths shrink the
 	// world instead of aborting the run. Each rank keeps a membership view
 	// fed by transport evidence, nodes re-elect their Leader as the first
@@ -143,6 +152,9 @@ func (c Config) Validate() error {
 	}
 	if _, err := c.codec(); err != nil {
 		return fmt.Errorf("wlg: %w", err)
+	}
+	if c.CodecBudgetBytes < 0 {
+		return fmt.Errorf("wlg: CodecBudgetBytes must be non-negative, got %d", c.CodecBudgetBytes)
 	}
 	return nil
 }
@@ -212,6 +224,11 @@ func RunWorkerInfo(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInfo, 
 // allocates nothing in the runtime itself (see DESIGN.md "Memory model &
 // buffer ownership"). Transport-level copies remain the fabric's business.
 func runWorkerPlain(ep transport.Endpoint, cfg Config, f WorkerFuncs) error {
+	if exchange.IsTopK(cfg.Codec) {
+		// Top-k changes WHICH coordinates travel; its loop runs the sparse
+		// collectives end to end instead of rounding a dense exchange.
+		return runWorkerPlainTopK(ep, cfg, f)
+	}
 	topo := cfg.Topo
 	rank := ep.Rank()
 	node := topo.NodeOf(rank)
