@@ -121,6 +121,10 @@ const (
 	PSRAADMMAsync = core.PSRAADMMAsync
 	// GRADMMSSP runs GR-ADMM's sparse Leader ring under SSP.
 	GRADMMSSP = core.GRADMMSSP
+	// PSRAHGADMMSharded is the staged aggregation tree with block-sharded
+	// consensus state: no rank holds the full model (see Config.ShardedState
+	// for the same bit on other variants).
+	PSRAHGADMMSharded = core.PSRAHGADMMSharded
 )
 
 // PSRA-HGADMM consensus modes (see Config.Consensus).

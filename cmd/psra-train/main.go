@@ -71,6 +71,9 @@ func main() {
 		jsonOut   = flag.String("json", "", "write the full run history as JSON to this file")
 		codecKB   = flag.Int64("codec-budget-bytes", 0, "per-round wire budget for top-k codecs: k adapts to stay under it (0 = no budget)")
 		codecTopK = flag.Int("codec-topk", 0, "fixed selection size for top-k codecs, overriding the dim/2 default (0 = default)")
+		codecAge  = flag.Bool("codec-age-scoring", false, "top-k codecs: weight selection by residual age so starved coordinates eventually ship")
+		sharded   = flag.Bool("sharded", false, "block-sharded consensus state: each rank holds only the model blocks its shard touches (BSP flat/star/tree only)")
+		shardBlk  = flag.Int("shard-blocks", 0, "block count for -sharded partitioning (0 = world size)")
 		chaosKill = flag.String("chaos-kill", "", "kill schedule rank@iter[,rank@iter...]: each rank dies at its iteration boundary")
 		chaosJoin = flag.String("chaos-rejoin", "", "rejoin schedule rank@iter[,...]: killed ranks return (requires -elastic=recover)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (with -chaos-kill)")
@@ -109,6 +112,9 @@ func main() {
 		Elastic:          elastic != "off",
 		CodecBudgetBytes: *codecKB,
 		CodecTopK:        *codecTopK,
+		CodecAgeScoring:  *codecAge,
+		ShardedState:     *sharded,
+		ShardBlocks:      *shardBlk,
 	}
 	if *chaosJoin != "" && elastic != "recover" {
 		fatal(fmt.Errorf("-chaos-rejoin requires -elastic=recover"))
@@ -209,8 +215,12 @@ func parseSchedule(s string) (map[int]int, error) {
 // (consensus, sync, codec) triple it binds.
 func listAlgorithms() {
 	for _, v := range psra.Variants() {
-		fmt.Printf("%-20s consensus=%-11s sync=%-5s codec=%-10s %s\n",
-			v.Name, v.Consensus, v.Sync, v.Codec, v.Description)
+		state := ""
+		if v.Sharded {
+			state = " state=sharded"
+		}
+		fmt.Printf("%-20s consensus=%-11s sync=%-5s codec=%-10s%s %s\n",
+			v.Name, v.Consensus, v.Sync, v.Codec, state, v.Description)
 	}
 }
 

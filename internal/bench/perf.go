@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"psrahgadmm/internal/collective"
 	"psrahgadmm/internal/core"
@@ -35,14 +36,40 @@ type PerfEntry struct {
 // hot path (vec kernel, sparse reduce, codec, collective, full engine
 // iteration), recorded on one machine as a comparison point — absolute
 // numbers are machine-dependent; allocs/op is the portable column and the
-// one the alloc-budget tests enforce.
+// one the alloc-budget tests enforce. ShardScale adds the sharded-state
+// comparison at simnet scale: per-rank resident bytes and total wire
+// bytes, dense vs block-sharded, at 64 and 256 ranks (both columns are
+// deterministic and machine-independent; only the timing column drifts).
 type PerfReport struct {
-	Schema     int         `json:"schema"`
-	GoVersion  string      `json:"go_version"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	MaxProcs   int         `json:"gomaxprocs"`
-	Benchmarks []PerfEntry `json:"benchmarks"`
+	Schema     int               `json:"schema"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	MaxProcs   int               `json:"gomaxprocs"`
+	Benchmarks []PerfEntry       `json:"benchmarks"`
+	ShardScale []ShardScaleEntry `json:"shard_scale,omitempty"`
+}
+
+// ShardScaleEntry records one dense-vs-sharded engine comparison: the same
+// flat BSP run twice, replicated z and block-sharded z, on a sparse
+// synthetic problem wide enough that subscriptions are genuinely partial.
+// Resident bytes are the max over live ranks of the consensus-state
+// footprint at the final iteration (IterStat.ResidentBytes); wire bytes
+// are the run totals. Both are bit-deterministic, so the perf gate
+// compares them exactly; ns/iter is informational.
+type ShardScaleEntry struct {
+	Name               string  `json:"name"`
+	Ranks              int     `json:"ranks"`
+	Blocks             int     `json:"blocks"`
+	MaxProcs           int     `json:"gomaxprocs"`
+	Iters              int     `json:"iters"`
+	DenseNsPerIter     float64 `json:"dense_ns_per_iter"`
+	ShardNsPerIter     float64 `json:"sharded_ns_per_iter"`
+	DenseResidentBytes int64   `json:"dense_resident_bytes"`
+	ShardResidentBytes int64   `json:"sharded_resident_bytes"`
+	MemoryReduction    float64 `json:"memory_reduction"`
+	DenseWireBytes     int64   `json:"dense_wire_bytes"`
+	ShardWireBytes     int64   `json:"sharded_wire_bytes"`
 }
 
 func perfEntry(name string, r testing.BenchmarkResult) PerfEntry {
@@ -246,7 +273,98 @@ func Perf(seed int64) (*PerfReport, error) {
 			return nil, runErr
 		}
 	}
+
+	// Layer 6: sharded state at simnet scale — 64 and 256 ranks, plus the
+	// 64-rank config re-run with GOMAXPROCS > 1 to exercise the crew
+	// executor's real parallelism (the engine's numerics are scheduling-
+	// independent, so only the timing column moves).
+	for _, sc := range shardScaleConfigs() {
+		entry, err := runShardScale(sc, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.ShardScale = append(rep.ShardScale, entry)
+	}
 	return rep, nil
+}
+
+// shardScaleConfig parameterizes one dense-vs-sharded scale point.
+type shardScaleConfig struct {
+	name     string
+	nodes    int
+	wpn      int
+	blocks   int
+	iters    int
+	rows     int
+	maxProcs int // 0 keeps the ambient GOMAXPROCS
+}
+
+func shardScaleConfigs() []shardScaleConfig {
+	return []shardScaleConfig{
+		{name: "core/shard-scale-64", nodes: 16, wpn: 4, blocks: 256, iters: 8, rows: 512},
+		{name: "core/shard-scale-256", nodes: 32, wpn: 8, blocks: 512, iters: 4, rows: 1024},
+		{name: "core/shard-scale-64-mp4", nodes: 16, wpn: 4, blocks: 256, iters: 8, rows: 512, maxProcs: 4},
+	}
+}
+
+// runShardScale runs one scale point twice — replicated, then sharded —
+// and reports the per-rank memory and wire-byte comparison.
+func runShardScale(sc shardScaleConfig, seed int64) (ShardScaleEntry, error) {
+	train, _, err := dataset.Generate(dataset.SynthConfig{
+		Name: "shard-scale", Dim: 16000, TrainRows: sc.rows, TestRows: 8, RowNNZ: 6,
+		ZipfS: 1.4, SignalNNZ: 60, NoiseFlip: 0.02, Seed: seed + 5,
+	})
+	if err != nil {
+		return ShardScaleEntry{}, err
+	}
+	if sc.maxProcs > 0 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(sc.maxProcs))
+	}
+	cfg := core.Config{
+		Algorithm: core.PSRAADMM,
+		Topo:      simnet.Topology{Nodes: sc.nodes, WorkersPerNode: sc.wpn},
+		Rho:       1.0,
+		Lambda:    0.5,
+		MaxIter:   sc.iters,
+		EvalEvery: sc.iters,
+	}
+	timed := func(cfg core.Config) (*core.Result, float64, error) {
+		start := time.Now()
+		res, err := core.Run(cfg, train, core.RunOptions{})
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, float64(time.Since(start).Nanoseconds()) / float64(sc.iters), nil
+	}
+	dense, denseNs, err := timed(cfg)
+	if err != nil {
+		return ShardScaleEntry{}, err
+	}
+	cfg.ShardedState = true
+	cfg.ShardBlocks = sc.blocks
+	sharded, shardNs, err := timed(cfg)
+	if err != nil {
+		return ShardScaleEntry{}, err
+	}
+	dRB := dense.History[len(dense.History)-1].ResidentBytes
+	sRB := sharded.History[len(sharded.History)-1].ResidentBytes
+	entry := ShardScaleEntry{
+		Name:               sc.name,
+		Ranks:              sc.nodes * sc.wpn,
+		Blocks:             sc.blocks,
+		MaxProcs:           runtime.GOMAXPROCS(0),
+		Iters:              sc.iters,
+		DenseNsPerIter:     denseNs,
+		ShardNsPerIter:     shardNs,
+		DenseResidentBytes: dRB,
+		ShardResidentBytes: sRB,
+		DenseWireBytes:     dense.TotalBytes,
+		ShardWireBytes:     sharded.TotalBytes,
+	}
+	if sRB > 0 {
+		entry.MemoryReduction = float64(dRB) / float64(sRB)
+	}
+	return entry, nil
 }
 
 // WritePerfReport runs the perf suite and writes the JSON report to path
@@ -259,6 +377,15 @@ func WritePerfReport(path string, out io.Writer, seed int64) error {
 	fmt.Fprintf(out, "%-36s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
 	for _, e := range rep.Benchmarks {
 		fmt.Fprintf(out, "%-36s %14.1f %12d %12d\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	if len(rep.ShardScale) > 0 {
+		fmt.Fprintf(out, "\n%-26s %6s %13s %13s %7s %13s %13s\n",
+			"shard scale", "ranks", "dense res B", "shard res B", "mem ×", "dense wire B", "shard wire B")
+		for _, e := range rep.ShardScale {
+			fmt.Fprintf(out, "%-26s %6d %13d %13d %7.2f %13d %13d\n",
+				e.Name, e.Ranks, e.DenseResidentBytes, e.ShardResidentBytes,
+				e.MemoryReduction, e.DenseWireBytes, e.ShardWireBytes)
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -318,6 +445,45 @@ func CheckPerfReport(path string, out io.Writer, seed int64, nsTol float64) erro
 	}
 	sort.Strings(leftover)
 	for _, name := range leftover {
+		failures = append(failures, fmt.Sprintf("%s: in snapshot but not produced by this run", name))
+	}
+
+	// Shard-scale entries gate on the deterministic columns: per-rank
+	// resident bytes and run wire bytes are bit-reproducible across
+	// machines, so any change means the partitioning or the collective's
+	// accounting changed — regenerate with -perf if intentional. Timing is
+	// never compared here.
+	wantSS := make(map[string]ShardScaleEntry, len(want.ShardScale))
+	for _, e := range want.ShardScale {
+		wantSS[e.Name] = e
+	}
+	for _, e := range rep.ShardScale {
+		w, ok := wantSS[e.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: not in snapshot (regenerate with -perf)", e.Name))
+			continue
+		}
+		delete(wantSS, e.Name)
+		status := "ok"
+		if e.ShardResidentBytes != w.ShardResidentBytes || e.DenseResidentBytes != w.DenseResidentBytes {
+			failures = append(failures, fmt.Sprintf("%s: resident bytes dense %d / sharded %d, snapshot %d / %d",
+				e.Name, e.DenseResidentBytes, e.ShardResidentBytes, w.DenseResidentBytes, w.ShardResidentBytes))
+			status = "FAIL"
+		}
+		if e.ShardWireBytes != w.ShardWireBytes || e.DenseWireBytes != w.DenseWireBytes {
+			failures = append(failures, fmt.Sprintf("%s: wire bytes dense %d / sharded %d, snapshot %d / %d",
+				e.Name, e.DenseWireBytes, e.ShardWireBytes, w.DenseWireBytes, w.ShardWireBytes))
+			status = "FAIL"
+		}
+		fmt.Fprintf(out, "%-4s %-36s mem reduction %.2fx (snapshot %.2fx)\n",
+			status, e.Name, e.MemoryReduction, w.MemoryReduction)
+	}
+	leftoverSS := make([]string, 0, len(wantSS))
+	for name := range wantSS {
+		leftoverSS = append(leftoverSS, name)
+	}
+	sort.Strings(leftoverSS)
+	for _, name := range leftoverSS {
 		failures = append(failures, fmt.Sprintf("%s: in snapshot but not produced by this run", name))
 	}
 	if len(failures) > 0 {

@@ -1,0 +1,268 @@
+package collective
+
+import (
+	"fmt"
+
+	"psrahgadmm/internal/shard"
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/wire"
+)
+
+// ShardAllreduceSparse is the shard-aware form of PSRAllreduceSparse: the
+// model is split into plan.Part.Blocks contiguous blocks, block b is owned
+// by the member at group position b % p, and member i holds (and cares
+// about) only the blocks in plan.Subs[i]. Each member sends every owner
+// exactly one global-coordinate message carrying its contribution to the
+// blocks they share, owners reduce per block in member order, and each
+// member receives back only its subscribed blocks' totals:
+//
+//	Scatter:  i → j   carries v restricted to Subs[i] ∩ Owned[j]
+//	Gather:   j → i   carries the reduced  Subs[i] ∩ Owned[j]
+//
+// A pair exchanges messages iff Subs[i] ∩ Owned[j] is statically non-empty
+// — decided by the plan alone, never by values, so message counts are
+// deterministic and a rank that happens to contribute zeros still
+// participates. out receives the reduced vector restricted to Subs[me]
+// (dimension plan.Part.Dim, coordinates global); entries of v outside
+// Subs[me] are ignored. out must not alias v.
+//
+// Under full subscription with Blocks == p the schedule, payloads, traces,
+// and float association reduce exactly to PSRAllreduceSparse — the sharded
+// engine's bit-identity escape hatch. With Blocks > p each owner holds
+// several blocks but still reduces each one independently in member order.
+func (ws *Workspace) ShardAllreduceSparse(ep transport.Endpoint, g Group, tagBase int32, plan *shard.Plan, v, out *sparse.Vector) (Trace, error) {
+	me, err := ws.validateGroup(ep, g)
+	if err != nil {
+		return Trace{}, err
+	}
+	p := g.Size()
+	if plan.Members() != p {
+		return Trace{}, fmt.Errorf("collective: shard plan has %d members, group %d", plan.Members(), p)
+	}
+	part := plan.Part
+	if v.Dim != part.Dim {
+		return Trace{}, fmt.Errorf("collective: shard input dim %d, want %d", v.Dim, part.Dim)
+	}
+	tr := Trace{Steps: 2, Events: ws.events[:0]}
+	if p == 1 {
+		out.ReuseFrom(v)
+		return tr, nil
+	}
+	sync := transport.SendsNonBlocking(ep)
+	ws.ensureSparse(p)
+	owned := (part.Blocks + p - 1 - me) / p // |{b : b % p == me}|
+	ws.ensureShard(p, owned)
+	subsMe := plan.Subs[me]
+
+	// Scatter-Reduce: one message per owner I share blocks with, carrying my
+	// contribution to those blocks in global coordinates. ws.own[j] is the
+	// outgoing buffer to owner j — once sent it is not rewritten until the
+	// next call, by which point owner j has folded it (it cannot have sent
+	// my gather reply, which this member consumed, before doing so).
+	for j := 0; j < p; j++ {
+		if j == me {
+			continue
+		}
+		msg := ws.own[j]
+		msg.Reset(part.Dim)
+		send := false
+		for _, b32 := range subsMe {
+			b := int(b32)
+			if plan.OwnerPos(b) != j {
+				continue
+			}
+			send = true
+			c := part.Chunk(b)
+			from, to := v.Range(c.Lo, c.Hi)
+			msg.Index = append(msg.Index, v.Index[from:to]...)
+			msg.Value = append(msg.Value, v.Value[from:to]...)
+		}
+		if !send {
+			continue
+		}
+		m := wire.SparseMsg(tagBase, msg)
+		tr.add(0, ep.Rank(), g.Ranks[j], wire.PayloadBytes(m))
+		if err := ws.send(ep, sync, g.Ranks[j], m); err != nil {
+			return tr, err
+		}
+	}
+
+	// Expected scatter arrivals: members whose subscription reaches a block
+	// I own — a static property of the plan.
+	arrivals := ws.arrS
+	expect := 0
+	for i := 0; i < p; i++ {
+		if i != me && planPairs(plan, i, me) {
+			expect++
+		}
+	}
+	for n := 0; n < expect; n++ {
+		in, err := ep.Recv(transport.AnySource, tagBase)
+		if err != nil {
+			return tr, err
+		}
+		sv, err := sparsePayload(in)
+		if err != nil {
+			return tr, err
+		}
+		if sv.Dim != part.Dim {
+			return tr, fmt.Errorf("collective: shard scatter dim %d, want %d", sv.Dim, part.Dim)
+		}
+		src := g.IndexOf(int(in.From))
+		if src < 0 || src == me || arrivals[src] != nil || !planPairs(plan, src, me) {
+			return tr, fmt.Errorf("collective: shard scatter unexpected sender %d", in.From)
+		}
+		arrivals[src] = sv
+	}
+	if err := ws.drainSends(); err != nil {
+		return tr, err
+	}
+
+	// Reduce each owned block independently: block-width accumulator, member
+	// order (me contributes from v at position me), so float association
+	// matches PSRAllreduceSparse's per-chunk reduction bit for bit.
+	subCur := 0
+	for bi := 0; bi < owned; bi++ {
+		b := me + bi*p
+		c := part.Chunk(b)
+		for subCur < len(subsMe) && int(subsMe[subCur]) < b {
+			subCur++
+		}
+		mine := subCur < len(subsMe) && int(subsMe[subCur]) == b
+		ws.acc.Reset(c.Len())
+		for i := 0; i < p; i++ {
+			src := v
+			if i != me {
+				src = arrivals[i]
+				if src == nil {
+					continue
+				}
+			} else if !mine {
+				// My own entries outside my subscription are ignored, like
+				// every other member's.
+				continue
+			}
+			from, to := src.Range(c.Lo, c.Hi)
+			ws.acc.AddRange(src, from, to, int32(c.Lo))
+		}
+		ws.shRed[bi] = ws.acc.SumInto(ws.shRed[bi])
+	}
+
+	// Allgather: send each subscriber of my blocks its reduced slices, again
+	// one global-coordinate message per pair. ws.shOut[i] is the outgoing
+	// buffer to member i, distinct from the scatter buffers so neither phase
+	// rewrites a payload the other may still alias on zero-copy fabrics.
+	for i := 0; i < p; i++ {
+		if i == me || !planPairs(plan, i, me) {
+			continue
+		}
+		msg := ws.shOut[i]
+		msg.Reset(part.Dim)
+		for _, b32 := range plan.Subs[i] {
+			b := int(b32)
+			if plan.OwnerPos(b) != me {
+				continue
+			}
+			c := part.Chunk(b)
+			red := ws.shRed[(b-me)/p]
+			for k, idx := range red.Index {
+				msg.Index = append(msg.Index, idx+int32(c.Lo))
+				msg.Value = append(msg.Value, red.Value[k])
+			}
+		}
+		m := wire.SparseMsg(tagBase+1, msg)
+		tr.add(1, ep.Rank(), g.Ranks[i], wire.PayloadBytes(m))
+		if err := ws.send(ep, sync, g.Ranks[i], m); err != nil {
+			return tr, err
+		}
+	}
+	gathered := ws.shArr
+	expect = 0
+	for j := 0; j < p; j++ {
+		if j != me && planPairs(plan, me, j) {
+			expect++
+		}
+	}
+	for n := 0; n < expect; n++ {
+		in, err := ep.Recv(transport.AnySource, tagBase+1)
+		if err != nil {
+			return tr, err
+		}
+		sv, err := sparsePayload(in)
+		if err != nil {
+			return tr, err
+		}
+		if sv.Dim != part.Dim {
+			return tr, fmt.Errorf("collective: shard gather dim %d, want %d", sv.Dim, part.Dim)
+		}
+		src := g.IndexOf(int(in.From))
+		if src < 0 || src == me || gathered[src] != nil || !planPairs(plan, me, src) {
+			return tr, fmt.Errorf("collective: shard gather unexpected sender %d", in.From)
+		}
+		gathered[src] = sv
+	}
+	if err := ws.drainSends(); err != nil {
+		return tr, err
+	}
+
+	// Assemble my subscribed blocks in ascending block order: owned blocks
+	// from my own reductions, the rest sliced out of the owners' replies.
+	out.Reset(part.Dim)
+	for _, b32 := range subsMe {
+		b := int(b32)
+		c := part.Chunk(b)
+		if j := plan.OwnerPos(b); j == me {
+			red := ws.shRed[(b-me)/p]
+			for k, idx := range red.Index {
+				out.Index = append(out.Index, idx+int32(c.Lo))
+				out.Value = append(out.Value, red.Value[k])
+			}
+		} else {
+			src := gathered[j]
+			from, to := src.Range(c.Lo, c.Hi)
+			out.Index = append(out.Index, src.Index[from:to]...)
+			out.Value = append(out.Value, src.Value[from:to]...)
+		}
+	}
+	ws.events = tr.Events
+	return tr, nil
+}
+
+// planPairs reports whether member i's subscription reaches any block
+// owned by member j — the static condition under which the pair exchanges
+// a scatter (i→j) and a gather (j→i) message.
+func planPairs(plan *shard.Plan, i, j int) bool {
+	for _, b := range plan.Subs[i] {
+		if plan.OwnerPos(int(b)) == j {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureShard sizes the sharded-collective scratch: gather arrivals and
+// per-destination outgoing buffers (p-wide) plus one reduced-block slot per
+// owned block.
+func (ws *Workspace) ensureShard(p, owned int) {
+	if cap(ws.shOut) < p {
+		out := make([]*sparse.Vector, p)
+		copy(out, ws.shOut)
+		ws.shOut = out
+		ws.shArr = make([]*sparse.Vector, p)
+	}
+	ws.shOut = ws.shOut[:p]
+	ws.shArr = ws.shArr[:p]
+	for i := range ws.shOut {
+		if ws.shOut[i] == nil {
+			ws.shOut[i] = new(sparse.Vector)
+		}
+		ws.shArr[i] = nil
+	}
+	if cap(ws.shRed) < owned {
+		red := make([]*sparse.Vector, owned)
+		copy(red, ws.shRed)
+		ws.shRed = red
+	}
+	ws.shRed = ws.shRed[:owned]
+}

@@ -1,0 +1,258 @@
+package collective
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"psrahgadmm/internal/shard"
+	"psrahgadmm/internal/sparse"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/vec"
+)
+
+// shardedInputs builds one sparse vector per member with support restricted
+// to its plan subscription.
+func shardedInputs(r *rand.Rand, plan *shard.Plan, density float64) []*sparse.Vector {
+	vs := make([]*sparse.Vector, plan.Members())
+	for i := range vs {
+		vs[i] = sparse.NewVector(plan.Part.Dim, 0)
+		for _, b := range plan.Subs[i] {
+			c := plan.Part.Chunk(int(b))
+			for j := c.Lo; j < c.Hi; j++ {
+				if r.Float64() < density {
+					vs[i].Append(int32(j), r.NormFloat64())
+				}
+			}
+		}
+	}
+	return vs
+}
+
+// shardedWant computes each member's expected output: per subscribed block,
+// the sum of all subscribers' contributions, in member order (the reduction
+// order the collective guarantees).
+func shardedWant(plan *shard.Plan, vs []*sparse.Vector) [][]float64 {
+	dim := plan.Part.Dim
+	blockSum := make([]float64, dim)
+	for b := 0; b < plan.Part.Blocks; b++ {
+		c := plan.Part.Chunk(b)
+		for i, v := range vs {
+			if !subscribes(plan, i, b) {
+				continue
+			}
+			from, to := v.Range(c.Lo, c.Hi)
+			for k := from; k < to; k++ {
+				blockSum[v.Index[k]] += v.Value[k]
+			}
+		}
+	}
+	want := make([][]float64, len(vs))
+	for i := range vs {
+		want[i] = make([]float64, dim)
+		for _, b := range plan.Subs[i] {
+			c := plan.Part.Chunk(int(b))
+			copy(want[i][c.Lo:c.Hi], blockSum[c.Lo:c.Hi])
+		}
+	}
+	return want
+}
+
+func subscribes(plan *shard.Plan, i, b int) bool {
+	for _, s := range plan.Subs[i] {
+		if int(s) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// randomPlan builds a plan where every member subscribes to each block with
+// probability q, forced non-empty, and every block keeps at least one
+// subscriber so no coordinate silently vanishes.
+func randomPlan(r *rand.Rand, dim, blocks, p int, q float64) *shard.Plan {
+	part := shard.NewPartition(dim, blocks)
+	subs := make([][]int32, p)
+	for i := range subs {
+		for b := 0; b < part.Blocks; b++ {
+			if r.Float64() < q {
+				subs[i] = append(subs[i], int32(b))
+			}
+		}
+		if len(subs[i]) == 0 {
+			subs[i] = append(subs[i], int32(r.Intn(part.Blocks)))
+		}
+	}
+	for b := 0; b < part.Blocks; b++ {
+		covered := false
+		for i := range subs {
+			if subscribes(&shard.Plan{Part: part, Subs: subs}, i, b) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			i := r.Intn(p)
+			at := 0
+			for at < len(subs[i]) && int(subs[i][at]) < b {
+				at++
+			}
+			subs[i] = append(subs[i], 0)
+			copy(subs[i][at+1:], subs[i][at:])
+			subs[i][at] = int32(b)
+		}
+	}
+	return &shard.Plan{Part: part, Subs: subs}
+}
+
+func TestShardAllreduceSparsePartial(t *testing.T) {
+	for _, tc := range []struct {
+		p, dim, blocks int
+		q              float64
+	}{
+		{1, 30, 4, 0.5},
+		{2, 40, 2, 0.7},
+		{3, 50, 7, 0.5},
+		{4, 64, 16, 0.3},
+		{5, 128, 64, 0.2},
+		{6, 97, 13, 0.4},
+	} {
+		t.Run(fmt.Sprintf("p=%d/dim=%d/B=%d", tc.p, tc.dim, tc.blocks), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(tc.p*10000 + tc.dim)))
+			plan := randomPlan(r, tc.dim, tc.blocks, tc.p, tc.q)
+			vs := shardedInputs(r, plan, 0.6)
+			want := shardedWant(plan, vs)
+			g := WorldGroup(tc.p)
+			var mu sync.Mutex
+			results := make([][]float64, tc.p)
+			runRanks(t, tc.p, func(ep transport.Endpoint) error {
+				var ws Workspace
+				out := new(sparse.Vector)
+				if _, err := ws.ShardAllreduceSparse(ep, g, 300, plan, vs[ep.Rank()], out); err != nil {
+					return err
+				}
+				if err := out.Check(); err != nil {
+					return err
+				}
+				mu.Lock()
+				results[ep.Rank()] = out.ToDense()
+				mu.Unlock()
+				return nil
+			})
+			for rk, got := range results {
+				if !vec.WithinTol(got, want[rk], 1e-12) {
+					t.Fatalf("rank %d sharded result wrong", rk)
+				}
+			}
+		})
+	}
+}
+
+// TestShardAllreduceSparseMatchesPSR pins the bit-identity escape hatch:
+// under full subscription with Blocks == p the sharded schedule must
+// reproduce PSRAllreduceSparse exactly — same result bits, same per-step
+// traced byte counts.
+func TestShardAllreduceSparseMatchesPSR(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 8} {
+		for _, dim := range []int{8, 57, 256} {
+			t.Run(fmt.Sprintf("p=%d/dim=%d", p, dim), func(t *testing.T) {
+				r := rand.New(rand.NewSource(int64(p*100 + dim)))
+				vs, _ := sparseInputs(r, p, dim, 0.4)
+				plan := shard.FullPlan(shard.NewPartition(dim, p), p)
+				g := WorldGroup(p)
+				var mu sync.Mutex
+				gotShard := make([][]float64, p)
+				shardBytes := make([]int, p)
+				runRanks(t, p, func(ep transport.Endpoint) error {
+					var ws Workspace
+					out := new(sparse.Vector)
+					tr, err := ws.ShardAllreduceSparse(ep, g, 300, plan, vs[ep.Rank()], out)
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					gotShard[ep.Rank()] = out.ToDense()
+					shardBytes[ep.Rank()] = tr.TotalBytes()
+					mu.Unlock()
+					return nil
+				})
+				gotPSR := make([][]float64, p)
+				psrBytes := make([]int, p)
+				runRanks(t, p, func(ep transport.Endpoint) error {
+					var ws Workspace
+					out := new(sparse.Vector)
+					tr, err := ws.PSRAllreduceSparse(ep, g, 300, vs[ep.Rank()], out)
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					gotPSR[ep.Rank()] = out.ToDense()
+					psrBytes[ep.Rank()] = tr.TotalBytes()
+					mu.Unlock()
+					return nil
+				})
+				for rk := range gotShard {
+					if !vec.Equal(gotShard[rk], gotPSR[rk]) {
+						t.Fatalf("rank %d: sharded result diverges bitwise from PSR", rk)
+					}
+					if shardBytes[rk] != psrBytes[rk] {
+						t.Fatalf("rank %d: sharded trace %dB, PSR %dB", rk, shardBytes[rk], psrBytes[rk])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardAllreduceSparseIgnoresUnsubscribed: support outside the sender's
+// subscription must not leak into anyone's totals, including the owner's
+// own stray entries on blocks it owns but does not subscribe to.
+func TestShardAllreduceSparseIgnoresUnsubscribed(t *testing.T) {
+	part := shard.NewPartition(12, 4) // blocks of 3; owner of b is b%3
+	plan := &shard.Plan{Part: part, Subs: [][]int32{{0, 1}, {1, 2}, {2, 3}}}
+	p := 3
+	vs := make([]*sparse.Vector, p)
+	for i := range vs {
+		vs[i] = sparse.NewVector(12, 0)
+		for j := 0; j < 12; j++ {
+			vs[i].Append(int32(j), 1) // full support: everything outside Subs[i] is noise
+		}
+	}
+	want := shardedWant(plan, restrictAll(plan, vs))
+	g := WorldGroup(p)
+	var mu sync.Mutex
+	results := make([][]float64, p)
+	runRanks(t, p, func(ep transport.Endpoint) error {
+		var ws Workspace
+		out := new(sparse.Vector)
+		if _, err := ws.ShardAllreduceSparse(ep, g, 300, plan, vs[ep.Rank()], out); err != nil {
+			return err
+		}
+		mu.Lock()
+		results[ep.Rank()] = out.ToDense()
+		mu.Unlock()
+		return nil
+	})
+	for rk, got := range results {
+		if !vec.WithinTol(got, want[rk], 0) {
+			t.Fatalf("rank %d: unsubscribed support leaked: got %v want %v", rk, got, want[rk])
+		}
+	}
+}
+
+// restrictAll drops every entry outside each member's subscription.
+func restrictAll(plan *shard.Plan, vs []*sparse.Vector) []*sparse.Vector {
+	out := make([]*sparse.Vector, len(vs))
+	for i, v := range vs {
+		out[i] = sparse.NewVector(v.Dim, 0)
+		for _, b := range plan.Subs[i] {
+			c := plan.Part.Chunk(int(b))
+			from, to := v.Range(c.Lo, c.Hi)
+			for k := from; k < to; k++ {
+				out[i].Append(v.Index[k], v.Value[k])
+			}
+		}
+	}
+	return out
+}

@@ -49,6 +49,14 @@ type Workspace struct {
 	spare   *sparse.Vector
 
 	arrD [][]float64
+
+	// Sharded-collective scratch (ShardAllreduceSparse): reduced owned
+	// blocks, gather-phase per-destination outgoing buffers, and gather
+	// arrival slots. Kept apart from own/cur/arrS so neither phase rewrites
+	// a payload the other may still alias on zero-copy fabrics.
+	shRed []*sparse.Vector
+	shOut []*sparse.Vector
+	shArr []*sparse.Vector
 }
 
 // validateGroup is Group.validate using ws.seen instead of a fresh map.

@@ -109,9 +109,13 @@ func buildSnapshot(cfg Config, env *strategyEnv, strat ConsensusStrategy, nextIt
 			CalTotal: w.calTotal,
 			XA:       append([]float64(nil), w.xA...),
 			YA:       append([]float64(nil), w.yA...),
-			ZDense:   append([]float64(nil), w.zDense...),
-			ZIdx:     append([]int32(nil), w.zSparse.Index...),
-			ZVal:     append([]float64(nil), w.zSparse.Value...),
+			// ZDense carries the rank's consensus storage as the rank holds
+			// it: the full dimension replicated, the compact subscribed-block
+			// concatenation sharded. The PSCK format is unchanged — only the
+			// slice's length differs.
+			ZDense: append([]float64(nil), w.zStore...),
+			ZIdx:   append([]int32(nil), w.zSparse.Index...),
+			ZVal:   append([]float64(nil), w.zSparse.Value...),
 		})
 	}
 	return snap
@@ -159,18 +163,19 @@ func restoreCheckpoint(ck *CheckpointOptions, cfg *Config, env *strategyEnv, str
 		}
 		seen[r] = true
 		w := env.ws[r]
-		if len(s.XA) != len(w.xA) || len(s.YA) != len(w.yA) || len(s.ZDense) != len(w.zDense) {
-			return 0, fmt.Errorf("core: snapshot rank %d state shape does not match this dataset", r)
+		if len(s.XA) != len(w.xA) || len(s.YA) != len(w.yA) || len(s.ZDense) != len(w.zStore) {
+			return 0, fmt.Errorf("core: snapshot rank %d state shape does not match this dataset (or its shard layout)", r)
 		}
 		if len(s.ZIdx) != len(s.ZVal) {
 			return 0, fmt.Errorf("core: snapshot rank %d sparse z index/value length mismatch", r)
 		}
 		// Copy INTO the existing slices: the worker's solver aliases yA
 		// (and zA) — reassigning the slice headers would silently detach
-		// the objective from the dual variable.
+		// the objective from the dual variable. zStore shares zDense's
+		// backing in replicated mode and IS the state in sharded mode.
 		copy(w.xA, s.XA)
 		copy(w.yA, s.YA)
-		copy(w.zDense, s.ZDense)
+		copy(w.zStore, s.ZDense)
 		w.zSparse = &sparse.Vector{
 			Dim:   env.dim,
 			Index: append([]int32(nil), s.ZIdx...),

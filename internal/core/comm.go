@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"psrahgadmm/internal/collective"
+	"psrahgadmm/internal/shard"
 	"psrahgadmm/internal/sparse"
 	"psrahgadmm/internal/transport"
 	"psrahgadmm/internal/vec"
@@ -20,6 +21,7 @@ const (
 	commPSRSparse commKind = iota
 	commRingSparse
 	commRingDense
+	commShardSparse
 )
 
 // abortOnError closes the scratch fabric the first time a group member
@@ -48,6 +50,7 @@ type crewJob struct {
 	in      *sparse.Vector
 	out     *sparse.Vector
 	dense   []float64
+	plan    *shard.Plan // commShardSparse only
 }
 
 // crew is the run-persistent collective executor: one goroutine per world
@@ -115,6 +118,8 @@ func (c *crew) serve(r int) {
 			tr, err = c.wss[r].RingAllreduceSparse(c.eps[r], job.g, job.tagBase, job.in, job.out)
 		case commRingDense:
 			tr, err = c.wss[r].RingAllreduceDense(c.eps[r], job.g, job.tagBase, job.dense)
+		case commShardSparse:
+			tr, err = c.wss[r].ShardAllreduceSparse(c.eps[r], job.g, job.tagBase, job.plan, job.in, job.out)
 		default:
 			err = fmt.Errorf("core: unknown comm kind %d", job.kind)
 		}
@@ -244,6 +249,32 @@ func groupAllreduce(env *strategyEnv, ranks []int, kind commKind, inputs []*spar
 	return c.mergedTrace(ranks), nil
 }
 
+// groupShardAllreduce runs the shard-aware PSR-Allreduce among the given
+// world ranks: each member ships only the blocks it subscribes to or owns,
+// and each member's RESTRICTED reduced result — its own subscription, not
+// the full W — lands in c.outs[r]. Unlike groupAllreduce there is no
+// single caller-owned aggregate: the whole point is that no rank holds the
+// full reduction. Results alias crew-owned vectors valid until the next
+// shard collective.
+func groupShardAllreduce(env *strategyEnv, ranks []int, plan *shard.Plan, inputs []*sparse.Vector) (collective.Trace, error) {
+	if len(ranks) != len(inputs) {
+		panic("core: groupShardAllreduce ranks/inputs mismatch")
+	}
+	c := env.crew
+	tagBase := env.nextTagBase()
+	g := collective.Group{Ranks: ranks}
+	c.stop.Store(false)
+	c.wg.Add(len(ranks))
+	for i, r := range ranks {
+		c.jobs[r] <- crewJob{kind: commShardSparse, g: g, tagBase: tagBase, in: inputs[i], out: c.outs[r], plan: plan}
+	}
+	c.wg.Wait()
+	if err := c.collect("shard allreduce", ranks); err != nil {
+		return collective.Trace{}, err
+	}
+	return c.mergedTrace(ranks), nil
+}
+
 // groupAllreduceDense runs the real dense Ring-Allreduce among the given
 // world ranks — ADMMLib's exchange: the full parameter vector circulates
 // regardless of sparsity. Inputs are copied into crew-owned per-member
@@ -353,6 +384,26 @@ func zFromW(w *sparse.Vector, lambda, rho float64, n int) *sparse.Vector {
 	out := sparse.NewVector(w.Dim, 0)
 	for k, idx := range w.Index {
 		if v := vec.SoftThreshold(w.Value[k], lambda) * inv; v != 0 {
+			out.Index = append(out.Index, idx)
+			out.Value = append(out.Value, v)
+		}
+	}
+	return out
+}
+
+// zFromWBlocks is zFromW with per-block contributor counts — the sharded
+// tree path's z-update: entry j averages over counts[BlockOf(j)], the live
+// subscribers whose objective actually couples to block j (block-wise
+// general-form consensus). When every count equals n it reproduces
+// zFromW(w, lambda, rho, n) bit for bit: the scalar expression is the same.
+func zFromWBlocks(w *sparse.Vector, lambda, rho float64, part shard.Partition, counts []int) *sparse.Vector {
+	out := sparse.NewVector(w.Dim, 0)
+	for k, idx := range w.Index {
+		n := counts[part.BlockOf(int(idx))]
+		if n <= 0 {
+			continue
+		}
+		if v := vec.SoftThreshold(w.Value[k], lambda) * (1 / (rho * float64(n))); v != 0 {
 			out.Index = append(out.Index, idx)
 			out.Value = append(out.Value, v)
 		}

@@ -73,6 +73,11 @@ const (
 	// PSRAADMMTopK drives the flat PSR-Allreduce with the top-k codec —
 	// the composition the zero-alloc budget test pins.
 	PSRAADMMTopK Algorithm = "psra-admm-topk"
+	// PSRAHGADMMSharded is the staged aggregation tree over block-sharded
+	// consensus state: the model is block-partitioned with PSR-style
+	// owners, each rank holds only the blocks its data touches, and no
+	// rank materializes the full model.
+	PSRAHGADMMSharded Algorithm = "psra-hgadmm-sharded"
 )
 
 // Config parameterizes one training run.
@@ -150,6 +155,11 @@ type Config struct {
 	// default. With CodecBudgetBytes zero the selection stays fixed at
 	// this k. Ignored by non-topk codecs.
 	CodecTopK int
+	// CodecAgeScoring weights the top-k codecs' selection by residual age:
+	// a coordinate that has waited a rounds in the error-feedback residual
+	// scores |v|·(1+a) instead of |v|, so starved coordinates ship before
+	// their accumulated mass overshoots. Ignored by non-topk codecs.
+	CodecAgeScoring bool
 	// CodecNoErrorFeedback disables the top-k codecs' residual accumulator
 	// — the ablation knob behind the acceptance test that shows error
 	// feedback is load-bearing. Dropped coordinates are then lost forever
@@ -181,6 +191,22 @@ type Config struct {
 	// z-update's contributor scaling grows back, so a kill-then-rejoin
 	// run converges to the same full-data optimum as an undisturbed one.
 	Elastic bool
+	// ShardedState switches the consensus state from replicated dense z to
+	// block-sharded z: the model splits into ShardBlocks contiguous blocks
+	// with deterministic owners (block b → group position b mod p), each
+	// rank subscribes only to the blocks its shard's features touch, and
+	// the z-update scales per block by its live subscriber count
+	// (general-form consensus). No rank materializes the full model;
+	// IterStat.ResidentBytes reports the per-rank footprint. Requires BSP
+	// and a flat/star/tree consensus strategy. False keeps the replicated
+	// engine bit-identical to its goldens. The psra-hgadmm-sharded variant
+	// sets this implicitly.
+	ShardedState bool
+	// ShardBlocks is the sharded-state block count (0 defaults to the
+	// worker count, the PSR chunk layout). More blocks than workers means
+	// each owner holds several blocks; subscriptions get finer and per-rank
+	// residency drops on sparse data. Ignored unless sharding is on.
+	ShardBlocks int
 }
 
 func (c *Config) fill() {
@@ -242,6 +268,9 @@ func (c Config) Validate() error {
 	if c.Tol < 0 {
 		return fmt.Errorf("core: Tol must be non-negative")
 	}
+	if c.ShardBlocks < 0 {
+		return fmt.Errorf("core: ShardBlocks must be non-negative, got %d", c.ShardBlocks)
+	}
 	if c.Faults != nil && len(c.Faults.RejoinAtIteration) > 0 {
 		if !c.Elastic {
 			return fmt.Errorf("core: Faults.RejoinAtIteration requires Elastic mode (fail-stop runs cannot re-admit ranks)")
@@ -297,6 +326,11 @@ type IterStat struct {
 	// PeerDowns is the cumulative count of peer-death observations across
 	// all ranks (the per-rank counters live in metrics.Health).
 	PeerDowns int64
+	// ResidentBytes is the largest per-rank consensus-state footprint this
+	// iteration: 8·(len(zStore)+len(xA)+len(yA)+len(zA)) over live ranks.
+	// Under sharded state zStore holds only the rank's subscribed blocks;
+	// replicated runs report the full-dimension figure.
+	ResidentBytes int64
 }
 
 // Result is a completed run.

@@ -146,7 +146,16 @@ func (st *flatStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	}
 	st.ranks, st.inputs = ranks, inputs
 	start := maxf(cutoff, st.lastEnd)
-	tr, err := groupAllreduce(env, ranks, commPSRSparse, inputs, st.agg)
+	var tr collective.Trace
+	var err error
+	if env.smap != nil {
+		// Shard-aware collective: each member ships only the blocks it
+		// subscribes to or owns, and receives back only its subscription —
+		// no rank materializes the full W.
+		tr, err = groupShardAllreduce(env, ranks, env.shardedPlan(ranks), inputs)
+	} else {
+		tr, err = groupAllreduce(env, ranks, commPSRSparse, inputs, st.agg)
+	}
 	if err != nil {
 		return timing, err
 	}
@@ -157,12 +166,25 @@ func (st *flatStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	end := start + commT
 	st.lastEnd = end
 
-	st.bigW = st.agg.ToDenseInto(st.bigW)
-	bigW := st.bigW
+	var bigW []float64
+	var counts []int
+	if env.smap != nil {
+		counts = env.shardLiveCounts()
+	} else {
+		st.bigW = st.agg.ToDenseInto(st.bigW)
+		bigW = st.bigW
+	}
 	calSum, commSum := 0.0, 0.0
 	for _, i := range fresh {
 		p := st.clocks[i].pending
-		ws[i].applyW(cfg, bigW, contributors)
+		if env.smap != nil {
+			// The rank's restricted reduction came back in its own crew
+			// slot; the z-update averages each block over its live
+			// subscribers.
+			ws[i].applyWShard(cfg, env.crew.outs[ws[i].rank], counts)
+		} else {
+			ws[i].applyW(cfg, bigW, contributors)
+		}
 		calSum += p.cals[0]
 		commSum += end - p.starts[0] - p.cals[0]
 		ws[i].clock = end

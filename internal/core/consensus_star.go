@@ -1,6 +1,7 @@
 package core
 
 import (
+	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/sparse"
 )
 
@@ -112,7 +113,15 @@ func (st *starStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 		acc.Add(wc)
 	}
 	zDense := make([]float64, env.dim)
-	solverZUpdate(zDense, acc.Sum().ToDense(), cfg.Lambda, cfg.Rho, contributors)
+	if env.smap != nil {
+		// Sharded z-update: each block averages over its live subscribers,
+		// not the global contributor count — off-subscription ranks never
+		// fed the block's W sum, so dividing by the world would bias z.
+		// Workers then retain only their subscribed blocks (applyZ branches).
+		solver.ZUpdateL1Blocks(zDense, acc.Sum().ToDense(), cfg.Lambda, cfg.Rho, env.shardBlockOffs(), env.shardLiveCounts())
+	} else {
+		solverZUpdate(zDense, acc.Sum().ToDense(), cfg.Lambda, cfg.Rho, contributors)
+	}
 	env.codec.EncodeDense(zDense)
 
 	calSum, commSum := 0.0, 0.0

@@ -9,6 +9,7 @@ import (
 	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/membership"
 	"psrahgadmm/internal/metrics"
+	"psrahgadmm/internal/shard"
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/transport"
@@ -80,6 +81,10 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", cfg.Algorithm, err)
 	}
+	sharded := variant.Sharded || cfg.ShardedState
+	if sharded && syncKind != SyncBSP {
+		return nil, fmt.Errorf("core: %s: sharded state requires BSP synchronization, got %s", cfg.Algorithm, syncKind)
+	}
 
 	ws := newWorkers(cfg, train)
 	// One scratch fabric serves every in-run collective; rank numbering
@@ -123,6 +128,26 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		members: members,
 		elastic: cfg.Elastic,
 	}
+	if sharded {
+		// Block-partition the dimension and subscribe each rank to the
+		// blocks its active columns fall into; workers drop their full-
+		// dimension iterate for the compact subscribed concatenation. The
+		// map is immutable for the run — elastic regroups change who is
+		// ALIVE, never who subscribes to what.
+		blocks := cfg.ShardBlocks
+		if blocks <= 0 {
+			blocks = cfg.Topo.Size()
+		}
+		part := shard.NewPartition(train.Dim(), blocks)
+		active := make([][]int32, len(ws))
+		for i, w := range ws {
+			active[i] = w.active
+		}
+		env.smap = shard.NewMap(part, active)
+		for _, w := range ws {
+			w.initShard(env.smap)
+		}
+	}
 	// The top-k codecs carry per-rank error-feedback state: the residual
 	// of dropped (and quantized-away) mass, merged back before the next
 	// selection, plus the adaptive k driven by CodecBudgetBytes. Every
@@ -133,6 +158,7 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		for r := range env.states {
 			s := exchange.NewState(codecKind, cfg.CodecBudgetBytes)
 			s.DisableErrorFeedback = cfg.CodecNoErrorFeedback
+			s.AgeScoring = cfg.CodecAgeScoring
 			if cfg.CodecTopK > 0 {
 				s.K = cfg.CodecTopK
 				s.KMin = cfg.CodecTopK
@@ -190,7 +216,17 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		if len(live) == 0 {
 			live = ws
 		}
-		res.Z = meanZ(live)
+		if env.smap != nil {
+			z := make([]float64, env.dim)
+			alive := members.Alive
+			if members.LiveCount() == 0 {
+				alive = func(int) bool { return true }
+			}
+			assembleShardedZ(z, ws, env.smap, alive)
+			res.Z = z
+		} else {
+			res.Z = meanZ(live)
+		}
 		res.LiveWorkers = members.LiveCount()
 		res.Epoch = members.Epoch()
 		res.Degraded = res.LiveWorkers < len(ws)
@@ -301,7 +337,22 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 			Epoch:       members.Epoch(),
 			PeerDowns:   health.TotalPeerDowns(),
 		}
-		meanZInto(zbar, live)
+		// Per-rank consensus-state footprint: max over live ranks. In
+		// replicated mode every rank carries the full dimension; sharded,
+		// only the subscribed blocks — the number the refactor shrinks.
+		var resident int64
+		for _, w := range live {
+			if rb := w.residentBytes(); rb > resident {
+				resident = rb
+			}
+		}
+		stat.ResidentBytes = resident
+		health.ResidentBytes.Set(resident)
+		if env.smap != nil {
+			assembleShardedZ(zbar, ws, env.smap, members.Alive)
+		} else {
+			meanZInto(zbar, live)
+		}
 		stat.PrimalRes, stat.DualRes = residuals(live, zbar, zPrev, cfg.Rho)
 		copy(zPrev, zbar)
 		if iter%cfg.EvalEvery == 0 || iter == cfg.MaxIter-1 {

@@ -73,6 +73,16 @@ func goldenCases() []goldenCase {
 		{"admmlib", func() Config { return base(ADMMLib) }},
 		{"ad-admm", func() Config { return base(ADADMM) }},
 		{"gc-admm", func() Config { return base(GCADMM) }},
+		// The sharded equivalence golden: same staged tree as psra-hgadmm
+		// but with block-sharded consensus state (4 blocks over the test
+		// data's dimension). Pins the sharded engine's trajectory — the
+		// per-block z-averaging, the restricted subscriptions, the
+		// shard-aware collective's accounting — bit for bit.
+		{"psra-hgadmm-sharded", func() Config {
+			cfg := base(PSRAHGADMMSharded)
+			cfg.ShardBlocks = 4
+			return cfg
+		}},
 	}
 }
 

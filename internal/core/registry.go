@@ -18,6 +18,11 @@ type Variant struct {
 	Consensus ConsensusKind
 	Sync      SyncKind
 	Codec     exchange.Kind
+	// Sharded runs the variant with block-sharded consensus state: the
+	// model dimension is block-partitioned, every rank holds only the
+	// blocks its data touches, and the z-update averages each block over
+	// its live subscribers. Config.ShardedState sets the same bit per run.
+	Sharded bool
 	// Description is the one-line summary the CLIs print when enumerating
 	// the registry.
 	Description string
@@ -55,6 +60,16 @@ func Register(v Variant) {
 	if sparseOnly(v.Consensus) && denseKind(v.Codec) {
 		panic(fmt.Sprintf("core: Register(%s): %s consensus cannot carry the %s codec",
 			v.Name, v.Consensus, v.Codec))
+	}
+	if v.Sharded {
+		switch v.Consensus {
+		case ConsensusFlat, ConsensusStar, ConsensusTree:
+		default:
+			panic(fmt.Sprintf("core: Register(%s): sharded state does not support %s consensus", v.Name, v.Consensus))
+		}
+		if v.Sync != SyncBSP {
+			panic(fmt.Sprintf("core: Register(%s): sharded state requires BSP, got %s", v.Name, v.Sync))
+		}
 	}
 	registry.byName[v.Name] = v
 	registry.order = append(registry.order, v.Name)
@@ -188,5 +203,14 @@ func init() {
 	Register(Variant{
 		Name: PSRAADMMTopK, Consensus: ConsensusFlat, Sync: SyncBSP, Codec: exchange.TopK,
 		Description: "new composition: flat sparse PSR-Allreduce over top-k error-feedback contributions",
+	})
+
+	// Block-sharded consensus state: no rank holds the full model. The
+	// dimension is block-partitioned (ShardBlocks, default world size),
+	// every rank stores only the blocks its shard's active columns touch,
+	// and the z-update averages each block over its live subscribers.
+	Register(Variant{
+		Name: PSRAHGADMMSharded, Consensus: ConsensusTree, Sync: SyncBSP, Codec: exchange.Sparse, Sharded: true,
+		Description: "block-sharded state: staged aggregation tree with per-block subscriber z-averaging; no rank holds the full model",
 	})
 }

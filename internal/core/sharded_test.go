@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"psrahgadmm/internal/checkpoint"
+	"psrahgadmm/internal/dataset"
+	"psrahgadmm/internal/shard"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/vec"
+)
+
+// The sharded-state equivalence suite. The refactor's contract has two
+// regimes: under FULL subscription (every rank subscribed to every block)
+// the sharded engine must reproduce the replicated engine's optimization
+// trajectory bit for bit — same z, same objectives, same residuals; under
+// PARTIAL subscription it solves the same problem with a per-block
+// contributor scaling, converging to the same optimum with a fraction of
+// the per-rank memory.
+
+// mathFieldsEqual compares the optimization-trajectory fields of two
+// IterStats bitwise (NaN == NaN). Wire accounting (Bytes, CommTime) is
+// deliberately excluded: the shard-aware collective runs a different
+// schedule, so its traffic differs even when the math is identical.
+func mathFieldsEqual(a, b IterStat) bool {
+	feq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return a.Iter == b.Iter &&
+		feq(a.Objective, b.Objective) && feq(a.Accuracy, b.Accuracy) &&
+		feq(a.PrimalRes, b.PrimalRes) && feq(a.DualRes, b.DualRes) &&
+		feq(a.Rho, b.Rho)
+}
+
+func runPair(t *testing.T, cfg Config, train, test *dataset.Dataset, blocks int) (*Result, *Result) {
+	t.Helper()
+	dense, err := Run(cfg, train, RunOptions{Test: test})
+	if err != nil {
+		t.Fatalf("replicated run: %v", err)
+	}
+	sh := cfg
+	sh.ShardedState = true
+	sh.ShardBlocks = blocks
+	sharded, err := Run(sh, train, RunOptions{Test: test})
+	if err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	return dense, sharded
+}
+
+// TestShardedFullSubscriptionBitIdentical: with one block spanning the
+// whole dimension, every rank subscribes to everything, so the sharded
+// engine's per-block machinery — the compact store, the restricted sparse
+// views, the subscriber-count z-scaling, the shard-aware collective — must
+// reduce exactly to the replicated recursion for every supported topology.
+func TestShardedFullSubscriptionBitIdentical(t *testing.T) {
+	train, test := testData(t, 160)
+	for _, alg := range []Algorithm{PSRAADMM, GCADMM, PSRAHGADMM} {
+		t.Run(string(alg), func(t *testing.T) {
+			cfg := baseConfig(alg, 4, 2)
+			cfg.MaxIter = 10
+			cfg.EvalEvery = 2
+			cfg.GroupThreshold = 2
+			dense, sharded := runPair(t, cfg, train, test, 1)
+			for i := range dense.History {
+				if !mathFieldsEqual(dense.History[i], sharded.History[i]) {
+					t.Fatalf("iter %d diverged:\nreplicated %+v\nsharded    %+v",
+						i, dense.History[i], sharded.History[i])
+				}
+			}
+			if !vec.Equal(dense.Z, sharded.Z) {
+				t.Fatal("final iterates differ bitwise")
+			}
+		})
+	}
+}
+
+// denseTouchData builds a problem where every worker's shard touches every
+// block of an 8-block partition — full subscription with real multi-block
+// structure, so the per-block code paths (block cursors, restricted
+// assembly, per-block counts) all run while the bit-identity contract
+// still applies.
+func denseTouchData(t *testing.T) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	train, test, err := dataset.Generate(dataset.SynthConfig{
+		Name: "full-touch", Dim: 48, TrainRows: 240, TestRows: 40, RowNNZ: 10,
+		ZipfS: 1.1, SignalNNZ: 20, NoiseFlip: 0.02, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+// TestShardedMultiBlockBitIdentical is the property test of the bitwise
+// contract on a REAL multi-block partition: flat, star, and tree sharded
+// runs must follow the replicated trajectory exactly whenever subscription
+// is full — which the test verifies from the actual shard layout rather
+// than assuming.
+func TestShardedMultiBlockBitIdentical(t *testing.T) {
+	train, test := denseTouchData(t)
+	const blocks = 8
+	for _, alg := range []Algorithm{PSRAADMM, GCADMM, PSRAHGADMM} {
+		t.Run(string(alg), func(t *testing.T) {
+			cfg := baseConfig(alg, 3, 2)
+			cfg.MaxIter = 8
+			cfg.EvalEvery = 2
+			cfg.GroupThreshold = 2
+
+			// Precondition, not assumption: every rank must touch all 8
+			// blocks, or the bitwise claim does not apply.
+			ws := newWorkers(cfg, train)
+			active := make([][]int32, len(ws))
+			for i, w := range ws {
+				active[i] = w.active
+			}
+			m := shard.NewMap(shard.NewPartition(train.Dim(), blocks), active)
+			if !m.FullSubscription() {
+				t.Fatal("test data does not give full subscription; pick denser data")
+			}
+
+			dense, sharded := runPair(t, cfg, train, test, blocks)
+			for i := range dense.History {
+				if !mathFieldsEqual(dense.History[i], sharded.History[i]) {
+					t.Fatalf("iter %d diverged:\nreplicated %+v\nsharded    %+v",
+						i, dense.History[i], sharded.History[i])
+				}
+			}
+			if !vec.Equal(dense.Z, sharded.Z) {
+				t.Fatal("final iterates differ bitwise")
+			}
+		})
+	}
+}
+
+// TestShardedPartialSubscriptionMemoryAndConvergence is the acceptance
+// test of the tentpole: at 16 ranks on sparse synthetic data, the sharded
+// engine must hold at least 4× less consensus state per rank than the
+// replicated engine while converging to within 1e-3 relative objective of
+// it, and its shard-aware collective must also move fewer bytes.
+func TestShardedPartialSubscriptionMemoryAndConvergence(t *testing.T) {
+	train, _, err := dataset.Generate(dataset.SynthConfig{
+		Name: "shard-mem", Dim: 16000, TrainRows: 480, TestRows: 8, RowNNZ: 6,
+		ZipfS: 1.4, SignalNNZ: 60, NoiseFlip: 0.02, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(PSRAADMM, 8, 2) // 16 ranks
+	cfg.MaxIter = 80
+	cfg.EvalEvery = cfg.MaxIter
+	dense, sharded := runPair(t, cfg, train, nil, 128)
+
+	dRB := dense.History[len(dense.History)-1].ResidentBytes
+	sRB := sharded.History[len(sharded.History)-1].ResidentBytes
+	if dRB <= 0 || sRB <= 0 {
+		t.Fatalf("resident bytes not reported: dense=%d sharded=%d", dRB, sRB)
+	}
+	if ratio := float64(dRB) / float64(sRB); ratio < 4 {
+		t.Fatalf("per-rank memory reduction %.2fx (dense %d B, sharded %d B), want >= 4x", ratio, dRB, sRB)
+	}
+	fd, fs := dense.FinalObjective(), sharded.FinalObjective()
+	if rel := math.Abs(fs-fd) / math.Abs(fd); rel > 1e-3 {
+		t.Fatalf("sharded objective %v vs replicated %v: rel %v > 1e-3", fs, fd, rel)
+	}
+	if sharded.TotalBytes >= dense.TotalBytes {
+		t.Fatalf("shard-aware collective moved %d bytes, replicated %d: expected fewer", sharded.TotalBytes, dense.TotalBytes)
+	}
+}
+
+// TestShardedChaosRejoinResume: the fail-recover story under sharded
+// state. A rank dies mid-run and rejoins; the run checkpoints every
+// iteration into sharded PSCK snapshots (each rank's z entry is its
+// compact subscribed-block store); cutting the run and resuming from the
+// snapshot must reproduce the uninterrupted chaos run bit for bit — which
+// it can only do if the killed-and-rejoined rank's owned blocks came back
+// intact from the snapshot and the rejoin warm-start.
+func TestShardedChaosRejoinResume(t *testing.T) {
+	train, test := testData(t, 160)
+	const cut = 9
+	mk := func() Config {
+		cfg := baseConfig(PSRAHGADMMSharded, 4, 2)
+		cfg.MaxIter = 14
+		cfg.GroupThreshold = 2
+		cfg.Elastic = true
+		cfg.Faults = &transport.FaultPlan{
+			Seed:              13,
+			KillAtIteration:   map[int]int{3: 4},
+			RejoinAtIteration: map[int]int{3: 7},
+		}
+		return cfg
+	}
+
+	golden, err := Run(mk(), train, RunOptions{Test: test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.Degraded || golden.LiveWorkers != 8 {
+		t.Fatalf("chaos run did not recover: live=%d degraded=%v", golden.LiveWorkers, golden.Degraded)
+	}
+
+	store := checkpoint.NewMemStore()
+	cfgCut := mk()
+	cfgCut.MaxIter = cut
+	if _, err := Run(cfgCut, train, RunOptions{
+		Test:       test,
+		Checkpoint: &CheckpointOptions{Store: store, Every: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Run(mk(), train, RunOptions{
+		Test:       test,
+		Checkpoint: &CheckpointOptions{Store: store, Every: 1, Resume: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.History) != len(golden.History)-cut {
+		t.Fatalf("resumed history %d iterations, want %d", len(resumed.History), len(golden.History)-cut)
+	}
+	for i, got := range resumed.History {
+		if !statBitEqual(got, golden.History[cut+i]) {
+			t.Fatalf("iter %d diverged after resume:\nresumed %+v\ngolden  %+v", cut+i, got, golden.History[cut+i])
+		}
+	}
+	if !vec.Equal(resumed.Z, golden.Z) {
+		t.Fatal("resumed final iterate differs from uninterrupted chaos run")
+	}
+}
+
+// TestShardedRejectsUnsupportedCompositions: sharded state is defined for
+// BSP flat/star/tree only; the ring hierarchy and the relaxed barriers
+// must be rejected up front, not fail mysteriously mid-run.
+func TestShardedRejectsUnsupportedCompositions(t *testing.T) {
+	train, _ := testData(t, 80)
+	for _, alg := range []Algorithm{GRADMM, PSRAHGADMMGroup, ADMMLib, ADADMM, PSRAADMMAsync} {
+		cfg := baseConfig(alg, 2, 2)
+		cfg.MaxIter = 2
+		cfg.ShardedState = true
+		if _, err := Run(cfg, train, RunOptions{}); err == nil {
+			t.Fatalf("%s accepted sharded state", alg)
+		}
+	}
+}
+
+// TestAgeScoringSmallKConvergence is the codec satellite's acceptance at
+// the integration level: at a starvation-inducing selection size (k=4 of
+// a ~200-coordinate support) the age-weighted run must converge — real
+// progress, and a final objective within a modest factor of plain
+// magnitude selection. Age scoring trades a little top-coordinate
+// bandwidth for shipping starved mass, so exact parity is not expected;
+// what the test rules out is the round-robin degeneration an unbounded
+// age boost produces (2–3× worse objectives before ageBoostCap bounded
+// the multiplier). The starvation-rescue property itself is proven
+// deterministically in exchange/age_test.go.
+func TestAgeScoringSmallKConvergence(t *testing.T) {
+	train, _ := testData(t, 160)
+	run := func(age bool) *Result {
+		cfg := baseConfig(PSRAADMMTopK, 4, 2)
+		cfg.MaxIter = 60
+		cfg.EvalEvery = cfg.MaxIter
+		cfg.CodecTopK = 4
+		cfg.CodecAgeScoring = age
+		res, err := Run(cfg, train, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(false)
+	aged := run(true)
+	if f0 := plain.History[0].Objective; plain.FinalObjective() >= 0.8*f0 {
+		t.Fatalf("plain top-k made no real progress: %v -> %v", f0, plain.FinalObjective())
+	}
+	if f0 := aged.History[0].Objective; aged.FinalObjective() >= 0.8*f0 {
+		t.Fatalf("age-scored top-k made no real progress: %v -> %v", f0, aged.FinalObjective())
+	}
+	if aged.FinalObjective() > plain.FinalObjective()*1.15 {
+		t.Fatalf("age scoring diverged from plain magnitude at small k: %v vs %v (want within 15%%)",
+			aged.FinalObjective(), plain.FinalObjective())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"psrahgadmm/internal/dataset"
+	"psrahgadmm/internal/shard"
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/sparse"
@@ -35,6 +36,7 @@ func maxf(a, b float64) float64 {
 // solvers make the same move.)
 type worker struct {
 	rank  int
+	dim   int              // full model dimension
 	shard *dataset.Dataset // original shard (full column space, for evaluation)
 
 	// Active-subspace problem.
@@ -44,9 +46,22 @@ type worker struct {
 	xA, yA  []float64 // primal/dual over active columns
 	zA      []float64 // consensus gathered onto active columns
 
-	// Consensus view.
-	zDense  []float64      // full-dimension copy (evaluation, mean-z)
-	zSparse *sparse.Vector // same iterate, sparse (w construction)
+	// Consensus view. zStore is what the hot paths actually read: in
+	// replicated mode it shares zDense's backing (and activePos aliases
+	// active), so the unified indirection reads the identical memory; in
+	// sharded mode it is the compact concatenation of the rank's
+	// subscribed blocks, zDense is nil, and no full-dimension iterate
+	// exists on this rank.
+	zDense    []float64      // full-dimension copy (replicated mode only)
+	zStore    []float64      // consensus storage the hot paths index
+	activePos []int32        // zStore position of each active column
+	zSparse   *sparse.Vector // same iterate, sparse (w construction)
+
+	// Sharded-state view (nil smap means replicated mode). subOff[i] is
+	// the zStore offset of subscribed block Subs[rank][i]; the trailing
+	// entry is len(zStore).
+	smap   *shard.Map
+	subOff []int
 
 	// clock is the worker's virtual time; calTotal accumulates compute.
 	clock    float64
@@ -73,14 +88,69 @@ func newWorkers(cfg Config, train *dataset.Dataset) []*worker {
 	dim := train.Dim()
 	ws := make([]*worker, n)
 	for i := range ws {
-		w := &worker{rank: i, shard: shards[i]}
+		w := &worker{rank: i, dim: dim, shard: shards[i]}
 		w.buildActive(dim)
 		w.obj = solver.NewLogisticProx(w.compact, w.shard.Labels, cfg.Rho, w.yA, w.zA)
 		w.zDense = make([]float64, dim)
+		w.zStore = w.zDense
+		w.activePos = w.active
 		w.zSparse = sparse.NewVector(dim, 0)
 		ws[i] = w
 	}
 	return ws
+}
+
+// initShard switches the worker from replicated to block-sharded consensus
+// state: zDense is dropped, zStore shrinks to the concatenation of the
+// subscribed blocks, and activePos re-targets each active column to its
+// position in the compact store. Called once, before the first iteration.
+func (w *worker) initShard(m *shard.Map) {
+	w.smap = m
+	subs := m.Subs[w.rank]
+	w.subOff = make([]int, len(subs)+1)
+	total := 0
+	for i, b := range subs {
+		w.subOff[i] = total
+		total += m.Part.Chunk(int(b)).Len()
+	}
+	w.subOff[len(subs)] = total
+	w.zStore = make([]float64, total)
+	w.zDense = nil
+	w.activePos = make([]int32, len(w.active))
+	si := 0
+	for i, c := range w.active {
+		b := m.Part.BlockOf(int(c))
+		for int(subs[si]) != b {
+			si++ // active sorted → blocks non-decreasing → cursor, not search
+		}
+		w.activePos[i] = int32(w.subOff[si] + int(c) - m.Part.Chunk(b).Lo)
+	}
+}
+
+// subIdx returns the subscription position of block b, or -1 when the
+// worker does not subscribe to it.
+func (w *worker) subIdx(b int) int {
+	subs := w.smap.Subs[w.rank]
+	i := sort.Search(len(subs), func(k int) bool { return int(subs[k]) >= b })
+	if i < len(subs) && int(subs[i]) == b {
+		return i
+	}
+	return -1
+}
+
+// blockView returns the worker's stored view of subscribed block b (the
+// no-copy zStore slice), or nil when unsubscribed.
+func (w *worker) blockView(b int) []float64 {
+	if i := w.subIdx(b); i >= 0 {
+		return w.zStore[w.subOff[i]:w.subOff[i+1]]
+	}
+	return nil
+}
+
+// residentBytes is the rank's consensus-state footprint: the z storage the
+// rank actually holds plus the active-subspace primal/dual/gather arrays.
+func (w *worker) residentBytes() int64 {
+	return 8 * int64(len(w.zStore)+len(w.xA)+len(w.yA)+len(w.zA))
 }
 
 // buildActive computes the shard's active column set and the remapped CSR.
@@ -118,9 +188,11 @@ func (w *worker) buildActive(dim int) {
 // subspace and returns the deterministic virtual compute time, scaled by
 // the straggler and jitter factors for (iter, rank).
 func (w *worker) xUpdate(cfg Config, iter int) float64 {
-	// Gather the consensus onto the active columns.
-	for i, c := range w.active {
-		w.zA[i] = w.zDense[c]
+	// Gather the consensus onto the active columns. In replicated mode
+	// zStore/activePos alias zDense/active, so these are the identical
+	// memory reads the pre-sharding engine performed.
+	for i, p := range w.activePos {
+		w.zA[i] = w.zStore[p]
 	}
 	var res solver.TronResult
 	if len(w.active) > 0 {
@@ -141,14 +213,14 @@ func (w *worker) xUpdate(cfg Config, iter int) float64 {
 // active columns carry y_A + ρ·x_A; off-active columns carry ρ·z_j on the
 // consensus support (the closed-form x_j = z_j, y_j = 0 there).
 func (w *worker) wSparse(rho float64) *sparse.Vector {
-	return w.wSparseInto(sparse.NewVector(len(w.zDense), len(w.active)+w.zSparse.NNZ()), rho)
+	return w.wSparseInto(sparse.NewVector(w.dim, len(w.active)+w.zSparse.NNZ()), rho)
 }
 
 // wSparseInto is wSparse writing into out (emptied first, backing arrays
 // reused). The merge order and zero-skipping are identical to the
 // allocating form, so reuse never perturbs the bit-exact histories.
 func (w *worker) wSparseInto(out *sparse.Vector, rho float64) *sparse.Vector {
-	out.Reset(len(w.zDense))
+	out.Reset(w.dim)
 	ai, zi := 0, 0
 	for ai < len(w.active) || zi < w.zSparse.NNZ() {
 		switch {
@@ -182,6 +254,10 @@ func (w *worker) wSparseInto(out *sparse.Vector, rho float64) *sparse.Vector {
 // doc comment). zSparse may be nil, in which case it is derived from
 // zDense. The worker copies the dense form and retains the sparse one.
 func (w *worker) applyZ(cfg Config, zDense []float64, zSparse *sparse.Vector) {
+	if w.smap != nil {
+		w.applyZShard(cfg, zDense, zSparse)
+		return
+	}
 	copy(w.zDense, zDense)
 	if zSparse != nil {
 		w.zSparse = zSparse
@@ -200,6 +276,91 @@ func (w *worker) applyZ(cfg Config, zDense []float64, zSparse *sparse.Vector) {
 	}
 	for i, c := range w.active {
 		w.yA[i] += cfg.Rho * (w.xA[i] - zDense[c])
+	}
+}
+
+// applyZShard is applyZ for a sharded worker given a full-dimension z (the
+// star/tree delivery paths): the store keeps only the subscribed blocks,
+// the retained sparse view is restricted to the subscription, and the dual
+// update runs through the compact positions.
+func (w *worker) applyZShard(cfg Config, zDense []float64, zSparse *sparse.Vector) {
+	subs := w.smap.Subs[w.rank]
+	for i, b := range subs {
+		c := w.smap.Part.Chunk(int(b))
+		copy(w.zStore[w.subOff[i]:w.subOff[i+1]], zDense[c.Lo:c.Hi])
+	}
+	nb := w.zOwn[w.zOwnIdx]
+	if nb == nil {
+		nb = new(sparse.Vector)
+		w.zOwn[w.zOwnIdx] = nb
+	}
+	w.zOwnIdx = 1 - w.zOwnIdx
+	nb.Reset(w.dim)
+	if zSparse != nil {
+		for _, b := range subs {
+			c := w.smap.Part.Chunk(int(b))
+			from, to := zSparse.Range(c.Lo, c.Hi)
+			nb.Index = append(nb.Index, zSparse.Index[from:to]...)
+			nb.Value = append(nb.Value, zSparse.Value[from:to]...)
+		}
+	} else {
+		for i, b := range subs {
+			c := w.smap.Part.Chunk(int(b))
+			for p := w.subOff[i]; p < w.subOff[i+1]; p++ {
+				if v := w.zStore[p]; v != 0 {
+					nb.Index = append(nb.Index, int32(c.Lo+p-w.subOff[i]))
+					nb.Value = append(nb.Value, v)
+				}
+			}
+		}
+	}
+	w.zSparse = nb
+	for i, p := range w.activePos {
+		w.yA[i] += cfg.Rho * (w.xA[i] - w.zStore[p])
+	}
+}
+
+// applyWShard consumes the sharded collective's reduced W — sparse, global
+// coordinates, restricted to the rank's subscription — and computes the
+// subscribed blocks' z directly into the compact store, scaling block b by
+// counts[b] (its live subscriber count). The scalar expression is
+// ZUpdateL1's, so equal counts reproduce the replicated flat path's values
+// bit for bit.
+func (w *worker) applyWShard(cfg Config, bigW *sparse.Vector, counts []int) {
+	vec.Zero(w.zStore)
+	nb := w.zOwn[w.zOwnIdx]
+	if nb == nil {
+		nb = new(sparse.Vector)
+		w.zOwn[w.zOwnIdx] = nb
+	}
+	w.zOwnIdx = 1 - w.zOwnIdx
+	nb.Reset(w.dim)
+	subs := w.smap.Subs[w.rank]
+	si := 0
+	for k, idx := range bigW.Index {
+		b := w.smap.Part.BlockOf(int(idx))
+		for si < len(subs) && int(subs[si]) < b {
+			si++ // indices sorted → blocks non-decreasing
+		}
+		if si >= len(subs) || int(subs[si]) != b {
+			continue // outside my subscription: not my state
+		}
+		n := counts[b]
+		if n <= 0 {
+			continue
+		}
+		v := vec.SoftThreshold(bigW.Value[k], cfg.Lambda) * (1 / (cfg.Rho * float64(n)))
+		if v == 0 {
+			continue
+		}
+		c := w.smap.Part.Chunk(b)
+		w.zStore[w.subOff[si]+int(idx)-c.Lo] = v
+		nb.Index = append(nb.Index, idx)
+		nb.Value = append(nb.Value, v)
+	}
+	w.zSparse = nb
+	for i, p := range w.activePos {
+		w.yA[i] += cfg.Rho * (w.xA[i] - w.zStore[p])
 	}
 }
 
@@ -225,6 +386,36 @@ func (w *worker) applyW(cfg Config, bigW []float64, contributors int) {
 // closer to the optimum than zero). The clock jump is supplied by the
 // engine (the live maximum).
 func (w *worker) rejoin(z []float64, clock float64) {
+	if w.smap != nil {
+		// Sharded rejoin: restrict the cluster's iterate to the rank's
+		// subscription — the only state this rank ever holds.
+		subs := w.smap.Subs[w.rank]
+		for i, b := range subs {
+			c := w.smap.Part.Chunk(int(b))
+			copy(w.zStore[w.subOff[i]:w.subOff[i+1]], z[c.Lo:c.Hi])
+		}
+		nb := w.zOwn[w.zOwnIdx]
+		if nb == nil {
+			nb = new(sparse.Vector)
+			w.zOwn[w.zOwnIdx] = nb
+		}
+		w.zOwnIdx = 1 - w.zOwnIdx
+		nb.Reset(w.dim)
+		for _, b := range subs {
+			c := w.smap.Part.Chunk(int(b))
+			for j := c.Lo; j < c.Hi; j++ {
+				if v := z[j]; v != 0 {
+					nb.Index = append(nb.Index, int32(j))
+					nb.Value = append(nb.Value, v)
+				}
+			}
+		}
+		w.zSparse = nb
+		if clock > w.clock {
+			w.clock = clock
+		}
+		return
+	}
 	copy(w.zDense, z)
 	// Derive the sparse view through the same double buffer applyZ uses,
 	// so the vector the last pre-death round published is never clobbered.
@@ -308,6 +499,31 @@ func meanZInto(out []float64, ws []*worker) {
 		vec.AddInto(out, w.zDense)
 	}
 	vec.Scale(1/float64(len(ws)), out)
+}
+
+// assembleShardedZ reconstructs the full-dimension consensus summary from
+// sharded workers: per block, the live subscribers' stored views are summed
+// in rank order then averaged — the per-coordinate operation order of
+// meanZInto, so a fully subscribed sharded world assembles the identical
+// bits. Blocks with no live subscriber stay zero (no data couples to them,
+// so their z is provably zero). ws must be indexed by world rank.
+func assembleShardedZ(out []float64, ws []*worker, m *shard.Map, alive func(rank int) bool) {
+	vec.Zero(out)
+	for b := 0; b < m.Part.Blocks; b++ {
+		c := m.Part.Chunk(b)
+		dst := out[c.Lo:c.Hi]
+		n := 0
+		for _, r := range m.Subscribers(b) {
+			if !alive(int(r)) {
+				continue
+			}
+			vec.AddInto(dst, ws[r].blockView(b))
+			n++
+		}
+		if n > 0 {
+			vec.Scale(1/float64(n), dst)
+		}
+	}
 }
 
 // computePool is the run's persistent x-update executor: GOMAXPROCS

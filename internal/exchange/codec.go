@@ -178,6 +178,63 @@ func (f32Codec) SparseMsgBytes(nnz int) int { return 8 + (4+4)*nnz }
 func (f32Codec) DenseMsgBytes(dim int) int  { return 4 + wire.DenseEntryBytes*dim/2 }
 func (f32Codec) ZMsgBytes(nnz int) int      { return 4 + 8*nnz }
 
+// EncodeSparseBlocks applies c's lossy sparse value rounding independently
+// to each contiguous block of a global-coordinate vector: offs lists the
+// len(blocks)+1 cumulative block boundaries (offs[0] == 0, offs[last] ==
+// v.Dim). Quantizing codecs derive their max-abs scale per block — matching
+// what the sharded collective's separate per-owner messages would
+// experience if each block traveled as its own vector — and exact codecs
+// are no-ops. Top-k kinds round values only (selection is State's job,
+// exactly as in Codec.EncodeSparse).
+func EncodeSparseBlocks(c Codec, v *sparse.Vector, offs []int) {
+	var bits int
+	switch c.Kind() {
+	case SparseQ8, TopKQ8:
+		bits = 8
+	case SparseQ16:
+		bits = 16
+	case DenseF32:
+		RoundF32Sparse(v)
+		return
+	default:
+		return
+	}
+	if len(offs) < 2 || offs[0] != 0 || offs[len(offs)-1] != v.Dim {
+		panic("exchange: EncodeSparseBlocks offsets must cover [0, Dim]")
+	}
+	// Linear cursor, not per-block binary search: in-place compaction
+	// rewrites the prefix while later blocks still need their original
+	// entries, so reads must stay ahead of writes (kept <= consumed holds
+	// throughout).
+	levels := float64(int(1)<<(bits-1) - 1)
+	n := len(v.Index)
+	kept, r := 0, 0
+	for b := 0; b+1 < len(offs); b++ {
+		hi := int32(offs[b+1])
+		start := r
+		var scale float64
+		for r < n && v.Index[r] < hi {
+			if a := math.Abs(v.Value[r]); a > scale {
+				scale = a
+			}
+			r++
+		}
+		if scale == 0 {
+			continue
+		}
+		for k := start; k < r; k++ {
+			q := math.Round(v.Value[k] / scale * levels)
+			if val := q / levels * scale; val != 0 {
+				v.Index[kept] = v.Index[k]
+				v.Value[kept] = val
+				kept++
+			}
+		}
+	}
+	v.Index = v.Index[:kept]
+	v.Value = v.Value[:kept]
+}
+
 // ScaleTraceBytes multiplies every event's byte count by num/den — how
 // lossy codecs rescale a trace built at nominal entry sizes without
 // forking the collectives. The input trace is never mutated.

@@ -129,12 +129,27 @@ type State struct {
 	// coordinates' selection priority round over round.
 	Decay float64
 
+	// AgeScoring weights selection by residual age: a coordinate that has
+	// waited a rounds in the residual is scored |v|·(1+min(a, ageBoostCap))
+	// instead of |v|, so long-starved mass wins selection before damping
+	// erodes it. With an empty residual (round one, or right after Reset)
+	// every age is zero and selection is identical to plain magnitude —
+	// the knob changes nothing until coordinates actually starve.
+	AgeScoring bool
+
 	bits     int
 	residual *sparse.Vector
 	merged   *sparse.Vector
 	next     *sparse.Vector
 	dense    *sparse.Vector // EncodeDense's sparsify scratch
 	sel      []float64
+
+	// Age-scoring state: ageRes[k] is the age (rounds waited) of the
+	// residual's k-th entry; ageMrg and scores are merged-aligned scratch.
+	ageRes  []float64
+	ageMrg  []float64
+	ageNext []float64
+	scores  []float64
 }
 
 // NewState returns the per-rank error-feedback state for a top-k codec
@@ -169,6 +184,7 @@ func (s *State) Residual() *sparse.Vector { return s.residual }
 // lost with the death) — replaying it would inject stale updates.
 func (s *State) Reset() {
 	s.residual.Reset(s.residual.Dim)
+	s.ageRes = s.ageRes[:0]
 	s.K = 0
 }
 
@@ -222,12 +238,21 @@ func (s *State) Encode(v *sparse.Vector) {
 		// First round, or an elastic regroup changed the dimension: start
 		// the residual empty at the new dimension.
 		s.residual.Reset(v.Dim)
+		s.ageRes = s.ageRes[:0]
 	}
 	src := sparse.MergeInto(s.merged, v, s.residual)
 	s.merged = src
+	if s.AgeScoring {
+		s.ageMrg = mergeAges(s.ageMrg[:0], src, s.residual, s.ageRes)
+	}
 	if src.NNZ() > k {
-		theta, ties := s.threshold(src, k)
-		rebuild(v, src, theta, ties)
+		if s.AgeScoring {
+			theta, ties := s.thresholdScored(src, k)
+			rebuildScored(v, src, s.scores, theta, ties)
+		} else {
+			theta, ties := s.threshold(src, k)
+			rebuild(v, src, theta, ties)
+		}
 	} else {
 		v.ReuseFrom(src)
 	}
@@ -238,7 +263,106 @@ func (s *State) Encode(v *sparse.Vector) {
 	// keep their merged value, kept coordinates keep their quantization
 	// error, both damped (see Decay).
 	s.next = subInto(s.next, src, v, s.effDecay())
+	if s.AgeScoring {
+		// Freshly transmitted coordinates restart at age 0 (only their
+		// quantization error remains); everything still waiting ages by one.
+		s.ageNext = nextAges(s.ageNext[:0], s.next, v, src, s.ageMrg)
+		s.ageRes, s.ageNext = s.ageNext, s.ageRes
+	}
 	s.residual, s.next = s.next, s.residual
+}
+
+// mergeAges builds the merged-aligned age vector: entries inherited from
+// the residual keep their age, fresh contribution entries start at zero.
+// merged and residual are index-sorted; resAges is residual-aligned.
+func mergeAges(dst []float64, merged, residual *sparse.Vector, resAges []float64) []float64 {
+	j := 0
+	for _, idx := range merged.Index {
+		for j < len(residual.Index) && residual.Index[j] < idx {
+			j++
+		}
+		if j < len(residual.Index) && residual.Index[j] == idx {
+			dst = append(dst, resAges[j])
+			j++
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// nextAges builds the next residual's age vector: an entry whose
+// coordinate was just transmitted (present in sent) carries quantization
+// error only and restarts at age 0; a dropped coordinate ages by one. next
+// and sent have supports within src's; srcAges is src-aligned.
+func nextAges(dst []float64, next, sent, src *sparse.Vector, srcAges []float64) []float64 {
+	j, k := 0, 0
+	for _, idx := range next.Index {
+		for k < len(sent.Index) && sent.Index[k] < idx {
+			k++
+		}
+		if k < len(sent.Index) && sent.Index[k] == idx {
+			dst = append(dst, 0)
+			continue
+		}
+		for j < len(src.Index) && src.Index[j] < idx {
+			j++
+		}
+		age := 0.0
+		if j < len(src.Index) && src.Index[j] == idx {
+			age = srcAges[j]
+		}
+		dst = append(dst, age+1)
+	}
+	return dst
+}
+
+// ageBoostCap bounds the age multiplier at (1+cap)×. Unbounded growth
+// makes small-k selection degenerate into round-robin by age — every
+// coordinate with residual mass eventually outranks the genuinely large
+// ones and convergence stalls. The cap lets age break starvation (a
+// damped residual plateaus at v·decay/(1−decay), so a bounded boost is
+// enough to lift it past the selection threshold) while coordinates more
+// than (1+cap)× louder than the starved mass keep their slots.
+const ageBoostCap = 4
+
+// thresholdScored is threshold over age-weighted scores
+// |v|·(1+min(age, ageBoostCap)) instead of raw magnitudes. The
+// src-aligned scores survive in s.scores for rebuildScored (s.sel is
+// quickselect scratch and gets reordered).
+func (s *State) thresholdScored(src *sparse.Vector, k int) (theta float64, ties int) {
+	scores := s.scores[:0]
+	for i, val := range src.Value {
+		scores = append(scores, math.Abs(val)*(1+math.Min(s.ageMrg[i], ageBoostCap)))
+	}
+	s.scores = scores
+	sel := append(s.sel[:0], scores...)
+	s.sel = sel
+	theta = selectKthLargest(sel, k)
+	gt := 0
+	for _, sc := range scores {
+		if sc > theta {
+			gt++
+		}
+	}
+	return theta, k - gt
+}
+
+// rebuildScored is rebuild with the survival test on src-aligned scores
+// instead of entry magnitudes.
+func rebuildScored(dst, src *sparse.Vector, scores []float64, theta float64, ties int) {
+	dst.Reset(src.Dim)
+	for i, idx := range src.Index {
+		switch {
+		case scores[i] > theta:
+		case scores[i] == theta && ties > 0:
+			ties--
+		default:
+			continue
+		}
+		dst.Index = append(dst.Index, idx)
+		dst.Value = append(dst.Value, src.Value[i])
+	}
 }
 
 // EncodeDense applies the error-feedback selection to a dense buffer in

@@ -34,8 +34,11 @@ type Health struct {
 	// LiveWorkers is the current live rank count.
 	LiveWorkers Gauge
 	// Epoch is the current membership epoch (deaths observed).
-	Epoch     Gauge
-	peerDowns []Counter
+	Epoch Gauge
+	// ResidentBytes is the per-rank consensus-state footprint (max over
+	// live ranks) — the number the block-sharded engine exists to shrink.
+	ResidentBytes Gauge
+	peerDowns     []Counter
 }
 
 // NewHealth returns a Health for ranks 0..world-1 with LiveWorkers

@@ -22,6 +22,45 @@ func ZUpdateL1(dst, w []float64, lambda, rho float64, n int) {
 	}
 }
 
+// ZUpdateL1At is the scalar form of ZUpdateL1 — one coordinate's z-update
+// under an n-contributor penalty. The sharded engine applies it per block
+// with that block's live subscriber count (general-form consensus: the
+// quadratic penalty on a coordinate sums only over the ranks whose
+// objective couples to it). The expression is identical to ZUpdateL1's
+// loop body, so equal counts give bit-identical results.
+func ZUpdateL1At(wi, lambda, rho float64, n int) float64 {
+	if n <= 0 {
+		panic("solver: ZUpdateL1At requires n >= 1")
+	}
+	return vec.SoftThreshold(wi, lambda) * (1 / (rho * float64(n)))
+}
+
+// ZUpdateL1Blocks is ZUpdateL1 with a per-block contributor count: block b
+// covers dst[offs[b]:offs[b+1]] (offs has len(counts)+1 entries, the
+// partition's cumulative block offsets) and is scaled by counts[b] — the
+// block's live subscriber count in a sharded run. A block with zero
+// subscribers has provably zero W (no rank's support reaches it) and its
+// z stays zero. With every count equal to n this is bit-identical to
+// ZUpdateL1(dst, w, lambda, rho, n). dst may alias w.
+func ZUpdateL1Blocks(dst, w []float64, lambda, rho float64, offs []int, counts []int) {
+	if len(offs) != len(counts)+1 {
+		panic("solver: ZUpdateL1Blocks offsets/counts mismatch")
+	}
+	for b, n := range counts {
+		lo, hi := offs[b], offs[b+1]
+		if n <= 0 {
+			for i := lo; i < hi; i++ {
+				dst[i] = 0
+			}
+			continue
+		}
+		inv := 1 / (rho * float64(n))
+		for i := lo; i < hi; i++ {
+			dst[i] = vec.SoftThreshold(w[i], lambda) * inv
+		}
+	}
+}
+
 // ZUpdateL2 computes the consensus z-update for ridge regularization
 // g(z) = (lambda/2)·‖z‖²:
 //

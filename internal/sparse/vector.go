@@ -183,6 +183,20 @@ func (v *Vector) Slice(lo, hi int) *Vector {
 	return v.SliceInto(nil, lo, hi)
 }
 
+// Range returns the storage positions [from, to) of v's entries with
+// indices in the dense range [lo, hi) — the no-copy block view: the
+// block's entries are v.Index[from:to] / v.Value[from:to] at their global
+// indices. Two binary searches, no allocation; the sharded collectives use
+// it to walk one block of a global-coordinate payload without re-basing.
+func (v *Vector) Range(lo, hi int) (from, to int) {
+	if lo < 0 || hi < lo || hi > v.Dim {
+		panic("sparse: Range bounds out of range")
+	}
+	from = sort.Search(len(v.Index), func(k int) bool { return int(v.Index[k]) >= lo })
+	to = from + sort.Search(len(v.Index)-from, func(k int) bool { return int(v.Index[from+k]) >= hi })
+	return from, to
+}
+
 // Merge returns a + b, where both share the same Dim. Indices present in
 // both are summed; sums that cancel to exactly zero are dropped.
 func Merge(a, b *Vector) *Vector {
@@ -223,6 +237,26 @@ func (a *Accumulator) Add(v *Vector) {
 		panic("sparse: Accumulator dimension mismatch")
 	}
 	for k, i := range v.Index {
+		if !a.seen[i] {
+			a.seen[i] = true
+			a.touched = append(a.touched, i)
+		}
+		a.dense[i] += v.Value[k]
+	}
+}
+
+// AddRange accumulates v's entries at storage positions [from, to),
+// re-based by -base, into the accumulator. Companion of Vector.Range:
+// together they fold one block of a global-coordinate vector into a
+// block-width accumulator without materializing a re-based slice. The
+// additions are the same dense[i] += value sequence Add performs on a
+// SliceInto copy, so sums are bit-identical to the slice-then-Add path.
+func (a *Accumulator) AddRange(v *Vector, from, to int, base int32) {
+	for k := from; k < to; k++ {
+		i := v.Index[k] - base
+		if int(i) >= a.dim || i < 0 {
+			panic("sparse: AddRange index out of accumulator range")
+		}
 		if !a.seen[i] {
 			a.seen[i] = true
 			a.touched = append(a.touched, i)

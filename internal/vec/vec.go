@@ -296,6 +296,14 @@ func CountNonzero(x []float64) int {
 // allreduce implementations and their cost analysis assume.
 type Chunk struct{ Lo, Hi int }
 
+// Len returns the chunk's width.
+func (c Chunk) Len() int { return c.Hi - c.Lo }
+
+// Of returns the chunk's view of a full-length dense vector — a no-copy
+// block slice, the dense half of the shard-view primitives (the sparse
+// half is sparse.Vector.Range). Mutating the view mutates x.
+func (c Chunk) Of(x []float64) []float64 { return x[c.Lo:c.Hi] }
+
 // Split returns the p chunks of a length-n vector. Every index belongs to
 // exactly one chunk; chunks are contiguous, ordered, and sizes differ by at
 // most one. p must be >= 1; n may be smaller than p (trailing chunks are

@@ -22,6 +22,7 @@ import (
 
 	"psrahgadmm/internal/collective"
 	"psrahgadmm/internal/exchange"
+	"psrahgadmm/internal/shard"
 	"psrahgadmm/internal/sparse"
 	"psrahgadmm/internal/transport"
 	"psrahgadmm/internal/wire"
@@ -82,8 +83,16 @@ func runWorkerPlainTopK(ep transport.Endpoint, cfg Config, f WorkerFuncs) error 
 			// Sparse PSR-Allreduce among the group's Leaders: the node
 			// partials carry whatever supports their workers selected, and
 			// the scatter-reduce sums them block-wise without ever
-			// densifying.
-			if _, err := ws.PSRAllreduceSparse(ep, inter, iterTag(iter, offInterAR), part, agg); err != nil {
+			// densifying. With ShardBlocks the same reduction runs through
+			// the shard-aware collective under a full-subscription plan —
+			// block ownership round-robin over the group, bit-identical
+			// aggregate, per-block-owner schedule.
+			if cfg.ShardBlocks > 0 {
+				sp := shard.FullPlan(shard.NewPartition(part.Dim, cfg.ShardBlocks), inter.Size())
+				if _, err := ws.ShardAllreduceSparse(ep, inter, iterTag(iter, offInterAR), sp, part, agg); err != nil {
+					return fmt.Errorf("wlg: leader %d iter %d shard allreduce: %w", rank, iter, err)
+				}
+			} else if _, err := ws.PSRAllreduceSparse(ep, inter, iterTag(iter, offInterAR), part, agg); err != nil {
 				return fmt.Errorf("wlg: leader %d iter %d PSR allreduce: %w", rank, iter, err)
 			}
 			contributors = inter.Size() * topo.WorkersPerNode

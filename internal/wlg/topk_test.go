@@ -92,3 +92,42 @@ func TestTopKElasticRuntimeValuesOnly(t *testing.T) {
 		}
 	}
 }
+
+// TestTopKShardBlocksBitIdentical routes the inter-Leader aggregation
+// through the shard-aware collective (ShardBlocks > 0) and checks every
+// rank's aggregate history against the classic PSR-Allreduce run bit for
+// bit: block ownership changes the message schedule, never the per-block
+// member-order reduction. Truncation is active (dim 64 ⇒ k 32), so the
+// error-feedback residuals must also evolve identically. Contributions
+// are integer-valued: the GG groups Leaders in (scheduling-dependent)
+// arrival order, so only exactly-associative values make the comparison
+// meaningful across runs.
+func TestTopKShardBlocksBitIdentical(t *testing.T) {
+	topo := simnet.Topology{Nodes: 3, WorkersPerNode: 2}
+	const dim = 64
+	contrib := func(r, iter int) []float64 {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = float64((j+3*r+iter)%dim - dim/3)
+		}
+		return v
+	}
+	mk := func(blocks int) Config {
+		return Config{Topo: topo, MaxIter: 4, GroupThreshold: 0, Codec: exchange.TopK, ShardBlocks: blocks}
+	}
+	plainAgg, plainCnt := runWLG(t, mk(0), dim, contrib)
+	for _, blocks := range []int{1, 5, 16} {
+		shardAgg, shardCnt := runWLG(t, mk(blocks), dim, contrib)
+		for r := 0; r < topo.Size(); r++ {
+			for iter := 0; iter < 4; iter++ {
+				if plainCnt[r][iter] != shardCnt[r][iter] {
+					t.Fatalf("blocks=%d rank %d iter %d contributors %d, want %d",
+						blocks, r, iter, shardCnt[r][iter], plainCnt[r][iter])
+				}
+				if !vec.Equal(plainAgg[r][iter], shardAgg[r][iter]) {
+					t.Fatalf("blocks=%d rank %d iter %d aggregate diverged from classic PSR-Allreduce", blocks, r, iter)
+				}
+			}
+		}
+	}
+}

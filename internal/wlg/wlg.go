@@ -90,6 +90,18 @@ type Config struct {
 	// non-topk codecs and by the elastic runtime (dense frames make byte
 	// feedback meaningless there).
 	CodecBudgetBytes int64
+	// ShardBlocks > 0 routes the sparse inter-Leader aggregation through
+	// the shard-aware collective: the model dimension is partitioned into
+	// this many contiguous blocks, each group's Leaders own blocks round-
+	// robin by group position, and every Leader reduces only the blocks it
+	// owns before the per-owner gather reassembles the full aggregate
+	// (full subscription — every Leader still receives all blocks back).
+	// The per-block reduction order matches the plain PSR-Allreduce, so
+	// the aggregate is bit-identical; what changes is the schedule. 0
+	// keeps the classic chunked PSR-Allreduce. Only the sparse-transport
+	// (top-k) plain runtime consults it; the dense and elastic paths
+	// ignore it.
+	ShardBlocks int
 	// Elastic selects fail-survive semantics: worker deaths shrink the
 	// world instead of aborting the run. Each rank keeps a membership view
 	// fed by transport evidence, nodes re-elect their Leader as the first
@@ -155,6 +167,9 @@ func (c Config) Validate() error {
 	}
 	if c.CodecBudgetBytes < 0 {
 		return fmt.Errorf("wlg: CodecBudgetBytes must be non-negative, got %d", c.CodecBudgetBytes)
+	}
+	if c.ShardBlocks < 0 {
+		return fmt.Errorf("wlg: ShardBlocks must be non-negative, got %d", c.ShardBlocks)
 	}
 	return nil
 }
