@@ -43,6 +43,7 @@ import (
 	"psrahgadmm/internal/dataset"
 	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/simnet"
+	"psrahgadmm/internal/watchdog"
 )
 
 // Core configuration and result types.
@@ -92,7 +93,20 @@ type (
 	// CheckpointStore persists snapshot blobs (directory-backed or
 	// in-memory).
 	CheckpointStore = checkpoint.Store
+	// WatchdogConfig tunes the divergence watchdog (Config.Watchdog):
+	// NaN/Inf scanning over the iterates plus sliding-window explosion
+	// detection on residuals and objective, with checkpoint auto-rollback
+	// when RunOptions.Checkpoint is set.
+	WatchdogConfig = watchdog.Config
+	// RollbackEvent records one watchdog-triggered checkpoint rollback
+	// (see Result.Rollbacks).
+	RollbackEvent = core.RollbackEvent
 )
+
+// ErrDiverged is the sentinel every watchdog abort wraps: errors.Is
+// distinguishes "training went numerically wrong and could not be rolled
+// back" from infrastructure failures.
+var ErrDiverged = watchdog.ErrDiverged
 
 // The implemented algorithms.
 const (

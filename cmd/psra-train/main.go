@@ -76,10 +76,18 @@ func main() {
 		shardBlk  = flag.Int("shard-blocks", 0, "block count for -sharded partitioning (0 = world size)")
 		chaosKill = flag.String("chaos-kill", "", "kill schedule rank@iter[,rank@iter...]: each rank dies at its iteration boundary")
 		chaosJoin = flag.String("chaos-rejoin", "", "rejoin schedule rank@iter[,...]: killed ranks return (requires -elastic=recover)")
-		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (with -chaos-kill)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed (with -chaos-kill or -chaos-corrupt)")
+		chaosCorr = flag.Float64("chaos-corrupt", 0, "per-record probability of a seeded wire bit-flip (detected, dropped, and retried)")
+		chaosCAt  = flag.String("chaos-corrupt-at", "", "corruption schedule rank@iter[,...]: one frame to each rank is bit-flipped at its iteration")
+		chaosNaN  = flag.String("chaos-nan", "", "NaN-injection schedule rank@iter[,...]: each rank's local solve is poisoned once")
 		ckDir     = flag.String("checkpoint-dir", "", "directory for periodic snapshots (enables checkpointing)")
 		ckEvery   = flag.Int("checkpoint-every", 10, "snapshot every k-th iteration (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "continue from the latest snapshot in -checkpoint-dir (fresh start if none)")
+		wdOn      = flag.Bool("watchdog", false, "divergence watchdog: NaN/Inf and explosion detection, checkpoint auto-rollback with -checkpoint-dir")
+		wdWindow  = flag.Int("watchdog-window", 0, "healthy iterations forming the explosion baseline (0 = default 8)")
+		wdResFac  = flag.Float64("watchdog-residual-factor", 0, "residual explosion threshold as a multiple of the window floor (0 = default 1e4)")
+		wdObjFac  = flag.Float64("watchdog-objective-factor", 0, "objective explosion threshold as a multiple of the window floor (0 = default 1e4)")
+		wdMaxRB   = flag.Int("max-rollbacks", 0, "rollback budget before a watchdog trip aborts the run (0 = default 2)")
 	)
 	elastic := elasticMode("off")
 	flag.Var(&elastic, "elastic", "failure model: off | survive | recover (bare -elastic = survive)")
@@ -89,6 +97,9 @@ func main() {
 	if *listAlgos {
 		listAlgorithms()
 		return
+	}
+	if err := validateExplicitFlags(); err != nil {
+		fatal(err)
 	}
 	if err := profiles.Start(); err != nil {
 		fatal(err)
@@ -116,17 +127,35 @@ func main() {
 		ShardedState:     *sharded,
 		ShardBlocks:      *shardBlk,
 	}
+	if *wdOn {
+		cfg.Watchdog = psra.WatchdogConfig{
+			Enabled:         true,
+			Window:          *wdWindow,
+			ResidualFactor:  *wdResFac,
+			ObjectiveFactor: *wdObjFac,
+			MaxRollbacks:    *wdMaxRB,
+		}
+	}
 	if *chaosJoin != "" && elastic != "recover" {
 		fatal(fmt.Errorf("-chaos-rejoin requires -elastic=recover"))
 	}
-	if *chaosKill != "" || *chaosJoin != "" {
-		plan := &transport.FaultPlan{Seed: *chaosSeed}
+	if *chaosCorr < 0 || *chaosCorr > 1 {
+		fatal(fmt.Errorf("-chaos-corrupt %v outside [0, 1]", *chaosCorr))
+	}
+	if *chaosKill != "" || *chaosJoin != "" || *chaosCorr > 0 || *chaosCAt != "" || *chaosNaN != "" {
+		plan := &transport.FaultPlan{Seed: *chaosSeed, CorruptProb: *chaosCorr}
 		var err error
 		if plan.KillAtIteration, err = parseSchedule(*chaosKill); err != nil {
 			fatal(fmt.Errorf("-chaos-kill: %w", err))
 		}
 		if plan.RejoinAtIteration, err = parseSchedule(*chaosJoin); err != nil {
 			fatal(fmt.Errorf("-chaos-rejoin: %w", err))
+		}
+		if plan.CorruptAtIteration, err = parseSchedule(*chaosCAt); err != nil {
+			fatal(fmt.Errorf("-chaos-corrupt-at: %w", err))
+		}
+		if plan.NaNAtIteration, err = parseSchedule(*chaosNaN); err != nil {
+			fatal(fmt.Errorf("-chaos-nan: %w", err))
 		}
 		cfg.Faults = plan
 	}
@@ -163,6 +192,10 @@ func main() {
 	fmt.Printf("\nvirtual system time %s (cal %s + comm %s), %s communicated\n",
 		metrics.Seconds(res.SystemTime), metrics.Seconds(res.TotalCalTime),
 		metrics.Seconds(res.TotalCommTime), metrics.Bytes(res.TotalBytes))
+	for _, rb := range res.Rollbacks {
+		fmt.Printf("ROLLED BACK: watchdog tripped at iteration %d (%s); resumed from the iteration-%d checkpoint\n",
+			rb.TripIter+1, rb.Reason, rb.ToIter)
+	}
 	if res.Degraded {
 		fmt.Printf("DEGRADED: %d of %d workers survived (membership epoch %d) — objective is the survivors' optimum\n",
 			res.LiveWorkers, cfg.Topo.Size(), res.Epoch)
@@ -181,6 +214,26 @@ func main() {
 		}
 		fmt.Printf("history written to %s\n", *jsonOut)
 	}
+}
+
+// validateExplicitFlags rejects nonsense values for flags whose zero
+// default means "auto": leaving them unset is fine, but explicitly passing
+// a non-positive value is a typo'd invocation that would otherwise be
+// silently reinterpreted as the default.
+func validateExplicitFlags() error {
+	var err error
+	flag.Visit(func(f *flag.Flag) {
+		if err != nil {
+			return
+		}
+		switch f.Name {
+		case "shard-blocks", "checkpoint-every", "codec-budget-bytes":
+			if v, perr := strconv.ParseInt(f.Value.String(), 10, 64); perr != nil || v <= 0 {
+				err = fmt.Errorf("-%s must be a positive integer, got %s", f.Name, f.Value.String())
+			}
+		}
+	})
+	return err
 }
 
 // parseSchedule parses "rank@iter[,rank@iter...]" into a fault schedule;

@@ -41,6 +41,9 @@
 //	    -elastic)
 //	4 — degraded completion: all iterations finished, but peers died or
 //	    contributions were skipped along the way (-elastic only)
+//	5 — divergence: the -watchdog tripped on a non-finite or exploding
+//	    value; relaunch from the last good -snapshot-dir checkpoint with
+//	    -start-iter instead of restarting cold
 package main
 
 import (
@@ -48,6 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -59,6 +63,7 @@ import (
 	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/transport"
 	"psrahgadmm/internal/vec"
+	"psrahgadmm/internal/watchdog"
 	"psrahgadmm/internal/wlg"
 )
 
@@ -86,6 +91,9 @@ func main() {
 		rejoin    = flag.Bool("rejoin", false, "re-enter a running elastic mesh as a new incarnation of this rank (requires -elastic)")
 		snapDir   = flag.String("snapshot-dir", "", "directory for this rank's periodic state snapshots (warm-starts x/y/z with -rejoin)")
 		snapEvery = flag.Int("snapshot-every", 5, "snapshot every k-th iteration (with -snapshot-dir)")
+		wdOn      = flag.Bool("watchdog", false, "divergence watchdog: scan contributions and aggregates for NaN/Inf and magnitude explosions (exit 5 on a trip)")
+		wdWindow  = flag.Int("watchdog-window", 0, "healthy iterations forming the explosion baseline (0 = default 8)")
+		wdFactor  = flag.Float64("watchdog-factor", 0, "explosion threshold as a multiple of the window floor (0 = default 1e4)")
 	)
 	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -107,6 +115,9 @@ func main() {
 	}
 	if *snapEvery < 1 {
 		fatal(fmt.Errorf("-snapshot-every must be >= 1, got %d", *snapEvery))
+	}
+	if err := validateExplicitFlags(); err != nil {
+		fatal(err)
 	}
 
 	ep, err := transport.NewTCPEndpoint(*rank, addrList, transport.TCPOptions{
@@ -130,6 +141,13 @@ func main() {
 		Elastic:          *elastic,
 		StartIter:        *startIter,
 		Rejoin:           *rejoin,
+	}
+	if *wdOn {
+		cfg.Watchdog = watchdog.Config{
+			Enabled:        true,
+			Window:         *wdWindow,
+			ResidualFactor: *wdFactor,
+		}
 	}
 	if *rank == wlg.GGRank(topo) {
 		fmt.Printf("rank %d: group generator serving %d nodes × %d iterations\n", *rank, *nodes, *iters)
@@ -277,16 +295,42 @@ func loadSnapshot(store checkpoint.Store, rank, dim int) (*exchange.WorkerSnap, 
 	return nil, false
 }
 
+// validateExplicitFlags rejects nonsense values for flags whose zero
+// default means "auto": leaving them unset is fine, but explicitly passing
+// a non-positive value is a typo'd invocation that would otherwise be
+// silently reinterpreted as the default.
+func validateExplicitFlags() error {
+	var err error
+	flag.Visit(func(f *flag.Flag) {
+		if err != nil {
+			return
+		}
+		switch f.Name {
+		case "shard-blocks", "codec-budget-bytes":
+			if v, perr := strconv.ParseInt(f.Value.String(), 10, 64); perr != nil || v <= 0 {
+				err = fmt.Errorf("-%s must be a positive integer, got %s", f.Name, f.Value.String())
+			}
+		}
+	})
+	return err
+}
+
 // fatal exits nonzero with a diagnostic. Peer loss gets its own exit code
 // (3, "unrecoverable") and a pointed message so orchestration (and humans
 // reading logs) can tell "a neighbor died and took the run with it" apart
 // from local failures — and apart from exit 4, a degraded-but-complete
-// elastic run.
+// elastic run. A watchdog trip exits 5: the state is numerically poisoned,
+// so the right relaunch is -rejoin/-start-iter from the last good
+// -snapshot-dir checkpoint, not a plain restart.
 func fatal(err error) {
 	var pd *transport.PeerDownError
 	if errors.As(err, &pd) {
 		fmt.Fprintf(os.Stderr, "psra-worker: peer rank %d is down (%v); aborting run: %v\n", pd.Peer, pd.Cause, err)
 		os.Exit(3)
+	}
+	if errors.Is(err, watchdog.ErrDiverged) {
+		fmt.Fprintf(os.Stderr, "psra-worker: training diverged; relaunch from the last snapshot with -start-iter: %v\n", err)
+		os.Exit(5)
 	}
 	fmt.Fprintln(os.Stderr, "psra-worker:", err)
 	os.Exit(1)

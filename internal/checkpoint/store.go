@@ -6,11 +6,56 @@
 package checkpoint
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 )
+
+// On-disk integrity: DirStore appends an 12-byte trailer — the magic
+// "PSCKSUM1" plus a little-endian CRC32C of the blob — to every file it
+// writes, and Load verifies and strips it. A flipped bit anywhere in the
+// snapshot (or the trailer) then surfaces as ErrChecksum instead of a
+// decode-time shape error or, worse, silently wrong restored state. Files
+// without the trailer (written before it existed) still load: the magic
+// cannot appear by accident at the end of a PSCK blob the paired CRC also
+// matches, so verification is opt-in per file, not a format break.
+
+// ErrChecksum reports a snapshot file whose integrity trailer does not
+// match its contents — on-disk corruption, not a missing snapshot.
+var ErrChecksum = errors.New("checkpoint: snapshot checksum mismatch")
+
+const sumMagic = "PSCKSUM1"
+
+// sumTrailerLen is the trailer's size: 8 magic bytes + 4 CRC bytes.
+const sumTrailerLen = len(sumMagic) + 4
+
+var sumTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendSum returns data with the integrity trailer appended.
+func appendSum(data []byte) []byte {
+	out := make([]byte, 0, len(data)+sumTrailerLen)
+	out = append(out, data...)
+	out = append(out, sumMagic...)
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(data, sumTable))
+}
+
+// checkSum verifies and strips the trailer. Legacy files without one pass
+// through unchanged.
+func checkSum(data []byte) ([]byte, error) {
+	if len(data) < sumTrailerLen || string(data[len(data)-sumTrailerLen:len(data)-4]) != sumMagic {
+		return data, nil // pre-trailer file: loadable, just unverified
+	}
+	body := data[:len(data)-sumTrailerLen]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, sumTable); got != want {
+		return nil, fmt.Errorf("%w: file CRC %08x, computed %08x", ErrChecksum, want, got)
+	}
+	return body, nil
+}
 
 // Store persists the latest snapshot blob. Save replaces any previous
 // snapshot atomically; Load returns (nil, false, nil) when no snapshot
@@ -47,8 +92,10 @@ func NewDirStore(dir, name string) (*DirStore, error) {
 // Path returns the snapshot's final path.
 func (s *DirStore) Path() string { return filepath.Join(s.dir, s.name) }
 
-// Save atomically replaces the stored snapshot.
+// Save atomically replaces the stored snapshot, appending the integrity
+// trailer Load verifies.
 func (s *DirStore) Save(data []byte) error {
+	data = appendSum(data)
 	tmp, err := os.CreateTemp(s.dir, s.name+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
@@ -90,7 +137,9 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// Load reads the stored snapshot, reporting ok=false when none exists.
+// Load reads the stored snapshot, reporting ok=false when none exists and
+// ErrChecksum when the file's integrity trailer does not match its
+// contents.
 func (s *DirStore) Load() ([]byte, bool, error) {
 	data, err := os.ReadFile(s.Path())
 	if os.IsNotExist(err) {
@@ -99,7 +148,11 @@ func (s *DirStore) Load() ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("checkpoint: %w", err)
 	}
-	return data, true, nil
+	body, err := checkSum(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("%s: %w", s.Path(), err)
+	}
+	return body, true, nil
 }
 
 // MemStore is an in-memory Store for tests and the in-process engine.

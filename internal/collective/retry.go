@@ -127,15 +127,27 @@ func (p RetryPolicy) wait(attempt int, prev time.Duration) time.Duration {
 func RecvRetry(ep transport.Endpoint, from int, tag int32, pol RetryPolicy) (wire.Message, error) {
 	pol = pol.fill()
 	var prev time.Duration
+	var corrupt error
 	for attempt := 0; attempt < pol.Attempts; attempt++ {
 		prev = pol.wait(attempt, prev)
 		m, err := ep.RecvTimeout(from, tag, prev)
 		if err == nil {
 			return m, nil
 		}
-		if !errors.Is(err, transport.ErrTimeout) {
+		switch {
+		case errors.Is(err, transport.ErrTimeout):
+		case errors.Is(err, wire.ErrFrameCorrupt):
+			// The frame arrived but failed its integrity check and was
+			// dropped: a recoverable loss, not a wrong answer. Burn an
+			// attempt and keep waiting — an ack-protocol sender re-sends.
+			corrupt = err
+		default:
 			return wire.Message{}, err
 		}
+	}
+	if corrupt != nil {
+		return wire.Message{}, fmt.Errorf("collective: recv from %d tag %d: %w (last corrupt frame: %v)",
+			from, tag, ErrUnavailable, corrupt)
 	}
 	return wire.Message{}, fmt.Errorf("collective: recv from %d tag %d: %w", from, tag, ErrUnavailable)
 }
@@ -162,7 +174,10 @@ func SendAck(ep transport.Endpoint, to int, m wire.Message, pol RetryPolicy) err
 		if err == nil {
 			return nil
 		}
-		if !errors.Is(err, transport.ErrTimeout) {
+		// A corrupt frame (the data frame on the receiver's side, or the
+		// ack on ours) is a recoverable loss: loop and resend the payload,
+		// exactly as for a timeout.
+		if !errors.Is(err, transport.ErrTimeout) && !errors.Is(err, wire.ErrFrameCorrupt) {
 			return err
 		}
 	}

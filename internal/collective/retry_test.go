@@ -2,6 +2,7 @@ package collective
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -158,5 +159,62 @@ func TestRetryPolicyBackoff(t *testing.T) {
 		if d := p.delay(i); d != w*time.Millisecond {
 			t.Fatalf("delay(%d) = %v, want %v", i, d, w*time.Millisecond)
 		}
+	}
+}
+
+// TestSendAckRecoversFromCorruption drives the ack protocol through a
+// fabric that bit-flips frames: every detected corruption must behave like
+// a lost frame (resend), and the delivered payload must equal the sent one.
+func TestSendAckRecoversFromCorruption(t *testing.T) {
+	fab := transport.NewFaultFabric(transport.NewChanFabric(2), transport.FaultPlan{Seed: 3, CorruptProb: 0.35})
+	defer fab.Close()
+	pol := RetryPolicy{Attempts: 12, BaseDelay: 5 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	var corrupted int64
+	for i := 0; i < 15; i++ {
+		tag := int32(100 + i)
+		payload := []float64{float64(i), -float64(i), 0.25 * float64(i)}
+		done := make(chan error, 1)
+		go func() { done <- SendAck(fab.Endpoint(0), 1, wire.DenseMsg(tag, payload), pol) }()
+		m, err := RecvAck(fab.Endpoint(1), 0, tag, pol)
+		if err != nil {
+			t.Fatalf("round %d: RecvAck: %v", i, err)
+		}
+		if len(m.Dense) != 3 || m.Dense[0] != payload[0] || m.Dense[1] != payload[1] || m.Dense[2] != payload[2] {
+			t.Fatalf("round %d: payload corrupted in delivery: %v", i, m.Dense)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("round %d: SendAck: %v", i, err)
+		}
+	}
+	corrupted = fab.InjectedCorruptions()
+	if corrupted == 0 {
+		t.Fatal("CorruptProb=0.35 over 40 ack rounds injected nothing")
+	}
+	if fab.SilentCorruptions() != 0 {
+		t.Fatalf("%d silent corruptions delivered", fab.SilentCorruptions())
+	}
+	t.Logf("recovered from %d injected corruptions", corrupted)
+}
+
+// TestRecvRetryReportsCorruptExhaustion checks the typed trail when every
+// attempt is corrupted: the error wraps ErrUnavailable AND mentions the
+// corrupt cause, so callers can distinguish a poisoned link from silence.
+func TestRecvRetryReportsCorruptExhaustion(t *testing.T) {
+	fab := transport.NewFaultFabric(transport.NewChanFabric(2), transport.FaultPlan{Seed: 1})
+	defer fab.Close()
+	pol := RetryPolicy{Attempts: 3, BaseDelay: 5 * time.Millisecond}
+	// Arm three times: each resend-less attempt consumes one corrupt event.
+	for i := 0; i < 3; i++ {
+		fab.ArmCorrupt(0)
+		if err := fab.Endpoint(0).Send(1, wire.Control(77, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := RecvRetry(fab.Endpoint(1), 0, 77, pol)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error %q does not mention corruption", err)
 	}
 }

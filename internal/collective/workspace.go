@@ -158,6 +158,20 @@ func (ws *Workspace) send(ep transport.Endpoint, sync bool, to int, m wire.Messa
 	return nil
 }
 
+// AbandonSends waits out async sends left behind by a collective that
+// returned early on error, discarding their outcomes. A retry of the
+// round reuses the workspace's buffers, and the orphaned goroutines
+// still read them (the transport counts encoded bytes as it delivers) —
+// so the caller must first unblock the fabric (abort latch flipped, or
+// fabric closed), then AbandonSends before reusing the workspace.
+func (ws *Workspace) AbandonSends() {
+	for i, c := range ws.errcs {
+		<-c
+		ws.errcs[i] = nil
+	}
+	ws.errcs = ws.errcs[:0]
+}
+
 // drainSends collects the async-send errors, if any.
 func (ws *Workspace) drainSends() error {
 	var first error

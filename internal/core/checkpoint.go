@@ -145,6 +145,40 @@ func restoreCheckpoint(ck *CheckpointOptions, cfg *Config, env *strategyEnv, str
 	if err != nil {
 		return 0, err
 	}
+	return applySnapshot(snap, cfg, env, strat, zPrev, res, true)
+}
+
+// rollbackToSnapshot is the mid-run variant of restoreCheckpoint, used when
+// the watchdog trips: the last good snapshot's numeric state (iterates,
+// z_prev, ρ, strategy scalars, virtual-clock totals) is restored, but the
+// CURRENT membership view is kept — deaths observed since the snapshot are
+// monotone facts (those endpoints are closed) and must not be resurrected
+// by a numeric rollback. It returns the iteration to replay from and ok =
+// false when the store holds no snapshot to roll back to.
+func rollbackToSnapshot(ck *CheckpointOptions, cfg *Config, env *strategyEnv, strat ConsensusStrategy, zPrev []float64, res *Result) (int, bool, error) {
+	if ck == nil || ck.Store == nil {
+		return 0, false, nil
+	}
+	blob, ok, err := ck.Store.Load()
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	snap, err := exchange.DecodeSnapshot(blob)
+	if err != nil {
+		return 0, false, err
+	}
+	iter, err := applySnapshot(snap, cfg, env, strat, zPrev, res, false)
+	if err != nil {
+		return 0, false, err
+	}
+	return iter, true, nil
+}
+
+// applySnapshot validates snap against the run and copies its state into
+// the live workers, returning the snapshot's iteration. restoreMembers
+// additionally restores the membership view (epoch + dead set) — wanted on
+// startup resume, forbidden mid-run (see rollbackToSnapshot).
+func applySnapshot(snap *exchange.Snapshot, cfg *Config, env *strategyEnv, strat ConsensusStrategy, zPrev []float64, res *Result, restoreMembers bool) (int, error) {
 	if snap.Algorithm != string(cfg.Algorithm) {
 		return 0, fmt.Errorf("core: snapshot is for algorithm %q, run uses %q", snap.Algorithm, cfg.Algorithm)
 	}
@@ -186,12 +220,14 @@ func restoreCheckpoint(ck *CheckpointOptions, cfg *Config, env *strategyEnv, str
 	}
 	cfg.Rho = snap.Rho
 	setRho(env.ws, snap.Rho)
-	dead := make([]int, len(snap.Dead))
-	for i, r := range snap.Dead {
-		dead[i] = int(r)
-	}
-	if err := env.members.Restore(int(snap.Epoch), dead); err != nil {
-		return 0, err
+	if restoreMembers {
+		dead := make([]int, len(snap.Dead))
+		for i, r := range snap.Dead {
+			dead[i] = int(r)
+		}
+		if err := env.members.Restore(int(snap.Epoch), dead); err != nil {
+			return 0, err
+		}
 	}
 	if rs, ok := strat.(resumableStrategy); ok {
 		if err := rs.stateRestore(snap.Strategy); err != nil {

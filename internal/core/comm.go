@@ -24,11 +24,21 @@ const (
 	commShardSparse
 )
 
+// errRoundCorrupt marks a round failure caused by a wire frame failing its
+// integrity check mid-collective. Unlike errPeersLost it is retryable in
+// BOTH failure modes: the fabric is healthy, the checksum-failed frame was
+// dropped before anyone read it, and a fresh attempt under a new tag
+// window simply re-ships the round. The engine bounds the retries so a
+// persistently poisoned link still fails fast with a typed cause.
+var errRoundCorrupt = errors.New("core: corrupt frame detected mid-round")
+
 // abortOnError closes the scratch fabric the first time a group member
 // reports an error, so every other member's blocked Recv unblocks with
 // ErrClosed instead of waiting forever on a rank that will never send.
-// The run is aborting anyway — a dead scratch fabric is the price of the
-// no-hang guarantee.
+// Only clean fail-stop runs use it — the run is aborting anyway, and a
+// dead scratch fabric is the price of the no-hang guarantee. Runs that
+// may need to retry a round (elastic regroups, corrupt-frame drops) latch
+// instead: their fabric must survive the failed attempt.
 type abortOnError struct {
 	fab  transport.Fabric
 	once sync.Once
@@ -66,17 +76,18 @@ type crewJob struct {
 // goroutine, so per-rank result slots need no locks: wg.Wait() is the
 // barrier that orders every slot write before the dispatcher reads it.
 type crew struct {
-	env    *strategyEnv
-	jobs   []chan crewJob
-	wg     sync.WaitGroup
-	wss    []collective.Workspace
-	outs   []*sparse.Vector // aggregate sinks for members beyond the first
-	dense  [][]float64      // dense in-place buffers, grown to dim once
-	traces []collective.Trace
-	errs   []error
-	eps    []transport.Endpoint // pre-boxed (latched in elastic runs)
-	stop   atomic.Bool          // elastic abort latch, reset per round
-	abort  abortOnError         // non-elastic fail-fast
+	env     *strategyEnv
+	jobs    []chan crewJob
+	wg      sync.WaitGroup
+	wss     []collective.Workspace
+	outs    []*sparse.Vector // aggregate sinks for members beyond the first
+	dense   [][]float64      // dense in-place buffers, grown to dim once
+	traces  []collective.Trace
+	errs    []error
+	eps     []transport.Endpoint // pre-boxed (latched when retryable)
+	stop    atomic.Bool          // round abort latch, reset per round
+	latched bool                 // endpoints latch instead of abort-closing
+	abort   abortOnError         // clean fail-stop unblock
 
 	mergedEvents []collective.Event // mergedTrace scratch
 }
@@ -93,9 +104,13 @@ func newCrew(env *strategyEnv) *crew {
 		errs:   make([]error, n),
 		eps:    make([]transport.Endpoint, n),
 	}
+	// A run that may retry a failed round — elastic regroups, corrupt-
+	// frame drops — latches: the fabric must survive the attempt. A clean
+	// fail-stop run keeps raw endpoints and the closing abort.
+	c.latched = env.elastic || env.corruptible
 	c.abort.fab = env.fab
 	for r := 0; r < n; r++ {
-		if env.elastic {
+		if c.latched {
 			c.eps[r] = latchEndpoint{env.fab.Endpoint(r), &c.stop}
 		} else {
 			c.eps[r] = env.fab.Endpoint(r)
@@ -125,14 +140,20 @@ func (c *crew) serve(r int) {
 		}
 		c.traces[r], c.errs[r] = tr, err
 		if err != nil {
-			// Unblock the rest of the group: flip the latch in an elastic
-			// run (the fabric must survive for the retry), close the
-			// fabric in a fail-stop one.
-			if c.env.elastic {
+			// Unblock the rest of the group: flip the latch in a retryable
+			// run (the fabric must survive the next attempt), close the
+			// fabric in a clean fail-stop one.
+			if c.latched {
 				c.stop.Store(true)
 			} else {
 				c.abort.observe(err)
 			}
+			// The failed attempt may have abandoned async sends that still
+			// read this workspace's buffers; with the fabric now unblocked
+			// they finish promptly, and a retry must not reuse the buffers
+			// until they do. wg.Done() below orders the wait before the
+			// dispatcher can launch the next round.
+			c.wss[r].AbandonSends()
 		}
 		c.wg.Done()
 	}
@@ -147,32 +168,45 @@ func (c *crew) close() {
 
 // collect classifies the round's member errors. Non-elastic, it picks the
 // most informative one: a typed PeerDownError beats a generic failure,
-// which beats the ErrClosed noise the abort itself produced on the other
-// members. Elastic, it translates errors into membership facts — a
+// which beats the errRoundAborted/ErrClosed noise the latch itself
+// produced on the other members; a round whose only real failure is a
+// checksum-dropped frame is wrapped in errRoundCorrupt for the engine to
+// retry. Elastic, it translates errors into membership facts — a
 // PeerDownError marks its peer dead, a member's own ErrClosed marks that
 // member dead (its endpoint was killed under it; the fabric is never
 // closed mid-run) — and wraps retryable peer loss in errPeersLost so the
-// engine re-runs the round over the survivors. Any other error is
-// non-retryable and returned as-is.
+// engine re-runs the round over the survivors; corruption with no deaths
+// is again errRoundCorrupt (peer loss wins when both appear — membership
+// already changed, and the regroup retry re-ships everything anyway). Any
+// other error is non-retryable and returned as-is.
 func (c *crew) collect(what string, ranks []int) error {
 	if !c.env.elastic {
-		var fallback error
+		var fallback, corrupt error
 		for _, r := range ranks {
 			err := c.errs[r]
-			if err == nil {
+			if err == nil || errors.Is(err, errRoundAborted) {
 				continue
 			}
 			var pd *transport.PeerDownError
 			if errors.As(err, &pd) {
 				return fmt.Errorf("core: %s rank %d: %w", what, r, err)
 			}
+			if errors.Is(err, wire.ErrFrameCorrupt) {
+				if corrupt == nil {
+					corrupt = fmt.Errorf("core: %s rank %d: %v: %w", what, r, err, errRoundCorrupt)
+				}
+				continue
+			}
 			if fallback == nil || errors.Is(fallback, transport.ErrClosed) && !errors.Is(err, transport.ErrClosed) {
 				fallback = fmt.Errorf("core: %s rank %d: %w", what, r, err)
 			}
 		}
-		return fallback
+		if fallback != nil {
+			return fallback
+		}
+		return corrupt
 	}
-	var cause error
+	var cause, corrupt error
 	lost := false
 	for _, r := range ranks {
 		err := c.errs[r]
@@ -184,6 +218,11 @@ func (c *crew) collect(what string, ranks []int) error {
 		case errors.As(err, &pd):
 			c.env.members.MarkDown(pd.Peer, pd)
 			lost = true
+		case errors.Is(err, wire.ErrFrameCorrupt):
+			if corrupt == nil {
+				corrupt = fmt.Errorf("core: %s rank %d: %v: %w", what, r, err, errRoundCorrupt)
+			}
+			continue
 		case errors.Is(err, transport.ErrClosed):
 			c.env.members.MarkDown(r, err)
 			lost = true
@@ -197,7 +236,7 @@ func (c *crew) collect(what string, ranks []int) error {
 	if lost {
 		return fmt.Errorf("core: %s: %v: %w", what, cause, errPeersLost)
 	}
-	return nil
+	return corrupt
 }
 
 // mergedTrace folds the group's per-member traces into one (max steps, all

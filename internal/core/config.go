@@ -27,6 +27,7 @@ import (
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/watchdog"
 )
 
 // ConsensusMode selects PSRA-HGADMM's aggregation breadth per iteration.
@@ -207,6 +208,16 @@ type Config struct {
 	// each owner holds several blocks; subscriptions get finer and per-rank
 	// residency drops on sparse data. Ignored unless sharding is on.
 	ShardBlocks int
+	// Watchdog enables divergence monitoring: NaN/Inf escaping into any
+	// live worker's x/y/z, non-finite residuals or objective, and
+	// residual/objective explosions relative to a sliding window of
+	// healthy iterations. On a trip the engine rolls every rank back to
+	// the last checkpoint (when RunOptions.Checkpoint has a store and a
+	// usable snapshot) at the iteration boundary — re-seeding codec
+	// error-feedback state and recording the event in Result.Rollbacks —
+	// and aborts with an error wrapping watchdog.ErrDiverged once
+	// Watchdog.MaxRollbacks is exhausted or no snapshot exists.
+	Watchdog watchdog.Config
 }
 
 func (c *Config) fill() {
@@ -270,6 +281,12 @@ func (c Config) Validate() error {
 	}
 	if c.ShardBlocks < 0 {
 		return fmt.Errorf("core: ShardBlocks must be non-negative, got %d", c.ShardBlocks)
+	}
+	if err := c.Watchdog.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Faults != nil && (c.Faults.CorruptProb < 0 || c.Faults.CorruptProb > 1) {
+		return fmt.Errorf("core: Faults.CorruptProb must be in [0,1], got %v", c.Faults.CorruptProb)
 	}
 	if c.Faults != nil && len(c.Faults.RejoinAtIteration) > 0 {
 		if !c.Elastic {
@@ -356,6 +373,23 @@ type Result struct {
 	LiveWorkers int
 	Epoch       int
 	Degraded    bool
+	// Rollbacks records every watchdog-triggered checkpoint rollback the
+	// run performed, in order. A non-empty list with a nil error means the
+	// run diverged, recovered from its last good snapshot, and still
+	// finished; the History contains the post-rollback replay (entries for
+	// the rolled-back iterations are truncated and rewritten).
+	Rollbacks []RollbackEvent
+}
+
+// RollbackEvent is one watchdog-triggered restore to a checkpoint.
+type RollbackEvent struct {
+	// TripIter is the iteration whose statistics tripped the watchdog.
+	TripIter int
+	// ToIter is the iteration the run restarted from (the snapshot's
+	// boundary).
+	ToIter int
+	// Reason is the watchdog's trip description.
+	Reason string
 }
 
 // FinalObjective returns the last evaluated objective value.

@@ -14,7 +14,15 @@ import (
 	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/transport"
 	"psrahgadmm/internal/vec"
+	"psrahgadmm/internal/watchdog"
 )
+
+// corruptRetryCap bounds how many times one iteration's round may be
+// retried because a frame failed its integrity check. CRC32C drops are
+// independent per frame, so legitimate corruption clears in one or two
+// attempts; a link that fails this many rounds in a row is poisoned and
+// the run aborts with the corrupt cause instead of spinning.
+const corruptRetryCap = 8
 
 // RunOptions carries the optional evaluation inputs of a run.
 type RunOptions struct {
@@ -128,6 +136,9 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		members: members,
 		elastic: cfg.Elastic,
 	}
+	if f := cfg.Faults; f != nil && (f.CorruptProb > 0 || len(f.CorruptAtIteration) > 0) {
+		env.corruptible = true
+	}
 	if sharded {
 		// Block-partition the dimension and subscribe each rank to the
 		// blocks its active columns fall into; workers drop their full-
@@ -188,6 +199,12 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	// round, so the strategies simply see one more live rank.
 	killAt := make(map[int][]int)
 	rejoinAt := make(map[int][]int)
+	// Corruption and NaN injections share the boundary mechanism but fire
+	// at most ONCE per run: the entry is deleted when executed, so a
+	// post-rollback replay of the same iteration is not re-poisoned (the
+	// whole point of the rollback is to get past the fault).
+	corruptAt := make(map[int][]int)
+	nanAt := make(map[int][]int)
 	if ffab != nil {
 		for r, it := range cfg.Faults.KillAtIteration {
 			killAt[it] = append(killAt[it], r)
@@ -195,11 +212,16 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		for r, it := range cfg.Faults.RejoinAtIteration {
 			rejoinAt[it] = append(rejoinAt[it], r)
 		}
-		for _, rs := range killAt {
-			sort.Ints(rs)
+		for r, it := range cfg.Faults.CorruptAtIteration {
+			corruptAt[it] = append(corruptAt[it], r)
 		}
-		for _, rs := range rejoinAt {
-			sort.Ints(rs)
+		for r, it := range cfg.Faults.NaNAtIteration {
+			nanAt[it] = append(nanAt[it], r)
+		}
+		for _, m := range []map[int][]int{killAt, rejoinAt, corruptAt, nanAt} {
+			for _, rs := range m {
+				sort.Ints(rs)
+			}
 		}
 	}
 
@@ -255,6 +277,15 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		}
 	}
 
+	// The divergence watchdog (nil when disabled) plus rollback
+	// bookkeeping. histBase maps History indices to iterations: entry i is
+	// iteration startIter+i, which a rollback's truncation must respect on
+	// resumed runs.
+	wd := watchdog.New(cfg.Watchdog)
+	wdCfg := cfg.Watchdog.Fill()
+	rollbacks := 0
+	histBase := startIter
+
 	// A round that fails because peers died is retried over the survivors
 	// (elastic mode only). Each death shrinks the world by one, and a
 	// retry can surface at most one fresh death per observing member, so
@@ -295,20 +326,47 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		if cfg.Elastic && members.LiveCount() == 0 {
 			return fail(iter, errors.New("no live workers remain"))
 		}
+		if rs := corruptAt[iter]; len(rs) > 0 {
+			for _, r := range rs {
+				ffab.ArmCorrupt(r)
+			}
+			delete(corruptAt, iter)
+		}
+		if rs := nanAt[iter]; len(rs) > 0 {
+			for _, r := range rs {
+				ws[r].poisonNaN = true
+			}
+			delete(nanAt, iter)
+		}
 
 		var timing iterTiming
-		for attempt := 0; ; attempt++ {
+		lostRetries, corruptRetries := 0, 0
+		for {
 			var err error
 			timing, err = strat.Round(cfg, iter)
 			if err == nil {
 				break
 			}
+			if errors.Is(err, errRoundCorrupt) {
+				// A checksum-dropped frame is a recoverable loss in ANY
+				// failure mode: the fabric is healthy, nobody consumed bad
+				// bytes, and a fresh attempt under a new tag window re-ships
+				// the round. Bounded so a persistently poisoned link becomes
+				// a typed failure instead of an infinite retry.
+				if corruptRetries >= corruptRetryCap {
+					return fail(iter, fmt.Errorf("giving up after %d corrupt-frame round retries: %w", corruptRetries, err))
+				}
+				corruptRetries++
+				health.CorruptRounds.Inc()
+				continue
+			}
 			if !cfg.Elastic || !errors.Is(err, errPeersLost) ||
-				members.LiveCount() == 0 || attempt >= retryCap {
+				members.LiveCount() == 0 || lostRetries >= retryCap {
 				// Partial results travel with the error: everything up
 				// to the failed iteration is valid history.
 				return fail(iter, err)
 			}
+			lostRetries++
 			// Failed attempts charge no virtual time: the simulated
 			// cluster's clock models healthy progress, and a retried
 			// round re-runs from the reconciled state.
@@ -373,6 +431,56 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		res.TotalBytes += timing.bytes
 		if opts.OnIteration != nil {
 			opts.OnIteration(stat)
+		}
+		// Divergence check BEFORE the adaptive penalty and the checkpoint
+		// save: a poisoned iteration must neither steer ρ nor be persisted
+		// as a "good" snapshot. The iterate scan runs first — a NaN that a
+		// zero gather or a sparse merge masked out of the residuals is still
+		// poison in somebody's x/y/z.
+		if wd != nil {
+			var trip *watchdog.TripError
+			for _, w := range live {
+				if bad := watchdog.ScanNonFinite([]string{"x", "y", "z"}, w.xA, w.yA, w.zStore); bad != "" {
+					trip = &watchdog.TripError{Iter: iter, Reason: fmt.Sprintf("non-finite iterate on rank %d: %s", w.rank, bad)}
+					break
+				}
+			}
+			if trip == nil {
+				haveObj := iter%cfg.EvalEvery == 0 || iter == cfg.MaxIter-1
+				trip = wd.Observe(iter, stat.PrimalRes, stat.DualRes, stat.Objective, haveObj)
+			}
+			if trip != nil {
+				health.WatchdogTrips.Inc()
+				ck := opts.Checkpoint
+				if rollbacks >= wdCfg.MaxRollbacks || ck == nil || ck.Store == nil {
+					return fail(iter, trip)
+				}
+				toIter, ok, rerr := rollbackToSnapshot(ck, &cfg, env, strat, zPrev, res)
+				if rerr != nil {
+					return fail(iter, fmt.Errorf("rollback after %v: %w", trip, rerr))
+				}
+				if !ok {
+					return fail(iter, fmt.Errorf("no checkpoint to roll back to: %w", trip))
+				}
+				rollbacks++
+				// The snapshot restored iterates, z_prev, ρ, strategy
+				// scalars, and the virtual-clock totals; everything derived
+				// since is discarded: history past the snapshot, the codec
+				// error-feedback residuals (they describe contributions of a
+				// timeline that no longer happened), and the watchdog's own
+				// baseline (the replay builds a fresh one).
+				res.History = res.History[:toIter-histBase]
+				if env.states != nil {
+					for _, s := range env.states {
+						s.Reset()
+					}
+				}
+				wd.Reset()
+				res.Rollbacks = append(res.Rollbacks, RollbackEvent{TripIter: iter, ToIter: toIter, Reason: trip.Reason})
+				health.Rollbacks.Inc()
+				iter = toIter - 1
+				continue
+			}
 		}
 		if cfg.AdaptiveRho {
 			if newRho := adaptRho(cfg.Rho, stat.PrimalRes, stat.DualRes, cfg.RhoMu, cfg.RhoTau); newRho != cfg.Rho {

@@ -179,3 +179,47 @@ func TestRejoinRequiresElastic(t *testing.T) {
 		t.Fatal("rejoin at the kill iteration accepted")
 	}
 }
+
+// TestRejoinResetsAgeScoringState covers the age-scored top-k codec across
+// a kill+rejoin: the engine resets the rejoiner's exchange state (error-
+// feedback residual AND the residual ages) at the boundary, so the run is
+// deterministic across repetitions and still makes real progress — an
+// inherited age vector from the dead incarnation would perturb selection
+// unpredictably and break both properties.
+func TestRejoinResetsAgeScoringState(t *testing.T) {
+	train, _ := testData(t, 160)
+	run := func() *Result {
+		cfg := baseConfig(PSRAADMMTopK, 4, 2)
+		cfg.MaxIter = 40
+		cfg.EvalEvery = cfg.MaxIter
+		cfg.CodecTopK = 8
+		cfg.CodecAgeScoring = true
+		cfg.Elastic = true
+		cfg.Faults = &transport.FaultPlan{
+			Seed:              13,
+			KillAtIteration:   map[int]int{3: 6},
+			RejoinAtIteration: map[int]int{3: 12},
+		}
+		res, err := Run(cfg, train, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	if len(a.History) != 40 {
+		t.Fatalf("completed %d iterations", len(a.History))
+	}
+	if a.Degraded || a.LiveWorkers != 8 {
+		t.Fatalf("rejoin did not restore the world: live=%d degraded=%v", a.LiveWorkers, a.Degraded)
+	}
+	if f0 := a.History[0].Objective; !isNaN(f0) && a.FinalObjective() >= f0 {
+		t.Fatalf("no progress across kill+rejoin with age scoring: %v -> %v", f0, a.FinalObjective())
+	}
+	for rep := 0; rep < 3; rep++ {
+		b := run()
+		if !vec.Equal(a.Z, b.Z) {
+			t.Fatalf("rep %d: age-scored rejoin run is nondeterministic", rep)
+		}
+	}
+}

@@ -69,6 +69,12 @@ type worker struct {
 	lastCal  float64
 	tron     solver.Workspace
 
+	// poisonNaN makes the next xUpdate emit a NaN iterate — the engine's
+	// FaultPlan.NaNAtIteration hook, modeling a numerically blown-up local
+	// solve. Consumed on use so a post-rollback replay of the iteration is
+	// clean.
+	poisonNaN bool
+
 	// Steady-state reuse (see DESIGN.md "Memory model & buffer
 	// ownership"): zScratch is applyW's z-update destination; zOwn
 	// double-buffers the sparse consensus view derived in applyZ's nil-
@@ -197,6 +203,12 @@ func (w *worker) xUpdate(cfg Config, iter int) float64 {
 	var res solver.TronResult
 	if len(w.active) > 0 {
 		res = solver.TRONWorkspace(w.obj, w.xA, cfg.Tron, &w.tron)
+	}
+	if w.poisonNaN {
+		w.poisonNaN = false
+		if len(w.xA) > 0 {
+			w.xA[0] = math.NaN()
+		}
 	}
 	units := simnet.WorkUnits(res.CGIters, res.FunEvals, w.shard.NNZ(), len(w.active))
 	t := cfg.Cost.ComputeTime(units)

@@ -160,3 +160,43 @@ func TestEncodeSparseBlocksPerBlockScale(t *testing.T) {
 		t.Fatal("exact codec mutated the vector")
 	}
 }
+
+// TestResetClearsAgeState is the rejoin contract at the codec level: after
+// Reset — what the engine calls when a rank rejoins as a fresh incarnation
+// — the residual AND its ages are gone, so the state's next selection is
+// bit-identical to a brand-new state's. Without the age wipe, a rejoiner
+// would inherit aged priorities describing contributions its dead
+// incarnation never shipped.
+func TestResetClearsAgeState(t *testing.T) {
+	aged := pinnedState(true)
+	// Build up residual + age history: the quiet coordinate accrues age.
+	for r := 0; r < 5; r++ {
+		aged.Encode(contribution())
+	}
+	if len(aged.ageRes) == 0 {
+		t.Fatal("test premise broken: no age state accrued after 5 rounds")
+	}
+	aged.Reset()
+	if len(aged.ageRes) != 0 || aged.residual.NNZ() != 0 {
+		t.Fatalf("Reset left state behind: %d ages, %d residual entries",
+			len(aged.ageRes), aged.residual.NNZ())
+	}
+	// Selection after Reset must match a pristine state's first round.
+	fresh := pinnedState(true)
+	// Reset zeroes K so budgeted states re-derive it; this pinned state has
+	// no budget, so restore the fixed selection size as the engine's rejoin
+	// path relies on first-encode re-derivation.
+	aged.K = 2
+	vr, vf := contribution(), contribution()
+	aged.Encode(vr)
+	fresh.Encode(vf)
+	if vr.NNZ() != vf.NNZ() {
+		t.Fatalf("post-reset selection differs from pristine: %d vs %d entries", vr.NNZ(), vf.NNZ())
+	}
+	for k := range vr.Index {
+		if vr.Index[k] != vf.Index[k] || vr.Value[k] != vf.Value[k] {
+			t.Fatalf("post-reset entry %d differs: (%d,%v) vs (%d,%v)",
+				k, vr.Index[k], vr.Value[k], vf.Index[k], vf.Value[k])
+		}
+	}
+}

@@ -30,6 +30,28 @@ func fuzzSnapshot() *Snapshot {
 	}
 }
 
+// fuzzSnapshotSharded mirrors a block-sharded run's snapshot shape: each
+// rank's ZDense is its compact subscribed-block concatenation — lengths
+// differ per rank and from the global dimension — alongside a sparse view.
+// The PSCK format is identical; only the slice lengths exercise the
+// decoder differently, which is exactly what the fuzz corpus should pin.
+func fuzzSnapshotSharded() *Snapshot {
+	return &Snapshot{
+		Algorithm:  "psra-hgadmm-sharded",
+		Iter:       7,
+		Rho:        0.5,
+		Epoch:      0,
+		ZPrev:      []float64{1, 0, -1, 2, 0, 3},
+		TotalCal:   1.5,
+		TotalComm:  0.75,
+		TotalBytes: 512,
+		Workers: []WorkerSnap{
+			{Rank: 0, Clock: 2, CalTotal: 1, XA: []float64{1}, YA: []float64{0.1}, ZDense: []float64{1, 0}, ZIdx: []int32{0}, ZVal: []float64{1}},
+			{Rank: 1, Clock: 2.5, CalTotal: 1.5, XA: []float64{2, 3}, YA: []float64{0.2, 0.3}, ZDense: []float64{-1, 2, 0, 3}, ZIdx: []int32{2, 3, 5}, ZVal: []float64{-1, 2, 3}},
+		},
+	}
+}
+
 // FuzzPSCKDecode drives DecodeSnapshot with arbitrary bytes. Invariants:
 // never panic; corrupt length prefixes must error without attempting an
 // allocation beyond the bytes present; and any blob that decodes must
@@ -39,6 +61,11 @@ func FuzzPSCKDecode(f *testing.F) {
 	f.Add(append([]byte(nil), full...))
 	for _, cut := range []int{0, 3, 4, 8, len(full) / 2, len(full) - 1} {
 		f.Add(append([]byte(nil), full[:cut]...))
+	}
+	sharded := EncodeSnapshot(fuzzSnapshotSharded())
+	f.Add(append([]byte(nil), sharded...))
+	for _, cut := range []int{len(sharded) / 3, len(sharded) - 2} {
+		f.Add(append([]byte(nil), sharded[:cut]...))
 	}
 	// Valid prefix with a huge vector-length prefix appended.
 	f.Add(append(append([]byte(nil), full[:8]...), 0xff, 0xff, 0xff, 0x7f))
@@ -56,11 +83,14 @@ func FuzzPSCKDecode(f *testing.F) {
 
 // TestSnapshotTruncationRejected cuts a valid snapshot at every byte
 // boundary: no truncation may decode successfully, and none may panic.
+// Both the replicated and the sharded worker shapes are exercised.
 func TestSnapshotTruncationRejected(t *testing.T) {
-	full := EncodeSnapshot(fuzzSnapshot())
-	for cut := 0; cut < len(full); cut++ {
-		if _, err := DecodeSnapshot(full[:cut]); err == nil {
-			t.Fatalf("truncation at byte %d of %d decoded successfully", cut, len(full))
+	for _, snap := range []*Snapshot{fuzzSnapshot(), fuzzSnapshotSharded()} {
+		full := EncodeSnapshot(snap)
+		for cut := 0; cut < len(full); cut++ {
+			if _, err := DecodeSnapshot(full[:cut]); err == nil {
+				t.Fatalf("%s: truncation at byte %d of %d decoded successfully", snap.Algorithm, cut, len(full))
+			}
 		}
 	}
 }

@@ -38,6 +38,16 @@ type Health struct {
 	// ResidentBytes is the per-rank consensus-state footprint (max over
 	// live ranks) — the number the block-sharded engine exists to shrink.
 	ResidentBytes Gauge
+	// WatchdogTrips counts divergence detections (NaN/Inf iterates,
+	// residual or objective explosions). Each trip either rolled back to a
+	// checkpoint (Rollbacks increments too) or aborted the run.
+	WatchdogTrips Counter
+	// Rollbacks counts checkpoint auto-rollbacks performed after watchdog
+	// trips.
+	Rollbacks Counter
+	// CorruptRounds counts consensus rounds retried because a wire frame
+	// failed its integrity check mid-collective.
+	CorruptRounds Counter
 	peerDowns     []Counter
 }
 

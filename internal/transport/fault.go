@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -57,6 +58,28 @@ type FaultPlan struct {
 	// after the sender's next Send, swapping the pair's arrival order. A
 	// held message with no successor behaves like a drop.
 	ReorderProb float64
+	// CorruptProb is the probability a Send's encoded frame suffers a
+	// single bit-flip in its payload bytes in transit. The flip is applied
+	// to the real wire encoding (CRC32C trailer included, computed before
+	// the flip), then run through the real decoder: a detected flip means
+	// the frame is dropped and the receiver observes a FrameCorruptError —
+	// exactly what a TCP reader does when a checksum fails — while an
+	// undetected flip (impossible for single-bit errors under CRC32C, but
+	// counted defensively) is delivered wrong, modeling an unprotected
+	// wire. Tests assert SilentCorruptions stays zero.
+	CorruptProb float64
+	// CorruptAtIteration maps rank → the outer iteration at whose start
+	// that rank's next algorithm-traffic Send is corrupted. Like
+	// KillAtIteration it is executed by the core engine (via ArmCorrupt) at
+	// the scheduled boundary, and it fires at most once per run so a
+	// post-rollback replay of the same iteration is not re-poisoned.
+	CorruptAtIteration map[int]int
+	// NaNAtIteration maps rank → the outer iteration at whose start the
+	// engine poisons that rank's local solve with a NaN. This is not a
+	// transport fault at all — it rides in the plan so every chaos schedule
+	// lives in one place — and, like KillAtIteration, the engine executes
+	// it (transport cannot see solver state) exactly once per run.
+	NaNAtIteration map[int]int
 }
 
 // faultPoll is how often blocked Recvs on a FaultFabric re-check failure
@@ -74,13 +97,40 @@ type FaultFabric struct {
 	eps   []*faultEndpoint
 
 	mu       sync.Mutex
-	down     []*PeerDownError // rank → kill record, nil while alive
-	cut      map[[2]int]bool  // normalized partitioned pairs
+	down     []*PeerDownError  // rank → kill record, nil while alive
+	cut      map[[2]int]bool   // normalized partitioned pairs
+	corruptQ [][]corruptRecord // rank → detected-corrupt frames awaiting its Recv
 	drops    atomic.Int64
 	delays   atomic.Int64
 	dups     atomic.Int64
 	reorders atomic.Int64
+	corrupts atomic.Int64
+	silent   atomic.Int64
 }
+
+// corruptRecord is one detected-and-dropped corrupt frame: enough identity
+// for the recipient's Recv to surface a typed FrameCorruptError in its
+// place, so in-process receivers learn of the loss promptly instead of
+// waiting out a deadline the way a TCP receiver would.
+type corruptRecord struct {
+	from int
+	tag  int32
+}
+
+// FrameCorruptError reports that a frame destined for this receiver failed
+// its integrity check in transit and was dropped. The message never
+// arrived; the collective retry layer treats this exactly like a lost
+// frame and re-requests it. errors.Is(err, wire.ErrFrameCorrupt) matches.
+type FrameCorruptError struct {
+	From int
+	Tag  int32
+}
+
+func (e *FrameCorruptError) Error() string {
+	return fmt.Sprintf("transport: corrupt frame from %d tag %d dropped", e.From, e.Tag)
+}
+
+func (e *FrameCorruptError) Unwrap() error { return wire.ErrFrameCorrupt }
 
 // NewFaultFabric wraps under with the given plan.
 func NewFaultFabric(under Fabric, plan FaultPlan) *FaultFabric {
@@ -88,11 +138,12 @@ func NewFaultFabric(under Fabric, plan FaultPlan) *FaultFabric {
 		plan.MaxDelay = 10 * time.Millisecond
 	}
 	f := &FaultFabric{
-		under: under,
-		plan:  plan,
-		eps:   make([]*faultEndpoint, under.Size()),
-		down:  make([]*PeerDownError, under.Size()),
-		cut:   make(map[[2]int]bool),
+		under:    under,
+		plan:     plan,
+		eps:      make([]*faultEndpoint, under.Size()),
+		down:     make([]*PeerDownError, under.Size()),
+		cut:      make(map[[2]int]bool),
+		corruptQ: make([][]corruptRecord, under.Size()),
 	}
 	for _, p := range plan.Partitions {
 		f.cut[pairKey(p[0], p[1])] = true
@@ -162,6 +213,7 @@ func (f *FaultFabric) Revive(rank int) {
 	}
 	f.mu.Lock()
 	f.down[rank] = nil
+	f.corruptQ[rank] = nil // a fresh incarnation starts with a clean inbox
 	for _, e := range f.eps {
 		delete(e.reported, rank)
 	}
@@ -170,6 +222,7 @@ func (f *FaultFabric) Revive(rank int) {
 	ep.rmu.Lock()
 	ep.killAfter = -1
 	ep.held = nil
+	ep.corruptArm = false
 	ep.rmu.Unlock()
 	if ro, ok := f.under.(interface{ Reopen(int) }); ok {
 		ro.Reopen(rank)
@@ -203,6 +256,57 @@ func (f *FaultFabric) InjectedDups() int64 { return f.dups.Load() }
 
 // InjectedReorders reports how many send pairs had their order swapped.
 func (f *FaultFabric) InjectedReorders() int64 { return f.reorders.Load() }
+
+// InjectedCorruptions reports how many sends were bit-flipped in transit
+// and DETECTED by the frame checksum (then dropped for the retry layer to
+// recover). Tests assert this is positive to prove injection ran.
+func (f *FaultFabric) InjectedCorruptions() int64 { return f.corrupts.Load() }
+
+// SilentCorruptions reports bit-flipped frames that passed the checksum
+// and were delivered wrong. CRC32C detects all single-bit errors, so this
+// must be zero; it exists so tests can assert "never silently wrong"
+// directly instead of inferring it from convergence.
+func (f *FaultFabric) SilentCorruptions() int64 { return f.silent.Load() }
+
+// ArmCorrupt makes rank's next algorithm-traffic Send corrupt in transit.
+// The engine calls this at the iteration boundary CorruptAtIteration
+// names; tests may call it directly.
+func (f *FaultFabric) ArmCorrupt(rank int) {
+	if err := checkRank(rank, f.under.Size()); err != nil {
+		panic(err)
+	}
+	ep := f.eps[rank]
+	ep.rmu.Lock()
+	ep.corruptArm = true
+	ep.rmu.Unlock()
+}
+
+// noteCorrupt queues a detected-corrupt record for the recipient's Recv.
+func (f *FaultFabric) noteCorrupt(to, from int, tag int32) {
+	f.mu.Lock()
+	f.corruptQ[to] = append(f.corruptQ[to], corruptRecord{from: from, tag: tag})
+	f.mu.Unlock()
+}
+
+// takeCorrupt removes and returns the first queued corrupt record matching
+// a Recv(from, tag) on rank self, or nil.
+func (f *FaultFabric) takeCorrupt(self, from int, tag int32) *corruptRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	q := f.corruptQ[self]
+	for i := range q {
+		if q[i].tag != tag {
+			continue
+		}
+		if from != AnySource && q[i].from != from {
+			continue
+		}
+		rec := q[i]
+		f.corruptQ[self] = append(q[:i], q[i+1:]...)
+		return &rec
+	}
+	return nil
+}
 
 func (f *FaultFabric) killed(rank int) *PeerDownError {
 	f.mu.Lock()
@@ -268,11 +372,12 @@ type faultEndpoint struct {
 	fab   *FaultFabric
 	under Endpoint
 
-	rmu       sync.Mutex // guards rng, sends, and held (determinism + race safety)
-	rng       *rand.Rand
-	sends     int
-	killAfter int       // successful sends before suicide; -1 = never
-	held      *heldSend // reorder slot: message overtaken by the next send
+	rmu        sync.Mutex // guards rng, sends, held, and corruptArm (determinism + race safety)
+	rng        *rand.Rand
+	sends      int
+	killAfter  int       // successful sends before suicide; -1 = never
+	held       *heldSend // reorder slot: message overtaken by the next send
+	corruptArm bool      // next algorithm send is corrupted (ArmCorrupt)
 	// reported tracks which kills this endpoint's any-source waits have
 	// already surfaced (one report per death per observer); guarded by the
 	// fabric mutex alongside the down records it mirrors.
@@ -307,6 +412,23 @@ func (e *faultEndpoint) Send(to int, m wire.Message) error {
 	}
 	dup := e.fab.plan.DupProb > 0 && e.rng.Float64() < e.fab.plan.DupProb
 	reorder := e.fab.plan.ReorderProb > 0 && e.rng.Float64() < e.fab.plan.ReorderProb
+	// Corruption draws happen only when corruption is configured, so plans
+	// without it replay bit-identical PRNG sequences to older runs. The
+	// bit index is drawn here, under the same lock as the decision, to keep
+	// the (decision, position) pair deterministic per rank.
+	corrupt := false
+	corruptBit := 0
+	if !wire.IsReservedTag(m.Tag) {
+		if e.corruptArm {
+			e.corruptArm = false
+			corrupt = true
+		} else if e.fab.plan.CorruptProb > 0 {
+			corrupt = e.rng.Float64() < e.fab.plan.CorruptProb
+		}
+		if corrupt {
+			corruptBit = e.rng.Intn(1 << 30)
+		}
+	}
 	var flush *heldSend
 	if reorder && e.held == nil && !drop {
 		// Hold this message; the sender's next Send overtakes it.
@@ -328,12 +450,17 @@ func (e *faultEndpoint) Send(to int, m wire.Message) error {
 		e.fab.delays.Add(1)
 		time.Sleep(delay)
 	}
-	err := e.under.Send(to, m)
-	if err == nil && dup {
-		// Duplicate delivery: the same frame arrives twice. Best effort —
-		// the duplicate's failure is invisible, like a retransmit's.
-		e.fab.dups.Add(1)
-		_ = e.under.Send(to, m)
+	var err error
+	if corrupt {
+		err = e.corruptDeliver(to, m, corruptBit)
+	} else {
+		err = e.under.Send(to, m)
+		if err == nil && dup {
+			// Duplicate delivery: the same frame arrives twice. Best effort —
+			// the duplicate's failure is invisible, like a retransmit's.
+			e.fab.dups.Add(1)
+			_ = e.under.Send(to, m)
+		}
 	}
 	if flush != nil {
 		// The held message arrives after its successor: order swapped.
@@ -348,6 +475,34 @@ func (e *faultEndpoint) Send(to int, m wire.Message) error {
 type heldSend struct {
 	to int
 	m  wire.Message
+}
+
+// corruptDeliver simulates an in-transit bit-flip honestly: the message is
+// run through the real wire encoder (CRC trailer computed over the clean
+// bytes), one payload bit is flipped, and the real decoder judges the
+// result. A detected flip is dropped and recorded for the recipient's Recv
+// to surface as FrameCorruptError; an undetected flip — which CRC32C rules
+// out for single-bit errors — is delivered wrong and counted as silent, so
+// "never silently corrupted" is an asserted property, not an assumption.
+func (e *faultEndpoint) corruptDeliver(to int, m wire.Message, bitDraw int) error {
+	buf, err := wire.AppendMessage(nil, m)
+	if err != nil {
+		return err
+	}
+	lo, hi := wire.HeaderBytes, len(buf)-wire.CRCBytes
+	if hi <= lo {
+		hi = len(buf) // degenerate frame: flip somewhere, still detected
+	}
+	bit := bitDraw % ((hi - lo) * 8)
+	buf[lo+bit/8] ^= 1 << (bit % 8)
+	dm, derr := wire.Decode(bytes.NewReader(buf))
+	if derr == nil {
+		e.fab.silent.Add(1)
+		return e.under.Send(to, dm)
+	}
+	e.fab.corrupts.Add(1)
+	e.fab.noteCorrupt(to, e.Rank(), m.Tag)
+	return nil
 }
 
 func (e *faultEndpoint) Recv(from int, tag int32) (wire.Message, error) {
@@ -401,6 +556,13 @@ func (e *faultEndpoint) recv(from int, tag int32, d time.Duration) (wire.Message
 		}
 		if derr := e.fab.recvDownError(e, self, from); derr != nil {
 			return wire.Message{}, derr
+		}
+		// No real message and no failure: if a frame bound for this wait
+		// was corrupted in transit, report the loss promptly and typed —
+		// the in-process analogue of a TCP reader's checksum skip plus the
+		// receiver noticing the gap.
+		if rec := e.fab.takeCorrupt(self, from, tag); rec != nil {
+			return wire.Message{}, &FrameCorruptError{From: rec.from, Tag: rec.tag}
 		}
 	}
 }

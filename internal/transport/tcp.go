@@ -18,6 +18,12 @@ import (
 // User code must not send on this tag.
 const handshakeTag = wire.TagHandshake
 
+// maxCorruptRun is how many consecutive checksum-failed frames a reader
+// tolerates (each dropped and re-sent by the retry layer) before declaring
+// the connection poisoned and marking the peer down. Isolated flips recover
+// invisibly; a systematically broken link fails fast instead of spinning.
+const maxCorruptRun = 8
+
 // TCPOptions configures mesh establishment and failure detection.
 type TCPOptions struct {
 	// DialTimeout bounds the TOTAL wall time NewTCPEndpoint spends
@@ -464,10 +470,26 @@ func (e *tcpEndpoint) readLoop(peer int, p *tcpPeer) {
 	// The frame scratch is grown by DecodeFrom only when a payload exceeds
 	// it, so the steady state reads every frame into the same buffer.
 	var frame []byte
+	corruptRun := 0
 	for {
 		var m wire.Message
 		var err error
 		m, frame, err = wire.DecodeFrom(p.conn, frame)
+		if errors.Is(err, wire.ErrFrameCorrupt) {
+			// The checksum failed but the framing held: exactly one frame
+			// was consumed, so the stream is still aligned. Drop the frame
+			// — the sender's retry layer re-sends it — and keep reading.
+			// A long run of consecutive corrupt frames means the link (or
+			// peer) is systematically poisoned; give up on it then.
+			e.stats.corrupt.Add(1)
+			e.noteDecodeError(peer, err)
+			p.lastRecv.Store(time.Now().UnixNano())
+			if corruptRun++; corruptRun >= maxCorruptRun {
+				e.peerDown(peer, p, fmt.Errorf("%d consecutive corrupt frames: %w", corruptRun, err), false)
+				return
+			}
+			continue
+		}
 		if err != nil {
 			select {
 			case <-e.closed:
@@ -493,6 +515,7 @@ func (e *tcpEndpoint) readLoop(peer int, p *tcpPeer) {
 			}
 			return
 		}
+		corruptRun = 0
 		p.lastRecv.Store(time.Now().UnixNano())
 		if m.Tag == wire.TagHeartbeat {
 			continue // liveness plumbing, never delivered

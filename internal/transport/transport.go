@@ -147,6 +147,11 @@ type Stats struct {
 	// excluded from MsgsSent/BytesSent so algorithm-traffic accounting is
 	// unchanged by liveness plumbing.
 	HeartbeatsSent int64
+	// FramesCorrupt counts frames whose CRC32C trailer failed verification
+	// on this endpoint's reader side. Each one was dropped (never delivered
+	// to the algorithm) and recovered by the collective retry layer; a
+	// nonzero count with a correct result is the integrity layer working.
+	FramesCorrupt int64
 }
 
 type statsCounter struct {
@@ -154,6 +159,7 @@ type statsCounter struct {
 	bytes      atomic.Int64
 	recvErrs   atomic.Int64
 	heartbeats atomic.Int64
+	corrupt    atomic.Int64
 }
 
 func (s *statsCounter) record(m wire.Message) {
@@ -167,6 +173,7 @@ func (s *statsCounter) snapshot() Stats {
 		BytesSent:      s.bytes.Load(),
 		RecvErrors:     s.recvErrs.Load(),
 		HeartbeatsSent: s.heartbeats.Load(),
+		FramesCorrupt:  s.corrupt.Load(),
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -100,20 +101,49 @@ func IsReservedTag(tag int32) bool {
 }
 
 const (
-	magic0      = 'P'
-	magic1      = 'S'
-	version     = 1
+	magic0 = 'P'
+	magic1 = 'S'
+	// version1 frames are header + payload with no integrity trailer; the
+	// decoder still accepts them so pre-checksum peers and archived frame
+	// corpora keep working.
+	version1 = 1
+	// version2 frames append a 4-byte CRC32C (Castagnoli) over header +
+	// payload. The encoder always emits version 2.
+	version2    = 2
 	headerBytes = 16
+	// crcBytes is the version-2 integrity trailer size. It is part of
+	// EncodedBytes (real bytes on a real wire) but deliberately NOT part of
+	// PayloadBytes: the simnet cost model and the paper's per-element
+	// transmission costs count payload, and a fixed 4-byte trailer would
+	// skew every committed golden byte count for no analytical gain.
+	crcBytes = 4
 	// SparseEntryBytes is the wire cost of one sparse element: a 4-byte
 	// index plus an 8-byte value. This constant is what the collective
 	// cost analysis (paper eqs. 11-16) multiplies by.
 	SparseEntryBytes = 12
 	// DenseEntryBytes is the wire cost of one dense element.
 	DenseEntryBytes = 8
+	// HeaderBytes is the fixed frame header size, exported for fault
+	// injectors that need to aim bit-flips at the payload region.
+	HeaderBytes = headerBytes
+	// CRCBytes is the version-2 integrity trailer size.
+	CRCBytes = crcBytes
 )
 
 // ErrBadFrame is returned when a frame fails validation on decode.
 var ErrBadFrame = errors.New("wire: malformed frame")
+
+// ErrFrameCorrupt is returned when a version-2 frame's CRC32C trailer does
+// not match its contents. Unlike ErrBadFrame the framing itself was intact —
+// exactly one frame's worth of bytes was consumed from the stream — so the
+// caller can skip the frame and keep reading; the lost message is recovered
+// by the collective retry layer like any other recv failure.
+var ErrFrameCorrupt = errors.New("wire: frame checksum mismatch")
+
+// castagnoli is the CRC32C polynomial table shared by encode and decode.
+// Castagnoli rather than IEEE because it detects all 1- and 2-bit errors on
+// frames this size and has hardware support on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // maxPayload caps a single frame at 1 GiB to fail fast on corrupt length
 // prefixes instead of attempting a huge allocation.
@@ -145,20 +175,22 @@ func PayloadBytes(m Message) int {
 	}
 }
 
-// EncodedBytes returns the full on-wire size of m including the header.
-func EncodedBytes(m Message) int { return headerBytes + PayloadBytes(m) }
+// EncodedBytes returns the full on-wire size of m as the encoder emits it:
+// header + payload + the version-2 CRC trailer.
+func EncodedBytes(m Message) int { return headerBytes + PayloadBytes(m) + crcBytes }
 
-// AppendMessage appends m's full wire encoding (header + payload) to dst
-// and returns the extended slice. This is the allocation-free core of
-// Encode: callers that reuse dst encode with zero steady-state heap
-// traffic.
+// AppendMessage appends m's full wire encoding (header + payload + CRC32C
+// trailer) to dst and returns the extended slice. This is the
+// allocation-free core of Encode: callers that reuse dst encode with zero
+// steady-state heap traffic.
 func AppendMessage(dst []byte, m Message) ([]byte, error) {
 	plen := PayloadBytes(m)
 	if plen > maxPayload {
 		return dst, fmt.Errorf("wire: payload %d exceeds limit", plen)
 	}
+	start := len(dst)
 	le := binary.LittleEndian
-	dst = append(dst, magic0, magic1, version, byte(m.Kind))
+	dst = append(dst, magic0, magic1, version2, byte(m.Kind))
 	dst = le.AppendUint32(dst, uint32(m.Tag))
 	dst = le.AppendUint32(dst, uint32(m.From))
 	dst = le.AppendUint32(dst, uint32(plen))
@@ -189,6 +221,7 @@ func AppendMessage(dst []byte, m Message) ([]byte, error) {
 	default:
 		return dst[:len(dst)-headerBytes], fmt.Errorf("wire: cannot encode kind %v", m.Kind)
 	}
+	dst = le.AppendUint32(dst, crc32.Checksum(dst[start:], castagnoli))
 	return dst, nil
 }
 
@@ -232,7 +265,7 @@ func DecodeFrom(r io.Reader, payload []byte) (Message, []byte, error) {
 	if hdr[0] != magic0 || hdr[1] != magic1 {
 		return Message{}, payload, fmt.Errorf("%w: bad magic %x%x", ErrBadFrame, hdr[0], hdr[1])
 	}
-	if hdr[2] != version {
+	if hdr[2] != version1 && hdr[2] != version2 {
 		return Message{}, payload, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, hdr[2])
 	}
 	m := Message{
@@ -247,6 +280,25 @@ func DecodeFrom(r io.Reader, payload []byte) (Message, []byte, error) {
 	p, payload, rerr := readPayload(r, payload, int(plen))
 	if rerr != nil {
 		return Message{}, payload, rerr
+	}
+	if hdr[2] == version2 {
+		// Verify the trailer BEFORE the structural decoder touches the
+		// payload: corrupt bytes must surface as ErrFrameCorrupt (skippable,
+		// exactly one frame consumed), never as a wrong-but-well-formed
+		// message. Version-1 frames carry no trailer and decode unverified.
+		var trailer [crcBytes]byte
+		if _, err := io.ReadFull(r, trailer[:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Message{}, payload, err
+		}
+		sum := crc32.Update(0, castagnoli, hdr[:])
+		sum = crc32.Update(sum, castagnoli, p)
+		if sum != binary.LittleEndian.Uint32(trailer[:]) {
+			return Message{}, payload, fmt.Errorf("%w: tag %d from %d (%d payload bytes)",
+				ErrFrameCorrupt, m.Tag, m.From, plen)
+		}
 	}
 	err := decodePayload(&m, p, hdr[3])
 	return m, payload, err

@@ -107,7 +107,7 @@ func TestDecodeEOFAtBoundary(t *testing.T) {
 }
 
 func TestDecodeTruncatedHeader(t *testing.T) {
-	_, err := Decode(bytes.NewReader([]byte{magic0, magic1, version}))
+	_, err := Decode(bytes.NewReader([]byte{magic0, magic1, version2}))
 	if err != io.ErrUnexpectedEOF {
 		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
 	}
@@ -151,12 +151,20 @@ func TestDecodeBadVersion(t *testing.T) {
 	}
 }
 
+// downgradeV1 strips the CRC trailer and stamps version 1, so tampering
+// tests reach the structural validator instead of tripping the checksum.
+func downgradeV1(b []byte) []byte {
+	legacy := append([]byte(nil), b[:len(b)-crcBytes]...)
+	legacy[2] = version1
+	return legacy
+}
+
 func TestDecodeBadKind(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Encode(&buf, Control(1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	b := buf.Bytes()
+	b := downgradeV1(buf.Bytes())
 	b[3] = 42
 	_, err := Decode(bytes.NewReader(b))
 	if !errors.Is(err, ErrBadFrame) {
@@ -170,7 +178,7 @@ func TestDecodeCorruptSparseIndices(t *testing.T) {
 	if err := Encode(&buf, SparseMsg(1, sv)); err != nil {
 		t.Fatal(err)
 	}
-	b := buf.Bytes()
+	b := downgradeV1(buf.Bytes())
 	// Overwrite second entry's index (offset: 16 hdr + 8 dims + 12) to equal
 	// the first entry's index, violating strict ordering.
 	copy(b[16+8+12:16+8+16], b[16+8:16+8+4])

@@ -98,6 +98,10 @@ type RunInfo struct {
 	// a dead peer (aggregation routes through the GG) and their tracker
 	// stays pristine, but the shrunken count still reaches them.
 	ShortRounds int64
+	// Rollbacks counts the checkpoint rollbacks RunWithRecovery performed
+	// before this run completed (zero for a trip-free run; plain
+	// Run/RunWorker never set it).
+	Rollbacks int
 }
 
 // Degraded reports whether the run lost anything: a death, a skipped
@@ -188,8 +192,15 @@ func runWorkerElastic(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInf
 	// construction (the State is created fresh for the new incarnation).
 	st := exchange.NewState(cfg.Codec, 0)
 
+	wd := newWatch(cfg, rank)
 	for iter := startIter; iter < cfg.MaxIter; iter++ {
 		buf := append([]float64(nil), f.ComputeW(iter)...)
+		// Divergence is not a membership fact: a poisoned contribution (or
+		// aggregate, below) is an unrecoverable per-rank error that tears
+		// the run down — the elastic machinery only absorbs peer deaths.
+		if err := wd.checkOwn(iter, buf); err != nil {
+			return info(), err
+		}
 		if st != nil {
 			st.EncodeDense(buf)
 		} else {
@@ -197,6 +208,9 @@ func runWorkerElastic(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInf
 		}
 		agg, contributors, err := w.iterate(iter, buf)
 		if err != nil {
+			return info(), err
+		}
+		if err := wd.checkAgg(iter, agg); err != nil {
 			return info(), err
 		}
 		if contributors < topo.Size() {

@@ -1,0 +1,165 @@
+// Divergence detection and checkpoint rollback for the WLG runtime.
+//
+// The runtime is algorithm-agnostic, so its watchdog watches what it can
+// see: the contribution each worker hands it and the aggregate it hands
+// back. Both are scanned for NaN/Inf, and their infinity norms feed the
+// shared watchdog.Monitor's sliding-window explosion test — a contribution
+// whose magnitude jumps four orders of magnitude past the recent floor is
+// diverging even if no value is (yet) non-finite. Because every member of
+// a group applies the SAME aggregate, one poisoned contribution trips
+// every rank of the group at the same iteration: detection is coordinated
+// by the data itself, no extra protocol needed.
+//
+// A trip is a typed *DivergedError returned BEFORE ApplyW, so poisoned
+// values never enter algorithm state (and, on the checkpointing path,
+// never get persisted). Under Run's fail-fast semantics the first trip
+// tears the whole world down at that iteration boundary — which is exactly
+// the coordination rollback needs. RunWithRecovery drives the
+// detect → rollback → resume ladder on top: restore every rank's state
+// from the last good checkpoint, relaunch the world with
+// Config.StartIter at the checkpoint boundary (the resume path that
+// already exists for restarts), and abort with the trip once the bounded
+// rollback budget is spent. The multi-process analog is exit-code driven:
+// psra-worker exits with a dedicated code on divergence and orchestration
+// relaunches with -start-iter.
+package wlg
+
+import (
+	"errors"
+	"fmt"
+
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/vec"
+	"psrahgadmm/internal/watchdog"
+)
+
+// DivergedError reports a watchdog trip on one rank: which rank, at which
+// iteration, and why. errors.Is(err, watchdog.ErrDiverged) matches.
+type DivergedError struct {
+	Rank   int
+	Iter   int
+	Reason string
+}
+
+func (e *DivergedError) Error() string {
+	return fmt.Sprintf("wlg: rank %d diverged at iteration %d: %s", e.Rank, e.Iter, e.Reason)
+}
+
+func (e *DivergedError) Unwrap() error { return watchdog.ErrDiverged }
+
+// wlgWatch is one worker's divergence monitor. The zero-ish nil-Monitor
+// state (watchdog disabled) makes every method a no-op, so the worker
+// loops carry no branches.
+type wlgWatch struct {
+	mon  *watchdog.Monitor
+	rank int
+	// ownInf is the contribution's inf-norm, buffered so one Observe per
+	// iteration sees both sides of the exchange.
+	ownInf float64
+}
+
+func newWatch(cfg Config, rank int) *wlgWatch {
+	mon := watchdog.New(cfg.Watchdog)
+	if mon == nil {
+		return nil
+	}
+	return &wlgWatch{mon: mon, rank: rank}
+}
+
+// checkOwn vets this rank's raw contribution before it enters any codec or
+// collective — a NaN absorbed into a top-k error-feedback residual would
+// poison every later round, so the scan must run on the ComputeW output.
+func (w *wlgWatch) checkOwn(iter int, own []float64) error {
+	if w == nil {
+		return nil
+	}
+	if at := watchdog.ScanNonFinite([]string{"w"}, own); at != "" {
+		return &DivergedError{Rank: w.rank, Iter: iter, Reason: "non-finite contribution: " + at}
+	}
+	w.ownInf = vec.NrmInf(own)
+	return nil
+}
+
+// checkAgg vets the received aggregate before ApplyW and feeds the
+// window: contribution and aggregate norms play the monitor's primal/dual
+// roles (no objective at this layer).
+func (w *wlgWatch) checkAgg(iter int, agg []float64) error {
+	if w == nil {
+		return nil
+	}
+	if at := watchdog.ScanNonFinite([]string{"W"}, agg); at != "" {
+		return &DivergedError{Rank: w.rank, Iter: iter, Reason: "non-finite aggregate: " + at}
+	}
+	aggInf := vec.NrmInf(agg)
+	if w.ownInf == 0 && aggInf == 0 {
+		// A zero exchange (the cold-start iterate, a fully-converged run)
+		// carries no magnitude signal: pushing it would zero the window
+		// floor and make every later healthy value an "explosion".
+		return nil
+	}
+	if trip := w.mon.Observe(iter, w.ownInf, aggInf, 0, false); trip != nil {
+		return &DivergedError{Rank: w.rank, Iter: iter, Reason: trip.Reason}
+	}
+	return nil
+}
+
+// RecoveryOptions parameterizes RunWithRecovery's rollback ladder.
+type RecoveryOptions struct {
+	// Rollback is invoked after a divergence teardown. It must restore
+	// every rank's algorithm state to a consistent iteration boundary (the
+	// last good checkpoint) and return the iteration the relaunched world
+	// resumes from. ok=false means there is nothing to roll back to, which
+	// turns the trip into the run's error.
+	Rollback func(trip *DivergedError) (startIter int, ok bool, err error)
+	// MaxRollbacks bounds the ladder; 0 means the watchdog config default.
+	MaxRollbacks int
+}
+
+// RunWithRecovery is Run with the divergence ladder on top: it launches a
+// full world via mkFab (a fresh fabric per attempt — the previous one was
+// torn down by the fail-fast abort), and when the run dies of a
+// *DivergedError it rolls back through opts.Rollback and relaunches with
+// StartIter at the restored boundary, up to the rollback budget. Every
+// other failure, and a trip past the budget, is returned as-is. The
+// returned RunInfo records how many rollbacks the run survived.
+func RunWithRecovery(mkFab func() (transport.Fabric, error), cfg Config, funcs func(rank int) WorkerFuncs, opts RecoveryOptions) (*RunInfo, error) {
+	maxRB := opts.MaxRollbacks
+	if maxRB <= 0 {
+		maxRB = cfg.Watchdog.Fill().MaxRollbacks
+	}
+	rollbacks := 0
+	for {
+		fab, err := mkFab()
+		if err != nil {
+			return nil, fmt.Errorf("wlg: recovery fabric: %w", err)
+		}
+		info, err := RunWithInfo(fab, cfg, funcs)
+		fab.Close()
+		if err == nil {
+			info.Rollbacks = rollbacks
+			return info, nil
+		}
+		var trip *DivergedError
+		if !errors.As(err, &trip) {
+			return nil, err
+		}
+		if rollbacks >= maxRB {
+			return nil, fmt.Errorf("wlg: giving up after %d rollbacks: %w", rollbacks, err)
+		}
+		if opts.Rollback == nil {
+			return nil, fmt.Errorf("wlg: no rollback handler: %w", err)
+		}
+		start, ok, rerr := opts.Rollback(trip)
+		if rerr != nil {
+			return nil, fmt.Errorf("wlg: rollback after %v: %w", err, rerr)
+		}
+		if !ok {
+			return nil, fmt.Errorf("wlg: no checkpoint to roll back to: %w", err)
+		}
+		if start < 0 || start > trip.Iter {
+			return nil, fmt.Errorf("wlg: rollback returned boundary %d outside [0, %d]", start, trip.Iter)
+		}
+		rollbacks++
+		cfg.StartIter = start
+	}
+}

@@ -49,8 +49,14 @@ func runWorkerPlainTopK(ep transport.Endpoint, cfg Config, f WorkerFuncs) error 
 	var ggReq [2]int64
 	var cnt [1]int64
 
+	wd := newWatch(cfg, rank)
 	for iter := cfg.StartIter; iter < cfg.MaxIter; iter++ {
 		w := f.ComputeW(iter)
+		// The scan runs on the raw ComputeW output: a NaN absorbed into the
+		// error-feedback residual would re-poison every later selection.
+		if err := wd.checkOwn(iter, w); err != nil {
+			return err
+		}
 		buf = append(buf[:0], w...)
 		sv = sparse.FromDenseInto(sv, buf)
 		// Error-feedback selection, then steer k from this rank's own wire
@@ -116,6 +122,9 @@ func runWorkerPlainTopK(ep transport.Endpoint, cfg Config, f WorkerFuncs) error 
 			contributors = int(c.Ints[0])
 		}
 		buf = agg.ToDenseInto(buf)
+		if err := wd.checkAgg(iter, buf); err != nil {
+			return err
+		}
 		f.ApplyW(iter, buf, contributors)
 	}
 	return nil

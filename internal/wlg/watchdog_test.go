@@ -1,0 +1,267 @@
+package wlg
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"psrahgadmm/internal/simnet"
+	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/watchdog"
+)
+
+// TestWLGWatchdogTripsTyped: a NaN contribution trips the guilty rank's
+// watchdog at that exact iteration, and the whole world comes down with a
+// typed *DivergedError — not an untyped transport failure.
+func TestWLGWatchdogTripsTyped(t *testing.T) {
+	topo := simnet.Topology{Nodes: 2, WorkersPerNode: 2}
+	cfg := Config{Topo: topo, MaxIter: 6, Watchdog: watchdog.Config{Enabled: true}}
+	fab := transport.NewChanFabric(WorldSize(topo))
+	defer fab.Close()
+	dim := 4
+	err := Run(fab, cfg, func(rank int) WorkerFuncs {
+		return WorkerFuncs{
+			ComputeW: func(iter int) []float64 {
+				v := rankVec(dim, rank)
+				if rank == 1 && iter == 3 {
+					v[2] = math.NaN()
+				}
+				return v
+			},
+			ApplyW: func(int, []float64, int) {},
+		}
+	})
+	if err == nil {
+		t.Fatal("NaN contribution completed the run")
+	}
+	if !errors.Is(err, watchdog.ErrDiverged) {
+		t.Fatalf("not typed as divergence: %v", err)
+	}
+	var div *DivergedError
+	if !errors.As(err, &div) {
+		t.Fatalf("no *DivergedError in chain: %v", err)
+	}
+	if div.Rank != 1 || div.Iter != 3 {
+		t.Fatalf("trip attributed to rank %d iter %d, want rank 1 iter 3", div.Rank, div.Iter)
+	}
+}
+
+// TestWLGWatchdogMagnitudeExplosion: no value ever goes non-finite, but the
+// contribution magnitude jumps six orders past the sliding-window floor —
+// the aggregate every rank shares carries the explosion, so the whole
+// group trips at the same iteration.
+func TestWLGWatchdogMagnitudeExplosion(t *testing.T) {
+	topo := simnet.Topology{Nodes: 2, WorkersPerNode: 2}
+	cfg := Config{Topo: topo, MaxIter: 20, Watchdog: watchdog.Config{Enabled: true}}
+	fab := transport.NewChanFabric(WorldSize(topo))
+	defer fab.Close()
+	dim := 4
+	err := Run(fab, cfg, func(rank int) WorkerFuncs {
+		return WorkerFuncs{
+			ComputeW: func(iter int) []float64 {
+				v := make([]float64, dim)
+				for j := range v {
+					v[j] = 1
+				}
+				if rank == 2 && iter >= 12 {
+					v[0] = 1e9
+				}
+				return v
+			},
+			ApplyW: func(int, []float64, int) {},
+		}
+	})
+	var div *DivergedError
+	if !errors.As(err, &div) {
+		t.Fatalf("magnitude explosion not detected: %v", err)
+	}
+	if div.Iter != 12 {
+		t.Fatalf("tripped at iteration %d, want 12", div.Iter)
+	}
+}
+
+// TestWLGElasticWatchdogTrips: divergence is NOT a membership fact — the
+// elastic runtime absorbs deaths, but a poisoned contribution still tears
+// the run down with the typed error instead of being "survived".
+func TestWLGElasticWatchdogTrips(t *testing.T) {
+	topo := simnet.Topology{Nodes: 2, WorkersPerNode: 2}
+	cfg := Config{Topo: topo, MaxIter: 8, Elastic: true, Watchdog: watchdog.Config{Enabled: true}}
+	fab := transport.NewChanFabric(WorldSize(topo))
+	defer fab.Close()
+	dim := 3
+	_, err := RunWithInfo(fab, cfg, func(rank int) WorkerFuncs {
+		return WorkerFuncs{
+			ComputeW: func(iter int) []float64 {
+				v := rankVec(dim, rank)
+				if rank == 3 && iter == 2 {
+					v[0] = math.Inf(1)
+				}
+				return v
+			},
+			ApplyW: func(int, []float64, int) {},
+		}
+	})
+	var div *DivergedError
+	if !errors.As(err, &div) {
+		t.Fatalf("elastic run absorbed a divergence: %v", err)
+	}
+	if div.Rank != 3 || div.Iter != 2 {
+		t.Fatalf("trip attributed to rank %d iter %d, want rank 3 iter 2", div.Rank, div.Iter)
+	}
+}
+
+// TestWLGRecoveryRollsBackAndConverges is the runtime half of the
+// tentpole's acceptance: a NaN poisoned into one rank's contribution
+// mid-run trips every rank's watchdog, RunWithRecovery restores the last
+// checkpoint every rank holds and relaunches the world with StartIter at
+// that boundary (the resume path), and — the injection firing once — the
+// replayed run converges to the fixpoint within 1e-3.
+//
+// The algorithm is consensus averaging with per-rank pull targets:
+// x_r ← (Σx/n + t_r)/2, whose fixpoint is x_r* = (mean(t) + t_r)/2.
+func TestWLGRecoveryRollsBackAndConverges(t *testing.T) {
+	topo := simnet.Topology{Nodes: 2, WorkersPerNode: 2}
+	world := topo.Size()
+	cfg := Config{Topo: topo, MaxIter: 30, Watchdog: watchdog.Config{Enabled: true}}
+	dim := 4
+	const every = 5 // checkpoint boundary spacing, in iterations
+
+	xs := make([][]float64, world)          // rank-owned state
+	cks := make([]map[int][]float64, world) // per-rank boundary → snapshot
+	targets := make([]float64, world)
+	for r := range xs {
+		xs[r] = make([]float64, dim)
+		cks[r] = make(map[int][]float64)
+		targets[r] = float64(r + 1)
+	}
+	var poisoned atomic.Bool
+	var mu sync.Mutex // guards cks: saves race with nothing but be explicit
+
+	funcs := func(rank int) WorkerFuncs {
+		return WorkerFuncs{
+			ComputeW: func(iter int) []float64 {
+				out := append([]float64(nil), xs[rank]...)
+				if rank == 2 && iter == 12 && poisoned.CompareAndSwap(false, true) {
+					out[1] = math.NaN()
+				}
+				return out
+			},
+			ApplyW: func(iter int, agg []float64, n int) {
+				for j := range xs[rank] {
+					xs[rank][j] = (agg[j]/float64(n) + targets[rank]) / 2
+				}
+				if (iter+1)%every == 0 {
+					mu.Lock()
+					cks[rank][iter+1] = append([]float64(nil), xs[rank]...)
+					mu.Unlock()
+				}
+			},
+		}
+	}
+	rollback := func(trip *DivergedError) (int, bool, error) {
+		// Restore the newest boundary EVERY rank checkpointed at or before
+		// the trip: ranks run slightly out of lockstep, so the common
+		// boundary is the consistent cut.
+		mu.Lock()
+		defer mu.Unlock()
+		for b := trip.Iter - trip.Iter%every; b > 0; b -= every {
+			all := true
+			for r := range cks {
+				if _, ok := cks[r][b]; !ok {
+					all = false
+					break
+				}
+			}
+			if all {
+				for r := range cks {
+					copy(xs[r], cks[r][b])
+				}
+				return b, true, nil
+			}
+		}
+		return 0, false, nil
+	}
+	mkFab := func() (transport.Fabric, error) {
+		return transport.NewChanFabric(WorldSize(topo)), nil
+	}
+
+	info, err := RunWithRecovery(mkFab, cfg, funcs, RecoveryOptions{Rollback: rollback})
+	if err != nil {
+		t.Fatalf("recovery run failed: %v", err)
+	}
+	if info.Rollbacks != 1 {
+		t.Fatalf("Rollbacks = %d, want exactly 1", info.Rollbacks)
+	}
+	if !poisoned.Load() {
+		t.Fatal("the injection never fired")
+	}
+	mean := 0.0
+	for _, tv := range targets {
+		mean += tv
+	}
+	mean /= float64(world)
+	for r := range xs {
+		want := (mean + targets[r]) / 2
+		for j, got := range xs[r] {
+			if math.Abs(got-want) > 1e-3 {
+				t.Fatalf("rank %d slot %d = %v after recovery, want %v ± 1e-3", r, j, got, want)
+			}
+		}
+	}
+}
+
+// TestWLGRecoveryCleanRun: the recovery wrapper on a healthy run is a
+// plain run — zero rollbacks, no fabric churn beyond the one launch.
+func TestWLGRecoveryCleanRun(t *testing.T) {
+	topo := simnet.Topology{Nodes: 2, WorkersPerNode: 1}
+	cfg := Config{Topo: topo, MaxIter: 5, Watchdog: watchdog.Config{Enabled: true}}
+	launches := 0
+	info, err := RunWithRecovery(func() (transport.Fabric, error) {
+		launches++
+		return transport.NewChanFabric(WorldSize(topo)), nil
+	}, cfg, func(rank int) WorkerFuncs {
+		return WorkerFuncs{
+			ComputeW: func(int) []float64 { return rankVec(2, rank) },
+			ApplyW:   func(int, []float64, int) {},
+		}
+	}, RecoveryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rollbacks != 0 || launches != 1 {
+		t.Fatalf("clean run: rollbacks=%d launches=%d, want 0/1", info.Rollbacks, launches)
+	}
+}
+
+// TestWLGRecoveryBudgetExhausted: a persistent poison (re-fires on every
+// replay) burns the rollback budget and then surfaces as the typed error.
+func TestWLGRecoveryBudgetExhausted(t *testing.T) {
+	topo := simnet.Topology{Nodes: 2, WorkersPerNode: 1}
+	cfg := Config{Topo: topo, MaxIter: 10, Watchdog: watchdog.Config{Enabled: true, MaxRollbacks: 2}}
+	rolls := 0
+	_, err := RunWithRecovery(func() (transport.Fabric, error) {
+		return transport.NewChanFabric(WorldSize(topo)), nil
+	}, cfg, func(rank int) WorkerFuncs {
+		return WorkerFuncs{
+			ComputeW: func(iter int) []float64 {
+				v := rankVec(2, rank)
+				if rank == 0 && iter == 4 {
+					v[0] = math.NaN() // deterministic fault: replay re-trips
+				}
+				return v
+			},
+			ApplyW: func(int, []float64, int) {},
+		}
+	}, RecoveryOptions{Rollback: func(trip *DivergedError) (int, bool, error) {
+		rolls++
+		return 0, true, nil // "restore" to iteration 0 — state is stateless here
+	}})
+	if !errors.Is(err, watchdog.ErrDiverged) {
+		t.Fatalf("exhausted budget not typed as divergence: %v", err)
+	}
+	if rolls != 2 {
+		t.Fatalf("rollback handler ran %d times, want MaxRollbacks=2", rolls)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/watchdog"
 	"psrahgadmm/internal/wire"
 )
 
@@ -129,6 +130,15 @@ type Config struct {
 	// value means the collective package defaults. Only consulted when
 	// Elastic is set.
 	Retry collective.RetryPolicy
+	// Watchdog enables per-rank divergence detection: each worker scans
+	// its own contribution and every received aggregate for NaN/Inf and
+	// tracks their magnitudes against a sliding window (the runtime never
+	// sees residuals — those are the algorithm's business — so the
+	// watchdog monitors the vectors that actually cross the wire). A trip
+	// surfaces as a typed *DivergedError before ApplyW runs, so poisoned
+	// aggregates never reach algorithm state; RunWithRecovery turns that
+	// abort into a coordinated checkpoint rollback. See recover.go.
+	Watchdog watchdog.Config
 }
 
 // codec resolves the configured exchange codec, defaulting to exact.
@@ -170,6 +180,9 @@ func (c Config) Validate() error {
 	}
 	if c.ShardBlocks < 0 {
 		return fmt.Errorf("wlg: ShardBlocks must be non-negative, got %d", c.ShardBlocks)
+	}
+	if err := c.Watchdog.Validate(); err != nil {
+		return fmt.Errorf("wlg: %w", err)
 	}
 	return nil
 }
@@ -260,9 +273,13 @@ func runWorkerPlain(ep transport.Endpoint, cfg Config, f WorkerFuncs) error {
 	members := make([]int, 0, topo.Nodes)
 	var ggReq [2]int64 // node, iter — rewritten only after the GG replied
 	var cnt [1]int64
+	wd := newWatch(cfg, rank)
 
 	for iter := cfg.StartIter; iter < cfg.MaxIter; iter++ {
 		w := f.ComputeW(iter)
+		if err := wd.checkOwn(iter, w); err != nil {
+			return err
+		}
 		buf = append(buf[:0], w...)
 		// Lossy codecs round the contribution before it is communicated:
 		// the aggregate every worker applies is built from wire-precision
@@ -309,6 +326,9 @@ func runWorkerPlain(ep transport.Endpoint, cfg Config, f WorkerFuncs) error {
 			// to the transport and may be recycled or alias a peer.
 			buf = append(buf[:0], res...)
 			contributors = n
+		}
+		if err := wd.checkAgg(iter, buf); err != nil {
+			return err
 		}
 		f.ApplyW(iter, buf, contributors)
 	}
