@@ -139,6 +139,13 @@ const (
 	// consensus state: no rank holds the full model (see Config.ShardedState
 	// for the same bit on other variants).
 	PSRAHGADMMSharded = core.PSRAHGADMMSharded
+	// PSRAHGADMMShardedSSP composes block-sharded state with node-granular
+	// SSP: stale nodes' cached contributions keep feeding their blocks for
+	// up to Max_delay rounds while the fresh quorum advances.
+	PSRAHGADMMShardedSSP = core.PSRAHGADMMShardedSSP
+	// PSRAHGADMMShardedAsync drives the block-sharded aggregation tree
+	// asynchronously (quorum of one, bounded delay).
+	PSRAHGADMMShardedAsync = core.PSRAHGADMMShardedAsync
 )
 
 // PSRA-HGADMM consensus modes (see Config.Consensus).

@@ -62,6 +62,8 @@ func main() {
 		iters     = flag.Int("iters", 100, "outer iterations")
 		threshold = flag.Int("threshold", 0, "GQ grouping threshold in nodes (0 = all nodes)")
 		consensus = flag.String("consensus", string(psra.ConsensusGlobal), "global | group (PSRA-HGADMM aggregation breadth)")
+		minBarr   = flag.Int("min-barrier", 0, "SSP partial-barrier size in workers (0 = half the workers, the paper's Min_barrier)")
+		maxDelay  = flag.Int("max-delay", 0, "SSP/async staleness bound in rounds (0 = the paper's Max_delay of 5)")
 		dataPath  = flag.String("data", "", "LIBSVM training file (overrides -synth)")
 		testPath  = flag.String("test", "", "LIBSVM test file for accuracy reporting")
 		synth     = flag.String("synth", "news20", "synthetic preset: news20 | webspam | url")
@@ -72,7 +74,7 @@ func main() {
 		codecKB   = flag.Int64("codec-budget-bytes", 0, "per-round wire budget for top-k codecs: k adapts to stay under it (0 = no budget)")
 		codecTopK = flag.Int("codec-topk", 0, "fixed selection size for top-k codecs, overriding the dim/2 default (0 = default)")
 		codecAge  = flag.Bool("codec-age-scoring", false, "top-k codecs: weight selection by residual age so starved coordinates eventually ship")
-		sharded   = flag.Bool("sharded", false, "block-sharded consensus state: each rank holds only the model blocks its shard touches (BSP flat/star/tree only)")
+		sharded   = flag.Bool("sharded", false, "block-sharded consensus state: each rank holds only the model blocks its shard touches (flat/star/tree consensus, any sync model)")
 		shardBlk  = flag.Int("shard-blocks", 0, "block count for -sharded partitioning (0 = world size)")
 		chaosKill = flag.String("chaos-kill", "", "kill schedule rank@iter[,rank@iter...]: each rank dies at its iteration boundary")
 		chaosJoin = flag.String("chaos-rejoin", "", "rejoin schedule rank@iter[,...]: killed ranks return (requires -elastic=recover)")
@@ -120,6 +122,8 @@ func main() {
 		MaxIter:          *iters,
 		GroupThreshold:   *threshold,
 		Consensus:        psra.ConsensusMode(*consensus),
+		MinBarrier:       *minBarr,
+		MaxDelay:         *maxDelay,
 		Elastic:          elastic != "off",
 		CodecBudgetBytes: *codecKB,
 		CodecTopK:        *codecTopK,
@@ -227,7 +231,8 @@ func validateExplicitFlags() error {
 			return
 		}
 		switch f.Name {
-		case "shard-blocks", "checkpoint-every", "codec-budget-bytes":
+		case "shard-blocks", "checkpoint-every", "codec-budget-bytes",
+			"min-barrier", "max-delay":
 			if v, perr := strconv.ParseInt(f.Value.String(), 10, 64); perr != nil || v <= 0 {
 				err = fmt.Errorf("-%s must be a positive integer, got %s", f.Name, f.Value.String())
 			}

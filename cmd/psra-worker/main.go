@@ -87,6 +87,8 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", time.Second, "keepalive interval on idle connections (negative disables)")
 		peerDead  = flag.Duration("peer-timeout", 15*time.Second, "declare a peer dead after this much silence (0 disables)")
 		elastic   = flag.Bool("elastic", false, "survive peer deaths: re-elect Leaders and keep training (exit 4 when degraded)")
+		minBarr   = flag.Int("min-barrier", 0, "SSP partial barrier in workers: Leaders stop waiting for laggards once their per-node share is gathered (0 = full gather; requires -elastic)")
+		maxDelay  = flag.Int("max-delay", 0, "staleness bound in rounds for -min-barrier laggards (0 = the paper's Max_delay of 5)")
 		startIter = flag.Int("start-iter", 0, "first iteration to execute (resume a run's tail after a restart)")
 		rejoin    = flag.Bool("rejoin", false, "re-enter a running elastic mesh as a new incarnation of this rank (requires -elastic)")
 		snapDir   = flag.String("snapshot-dir", "", "directory for this rank's periodic state snapshots (warm-starts x/y/z with -rejoin)")
@@ -112,6 +114,9 @@ func main() {
 	}
 	if *rejoin && !*elastic {
 		fatal(fmt.Errorf("-rejoin requires -elastic: the fail-stop protocol cannot re-admit ranks"))
+	}
+	if *minBarr > 0 && !*elastic {
+		fatal(fmt.Errorf("-min-barrier requires -elastic: the fail-stop gather is a full barrier"))
 	}
 	if *snapEvery < 1 {
 		fatal(fmt.Errorf("-snapshot-every must be >= 1, got %d", *snapEvery))
@@ -139,6 +144,8 @@ func main() {
 		CodecBudgetBytes: *codecKB,
 		ShardBlocks:      *shardBlk,
 		Elastic:          *elastic,
+		MinBarrier:       *minBarr,
+		MaxDelay:         *maxDelay,
 		StartIter:        *startIter,
 		Rejoin:           *rejoin,
 	}
@@ -306,7 +313,7 @@ func validateExplicitFlags() error {
 			return
 		}
 		switch f.Name {
-		case "shard-blocks", "codec-budget-bytes":
+		case "shard-blocks", "codec-budget-bytes", "min-barrier", "max-delay":
 			if v, perr := strconv.ParseInt(f.Value.String(), 10, 64); perr != nil || v <= 0 {
 				err = fmt.Errorf("-%s must be a positive integer, got %s", f.Name, f.Value.String())
 			}

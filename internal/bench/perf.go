@@ -288,7 +288,12 @@ func Perf(seed int64) (*PerfReport, error) {
 	return rep, nil
 }
 
-// shardScaleConfig parameterizes one dense-vs-sharded scale point.
+// shardScaleConfig parameterizes one dense-vs-sharded scale point. The
+// algorithm fields default to the original pairing — psra-admm dense vs
+// the same strategy with ShardedState flipped on — so the long-standing
+// entries keep producing bit-identical snapshot rows; a config may
+// instead name an explicit pair, which is how the SSP composition the
+// StateStore layer unlocked enters the gate.
 type shardScaleConfig struct {
 	name     string
 	nodes    int
@@ -296,7 +301,9 @@ type shardScaleConfig struct {
 	blocks   int
 	iters    int
 	rows     int
-	maxProcs int // 0 keeps the ambient GOMAXPROCS
+	maxProcs int            // 0 keeps the ambient GOMAXPROCS
+	denseAlg core.Algorithm // reference run ("" = psra-admm)
+	shardAlg core.Algorithm // sharded run ("" = denseAlg + ShardedState)
 }
 
 func shardScaleConfigs() []shardScaleConfig {
@@ -304,6 +311,12 @@ func shardScaleConfigs() []shardScaleConfig {
 		{name: "core/shard-scale-64", nodes: 16, wpn: 4, blocks: 256, iters: 8, rows: 512},
 		{name: "core/shard-scale-256", nodes: 32, wpn: 8, blocks: 512, iters: 4, rows: 1024},
 		{name: "core/shard-scale-64-mp4", nodes: 16, wpn: 4, blocks: 256, iters: 8, rows: 512, maxProcs: 4},
+		// Sharding under a relaxed barrier: the dense tree-BSP reference
+		// against the block-sharded SSP variant, gating that the per-rank
+		// resident footprint of the composition stays where the BSP
+		// pairing put it.
+		{name: "core/shard-scale-64-ssp", nodes: 16, wpn: 4, blocks: 256, iters: 8, rows: 512,
+			denseAlg: core.PSRAHGADMM, shardAlg: core.PSRAHGADMMShardedSSP},
 	}
 }
 
@@ -320,8 +333,12 @@ func runShardScale(sc shardScaleConfig, seed int64) (ShardScaleEntry, error) {
 	if sc.maxProcs > 0 {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(sc.maxProcs))
 	}
+	denseAlg := sc.denseAlg
+	if denseAlg == "" {
+		denseAlg = core.PSRAADMM
+	}
 	cfg := core.Config{
-		Algorithm: core.PSRAADMM,
+		Algorithm: denseAlg,
 		Topo:      simnet.Topology{Nodes: sc.nodes, WorkersPerNode: sc.wpn},
 		Rho:       1.0,
 		Lambda:    0.5,
@@ -340,7 +357,11 @@ func runShardScale(sc shardScaleConfig, seed int64) (ShardScaleEntry, error) {
 	if err != nil {
 		return ShardScaleEntry{}, err
 	}
-	cfg.ShardedState = true
+	if sc.shardAlg != "" {
+		cfg.Algorithm = sc.shardAlg
+	} else {
+		cfg.ShardedState = true
+	}
 	cfg.ShardBlocks = sc.blocks
 	sharded, shardNs, err := timed(cfg)
 	if err != nil {

@@ -5,7 +5,6 @@ import (
 
 	"psrahgadmm/internal/checkpoint"
 	"psrahgadmm/internal/exchange"
-	"psrahgadmm/internal/sparse"
 )
 
 // Checkpoint/resume for the in-process engine: the crash-recovery half of
@@ -103,20 +102,19 @@ func buildSnapshot(cfg Config, env *strategyEnv, strat ConsensusStrategy, nextIt
 	}
 	snap.Workers = make([]exchange.WorkerSnap, 0, len(env.ws))
 	for _, w := range env.ws {
-		snap.Workers = append(snap.Workers, exchange.WorkerSnap{
+		wsnap := exchange.WorkerSnap{
 			Rank:     int32(w.rank),
 			Clock:    w.clock,
 			CalTotal: w.calTotal,
 			XA:       append([]float64(nil), w.xA...),
 			YA:       append([]float64(nil), w.yA...),
-			// ZDense carries the rank's consensus storage as the rank holds
-			// it: the full dimension replicated, the compact subscribed-block
-			// concatenation sharded. The PSCK format is unchanged — only the
-			// slice's length differs.
-			ZDense: append([]float64(nil), w.zStore...),
-			ZIdx:   append([]int32(nil), w.zSparse.Index...),
-			ZVal:   append([]float64(nil), w.zSparse.Value...),
-		})
+		}
+		// The store encodes the z state in the layout the rank actually
+		// holds: the full dimension replicated, the compact subscribed-
+		// block concatenation sharded. The PSCK format is unchanged between
+		// placements — only the slice's length differs.
+		env.store.snapshotZ(w, &wsnap)
+		snap.Workers = append(snap.Workers, wsnap)
 	}
 	return snap
 }
@@ -197,23 +195,17 @@ func applySnapshot(snap *exchange.Snapshot, cfg *Config, env *strategyEnv, strat
 		}
 		seen[r] = true
 		w := env.ws[r]
-		if len(s.XA) != len(w.xA) || len(s.YA) != len(w.yA) || len(s.ZDense) != len(w.zStore) {
+		if len(s.XA) != len(w.xA) || len(s.YA) != len(w.yA) {
 			return 0, fmt.Errorf("core: snapshot rank %d state shape does not match this dataset (or its shard layout)", r)
-		}
-		if len(s.ZIdx) != len(s.ZVal) {
-			return 0, fmt.Errorf("core: snapshot rank %d sparse z index/value length mismatch", r)
 		}
 		// Copy INTO the existing slices: the worker's solver aliases yA
 		// (and zA) — reassigning the slice headers would silently detach
-		// the objective from the dual variable. zStore shares zDense's
-		// backing in replicated mode and IS the state in sharded mode.
+		// the objective from the dual variable. The store validates and
+		// restores the z state in the layout this placement gives the rank.
 		copy(w.xA, s.XA)
 		copy(w.yA, s.YA)
-		copy(w.zStore, s.ZDense)
-		w.zSparse = &sparse.Vector{
-			Dim:   env.dim,
-			Index: append([]int32(nil), s.ZIdx...),
-			Value: append([]float64(nil), s.ZVal...),
+		if err := env.store.restoreZ(w, s); err != nil {
+			return 0, err
 		}
 		w.clock = s.Clock
 		w.calTotal = s.CalTotal

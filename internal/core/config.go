@@ -79,6 +79,15 @@ const (
 	// owners, each rank holds only the blocks its data touches, and no
 	// rank materializes the full model.
 	PSRAHGADMMSharded Algorithm = "psra-hgadmm-sharded"
+	// PSRAHGADMMShardedSSP runs the block-sharded staged aggregation tree
+	// under node-granular SSP: stale nodes' cached contributions keep
+	// feeding their subscribed blocks for up to Max_delay rounds while the
+	// fresh quorum advances, and each block still averages over its live
+	// subscribers.
+	PSRAHGADMMShardedSSP Algorithm = "psra-hgadmm-sharded-ssp"
+	// PSRAHGADMMShardedAsync drives the block-sharded staged aggregation
+	// tree asynchronously (quorum of one, bounded delay).
+	PSRAHGADMMShardedAsync Algorithm = "psra-hgadmm-sharded-async"
 )
 
 // Config parameterizes one training run.
@@ -198,10 +207,13 @@ type Config struct {
 	// rank subscribes only to the blocks its shard's features touch, and
 	// the z-update scales per block by its live subscriber count
 	// (general-form consensus). No rank materializes the full model;
-	// IterStat.ResidentBytes reports the per-rank footprint. Requires BSP
-	// and a flat/star/tree consensus strategy. False keeps the replicated
-	// engine bit-identical to its goldens. The psra-hgadmm-sharded variant
-	// sets this implicitly.
+	// IterStat.ResidentBytes reports the per-rank footprint. State
+	// placement is owned by the engine's StateStore layer (statestore.go),
+	// so sharding composes with every sync model — BSP, SSP, and async;
+	// only the consensus axis is constrained (flat/star/tree — the ring
+	// hierarchy and group-local consensus assume full-width aggregates).
+	// False keeps the replicated engine bit-identical to its goldens. The
+	// psra-hgadmm-sharded* variants set this implicitly.
 	ShardedState bool
 	// ShardBlocks is the sharded-state block count (0 defaults to the
 	// worker count, the PSR chunk layout). More blocks than workers means
@@ -282,6 +294,15 @@ func (c Config) Validate() error {
 	if c.ShardBlocks < 0 {
 		return fmt.Errorf("core: ShardBlocks must be non-negative, got %d", c.ShardBlocks)
 	}
+	if c.MinBarrier < 0 {
+		return fmt.Errorf("core: MinBarrier must be non-negative, got %d", c.MinBarrier)
+	}
+	if c.MinBarrier > c.Topo.Size() {
+		return fmt.Errorf("core: MinBarrier %d exceeds the worker count %d", c.MinBarrier, c.Topo.Size())
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("core: MaxDelay must be non-negative, got %d", c.MaxDelay)
+	}
 	if err := c.Watchdog.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -346,7 +367,9 @@ type IterStat struct {
 	// ResidentBytes is the largest per-rank consensus-state footprint this
 	// iteration: 8·(len(zStore)+len(xA)+len(yA)+len(zA)) over live ranks.
 	// Under sharded state zStore holds only the rank's subscribed blocks;
-	// replicated runs report the full-dimension figure.
+	// replicated runs report the full-dimension figure. The StateStore
+	// reports it every iteration under every sync model (BSP, SSP, async)
+	// — stale ranks' frozen state counts at its last applied size.
 	ResidentBytes int64
 }
 

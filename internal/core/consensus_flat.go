@@ -34,7 +34,8 @@ type flatStrategy struct {
 	slots []flatPend
 	wBuf  [][2]*sparse.Vector
 
-	// Round scratch, reused across rounds.
+	// Round scratch, reused across rounds. The densified aggregate lives
+	// in the replicated store (which owns W's dense form).
 	idle       []int
 	sub        []*worker
 	finishes   []float64
@@ -42,7 +43,6 @@ type flatStrategy struct {
 	ranks      []int
 	inputs     []*sparse.Vector
 	agg        *sparse.Vector
-	bigW       []float64
 	wireEvents []collective.Event
 }
 
@@ -146,16 +146,9 @@ func (st *flatStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	}
 	st.ranks, st.inputs = ranks, inputs
 	start := maxf(cutoff, st.lastEnd)
-	var tr collective.Trace
-	var err error
-	if env.smap != nil {
-		// Shard-aware collective: each member ships only the blocks it
-		// subscribes to or owns, and receives back only its subscription —
-		// no rank materializes the full W.
-		tr, err = groupShardAllreduce(env, ranks, env.shardedPlan(ranks), inputs)
-	} else {
-		tr, err = groupAllreduce(env, ranks, commPSRSparse, inputs, st.agg)
-	}
+	// The store picks the collective: full-width PSR-Allreduce into st.agg
+	// replicated, the shard-aware restricted reduction sharded.
+	tr, err := env.store.allreduceW(ranks, inputs, st.agg)
 	if err != nil {
 		return timing, err
 	}
@@ -166,25 +159,11 @@ func (st *flatStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	end := start + commT
 	st.lastEnd = end
 
-	var bigW []float64
-	var counts []int
-	if env.smap != nil {
-		counts = env.shardLiveCounts()
-	} else {
-		st.bigW = st.agg.ToDenseInto(st.bigW)
-		bigW = st.bigW
-	}
+	env.store.beginApply(cfg, st.agg)
 	calSum, commSum := 0.0, 0.0
 	for _, i := range fresh {
 		p := st.clocks[i].pending
-		if env.smap != nil {
-			// The rank's restricted reduction came back in its own crew
-			// slot; the z-update averages each block over its live
-			// subscribers.
-			ws[i].applyWShard(cfg, env.crew.outs[ws[i].rank], counts)
-		} else {
-			ws[i].applyW(cfg, bigW, contributors)
-		}
+		env.store.applyReduced(cfg, ws[i], contributors)
 		calSum += p.cals[0]
 		commSum += end - p.starts[0] - p.cals[0]
 		ws[i].clock = end

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/sparse"
 )
 
@@ -113,21 +112,16 @@ func (st *starStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 		acc.Add(wc)
 	}
 	zDense := make([]float64, env.dim)
-	if env.smap != nil {
-		// Sharded z-update: each block averages over its live subscribers,
-		// not the global contributor count — off-subscription ranks never
-		// fed the block's W sum, so dividing by the world would bias z.
-		// Workers then retain only their subscribed blocks (applyZ branches).
-		solver.ZUpdateL1Blocks(zDense, acc.Sum().ToDense(), cfg.Lambda, cfg.Rho, env.shardBlockOffs(), env.shardLiveCounts())
-	} else {
-		solverZUpdate(zDense, acc.Sum().ToDense(), cfg.Lambda, cfg.Rho, contributors)
-	}
+	// The store picks the z-update's contributor scaling: the global count
+	// replicated, per-block live subscribers sharded; workers then retain
+	// whatever storage their placement gives them (store.applyZ).
+	env.store.zUpdateDense(zDense, acc.Sum().ToDense(), cfg, contributors)
 	env.codec.EncodeDense(zDense)
 
 	calSum, commSum := 0.0, 0.0
 	for _, i := range fresh {
 		p := st.clocks[i].pending
-		ws[i].applyZ(cfg, zDense, nil)
+		env.store.applyZ(cfg, ws[i], zDense, nil)
 		calSum += p.cals[0]
 		commSum += end - p.starts[0] - p.cals[0]
 		ws[i].clock = end

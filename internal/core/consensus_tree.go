@@ -230,15 +230,11 @@ func (st *treeStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	// representative re-broadcasts down its subtree, and node Leaders
 	// broadcast to their fresh workers over the bus; stale nodes are still
 	// computing and receive nothing this round.
-	var zSparse *sparse.Vector
-	if env.smap != nil {
-		// Sharded z-update: each entry averages over its block's live
-		// subscribers (general-form consensus); workers retain only their
-		// subscribed blocks when the delivery lands (applyZ branches).
-		zSparse = zFromWBlocks(root.value, cfg.Lambda, cfg.Rho, env.smap.Part, env.shardLiveCounts())
-	} else {
-		zSparse = zFromW(root.value, cfg.Lambda, cfg.Rho, env.members.LiveCount())
-	}
+	// The store picks the z-update's contributor scaling: the live worker
+	// count replicated, per-block live subscribers sharded (general-form
+	// consensus); workers retain whatever storage their placement gives
+	// them when the delivery lands (store.applyZ via applyNodeZ).
+	zSparse := env.store.zFromW(root.value, cfg, env.members.LiveCount())
 	zDense := zSparse.ToDense()
 	wBytes := env.codec.ZMsgBytes(zSparse.NNZ())
 	calSum, commSum := 0.0, 0.0

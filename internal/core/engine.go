@@ -9,7 +9,6 @@ import (
 	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/membership"
 	"psrahgadmm/internal/metrics"
-	"psrahgadmm/internal/shard"
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/transport"
@@ -90,9 +89,6 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		return nil, fmt.Errorf("core: %s: %w", cfg.Algorithm, err)
 	}
 	sharded := variant.Sharded || cfg.ShardedState
-	if sharded && syncKind != SyncBSP {
-		return nil, fmt.Errorf("core: %s: sharded state requires BSP synchronization, got %s", cfg.Algorithm, syncKind)
-	}
 
 	ws := newWorkers(cfg, train)
 	// One scratch fabric serves every in-run collective; rank numbering
@@ -139,26 +135,12 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	if f := cfg.Faults; f != nil && (f.CorruptProb > 0 || len(f.CorruptAtIteration) > 0) {
 		env.corruptible = true
 	}
-	if sharded {
-		// Block-partition the dimension and subscribe each rank to the
-		// blocks its active columns fall into; workers drop their full-
-		// dimension iterate for the compact subscribed concatenation. The
-		// map is immutable for the run — elastic regroups change who is
-		// ALIVE, never who subscribes to what.
-		blocks := cfg.ShardBlocks
-		if blocks <= 0 {
-			blocks = cfg.Topo.Size()
-		}
-		part := shard.NewPartition(train.Dim(), blocks)
-		active := make([][]int32, len(ws))
-		for i, w := range ws {
-			active[i] = w.active
-		}
-		env.smap = shard.NewMap(part, active)
-		for _, w := range ws {
-			w.initShard(env.smap)
-		}
-	}
+	// The stateStore owns the consensus state's placement — replicated
+	// dense z or block-sharded z — and allocates every worker's storage.
+	// Placement composes freely with the sync model: the strategies route
+	// all placement-specific work through the store (see statestore.go).
+	env.store = newStateStore(env, sharded, cfg.ShardBlocks)
+	env.store.initWorkers()
 	// The top-k codecs carry per-rank error-feedback state: the residual
 	// of dropped (and quantized-away) mass, merged back before the next
 	// selection, plus the adaptive k driven by CodecBudgetBytes. Every
@@ -238,17 +220,13 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 		if len(live) == 0 {
 			live = ws
 		}
-		if env.smap != nil {
-			z := make([]float64, env.dim)
-			alive := members.Alive
-			if members.LiveCount() == 0 {
-				alive = func(int) bool { return true }
-			}
-			assembleShardedZ(z, ws, env.smap, alive)
-			res.Z = z
-		} else {
-			res.Z = meanZ(live)
+		alive := members.Alive
+		if members.LiveCount() == 0 {
+			alive = func(int) bool { return true }
 		}
+		z := make([]float64, env.dim)
+		env.store.assembleInto(z, live, alive)
+		res.Z = z
 		res.LiveWorkers = members.LiveCount()
 		res.Epoch = members.Epoch()
 		res.Degraded = res.LiveWorkers < len(ws)
@@ -292,6 +270,10 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	// 2·world+4 attempts bounds any real cascade; hitting the cap means
 	// the round is failing for a reason retries cannot fix.
 	retryCap := 2*cfg.Topo.Size() + 4
+	// Bound the liveness predicate once: a per-iteration members.Alive
+	// method value would heap-allocate a closure on the steady-state path
+	// the bench snapshot pins at zero.
+	isAlive := members.Alive
 	for iter := startIter; iter < cfg.MaxIter; iter++ {
 		for _, r := range killAt[iter] {
 			ffab.Kill(r)
@@ -314,7 +296,7 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 				}
 				ffab.Revive(r)
 				members.MarkUp(r)
-				ws[r].rejoin(zPrev, maxClock)
+				env.store.rejoin(ws[r], zPrev, maxClock)
 				if env.states != nil {
 					// The rejoiner's residual described contributions its
 					// dead incarnation never shipped; restart error feedback
@@ -395,22 +377,19 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 			Epoch:       members.Epoch(),
 			PeerDowns:   health.TotalPeerDowns(),
 		}
-		// Per-rank consensus-state footprint: max over live ranks. In
-		// replicated mode every rank carries the full dimension; sharded,
-		// only the subscribed blocks — the number the refactor shrinks.
+		// Per-rank consensus-state footprint: max over live ranks, reported
+		// every iteration under every sync model. In replicated mode every
+		// rank carries the full dimension; sharded, only the subscribed
+		// blocks — the number the store's placement shrinks.
 		var resident int64
 		for _, w := range live {
-			if rb := w.residentBytes(); rb > resident {
+			if rb := env.store.residentBytes(w); rb > resident {
 				resident = rb
 			}
 		}
 		stat.ResidentBytes = resident
 		health.ResidentBytes.Set(resident)
-		if env.smap != nil {
-			assembleShardedZ(zbar, ws, env.smap, members.Alive)
-		} else {
-			meanZInto(zbar, live)
-		}
+		env.store.assembleInto(zbar, live, isAlive)
 		stat.PrimalRes, stat.DualRes = residuals(live, zbar, zPrev, cfg.Rho)
 		copy(zPrev, zbar)
 		if iter%cfg.EvalEvery == 0 || iter == cfg.MaxIter-1 {

@@ -92,6 +92,9 @@ func TestResidualProperties(t *testing.T) {
 	train, _ := testData(t, 60)
 	cfg := baseConfig(GCADMM, 2, 2)
 	ws := newWorkers(cfg, train)
+	for _, w := range ws {
+		w.initReplicated()
+	}
 	z := make([]float64, train.Dim())
 	zPrev := make([]float64, train.Dim())
 	p, d := residuals(ws, z, zPrev, cfg.Rho)
@@ -129,6 +132,9 @@ func TestWSparseMatchesDefinition(t *testing.T) {
 	}
 	_ = res
 	ws := newWorkers(cfg, train)
+	for _, w := range ws {
+		w.initReplicated()
+	}
 	for iter := 0; iter < 3; iter++ {
 		calTimes := parallelXUpdates(cfg, ws, iter)
 		_ = calTimes

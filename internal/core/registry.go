@@ -61,14 +61,15 @@ func Register(v Variant) {
 		panic(fmt.Sprintf("core: Register(%s): %s consensus cannot carry the %s codec",
 			v.Name, v.Consensus, v.Codec))
 	}
+	// Sharded state composes with every sync model (the StateStore layer
+	// scales each block by its live subscribers regardless of admission
+	// order); only the consensus axis is constrained — the ring hierarchy
+	// and group-local consensus assume a full-width aggregate.
 	if v.Sharded {
 		switch v.Consensus {
 		case ConsensusFlat, ConsensusStar, ConsensusTree:
 		default:
 			panic(fmt.Sprintf("core: Register(%s): sharded state does not support %s consensus", v.Name, v.Consensus))
-		}
-		if v.Sync != SyncBSP {
-			panic(fmt.Sprintf("core: Register(%s): sharded state requires BSP, got %s", v.Name, v.Sync))
 		}
 	}
 	registry.byName[v.Name] = v
@@ -212,5 +213,18 @@ func init() {
 	Register(Variant{
 		Name: PSRAHGADMMSharded, Consensus: ConsensusTree, Sync: SyncBSP, Codec: exchange.Sparse, Sharded: true,
 		Description: "block-sharded state: staged aggregation tree with per-block subscriber z-averaging; no rank holds the full model",
+	})
+
+	// Sharded state composed with the relaxed barriers — the compositions
+	// the StateStore refactor unlocked: stale ranks' cached contributions
+	// keep feeding their blocks' sums under the Max_delay bound, and each
+	// block still averages over its live subscribers.
+	Register(Variant{
+		Name: PSRAHGADMMShardedSSP, Consensus: ConsensusTree, Sync: SyncSSP, Codec: exchange.Sparse, Sharded: true,
+		Description: "new composition: block-sharded staged aggregation tree under node-granular SSP (partial barrier, bounded staleness)",
+	})
+	Register(Variant{
+		Name: PSRAHGADMMShardedAsync, Consensus: ConsensusTree, Sync: SyncAsync, Codec: exchange.Sparse, Sharded: true,
+		Description: "new composition: block-sharded staged aggregation tree driven asynchronously (quorum of one, bounded delay)",
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"psrahgadmm/internal/checkpoint"
 	"psrahgadmm/internal/dataset"
 	"psrahgadmm/internal/shard"
+	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/transport"
 	"psrahgadmm/internal/vec"
 )
@@ -228,17 +229,146 @@ func TestShardedChaosRejoinResume(t *testing.T) {
 }
 
 // TestShardedRejectsUnsupportedCompositions: sharded state is defined for
-// BSP flat/star/tree only; the ring hierarchy and the relaxed barriers
-// must be rejected up front, not fail mysteriously mid-run.
+// flat/star/tree consensus only (any sync model); the ring hierarchy and
+// group-local consensus must be rejected up front, not fail mysteriously
+// mid-run. SSP/async compositions are no longer rejected — the StateStore
+// layer made them first-class (see TestShardedSSPAndAsyncConverge).
 func TestShardedRejectsUnsupportedCompositions(t *testing.T) {
 	train, _ := testData(t, 80)
-	for _, alg := range []Algorithm{GRADMM, PSRAHGADMMGroup, ADMMLib, ADADMM, PSRAADMMAsync} {
+	for _, alg := range []Algorithm{GRADMM, PSRAHGADMMGroup, ADMMLib} {
 		cfg := baseConfig(alg, 2, 2)
 		cfg.MaxIter = 2
 		cfg.ShardedState = true
 		if _, err := Run(cfg, train, RunOptions{}); err == nil {
 			t.Fatalf("%s accepted sharded state", alg)
 		}
+	}
+}
+
+// TestShardedSSPAndAsyncConverge is the StateStore refactor's acceptance
+// test: the compositions the old "sharded state requires BSP" guard
+// forbade must now be first-class. At 64 ranks with real compute jitter
+// (so SSP staleness actually occurs — stale nodes' cached contributions
+// keep feeding their blocks while the fresh quorum advances), both
+// psra-hgadmm-sharded-ssp and psra-hgadmm-sharded-async must converge to
+// within 1e-3 relative objective error of the dense BSP reference.
+func TestShardedSSPAndAsyncConverge(t *testing.T) {
+	train, _, err := dataset.Generate(dataset.SynthConfig{
+		Name: "shard-ssp", Dim: 2000, TrainRows: 640, TestRows: 8, RowNNZ: 8,
+		ZipfS: 1.3, SignalNNZ: 50, NoiseFlip: 0.02, Seed: 53,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(alg Algorithm, iters int) Config {
+		cfg := baseConfig(alg, 16, 4) // 64 ranks
+		cfg.MaxIter = iters
+		cfg.EvalEvery = cfg.MaxIter
+		cfg.GroupThreshold = 4
+		cfg.Jitter = simnet.Jitter{Seed: 7, Amp: 0.5}
+		return cfg
+	}
+	ref, err := Run(mk(PSRAHGADMM, 1600), train, RunOptions{})
+	if err != nil {
+		t.Fatalf("dense BSP reference: %v", err)
+	}
+	fRef := ref.FinalObjective()
+	// Staleness slows per-round progress (a stale node's cached w keeps
+	// feeding its blocks until it refreshes), so the relaxed barriers get
+	// a longer horizon to reach the same optimum — the contract is WHERE
+	// they converge, not how fast. Async (quorum of one) is the stalest
+	// composition and needs the longest tail.
+	for _, tc := range []struct {
+		alg   Algorithm
+		iters int
+	}{
+		{PSRAHGADMMShardedSSP, 1600},
+		{PSRAHGADMMShardedAsync, 4800},
+	} {
+		alg := tc.alg
+		t.Run(string(alg), func(t *testing.T) {
+			cfg := mk(alg, tc.iters)
+			cfg.ShardBlocks = 256
+			res, err := Run(cfg, train, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rb := res.History[len(res.History)-1].ResidentBytes; rb <= 0 {
+				t.Fatalf("resident bytes not reported under %s: %d", alg, rb)
+			}
+			f := res.FinalObjective()
+			if rel := math.Abs(f-fRef) / math.Abs(fRef); rel > 1e-3 {
+				t.Fatalf("%s objective %v vs dense BSP %v: rel %v > 1e-3", alg, f, fRef, rel)
+			}
+		})
+	}
+}
+
+// TestShardedSSPChaosRejoinConverges: the elastic story under the new
+// sharded×SSP composition. A rank dies mid-run and rejoins; the run must
+// complete with the world whole again and land near the undisturbed run's
+// optimum. Bit-exactness is NOT expected — an SSP rejoin is a warm start
+// that perturbs admission order — so the contract is convergence.
+func TestShardedSSPChaosRejoinConverges(t *testing.T) {
+	train, test := testData(t, 160)
+	mk := func() Config {
+		cfg := baseConfig(PSRAHGADMMShardedSSP, 4, 2)
+		cfg.MaxIter = 40
+		cfg.EvalEvery = cfg.MaxIter
+		cfg.GroupThreshold = 2
+		cfg.Elastic = true
+		cfg.Jitter = simnet.Jitter{Seed: 11, Amp: 0.3}
+		return cfg
+	}
+	calm, err := Run(mk(), train, RunOptions{Test: test})
+	if err != nil {
+		t.Fatalf("undisturbed run: %v", err)
+	}
+	cfg := mk()
+	cfg.Faults = &transport.FaultPlan{
+		Seed:              13,
+		KillAtIteration:   map[int]int{3: 4},
+		RejoinAtIteration: map[int]int{3: 9},
+	}
+	chaos, err := Run(cfg, train, RunOptions{Test: test})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if chaos.Degraded || chaos.LiveWorkers != 8 {
+		t.Fatalf("chaos run did not recover: live=%d degraded=%v", chaos.LiveWorkers, chaos.Degraded)
+	}
+	fc, fu := chaos.FinalObjective(), calm.FinalObjective()
+	if rel := math.Abs(fc-fu) / math.Abs(fu); rel > 1e-2 {
+		t.Fatalf("kill+rejoin objective %v vs undisturbed %v: rel %v > 1e-2", fc, fu, rel)
+	}
+}
+
+// TestResidentBytesReportedEverySyncModel pins the satellite fix: the
+// per-rank consensus-state footprint must be reported every iteration
+// under BSP, SSP, AND async — replicated and sharded alike — not only on
+// the BSP path the pre-StateStore engine measured.
+func TestResidentBytesReportedEverySyncModel(t *testing.T) {
+	train, _ := testData(t, 80)
+	for _, alg := range []Algorithm{
+		PSRAHGADMMSharded,      // sharded × BSP
+		PSRAHGADMMShardedSSP,   // sharded × SSP
+		PSRAHGADMMShardedAsync, // sharded × async
+		ADADMM,                 // replicated × SSP (star)
+		PSRAADMMAsync,          // replicated × async (flat)
+	} {
+		t.Run(string(alg), func(t *testing.T) {
+			cfg := baseConfig(alg, 2, 2)
+			cfg.MaxIter = 6
+			res, err := Run(cfg, train, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range res.History {
+				if s.ResidentBytes <= 0 {
+					t.Fatalf("%s iter %d: ResidentBytes %d, want > 0", alg, s.Iter, s.ResidentBytes)
+				}
+			}
+		})
 	}
 }
 

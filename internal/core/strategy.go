@@ -5,7 +5,6 @@ import (
 
 	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/membership"
-	"psrahgadmm/internal/shard"
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/sparse"
 	"psrahgadmm/internal/transport"
@@ -107,32 +106,11 @@ type strategyEnv struct {
 	pool *computePool
 	// ts is the cost model's per-run scratch for trace timing.
 	ts simnet.TimeScratch
-	// smap, non-nil only in block-sharded runs, is the immutable
-	// block-subscription layout: no rank holds the full model, the
-	// collective moves only subscribed blocks, and the z-update averages
-	// each block over its live subscribers. The plan cache below projects
-	// the map onto the current live group, invalidated by membership epoch.
-	smap        *shard.Map
-	shardPlan   *shard.Plan
-	shardRanks  []int
-	shardEpoch  int
-	shardCounts []int
-	// blockOffs caches the partition's block boundaries ([0, ..., dim]) for
-	// the per-block codec and z-update paths.
-	blockOffs []int
-}
-
-// shardedPlan projects the shard map onto the given live group ranks,
-// cached across rounds and rebuilt only when the membership epoch moves
-// (the group composition is a pure function of who is alive).
-func (env *strategyEnv) shardedPlan(ranks []int) *shard.Plan {
-	if env.shardPlan != nil && env.shardEpoch == env.members.Epoch() && equalRanks(env.shardRanks, ranks) {
-		return env.shardPlan
-	}
-	env.shardPlan = env.smap.Plan(ranks)
-	env.shardRanks = append(env.shardRanks[:0], ranks...)
-	env.shardEpoch = env.members.Epoch()
-	return env.shardPlan
+	// store owns the consensus state's placement — replicated dense z or
+	// block-sharded z. Everything placement-specific the strategies touch
+	// (the W collective, the z-update's contributor scaling, delivery,
+	// wire encoding) routes through it; see statestore.go.
+	store stateStore
 }
 
 func equalRanks(a, b []int) bool {
@@ -145,27 +123,6 @@ func equalRanks(a, b []int) bool {
 		}
 	}
 	return true
-}
-
-// shardLiveCounts refreshes the per-block live subscriber counts — the
-// per-block divisor of the sharded z-update.
-func (env *strategyEnv) shardLiveCounts() []int {
-	env.shardCounts = env.smap.LiveCounts(env.shardCounts, env.members.Alive)
-	return env.shardCounts
-}
-
-// shardBlockOffs returns the partition's block boundary offsets
-// [Chunk(0).Lo, ..., dim], built once.
-func (env *strategyEnv) shardBlockOffs() []int {
-	if env.blockOffs == nil {
-		part := env.smap.Part
-		env.blockOffs = make([]int, part.Blocks+1)
-		for b := 0; b < part.Blocks; b++ {
-			env.blockOffs[b] = part.Chunk(b).Lo
-		}
-		env.blockOffs[part.Blocks] = part.Dim
-	}
-	return env.blockOffs
 }
 
 // tagWindowBase starts the collective tag space well above the small
@@ -182,26 +139,19 @@ func (env *strategyEnv) nextTagBase() int32 {
 }
 
 // encodeSparse routes one rank's contribution through the codec: stateful
-// top-k error feedback when the run carries per-rank exchange state,
-// the stateless codec otherwise. rank is a world rank.
+// top-k error feedback when the run carries per-rank exchange state, the
+// store's stateless path otherwise. rank is a world rank.
 func (env *strategyEnv) encodeSparse(rank int, v *sparse.Vector) {
 	if env.states != nil {
 		env.states[rank].Encode(v)
 		return
 	}
-	if env.smap != nil {
-		// Sharded runs quantize per block: each block scales against its
-		// own max-abs, so a loud block cannot wash out a quiet one that
-		// travels to a different owner. Exact codecs pass through untouched.
-		exchange.EncodeSparseBlocks(env.codec, v, env.shardBlockOffs())
-		return
-	}
-	env.codec.EncodeSparse(v)
+	env.store.encodeSparse(v)
 }
 
 // newStrategy instantiates the consensus strategy for one run.
 func newStrategy(kind ConsensusKind, env *strategyEnv, cfg Config) (ConsensusStrategy, error) {
-	if env.smap != nil {
+	if env.store.Sharded() {
 		switch kind {
 		case ConsensusFlat, ConsensusStar, ConsensusTree:
 		default:
@@ -305,7 +255,7 @@ func applyNodeZ(env *strategyEnv, cfg Config, p *pendingCompute,
 	zDense []float64, zSparse *sparse.Vector, end float64,
 	commSum *float64, applied *int) {
 	for i, r := range p.ranks {
-		env.ws[r].applyZ(cfg, zDense, zSparse)
+		env.store.applyZ(cfg, env.ws[r], zDense, zSparse)
 		*commSum += end - p.starts[i] - p.cals[i]
 		env.ws[r].clock = end
 		*applied++

@@ -77,8 +77,8 @@ type worker struct {
 
 	// Steady-state reuse (see DESIGN.md "Memory model & buffer
 	// ownership"): zScratch is applyW's z-update destination; zOwn
-	// double-buffers the sparse consensus view derived in applyZ's nil-
-	// zSparse path. The double buffer keeps the vector the worker read
+	// double-buffers the sparse consensus view derived in applyZDense's
+	// nil-zSparse path. The double buffer keeps the vector the worker read
 	// this round intact while the next one is built, and because zOwn is
 	// worker-private it can never alias a strategy-shared z vector.
 	zScratch []float64
@@ -86,8 +86,10 @@ type worker struct {
 	zOwnIdx  int
 }
 
-// newWorkers shards the dataset and initializes per-rank state (x=y=z=0,
-// paper Algorithm 1 line 2).
+// newWorkers shards the dataset and initializes per-rank solver state
+// (x=y=0, paper Algorithm 1 line 2). Consensus storage is NOT allocated
+// here — the run's stateStore owns placement and calls initReplicated or
+// initShard on every worker before the first iteration.
 func newWorkers(cfg Config, train *dataset.Dataset) []*worker {
 	n := cfg.Topo.Size()
 	shards := train.Shard(n)
@@ -97,19 +99,26 @@ func newWorkers(cfg Config, train *dataset.Dataset) []*worker {
 		w := &worker{rank: i, dim: dim, shard: shards[i]}
 		w.buildActive(dim)
 		w.obj = solver.NewLogisticProx(w.compact, w.shard.Labels, cfg.Rho, w.yA, w.zA)
-		w.zDense = make([]float64, dim)
-		w.zStore = w.zDense
-		w.activePos = w.active
-		w.zSparse = sparse.NewVector(dim, 0)
 		ws[i] = w
 	}
 	return ws
 }
 
-// initShard switches the worker from replicated to block-sharded consensus
-// state: zDense is dropped, zStore shrinks to the concatenation of the
-// subscribed blocks, and activePos re-targets each active column to its
-// position in the compact store. Called once, before the first iteration.
+// initReplicated gives the worker the replicated consensus placement: the
+// full-dimension dense z, with zStore sharing zDense's backing and
+// activePos aliasing active so the unified indirection reads the identical
+// memory the pre-sharding engine did. Called once by replicatedStore.
+func (w *worker) initReplicated() {
+	w.zDense = make([]float64, w.dim)
+	w.zStore = w.zDense
+	w.activePos = w.active
+	w.zSparse = sparse.NewVector(w.dim, 0)
+}
+
+// initShard gives the worker the block-sharded consensus placement: no
+// full-dimension iterate exists, zStore is the compact concatenation of
+// the subscribed blocks, and activePos targets each active column's
+// position in the compact store. Called once by shardedStore.
 func (w *worker) initShard(m *shard.Map) {
 	w.smap = m
 	subs := m.Subs[w.rank]
@@ -122,6 +131,7 @@ func (w *worker) initShard(m *shard.Map) {
 	w.subOff[len(subs)] = total
 	w.zStore = make([]float64, total)
 	w.zDense = nil
+	w.zSparse = sparse.NewVector(w.dim, 0)
 	w.activePos = make([]int32, len(w.active))
 	si := 0
 	for i, c := range w.active {
@@ -260,16 +270,14 @@ func (w *worker) wSparseInto(out *sparse.Vector, rho float64) *sparse.Vector {
 	return out
 }
 
-// applyZ consumes the new consensus iterate (the Leader-distributed,
-// already-thresholded z) and performs the dual update (eq. 6) over the
-// active subspace; off-active duals are identically zero (see the worker
-// doc comment). zSparse may be nil, in which case it is derived from
-// zDense. The worker copies the dense form and retains the sparse one.
-func (w *worker) applyZ(cfg Config, zDense []float64, zSparse *sparse.Vector) {
-	if w.smap != nil {
-		w.applyZShard(cfg, zDense, zSparse)
-		return
-	}
+// applyZDense consumes the new consensus iterate (the Leader-distributed,
+// already-thresholded z) under the replicated placement and performs the
+// dual update (eq. 6) over the active subspace; off-active duals are
+// identically zero (see the worker doc comment). zSparse may be nil, in
+// which case it is derived from zDense. The worker copies the dense form
+// and retains the sparse one. Dispatch between placements is the
+// stateStore's job (applyZShard is the sharded counterpart).
+func (w *worker) applyZDense(cfg Config, zDense []float64, zSparse *sparse.Vector) {
 	copy(w.zDense, zDense)
 	if zSparse != nil {
 		w.zSparse = zSparse
@@ -291,8 +299,8 @@ func (w *worker) applyZ(cfg Config, zDense []float64, zSparse *sparse.Vector) {
 	}
 }
 
-// applyZShard is applyZ for a sharded worker given a full-dimension z (the
-// star/tree delivery paths): the store keeps only the subscribed blocks,
+// applyZShard is applyZDense's sharded counterpart, given a full-dimension
+// z (the star/tree delivery paths): the store keeps only the subscribed blocks,
 // the retained sparse view is restricted to the subscription, and the dual
 // update runs through the compact positions.
 func (w *worker) applyZShard(cfg Config, zDense []float64, zSparse *sparse.Vector) {
@@ -378,7 +386,7 @@ func (w *worker) applyWShard(cfg Config, bigW *sparse.Vector, counts []int) {
 
 // applyW consumes a raw aggregated W summing `contributors` workers (the
 // flat PSRA-ADMM and GC-ADMM paths, where every worker receives W itself):
-// the z-update (eq. 10, corrected N·ρ scaling) followed by applyZ.
+// the z-update (eq. 10, corrected N·ρ scaling) followed by applyZDense.
 // ZUpdateL1 overwrites every destination element, so the scratch carries
 // no state between rounds.
 func (w *worker) applyW(cfg Config, bigW []float64, contributors int) {
@@ -387,50 +395,21 @@ func (w *worker) applyW(cfg Config, bigW []float64, contributors int) {
 	}
 	z := w.zScratch[:len(bigW)]
 	solver.ZUpdateL1(z, bigW, cfg.Lambda, cfg.Rho, contributors)
-	w.applyZ(cfg, z, nil)
+	w.applyZDense(cfg, z, nil)
 }
 
-// rejoin re-admits a revived rank at an iteration boundary. The consensus
-// view warm-starts from the cluster's current iterate — the rejoiner's
-// first x-update then solves against live consensus, not the stale z it
-// died holding — while xA/yA keep their frozen pre-death values (any
-// restart point is valid for ADMM, and the stale primal/dual pair is
-// closer to the optimum than zero). The clock jump is supplied by the
-// engine (the live maximum).
-func (w *worker) rejoin(z []float64, clock float64) {
-	if w.smap != nil {
-		// Sharded rejoin: restrict the cluster's iterate to the rank's
-		// subscription — the only state this rank ever holds.
-		subs := w.smap.Subs[w.rank]
-		for i, b := range subs {
-			c := w.smap.Part.Chunk(int(b))
-			copy(w.zStore[w.subOff[i]:w.subOff[i+1]], z[c.Lo:c.Hi])
-		}
-		nb := w.zOwn[w.zOwnIdx]
-		if nb == nil {
-			nb = new(sparse.Vector)
-			w.zOwn[w.zOwnIdx] = nb
-		}
-		w.zOwnIdx = 1 - w.zOwnIdx
-		nb.Reset(w.dim)
-		for _, b := range subs {
-			c := w.smap.Part.Chunk(int(b))
-			for j := c.Lo; j < c.Hi; j++ {
-				if v := z[j]; v != 0 {
-					nb.Index = append(nb.Index, int32(j))
-					nb.Value = append(nb.Value, v)
-				}
-			}
-		}
-		w.zSparse = nb
-		if clock > w.clock {
-			w.clock = clock
-		}
-		return
-	}
+// rejoinReplicated re-admits a revived rank at an iteration boundary under
+// the replicated placement. The consensus view warm-starts from the
+// cluster's current iterate — the rejoiner's first x-update then solves
+// against live consensus, not the stale z it died holding — while xA/yA
+// keep their frozen pre-death values (any restart point is valid for ADMM,
+// and the stale primal/dual pair is closer to the optimum than zero). The
+// clock jump is supplied by the engine (the live maximum).
+func (w *worker) rejoinReplicated(z []float64, clock float64) {
 	copy(w.zDense, z)
-	// Derive the sparse view through the same double buffer applyZ uses,
-	// so the vector the last pre-death round published is never clobbered.
+	// Derive the sparse view through the same double buffer applyZDense
+	// uses, so the vector the last pre-death round published is never
+	// clobbered.
 	nb := w.zOwn[w.zOwnIdx]
 	if nb == nil {
 		nb = new(sparse.Vector)
@@ -438,6 +417,37 @@ func (w *worker) rejoin(z []float64, clock float64) {
 	}
 	w.zOwnIdx = 1 - w.zOwnIdx
 	w.zSparse = sparse.FromDenseInto(nb, z)
+	if clock > w.clock {
+		w.clock = clock
+	}
+}
+
+// rejoinShard is rejoinReplicated's sharded counterpart: the cluster's
+// iterate is restricted to the rank's subscription — the only state this
+// rank ever holds.
+func (w *worker) rejoinShard(z []float64, clock float64) {
+	subs := w.smap.Subs[w.rank]
+	for i, b := range subs {
+		c := w.smap.Part.Chunk(int(b))
+		copy(w.zStore[w.subOff[i]:w.subOff[i+1]], z[c.Lo:c.Hi])
+	}
+	nb := w.zOwn[w.zOwnIdx]
+	if nb == nil {
+		nb = new(sparse.Vector)
+		w.zOwn[w.zOwnIdx] = nb
+	}
+	w.zOwnIdx = 1 - w.zOwnIdx
+	nb.Reset(w.dim)
+	for _, b := range subs {
+		c := w.smap.Part.Chunk(int(b))
+		for j := c.Lo; j < c.Hi; j++ {
+			if v := z[j]; v != 0 {
+				nb.Index = append(nb.Index, int32(j))
+				nb.Value = append(nb.Value, v)
+			}
+		}
+	}
+	w.zSparse = nb
 	if clock > w.clock {
 		w.clock = clock
 	}
@@ -491,18 +501,11 @@ func parallelXUpdates(cfg Config, ws []*worker, iter int) []float64 {
 	return times
 }
 
-// meanZ returns the average of all workers' consensus views — the iterate
-// the engine evaluates the global objective at. Under exact consensus all
-// views are equal and the mean is that view; under SSP they may differ
-// transiently and the mean is the natural cluster-wide summary.
-func meanZ(ws []*worker) []float64 {
-	out := make([]float64, len(ws[0].zDense))
-	meanZInto(out, ws)
-	return out
-}
-
-// meanZInto is meanZ writing into a caller-owned buffer (the engine's
-// steady-state path). Same accumulation order, bit-identical result.
+// meanZInto writes the average of the listed workers' consensus views —
+// the iterate the engine evaluates the global objective at — into a
+// caller-owned buffer. Under exact consensus all views are equal and the
+// mean is that view; under SSP they may differ transiently and the mean is
+// the natural cluster-wide summary.
 func meanZInto(out []float64, ws []*worker) {
 	for i := range out {
 		out[i] = 0

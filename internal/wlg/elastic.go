@@ -122,6 +122,11 @@ type elasticWorker struct {
 	pol     collective.RetryPolicy
 	skipped int64
 	short   int64
+	// skips[r] counts rank r's CONSECUTIVE skipped gathers under the
+	// Min_barrier partial barrier; reaching the Max_delay bound restores
+	// the full wait budget for that member (bounded staleness). Reset on
+	// every gathered contribution.
+	skips []int
 	// joinLog is the newest copy of the GG's rejoin log (see rejoin.go):
 	// flattened (rank, joinIter, incarnation) triples applied at
 	// iteration boundaries so every rank re-admits a rejoiner at the
@@ -149,6 +154,7 @@ func runWorkerElastic(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInf
 		members: topo.WorkersOf(topo.NodeOf(rank)),
 		tr:      membership.NewTracker(topo.Size()),
 		pol:     cfg.Retry,
+		skips:   make([]int, topo.Size()),
 	}
 	// Elastic retries converge on shared targets (a dead Leader, the GG);
 	// decorrelated jitter spreads the survivors' attempts instead of
@@ -279,16 +285,51 @@ func (w *elasticWorker) iterate(iter int, own []float64) ([]float64, int, error)
 		w.rank, iter, elasticCycles, collective.ErrUnavailable)
 }
 
+// quorum returns the Leader's per-node share of the SSP partial barrier:
+// max(1, MinBarrier/Nodes) gathered contributions satisfy it. 0 means no
+// partial barrier — every live member gets the full wait budget.
+func (w *elasticWorker) quorum() int {
+	if w.cfg.MinBarrier <= 0 {
+		return 0
+	}
+	q := w.cfg.MinBarrier / w.cfg.Topo.Nodes
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+// maxDelay returns the effective staleness bound (0 defaults to the
+// paper's Max_delay of 5).
+func (w *elasticWorker) maxDelay() int {
+	if w.cfg.MaxDelay > 0 {
+		return w.cfg.MaxDelay
+	}
+	return 5
+}
+
 // leadIterate is the Leader path: gather the live members' contributions,
 // contribute the node sum to the GG, broadcast the group aggregate back.
+//
+// With MinBarrier set, the gather is the paper's SSP partial barrier at
+// node granularity: once quorum() contributions are in hand, each further
+// member gets a single-attempt probe instead of the full budget — unless
+// its consecutive-skip count has reached maxDelay(), in which case the
+// Leader waits the full budget again so staleness stays bounded.
 func (w *elasticWorker) leadIterate(iter int, own []float64) ([]float64, int, error) {
 	sum := append([]float64(nil), own...)
 	count := 1
+	w.skips[w.rank] = 0
+	quorum := w.quorum()
 	for _, m := range w.tr.Live(w.members) {
 		if m == w.rank {
 			continue
 		}
-		msg, err := collective.RecvRetry(w.ep, m, iterTag(iter, offElMemberW), w.pol)
+		pol := w.pol
+		if quorum > 0 && count >= quorum && w.skips[m] < w.maxDelay() {
+			pol.Attempts = 1
+		}
+		msg, err := collective.RecvRetry(w.ep, m, iterTag(iter, offElMemberW), pol)
 		if err != nil {
 			if _, down := w.tr.Observe(err); down {
 				continue // dead: excluded from this round
@@ -298,11 +339,13 @@ func (w *elasticWorker) leadIterate(iter int, own []float64) ([]float64, int, er
 				// The member still receives the broadcast below (messages
 				// queue), so it is only stale, not stuck.
 				w.skipped++
+				w.skips[m]++
 				continue
 			}
 			return nil, 0, fmt.Errorf("wlg: leader %d iter %d gather from %d: %w", w.rank, iter, m, err)
 		}
 		vec.AddInto(sum, msg.Dense)
+		w.skips[m] = 0
 		count++
 	}
 

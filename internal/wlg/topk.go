@@ -28,6 +28,41 @@ import (
 	"psrahgadmm/internal/wire"
 )
 
+// interRouter picks the inter-Leader allreduce schedule the GG's group
+// runs: the classic chunked PSR-Allreduce, or — with ShardBlocks > 0 —
+// the shard-aware collective under a full-subscription plan (block
+// ownership round-robin over the group; bit-identical aggregate,
+// per-block-owner schedule). A full plan depends only on the group size,
+// and the GG re-forms the same few sizes every iteration, so plans are
+// built once per size and cached — a warmed iteration allocates nothing
+// here.
+type interRouter struct {
+	blocks int
+	plans  map[int]*shard.Plan // group size → full-subscription plan
+}
+
+func newInterRouter(blocks int) *interRouter {
+	r := &interRouter{blocks: blocks}
+	if blocks > 0 {
+		r.plans = make(map[int]*shard.Plan)
+	}
+	return r
+}
+
+func (r *interRouter) allreduce(ws *collective.Workspace, ep transport.Endpoint, g collective.Group, tag int32, in, out *sparse.Vector) error {
+	if r.blocks <= 0 {
+		_, err := ws.PSRAllreduceSparse(ep, g, tag, in, out)
+		return err
+	}
+	sp, ok := r.plans[g.Size()]
+	if !ok {
+		sp = shard.FullPlan(shard.NewPartition(in.Dim, r.blocks), g.Size())
+		r.plans[g.Size()] = sp
+	}
+	_, err := ws.ShardAllreduceSparse(ep, g, tag, sp, in, out)
+	return err
+}
+
 // runWorkerPlainTopK is runWorkerPlain with the exchange swapped to the
 // sparse collectives and the per-rank error-feedback state. The tag
 // layout, GG protocol, and callback contract are identical.
@@ -39,6 +74,7 @@ func runWorkerPlainTopK(ep transport.Endpoint, cfg Config, f WorkerFuncs) error 
 	leader := IsLeader(topo, rank)
 	gg := GGRank(topo)
 	st := exchange.NewState(cfg.Codec, cfg.CodecBudgetBytes)
+	router := newInterRouter(cfg.ShardBlocks)
 
 	var ws collective.Workspace
 	var buf []float64
@@ -86,20 +122,13 @@ func runWorkerPlainTopK(ep transport.Endpoint, cfg Config, f WorkerFuncs) error 
 				members = append(members, LeaderOf(topo, int(n)))
 			}
 			inter := collective.NewGroup(members...)
-			// Sparse PSR-Allreduce among the group's Leaders: the node
-			// partials carry whatever supports their workers selected, and
-			// the scatter-reduce sums them block-wise without ever
-			// densifying. With ShardBlocks the same reduction runs through
-			// the shard-aware collective under a full-subscription plan —
-			// block ownership round-robin over the group, bit-identical
-			// aggregate, per-block-owner schedule.
-			if cfg.ShardBlocks > 0 {
-				sp := shard.FullPlan(shard.NewPartition(part.Dim, cfg.ShardBlocks), inter.Size())
-				if _, err := ws.ShardAllreduceSparse(ep, inter, iterTag(iter, offInterAR), sp, part, agg); err != nil {
-					return fmt.Errorf("wlg: leader %d iter %d shard allreduce: %w", rank, iter, err)
-				}
-			} else if _, err := ws.PSRAllreduceSparse(ep, inter, iterTag(iter, offInterAR), part, agg); err != nil {
-				return fmt.Errorf("wlg: leader %d iter %d PSR allreduce: %w", rank, iter, err)
+			// Sparse allreduce among the group's Leaders: the node partials
+			// carry whatever supports their workers selected, and the
+			// scatter-reduce sums them block-wise without ever densifying.
+			// The router picks the schedule (classic PSR vs shard-aware)
+			// and caches shard plans per group size.
+			if err := router.allreduce(&ws, ep, inter, iterTag(iter, offInterAR), part, agg); err != nil {
+				return fmt.Errorf("wlg: leader %d iter %d inter allreduce: %w", rank, iter, err)
 			}
 			contributors = inter.Size() * topo.WorkersPerNode
 			cnt[0] = int64(contributors)

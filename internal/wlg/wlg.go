@@ -130,6 +130,25 @@ type Config struct {
 	// value means the collective package defaults. Only consulted when
 	// Elastic is set.
 	Retry collective.RetryPolicy
+	// MinBarrier is the SSP partial-barrier size in workers, the paper's
+	// Min_barrier applied to the elastic Leader's gather: once a Leader
+	// holds max(1, MinBarrier/Topo.Nodes) contributions for the round
+	// (its per-node share of the barrier), remaining live members get a
+	// single-attempt probe instead of the full Retry budget — laggards
+	// are skipped as stale rather than waited out. 0 keeps the full
+	// gather (every live member gets the whole budget, the BSP-flavored
+	// default). Unlike the engine's SSP, a skipped contribution is absent
+	// from the round's sum, not replayed from cache: the runtime has no
+	// cached w_i, so MinBarrier here bounds WAIT, and the contributor
+	// count that travels with every aggregate keeps the averaging exact.
+	// Only consulted when Elastic is set.
+	MinBarrier int
+	// MaxDelay bounds a member's consecutive skipped rounds (the paper's
+	// Max_delay): a member already MaxDelay rounds stale is waited on
+	// with the full Retry budget even after the barrier is met, so no
+	// rank's staleness grows without bound. 0 defaults to 5, the paper's
+	// setting. Only meaningful with MinBarrier > 0.
+	MaxDelay int
 	// Watchdog enables per-rank divergence detection: each worker scans
 	// its own contribution and every received aggregate for NaN/Inf and
 	// tracks their magnitudes against a sliding window (the runtime never
@@ -180,6 +199,15 @@ func (c Config) Validate() error {
 	}
 	if c.ShardBlocks < 0 {
 		return fmt.Errorf("wlg: ShardBlocks must be non-negative, got %d", c.ShardBlocks)
+	}
+	if c.MinBarrier < 0 {
+		return fmt.Errorf("wlg: MinBarrier must be non-negative, got %d", c.MinBarrier)
+	}
+	if c.MinBarrier > c.Topo.Size() {
+		return fmt.Errorf("wlg: MinBarrier %d exceeds the worker count %d", c.MinBarrier, c.Topo.Size())
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("wlg: MaxDelay must be non-negative, got %d", c.MaxDelay)
 	}
 	if err := c.Watchdog.Validate(); err != nil {
 		return fmt.Errorf("wlg: %w", err)
