@@ -39,6 +39,7 @@ package psrahgadmm
 
 import (
 	"psrahgadmm/internal/checkpoint"
+	"psrahgadmm/internal/collective"
 	"psrahgadmm/internal/core"
 	"psrahgadmm/internal/dataset"
 	"psrahgadmm/internal/exchange"
@@ -101,12 +102,41 @@ type (
 	// RollbackEvent records one watchdog-triggered checkpoint rollback
 	// (see Result.Rollbacks).
 	RollbackEvent = core.RollbackEvent
+	// ScreenConfig tunes the contribution screen (Config.Screen): per-rank
+	// outlier scoring of every contribution entering a consensus reduce,
+	// with sustained outliers quarantined and re-admitted after clean
+	// probes (see Config.QuarantineRounds).
+	ScreenConfig = watchdog.ScreenConfig
+	// QuarantineEvent records one screen-triggered membership transition
+	// (see Result.Quarantines).
+	QuarantineEvent = core.QuarantineEvent
 )
 
 // ErrDiverged is the sentinel every watchdog abort wraps: errors.Is
 // distinguishes "training went numerically wrong and could not be rolled
 // back" from infrastructure failures.
 var ErrDiverged = watchdog.ErrDiverged
+
+// ErrQuorumLost is the sentinel every "robust quorum unreachable" abort
+// wraps: more ranks are quarantined than the robust aggregator tolerates
+// (Config.TrimF for trimmed-mean, a minority for the median), so the
+// remaining faulty minority could dominate the trim.
+var ErrQuorumLost = watchdog.ErrQuorumLost
+
+// The consensus reduce statistics (Config.Aggregator).
+const (
+	// AggregatorMean is the exact sum-then-divide consensus every paper
+	// algorithm specifies — the default, bit-identical to runs predating
+	// the Aggregator axis.
+	AggregatorMean = collective.AggMeanName
+	// AggregatorTrimmedMean drops the Config.TrimF largest and smallest
+	// contributions per coordinate before averaging — robust to TrimF
+	// Byzantine ranks.
+	AggregatorTrimmedMean = collective.AggTrimmedMeanName
+	// AggregatorMedian takes the coordinate-wise median — robust to any
+	// faulty minority.
+	AggregatorMedian = collective.AggMedianName
+)
 
 // The implemented algorithms.
 const (
@@ -146,6 +176,20 @@ const (
 	// PSRAHGADMMShardedAsync drives the block-sharded aggregation tree
 	// asynchronously (quorum of one, bounded delay).
 	PSRAHGADMMShardedAsync = core.PSRAHGADMMShardedAsync
+	// PSRAADMMRobust is the flat PSR-Allreduce with a trimmed-mean robust
+	// consensus reduce: convergence within the robust consensus bias under
+	// up to TrimF Byzantine ranks.
+	PSRAADMMRobust = core.PSRAADMMRobust
+	// PSRAHGADMMRobust is the staged aggregation tree forced to a single
+	// combine point with a trimmed-mean reduce (robust statistics are
+	// non-associative, so the tree's merges collapse into one).
+	PSRAHGADMMRobust = core.PSRAHGADMMRobust
+	// GCADMMMedian is classic master-worker consensus ADMM with a
+	// coordinate-median reduce at the master.
+	GCADMMMedian = core.GCADMMMedian
+	// PSRAADMMShardedRobust composes block-sharded consensus state with the
+	// trimmed-mean reduce: each shard owner trims its own blocks.
+	PSRAADMMShardedRobust = core.PSRAADMMShardedRobust
 )
 
 // PSRA-HGADMM consensus modes (see Config.Consensus).

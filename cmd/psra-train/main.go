@@ -23,6 +23,7 @@ import (
 
 	psra "psrahgadmm"
 	"psrahgadmm/internal/dataset"
+	"psrahgadmm/internal/membership"
 	"psrahgadmm/internal/metrics"
 	"psrahgadmm/internal/prof"
 	"psrahgadmm/internal/transport"
@@ -82,6 +83,12 @@ func main() {
 		chaosCorr = flag.Float64("chaos-corrupt", 0, "per-record probability of a seeded wire bit-flip (detected, dropped, and retried)")
 		chaosCAt  = flag.String("chaos-corrupt-at", "", "corruption schedule rank@iter[,...]: one frame to each rank is bit-flipped at its iteration")
 		chaosNaN  = flag.String("chaos-nan", "", "NaN-injection schedule rank@iter[,...]: each rank's local solve is poisoned once")
+		chaosByz  = flag.String("chaos-byzantine", "", "Byzantine schedule rank@iter[-until]:mode[,...]: the rank's contributions are poisoned from iter onward (modes: sign-flip | scale | random | stale-replay); pair with -screen and a robust -aggregator")
+		aggName   = flag.String("aggregator", "", "consensus reduce statistic: mean | trimmed-mean | coordinate-median (empty = the algorithm's registered default)")
+		trimF     = flag.Int("trim-f", 0, "trimmed-mean per-side trim count in ranks (0 = default 1 with trimmed-mean)")
+		screenOn  = flag.Bool("screen", false, "contribution screen: score every contribution against its rank's baseline and quarantine sustained outliers")
+		quarRnds  = flag.Int("quarantine-rounds", 0, "consecutive clean probes a quarantined rank needs for re-admission (0 = default 3)")
+		quarLog   = flag.String("quarantine-log", "", "write each quarantine as a binary evidence frame to this audit file")
 		ckDir     = flag.String("checkpoint-dir", "", "directory for periodic snapshots (enables checkpointing)")
 		ckEvery   = flag.Int("checkpoint-every", 10, "snapshot every k-th iteration (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "continue from the latest snapshot in -checkpoint-dir (fresh start if none)")
@@ -130,6 +137,12 @@ func main() {
 		CodecAgeScoring:  *codecAge,
 		ShardedState:     *sharded,
 		ShardBlocks:      *shardBlk,
+		Aggregator:       *aggName,
+		TrimF:            *trimF,
+		QuarantineRounds: *quarRnds,
+	}
+	if *screenOn {
+		cfg.Screen = psra.ScreenConfig{Enabled: true}
 	}
 	if *wdOn {
 		cfg.Watchdog = psra.WatchdogConfig{
@@ -146,7 +159,7 @@ func main() {
 	if *chaosCorr < 0 || *chaosCorr > 1 {
 		fatal(fmt.Errorf("-chaos-corrupt %v outside [0, 1]", *chaosCorr))
 	}
-	if *chaosKill != "" || *chaosJoin != "" || *chaosCorr > 0 || *chaosCAt != "" || *chaosNaN != "" {
+	if *chaosKill != "" || *chaosJoin != "" || *chaosCorr > 0 || *chaosCAt != "" || *chaosNaN != "" || *chaosByz != "" {
 		plan := &transport.FaultPlan{Seed: *chaosSeed, CorruptProb: *chaosCorr}
 		var err error
 		if plan.KillAtIteration, err = parseSchedule(*chaosKill); err != nil {
@@ -160,6 +173,9 @@ func main() {
 		}
 		if plan.NaNAtIteration, err = parseSchedule(*chaosNaN); err != nil {
 			fatal(fmt.Errorf("-chaos-nan: %w", err))
+		}
+		if plan.ByzantineAtIteration, err = parseByzantine(*chaosByz); err != nil {
+			fatal(fmt.Errorf("-chaos-byzantine: %w", err))
 		}
 		cfg.Faults = plan
 	}
@@ -200,6 +216,30 @@ func main() {
 		fmt.Printf("ROLLED BACK: watchdog tripped at iteration %d (%s); resumed from the iteration-%d checkpoint\n",
 			rb.TripIter+1, rb.Reason, rb.ToIter)
 	}
+	for _, ev := range res.Quarantines {
+		if ev.Readmitted {
+			fmt.Printf("READMITTED: rank %d returned to the live set at iteration %d after consecutive clean probes\n",
+				ev.Rank, ev.Iter+1)
+		} else {
+			fmt.Printf("QUARANTINED: rank %d excluded at iteration %d by the contribution screen\n",
+				ev.Rank, ev.Iter+1)
+		}
+	}
+	if *quarLog != "" {
+		var buf []byte
+		events := 0
+		for _, ev := range res.Quarantines {
+			if ev.Readmitted {
+				continue
+			}
+			buf = membership.QuarantineEvidence{Rank: ev.Rank, Iter: ev.Iter}.AppendBinary(buf)
+			events++
+		}
+		if err := os.WriteFile(*quarLog, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("quarantine evidence written to %s (%d frames)\n", *quarLog, events)
+	}
 	if res.Degraded {
 		fmt.Printf("DEGRADED: %d of %d workers survived (membership epoch %d) — objective is the survivors' optimum\n",
 			res.LiveWorkers, cfg.Topo.Size(), res.Epoch)
@@ -232,7 +272,7 @@ func validateExplicitFlags() error {
 		}
 		switch f.Name {
 		case "shard-blocks", "checkpoint-every", "codec-budget-bytes",
-			"min-barrier", "max-delay":
+			"min-barrier", "max-delay", "trim-f", "quarantine-rounds":
 			if v, perr := strconv.ParseInt(f.Value.String(), 10, 64); perr != nil || v <= 0 {
 				err = fmt.Errorf("-%s must be a positive integer, got %s", f.Name, f.Value.String())
 			}
@@ -265,6 +305,54 @@ func parseSchedule(s string) (map[int]int, error) {
 			return nil, fmt.Errorf("rank %d scheduled twice", rank)
 		}
 		sched[rank] = iter
+	}
+	return sched, nil
+}
+
+// parseByzantine parses "rank@iter[-until]:mode[,...]" into a Byzantine
+// schedule. Every malformed entry is rejected loudly — an unknown mode, a
+// duplicated rank, or a negative iteration silently dropped would turn a
+// chaos experiment into a clean run that "proves" robustness it never
+// tested.
+func parseByzantine(s string) (map[int]transport.ByzantineFault, error) {
+	if s == "" {
+		return nil, nil
+	}
+	sched := make(map[int]transport.ByzantineFault)
+	for _, entry := range strings.Split(s, ",") {
+		rankStr, rest, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not rank@iter:mode", entry)
+		}
+		window, mode, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is missing its :mode", entry)
+		}
+		if !transport.ValidByzantineMode(mode) {
+			return nil, fmt.Errorf("entry %q: unknown mode %q (want %s)",
+				entry, mode, strings.Join(transport.ByzantineModes(), " | "))
+		}
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil || rank < 0 {
+			return nil, fmt.Errorf("entry %q: bad rank %q", entry, rankStr)
+		}
+		fromStr, untilStr, bounded := strings.Cut(window, "-")
+		from, err := strconv.Atoi(fromStr)
+		if err != nil || from < 0 {
+			return nil, fmt.Errorf("entry %q: bad iteration %q", entry, fromStr)
+		}
+		bf := transport.ByzantineFault{Iteration: from, Mode: mode}
+		if bounded {
+			until, err := strconv.Atoi(untilStr)
+			if err != nil || until <= from {
+				return nil, fmt.Errorf("entry %q: until %q must be an integer past the start iteration", entry, untilStr)
+			}
+			bf.Until = until
+		}
+		if _, dup := sched[rank]; dup {
+			return nil, fmt.Errorf("rank %d scheduled twice", rank)
+		}
+		sched[rank] = bf
 	}
 	return sched, nil
 }

@@ -44,6 +44,10 @@
 //	5 — divergence: the -watchdog tripped on a non-finite or exploding
 //	    value; relaunch from the last good -snapshot-dir checkpoint with
 //	    -start-iter instead of restarting cold
+//	6 — aborted: robust quorum unreachable — more ranks are quarantined by
+//	    the -screen than the robust -aggregator tolerates, so the
+//	    remaining faulty minority could dominate the trim; investigate the
+//	    quarantined ranks before relaunching
 package main
 
 import (
@@ -96,6 +100,10 @@ func main() {
 		wdOn      = flag.Bool("watchdog", false, "divergence watchdog: scan contributions and aggregates for NaN/Inf and magnitude explosions (exit 5 on a trip)")
 		wdWindow  = flag.Int("watchdog-window", 0, "healthy iterations forming the explosion baseline (0 = default 8)")
 		wdFactor  = flag.Float64("watchdog-factor", 0, "explosion threshold as a multiple of the window floor (0 = default 1e4)")
+		aggName   = flag.String("aggregator", "", "consensus reduce statistic: mean | trimmed-mean | coordinate-median (empty = mean; robust choices require -elastic)")
+		trimF     = flag.Int("trim-f", 0, "trimmed-mean per-side trim count in nodes (0 = default 1 with -aggregator=trimmed-mean)")
+		screenOn  = flag.Bool("screen", false, "contribution screen: Leaders score every gathered contribution and quarantine sustained outliers (requires -elastic; exit 6 when quarantines exceed the robust tolerance)")
+		quarRnds  = flag.Int("quarantine-rounds", 0, "consecutive clean self-probes a quarantined rank needs to rejoin (0 = default 3)")
 	)
 	profiles := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -117,6 +125,12 @@ func main() {
 	}
 	if *minBarr > 0 && !*elastic {
 		fatal(fmt.Errorf("-min-barrier requires -elastic: the fail-stop gather is a full barrier"))
+	}
+	if *screenOn && !*elastic {
+		fatal(fmt.Errorf("-screen requires -elastic: quarantine is a membership transition only the elastic protocol can absorb"))
+	}
+	if *aggName != "" && *aggName != "mean" && !*elastic {
+		fatal(fmt.Errorf("-aggregator=%s requires -elastic: the robust combine point is the elastic GG", *aggName))
 	}
 	if *snapEvery < 1 {
 		fatal(fmt.Errorf("-snapshot-every must be >= 1, got %d", *snapEvery))
@@ -148,6 +162,12 @@ func main() {
 		MaxDelay:         *maxDelay,
 		StartIter:        *startIter,
 		Rejoin:           *rejoin,
+		Aggregator:       *aggName,
+		TrimF:            *trimF,
+		QuarantineRounds: *quarRnds,
+	}
+	if *screenOn {
+		cfg.Screen = watchdog.ScreenConfig{Enabled: true}
 	}
 	if *wdOn {
 		cfg.Watchdog = watchdog.Config{
@@ -254,8 +274,8 @@ func main() {
 		fatal(err)
 	}
 	if info.Degraded() {
-		fmt.Printf("rank %d: done DEGRADED — %d workers alive, %d deaths absorbed, %d contributions skipped, %d short rounds\n",
-			*rank, info.LiveWorkers, info.Epoch, info.Skipped, info.ShortRounds)
+		fmt.Printf("rank %d: done DEGRADED — %d workers alive, %d deaths absorbed, %d contributions skipped, %d short rounds, %d screened out, %d self-quarantines\n",
+			*rank, info.LiveWorkers, info.Epoch, info.Skipped, info.ShortRounds, info.Flagged, info.SelfQuarantines)
 		os.Exit(4)
 	}
 	fmt.Printf("rank %d: done\n", *rank)
@@ -313,7 +333,8 @@ func validateExplicitFlags() error {
 			return
 		}
 		switch f.Name {
-		case "shard-blocks", "codec-budget-bytes", "min-barrier", "max-delay":
+		case "shard-blocks", "codec-budget-bytes", "min-barrier", "max-delay",
+			"trim-f", "quarantine-rounds":
 			if v, perr := strconv.ParseInt(f.Value.String(), 10, 64); perr != nil || v <= 0 {
 				err = fmt.Errorf("-%s must be a positive integer, got %s", f.Name, f.Value.String())
 			}
@@ -338,6 +359,10 @@ func fatal(err error) {
 	if errors.Is(err, watchdog.ErrDiverged) {
 		fmt.Fprintf(os.Stderr, "psra-worker: training diverged; relaunch from the last snapshot with -start-iter: %v\n", err)
 		os.Exit(5)
+	}
+	if errors.Is(err, watchdog.ErrQuorumLost) {
+		fmt.Fprintf(os.Stderr, "psra-worker: aborted: robust quorum unreachable: %v\n", err)
+		os.Exit(6)
 	}
 	fmt.Fprintln(os.Stderr, "psra-worker:", err)
 	os.Exit(1)

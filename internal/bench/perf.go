@@ -152,6 +152,28 @@ func Perf(seed int64) (*PerfReport, error) {
 		})
 	}
 
+	// Layer 2b: the robust reduce at the same scale as the plain sum above
+	// — 8 sparse contributors through the trimmed-mean combine, scratch and
+	// destination recycled across ops like the reducer's steady state.
+	{
+		r := rand.New(rand.NewSource(seed + 1))
+		const dim = 1 << 16
+		vs := make([]*sparse.Vector, 8)
+		for i := range vs {
+			vs[i] = perfSparse(r, dim, 0.02)
+		}
+		spec := collective.AggSpec{Kind: collective.AggTrimmedMean, TrimF: 1}
+		ws := new(collective.Workspace)
+		out := new(sparse.Vector)
+		out = ws.CombineSparse(spec, dim, vs, out) // warm scratch once
+		add("collective/robust-combine-8x", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out = ws.CombineSparse(spec, dim, vs, out)
+			}
+		})
+	}
+
 	// Layer 3: codec encode (exact passthrough vs 8-bit quantization).
 	for _, kind := range []exchange.Kind{exchange.Sparse, exchange.SparseQ8} {
 		codec, err := exchange.For(kind)

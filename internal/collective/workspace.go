@@ -57,6 +57,10 @@ type Workspace struct {
 	shRed []*sparse.Vector
 	shOut []*sparse.Vector
 	shArr []*sparse.Vector
+
+	// Robust-reduce scratch (robust.go): the coordinate × contributor
+	// matrix behind the trimmed-mean/median owner-side combine.
+	rb robustScratch
 }
 
 // validateGroup is Group.validate using ws.seen instead of a fresh map.

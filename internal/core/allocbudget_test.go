@@ -5,8 +5,10 @@ import (
 	"runtime"
 	"testing"
 
+	"psrahgadmm/internal/collective"
 	"psrahgadmm/internal/dataset"
 	"psrahgadmm/internal/raceflag"
+	"psrahgadmm/internal/watchdog"
 )
 
 // runMallocs executes one full training run and returns the heap objects
@@ -67,5 +69,29 @@ func TestSteadyStateAllocBudget(t *testing.T) {
 	t.Logf("steady-state allocations: %.2f objects/iter (budget %g)", got, budget)
 	if got > budget {
 		t.Fatalf("steady-state allocations: %.2f objects/iter exceeds budget %g", got, budget)
+	}
+}
+
+// TestRobustSteadyStateAllocBudget pins the robust path's perf gate: with
+// the contribution screen scoring every encoded contribution and the
+// trimmed-mean combine replacing the running sum, a warmed steady-state
+// iteration must allocate nothing beyond the baseline budget — the screen
+// updates EWMAs in place and the robust scratch is owned by the reducer
+// and recycled across rounds.
+func TestRobustSteadyStateAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	train, _ := testData(t, 160)
+	cfg := baseConfig(PSRAADMM, 3, 2)
+	cfg.EvalEvery = 1 << 20
+	cfg.Aggregator = collective.AggTrimmedMeanName
+	cfg.Screen = watchdog.ScreenConfig{Enabled: true}
+
+	const budget = 8.0
+	got := marginalAllocs(t, cfg, train, 30, 130)
+	t.Logf("robust steady-state allocations: %.2f objects/iter (budget %g)", got, budget)
+	if got > budget {
+		t.Fatalf("robust steady-state allocations: %.2f objects/iter exceeds budget %g", got, budget)
 	}
 }

@@ -61,6 +61,11 @@ type crewJob struct {
 	out     *sparse.Vector
 	dense   []float64
 	plan    *shard.Plan // commShardSparse only
+	// spec selects the reduce statistic for the PSR and shard kinds. The
+	// mean spec routes through the unmodified sum kernels, so every
+	// pre-robust schedule stays bit-identical; the ring kinds are pairwise
+	// and ignore it (robust × ring is rejected at registration).
+	spec collective.AggSpec
 }
 
 // crew is the run-persistent collective executor: one goroutine per world
@@ -128,13 +133,13 @@ func (c *crew) serve(r int) {
 		var tr collective.Trace
 		switch job.kind {
 		case commPSRSparse:
-			tr, err = c.wss[r].PSRAllreduceSparse(c.eps[r], job.g, job.tagBase, job.in, job.out)
+			tr, err = c.wss[r].PSRAllreduceSparseAgg(c.eps[r], job.g, job.tagBase, job.in, job.out, job.spec)
 		case commRingSparse:
 			tr, err = c.wss[r].RingAllreduceSparse(c.eps[r], job.g, job.tagBase, job.in, job.out)
 		case commRingDense:
 			tr, err = c.wss[r].RingAllreduceDense(c.eps[r], job.g, job.tagBase, job.dense)
 		case commShardSparse:
-			tr, err = c.wss[r].ShardAllreduceSparse(c.eps[r], job.g, job.tagBase, job.plan, job.in, job.out)
+			tr, err = c.wss[r].ShardAllreduceSparseAgg(c.eps[r], job.g, job.tagBase, job.plan, job.in, job.out, job.spec)
 		default:
 			err = fmt.Errorf("core: unknown comm kind %d", job.kind)
 		}
@@ -279,7 +284,7 @@ func groupAllreduce(env *strategyEnv, ranks []int, kind commKind, inputs []*spar
 		if i != 0 {
 			dst = c.outs[r]
 		}
-		c.jobs[r] <- crewJob{kind: kind, g: g, tagBase: tagBase, in: inputs[i], out: dst}
+		c.jobs[r] <- crewJob{kind: kind, g: g, tagBase: tagBase, in: inputs[i], out: dst, spec: env.agg}
 	}
 	c.wg.Wait()
 	if err := c.collect("group allreduce", ranks); err != nil {
@@ -305,7 +310,7 @@ func groupShardAllreduce(env *strategyEnv, ranks []int, plan *shard.Plan, inputs
 	c.stop.Store(false)
 	c.wg.Add(len(ranks))
 	for i, r := range ranks {
-		c.jobs[r] <- crewJob{kind: commShardSparse, g: g, tagBase: tagBase, in: inputs[i], out: c.outs[r], plan: plan}
+		c.jobs[r] <- crewJob{kind: commShardSparse, g: g, tagBase: tagBase, in: inputs[i], out: c.outs[r], plan: plan, spec: env.agg}
 	}
 	c.wg.Wait()
 	if err := c.collect("shard allreduce", ranks); err != nil {

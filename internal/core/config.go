@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 
+	"psrahgadmm/internal/collective"
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/solver"
 	"psrahgadmm/internal/transport"
@@ -88,6 +89,22 @@ const (
 	// PSRAHGADMMShardedAsync drives the block-sharded staged aggregation
 	// tree asynchronously (quorum of one, bounded delay).
 	PSRAHGADMMShardedAsync Algorithm = "psra-hgadmm-sharded-async"
+	// PSRAADMMRobust is the flat PSR-Allreduce with the trimmed-mean
+	// robust aggregator: each owner drops the TrimF largest and smallest
+	// contributions per coordinate before averaging, tolerating up to
+	// TrimF Byzantine workers.
+	PSRAADMMRobust Algorithm = "psra-admm-robust"
+	// PSRAHGADMMRobust is the staged aggregation tree under trimmed-mean,
+	// forced to a single merge of every node partial (the robust statistic
+	// needs all contributions at one combine point) — node-granularity
+	// Byzantine tolerance.
+	PSRAHGADMMRobust Algorithm = "psra-hgadmm-robust"
+	// GCADMMMedian is the master-worker star with the coordinate-median
+	// aggregator — the classic robust-aggregation baseline.
+	GCADMMMedian Algorithm = "gc-admm-median"
+	// PSRAADMMShardedRobust composes trimmed-mean with block-sharded
+	// state: each block owner trims over that block's live subscribers.
+	PSRAADMMShardedRobust Algorithm = "psra-admm-sharded-robust"
 )
 
 // Config parameterizes one training run.
@@ -230,6 +247,31 @@ type Config struct {
 	// and aborts with an error wrapping watchdog.ErrDiverged once
 	// Watchdog.MaxRollbacks is exhausted or no snapshot exists.
 	Watchdog watchdog.Config
+	// Aggregator selects the consensus reduce statistic: "mean" (the
+	// default — bit-identical to the pre-robust engine, every sum routed
+	// through the unmodified kernels), "trimmed-mean" (drop the TrimF
+	// largest and smallest contributions per coordinate before averaging),
+	// or "coordinate-median". Empty inherits the registered variant's
+	// Aggregator axis value. The robust statistics are non-associative, so
+	// they require a consensus strategy with a single combine point:
+	// flat/star/tree, not ring or group-local; with sharded state only the
+	// flat strategy reduces per block with per-block contributor sets.
+	Aggregator string
+	// TrimF is trimmed-mean's per-side trim count — the number of
+	// Byzantine contributors the reduce tolerates. Defaults to 1 when the
+	// trimmed-mean aggregator is selected. It is also the robust quorum
+	// bound: once more than TrimF ranks are quarantined the run aborts
+	// with an error wrapping watchdog.ErrQuorumLost.
+	TrimF int
+	// Screen enables contribution screening: every contribution entering a
+	// consensus reduce is scored against its sender's own EWMA baselines
+	// (norm and Δ-norm), consecutive outliers quarantine the rank, and
+	// QuarantineRounds consecutive clean probes re-admit it. See
+	// watchdog.ScreenConfig.
+	Screen watchdog.ScreenConfig
+	// QuarantineRounds is how many consecutive clean probe observations a
+	// quarantined rank must produce before re-admission. Default 3.
+	QuarantineRounds int
 }
 
 func (c *Config) fill() {
@@ -257,6 +299,39 @@ func (c *Config) fill() {
 	if c.RhoTau <= 1 {
 		c.RhoTau = 2
 	}
+	if c.Aggregator == "" {
+		if v, ok := Lookup(c.Algorithm); ok {
+			c.Aggregator = v.Aggregator
+		}
+	}
+	if c.Aggregator == "" {
+		c.Aggregator = collective.AggMeanName
+	}
+	if c.Aggregator == collective.AggTrimmedMeanName && c.TrimF == 0 {
+		c.TrimF = 1
+	}
+	if c.QuarantineRounds <= 0 {
+		c.QuarantineRounds = 3
+	}
+}
+
+// aggSpec resolves the run's aggregator axis after fill.
+func (c Config) aggSpec() (collective.AggSpec, error) {
+	name := c.Aggregator
+	if name == "" {
+		if v, ok := Lookup(c.Algorithm); ok {
+			name = v.Aggregator
+		}
+	}
+	kind, err := collective.ParseAgg(name)
+	if err != nil {
+		return collective.AggSpec{}, fmt.Errorf("core: %w", err)
+	}
+	f := c.TrimF
+	if kind == collective.AggTrimmedMean && f == 0 {
+		f = 1 // fill's default, applied here too so pre-fill Validate agrees
+	}
+	return collective.AggSpec{Kind: kind, TrimF: f}, nil
 }
 
 // Validate checks the configuration before a run.
@@ -305,6 +380,51 @@ func (c Config) Validate() error {
 	}
 	if err := c.Watchdog.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.Screen.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.TrimF < 0 {
+		return fmt.Errorf("core: TrimF must be non-negative, got %d", c.TrimF)
+	}
+	if c.QuarantineRounds < 0 {
+		return fmt.Errorf("core: QuarantineRounds must be non-negative, got %d", c.QuarantineRounds)
+	}
+	spec, err := c.aggSpec()
+	if err != nil {
+		return err
+	}
+	if spec.Robust() {
+		if v, ok := Lookup(c.Algorithm); ok {
+			ck, _, _ := v.resolve(c)
+			switch ck {
+			case ConsensusFlat, ConsensusStar, ConsensusTree:
+			default:
+				return fmt.Errorf("core: aggregator %q needs a single combine point; %s consensus reduces pairwise", spec.Kind, ck)
+			}
+			if (v.Sharded || c.ShardedState) && ck != ConsensusFlat {
+				return fmt.Errorf("core: aggregator %q over sharded state requires flat-psr consensus (per-block contributor sets), not %s", spec.Kind, ck)
+			}
+		}
+		if 2*spec.TrimF >= c.Topo.Size() {
+			return fmt.Errorf("core: TrimF %d trims everything: need 2·TrimF < %d workers", spec.TrimF, c.Topo.Size())
+		}
+	}
+	if c.Faults != nil {
+		for r, bf := range c.Faults.ByzantineAtIteration {
+			if r < 0 || r >= c.Topo.Size() {
+				return fmt.Errorf("core: Byzantine rank %d outside the world [0,%d)", r, c.Topo.Size())
+			}
+			if bf.Iteration < 0 {
+				return fmt.Errorf("core: Byzantine rank %d iteration %d negative", r, bf.Iteration)
+			}
+			if !transport.ValidByzantineMode(bf.Mode) {
+				return fmt.Errorf("core: Byzantine rank %d: unknown mode %q (valid: %v)", r, bf.Mode, transport.ByzantineModes())
+			}
+			if bf.Until != 0 && bf.Until <= bf.Iteration {
+				return fmt.Errorf("core: Byzantine rank %d: Until %d must follow Iteration %d", r, bf.Until, bf.Iteration)
+			}
+		}
 	}
 	if c.Faults != nil && (c.Faults.CorruptProb < 0 || c.Faults.CorruptProb > 1) {
 		return fmt.Errorf("core: Faults.CorruptProb must be in [0,1], got %v", c.Faults.CorruptProb)
@@ -402,6 +522,20 @@ type Result struct {
 	// finished; the History contains the post-rollback replay (entries for
 	// the rolled-back iterations are truncated and rewritten).
 	Rollbacks []RollbackEvent
+	// Quarantines records every contribution-screen quarantine and
+	// re-admission the run performed, in order.
+	Quarantines []QuarantineEvent
+}
+
+// QuarantineEvent is one screen-triggered membership transition.
+type QuarantineEvent struct {
+	// Rank is the affected world rank.
+	Rank int
+	// Iter is the iteration boundary the transition took effect at.
+	Iter int
+	// Readmitted distinguishes a clean-probe re-admission from the
+	// quarantine itself.
+	Readmitted bool
 }
 
 // RollbackEvent is one watchdog-triggered restore to a checkpoint.

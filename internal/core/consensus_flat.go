@@ -79,9 +79,9 @@ func (st *flatStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	ws := env.ws
 	var timing iterTiming
 
-	// Reconcile: dead workers leave the barrier, the collective, and the
-	// z-update's averaging count.
-	if env.elastic {
+	// Reconcile: dead or quarantined workers leave the barrier, the
+	// collective, and the z-update's averaging count.
+	if env.reconciles() {
 		for i := range st.clocks {
 			if st.clocks[i].pending != nil && !env.members.Alive(ws[i].rank) {
 				st.clocks[i] = sspClock{}

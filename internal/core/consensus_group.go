@@ -56,7 +56,7 @@ func (st *groupStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	wpn := topo.WorkersPerNode
 	var timing iterTiming
 
-	if env.elastic {
+	if env.reconciles() {
 		st.reconcile()
 	}
 	liveNodes, _ := env.liveNodes(topo)

@@ -94,7 +94,7 @@ func (st *ringStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	dense := env.codec.DenseExchange()
 	var timing iterTiming
 
-	if env.elastic {
+	if env.reconciles() {
 		st.reconcile()
 	}
 	liveNodes, ranksOf := env.liveNodes(topo)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"psrahgadmm/internal/collective"
 	"psrahgadmm/internal/sparse"
 )
 
@@ -24,6 +25,13 @@ type starStrategy struct {
 	fresh    []int
 	idle     []int
 	sub      []*worker
+	// Robust-aggregation scratch: cws carries the coordinate×contributor
+	// combine matrix (only its robust scratch is used — the star never
+	// runs a wire collective through it), combined/combineSrcs are the
+	// master-side combine's destination and source list.
+	cws         collective.Workspace
+	combined    *sparse.Vector
+	combineSrcs []*sparse.Vector
 }
 
 func newStarStrategy(env *strategyEnv) *starStrategy {
@@ -45,10 +53,11 @@ func (st *starStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	topo := cfg.Topo
 	var timing iterTiming
 
-	// Reconcile: dead workers leave the barrier and the sum. The star has
-	// no fabric traffic, so deaths only ever arrive via the engine's
-	// scheduled kills; the master role migrates to the first live rank.
-	if env.elastic {
+	// Reconcile: dead or quarantined workers leave the barrier and the
+	// sum. The star has no fabric traffic, so deaths only ever arrive via
+	// the engine's scheduled kills; the master role migrates to the first
+	// live rank.
+	if env.reconciles() {
 		for i := range st.clocks {
 			if st.clocks[i].pending != nil && !env.members.Alive(ws[i].rank) {
 				st.clocks[i] = sspClock{}
@@ -104,18 +113,37 @@ func (st *starStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	end := gatherStart + commT
 	st.masterFreeAt = end
 
-	acc := sparse.NewAccumulator(env.dim)
-	for i, wc := range st.wCur {
-		if !env.members.Alive(ws[i].rank) {
-			continue
+	// The master is the robust aggregators' natural combine point: it
+	// already sees every live contribution, so the trimmed-mean/median
+	// center (scaled ×contributors, which the z-update divides back out)
+	// drops straight in where the sum was. The mean path is untouched.
+	var wAgg []float64
+	if env.agg.Robust() {
+		srcs := st.combineSrcs[:0]
+		for i, wc := range st.wCur {
+			if !env.members.Alive(ws[i].rank) {
+				continue
+			}
+			srcs = append(srcs, wc)
 		}
-		acc.Add(wc)
+		st.combineSrcs = srcs
+		st.combined = st.cws.CombineSparse(env.agg, env.dim, srcs, st.combined)
+		wAgg = st.combined.ToDense()
+	} else {
+		acc := sparse.NewAccumulator(env.dim)
+		for i, wc := range st.wCur {
+			if !env.members.Alive(ws[i].rank) {
+				continue
+			}
+			acc.Add(wc)
+		}
+		wAgg = acc.Sum().ToDense()
 	}
 	zDense := make([]float64, env.dim)
 	// The store picks the z-update's contributor scaling: the global count
 	// replicated, per-block live subscribers sharded; workers then retain
 	// whatever storage their placement gives them (store.applyZ).
-	env.store.zUpdateDense(zDense, acc.Sum().ToDense(), cfg, contributors)
+	env.store.zUpdateDense(zDense, wAgg, cfg, contributors)
 	env.codec.EncodeDense(zDense)
 
 	calSum, commSum := 0.0, 0.0

@@ -106,7 +106,7 @@ func (st *treeStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	topo := cfg.Topo
 	var timing iterTiming
 
-	if env.elastic {
+	if env.reconciles() {
 		st.reconcile()
 	}
 	liveNodes, ranksOf := env.liveNodes(topo)
@@ -156,6 +156,15 @@ func (st *treeStrategy) Round(cfg Config, iter int) (iterTiming, error) {
 	threshold := cfg.GroupThreshold
 	if threshold < 2 {
 		threshold = 2
+	}
+	// A robust aggregator is non-associative: a merge of merges would trim
+	// trimmed results. Force every node partial into ONE merge group, so
+	// the single PSR combine sees all contributions at once. The statistic
+	// is then node-granular — one Byzantine worker poisons its node's
+	// partial and the trim drops that whole node — which is the honest
+	// granularity of a hierarchy that sums within nodes first.
+	if env.agg.Robust() && threshold < len(liveNodes) {
+		threshold = len(liveNodes)
 	}
 	ggRTT := 2 * (cfg.Cost.InterAlpha + float64(ggRequestBytes)*cfg.Cost.InterBeta)
 

@@ -135,6 +135,24 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	if f := cfg.Faults; f != nil && (f.CorruptProb > 0 || len(f.CorruptAtIteration) > 0) {
 		env.corruptible = true
 	}
+	// The aggregator spec rides every PSR/shard collective job; the mean
+	// spec routes through the unmodified sum kernels, so non-robust runs
+	// stay bit-identical to the pre-aggregator engine.
+	if env.agg, err = cfg.aggSpec(); err != nil { // unreachable after Validate; kept for direct callers
+		return nil, fmt.Errorf("core: %s: %w", cfg.Algorithm, err)
+	}
+	// The contribution screen (nil when disabled) scores every encoded
+	// contribution at the encodeSparse chokepoint; the quarantine
+	// controller below turns its strikes into membership transitions at
+	// iteration boundaries.
+	env.screen = watchdog.NewScreen(cfg.Screen, cfg.Topo.Size())
+	if f := cfg.Faults; f != nil && len(f.ByzantineAtIteration) > 0 {
+		env.byz = make([]byzRank, cfg.Topo.Size())
+		env.byzSeed = f.Seed
+		for r, bf := range f.ByzantineAtIteration {
+			env.byz[r] = byzRank{mode: bf.Mode, from: bf.Iteration, until: bf.Until}
+		}
+	}
 	// The stateStore owns the consensus state's placement — replicated
 	// dense z or block-sharded z — and allocates every worker's storage.
 	// Placement composes freely with the sync model: the strategies route
@@ -263,6 +281,10 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	wdCfg := cfg.Watchdog.Fill()
 	rollbacks := 0
 	histBase := startIter
+	var quar *quarantineCtl
+	if env.screen != nil {
+		quar = newQuarantineCtl(cfg, env.agg)
+	}
 
 	// A round that fails because peers died is retried over the survivors
 	// (elastic mode only). Each death shrinks the world by one, and a
@@ -275,6 +297,7 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 	// the bench snapshot pins at zero.
 	isAlive := members.Alive
 	for iter := startIter; iter < cfg.MaxIter; iter++ {
+		env.curIter = iter
 		for _, r := range killAt[iter] {
 			ffab.Kill(r)
 			if cfg.Elastic {
@@ -305,7 +328,7 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 				}
 			}
 		}
-		if cfg.Elastic && members.LiveCount() == 0 {
+		if (cfg.Elastic || env.screen != nil) && members.LiveCount() == 0 {
 			return fail(iter, errors.New("no live workers remain"))
 		}
 		if rs := corruptAt[iter]; len(rs) > 0 {
@@ -352,6 +375,17 @@ func Run(cfg Config, train *dataset.Dataset, opts RunOptions) (*Result, error) {
 			// Failed attempts charge no virtual time: the simulated
 			// cluster's clock models healthy progress, and a retried
 			// round re-runs from the reconciled state.
+		}
+
+		// Quarantine boundary: probe quarantined ranks (possibly readmitting
+		// them), quarantine live ranks whose screen strikes hit the limit,
+		// and enforce the robust quorum bound — all BEFORE this iteration's
+		// stats, so LiveWorkers, the assembled z̄, and the objective reflect
+		// the post-transition world.
+		if quar != nil {
+			if qerr := quar.sweep(env, cfg, iter, zPrev, res); qerr != nil {
+				return fail(iter, qerr)
+			}
 		}
 
 		live := env.liveWorkers()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"psrahgadmm/internal/collective"
 	"psrahgadmm/internal/exchange"
 )
 
@@ -23,6 +24,10 @@ type Variant struct {
 	// blocks its data touches, and the z-update averages each block over
 	// its live subscribers. Config.ShardedState sets the same bit per run.
 	Sharded bool
+	// Aggregator is the variant's default consensus reduce statistic (a
+	// collective.Agg*Name); empty means "mean", the exact sum-then-divide
+	// the paper's algorithms use. Config.Aggregator overrides it per run.
+	Aggregator string
 	// Description is the one-line summary the CLIs print when enumerating
 	// the registry.
 	Description string
@@ -70,6 +75,23 @@ func Register(v Variant) {
 		case ConsensusFlat, ConsensusStar, ConsensusTree:
 		default:
 			panic(fmt.Sprintf("core: Register(%s): sharded state does not support %s consensus", v.Name, v.Consensus))
+		}
+	}
+	// Robust aggregators are non-associative: every contribution must meet
+	// at one combine point (a PSR owner, the star master, a single tree
+	// merge). The pairwise ring and the group-local split have no such
+	// point, and sharded robustness needs flat's per-block contributor
+	// sets.
+	if agg, err := collective.ParseAgg(v.Aggregator); err != nil {
+		panic(fmt.Sprintf("core: Register(%s): %v", v.Name, err))
+	} else if agg != collective.AggMean {
+		switch v.Consensus {
+		case ConsensusFlat, ConsensusStar, ConsensusTree:
+		default:
+			panic(fmt.Sprintf("core: Register(%s): %s consensus cannot host the %s aggregator", v.Name, v.Consensus, v.Aggregator))
+		}
+		if v.Sharded && v.Consensus != ConsensusFlat {
+			panic(fmt.Sprintf("core: Register(%s): sharded %s state cannot host the %s aggregator", v.Name, v.Consensus, v.Aggregator))
 		}
 	}
 	registry.byName[v.Name] = v
@@ -226,5 +248,30 @@ func init() {
 	Register(Variant{
 		Name: PSRAHGADMMShardedAsync, Consensus: ConsensusTree, Sync: SyncAsync, Codec: exchange.Sparse, Sharded: true,
 		Description: "new composition: block-sharded staged aggregation tree driven asynchronously (quorum of one, bounded delay)",
+	})
+
+	// Byzantine-tolerant compositions: the Aggregator axis swaps the
+	// consensus reduce statistic while everything else — codec, sync,
+	// placement — stays the variant's. Mean-aggregator entries above are
+	// untouched and bit-identical to their goldens.
+	Register(Variant{
+		Name: PSRAADMMRobust, Consensus: ConsensusFlat, Sync: SyncBSP, Codec: exchange.Sparse,
+		Aggregator:  collective.AggTrimmedMeanName,
+		Description: "robust composition: flat sparse PSR-Allreduce with per-coordinate trimmed-mean (tolerates TrimF Byzantine workers)",
+	})
+	Register(Variant{
+		Name: PSRAHGADMMRobust, Consensus: ConsensusTree, Sync: SyncBSP, Codec: exchange.Sparse,
+		Aggregator:  collective.AggTrimmedMeanName,
+		Description: "robust composition: aggregation tree forced to a single merge, trimmed-mean over node partials (node-granular tolerance)",
+	})
+	Register(Variant{
+		Name: GCADMMMedian, Consensus: ConsensusStar, Sync: SyncBSP, Codec: exchange.Dense,
+		Aggregator:  collective.AggMedianName,
+		Description: "robust baseline: master-worker star with coordinate-median aggregation",
+	})
+	Register(Variant{
+		Name: PSRAADMMShardedRobust, Consensus: ConsensusFlat, Sync: SyncBSP, Codec: exchange.Sparse, Sharded: true,
+		Aggregator:  collective.AggTrimmedMeanName,
+		Description: "robust composition: block-sharded flat PSR with trimmed-mean over each block's live subscribers",
 	})
 }

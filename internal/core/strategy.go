@@ -2,12 +2,15 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 
+	"psrahgadmm/internal/collective"
 	"psrahgadmm/internal/exchange"
 	"psrahgadmm/internal/membership"
 	"psrahgadmm/internal/simnet"
 	"psrahgadmm/internal/sparse"
 	"psrahgadmm/internal/transport"
+	"psrahgadmm/internal/watchdog"
 )
 
 // The ConsensusStrategy axis: HOW the aggregated W = Σ(yᵢ + ρxᵢ) is formed
@@ -111,6 +114,84 @@ type strategyEnv struct {
 	// (the W collective, the z-update's contributor scaling, delivery,
 	// wire encoding) routes through it; see statestore.go.
 	store stateStore
+	// agg is the run's consensus reduce statistic. The zero value (mean)
+	// stamps every collective job with the bit-identical sum kernels; the
+	// robust kinds swap in the owner-side trimmed-mean/median combine.
+	agg collective.AggSpec
+	// screen, non-nil when Config.Screen is enabled, scores every encoded
+	// contribution at the encodeSparse chokepoint. The engine reads the
+	// strike counts at iteration boundaries and turns them into
+	// membership quarantines.
+	screen *watchdog.Screen
+	// byz, non-nil when the fault plan schedules Byzantine ranks, holds
+	// each world rank's poison state. The poison is applied AFTER codec
+	// encoding — exactly where a compromised worker would inject it — and
+	// BEFORE the screen observes, so the screen judges what the wire
+	// carries.
+	byz     []byzRank
+	byzSeed int64
+	// curIter is the iteration the current round belongs to, set by the
+	// engine before each Round call. Poison schedules and the seeded
+	// 'random' mode key on it, so corrupt-frame retries of the same round
+	// replay identically.
+	curIter int
+}
+
+// byzRank is one rank's scheduled Byzantine behavior (see
+// transport.ByzantineFault). stale retains the last clean encoded
+// contribution from before activation for the stale-replay mode.
+type byzRank struct {
+	mode  string
+	from  int
+	until int // 0 = forever
+	stale *sparse.Vector
+}
+
+// active reports whether the poison applies at iteration iter.
+func (b *byzRank) active(iter int) bool {
+	return b.mode != "" && iter >= b.from && (b.until == 0 || iter < b.until)
+}
+
+// reconciles reports whether strategies must prune !Alive ranks from their
+// pending state each round: elastic runs (deaths shrink the world) and
+// screened runs (quarantines do the same, without a transport death).
+func (env *strategyEnv) reconciles() bool {
+	return env.elastic || env.screen != nil
+}
+
+// poisonSparse applies rank's scheduled Byzantine poison to its encoded
+// contribution in place. Before activation it snapshots the clean vector
+// for stale-replay; after (or outside a bounded window) it is a no-op.
+func (env *strategyEnv) poisonSparse(rank int, v *sparse.Vector) {
+	b := &env.byz[rank]
+	if b.mode == "" {
+		return
+	}
+	if !b.active(env.curIter) {
+		if b.mode == transport.ByzantineStaleReplay && env.curIter < b.from {
+			b.stale = v.Clone()
+		}
+		return
+	}
+	switch b.mode {
+	case transport.ByzantineSignFlip:
+		v.Scale(-1)
+	case transport.ByzantineScale:
+		v.Scale(10)
+	case transport.ByzantineRandom:
+		rng := rand.New(rand.NewSource(env.byzSeed ^
+			(int64(rank)+1)*0x5851f42d4c957f2d ^
+			(int64(env.curIter)+1)*0x2545f4914f6cdd1d))
+		for k := range v.Value {
+			v.Value[k] = 2*rng.Float64() - 1
+		}
+	case transport.ByzantineStaleReplay:
+		if b.stale != nil {
+			v.Reset(v.Dim)
+			v.Index = append(v.Index, b.stale.Index...)
+			v.Value = append(v.Value, b.stale.Value...)
+		}
+	}
 }
 
 func equalRanks(a, b []int) bool {
@@ -140,13 +221,21 @@ func (env *strategyEnv) nextTagBase() int32 {
 
 // encodeSparse routes one rank's contribution through the codec: stateful
 // top-k error feedback when the run carries per-rank exchange state, the
-// store's stateless path otherwise. rank is a world rank.
+// store's stateless path otherwise. rank is a world rank. This is the
+// single chokepoint every strategy's contributions pass through on their
+// way into a reduce, so the Byzantine poison (after the codec — what a
+// compromised worker ships) and the contribution screen (after the
+// poison — the screen judges the wire bytes) both live here.
 func (env *strategyEnv) encodeSparse(rank int, v *sparse.Vector) {
 	if env.states != nil {
 		env.states[rank].Encode(v)
-		return
+	} else {
+		env.store.encodeSparse(v)
 	}
-	env.store.encodeSparse(v)
+	if env.byz != nil {
+		env.poisonSparse(rank, v)
+	}
+	env.screen.ObserveSparse(rank, v)
 }
 
 // newStrategy instantiates the consensus strategy for one run.

@@ -52,9 +52,18 @@ type Tracker struct {
 	dead   []bool
 	inc    []int // incarnation of the rank's current (or last) life
 	causes []error
-	live   int
-	onDown func(rank int, cause error)
-	onUp   func(rank, incarnation int)
+	// quar marks ranks excluded for SEMANTIC faults: the process is up and
+	// its transport works, but its contributions are suspect. A quarantined
+	// rank is not Alive — it leaves every live filter, divisor, and
+	// subscriber count — yet it is not dead either: no transport evidence
+	// exists, its endpoint keeps working, and it may be readmitted without
+	// a new incarnation (Unquarantine) or by one (markUpLocked clears the
+	// flag, so the incarnation-based rejoin path covers it too).
+	quar      []bool
+	quarCause []error
+	live      int
+	onDown    func(rank int, cause error)
+	onUp      func(rank, incarnation int)
 }
 
 // NewTracker returns a tracker for ranks 0..world-1, all alive, epoch 0,
@@ -64,11 +73,13 @@ func NewTracker(world int) *Tracker {
 		panic("membership: world must be positive")
 	}
 	return &Tracker{
-		world:  world,
-		dead:   make([]bool, world),
-		inc:    make([]int, world),
-		causes: make([]error, world),
-		live:   world,
+		world:     world,
+		dead:      make([]bool, world),
+		inc:       make([]int, world),
+		causes:    make([]error, world),
+		quar:      make([]bool, world),
+		quarCause: make([]error, world),
+		live:      world,
 	}
 }
 
@@ -103,9 +114,13 @@ func (t *Tracker) MarkDown(rank int, cause error) bool {
 		t.mu.Unlock()
 		return false
 	}
+	// A quarantined rank already left the live count; dying while
+	// quarantined must not decrement it twice.
+	if !t.quar[rank] {
+		t.live--
+	}
 	t.dead[rank] = true
 	t.causes[rank] = cause
-	t.live--
 	t.epoch++
 	hook := t.onDown
 	t.mu.Unlock()
@@ -163,16 +178,94 @@ func (t *Tracker) MarkUpAt(rank, inc int) bool {
 }
 
 // markUpLocked performs the revive transition under t.mu and returns the
-// OnUp hook to fire after unlock (nil if none registered).
+// OnUp hook to fire after unlock (nil if none registered). A new
+// incarnation starts with a clean slate: a quarantine against the old life
+// does not survive into the new one.
 func (t *Tracker) markUpLocked(rank, inc int) func(rank, incarnation int) {
+	wasCounted := !t.dead[rank] && !t.quar[rank]
 	t.inc[rank] = inc
-	if t.dead[rank] {
-		t.dead[rank] = false
-		t.causes[rank] = nil
+	t.dead[rank] = false
+	t.causes[rank] = nil
+	t.quar[rank] = false
+	t.quarCause[rank] = nil
+	if !wasCounted {
 		t.live++
 	}
 	t.epoch++
 	return t.onUp
+}
+
+// Quarantine excludes a live rank for a semantic fault: it leaves the live
+// set (Alive, LiveCount, View, Live, FirstLive all drop it) and the epoch
+// bumps, but the rank is not dead — no incarnation change, no transport
+// teardown. Idempotent; a dead rank cannot be quarantined. Returns whether
+// the rank was newly quarantined.
+func (t *Tracker) Quarantine(rank int, cause error) bool {
+	if rank < 0 || rank >= t.world {
+		return false
+	}
+	t.mu.Lock()
+	if t.dead[rank] || t.quar[rank] {
+		t.mu.Unlock()
+		return false
+	}
+	t.quar[rank] = true
+	t.quarCause[rank] = cause
+	t.live--
+	t.epoch++
+	t.mu.Unlock()
+	return true
+}
+
+// Unquarantine readmits a quarantined rank without minting a new
+// incarnation — the probation path, for a rank whose clean probes earned
+// its way back. Returns whether the rank was readmitted.
+func (t *Tracker) Unquarantine(rank int) bool {
+	if rank < 0 || rank >= t.world {
+		return false
+	}
+	t.mu.Lock()
+	if t.dead[rank] || !t.quar[rank] {
+		t.mu.Unlock()
+		return false
+	}
+	t.quar[rank] = false
+	t.quarCause[rank] = nil
+	t.live++
+	t.epoch++
+	t.mu.Unlock()
+	return true
+}
+
+// Quarantined reports whether rank is currently quarantined.
+func (t *Tracker) Quarantined(rank int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return rank >= 0 && rank < t.world && t.quar[rank]
+}
+
+// QuarantinedCount returns how many ranks are currently quarantined.
+func (t *Tracker) QuarantinedCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for r := 0; r < t.world; r++ {
+		if t.quar[r] {
+			n++
+		}
+	}
+	return n
+}
+
+// QuarantineCause returns the recorded cause of a rank's quarantine, nil
+// while unquarantined.
+func (t *Tracker) QuarantineCause(rank int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rank < 0 || rank >= t.world {
+		return nil
+	}
+	return t.quarCause[rank]
 }
 
 // Incarnation returns the incarnation number of the rank's current (or,
@@ -197,11 +290,12 @@ func (t *Tracker) Observe(err error) (int, bool) {
 	return pd.Peer, true
 }
 
-// Alive reports whether rank is still a member.
+// Alive reports whether rank is still a member: neither dead nor
+// quarantined.
 func (t *Tracker) Alive(rank int) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return rank >= 0 && rank < t.world && !t.dead[rank]
+	return rank >= 0 && rank < t.world && !t.dead[rank] && !t.quar[rank]
 }
 
 // Epoch returns the current membership epoch: the number of membership
@@ -226,7 +320,7 @@ func (t *Tracker) View() View {
 	defer t.mu.Unlock()
 	v := View{Epoch: t.epoch, Live: make([]int, 0, t.live)}
 	for r := 0; r < t.world; r++ {
-		if !t.dead[r] {
+		if !t.dead[r] && !t.quar[r] {
 			v.Live = append(v.Live, r)
 		}
 	}
@@ -239,7 +333,7 @@ func (t *Tracker) Live(ranks []int) []int {
 	defer t.mu.Unlock()
 	out := make([]int, 0, len(ranks))
 	for _, r := range ranks {
-		if r >= 0 && r < t.world && !t.dead[r] {
+		if r >= 0 && r < t.world && !t.dead[r] && !t.quar[r] {
 			out = append(out, r)
 		}
 	}
@@ -252,7 +346,7 @@ func (t *Tracker) FirstLive(ranks []int) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, r := range ranks {
-		if r >= 0 && r < t.world && !t.dead[r] {
+		if r >= 0 && r < t.world && !t.dead[r] && !t.quar[r] {
 			return r
 		}
 	}
@@ -297,6 +391,8 @@ func (t *Tracker) Restore(epoch int, dead []int) error {
 	t.dead = make([]bool, t.world)
 	t.inc = make([]int, t.world)
 	t.causes = make([]error, t.world)
+	t.quar = make([]bool, t.world)
+	t.quarCause = make([]error, t.world)
 	t.live = t.world
 	for _, r := range dead {
 		if !t.dead[r] {

@@ -80,6 +80,62 @@ type FaultPlan struct {
 	// lives in one place — and, like KillAtIteration, the engine executes
 	// it (transport cannot see solver state) exactly once per run.
 	NaNAtIteration map[int]int
+	// ByzantineAtIteration maps rank → the Byzantine behavior that rank
+	// adopts FROM the named iteration ONWARD. Unlike the fire-once
+	// corruption and NaN schedules, a Byzantine rank stays Byzantine — the
+	// threat model is a compromised or persistently buggy worker, not a
+	// transient glitch — until the quarantine protocol excludes it. Like
+	// NaNAtIteration this is engine-executed (the poison is applied to the
+	// contribution after codec encoding, exactly where a compromised
+	// worker would inject it); it rides in the plan so every chaos
+	// schedule lives in one place. The 'random' mode draws its values from
+	// a PRNG seeded per (Seed, rank, iteration), so corrupt-frame retries
+	// of the same round replay identically.
+	ByzantineAtIteration map[int]ByzantineFault
+}
+
+// ByzantineFault schedules one rank's semantic-fault behavior.
+type ByzantineFault struct {
+	// Iteration is the first poisoned iteration.
+	Iteration int
+	// Mode selects the poison: one of the Byzantine* constants.
+	Mode string
+	// Until, when positive, is the first iteration the poison NO LONGER
+	// applies — a bounded compromise window. Zero means forever, the
+	// default threat model. A bounded window is what makes quarantine
+	// re-admission observable: once the attack stops, the victim's clean
+	// probes accumulate and the engine readmits it.
+	Until int
+}
+
+// The Byzantine poison modes.
+const (
+	// ByzantineSignFlip negates the contribution — norm-preserving, so it
+	// defeats magnitude-only screens and is the classic robust-aggregation
+	// stress case.
+	ByzantineSignFlip = "sign-flip"
+	// ByzantineScale multiplies the contribution by 10.
+	ByzantineScale = "scale"
+	// ByzantineRandom replaces the values with seeded uniform noise in
+	// [-1, 1) on the same support.
+	ByzantineRandom = "random"
+	// ByzantineStaleReplay re-sends the rank's last clean contribution
+	// from before the fault activated, every round.
+	ByzantineStaleReplay = "stale-replay"
+)
+
+// ByzantineModes lists every valid mode.
+func ByzantineModes() []string {
+	return []string{ByzantineSignFlip, ByzantineScale, ByzantineRandom, ByzantineStaleReplay}
+}
+
+// ValidByzantineMode reports whether mode names a known poison.
+func ValidByzantineMode(mode string) bool {
+	switch mode {
+	case ByzantineSignFlip, ByzantineScale, ByzantineRandom, ByzantineStaleReplay:
+		return true
+	}
+	return false
 }
 
 // faultPoll is how often blocked Recvs on a FaultFabric re-check failure

@@ -45,6 +45,7 @@ import (
 	"psrahgadmm/internal/membership"
 	"psrahgadmm/internal/transport"
 	"psrahgadmm/internal/vec"
+	"psrahgadmm/internal/watchdog"
 	"psrahgadmm/internal/wire"
 )
 
@@ -68,6 +69,15 @@ const (
 	elKindContribute = 1 // a Leader's node sum is on its way
 	elKindRecover    = 2 // an orphaned member asks for a cached result
 	elKindDone       = 3 // this rank will send nothing more
+	// elKindQuarantine publishes a Leader's quarantine evidence:
+	// Ints = [kind, victim rank, trip iteration, victim incarnation]. The
+	// GG folds it into the rejoin log as a membership.QuarantineLogEntry
+	// triple, where it piggybacks on every control reply exactly like a
+	// death/rejoin record. At-least-once with idempotent application: the
+	// Leader re-sends each round until the log confirms the entry, and
+	// the GG ignores evidence for a rank already quarantined, dead, or
+	// reincarnated past the indicted incarnation.
+	elKindQuarantine = 5
 
 	elStatusNotReady = 0
 	elStatusReady    = 1
@@ -102,12 +112,19 @@ type RunInfo struct {
 	// before this run completed (zero for a trip-free run; plain
 	// Run/RunWorker never set it).
 	Rollbacks int
+	// Flagged counts member contributions a Leader's screen excluded from
+	// the node sum as outliers (Config.Screen).
+	Flagged int64
+	// SelfQuarantines counts how many times this rank discovered itself
+	// quarantined and entered probation.
+	SelfQuarantines int
 }
 
-// Degraded reports whether the run lost anything: a death, a skipped
-// contribution, or a round whose consensus fell short of the full world.
+// Degraded reports whether the run lost anything: a death, a skipped or
+// screened-out contribution, or a round whose consensus fell short of the
+// full world.
 func (ri *RunInfo) Degraded() bool {
-	return ri.Epoch > 0 || ri.Skipped > 0 || ri.ShortRounds > 0
+	return ri.Epoch > 0 || ri.Skipped > 0 || ri.ShortRounds > 0 || ri.Flagged > 0 || ri.SelfQuarantines > 0
 }
 
 // elasticWorker is one rank's state for the fail-survive protocol.
@@ -130,8 +147,27 @@ type elasticWorker struct {
 	// joinLog is the newest copy of the GG's rejoin log (see rejoin.go):
 	// flattened (rank, joinIter, incarnation) triples applied at
 	// iteration boundaries so every rank re-admits a rejoiner at the
-	// same iteration.
+	// same iteration. Quarantine evidence rides the same log as
+	// membership.QuarantineLogEntry triples (negative first element).
 	joinLog []int64
+	// screen is the contribution screen (nil when Config.Screen is off).
+	// Every rank carries one — Leaders score gathered member
+	// contributions with it, every rank self-observes its own encoded
+	// contribution to keep a baseline for probation, and a quarantined
+	// rank judges its self-probes against that baseline.
+	screen *watchdog.Screen
+	// selfQuar is set by applyJoins when the log indicts THIS rank's
+	// current incarnation; cleared when probation earns a new one.
+	selfQuar  bool
+	flagged   int64
+	selfQuars int
+	// quorumTol is the robust tolerance f: once MORE than quorumTol ranks
+	// are quarantined in this view, the trim can no longer out-vote the
+	// remaining poison and the run aborts (watchdog.ErrQuorumLost, exit 6
+	// in psra-worker). -1 disables the bound (mean aggregation). The bound
+	// counts RANKS against the GG's node-granular tolerance, which is
+	// conservative: it aborts no later than a node-exact bound would.
+	quorumTol int
 }
 
 // runWorkerElastic executes the elastic worker loop. The returned RunInfo
@@ -145,16 +181,29 @@ func runWorkerElastic(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInf
 	if err != nil {
 		return nil, fmt.Errorf("wlg: %w", err)
 	}
+	spec, err := cfg.aggSpec()
+	if err != nil {
+		return nil, fmt.Errorf("wlg: %w", err)
+	}
+	quorumTol := -1
+	switch spec.Kind {
+	case collective.AggTrimmedMean:
+		quorumTol = spec.TrimF
+	case collective.AggMedian:
+		quorumTol = (topo.Nodes - 1) / 2
+	}
 	w := &elasticWorker{
-		ep:      ep,
-		cfg:     cfg,
-		rank:    rank,
-		node:    topo.NodeOf(rank),
-		gg:      GGRank(topo),
-		members: topo.WorkersOf(topo.NodeOf(rank)),
-		tr:      membership.NewTracker(topo.Size()),
-		pol:     cfg.Retry,
-		skips:   make([]int, topo.Size()),
+		ep:        ep,
+		cfg:       cfg,
+		rank:      rank,
+		node:      topo.NodeOf(rank),
+		gg:        GGRank(topo),
+		members:   topo.WorkersOf(topo.NodeOf(rank)),
+		tr:        membership.NewTracker(topo.Size()),
+		pol:       cfg.Retry,
+		skips:     make([]int, topo.Size()),
+		screen:    watchdog.NewScreen(cfg.Screen, topo.Size()),
+		quorumTol: quorumTol,
 	}
 	// Elastic retries converge on shared targets (a dead Leader, the GG);
 	// decorrelated jitter spreads the survivors' attempts instead of
@@ -162,10 +211,12 @@ func runWorkerElastic(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInf
 	w.pol.Jitter = true
 	info := func() *RunInfo {
 		return &RunInfo{
-			Epoch:       w.tr.Epoch(),
-			LiveWorkers: w.tr.LiveCount(),
-			Skipped:     w.skipped,
-			ShortRounds: w.short,
+			Epoch:           w.tr.Epoch(),
+			LiveWorkers:     w.tr.LiveCount(),
+			Skipped:         w.skipped,
+			ShortRounds:     w.short,
+			Flagged:         w.flagged,
+			SelfQuarantines: w.selfQuars,
 		}
 	}
 	// Tell the GG this rank is finished on every exit path — including
@@ -212,7 +263,28 @@ func runWorkerElastic(ep transport.Endpoint, cfg Config, f WorkerFuncs) (*RunInf
 		} else {
 			codec.EncodeDense(buf)
 		}
+		// Self-observe the encoded contribution: the baseline this builds
+		// is what a quarantined incarnation's probation judges its
+		// self-probes against. Flagged observations never enter the
+		// baseline, so a compromise cannot drag its own baseline up.
+		w.screen.ObserveDense(w.rank, buf)
 		agg, contributors, err := w.iterate(iter, buf)
+		if errors.Is(err, errSelfQuarantined) {
+			// The log indicts this incarnation. Enter probation: screen
+			// local probes until quarantineRounds consecutive clean ones,
+			// then re-enter through the rejoin handshake as a fresh
+			// incarnation (or run out the clock and exit degraded).
+			w.selfQuars++
+			joinIter, perr := w.probation(iter, f)
+			if perr != nil {
+				return info(), perr
+			}
+			// The new incarnation starts with a clean error-feedback
+			// residual, like any other rejoiner.
+			st = exchange.NewState(cfg.Codec, 0)
+			iter = joinIter - 1
+			continue
+		}
 		if err != nil {
 			return info(), err
 		}
@@ -240,6 +312,12 @@ func (w *elasticWorker) iterate(iter int, own []float64) ([]float64, int, error)
 		// a later iteration). Every rank that holds the log sees the same
 		// world for the same iteration.
 		w.applyJoins(iter)
+		if w.selfQuar {
+			return nil, 0, errSelfQuarantined
+		}
+		if w.quorumTol >= 0 && w.tr.QuarantinedCount() > w.quorumTol {
+			return nil, 0, &watchdog.QuorumError{Quarantined: w.tr.QuarantinedCount(), F: w.quorumTol}
+		}
 		leader := w.tr.FirstLive(w.members)
 		if leader < 0 { // self is alive in its own view; defensive only
 			return nil, 0, fmt.Errorf("wlg: rank %d iter %d: node %d has no live ranks", w.rank, iter, w.node)
@@ -344,9 +422,23 @@ func (w *elasticWorker) leadIterate(iter int, own []float64) ([]float64, int, er
 			}
 			return nil, 0, fmt.Errorf("wlg: leader %d iter %d gather from %d: %w", w.rank, iter, m, err)
 		}
+		if w.screen.ObserveDense(m, msg.Dense) {
+			// An outlier stays out of the node sum and its count; reaching
+			// the strike limit quarantines the member — locally at once
+			// (this gather and every later one excludes it), globally
+			// through the evidence published below.
+			w.flagged++
+			if w.screen.Strikes(m) >= w.screen.StrikeLimit() {
+				w.tr.Quarantine(m, errQuarantinedByScreen)
+			}
+			continue
+		}
 		vec.AddInto(sum, msg.Dense)
 		w.skips[m] = 0
 		count++
+	}
+	if w.screen != nil {
+		w.reportQuarantines(iter)
 	}
 
 	agg, contributors, err := w.contribute(iter, sum, count)
@@ -455,6 +547,17 @@ func runGGElastic(ep transport.Endpoint, cfg Config) error {
 	// the side that retries, not the side others wait behind.
 	pol := cfg.Retry
 	rj := newGGRejoin(tr, topo.Size(), cfg.StartIter)
+	// The GG is the single combine point of the elastic topology, which is
+	// exactly what a robust (non-associative) aggregator needs: the robust
+	// center is taken here, at node granularity, over the node sums of one
+	// group. Leaders still SUM their members — the screen, not the
+	// statistic, is the intra-node defense — so the trim bound is on nodes.
+	spec, err := cfg.aggSpec()
+	if err != nil {
+		return fmt.Errorf("wlg: %w", err)
+	}
+	var sortBuf []float64
+	var srcs [][]float64
 	type entry struct {
 		node, leader int
 		w            []float64
@@ -485,7 +588,11 @@ func runGGElastic(ep transport.Endpoint, cfg Config) error {
 	}
 	allDone := func() bool {
 		for r := 0; r < topo.Size(); r++ {
-			if !done[r] && tr.Alive(r) {
+			// A quarantined rank is excluded from aggregation but NOT done:
+			// it is probing locally and will either announce a rejoin or
+			// send its farewell. Counting it as gone would let the GG exit
+			// while the victim's re-admission handshake is still coming.
+			if !done[r] && (tr.Alive(r) || tr.Quarantined(r)) {
 				return false
 			}
 		}
@@ -501,11 +608,28 @@ func runGGElastic(ep transport.Endpoint, cfg Config) error {
 		}
 	}
 	flush := func(iter int, q []*entry) {
-		sum := append([]float64(nil), q[0].w...)
 		cnt := q[0].count
 		for _, e := range q[1:] {
-			vec.AddInto(sum, e.w)
 			cnt += e.count
+		}
+		var sum []float64
+		if spec.Robust() && len(q) > 1 {
+			// CombineDense writes center × len(q) into sum; the workers'
+			// ApplyW divides by cnt = Σ counts, so with near-uniform node
+			// sizes the consensus lands on the robust center of the
+			// per-worker contributions. A single-entry group has nothing
+			// to trim and keeps the plain sum below.
+			srcs = srcs[:0]
+			for _, e := range q {
+				srcs = append(srcs, e.w)
+			}
+			sum = make([]float64, len(q[0].w))
+			sortBuf = collective.CombineDense(spec, sum, srcs, sortBuf)
+		} else {
+			sum = append([]float64(nil), q[0].w...)
+			for _, e := range q[1:] {
+				vec.AddInto(sum, e.w)
+			}
 		}
 		res := &result{w: sum, count: cnt}
 		rj.noteFlush(iter, res.w, res.count)
@@ -610,6 +734,20 @@ func runGGElastic(ep transport.Endpoint, cfg Config) error {
 				queues[iter] = append(queues[iter], &entry{node: node, leader: from, w: wm.Dense, count: count})
 			}
 			maybeFlush(iter)
+		case elKindQuarantine:
+			// A Leader's screen evidence: Ints = [kind, victim, iter, inc].
+			// noteQuarantine applies it idempotently (incarnation-guarded,
+			// ignored for dead/already-quarantined/reincarnated ranks) and
+			// appends the log triple every live rank folds in; a fresh
+			// quarantine can complete a pending remainder group's "nobody
+			// else will report" condition, hence the recheck.
+			victim := node
+			if victim < 0 || victim >= topo.Size() {
+				return fmt.Errorf("wlg: GG quarantine evidence for invalid rank %d from %d", victim, from)
+			}
+			if rj.noteQuarantine(victim, iter, int(count)) {
+				recheck()
+			}
 		case elKindRecover:
 			rj.observe(iter)
 			if res, ok := cache[key{iter, node}]; ok {

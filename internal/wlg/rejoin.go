@@ -146,6 +146,23 @@ func (g *ggRejoin) admit(from int) (grant *rejoinGrant, fresh bool) {
 	return grant, true
 }
 
+// noteQuarantine folds one piece of quarantine evidence into the GG's
+// state: the victim is quarantined in the tracker and the evidence is
+// appended to the log (where it piggybacks on every control reply).
+// Idempotent under duplication and reordering: evidence for a rank that is
+// already quarantined, dead, or reincarnated past the indicted incarnation
+// is ignored, so the log gains at most one entry per (rank, incarnation).
+// Returns whether the evidence was fresh.
+func (g *ggRejoin) noteQuarantine(rank, iter, inc int) bool {
+	if inc != g.tr.Incarnation(rank) || !g.tr.Alive(rank) {
+		return false
+	}
+	e := membership.QuarantineLogEntry(rank, iter, inc)
+	g.log = append(g.log, e[0], e[1], e[2])
+	g.tr.Quarantine(rank, errQuarantinedByScreen)
+	return true
+}
+
 // grantInts builds the grant control payload:
 //
 //	[joinIter, incarnation, haveW, warmCount, nDead, dead..., log...]
@@ -267,13 +284,38 @@ func (w *elasticWorker) noteJoins(ints []int64) {
 //
 // All ranks holding the log therefore exclude and re-admit a rejoiner at
 // the same boundaries, keeping elections and gather sets convergent.
+//
+// Quarantine evidence rides the same log as membership.QuarantineLogEntry
+// triples (negative first element). It is applied in a SECOND pass, after
+// every rejoin triple, so the incarnation guard always judges evidence
+// against the final incarnation for this boundary: a quarantine of
+// incarnation k followed by a rejoin minting k+1 nets out to "alive",
+// whatever order the passes would otherwise visit them in. An entry that
+// indicts THIS rank's current incarnation raises selfQuar instead of
+// touching the tracker — being quarantined is something a rank does to
+// its behavior (probation), not to its own membership view.
 func (w *elasticWorker) applyJoins(iter int) {
 	for i := 0; i+2 < len(w.joinLog); i += 3 {
-		rank, joinIter, inc := int(w.joinLog[i]), int(w.joinLog[i+1]), int(w.joinLog[i+2])
+		rank, joinIter, inc, quar := membership.ParseLogEntry(w.joinLog[i], w.joinLog[i+1], w.joinLog[i+2])
+		if quar {
+			continue
+		}
 		if joinIter <= iter {
 			w.tr.MarkUpAt(rank, inc)
 		} else if rank != w.rank && w.tr.Incarnation(rank) < inc && w.tr.Alive(rank) {
 			w.tr.MarkDown(rank, errDeadAtRejoin)
 		}
+	}
+	w.selfQuar = false
+	for i := 0; i+2 < len(w.joinLog); i += 3 {
+		rank, _, inc, quar := membership.ParseLogEntry(w.joinLog[i], w.joinLog[i+1], w.joinLog[i+2])
+		if !quar || inc != w.tr.Incarnation(rank) {
+			continue // superseded by a later incarnation (or not evidence)
+		}
+		if rank == w.rank {
+			w.selfQuar = true
+			continue
+		}
+		w.tr.Quarantine(rank, errQuarantinedByScreen)
 	}
 }

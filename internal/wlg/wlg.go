@@ -158,6 +158,32 @@ type Config struct {
 	// aggregates never reach algorithm state; RunWithRecovery turns that
 	// abort into a coordinated checkpoint rollback. See recover.go.
 	Watchdog watchdog.Config
+	// Aggregator selects the consensus statistic the elastic Group
+	// Generator applies when it flushes a group (collective.AggNames):
+	// "mean" (the default — the exact sum path, bit-identical to the
+	// pre-aggregator runtime), "trimmed-mean", or "coordinate-median".
+	// Robust statistics are non-associative, so they require Elastic mode,
+	// where the GG is the runtime's single combine point; the fail-stop
+	// leader-to-leader PSR-Allreduce is sum-only. Granularity is the
+	// node: a group's entries are per-node sums, so one Byzantine worker
+	// poisons its node's entry and the trim drops that whole node.
+	Aggregator string
+	// TrimF is the per-side trim count for "trimmed-mean" (0 defaults to
+	// 1). Ignored by the other aggregators.
+	TrimF int
+	// Screen enables leader-side contribution screening (elastic only):
+	// each Leader scores every gathered member contribution against that
+	// member's own running baseline, excludes flagged contributions from
+	// the node sum, and — after ScreenConfig.Strikes consecutive flags —
+	// quarantines the member and publishes the evidence through the GG's
+	// append-only log, where it piggybacks on every control reply exactly
+	// like a rejoin record. A quarantined rank re-enters through the
+	// rejoin handshake after QuarantineRounds clean self-probes.
+	Screen watchdog.ScreenConfig
+	// QuarantineRounds is how many consecutive clean self-probes a
+	// quarantined rank needs before it may announce a rejoin. 0 defaults
+	// to 3.
+	QuarantineRounds int
 }
 
 // codec resolves the configured exchange codec, defaulting to exact.
@@ -175,6 +201,33 @@ func (c Config) threshold() int {
 		t = c.Topo.Nodes
 	}
 	return t
+}
+
+// aggSpec resolves the configured aggregator, defaulting to the exact
+// mean and TrimF=1 for the trimmed mean.
+func (c Config) aggSpec() (collective.AggSpec, error) {
+	name := c.Aggregator
+	if name == "" {
+		name = collective.AggMeanName
+	}
+	kind, err := collective.ParseAgg(name)
+	if err != nil {
+		return collective.AggSpec{}, err
+	}
+	f := c.TrimF
+	if kind == collective.AggTrimmedMean && f == 0 {
+		f = 1
+	}
+	return collective.AggSpec{Kind: kind, TrimF: f}, nil
+}
+
+// quarantineRounds returns the effective clean-probe requirement (0
+// defaults to 3).
+func (c Config) quarantineRounds() int {
+	if c.QuarantineRounds > 0 {
+		return c.QuarantineRounds
+	}
+	return 3
 }
 
 // Validate checks the configuration.
@@ -212,12 +265,38 @@ func (c Config) Validate() error {
 	if err := c.Watchdog.Validate(); err != nil {
 		return fmt.Errorf("wlg: %w", err)
 	}
+	if c.TrimF < 0 {
+		return fmt.Errorf("wlg: TrimF must be non-negative, got %d", c.TrimF)
+	}
+	spec, err := c.aggSpec()
+	if err != nil {
+		return fmt.Errorf("wlg: %w", err)
+	}
+	if spec.Robust() && !c.Elastic {
+		return fmt.Errorf("wlg: aggregator %q requires Elastic mode (a robust statistic is non-associative and needs the GG as the single combine point; the fail-stop leader PSR-Allreduce is sum-only)", c.Aggregator)
+	}
+	if spec.Kind == collective.AggTrimmedMean && 2*spec.TrimF >= c.Topo.Nodes {
+		return fmt.Errorf("wlg: TrimF %d trims everything: need 2·TrimF < %d nodes", spec.TrimF, c.Topo.Nodes)
+	}
+	if err := c.Screen.Validate(); err != nil {
+		return fmt.Errorf("wlg: %w", err)
+	}
+	if c.Screen.Enabled && !c.Elastic {
+		return fmt.Errorf("wlg: contribution screening requires Elastic mode (quarantine is a membership transition the fail-stop protocol cannot express)")
+	}
+	if c.QuarantineRounds < 0 {
+		return fmt.Errorf("wlg: QuarantineRounds must be non-negative, got %d", c.QuarantineRounds)
+	}
 	return nil
 }
 
 // WorkerFuncs supplies the algorithm math to the runtime. The runtime
 // guarantees ComputeW and ApplyW are called exactly once per iteration, in
-// order, from the worker's own goroutine.
+// order, from the worker's own goroutine — with one exception: a
+// QUARANTINED rank's probation calls ComputeW for iterations it sits out,
+// with no matching ApplyW (the contribution is screened locally, never
+// shipped), and its post-rejoin loop resumes at the granted join
+// iteration, skipping the quarantined range entirely.
 type WorkerFuncs struct {
 	// ComputeW returns the worker's contribution w_i = y_i + ρ·x_i for the
 	// given iteration (the paper's step 7–8 of Algorithm 1). The returned
@@ -482,6 +561,8 @@ func RunWithInfo(fab transport.Fabric, cfg Config, funcs func(rank int) WorkerFu
 		if info != nil {
 			sum.Skipped += info.Skipped
 			sum.ShortRounds += info.ShortRounds
+			sum.Flagged += info.Flagged
+			sum.SelfQuarantines += info.SelfQuarantines
 		}
 	}
 	return sum, nil
